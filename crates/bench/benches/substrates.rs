@@ -1,0 +1,85 @@
+//! Criterion benches of the substrate crates: cache-simulator
+//! throughput, exact LP, pebble game, and symbolic-engine operations.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ioopt::cachesim::{Hierarchy, TiledLoopNest};
+use ioopt::cdag::{build_cdag, greedy_loads};
+use ioopt::ir::kernels;
+use ioopt::lp::{Cmp, Lp};
+use ioopt::symbolic::{Expr, Rational};
+use std::hint::black_box;
+
+fn bench_cachesim(c: &mut Criterion) {
+    let k = kernels::matmul();
+    let sizes = HashMap::from([
+        ("i".to_string(), 32i64),
+        ("j".to_string(), 32),
+        ("k".to_string(), 32),
+    ]);
+    let tiles = HashMap::from([("i".to_string(), 8i64), ("j".to_string(), 8)]);
+    let nest = TiledLoopNest::new(&k, &sizes, &[0, 1, 2], &tiles).unwrap();
+    let mut g = c.benchmark_group("cachesim");
+    g.throughput(Throughput::Elements(nest.num_iterations()));
+    g.bench_function("matmul-32x32x32-lru", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(&[256, 4096], 1);
+            black_box(nest.simulate(&mut h))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pebble(c: &mut Criterion) {
+    let k = kernels::matmul();
+    let sizes = HashMap::from([
+        ("i".to_string(), 4i64),
+        ("j".to_string(), 4),
+        ("k".to_string(), 4),
+    ]);
+    let g_cdag = build_cdag(&k, &sizes, 10_000);
+    let order = g_cdag.computes();
+    c.bench_function("pebble/greedy-4x4x4", |b| {
+        b.iter(|| greedy_loads(black_box(&g_cdag), 8, &order))
+    });
+}
+
+fn bench_lp(c: &mut Criterion) {
+    c.bench_function("lp/brascamp-matmul", |b| {
+        b.iter(|| {
+            let ri = |n: i128| Rational::from(n);
+            let mut lp = Lp::new(3);
+            lp.set_objective(vec![ri(1), ri(1), ri(1)]);
+            lp.add_constraint(vec![ri(1), ri(0), ri(1)], Cmp::Ge, ri(1));
+            lp.add_constraint(vec![ri(1), ri(1), ri(0)], Cmp::Ge, ri(1));
+            lp.add_constraint(vec![ri(0), ri(1), ri(1)], Cmp::Ge, ri(1));
+            black_box(lp.solve().unwrap())
+        })
+    });
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symbolic");
+    g.bench_function("expand-poly", |b| {
+        let x = Expr::sym("bx");
+        let y = Expr::sym("by");
+        let e = Expr::pow(&x + &y + Expr::int(1), Rational::from(6i128));
+        b.iter(|| black_box(&e).expand())
+    });
+    g.bench_function("compile-eval", |b| {
+        let e = (Expr::sym("ba") + Expr::int(1)) * Expr::sym("bb").sqrt()
+            / (Expr::sym("ba") * Expr::sym("bb") + Expr::int(2));
+        let compiled = e
+            .compile(
+                &[ioopt::symbolic::Symbol::new("ba"), ioopt::symbolic::Symbol::new("bb")],
+                &Default::default(),
+            )
+            .unwrap();
+        b.iter(|| black_box(compiled.eval(&[3.0, 4.0])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cachesim, bench_pebble, bench_lp, bench_symbolic);
+criterion_main!(benches);

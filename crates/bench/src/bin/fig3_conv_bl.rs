@@ -1,0 +1,66 @@
+//! Fig. 3 reproduction: the Brascamp-Lieb derivation on the 2D
+//! convolution — homomorphisms (3b), subgroup rank constraints (3c), and
+//! the solved coefficients without and with small dimensions (3d).
+
+use ioopt::iolb::{extract_homs, rank_constraints, small_dim_hom, solve_bl, HomOptions};
+use ioopt::ir::kernels;
+
+fn main() {
+    let k = kernels::conv2d();
+    let dim = k.dims().len();
+    let homs = extract_homs(&k, &HomOptions::default());
+
+    println!("== Fig. 3b: homomorphisms ==");
+    for h in &homs {
+        println!("phi_{:<8} : Z^{dim} -> Z^{}  (kernel dim {})",
+            h.name, h.matrix.rows(), h.kernel_basis().len());
+    }
+
+    println!("\n== Fig. 3c: subgroup rank constraints (without phi_sd) ==");
+    let constraints = rank_constraints(&homs, dim);
+    for c in &constraints {
+        let rhs: Vec<String> = c
+            .image_ranks
+            .iter()
+            .zip(&homs)
+            .filter(|(&r, _)| r > 0)
+            .map(|(&r, h)| {
+                if r == 1 { format!("s_{}", h.name) } else { format!("{r}*s_{}", h.name) }
+            })
+            .collect();
+        println!("  {} <= {}", c.lhs, rhs.join(" + "));
+    }
+    println!("  ({} constraints after dedup)", constraints.len());
+
+    println!("\n== Fig. 3d: solutions ==");
+    let no_sd = solve_bl(&homs, dim).expect("solvable");
+    println!(
+        "no small dims : s = {:?}, sigma = {}  (paper: s_j = 2/3, sigma = 2)",
+        no_sd.s, no_sd.sigma
+    );
+
+    let mut with_sd = homs.clone();
+    let dims = [k.dim_index("h").expect("h"), k.dim_index("w").expect("w")];
+    with_sd.push(small_dim_hom(&k, &dims));
+    let sd = solve_bl(&with_sd, dim).expect("solvable");
+    println!(
+        "H, W small    : s = {:?}, s_sd = {}, sigma = {}  (paper: s_j = 1/2, s_sd = 1/2, sigma = 3/2)",
+        sd.s, sd.s_sd, sd.sigma
+    );
+
+    println!("\n== Bounded-set size bounds |E| <= rho(K) ==");
+    use ioopt::iolb::{conv2d_scenarios, lower_bound, LbOptions};
+    let report = lower_bound(
+        &k,
+        &LbOptions {
+            detect_reductions: true,
+            scenarios: conv2d_scenarios(&k).expect("conv2d dims"),
+        },
+    )
+    .expect("lb derives");
+    for sc in &report.scenarios {
+        let dims: Vec<&str> =
+            sc.small_dims.iter().map(|&d| k.dims()[d].name.as_str()).collect();
+        println!("  small = {dims:?}: |E| <= {}", sc.rho);
+    }
+}

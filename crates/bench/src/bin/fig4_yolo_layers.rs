@@ -1,0 +1,23 @@
+//! Fig. 4: parameter values for the convolutional layers of Yolo9000.
+
+use ioopt::ir::kernels::YOLO9000;
+use ioopt_bench::print_table;
+
+fn main() {
+    println!("Fig. 4 — Yolo9000 convolution layer parameters (B = 1)\n");
+    let rows: Vec<Vec<String>> = YOLO9000
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.to_string(),
+                l.f.to_string(),
+                l.c.to_string(),
+                l.x.to_string(),
+                l.y.to_string(),
+                l.w.to_string(),
+                l.h.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["Layer", "F", "C", "X", "Y", "W", "H"], &rows);
+}

@@ -1,0 +1,30 @@
+//! Fig. 5: the TCCG tensor-contraction classes. The "dim." and "s. d."
+//! columns are *derived* by `ioopt_ir::classify_tc`, not hard-coded.
+
+use ioopt::ir::{classify_tc, kernels::TCCG};
+use ioopt_bench::print_table;
+
+fn main() {
+    println!("Fig. 5 — Classes of tensor contraction kernels from TCCG\n");
+    let mut rows = Vec::new();
+    for entry in TCCG {
+        let kernel = entry.kernel();
+        let class = classify_tc(&kernel).expect("TCCG entries are contractions");
+        let sizes = entry
+            .sizes
+            .iter()
+            .map(i64::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        let (d, s) = {
+            let sig = class.signature();
+            let mut parts = sig.split(" / ");
+            (
+                parts.next().expect("dims").to_string(),
+                parts.next().expect("shared").to_string(),
+            )
+        };
+        rows.push(vec![entry.spec.to_string(), d, s, sizes]);
+    }
+    print_table(&["Kernel", "dim.", "s. d.", "Problem sizes"], &rows);
+}

@@ -1,0 +1,94 @@
+//! Fig. 6: combined parametric I/O bounds of the tensor-contraction
+//! kernels and the 2D convolution.
+//!
+//! For every TCCG class we print the derived lower-bound expression
+//! (trivial + small-dimension scenarios combined with `max`) and the
+//! closed-form upper bound `2·∏N/(√(S+1)−1) + |In2|`. For the 2D
+//! convolution, whose footprint polynomial exceeds degree 2 (paper §6
+//! "Limitations"), we print the parametric cost model of the best
+//! schedule instead of a closed form; Fig. 7 evaluates it numerically.
+
+use ioopt::iolb::{conv2d_scenarios, lower_bound, LbOptions};
+use ioopt::ir::kernels;
+use ioopt::{symbolic_conv_ub, symbolic_lb, symbolic_tc_ub_for};
+
+fn main() {
+    let latex = std::env::args().any(|a| a == "--latex");
+    println!("Fig. 6 — Combined parametric I/O bounds (S = cache size)\n");
+    for entry in kernels::TCCG {
+        let kernel = entry.kernel();
+        println!("== TC {} ==", entry.spec);
+        match symbolic_tc_ub_for(&kernel, &entry.size_map()) {
+            Some(ub) if latex => println!("  UB = ${}$", ub.bound.to_latex()),
+            Some(ub) => println!("  UB = {}", ub.bound),
+            None => println!("  UB: (not a tensor contraction?)"),
+        }
+        match symbolic_lb(&kernel) {
+            Ok(report) => {
+                println!("  LB = max(");
+                if latex {
+                    println!("    ${}$  [array sizes]", report.trivial.to_latex());
+                } else {
+                    println!("    {}  [array sizes]", report.trivial);
+                }
+                for sc in &report.scenarios {
+                    let dims: Vec<&str> = sc
+                        .small_dims
+                        .iter()
+                        .map(|&d| kernel.dims()[d].name.as_str())
+                        .collect();
+                    if latex {
+                        println!(
+                            "    ${}$  [sigma = {}, s_sd = {}, small = {:?}]",
+                            sc.bound.to_latex(),
+                            sc.sigma,
+                            sc.s_sd,
+                            dims
+                        );
+                    } else {
+                        println!(
+                            "    {}  [sigma = {}, s_sd = {}, small = {:?}]",
+                            sc.bound, sc.sigma, sc.s_sd, dims
+                        );
+                    }
+                }
+                println!("  )");
+            }
+            Err(e) => println!("  LB failed: {e}"),
+        }
+        println!();
+    }
+
+    println!("== 2D Convolution ==");
+    let k = kernels::conv2d();
+    let scenarios = conv2d_scenarios(&k).expect("conv2d names");
+    let report = lower_bound(&k, &LbOptions { detect_reductions: true, scenarios })
+        .expect("lower bound derives");
+    println!("  LB = max(");
+    println!("    {}  [array sizes]", report.trivial);
+    for sc in &report.scenarios {
+        let dims: Vec<&str> =
+            sc.small_dims.iter().map(|&d| k.dims()[d].name.as_str()).collect();
+        println!(
+            "    {}  [sigma = {}, s_sd = {}, small = {:?}]",
+            sc.bound, sc.sigma, sc.s_sd, dims
+        );
+    }
+    println!("  )");
+    // Semi-symbolic conv UB: quadratic-compatible Δ-templates (general
+    // templates hit the degree-4 wall the paper describes in §6
+    // "Limitations"); selected at Yolo9000-8 sizes, S = 32768.
+    let layer = kernels::YOLO9000[4];
+    match symbolic_conv_ub(&k, &layer.size_map(), 32768.0) {
+        Some(ub) => {
+            println!("  UB (quadratic Δ-template, selected at Yolo9000-8):");
+            println!("    Delta = {}", ub.delta);
+            println!("    UB(S) = {}", ub.bound);
+        }
+        None => println!("  UB: no quadratic template solved"),
+    }
+    println!(
+        "  (the fully general footprint is degree > 2 in Δ — paper §6\n   \
+         'Limitations' — so Fig. 7 minimizes the parametric cost numerically)"
+    );
+}

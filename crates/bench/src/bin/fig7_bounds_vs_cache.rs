@@ -1,0 +1,89 @@
+//! Fig. 7: numeric lower and upper I/O bounds of the TCCG contractions
+//! and Yolo9000 convolutions over a sweep of cache sizes.
+//!
+//! Prints a CSV (`kernel,S_elems,lb,ub,tightness`) followed by the
+//! paper's sanity properties: `UB ≥ LB` everywhere, both series
+//! non-increasing in `S`, and the bounds meeting (ratio → ~1) for large
+//! caches where the cost degenerates to loading the inputs once.
+//!
+//! Pass `--quick` to restrict to three cache sizes and four kernels.
+
+use std::collections::HashMap;
+
+use ioopt::{analyze, AnalysisOptions};
+use ioopt_bench::{tccg_cases, yolo_cases, CACHE_SWEEP_ELEMS};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sweep: Vec<f64> = if quick {
+        vec![4096.0, 32768.0, 262144.0]
+    } else {
+        CACHE_SWEEP_ELEMS.to_vec()
+    };
+
+    let mut cases: Vec<(String, ioopt::ir::Kernel, HashMap<String, i64>)> = Vec::new();
+    for (k, sizes) in tccg_cases() {
+        cases.push((format!("TC-{}", k.name()), k, sizes));
+    }
+    for (layer, k, sizes) in yolo_cases() {
+        cases.push((layer.name.to_string(), k, sizes));
+    }
+    if quick {
+        cases.truncate(2);
+        let mut yolo: Vec<_> = yolo_cases()
+            .into_iter()
+            .take(2)
+            .map(|(l, k, s)| (l.name.to_string(), k, s))
+            .collect();
+        cases.append(&mut yolo);
+    }
+
+    println!("kernel,S_elems,lb,ub,tightness");
+    let mut violations: Vec<String> = Vec::new();
+    let mut summaries: Vec<(String, f64, f64)> = Vec::new();
+    for (name, kernel, sizes) in &cases {
+        let mut prev_lb = f64::INFINITY;
+        let mut prev_ub = f64::INFINITY;
+        let mut worst_ratio: f64 = 0.0;
+        let mut last_ratio = f64::NAN;
+        for &s in &sweep {
+            let a = match analyze(kernel, sizes, &AnalysisOptions::with_cache(s)) {
+                Ok(a) => a,
+                Err(e) => {
+                    violations.push(format!("{name} @ S={s}: analysis failed: {e}"));
+                    continue;
+                }
+            };
+            println!("{name},{s},{:.6e},{:.6e},{:.4}", a.lb, a.ub, a.tightness);
+            if a.ub < a.lb * (1.0 - 1e-9) {
+                violations.push(format!("{name} @ S={s}: UB {} < LB {}", a.ub, a.lb));
+            }
+            if a.lb > prev_lb * (1.0 + 1e-9) {
+                violations.push(format!("{name} @ S={s}: LB increased with S"));
+            }
+            if a.ub > prev_ub * (1.0 + 1e-2) {
+                violations.push(format!("{name} @ S={s}: UB increased with S"));
+            }
+            prev_lb = a.lb;
+            prev_ub = a.ub;
+            worst_ratio = worst_ratio.max(a.tightness);
+            last_ratio = a.tightness;
+        }
+        summaries.push((name.clone(), worst_ratio, last_ratio));
+    }
+
+    eprintln!("\n== Fig. 7 sanity summary ==");
+    for (name, worst, last) in &summaries {
+        eprintln!(
+            "{name:24} worst UB/LB = {worst:.3}   at largest S = {last:.3}"
+        );
+    }
+    if violations.is_empty() {
+        eprintln!("PASS: UB >= LB everywhere; both non-increasing in S.");
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Renders the Fig. 7 curves as ASCII charts from the CSV produced by
+//! `fig7_bounds_vs_cache` (read from stdin or a file argument):
+//!
+//! ```text
+//! cargo run --release -p ioopt-bench --bin fig7_bounds_vs_cache > fig7.csv
+//! cargo run --release -p ioopt-bench --bin fig7_plot fig7.csv
+//! ```
+
+use std::io::Read;
+
+use ioopt_bench::plot::ascii_chart;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut data = String::new();
+    match std::env::args().nth(1) {
+        Some(path) => data = std::fs::read_to_string(path)?,
+        None => {
+            std::io::stdin().read_to_string(&mut data)?;
+        }
+    }
+    // kernel -> (S, lb, ub) series, preserving kernel order.
+    let mut order: Vec<String> = Vec::new();
+    let mut series: std::collections::HashMap<String, Vec<(f64, f64, f64)>> =
+        std::collections::HashMap::new();
+    for line in data.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let name = cells[0].to_string();
+        let s: f64 = cells[1].parse()?;
+        let lb: f64 = cells[2].parse()?;
+        let ub: f64 = cells[3].parse()?;
+        if !series.contains_key(&name) {
+            order.push(name.clone());
+        }
+        series.entry(name).or_default().push((s, lb, ub));
+    }
+    for name in order {
+        let points = &series[&name];
+        let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+        let lb: Vec<f64> = points.iter().map(|p| p.1).collect();
+        let ub: Vec<f64> = points.iter().map(|p| p.2).collect();
+        println!("{}", ascii_chart(&name, &xs, &lb, &ub));
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Locality-profile validation: one Mattson stack-distance pass over a
+//! concrete schedule's trace yields its LRU miss curve for *all* cache
+//! sizes, which is then compared against the analytic LB(S)/UB(S)
+//! curves. A fixed schedule is optimal only near the cache size it was
+//! tiled for — the analytic curves (which re-tile per S) lower-envelope
+//! the whole family of fixed schedules.
+
+use std::collections::HashMap;
+
+use ioopt::cachesim::{stack_distances, TiledLoopNest};
+use ioopt::symbolic::Symbol;
+use ioopt::{analyze, symbolic_lb, AnalysisOptions};
+use ioopt_bench::print_table;
+use ioopt::ir::kernels;
+
+fn main() {
+    let kernel = kernels::matmul();
+    let n = 64i64;
+    let sizes = HashMap::from([
+        ("i".to_string(), n),
+        ("j".to_string(), n),
+        ("k".to_string(), n),
+    ]);
+    let tiled_for = 512.0;
+
+    let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(tiled_for))
+        .expect("pipeline");
+    let nest = TiledLoopNest::new(
+        &kernel,
+        &sizes,
+        &a.recommendation.perm,
+        &a.recommendation.tiles,
+    )
+    .expect("valid nest");
+    let trace = nest.trace();
+    let sd = stack_distances(&trace);
+    println!(
+        "matmul {n}^3, schedule tiled for S = {tiled_for}; trace = {} refs, {} cold\n",
+        sd.total, sd.cold
+    );
+
+    let lb = symbolic_lb(&kernel).expect("lb");
+    let mut rows = Vec::new();
+    for cap in [128usize, 256, 512, 640, 1024, 2048, 8192] {
+        let mut env = kernel.bind_sizes(&sizes);
+        env.insert(Symbol::new("S"), cap as f64);
+        let lb_v = lb.combined.eval_f64(&env).expect("evaluates");
+        let sim = sd.misses_at(cap) as f64;
+        rows.push(vec![
+            cap.to_string(),
+            format!("{lb_v:.3e}"),
+            format!("{sim:.3e}"),
+            format!("{:.2}", sim / lb_v),
+        ]);
+        assert!(
+            sim >= lb_v * 0.999,
+            "schedule beat the lower bound at S = {cap} — unsound!"
+        );
+    }
+    print_table(&["S", "LB(S)", "LRU misses (one pass)", "ratio"], &rows);
+    println!(
+        "\nThe fixed schedule tracks the bound near its design point (S = {tiled_for})\n\
+         and drifts above it elsewhere — re-tiling per S is what the UB curve models."
+    );
+}

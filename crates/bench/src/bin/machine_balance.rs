@@ -1,0 +1,50 @@
+//! Machine-balance analysis (paper §1): compares each kernel's best
+//! achievable *operational intensity* (flops per element moved, at the
+//! optimal tiling for the paper's L2) with the i9-7940X machine balance,
+//! predicting which benchmarks are compute- vs memory-bound.
+
+use ioopt::cachesim::MachineModel;
+use ioopt::{analyze, AnalysisOptions};
+use ioopt_bench::{print_table, tccg_cases, yolo_cases};
+
+fn main() {
+    let machine = MachineModel::i9_7940x();
+    // Machine balance vs DRAM: flops per element of DRAM traffic.
+    let balance =
+        machine.peak_flops / (machine.bandwidths[2] / machine.element_bytes);
+    println!(
+        "i9-7940X machine balance (vs DRAM): {balance:.1} flop/element\n\
+         Kernels above the balance can run compute-bound; below it, the\n\
+         memory bus limits them no matter how good the tiling.\n"
+    );
+    let s = machine.capacities_elems()[2]; // last-level cache
+    let mut rows = Vec::new();
+    let mut cases: Vec<(String, ioopt::ir::Kernel, std::collections::HashMap<String, i64>)> =
+        Vec::new();
+    for (k, sizes) in tccg_cases().into_iter().take(4) {
+        cases.push((format!("TC-{}", k.name()), k, sizes));
+    }
+    for (layer, k, sizes) in yolo_cases().into_iter().step_by(3) {
+        cases.push((layer.name.to_string(), k, sizes));
+    }
+    for (name, kernel, sizes) in &cases {
+        let a = match analyze(kernel, sizes, &AnalysisOptions::with_cache(s)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                continue;
+            }
+        };
+        let verdict = if a.operational_intensity >= balance {
+            "compute-bound"
+        } else {
+            "memory-bound"
+        };
+        rows.push(vec![
+            name.clone(),
+            format!("{:.1}", a.operational_intensity),
+            verdict.to_string(),
+        ]);
+    }
+    print_table(&["kernel", "intensity (flop/elem)", "at LLC tiling"], &rows);
+}

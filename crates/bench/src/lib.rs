@@ -1,0 +1,85 @@
+//! # ioopt-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper
+//! (see `DESIGN.md` §4 for the index), plus Criterion benches for the
+//! tool's own runtime.
+//!
+//! Binaries (run with `cargo run --release -p ioopt-bench --bin <name>`):
+//!
+//! * `overview_matmul` — the §2 worked example;
+//! * `fig3_conv_bl` — Brascamp-Lieb derivation on the 2D convolution;
+//! * `fig4_yolo_layers` — the Yolo9000 layer table;
+//! * `fig5_tccg_classes` — the derived TCCG class table;
+//! * `fig6_parametric_bounds` — parametric LB/UB expressions;
+//! * `fig7_bounds_vs_cache` — LB/UB curves over cache sizes (CSV);
+//! * `fig8_tiling_eval` — tiling-recommendation evaluation;
+//! * `ablation_lb_features` — reduction/small-dimension ablation.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use std::collections::HashMap;
+
+use ioopt::ir::{kernels, Kernel};
+
+/// The cache sweep of Fig. 7: `S ∈ {2^11, …, 2^19}` **elements**
+/// (16 kB … 4 MB at 8 bytes per element, the paper's 2^14..2^22 bytes).
+pub const CACHE_SWEEP_ELEMS: [f64; 9] = [
+    2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0, 131072.0, 262144.0, 524288.0,
+];
+
+/// All TCCG benchmark kernels with their Fig. 5 problem sizes.
+pub fn tccg_cases() -> Vec<(Kernel, HashMap<String, i64>)> {
+    kernels::TCCG
+        .iter()
+        .map(|e| (e.kernel(), e.size_map()))
+        .collect()
+}
+
+/// All Yolo9000 layers with the shared conv2d kernel and their sizes.
+pub fn yolo_cases() -> Vec<(kernels::YoloLayer, Kernel, HashMap<String, i64>)> {
+    kernels::YOLO9000
+        .iter()
+        .map(|&l| (l, kernels::conv2d(), l.size_map()))
+        .collect()
+}
+
+/// Formats a f64 like the paper's axes (engineering-ish).
+pub fn fmt_sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+/// Prints a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_complete() {
+        assert_eq!(tccg_cases().len(), 8);
+        assert_eq!(yolo_cases().len(), 11);
+        assert_eq!(CACHE_SWEEP_ELEMS.len(), 9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Minimal ASCII chart rendering for the Fig. 7 curves.
+
+/// Renders two series (`lb`, `ub`) against x-labels as a fixed-height
+/// ASCII chart, log-scaled on y. Returns the chart as a string.
+///
+/// `L` marks lower-bound points, `U` upper-bound points, `*` overlapping
+/// points — the paper's blue/orange curves.
+pub fn ascii_chart(title: &str, xs: &[f64], lb: &[f64], ub: &[f64]) -> String {
+    assert_eq!(xs.len(), lb.len());
+    assert_eq!(xs.len(), ub.len());
+    const HEIGHT: usize = 12;
+    let cols = xs.len();
+    let all: Vec<f64> = lb.iter().chain(ub.iter()).copied().filter(|v| *v > 0.0).collect();
+    let (ymin, ymax) = all
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (lmin, lmax) = (ymin.ln(), ymax.ln().max(ymin.ln() + 1e-9));
+    let row_of = |v: f64| -> usize {
+        let t = (v.ln() - lmin) / (lmax - lmin);
+        ((1.0 - t) * (HEIGHT - 1) as f64).round() as usize
+    };
+    let mut grid = vec![vec![' '; cols * 3]; HEIGHT];
+    for (i, (&l, &u)) in lb.iter().zip(ub).enumerate() {
+        let col = i * 3 + 1;
+        let rl = row_of(l);
+        let ru = row_of(u);
+        if rl == ru {
+            grid[rl][col] = '*';
+        } else {
+            grid[rl][col] = 'L';
+            grid[ru][col] = 'U';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{title}  (y: {ymin:.2e}..{ymax:.2e}, log scale)\n"));
+    for (r, row) in grid.iter().enumerate() {
+        let margin = if r == 0 {
+            format!("{ymax:>9.1e} |")
+        } else if r == HEIGHT - 1 {
+            format!("{ymin:>9.1e} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&margin);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(cols * 3)));
+    out.push_str(&format!(
+        "{:>9}  {}\n",
+        "log2(S)",
+        xs.iter()
+            .map(|&x| format!("{:>2}", (x.log2()).round() as i64))
+            .collect::<Vec<_>>()
+            .join(" ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_marks() {
+        let xs = [2048.0, 8192.0, 32768.0];
+        let lb = [1e6, 5e5, 2e5];
+        let ub = [2e6, 6e5, 2e5];
+        let chart = ascii_chart("test", &xs, &lb, &ub);
+        assert!(chart.contains('L'));
+        assert!(chart.contains('U'));
+        assert!(chart.contains('*')); // the overlapping last column
+        assert!(chart.contains("log2(S)"));
+    }
+
+    #[test]
+    fn flat_series_do_not_panic() {
+        let xs = [1024.0, 2048.0];
+        let lb = [5e5, 5e5];
+        let ub = [5e5, 5e5];
+        let chart = ascii_chart("flat", &xs, &lb, &ub);
+        assert!(chart.matches('*').count() == 2);
+    }
+}

@@ -1,0 +1,346 @@
+//! LRU cache models: fully associative, set associative, and a
+//! multi-level hierarchy.
+
+use std::collections::HashMap;
+
+/// Statistics of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of lookups that reached this level.
+    pub accesses: u64,
+    /// Number of lookups that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (1.0 for an unused cache).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            1.0 - self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A single cache level.
+pub trait Cache {
+    /// Touches `addr` (element granularity pre-divided into lines by the
+    /// caller of the hierarchy); returns `true` on hit.
+    fn access(&mut self, line: u64) -> bool;
+    /// Statistics so far.
+    fn stats(&self) -> CacheStats;
+    /// Capacity in lines.
+    fn capacity_lines(&self) -> usize;
+}
+
+/// Fully associative LRU cache — the paper's abstract fast memory of size
+/// `S` (§3.3) at line granularity.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_cachesim::{Cache, FullyAssocLru};
+/// let mut c = FullyAssocLru::new(2);
+/// assert!(!c.access(1)); // cold miss
+/// assert!(!c.access(2));
+/// assert!(c.access(1));  // hit
+/// assert!(!c.access(3)); // evicts 2 (LRU)
+/// assert!(!c.access(2));
+/// ```
+#[derive(Debug)]
+pub struct FullyAssocLru {
+    capacity: usize,
+    clock: u64,
+    // line -> last-use time; eviction scans a monotone queue.
+    table: HashMap<u64, u64>,
+    queue: std::collections::VecDeque<(u64, u64)>, // (time, line)
+    stats: CacheStats,
+}
+
+impl FullyAssocLru {
+    /// Creates a fully associative LRU with `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> FullyAssocLru {
+        assert!(capacity > 0, "cache capacity must be positive");
+        FullyAssocLru {
+            capacity,
+            clock: 0,
+            table: HashMap::new(),
+            queue: std::collections::VecDeque::new(),
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl Cache for FullyAssocLru {
+    fn access(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let hit = self.table.contains_key(&line);
+        self.table.insert(line, self.clock);
+        self.queue.push_back((self.clock, line));
+        if !hit {
+            self.stats.misses += 1;
+            // Evict the true LRU line (skip stale queue entries).
+            while self.table.len() > self.capacity {
+                let (t, cand) = self.queue.pop_front().expect("queue tracks table");
+                if self.table.get(&cand) == Some(&t) {
+                    self.table.remove(&cand);
+                }
+            }
+        }
+        hit
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Set-associative LRU cache (hardware-shaped model for Fig. 8).
+#[derive(Debug)]
+pub struct SetAssocLru {
+    sets: Vec<Vec<(u64, u64)>>, // per set: (tag, last-use)
+    ways: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocLru {
+    /// Creates a set-associative cache with `num_sets` sets of `ways`
+    /// lines each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero.
+    pub fn new(num_sets: usize, ways: usize) -> SetAssocLru {
+        assert!(num_sets > 0 && ways > 0, "cache geometry must be positive");
+        SetAssocLru {
+            sets: vec![Vec::new(); num_sets],
+            ways,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
+impl Cache for SetAssocLru {
+    fn access(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let idx = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let set = &mut self.sets[idx];
+        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.clock;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            set.swap_remove(lru);
+        }
+        set.push((tag, self.clock));
+        false
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+/// An inclusive multi-level hierarchy: a miss at level `l` is looked up at
+/// level `l+1`; the final level's misses are main-memory transfers.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_cachesim::Hierarchy;
+/// let mut h = Hierarchy::new(&[2, 8], 1);
+/// for a in [0u64, 1, 2, 0, 1, 2] {
+///     h.access(a);
+/// }
+/// let stats = h.stats();
+/// assert_eq!(stats[0].accesses, 6);
+/// assert_eq!(stats[1].misses, 3); // L2 sees only cold misses
+/// ```
+#[derive(Default)]
+pub struct Hierarchy {
+    levels: Vec<Box<dyn Cache>>,
+    line_elems: u64,
+}
+
+impl std::fmt::Debug for Hierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hierarchy")
+            .field("levels", &self.levels.len())
+            .field("line_elems", &self.line_elems)
+            .finish()
+    }
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy of fully associative LRU levels with the given
+    /// capacities **in data elements**, sharing a line size of
+    /// `line_elems` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities are not strictly increasing or `line_elems`
+    /// is zero.
+    pub fn new(capacities_elems: &[usize], line_elems: usize) -> Hierarchy {
+        assert!(line_elems > 0, "line size must be positive");
+        let mut prev = 0;
+        let mut levels: Vec<Box<dyn Cache>> = Vec::new();
+        for &c in capacities_elems {
+            assert!(c > prev, "capacities must be strictly increasing");
+            prev = c;
+            levels.push(Box::new(FullyAssocLru::new((c / line_elems).max(1))));
+        }
+        Hierarchy { levels, line_elems: line_elems as u64 }
+    }
+
+    /// Builds a hierarchy of set-associative LRU levels:
+    /// `(capacity_elems, ways)` per level, hardware-shaped (conflict
+    /// misses included).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero geometry or a capacity smaller than one set.
+    pub fn new_set_assoc(
+        levels_spec: &[(usize, usize)],
+        line_elems: usize,
+    ) -> Hierarchy {
+        assert!(line_elems > 0, "line size must be positive");
+        let levels: Vec<Box<dyn Cache>> = levels_spec
+            .iter()
+            .map(|&(cap, ways)| {
+                let lines = (cap / line_elems).max(1);
+                let sets = (lines / ways).max(1);
+                Box::new(SetAssocLru::new(sets, ways)) as Box<dyn Cache>
+            })
+            .collect();
+        Hierarchy { levels, line_elems: line_elems as u64 }
+    }
+
+    /// Touches an element address (elements, not bytes).
+    pub fn access(&mut self, elem_addr: u64) {
+        let line = elem_addr / self.line_elems;
+        for level in &mut self.levels {
+            if level.access(line) {
+                return;
+            }
+        }
+    }
+
+    /// Per-level statistics, innermost first.
+    pub fn stats(&self) -> Vec<CacheStats> {
+        self.levels.iter().map(|l| l.stats()).collect()
+    }
+
+    /// Per-level traffic **out of** the level, in elements: level `l`'s
+    /// misses times the line size (what flows between `l` and `l+1`).
+    pub fn traffic_elems(&self) -> Vec<f64> {
+        self.levels
+            .iter()
+            .map(|l| l.stats().misses as f64 * self.line_elems as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = FullyAssocLru::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 is MRU now
+        assert!(!c.access(3)); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+        assert_eq!(c.stats().misses, 4);
+        assert_eq!(c.stats().accesses, 6);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = FullyAssocLru::new(1);
+        for _ in 0..3 {
+            assert!(!c.access(7) || c.stats().accesses > 1);
+        }
+        assert!(c.access(7));
+        assert!(!c.access(8));
+        assert!(!c.access(7));
+    }
+
+    #[test]
+    fn set_assoc_conflict_misses() {
+        // 2 sets x 1 way: lines 0 and 2 conflict; 0,2,0,2 all miss.
+        let mut c = SetAssocLru::new(2, 1);
+        for line in [0u64, 2, 0, 2] {
+            assert!(!c.access(line));
+        }
+        // Line 1 maps to the other set.
+        assert!(!c.access(1));
+        assert!(c.access(1));
+    }
+
+    #[test]
+    fn set_assoc_matches_fully_assoc_when_one_set() {
+        let mut sa = SetAssocLru::new(1, 4);
+        let mut fa = FullyAssocLru::new(4);
+        let trace = [1u64, 2, 3, 4, 1, 5, 2, 6, 1, 1, 7, 3];
+        for &a in &trace {
+            assert_eq!(sa.access(a), fa.access(a), "at address {a}");
+        }
+        assert_eq!(sa.stats(), fa.stats());
+    }
+
+    #[test]
+    fn hierarchy_filters_misses() {
+        let mut h = Hierarchy::new(&[2, 8], 1);
+        // 4 distinct addresses cycled twice: L1 (2 elems) thrashes on the
+        // second round, but L2 (8 elems) holds everything.
+        for _ in 0..2 {
+            for a in 0..4u64 {
+                h.access(a);
+            }
+        }
+        let stats = h.stats();
+        assert_eq!(stats[0].accesses, 8);
+        assert_eq!(stats[0].misses, 8); // LRU thrashes a 4-element loop in 2 slots
+        assert_eq!(stats[1].accesses, 8);
+        assert_eq!(stats[1].misses, 4); // cold misses only
+    }
+
+    #[test]
+    fn line_granularity_groups_neighbors() {
+        let mut h = Hierarchy::new(&[8], 4);
+        for a in 0..8u64 {
+            h.access(a);
+        }
+        // 8 consecutive elements over 4-element lines = 2 cold misses.
+        assert_eq!(h.stats()[0].misses, 2);
+        assert_eq!(h.traffic_elems()[0], 8.0);
+    }
+}

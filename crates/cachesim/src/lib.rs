@@ -1,0 +1,22 @@
+//! # ioopt-cachesim
+//!
+//! The testbed substitute (DESIGN.md §2): LRU cache models
+//! ([`FullyAssocLru`], [`SetAssocLru`], multi-level [`Hierarchy`]), a
+//! tiled loop-nest interpreter ([`TiledLoopNest`]) that measures the real
+//! data movement of a schedule, and a roofline [`MachineModel`] of the
+//! paper's Intel i9-7940X used to regenerate Fig. 8's
+//! percentage-of-peak numbers.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod interp;
+mod machine;
+mod opt;
+mod stackdist;
+
+pub use cache::{Cache, CacheStats, FullyAssocLru, Hierarchy, SetAssocLru};
+pub use interp::{InterpError, SimResult, TiledLoopNest};
+pub use machine::MachineModel;
+pub use opt::{lru_misses, opt_misses};
+pub use stackdist::{stack_distances, StackDistances};

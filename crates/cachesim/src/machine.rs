@@ -1,0 +1,102 @@
+//! A roofline machine model (the Fig. 8 testbed substitute).
+//!
+//! The paper measured % of machine peak on an Intel i9-7940X. We model
+//! the same quantity analytically: execution time is the maximum of the
+//! compute time (at a code-generation-dependent compute efficiency cap)
+//! and the per-level memory transfer times, given the traffic measured or
+//! predicted between cache levels. DESIGN.md documents why this preserves
+//! the figure's shape (who wins, per-layer variation).
+
+/// A machine description for the roofline model.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Peak floating-point rate, flop/s.
+    pub peak_flops: f64,
+    /// Sustainable bandwidth *into* each cache level, bytes/s, innermost
+    /// first (L2→L1, L3→L2, DRAM→L3).
+    pub bandwidths: Vec<f64>,
+    /// Cache capacities in bytes, innermost first.
+    pub capacities: Vec<f64>,
+    /// Bytes per data element.
+    pub element_bytes: f64,
+}
+
+impl MachineModel {
+    /// The paper's testbed: Intel i9-7940X Skylake-X (AVX-512), 32 kB L1,
+    /// 1 MB L2, 20 MB shared L3, single-precision elements.
+    ///
+    /// Peak: 14 cores × 3.1 GHz × 2 FMA ports × 16 f32 lanes × 2 flops —
+    /// the paper's per-layer percentages are single-core-shaped, so we
+    /// model one core: 3.1e9 × 64 ≈ 198 Gflop/s; bandwidths are
+    /// representative Skylake-X sustained figures.
+    pub fn i9_7940x() -> MachineModel {
+        MachineModel {
+            peak_flops: 198.4e9,
+            bandwidths: vec![400e9, 150e9, 20e9],
+            capacities: vec![32e3, 1e6, 20e6],
+            element_bytes: 4.0,
+        }
+    }
+
+    /// Cache capacities in **elements**, innermost first.
+    pub fn capacities_elems(&self) -> Vec<f64> {
+        self.capacities.iter().map(|c| c / self.element_bytes).collect()
+    }
+
+    /// Execution-time estimate for `flops` total work and
+    /// `traffic_elems[l]` elements moved into cache level `l`.
+    ///
+    /// `compute_cap ∈ (0, 1]` models the quality of the generated compute
+    /// code (register tiling, vectorization, …) — the paper's "naive"
+    /// tiled code lacks these (§6, Fig. 8 discussion).
+    pub fn time(&self, flops: f64, traffic_elems: &[f64], compute_cap: f64) -> f64 {
+        assert!(compute_cap > 0.0 && compute_cap <= 1.0, "cap must be in (0,1]");
+        let mut t = flops / (self.peak_flops * compute_cap);
+        for (l, &elems) in traffic_elems.iter().enumerate() {
+            let bw = self
+                .bandwidths
+                .get(l)
+                .copied()
+                .unwrap_or_else(|| *self.bandwidths.last().expect("bandwidths nonempty"));
+            t = t.max(elems * self.element_bytes / bw);
+        }
+        t
+    }
+
+    /// Percentage of machine peak achieved (the Fig. 8 metric).
+    pub fn efficiency(&self, flops: f64, traffic_elems: &[f64], compute_cap: f64) -> f64 {
+        let t = self.time(flops, traffic_elems, compute_cap);
+        100.0 * flops / (self.peak_flops * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_hits_cap() {
+        let m = MachineModel::i9_7940x();
+        // Negligible traffic: efficiency equals the compute cap.
+        let eff = m.efficiency(1e9, &[1.0, 1.0, 1.0], 0.4);
+        assert!((eff - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_scales_with_traffic() {
+        let m = MachineModel::i9_7940x();
+        let flops = 1e9;
+        let light = m.efficiency(flops, &[0.0, 0.0, 1e7], 1.0);
+        let heavy = m.efficiency(flops, &[0.0, 0.0, 1e9], 1.0);
+        assert!(heavy < light);
+        // 1e9 f32 elements over 20 GB/s = 0.2 s vs 1e9/198.4e9 flops.
+        let expect = 100.0 * (1e9 / 198.4e9) / 0.2;
+        assert!((heavy - expect).abs() < 0.05 * expect);
+    }
+
+    #[test]
+    fn capacities_in_elements() {
+        let m = MachineModel::i9_7940x();
+        assert_eq!(m.capacities_elems(), vec![8e3, 250e3, 5e6]);
+    }
+}

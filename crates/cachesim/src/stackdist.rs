@@ -1,0 +1,184 @@
+//! Reuse-distance (stack-distance) analysis — Mattson's algorithm.
+//!
+//! One pass over an address trace yields the LRU miss count for *every*
+//! cache capacity simultaneously: a reference with stack distance `d`
+//! hits in any fully associative LRU cache with at least `d` lines. This
+//! gives the whole Fig.-7-style "misses vs. cache size" curve of a
+//! concrete schedule in a single simulation, and is the classical
+//! locality profile the paper's related work (PolyFeat, cache-miss
+//! equations) approximates analytically.
+
+use std::collections::HashMap;
+
+/// The reuse-distance histogram of a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackDistances {
+    /// `histogram[d]` = number of references with stack distance `d`
+    /// (number of *distinct* lines touched since the previous access to
+    /// the same line).
+    pub histogram: Vec<u64>,
+    /// Cold (first-touch) references.
+    pub cold: u64,
+    /// Total references.
+    pub total: u64,
+}
+
+impl StackDistances {
+    /// LRU misses for a fully associative cache with `capacity` lines:
+    /// cold misses plus every reference with distance > capacity.
+    pub fn misses_at(&self, capacity: usize) -> u64 {
+        let far: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d > capacity)
+            .map(|(_, &c)| c)
+            .sum();
+        self.cold + far
+    }
+
+    /// The full miss curve at the given capacities.
+    pub fn miss_curve(&self, capacities: &[usize]) -> Vec<u64> {
+        capacities.iter().map(|&c| self.misses_at(c)).collect()
+    }
+}
+
+/// Computes exact stack distances with a balanced order-statistics
+/// structure (a Fenwick tree over trace positions): `O(n log n)`.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_cachesim::stack_distances;
+/// let sd = stack_distances(&[1, 2, 1, 3, 2]);
+/// // One pass yields the LRU miss count at *every* capacity:
+/// assert_eq!(sd.misses_at(1), 5);
+/// assert_eq!(sd.misses_at(2), 4);
+/// assert_eq!(sd.misses_at(3), 3); // compulsory only
+/// ```
+pub fn stack_distances(trace: &[u64]) -> StackDistances {
+    let n = trace.len();
+    // Fenwick tree marking the positions of the *most recent* access to
+    // each distinct line; the stack distance of a reference is the count
+    // of marked positions after the line's previous access.
+    let mut fenwick = Fenwick::new(n + 1);
+    let mut last: HashMap<u64, usize> = HashMap::new();
+    let mut histogram: Vec<u64> = Vec::new();
+    let mut cold = 0u64;
+    for (i, &line) in trace.iter().enumerate() {
+        match last.get(&line).copied() {
+            None => cold += 1,
+            Some(prev) => {
+                // Distinct lines touched strictly after prev, before i —
+                // including `line` itself at distance >= 1.
+                let d = fenwick.range_sum(prev + 1, i) as usize;
+                if histogram.len() <= d {
+                    histogram.resize(d + 1, 0);
+                }
+                histogram[d] += 1;
+                fenwick.add(prev + 1, -1);
+            }
+        }
+        fenwick.add(i + 1, 1);
+        last.insert(line, i);
+    }
+    StackDistances { histogram, cold, total: n as u64 }
+}
+
+/// A Fenwick (binary indexed) tree over `1..=n` with point updates and
+/// prefix sums.
+#[derive(Debug)]
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Fenwick {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, mut i: usize) -> i64 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over positions `lo..=hi` (1-based).
+    fn range_sum(&self, lo: usize, hi: usize) -> i64 {
+        if hi < lo {
+            return 0;
+        }
+        self.prefix(hi) - self.prefix(lo.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::lru_misses;
+
+    #[test]
+    fn simple_distances() {
+        // a b a: the second `a` has distance 2 (b and a itself).
+        let sd = stack_distances(&[1, 2, 1]);
+        assert_eq!(sd.cold, 2);
+        assert_eq!(sd.histogram.get(2), Some(&1));
+        assert_eq!(sd.misses_at(2), 2);
+        assert_eq!(sd.misses_at(1), 3);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_one() {
+        let sd = stack_distances(&[7, 7, 7]);
+        assert_eq!(sd.cold, 1);
+        assert_eq!(sd.histogram.get(1), Some(&2));
+        assert_eq!(sd.misses_at(1), 1);
+    }
+
+    #[test]
+    fn matches_lru_simulation_on_random_traces() {
+        let mut x = 99u64;
+        let trace: Vec<u64> = (0..3000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 30) % 60
+            })
+            .collect();
+        let sd = stack_distances(&trace);
+        for cap in [1usize, 2, 5, 10, 30, 59, 61, 200] {
+            assert_eq!(
+                sd.misses_at(cap),
+                lru_misses(&trace, cap),
+                "capacity {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_curve_is_non_increasing() {
+        let trace: Vec<u64> = (0..8u64).cycle().take(100).collect();
+        let sd = stack_distances(&trace);
+        let caps: Vec<usize> = (1..20).collect();
+        let curve = sd.miss_curve(&caps);
+        assert!(curve.windows(2).all(|w| w[1] <= w[0]));
+        assert_eq!(*curve.last().unwrap(), 8); // cold only
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let trace = vec![3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let sd = stack_distances(&trace);
+        let classified: u64 = sd.histogram.iter().sum::<u64>() + sd.cold;
+        assert_eq!(classified, sd.total);
+    }
+}

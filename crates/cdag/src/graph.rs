@@ -1,0 +1,285 @@
+//! Concrete CDAG construction (paper Definition 3.1).
+//!
+//! For tiny problem sizes we materialize the computational DAG of a
+//! kernel: one *input* node per distinct input-array cell and one
+//! *compute* node per iteration point (a fused multiply-add producing the
+//! next partial sum of its output cell). The reduction chain appears as a
+//! dependence from each compute node to the previous one writing the same
+//! cell — exactly the structure §5.3 rewrites when it detects reductions.
+
+use std::collections::HashMap;
+
+use ioopt_ir::{AccessKind, Kernel};
+
+/// The role of a CDAG node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CdagNode {
+    /// An input-array cell `(array name, indices)`.
+    Input(String, Vec<i64>),
+    /// A computation at an iteration point.
+    Compute(Vec<i64>),
+}
+
+/// A concrete computational DAG.
+#[derive(Debug, Clone)]
+pub struct Cdag {
+    nodes: Vec<CdagNode>,
+    preds: Vec<Vec<u32>>,
+    outputs: Vec<u32>,
+}
+
+impl Cdag {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node payloads.
+    pub fn node(&self, i: u32) -> &CdagNode {
+        &self.nodes[i as usize]
+    }
+
+    /// Predecessors of node `i`.
+    pub fn preds(&self, i: u32) -> &[u32] {
+        &self.preds[i as usize]
+    }
+
+    /// The designated output nodes.
+    pub fn outputs(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// Indices of all input nodes.
+    pub fn inputs(&self) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&i| matches!(self.node(i), CdagNode::Input(..)))
+            .collect()
+    }
+
+    /// Indices of all compute nodes, in construction (lexicographic
+    /// schedule) order.
+    pub fn computes(&self) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&i| matches!(self.node(i), CdagNode::Compute(..)))
+            .collect()
+    }
+
+    /// A topological order check: every edge goes from a lower to a
+    /// higher index (true by construction).
+    pub fn is_topologically_indexed(&self) -> bool {
+        self.preds
+            .iter()
+            .enumerate()
+            .all(|(i, ps)| ps.iter().all(|&p| (p as usize) < i))
+    }
+}
+
+/// Builds the CDAG of `kernel` at concrete `sizes`.
+///
+/// Iteration points are enumerated in lexicographic order of the kernel's
+/// source dimension order, which sequentializes the reduction chain the
+/// same way the paper's loop nest does.
+///
+/// # Panics
+///
+/// Panics if a dimension size is missing or the graph would exceed
+/// `max_nodes` (a guard against accidental huge instances).
+pub fn build_cdag(kernel: &Kernel, sizes: &HashMap<String, i64>, max_nodes: usize) -> Cdag {
+    let ndims = kernel.dims().len();
+    let extents: Vec<i64> = kernel
+        .dims()
+        .iter()
+        .map(|d| {
+            *sizes
+                .get(&d.name)
+                .unwrap_or_else(|| panic!("missing size for dimension `{}`", d.name))
+        })
+        .collect();
+    let total: i64 = extents.iter().product();
+    assert!(
+        (total as usize) < max_nodes,
+        "CDAG would have {total} compute nodes (limit {max_nodes})"
+    );
+
+    let mut nodes: Vec<CdagNode> = Vec::new();
+    let mut preds: Vec<Vec<u32>> = Vec::new();
+    let mut input_ids: HashMap<(usize, Vec<i64>), u32> = HashMap::new();
+    // Last compute node per output cell (the running partial sum).
+    let mut chain: HashMap<Vec<i64>, u32> = HashMap::new();
+
+    let mut point = vec![0i64; ndims];
+    loop {
+        // Gather predecessors: input cells + previous partial sum.
+        let mut ps: Vec<u32> = Vec::new();
+        for (ai, a) in kernel.inputs().iter().enumerate() {
+            let cell = a.access.eval(&point);
+            let id = *input_ids.entry((ai, cell.clone())).or_insert_with(|| {
+                nodes.push(CdagNode::Input(a.name.clone(), cell));
+                preds.push(Vec::new());
+                (nodes.len() - 1) as u32
+            });
+            ps.push(id);
+        }
+        if kernel.output().kind == AccessKind::Accumulate {
+            let out_cell = kernel.output().access.eval(&point);
+            match chain.get(&out_cell) {
+                Some(&prev) => ps.push(prev),
+                None => {
+                    // `+=` reads the cell's initial value: model it as an
+                    // input node (the paper's reduction *initialization*,
+                    // §5.3), so pebbling and the trivial bound agree that
+                    // the output array is loaded once.
+                    nodes.push(CdagNode::Input(
+                        kernel.output().name.clone(),
+                        out_cell.clone(),
+                    ));
+                    preds.push(Vec::new());
+                    ps.push((nodes.len() - 1) as u32);
+                }
+            }
+            nodes.push(CdagNode::Compute(point.clone()));
+            preds.push(ps);
+            chain.insert(out_cell, (nodes.len() - 1) as u32);
+        } else {
+            nodes.push(CdagNode::Compute(point.clone()));
+            preds.push(ps);
+            chain.insert(kernel.output().access.eval(&point), (nodes.len() - 1) as u32);
+        }
+        // Lexicographic increment (last dimension fastest).
+        let mut d = ndims;
+        loop {
+            if d == 0 {
+                let outputs: Vec<u32> = chain.values().copied().collect();
+                let mut cdag = Cdag { nodes, preds, outputs };
+                cdag.outputs.sort_unstable();
+                return cdag;
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] < extents[d] {
+                break;
+            }
+            point[d] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn matmul_cdag_shape() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 2), ("j", 2), ("k", 2)]), 10_000);
+        // 8 compute nodes + 4 cells of A + 4 of B + 4 initial C values.
+        assert_eq!(g.computes().len(), 8);
+        assert_eq!(g.inputs().len(), 12);
+        // 4 output cells, each ending a 2-long chain.
+        assert_eq!(g.outputs().len(), 4);
+        assert!(g.is_topologically_indexed());
+    }
+
+    #[test]
+    fn reduction_chain_is_present() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 1), ("k", 3)]), 10_000);
+        let computes = g.computes();
+        assert_eq!(computes.len(), 3);
+        // The first compute reads the cell's initial value (an input).
+        assert!(g
+            .preds(computes[0])
+            .iter()
+            .any(|&p| matches!(g.node(p), CdagNode::Input(n, _) if n == "C")));
+        // The second compute depends on the first (same output cell).
+        assert!(g.preds(computes[1]).contains(&computes[0]));
+        assert!(g.preds(computes[2]).contains(&computes[1]));
+        // Only the last one is an output.
+        assert_eq!(g.outputs(), &[computes[2]]);
+    }
+
+    #[test]
+    fn conv_shares_input_cells() {
+        // conv1d with Nx=2, Nw=2 over one channel/filter: Image cells
+        // x+w ∈ {0,1,2} -> 3 distinct image cells, 2 filter cells.
+        let k = kernels::conv1d();
+        let g = build_cdag(&k, &sizes(&[("c", 1), ("f", 1), ("x", 2), ("w", 2)]), 10_000);
+        let image_cells = g
+            .inputs()
+            .iter()
+            .filter(|&&i| matches!(g.node(i), CdagNode::Input(n, _) if n == "Image"))
+            .count();
+        assert_eq!(image_cells, 3);
+        assert_eq!(g.computes().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit")]
+    fn node_guard_triggers() {
+        let k = kernels::matmul();
+        build_cdag(&k, &sizes(&[("i", 100), ("j", 100), ("k", 100)]), 1000);
+    }
+}
+
+impl Cdag {
+    /// Renders the CDAG in Graphviz DOT format (inputs as boxes, computes
+    /// as ellipses, outputs double-circled) — handy for inspecting tiny
+    /// instances like the paper's Fig. 3 example.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cdag {\n  rankdir=BT;\n");
+        for i in 0..self.len() as u32 {
+            let (label, shape) = match self.node(i) {
+                CdagNode::Input(name, cell) => {
+                    (format!("{name}{cell:?}"), "box")
+                }
+                CdagNode::Compute(point) => (format!("C{point:?}"), "ellipse"),
+            };
+            let peripheries = if self.outputs().contains(&i) { 2 } else { 1 };
+            let _ = writeln!(
+                out,
+                "  n{i} [label=\"{label}\", shape={shape}, peripheries={peripheries}];"
+            );
+        }
+        for i in 0..self.len() as u32 {
+            for &p in self.preds(i) {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let k = kernels::matmul();
+        let sizes: HashMap<String, i64> =
+            [("i", 1i64), ("j", 1), ("k", 2)].iter().map(|&(n, v)| (n.to_string(), v)).collect();
+        let g = build_cdag(&k, &sizes, 100);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        for i in 0..g.len() {
+            assert!(dot.contains(&format!("n{i} [")));
+        }
+        let edges: usize = (0..g.len() as u32).map(|i| g.preds(i).len()).sum();
+        assert_eq!(dot.matches(" -> ").count(), edges);
+        // Outputs are double-circled.
+        assert!(dot.contains("peripheries=2"));
+    }
+}

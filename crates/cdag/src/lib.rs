@@ -1,0 +1,17 @@
+//! # ioopt-cdag
+//!
+//! Concrete CDAGs (paper Definition 3.1) and the red-white pebble game
+//! (§3.3). These are *validation substrates*: on tiny instances the exact
+//! optimal pebbling cost must lie between the symbolic lower bound (IOLB)
+//! and any constructive schedule's cost (IOUB / the cache simulator) —
+//! the workspace integration tests enforce exactly that sandwich.
+
+#![warn(missing_docs)]
+
+mod graph;
+mod pebble;
+mod redblue;
+
+pub use graph::{build_cdag, Cdag, CdagNode};
+pub use pebble::{greedy_loads, optimal_loads};
+pub use redblue::optimal_loads_with_recompute;

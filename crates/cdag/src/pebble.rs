@@ -1,0 +1,229 @@
+//! The red-white pebble game (paper §3.3).
+//!
+//! * [`optimal_loads`] — exact minimum number of fetches over *all* valid
+//!   game sequences, by 0-1 BFS over game states. Exponential; intended
+//!   for tiny CDAGs, where it sandwiches IOLB ≤ optimal ≤ IOUB.
+//! * [`greedy_loads`] — the loads of one concrete valid sequence (a given
+//!   compute order with LRU spilling), i.e. a constructive upper bound.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::Cdag;
+
+/// Exact minimum number of fetch moves to pebble the whole CDAG with `s`
+/// red pebbles, or `None` if the state-space exploration exceeds
+/// `max_states` or `s` is too small to compute some node.
+///
+/// Game rules (§3.3): fetch puts a red on any white node (cost 1); spill
+/// removes a red (free); compute puts red+white on a node whose
+/// predecessors are all red (free); at most `s` reds at any time; whites
+/// start on the inputs and must end everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_cdag::{build_cdag, optimal_loads};
+/// use ioopt_ir::kernels;
+/// use std::collections::HashMap;
+/// let sizes = HashMap::from([
+///     ("i".to_string(), 1i64),
+///     ("j".to_string(), 1),
+///     ("k".to_string(), 2),
+/// ]);
+/// let cdag = build_cdag(&kernels::matmul(), &sizes, 100);
+/// // A, B (2 cells each) and the initial C value: 5 loads suffice.
+/// assert_eq!(optimal_loads(&cdag, 4, 1_000_000), Some(5));
+/// ```
+pub fn optimal_loads(cdag: &Cdag, s: usize, max_states: usize) -> Option<u64> {
+    let n = cdag.len();
+    assert!(n <= 64, "optimal pebbling supports at most 64 nodes");
+    if cdag.computes().iter().any(|&v| cdag.preds(v).len() + 1 > s) {
+        return None; // some node can never be computed: preds + itself > s
+    }
+    let full_white: u64 = {
+        let mut m = 0u64;
+        for i in 0..n {
+            m |= 1 << i;
+        }
+        m
+    };
+    let start_white: u64 = cdag.inputs().iter().fold(0u64, |m, &i| m | (1 << i));
+
+    // 0-1 BFS (deque Dijkstra) over (whites, reds).
+    let mut dist: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut queue: VecDeque<((u64, u64), u64)> = VecDeque::new();
+    let start = (start_white, 0u64);
+    dist.insert(start, 0);
+    queue.push_back((start, 0));
+    while let Some(((whites, reds), d)) = queue.pop_front() {
+        if dist.get(&(whites, reds)) != Some(&d) {
+            continue;
+        }
+        if whites == full_white {
+            return Some(d);
+        }
+        if dist.len() > max_states {
+            return None;
+        }
+        let red_count = reds.count_ones() as usize;
+        let push = |state: (u64, u64), nd: u64, front: bool,
+                        dist: &mut HashMap<(u64, u64), u64>,
+                        queue: &mut VecDeque<((u64, u64), u64)>| {
+            let better = dist.get(&state).map(|&old| nd < old).unwrap_or(true);
+            if better {
+                dist.insert(state, nd);
+                if front {
+                    queue.push_front((state, nd));
+                } else {
+                    queue.push_back((state, nd));
+                }
+            }
+        };
+        for v in 0..n as u32 {
+            let bit = 1u64 << v;
+            // Compute.
+            if whites & bit == 0 {
+                let preds_mask: u64 =
+                    cdag.preds(v).iter().fold(0u64, |m, &p| m | (1 << p));
+                if preds_mask & reds == preds_mask {
+                    let new_reds = reds | bit;
+                    if (new_reds.count_ones() as usize) <= s {
+                        push((whites | bit, new_reds), d, true, &mut dist, &mut queue);
+                    }
+                }
+            }
+            // Fetch.
+            if whites & bit != 0 && reds & bit == 0 && red_count < s {
+                push((whites, reds | bit), d + 1, false, &mut dist, &mut queue);
+            }
+            // Spill.
+            if reds & bit != 0 {
+                push((whites, reds & !bit), d, true, &mut dist, &mut queue);
+            }
+        }
+    }
+    None
+}
+
+/// Loads of the valid game that computes nodes in `order` (must be a
+/// topological order of the compute nodes), fetching missing predecessors
+/// on demand and spilling least-recently-used reds.
+///
+/// The result is always an upper bound on [`optimal_loads`].
+///
+/// # Panics
+///
+/// Panics if `s` is smaller than some node's in-degree + 1, or `order`
+/// violates dependencies.
+pub fn greedy_loads(cdag: &Cdag, s: usize, order: &[u32]) -> u64 {
+    let mut white: Vec<bool> = vec![false; cdag.len()];
+    for i in cdag.inputs() {
+        white[i as usize] = true;
+    }
+    let mut red: Vec<bool> = vec![false; cdag.len()];
+    let mut lru: VecDeque<u32> = VecDeque::new(); // front = oldest
+    let mut loads = 0u64;
+    let touch = |v: u32, lru: &mut VecDeque<u32>| {
+        if let Some(pos) = lru.iter().position(|&x| x == v) {
+            lru.remove(pos);
+        }
+        lru.push_back(v);
+    };
+    for &v in order {
+        assert!(!white[v as usize], "node {v} already computed");
+        let preds: Vec<u32> = cdag.preds(v).to_vec();
+        assert!(preds.len() + 1 <= s, "cache too small for node {v}");
+        // Fetch missing predecessors.
+        for &p in &preds {
+            if !red[p as usize] {
+                assert!(white[p as usize], "order violates dependencies at {v}");
+                evict_if_full(&mut red, &mut lru, s, &preds);
+                red[p as usize] = true;
+                loads += 1;
+            }
+            touch(p, &mut lru);
+        }
+        // Compute: place red+white on v.
+        evict_if_full(&mut red, &mut lru, s, &preds);
+        red[v as usize] = true;
+        white[v as usize] = true;
+        touch(v, &mut lru);
+    }
+    loads
+}
+
+fn evict_if_full(red: &mut [bool], lru: &mut VecDeque<u32>, s: usize, pinned: &[u32]) {
+    let count = red.iter().filter(|&&r| r).count();
+    if count < s {
+        return;
+    }
+    // Evict the oldest red that is not pinned by the current operation.
+    let pos = lru
+        .iter()
+        .position(|v| !pinned.contains(v))
+        .expect("spillable pebble exists");
+    let victim = lru.remove(pos).expect("position valid");
+    red[victim as usize] = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_cdag;
+    use ioopt_ir::kernels;
+    use std::collections::HashMap;
+
+    fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn chain_needs_each_input_once() {
+        // 1x1 output, k-chain of length 3 with 2 fresh inputs per step
+        // plus the initial C value; chain nodes have 3 predecessors
+        // (A, B, prev), so s = 4 suffices to load every input exactly
+        // once: 3 + 3 + 1 = 7 loads.
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 1), ("k", 3)]), 1000);
+        assert_eq!(optimal_loads(&g, 4, 1_000_000), Some(7));
+    }
+
+    #[test]
+    fn small_cache_costs_more() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 2), ("k", 2)]), 1000);
+        let big = optimal_loads(&g, 8, 4_000_000).unwrap();
+        let small = optimal_loads(&g, 4, 4_000_000).unwrap();
+        assert!(small >= big, "small {small} < big {big}");
+        // With a huge cache each input cell (A: 2, B: 4, C inits: 2) is
+        // loaded exactly once.
+        assert_eq!(big, 8);
+    }
+
+    #[test]
+    fn greedy_is_valid_upper_bound() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 2), ("k", 2)]), 1000);
+        let order = g.computes();
+        for s in [4usize, 6] {
+            let greedy = greedy_loads(&g, s, &order);
+            let opt = optimal_loads(&g, s, 4_000_000).unwrap();
+            assert!(opt <= greedy, "s={s}: optimal {opt} > greedy {greedy}");
+        }
+    }
+
+    #[test]
+    fn too_small_cache_is_none() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 1), ("k", 2)]), 1000);
+        // Second chain node has 3 predecessors (A, B, prev) -> needs s >= 4.
+        assert_eq!(optimal_loads(&g, 3, 1_000_000), None);
+    }
+
+    #[test]
+    fn state_budget_respected() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 2), ("j", 2), ("k", 2)]), 1000);
+        assert_eq!(optimal_loads(&g, 4, 10), None);
+    }
+}

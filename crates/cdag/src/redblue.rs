@@ -1,0 +1,146 @@
+//! The classical Hong-Kung red-blue pebble game, *with* recomputation.
+//!
+//! The paper's red-white game (§3.3) forbids recomputation — every node
+//! is computed exactly once. The original red-blue game allows a value to
+//! be recomputed instead of spilled and reloaded, so its optimal load
+//! count is ≤ the red-white optimum. Comparing the two on tiny CDAGs
+//! quantifies what the no-recomputation assumption costs — for the
+//! paper's kernel class the answer is "nothing at practical cache sizes",
+//! which the workspace tests verify.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::Cdag;
+
+/// Exact minimum number of loads to get every output computed, with `s`
+/// red pebbles and **recomputation allowed** (stores are free since only
+/// loads are counted, so a computed value is always available in slow
+/// memory afterwards).
+///
+/// Returns `None` if the exploration exceeds `max_states` or some node
+/// can never be computed.
+pub fn optimal_loads_with_recompute(cdag: &Cdag, s: usize, max_states: usize) -> Option<u64> {
+    let n = cdag.len();
+    assert!(n <= 64, "optimal pebbling supports at most 64 nodes");
+    if cdag.computes().iter().any(|&v| cdag.preds(v).len() + 1 > s) {
+        return None;
+    }
+    let inputs_mask: u64 = cdag.inputs().iter().fold(0u64, |m, &i| m | (1 << i));
+    let goal: u64 = cdag.outputs().iter().fold(0u64, |m, &o| m | (1 << o));
+
+    // State: (ever_red, reds). `ever_red` is monotone: once computed (or
+    // loaded), a value can always be re-fetched (free stores) or
+    // recomputed.
+    let start = (inputs_mask, 0u64);
+    let mut dist: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut queue: VecDeque<((u64, u64), u64)> = VecDeque::new();
+    dist.insert(start, 0);
+    queue.push_back((start, 0));
+    while let Some(((ever, reds), d)) = queue.pop_front() {
+        if dist.get(&(ever, reds)) != Some(&d) {
+            continue;
+        }
+        if ever & goal == goal {
+            return Some(d);
+        }
+        if dist.len() > max_states {
+            return None;
+        }
+        let red_count = reds.count_ones() as usize;
+        let push = |state: (u64, u64),
+                        nd: u64,
+                        front: bool,
+                        dist: &mut HashMap<(u64, u64), u64>,
+                        queue: &mut VecDeque<((u64, u64), u64)>| {
+            let better = dist.get(&state).map(|&old| nd < old).unwrap_or(true);
+            if better {
+                dist.insert(state, nd);
+                if front {
+                    queue.push_front((state, nd));
+                } else {
+                    queue.push_back((state, nd));
+                }
+            }
+        };
+        for v in 0..n as u32 {
+            let bit = 1u64 << v;
+            // Compute (also re-compute): preds red, capacity respected.
+            if inputs_mask & bit == 0 && reds & bit == 0 {
+                let preds_mask: u64 =
+                    cdag.preds(v).iter().fold(0u64, |m, &p| m | (1 << p));
+                if preds_mask & reds == preds_mask
+                    && ((reds | bit).count_ones() as usize) <= s
+                {
+                    push((ever | bit, reds | bit), d, true, &mut dist, &mut queue);
+                }
+            }
+            // Load: anything ever materialized can be re-fetched.
+            if ever & bit != 0 && reds & bit == 0 && red_count < s {
+                push((ever, reds | bit), d + 1, false, &mut dist, &mut queue);
+            }
+            // Drop a red pebble (free).
+            if reds & bit != 0 {
+                push((ever, reds & !bit), d, true, &mut dist, &mut queue);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::build_cdag;
+    use crate::pebble::optimal_loads;
+    use ioopt_ir::kernels;
+    use std::collections::HashMap;
+
+    fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn recomputation_never_hurts() {
+        let k = kernels::matmul();
+        for (sz, s) in [
+            (sizes(&[("i", 1), ("j", 2), ("k", 2)]), 4usize),
+            (sizes(&[("i", 1), ("j", 2), ("k", 2)]), 5),
+            (sizes(&[("i", 1), ("j", 1), ("k", 3)]), 4),
+        ] {
+            let g = build_cdag(&k, &sz, 1000);
+            let rw = optimal_loads(&g, s, 4_000_000).expect("red-white fits");
+            let rb =
+                optimal_loads_with_recompute(&g, s, 4_000_000).expect("red-blue fits");
+            assert!(rb <= rw, "red-blue {rb} > red-white {rw}");
+        }
+    }
+
+    #[test]
+    fn no_gap_for_matmul_at_reasonable_cache() {
+        // For the paper's kernel class, recomputation does not pay at
+        // practical cache sizes: the optima coincide.
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 2), ("k", 2)]), 1000);
+        let rw = optimal_loads(&g, 5, 4_000_000).unwrap();
+        let rb = optimal_loads_with_recompute(&g, 5, 4_000_000).unwrap();
+        assert_eq!(rw, rb);
+    }
+
+    #[test]
+    fn outputs_only_goal() {
+        // Red-blue only needs the *outputs* computed; with generous s the
+        // cost is exactly the distinct inputs feeding them.
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 1), ("k", 2)]), 1000);
+        // Inputs: A(2) + B(2) + C init(1) = 5 loads.
+        assert_eq!(optimal_loads_with_recompute(&g, 6, 1_000_000), Some(5));
+    }
+
+    #[test]
+    fn budget_and_feasibility_guards() {
+        let k = kernels::matmul();
+        let g = build_cdag(&k, &sizes(&[("i", 1), ("j", 1), ("k", 2)]), 1000);
+        assert_eq!(optimal_loads_with_recompute(&g, 3, 1_000_000), None); // preds+1 > s
+        assert_eq!(optimal_loads_with_recompute(&g, 6, 3), None); // state budget
+    }
+}

@@ -1,0 +1,245 @@
+//! Numeric execution of (tiled) kernels — the transformation-correctness
+//! oracle.
+//!
+//! A tiling recommendation is only useful if the tiled loop nest computes
+//! the same values as the original program. This module interprets a
+//! kernel over `f64` arrays in any tiled order and compares against the
+//! untiled reference, exercising the same legality argument as §3.1 (the
+//! reduction is reassociation-safe up to floating-point rounding, so the
+//! comparison uses a tolerance).
+
+use std::collections::HashMap;
+
+use ioopt_ir::{AccessKind, Kernel};
+
+/// Dense storage for every array of a kernel.
+#[derive(Debug, Clone)]
+pub struct KernelData {
+    /// Per array (output first, then inputs): flattened row-major values.
+    arrays: Vec<Vec<f64>>,
+    /// Per array: strides per array dimension.
+    strides: Vec<Vec<usize>>,
+    extents: Vec<i64>,
+}
+
+impl KernelData {
+    /// Allocates arrays sized to cover the kernel's accesses, with inputs
+    /// filled deterministically (a small LCG) and the output zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a size is missing.
+    pub fn new(kernel: &Kernel, sizes: &HashMap<String, i64>) -> KernelData {
+        let extents: Vec<i64> = kernel
+            .dims()
+            .iter()
+            .map(|d| {
+                *sizes
+                    .get(&d.name)
+                    .unwrap_or_else(|| panic!("missing size for `{}`", d.name))
+            })
+            .collect();
+        let corner: Vec<i64> = extents.iter().map(|&e| e - 1).collect();
+        let mut arrays = Vec::new();
+        let mut strides_all = Vec::new();
+        let mut seed = 0x5eed_1234_u64;
+        for (idx, a) in kernel.arrays().enumerate() {
+            let dims_hi: Vec<usize> = a
+                .access
+                .dims()
+                .iter()
+                .map(|f| (f.eval(&corner) + 1).max(1) as usize)
+                .collect();
+            let mut strides = vec![1usize; dims_hi.len()];
+            for i in (0..dims_hi.len().saturating_sub(1)).rev() {
+                strides[i] = strides[i + 1] * dims_hi[i + 1];
+            }
+            let len = dims_hi.first().map(|&d| d * strides[0]).unwrap_or(1);
+            let data: Vec<f64> = if idx == 0 {
+                vec![0.0; len]
+            } else {
+                (0..len)
+                    .map(|_| {
+                        seed = seed
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((seed >> 40) as f64) / (1u64 << 24) as f64 - 0.5
+                    })
+                    .collect()
+            };
+            arrays.push(data);
+            strides_all.push(strides);
+        }
+        KernelData { arrays, strides: strides_all, extents }
+    }
+
+    /// The output array values.
+    pub fn output(&self) -> &[f64] {
+        &self.arrays[0]
+    }
+
+    fn addr(&self, array: usize, kernel: &Kernel, point: &[i64]) -> usize {
+        let a: &ioopt_ir::ArrayRef = if array == 0 {
+            kernel.output()
+        } else {
+            &kernel.inputs()[array - 1]
+        };
+        a.access
+            .dims()
+            .iter()
+            .zip(&self.strides[array])
+            .map(|(f, &s)| f.eval(point) as usize * s)
+            .sum()
+    }
+}
+
+/// Executes the kernel over `data` visiting iteration points in the tiled
+/// order given by `perm` (dim indices, outermost first) and `tiles`
+/// (by dimension name; missing = 1). Accumulating outputs use `+=`,
+/// write outputs `=`; the element update is the product of the inputs.
+pub fn execute(
+    kernel: &Kernel,
+    data: &mut KernelData,
+    perm: &[usize],
+    tiles: &HashMap<String, i64>,
+) {
+    let n = kernel.dims().len();
+    let extents = data.extents.clone();
+    let tiles: Vec<i64> = kernel
+        .dims()
+        .iter()
+        .zip(&extents)
+        .map(|(d, &e)| tiles.get(&d.name).copied().unwrap_or(1).clamp(1, e))
+        .collect();
+    let accumulate = kernel.output().kind == AccessKind::Accumulate;
+    let num_inputs = kernel.inputs().len();
+
+    let mut point = vec![0i64; n];
+    let mut origins = vec![0i64; n];
+    'outer: loop {
+        let limits: Vec<i64> =
+            (0..n).map(|d| (extents[d] - origins[d]).min(tiles[d])).collect();
+        let mut offs = vec![0i64; n];
+        loop {
+            for d in 0..n {
+                point[d] = origins[d] + offs[d];
+            }
+            let mut value = 1.0;
+            for a in 1..=num_inputs {
+                value *= data.arrays[a][data.addr(a, kernel, &point)];
+            }
+            let out_addr = data.addr(0, kernel, &point);
+            if accumulate {
+                data.arrays[0][out_addr] += value;
+            } else {
+                data.arrays[0][out_addr] = value;
+            }
+            // Odometer over the tiled order.
+            let mut lvl = n;
+            loop {
+                if lvl == 0 {
+                    break;
+                }
+                lvl -= 1;
+                let d = perm[lvl];
+                offs[d] += 1;
+                if offs[d] < limits[d] {
+                    break;
+                }
+                offs[d] = 0;
+                if lvl == 0 {
+                    let mut olvl = n;
+                    loop {
+                        if olvl == 0 {
+                            break 'outer;
+                        }
+                        olvl -= 1;
+                        let d = perm[olvl];
+                        origins[d] += tiles[d];
+                        if origins[d] < extents[d] {
+                            break;
+                        }
+                        origins[d] = 0;
+                    }
+                    continue 'outer;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the tiled schedule and the untiled source order on identical
+/// inputs; returns the largest absolute output difference.
+pub fn validate_tiling(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    perm: &[usize],
+    tiles: &HashMap<String, i64>,
+) -> f64 {
+    let n = kernel.dims().len();
+    let reference_perm: Vec<usize> = (0..n).collect();
+    let mut reference = KernelData::new(kernel, sizes);
+    execute(kernel, &mut reference, &reference_perm, &HashMap::new());
+    let mut tiled = KernelData::new(kernel, sizes);
+    execute(kernel, &mut tiled, perm, tiles);
+    reference
+        .output()
+        .iter()
+        .zip(tiled.output())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::{kernels, parse_kernel};
+
+    fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn matmul_tilings_preserve_results() {
+        let k = kernels::matmul();
+        let s = sizes(&[("i", 13), ("j", 11), ("k", 17)]);
+        for perm in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            for tiles in [
+                HashMap::new(),
+                sizes(&[("i", 4), ("j", 5)]),
+                sizes(&[("i", 3), ("j", 3), ("k", 7)]),
+            ] {
+                let err = validate_tiling(&k, &s, &perm, &tiles);
+                assert!(err < 1e-9, "perm {perm:?} tiles {tiles:?}: err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_tilings_preserve_results() {
+        let k = kernels::conv1d();
+        let s = sizes(&[("c", 3), ("f", 4), ("x", 9), ("w", 2)]);
+        let err = validate_tiling(&k, &s, &[3, 0, 1, 2], &sizes(&[("f", 2), ("x", 4)]));
+        assert!(err < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn plain_write_kernels_respect_last_writer() {
+        // A pure copy has no reduction: every order writes each cell from
+        // the same unique iteration, so any tiling matches.
+        let k = parse_kernel("kernel copy { loop i : N; B[i] = A[i]; }").unwrap();
+        let s = sizes(&[("i", 10)]);
+        let err = validate_tiling(&k, &s, &[0], &sizes(&[("i", 3)]));
+        assert_eq!(err, 0.0);
+    }
+
+    #[test]
+    fn deterministic_inputs() {
+        let k = kernels::matmul();
+        let s = sizes(&[("i", 3), ("j", 3), ("k", 3)]);
+        let a = KernelData::new(&k, &s);
+        let b = KernelData::new(&k, &s);
+        assert_eq!(a.arrays[1], b.arrays[1]);
+        assert!(a.arrays[1].iter().any(|&v| v != 0.0));
+    }
+}

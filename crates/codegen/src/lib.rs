@@ -1,0 +1,330 @@
+//! # ioopt-codegen
+//!
+//! Emits the paper's "suggested tiled code" (Fig. 1, §4.4): a C-like
+//! rendering of the tiled loop nest implied by a tiling schedule, like
+//! the tiled matmul of Listing 1 or the tiled convolution of Listing 3.
+//!
+//! Loops with tile size equal to the full extent are omitted from the
+//! inter-tile band, and loops with tile size 1 are omitted from the
+//! intra-tile band, matching the paper's presentation.
+
+#![warn(missing_docs)]
+
+mod exec;
+
+pub use exec::{execute, validate_tiling, KernelData};
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use ioopt_ir::{AccessKind, Kernel};
+
+/// How a dimension is tiled in emitted code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileSpec {
+    /// Tile size 1: the dimension iterates between tiles only.
+    One,
+    /// Full extent: the dimension iterates inside the tile only.
+    Full,
+    /// A named or numeric tile size (`Ti`, `31`, …).
+    Sized(String),
+}
+
+/// A tiled loop-nest description ready for rendering.
+#[derive(Debug, Clone)]
+pub struct TiledCode {
+    kernel: Kernel,
+    perm: Vec<usize>,
+    tiles: Vec<TileSpec>,
+    /// Dimension forced innermost in the intra-tile band (the paper's §6
+    /// vectorization pin, e.g. `f` for the Yolo layers). The cost model
+    /// is insensitive to the intra-tile order, so this is free.
+    vectorize: Option<usize>,
+}
+
+impl TiledCode {
+    /// Builds a renderer from a permutation (dim indices, outermost
+    /// first) and per-dimension tile specs, indexed by dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` or `tiles` have the wrong length.
+    pub fn new(kernel: &Kernel, perm: &[usize], tiles: &[TileSpec]) -> TiledCode {
+        let n = kernel.dims().len();
+        assert_eq!(perm.len(), n, "permutation length mismatch");
+        assert_eq!(tiles.len(), n, "tile spec length mismatch");
+        TiledCode {
+            kernel: kernel.clone(),
+            perm: perm.to_vec(),
+            tiles: tiles.to_vec(),
+            vectorize: None,
+        }
+    }
+
+    /// Forces the named dimension innermost in the intra-tile band (the
+    /// paper pins `f` to "force vectorization on dimension f", §6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a dimension of the kernel.
+    pub fn with_vectorized(mut self, name: &str) -> TiledCode {
+        let d = self
+            .kernel
+            .dim_index(name)
+            .unwrap_or_else(|| panic!("unknown dimension `{name}`"));
+        self.vectorize = Some(d);
+        self
+    }
+
+    /// Builds tile specs from integer tile sizes (`1` ⇒ [`TileSpec::One`],
+    /// `≥ extent` ⇒ [`TileSpec::Full`]).
+    pub fn from_integer_tiles(
+        kernel: &Kernel,
+        perm: &[usize],
+        tiles: &HashMap<String, i64>,
+        sizes: &HashMap<String, i64>,
+    ) -> TiledCode {
+        let specs: Vec<TileSpec> = kernel
+            .dims()
+            .iter()
+            .map(|d| {
+                let t = tiles.get(&d.name).copied().unwrap_or(1);
+                let n = sizes.get(&d.name).copied().unwrap_or(i64::MAX);
+                if t <= 1 {
+                    TileSpec::One
+                } else if t >= n {
+                    TileSpec::Full
+                } else {
+                    TileSpec::Sized(t.to_string())
+                }
+            })
+            .collect();
+        TiledCode::new(kernel, perm, &specs)
+    }
+
+    /// Renders C-like source.
+    pub fn to_c(&self) -> String {
+        let k = &self.kernel;
+        let mut out = String::new();
+        let mut indent = 0usize;
+        let pad = |out: &mut String, indent: usize| {
+            for _ in 0..indent {
+                out.push_str("    ");
+            }
+        };
+        // Inter-tile loops: skip Full (single tile).
+        for &d in &self.perm {
+            let dim = &k.dims()[d];
+            match &self.tiles[d] {
+                TileSpec::Full => {}
+                TileSpec::One => {
+                    pad(&mut out, indent);
+                    let _ = writeln!(
+                        out,
+                        "for ({v} = 0; {v} < {n}; {v}++)",
+                        v = dim.name,
+                        n = dim.size
+                    );
+                    indent += 1;
+                }
+                TileSpec::Sized(t) => {
+                    pad(&mut out, indent);
+                    let _ = writeln!(
+                        out,
+                        "for ({v}1 = 0; {v}1 < {n}; {v}1 += {t})",
+                        v = dim.name,
+                        n = dim.size
+                    );
+                    indent += 1;
+                }
+            }
+        }
+        // Intra-tile loops: skip One; an optional vectorized dimension
+        // goes innermost.
+        let mut intra: Vec<usize> = self.perm.clone();
+        if let Some(v) = self.vectorize {
+            intra.retain(|&d| d != v);
+            intra.push(v);
+        }
+        for &d in &intra {
+            let dim = &k.dims()[d];
+            match &self.tiles[d] {
+                TileSpec::One => {}
+                TileSpec::Full => {
+                    pad(&mut out, indent);
+                    let _ = writeln!(
+                        out,
+                        "for ({v} = 0; {v} < {n}; {v}++)",
+                        v = dim.name,
+                        n = dim.size
+                    );
+                    indent += 1;
+                }
+                TileSpec::Sized(t) => {
+                    pad(&mut out, indent);
+                    let _ = writeln!(
+                        out,
+                        "for ({v} = {v}1; {v} < min({v}1 + {t}, {n}); {v}++)",
+                        v = dim.name,
+                        n = dim.size
+                    );
+                    indent += 1;
+                }
+            }
+        }
+        pad(&mut out, indent);
+        let op = match k.output().kind {
+            AccessKind::Accumulate => "+=",
+            _ => "=",
+        };
+        let _ = write!(out, "{} {} ", render_access(k, 0), op);
+        for (i, _) in k.inputs().iter().enumerate() {
+            if i > 0 {
+                out.push_str(" * ");
+            }
+            out.push_str(&render_access(k, i + 1));
+        }
+        out.push_str(";\n");
+        out
+    }
+}
+
+/// Renders `Name[sub][sub]` for array `idx` (0 = output).
+fn render_access(kernel: &Kernel, idx: usize) -> String {
+    let a: &ioopt_ir::ArrayRef = if idx == 0 {
+        kernel.output()
+    } else {
+        &kernel.inputs()[idx - 1]
+    };
+    let mut s = a.name.clone();
+    for form in a.access.dims() {
+        s.push('[');
+        let mut first = true;
+        for &(d, c) in form.terms() {
+            if !first {
+                s.push('+');
+            }
+            first = false;
+            if c != 1 {
+                let _ = write!(s, "{c}*");
+            }
+            s.push_str(&kernel.dims()[d].name);
+        }
+        if form.constant() != 0 || first {
+            if !first {
+                s.push('+');
+            }
+            let _ = write!(s, "{}", form.constant());
+        }
+        s.push(']');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn matmul_listing1_shape() {
+        // Listing 1's tiled loop structure: (i1, j1, k, i, j).
+        let k = kernels::matmul();
+        let code = TiledCode::new(
+            &k,
+            &[0, 1, 2],
+            &[
+                TileSpec::Sized("Ti".into()),
+                TileSpec::Sized("Tj".into()),
+                TileSpec::One,
+            ],
+        )
+        .to_c();
+        let lines: Vec<&str> = code.lines().map(str::trim).collect();
+        assert!(lines[0].starts_with("for (i1 = 0; i1 < Ni; i1 += Ti)"));
+        assert!(lines[1].starts_with("for (j1 = 0; j1 < Nj; j1 += Tj)"));
+        assert!(lines[2].starts_with("for (k = 0; k < Nk; k++)"));
+        assert!(lines[3].starts_with("for (i = i1;"));
+        assert!(lines[4].starts_with("for (j = j1;"));
+        assert_eq!(lines[5], "C[i][j] += A[i][k] * B[k][j];");
+    }
+
+    #[test]
+    fn conv1d_listing3_shape() {
+        // Listing 3: ((w, c, f, x), {Tc, Tf, Tx = 1, Tw = Nw}): w omitted
+        // from the inter-tile band, x omitted from the intra-tile band.
+        let k = kernels::conv1d();
+        let w = k.dim_index("w").unwrap();
+        let c = k.dim_index("c").unwrap();
+        let f = k.dim_index("f").unwrap();
+        let x = k.dim_index("x").unwrap();
+        let mut tiles = vec![TileSpec::One; 4];
+        tiles[c] = TileSpec::Sized("Tc".into());
+        tiles[f] = TileSpec::Sized("Tf".into());
+        tiles[w] = TileSpec::Full;
+        tiles[x] = TileSpec::One;
+        let code = TiledCode::new(&k, &[w, c, f, x], &tiles).to_c();
+        let lines: Vec<&str> = code.lines().map(str::trim).collect();
+        // Inter-tile: c1, f1, x (w has a single tile).
+        assert!(lines[0].starts_with("for (c1 = 0;"));
+        assert!(lines[1].starts_with("for (f1 = 0;"));
+        assert!(lines[2].starts_with("for (x = 0;"));
+        // Intra-tile: w (full), c, f — x omitted.
+        assert!(lines[3].starts_with("for (w = 0;"));
+        assert!(code.contains("Out[f][x] += Image[x+w][c] * Filter[f][w][c];"));
+    }
+
+    #[test]
+    fn integer_tiles_classify() {
+        let k = kernels::matmul();
+        let sizes = HashMap::from([
+            ("i".to_string(), 100i64),
+            ("j".to_string(), 100),
+            ("k".to_string(), 100),
+        ]);
+        let tiles = HashMap::from([
+            ("i".to_string(), 31i64),
+            ("j".to_string(), 100),
+            ("k".to_string(), 1),
+        ]);
+        let code = TiledCode::from_integer_tiles(&k, &[0, 1, 2], &tiles, &sizes).to_c();
+        assert!(code.contains("i1 += 31"));
+        assert!(code.contains("for (j = 0; j < Nj; j++)")); // full
+        assert!(code.contains("for (k = 0; k < Nk; k++)")); // one
+    }
+
+    #[test]
+    fn vectorization_pin_moves_dim_innermost() {
+        // Paper §6: "We fix the innermost dimension of the permutation in
+        // order to force vectorization on dimension f".
+        let k = kernels::conv1d();
+        let tiles: Vec<TileSpec> = vec![
+            TileSpec::Sized("Tc".into()),
+            TileSpec::Sized("Tf".into()),
+            TileSpec::Sized("Tx".into()),
+            TileSpec::Full,
+        ];
+        let code = TiledCode::new(&k, &[3, 0, 1, 2], &tiles)
+            .with_vectorized("f")
+            .to_c();
+        let lines: Vec<&str> = code.lines().map(str::trim).collect();
+        // The last loop line (immediately before the statement) is on f.
+        let stmt_idx = lines.iter().position(|l| l.starts_with("Out[")).unwrap();
+        assert!(
+            lines[stmt_idx - 1].starts_with("for (f = "),
+            "innermost was: {}",
+            lines[stmt_idx - 1]
+        );
+    }
+
+    #[test]
+    fn strided_subscripts_render() {
+        let k = ioopt_ir::parse_kernel(
+            "kernel s { loop x : Nx; loop w : Nw; Out[x] += In[2*x+w]; }",
+        )
+        .unwrap();
+        let code =
+            TiledCode::new(&k, &[0, 1], &[TileSpec::One, TileSpec::One]).to_c();
+        assert!(code.contains("In[2*x+w]"));
+    }
+}

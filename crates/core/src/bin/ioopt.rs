@@ -1,0 +1,142 @@
+//! The IOOpt command-line tool: parse a kernel from a DSL file (or one of
+//! the builtin names), derive its I/O bounds, and print the report with
+//! the suggested tiled code.
+//!
+//! ```text
+//! USAGE:
+//!   ioopt <file.k | builtin:NAME> --sizes i=2000,j=1500,k=1500 [--cache 1024]
+//!   ioopt --list-builtins
+//!
+//! OPTIONS:
+//!   --sizes a=V,b=V,...   concrete trip count per loop dimension (required)
+//!   --cache N             fast-memory capacity in elements [default: 4096]
+//!   --symbolic            also print the symbolic expressions only
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use ioopt::ir::{kernels, parse_kernel, Kernel};
+use ioopt::{analyze, render_text, symbolic_lb, symbolic_tc_ub, AnalysisOptions};
+
+fn builtin(name: &str) -> Option<Kernel> {
+    match name {
+        "matmul" => Some(kernels::matmul()),
+        "conv1d" => Some(kernels::conv1d()),
+        "conv2d" => Some(kernels::conv2d()),
+        "mttkrp" => Some(kernels::mttkrp()),
+        "stencil2d" => Some(kernels::stencil2d()),
+        "doitgen" => Some(kernels::doitgen()),
+        _ => kernels::TCCG
+            .iter()
+            .find(|e| e.spec == name)
+            .map(|e| e.kernel()),
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: ioopt <file.k | builtin:NAME> --sizes a=V,b=V,... [--cache N] [--symbolic]\n\
+     try:   ioopt --list-builtins"
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-builtins") {
+        println!("matmul conv1d conv2d mttkrp stencil2d doitgen");
+        for e in kernels::TCCG {
+            println!("{}", e.spec);
+        }
+        return Ok(());
+    }
+    let mut input: Option<String> = None;
+    let mut sizes_arg: Option<String> = None;
+    let mut cache = 4096.0f64;
+    let mut symbolic = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => sizes_arg = Some(it.next().ok_or("--sizes needs a value")?),
+            "--cache" => {
+                cache = it
+                    .next()
+                    .ok_or("--cache needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache value: {e}"))?;
+            }
+            "--symbolic" => symbolic = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let input = input.ok_or_else(|| usage().to_string())?;
+
+    let kernel = if let Some(name) = input.strip_prefix("builtin:") {
+        builtin(name).ok_or_else(|| format!("unknown builtin `{name}`"))?
+    } else {
+        let src = std::fs::read_to_string(&input)
+            .map_err(|e| format!("cannot read `{input}`: {e}"))?;
+        parse_kernel(&src).map_err(|e| e.to_string())?
+    };
+
+    if symbolic {
+        println!("kernel {}", kernel.name());
+        println!("arithmetic complexity: {}", kernel.arith_complexity());
+        let lb = symbolic_lb(&kernel).map_err(|e| e.to_string())?;
+        println!("symbolic LB(S) = {}", lb.combined);
+        if let Some(ub) = symbolic_tc_ub(&kernel) {
+            println!("symbolic UB(S) = {}", ub.bound);
+        } else {
+            println!("symbolic UB(S): no closed form (not a tensor contraction);");
+            println!("  use --sizes for the numeric TileOpt bound");
+        }
+    }
+
+    let mut sizes: HashMap<String, i64> = kernel.default_sizes().unwrap_or_default();
+    match sizes_arg {
+        Some(sizes_arg) => {
+            for pair in sizes_arg.split(',') {
+                let (name, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --sizes entry `{pair}` (want name=value)"))?;
+                sizes.insert(
+                    name.trim().to_string(),
+                    value.trim().parse().map_err(|e| format!("bad size `{pair}`: {e}"))?,
+                );
+            }
+        }
+        None if !sizes.is_empty() => {}
+        None => {
+            if symbolic {
+                return Ok(());
+            }
+            return Err(format!(
+                "--sizes is required (or annotate defaults with `loop i : Ni = 2000;`)\n{}",
+                usage()
+            ));
+        }
+    }
+    for d in kernel.dims() {
+        if !sizes.contains_key(&d.name) {
+            return Err(format!("missing size for loop dimension `{}`", d.name));
+        }
+    }
+
+    let analysis =
+        analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache)).map_err(|e| e.to_string())?;
+    print!("{}", render_text(&analysis));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

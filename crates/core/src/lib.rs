@@ -1,0 +1,59 @@
+//! # ioopt
+//!
+//! A Rust reproduction of **IOOpt** (Olivry et al., PLDI 2021):
+//! automatic derivation of I/O complexity bounds for affine programs.
+//!
+//! Given a fully tilable kernel (tensor contraction, convolution, dense
+//! linear algebra), IOOpt computes (paper Fig. 1):
+//!
+//! 1. its arithmetic complexity;
+//! 2. a **symbolic lower bound** on data movement over *all* valid
+//!    schedules (IOLB, §5 — Brascamp-Lieb with reduction detection and
+//!    small dimensions);
+//! 3. a **symbolic upper bound** with a matching footprint constraint
+//!    (IOUB, §4 — sub-domain footprints and inverse densities);
+//! 4. a **tiling recommendation** (loop permutation + tile sizes)
+//!    realizing the upper bound (TileOpt).
+//!
+//! ```
+//! use ioopt::{analyze, AnalysisOptions};
+//! use ioopt_ir::kernels;
+//! use std::collections::HashMap;
+//!
+//! let sizes = HashMap::from([
+//!     ("i".to_string(), 2000i64),
+//!     ("j".to_string(), 1500),
+//!     ("k".to_string(), 1500),
+//! ]);
+//! let a = analyze(&kernels::matmul(), &sizes, &AnalysisOptions::with_cache(1024.0))?;
+//! assert!(a.lb <= a.ub);                 // bounds are consistent
+//! assert!(a.tightness < 1.1);            // and tight for matmul
+//! # Ok::<(), ioopt::AnalyzeError>(())
+//! ```
+//!
+//! The subsystem crates are re-exported for convenience: [`ir`], [`iolb`],
+//! [`ioub`], [`tileopt`], [`cachesim`], [`cdag`], [`codegen`],
+//! [`symbolic`], [`polyhedra`], [`linalg`], [`lp`].
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod report;
+mod sequence;
+pub mod tutorial;
+
+pub use analysis::{analyze, symbolic_conv_ub, symbolic_lb, symbolic_tc_ub, symbolic_tc_ub_for, Analysis, AnalysisOptions, AnalyzeError};
+pub use report::{csv_header, csv_row, render_text};
+pub use sequence::{analyze_sequence, SequenceAnalysis};
+
+pub use ioopt_cachesim as cachesim;
+pub use ioopt_cdag as cdag;
+pub use ioopt_codegen as codegen;
+pub use ioopt_iolb as iolb;
+pub use ioopt_ioub as ioub;
+pub use ioopt_ir as ir;
+pub use ioopt_linalg as linalg;
+pub use ioopt_lp as lp;
+pub use ioopt_polyhedra as polyhedra;
+pub use ioopt_symbolic as symbolic;
+pub use ioopt_tileopt as tileopt;

@@ -1,0 +1,80 @@
+//! Human-readable and CSV rendering of analyses.
+
+use std::fmt::Write as _;
+
+use crate::analysis::Analysis;
+
+/// Renders a full analysis as a human-readable report (the tool's
+/// terminal output).
+pub fn render_text(a: &Analysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== IOOpt analysis: {} ===", a.kernel);
+    let _ = writeln!(out, "arithmetic complexity: {}", a.arith_complexity);
+    let _ = writeln!(out, "lower bound (combined): {}", a.lower.combined);
+    for sc in &a.lower.scenarios {
+        let _ = writeln!(
+            out,
+            "  scenario {:?}: sigma = {}, s_sd = {}, bound = {}",
+            sc.small_dims, sc.sigma, sc.s_sd, sc.bound
+        );
+    }
+    let _ = writeln!(out, "LB = {:.4e}", a.lb);
+    let _ = writeln!(out, "UB = {:.4e}  (tightness UB/LB = {:.3})", a.ub, a.tightness);
+    let _ = writeln!(
+        out,
+        "operational intensity at UB = {:.2} flop/element",
+        a.operational_intensity
+    );
+    let _ = writeln!(out, "recommended tiles: {:?}", {
+        let mut t: Vec<(&String, &i64)> = a.recommendation.tiles.iter().collect();
+        t.sort();
+        t
+    });
+    let _ = writeln!(out, "cost-model breakdown:");
+    let explanation = ioopt_ioub::explain_cost(
+        &a.ir,
+        &a.recommendation.schedule,
+        &a.recommendation.cost,
+    );
+    for line in explanation.lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out, "suggested tiled code:\n{}", a.tiled_code);
+    out
+}
+
+/// One CSV row `kernel,S,lb,ub,tightness`.
+pub fn csv_row(a: &Analysis, cache_elems: f64) -> String {
+    format!("{},{},{:.6e},{:.6e},{:.4}", a.kernel, cache_elems, a.lb, a.ub, a.tightness)
+}
+
+/// The CSV header matching [`csv_row`].
+pub fn csv_header() -> &'static str {
+    "kernel,S,lb,ub,tightness"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, AnalysisOptions};
+    use ioopt_ir::kernels;
+    use std::collections::HashMap;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let sizes = HashMap::from([
+            ("i".to_string(), 64i64),
+            ("j".to_string(), 64),
+            ("k".to_string(), 64),
+        ]);
+        let a =
+            analyze(&kernels::matmul(), &sizes, &AnalysisOptions::with_cache(512.0)).unwrap();
+        let text = render_text(&a);
+        assert!(text.contains("IOOpt analysis: matmul"));
+        assert!(text.contains("lower bound"));
+        assert!(text.contains("suggested tiled code"));
+        let row = csv_row(&a, 512.0);
+        assert!(row.starts_with("matmul,512,"));
+        assert_eq!(csv_header().split(',').count(), row.split(',').count());
+    }
+}

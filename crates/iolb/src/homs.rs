@@ -1,0 +1,202 @@
+//! Homomorphism extraction from affine dependence paths (paper §5.1–5.3).
+//!
+//! Each array access induces a group homomorphism `φ_j : Z^d → Z^{d_j}`
+//! (its affine access matrix). The accumulated output contributes a
+//! *broadcast* homomorphism once the multi-dimensional reduction is
+//! detected (§5.3): the projection that forgets every reduced dimension.
+//! Without reduction detection (the pre-IOOpt IOLB baseline), the
+//! sequential dependence chain only forgets the innermost reduced
+//! dimension — which is exactly why the old bounds were loose for
+//! convolutions.
+
+use ioopt_ir::{AccessKind, Kernel};
+use ioopt_linalg::{Matrix, Rational};
+
+/// The role of a homomorphism in the Brascamp-Lieb system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomKind {
+    /// An input array access.
+    Input,
+    /// The output (reduction broadcast or plain write).
+    Output,
+    /// The small-dimension projection `φ_sd` (§5.2).
+    SmallDim,
+}
+
+/// A homomorphism `φ : Z^d → Z^m` with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hom {
+    /// Display name (array name or `sd`).
+    pub name: String,
+    /// The `m × d` matrix of the linear map.
+    pub matrix: Matrix,
+    /// Role.
+    pub kind: HomKind,
+}
+
+impl Hom {
+    /// Rank of the image of the subgroup spanned by the rows of `h`
+    /// (`rank(φ(H))`).
+    pub fn image_rank(&self, h: &Matrix) -> usize {
+        self.matrix.matmul(&h.transpose()).rank()
+    }
+
+    /// A basis of `Ker(φ)` as row vectors.
+    pub fn kernel_basis(&self) -> Vec<Vec<Rational>> {
+        self.matrix.kernel_basis()
+    }
+}
+
+/// Options controlling homomorphism extraction (used by the ablation
+/// study of DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomOptions {
+    /// Detect multi-dimensional reductions and replace the sequential
+    /// chain by broadcast dependencies (§5.3). The paper's improvement.
+    pub detect_reductions: bool,
+}
+
+impl Default for HomOptions {
+    fn default() -> HomOptions {
+        HomOptions { detect_reductions: true }
+    }
+}
+
+/// Builds the access matrix of an array reference.
+fn access_matrix(kernel: &Kernel, a: &ioopt_ir::ArrayRef) -> Matrix {
+    let d = kernel.dims().len();
+    let forms = a.access.dims();
+    let mut m = Matrix::zeros(forms.len(), d);
+    for (i, f) in forms.iter().enumerate() {
+        for &(dim, c) in f.terms() {
+            m[(i, dim)] = Rational::from(c);
+        }
+    }
+    m
+}
+
+/// Extracts the data-path homomorphisms of a kernel: one per input array,
+/// plus the output homomorphism.
+pub fn extract_homs(kernel: &Kernel, options: &HomOptions) -> Vec<Hom> {
+    let mut homs = Vec::new();
+    // Output first (matches the paper's φ_1).
+    let out = kernel.output();
+    let out_matrix = if out.kind == AccessKind::Accumulate && !kernel.reduced_dims().is_empty()
+    {
+        if options.detect_reductions {
+            // Broadcast dependence: projection forgetting every reduced
+            // dimension — the output access matrix itself.
+            access_matrix(kernel, out)
+        } else {
+            // Sequential chain in lexicographic order: the path relation
+            // only forgets the innermost reduced dimension.
+            let d = kernel.dims().len();
+            let last_reduced = *kernel.reduced_dims().last().expect("nonempty");
+            let rows: Vec<Vec<Rational>> = (0..d)
+                .filter(|&i| i != last_reduced)
+                .map(|i| {
+                    let mut row = vec![Rational::ZERO; d];
+                    row[i] = Rational::ONE;
+                    row
+                })
+                .collect();
+            Matrix::from_rows(&rows, d)
+        }
+    } else {
+        access_matrix(kernel, out)
+    };
+    homs.push(Hom { name: out.name.clone(), matrix: out_matrix, kind: HomKind::Output });
+    for a in kernel.inputs() {
+        homs.push(Hom {
+            name: a.name.clone(),
+            matrix: access_matrix(kernel, a),
+            kind: HomKind::Input,
+        });
+    }
+    homs
+}
+
+/// The small-dimension projection `φ_sd` onto the given dimensions.
+pub fn small_dim_hom(kernel: &Kernel, dims: &[usize]) -> Hom {
+    let d = kernel.dims().len();
+    let rows: Vec<Vec<Rational>> = dims
+        .iter()
+        .map(|&i| {
+            let mut row = vec![Rational::ZERO; d];
+            row[i] = Rational::ONE;
+            row
+        })
+        .collect();
+    Hom { name: "sd".into(), matrix: Matrix::from_rows(&rows, d), kind: HomKind::SmallDim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn matmul_homs_and_kernels() {
+        let k = kernels::matmul();
+        let homs = extract_homs(&k, &HomOptions::default());
+        assert_eq!(homs.len(), 3);
+        // Ker(φ_C) = span{e_k}, Ker(φ_A) = span{e_j}, Ker(φ_B) = span{e_i}.
+        let kc = homs[0].kernel_basis();
+        assert_eq!(kc.len(), 1);
+        assert!(!kc[0][2].is_zero());
+        let ka = homs[1].kernel_basis();
+        assert!(!ka[0][1].is_zero());
+    }
+
+    #[test]
+    fn conv2d_homs_match_fig3b() {
+        // Fig. 3b: φ1 forgets (c, h, w); φ2 = Image; φ3 = Filter.
+        let k = kernels::conv2d();
+        let homs = extract_homs(&k, &HomOptions::default());
+        let phi1 = &homs[0];
+        // Dims order: b, c, f, x, y, h, w.
+        for name in ["c", "h", "w"] {
+            let d = k.dim_index(name).unwrap();
+            let mut v = vec![Rational::ZERO; 7];
+            v[d] = Rational::ONE;
+            let m = Matrix::from_rows(&[v], 7);
+            assert_eq!(phi1.image_rank(&m), 0, "φ1 must forget {name}");
+        }
+        let db = k.dim_index("b").unwrap();
+        let mut v = vec![Rational::ZERO; 7];
+        v[db] = Rational::ONE;
+        assert_eq!(phi1.image_rank(&Matrix::from_rows(&[v], 7)), 1);
+        // Ker(φ_Image) has dimension 3 (f free; x+h, y+w slide).
+        assert_eq!(homs[1].kernel_basis().len(), 3);
+        // Ker(φ_Filter) = span{e_b, e_x, e_y}.
+        assert_eq!(homs[2].kernel_basis().len(), 3);
+    }
+
+    #[test]
+    fn baseline_keeps_partial_chain() {
+        // Without reduction detection the output hom only forgets the
+        // innermost reduced dimension (w), per §5.3.
+        let k = kernels::conv2d();
+        let homs = extract_homs(&k, &HomOptions { detect_reductions: false });
+        let phi1 = &homs[0];
+        let dc = k.dim_index("c").unwrap();
+        let mut v = vec![Rational::ZERO; 7];
+        v[dc] = Rational::ONE;
+        // c is NOT forgotten by the baseline chain hom.
+        assert_eq!(phi1.image_rank(&Matrix::from_rows(&[v], 7)), 1);
+        let dw = k.dim_index("w").unwrap();
+        let mut v = vec![Rational::ZERO; 7];
+        v[dw] = Rational::ONE;
+        assert_eq!(phi1.image_rank(&Matrix::from_rows(&[v], 7)), 0);
+    }
+
+    #[test]
+    fn small_dim_projection() {
+        let k = kernels::conv2d();
+        let dims = [k.dim_index("h").unwrap(), k.dim_index("w").unwrap()];
+        let sd = small_dim_hom(&k, &dims);
+        assert_eq!(sd.kind, HomKind::SmallDim);
+        assert_eq!(sd.matrix.rows(), 2);
+        assert_eq!(sd.kernel_basis().len(), 5);
+    }
+}

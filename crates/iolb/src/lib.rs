@@ -1,0 +1,21 @@
+//! # ioopt-iolb
+//!
+//! The IOLB lower-bound algorithm of the paper (§5): homomorphism
+//! extraction from affine dependence paths with multi-dimensional
+//! **reduction detection** (§5.3), subgroup/rank constraint generation via
+//! the Brascamp-Lieb inequality, an exact-rational LP for the `s_j`
+//! coefficients with the **small-dimension** refinement `φ_sd` (§5.2), and
+//! the closed-form bound assembly
+//! `Q ≥ max(Σ|arrays|, T*·(|V|/ρ(S+T*) − 1), …)`.
+
+#![warn(missing_docs)]
+
+mod bound;
+mod brascamp;
+mod homs;
+mod scenarios;
+
+pub use bound::{lower_bound, LbOptions, LowerBoundReport, ScenarioBound};
+pub use brascamp::{candidate_subgroups, rank_constraints, solve_bl, BlError, BlSolution, RankConstraint};
+pub use homs::{extract_homs, small_dim_hom, Hom, HomKind, HomOptions};
+pub use scenarios::{conv2d_scenarios, default_scenarios, tc_scenarios};

@@ -1,0 +1,100 @@
+//! Small-dimension scenario generation (paper §6, "Parametric lower bound
+//! expressions").
+
+use ioopt_ir::{classify_tc, Kernel};
+
+/// Scenarios for tensor contractions: all `2³ = 8` combinations of the
+/// three shared-dimension groups assumed small (paper: "Dimensions shared
+/// between two arrays are grouped together, and every combination of
+/// small/regular dimensions for those three groups is examined").
+///
+/// Returns `None` if the kernel is not a tensor contraction.
+pub fn tc_scenarios(kernel: &Kernel) -> Option<Vec<Vec<usize>>> {
+    let class = classify_tc(kernel)?;
+    let mut out = Vec::new();
+    for mask in 0u8..8 {
+        let mut dims = Vec::new();
+        for (g, group) in class.groups.iter().enumerate() {
+            if mask & (1 << g) != 0 {
+                dims.extend(group.iter().copied());
+            }
+        }
+        dims.sort_unstable();
+        out.push(dims);
+    }
+    Some(out)
+}
+
+/// Scenarios for 2D convolutions, matching the paper's five: (i) none,
+/// (ii) `H, W`, (iii) `H, W, B`, (iv) `H, W, X, Y, B`, (v) `C, H, W, B`.
+///
+/// Returns `None` unless the kernel has the conv2d dimension names.
+pub fn conv2d_scenarios(kernel: &Kernel) -> Option<Vec<Vec<usize>>> {
+    let idx = |n: &str| kernel.dim_index(n);
+    let (b, c, x, y, h, w) =
+        (idx("b")?, idx("c")?, idx("x")?, idx("y")?, idx("h")?, idx("w")?);
+    Some(vec![
+        vec![],
+        vec![h, w],
+        vec![b, h, w],
+        vec![b, x, y, h, w],
+        vec![b, c, h, w],
+    ])
+}
+
+/// The default scenario list: the empty scenario plus the kernel's
+/// small-marked dimensions, extended with the TC group combinations when
+/// the kernel is a tensor contraction.
+pub fn default_scenarios(kernel: &Kernel) -> Vec<Vec<usize>> {
+    if let Some(tc) = tc_scenarios(kernel) {
+        return tc;
+    }
+    if let Some(conv) = conv2d_scenarios(kernel) {
+        return conv;
+    }
+    let marked: Vec<usize> = (0..kernel.dims().len())
+        .filter(|&d| kernel.dims()[d].small)
+        .collect();
+    if marked.is_empty() {
+        vec![vec![]]
+    } else {
+        vec![vec![], marked]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn tc_scenarios_are_group_combinations() {
+        let k = kernels::tensor_contraction("mm", "ab-ac-cb");
+        let sc = tc_scenarios(&k).unwrap();
+        assert_eq!(sc.len(), 8);
+        assert!(sc.contains(&vec![]));
+        // Group {c} alone must be a scenario.
+        let c = k.dim_index("c").unwrap();
+        assert!(sc.contains(&vec![c]));
+    }
+
+    #[test]
+    fn conv_scenarios_match_paper_count() {
+        let k = kernels::conv2d();
+        let sc = conv2d_scenarios(&k).unwrap();
+        assert_eq!(sc.len(), 5);
+        assert_eq!(sc[0], Vec::<usize>::new());
+        assert_eq!(sc[1].len(), 2);
+        assert_eq!(sc[4].len(), 4);
+    }
+
+    #[test]
+    fn default_dispatches_by_kernel_kind() {
+        assert_eq!(default_scenarios(&kernels::conv2d()).len(), 5);
+        assert_eq!(default_scenarios(&kernels::matmul()).len(), 8);
+        // conv1d: not a TC, no conv2d names -> empty + marked {w}.
+        let sc = default_scenarios(&kernels::conv1d());
+        assert_eq!(sc.len(), 2);
+        assert_eq!(sc[1], vec![3]);
+    }
+}

@@ -1,0 +1,226 @@
+//! The IOUB cost model (paper §4.2): per-array I/O cost and footprint
+//! constraint for a tiling schedule.
+
+use ioopt_ir::{ArrayRef, Kernel};
+use ioopt_symbolic::Expr;
+
+use crate::footprint::{inverse_density, sdf};
+use crate::schedule::TilingSchedule;
+
+/// The cost contribution of one array at its chosen reuse level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayCost {
+    /// Array name.
+    pub array: String,
+    /// The chosen reuse level `l` (1 = innermost).
+    pub level: usize,
+    /// The I/O cost `IO_A = ID^front·|I_front| + ID^back·|I_back|`.
+    pub io: Expr,
+    /// The cache share needed: `SDF_{A,l} ≤ S_A`.
+    pub footprint: Expr,
+    /// Whether the expressions are exact for this kernel class.
+    pub exact: bool,
+}
+
+/// The total cost of a schedule under a reuse-level assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UbCost {
+    /// Total I/O cost `Σ_A IO_A`.
+    pub io: Expr,
+    /// Total footprint `Σ_A SDF_{A,l_A}`; feasibility requires `≤ S`.
+    pub footprint: Expr,
+    /// Per-array detail.
+    pub per_array: Vec<ArrayCost>,
+}
+
+/// Computes the cost of `array` when its data is reused across the
+/// dimension at `level` (the paper's "outermost reuse dimension" `d_l`).
+pub fn array_cost(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    array: &ArrayRef,
+    level: usize,
+) -> ArrayCost {
+    let id = inverse_density(kernel, sched, array, level);
+    let footprint = sdf(kernel, sched, array, level);
+    let total = kernel.domain_size();
+    let d = sched.dim_at_level(level);
+    // |I_front| = |I| · T_d / N_d ; |I_back| = |I| − |I_front|.
+    let ratio = sched.tile(d) / kernel.size_expr(d);
+    let front_size = &total * &ratio;
+    let back_size = &total - &front_size;
+    // Expand so that the front/back split collapses whenever the two
+    // densities coincide (e.g. Ni·Nj·Nk/Ti instead of a two-term split).
+    let io = (&id.front * front_size + &id.back * back_size).expand();
+    ArrayCost {
+        array: array.name.clone(),
+        level,
+        io,
+        footprint: footprint.card,
+        exact: id.exact && footprint.exact,
+    }
+}
+
+/// Computes the total cost for one reuse level per array (ordered as
+/// [`Kernel::arrays`]: output first).
+///
+/// # Panics
+///
+/// Panics if `levels.len()` differs from the number of arrays.
+pub fn cost_with_levels(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    levels: &[usize],
+) -> UbCost {
+    let arrays: Vec<&ArrayRef> = kernel.arrays().collect();
+    assert_eq!(levels.len(), arrays.len(), "one reuse level per array");
+    let per_array: Vec<ArrayCost> = arrays
+        .iter()
+        .zip(levels)
+        .map(|(a, &l)| array_cost(kernel, sched, a, l))
+        .collect();
+    let io = Expr::add_all(per_array.iter().map(|c| c.io.clone()));
+    let footprint = Expr::add_all(per_array.iter().map(|c| c.footprint.clone()));
+    UbCost { io, footprint, per_array }
+}
+
+/// Candidate reuse levels for each array: all levels, deduplicated by the
+/// `(io, footprint)` expression pair (many levels are equivalent when the
+/// level's dimension does not affect the array).
+pub fn candidate_levels(kernel: &Kernel, sched: &TilingSchedule) -> Vec<Vec<usize>> {
+    kernel
+        .arrays()
+        .map(|a| {
+            let mut seen: Vec<(Expr, Expr)> = Vec::new();
+            let mut out = Vec::new();
+            for l in 1..=sched.ndims() {
+                let c = array_cost(kernel, sched, a, l);
+                let key = (c.io.clone(), c.footprint.clone());
+                if !seen.contains(&key) {
+                    seen.push(key);
+                    out.push(l);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// All combinations of candidate reuse levels (cartesian product), capped
+/// at `max_combos` to keep downstream optimization bounded.
+pub fn level_combinations(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    max_combos: usize,
+) -> Vec<Vec<usize>> {
+    let cands = candidate_levels(kernel, sched);
+    let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+    for c in &cands {
+        let mut next = Vec::with_capacity(combos.len() * c.len());
+        for combo in &combos {
+            for &l in c {
+                let mut ext = combo.clone();
+                ext.push(l);
+                next.push(ext);
+                if next.len() >= max_combos {
+                    break;
+                }
+            }
+            if next.len() >= max_combos {
+                break;
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    fn matmul_paper_schedule() -> (ioopt_ir::Kernel, TilingSchedule) {
+        let k = kernels::matmul();
+        let s = TilingSchedule::parametric(&k, &["i", "j", "k"])
+            .unwrap()
+            .pin_one(&k, "k");
+        (k, s)
+    }
+
+    #[test]
+    fn matmul_io_matches_paper_eq1() {
+        // IO = Ni·Nj·Nk (1/Ti + 1/Tj + 1/Nk)   (paper §6 eq. (1))
+        let (k, s) = matmul_paper_schedule();
+        let cost = cost_with_levels(&k, &s, &[1, 1, 1]);
+        let n = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
+        let expected = &n * Expr::sym("Ti").recip()
+            + &n * Expr::sym("Tj").recip()
+            + &n * Expr::sym("Nk").recip();
+        assert_eq!(cost.io.expand(), expected.expand());
+    }
+
+    #[test]
+    fn matmul_footprint_matches_paper_eq2() {
+        // SDF sum = Ti + Tj + Ti·Tj   (paper §6 eq. (2))
+        let (k, s) = matmul_paper_schedule();
+        let cost = cost_with_levels(&k, &s, &[1, 1, 1]);
+        let expected = Expr::sym("Ti") + Expr::sym("Tj")
+            + Expr::sym("Ti") * Expr::sym("Tj");
+        assert_eq!(cost.footprint.expand(), expected.expand());
+    }
+
+    #[test]
+    fn conv1d_io_matches_paper() {
+        // Paper §4.2: IO_Image = Nc·Nf·(Nx+Nw−1)/Tf, IO_Out = Nc·Nf·Nx/Tc,
+        // IO_Filter = Nc·Nf·Nw with levels (Out: 1, Image: 1, Filter: 2).
+        let k = kernels::conv1d();
+        let s = TilingSchedule::parametric(&k, &["w", "c", "f", "x"])
+            .unwrap()
+            .pin_one(&k, "x")
+            .pin_full(&k, "w");
+        let cost = cost_with_levels(&k, &s, &[1, 1, 2]);
+        let nc = Expr::sym("Nc");
+        let nf = Expr::sym("Nf");
+        let nx = Expr::sym("Nx");
+        let nw = Expr::sym("Nw");
+        let io_out = &nc * &nf * &nx / Expr::sym("Tc");
+        let io_image = &nc * &nf * (&nx + &nw - Expr::one()) / Expr::sym("Tf");
+        let io_filter = &nc * &nf * &nw;
+        let expected = io_out + io_image + io_filter;
+        assert_eq!(cost.io.expand(), expected.expand());
+    }
+
+    #[test]
+    fn candidate_levels_deduplicate() {
+        let (k, s) = matmul_paper_schedule();
+        let cands = candidate_levels(&k, &s);
+        assert_eq!(cands.len(), 3);
+        // Every array has at least the innermost level.
+        for c in &cands {
+            assert!(c.contains(&1));
+        }
+        let combos = level_combinations(&k, &s, 1000);
+        assert_eq!(combos.len(), cands.iter().map(Vec::len).product::<usize>());
+    }
+
+    #[test]
+    fn higher_level_has_no_smaller_footprint(){
+        // Footprints grow (weakly) with the reuse level.
+        let k = kernels::conv1d();
+        let s = TilingSchedule::parametric(&k, &["w", "c", "f", "x"]).unwrap();
+        let env: Vec<(&str, f64)> = vec![
+            ("Nc", 64.0), ("Nf", 32.0), ("Nx", 100.0), ("Nw", 3.0),
+            ("Tc", 8.0), ("Tf", 4.0), ("Tx", 10.0), ("Tw", 3.0),
+        ];
+        for a in k.arrays() {
+            let mut prev = 0.0;
+            for l in 1..=4 {
+                let c = array_cost(&k, &s, a, l);
+                let f = c.footprint.eval_with(&env).unwrap();
+                assert!(f >= prev - 1e-9, "array {} level {l}", a.name);
+                prev = f;
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Human-readable explanation of a cost-model result: which reuse level
+//! each array sits at, its densities, and the footprint budget — the
+//! narrative form of §4.2's per-array reasoning.
+
+use std::fmt::Write as _;
+
+use ioopt_ir::Kernel;
+
+use crate::cost::UbCost;
+use crate::footprint::inverse_density;
+use crate::schedule::TilingSchedule;
+
+/// Renders a cost breakdown for `cost` (as produced by
+/// [`crate::cost_with_levels`] on `sched`).
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ioub::{cost_with_levels, explain_cost, TilingSchedule};
+/// use ioopt_ir::kernels;
+/// let mm = kernels::matmul();
+/// let sched = TilingSchedule::parametric(&mm, &["i", "j", "k"])
+///     .unwrap()
+///     .pin_one(&mm, "k");
+/// let cost = cost_with_levels(&mm, &sched, &[1, 1, 1]);
+/// let text = explain_cost(&mm, &sched, &cost);
+/// assert!(text.contains("array C"));
+/// assert!(text.contains("footprint"));
+/// ```
+pub fn explain_cost(kernel: &Kernel, sched: &TilingSchedule, cost: &UbCost) -> String {
+    let mut out = String::new();
+    let perm_names: Vec<&str> = sched
+        .perm()
+        .iter()
+        .map(|&d| kernel.dims()[d].name.as_str())
+        .collect();
+    let _ = writeln!(out, "schedule: inter-tile order {perm_names:?} (outer to inner)");
+    for d in 0..kernel.dims().len() {
+        let _ = writeln!(
+            out,
+            "  tile T{} = {}",
+            kernel.dims()[d].name,
+            sched.tile(d)
+        );
+    }
+    for (array, pa) in kernel.arrays().zip(&cost.per_array) {
+        let level_dim = kernel.dims()[sched.dim_at_level(pa.level)].name.as_str();
+        let id = inverse_density(kernel, sched, array, pa.level);
+        let _ = writeln!(
+            out,
+            "array {name}: reuse across `{level_dim}` (level {level})",
+            name = pa.array,
+            level = pa.level,
+        );
+        let _ = writeln!(out, "  footprint kept resident: {}", pa.footprint);
+        let _ = writeln!(
+            out,
+            "  inverse density front/back: {} / {}",
+            id.front, id.back
+        );
+        let _ = writeln!(out, "  I/O contribution: {}", pa.io);
+    }
+    let _ = writeln!(out, "total I/O: {}", cost.io);
+    let _ = writeln!(out, "footprint constraint: {} <= S", cost.footprint);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::cost_with_levels;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn conv1d_explanation_mentions_every_array() {
+        let k = kernels::conv1d();
+        let sched = TilingSchedule::parametric(&k, &["w", "c", "f", "x"])
+            .unwrap()
+            .pin_one(&k, "x")
+            .pin_full(&k, "w");
+        let cost = cost_with_levels(&k, &sched, &[1, 1, 2]);
+        let text = explain_cost(&k, &sched, &cost);
+        for name in ["Out", "Image", "Filter"] {
+            assert!(text.contains(&format!("array {name}")), "missing {name}:\n{text}");
+        }
+        assert!(text.contains("reuse across `x`"));
+        assert!(text.contains("reuse across `f`")); // Filter at level 2
+        assert!(text.contains("total I/O"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Sub-domain footprints, reuse, and inverse densities (paper §4.1).
+
+use ioopt_ir::{ArrayRef, Kernel};
+use ioopt_polyhedra::Cardinality;
+use ioopt_symbolic::Expr;
+
+use crate::schedule::TilingSchedule;
+
+/// The sub-domain data footprint `SDF_{A,level}`: cells of `array` touched
+/// by the sub-domain at `level`.
+pub fn sdf(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    array: &ArrayRef,
+    level: usize,
+) -> Cardinality {
+    let extents = sched.level_extents(kernel, level);
+    array.access.image_cardinality(&extents)
+}
+
+/// The inter-sub-domain reuse `SDR_{A,level}`: overlap between the
+/// footprints of two consecutive sub-domains along the level's dimension.
+pub fn sdr(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    array: &ArrayRef,
+    level: usize,
+) -> Cardinality {
+    let extents = sched.level_extents(kernel, level);
+    let d = sched.dim_at_level(level);
+    array.access.overlap_cardinality(&extents, d, sched.tile(d))
+}
+
+/// Inverse densities at a level: data moved per iteration point for the
+/// first sub-domain along the dimension (`front`) and the subsequent ones
+/// (`back`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InverseDensity {
+    /// `ID^front = SDF / |SD|`.
+    pub front: Expr,
+    /// `ID^back = (SDF − SDR) / |SD|`.
+    pub back: Expr,
+    /// Whether both are exact (otherwise sound over-approximations).
+    pub exact: bool,
+}
+
+/// Computes the front/back inverse densities of `array` at `level`.
+///
+/// `max(0, …)` guards from the overlap computation are simplified away
+/// under the schedule's positivity assumptions by clamping at zero — the
+/// result is exactly the paper's `ID` when tile sizes do not exceed
+/// extents.
+pub fn inverse_density(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    array: &ArrayRef,
+    level: usize,
+) -> InverseDensity {
+    let footprint = sdf(kernel, sched, array, level);
+    let reuse = sdr(kernel, sched, array, level);
+    let volume = sched.level_domain_size(kernel, level);
+    let inv = volume.recip();
+    let front = &footprint.card * &inv;
+    // Expand so that SDF − SDR cancels shared factored terms (e.g.
+    // Nw·Tc − Tc·(Nw−1) = Tc).
+    let moved = simplify_nonneg(&(&footprint.card - &reuse.card)).expand();
+    let back = moved * inv;
+    InverseDensity { front, back, exact: footprint.exact && reuse.exact }
+}
+
+/// Rewrites `max(0, e)` sub-terms to `e` and clamps a syntactically
+/// non-positive result to zero; sound because footprints dominate reuse.
+fn simplify_nonneg(e: &Expr) -> Expr {
+    strip_max_zero(e)
+}
+
+fn strip_max_zero(e: &Expr) -> Expr {
+    use ioopt_symbolic::Node;
+    match e.node() {
+        Node::Max(items) if items.len() == 2 && items.iter().any(|i| i.is_zero()) => {
+            let other = items.iter().find(|i| !i.is_zero()).cloned().unwrap_or_else(Expr::zero);
+            strip_max_zero(&other)
+        }
+        Node::Add(items) => Expr::add_all(items.iter().map(strip_max_zero)),
+        Node::Mul(items) => Expr::mul_all(items.iter().map(strip_max_zero)),
+        Node::Pow(b, exp) => Expr::pow(strip_max_zero(b), *exp),
+        Node::Max(items) => Expr::max_all(items.iter().map(strip_max_zero)),
+        Node::Min(items) => Expr::min_all(items.iter().map(strip_max_zero)),
+        _ => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::TilingSchedule;
+    use ioopt_ir::kernels;
+
+    /// The conv1d tiling of paper Listing 3:
+    /// `(P = (w,c,f,x), {Tc, Tf, Tx = 1, Tw = Nw})`.
+    fn conv1d_paper_schedule() -> (ioopt_ir::Kernel, TilingSchedule) {
+        let k = kernels::conv1d();
+        let s = TilingSchedule::parametric(&k, &["w", "c", "f", "x"])
+            .unwrap()
+            .pin_one(&k, "x")
+            .pin_full(&k, "w");
+        (k, s)
+    }
+
+    #[test]
+    fn paper_sdf_values() {
+        let (k, s) = conv1d_paper_schedule();
+        let image = &k.inputs()[0];
+        // SDF_Image,2 = (Nx + Nw - 1) * Tc (paper §4.1).
+        let f2 = sdf(&k, &s, image, 2);
+        assert!(f2.exact);
+        let expected = ((Expr::sym("Nx") + Expr::sym("Nw") - Expr::one())
+            * Expr::sym("Tc"))
+        .expand();
+        assert_eq!(f2.card.expand(), expected);
+        // SDF_Image,1 = Nw * Tc (level 1: x window of 1, w full).
+        let f1 = sdf(&k, &s, image, 1);
+        assert_eq!(f1.card.expand(), (Expr::sym("Nw") * Expr::sym("Tc")).expand());
+    }
+
+    #[test]
+    fn paper_sdr_value() {
+        let (k, s) = conv1d_paper_schedule();
+        let image = &k.inputs()[0];
+        // SDR_Image,1 = Tc * (Nw - 1) (paper §4.1).
+        let r1 = sdr(&k, &s, image, 1);
+        let expected =
+            (Expr::sym("Tc") * (Expr::sym("Nw") - Expr::one())).expand();
+        assert_eq!(simplify(&r1.card), expected);
+    }
+
+    fn simplify(e: &Expr) -> Expr {
+        super::strip_max_zero(e).expand()
+    }
+
+    #[test]
+    fn paper_inverse_densities() {
+        let (k, s) = conv1d_paper_schedule();
+        let image = &k.inputs()[0];
+        let id = inverse_density(&k, &s, image, 1);
+        // |SD_x| = Nw * Tc * Tf; ID_back = Tc / (Nw*Tc*Tf) = 1/(Nw*Tf),
+        // ID_front = Nw*Tc / (Nw*Tc*Tf) = 1/Tf (paper §4.1).
+        assert_eq!(id.back, (Expr::sym("Nw") * Expr::sym("Tf")).recip());
+        assert_eq!(id.front, Expr::sym("Tf").recip());
+        assert!(id.exact);
+    }
+
+    #[test]
+    fn full_reuse_when_array_ignores_dim() {
+        // Matmul: C[i][j] at level 1 with d_1 = k: back density is 0.
+        let k = kernels::matmul();
+        let s = TilingSchedule::parametric(&k, &["i", "j", "k"])
+            .unwrap()
+            .pin_one(&k, "k");
+        let id = inverse_density(&k, &s, k.output(), 1);
+        assert!(id.back.is_zero());
+        // SDF_C,1 / |SD_1| = Ti*Tj / (Ti*Tj*1) = 1.
+        assert_eq!(id.front, Expr::one());
+    }
+}

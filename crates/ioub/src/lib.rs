@@ -1,0 +1,26 @@
+//! # ioopt-ioub
+//!
+//! The IOUB upper-bound algorithm of the paper (§4): sub-domain footprints
+//! (`SDF`), inter-sub-domain reuse (`SDR`), inverse densities, the
+//! per-array I/O cost model with its footprint constraint, and the
+//! reuse-driven loop permutation selection (Algorithm 1).
+//!
+//! The output of this crate — a symbolic I/O cost as a function of tile
+//! sizes plus a footprint inequality — feeds `ioopt-tileopt`, which picks
+//! tile sizes (numerically or in closed form).
+
+#![warn(missing_docs)]
+
+mod cost;
+mod explain;
+mod footprint;
+mod multilevel;
+mod permsel;
+mod schedule;
+
+pub use cost::{array_cost, candidate_levels, cost_with_levels, level_combinations, ArrayCost, UbCost};
+pub use explain::explain_cost;
+pub use footprint::{inverse_density, sdf, sdr, InverseDensity};
+pub use multilevel::{multilevel_cost, CacheLevelSpec, MultiLevelCost, MultiLevelSchedule};
+pub use permsel::{select_permutations, ReuseOracle, SmallDimOracle};
+pub use schedule::{ScheduleDisplay, TilingSchedule};

@@ -1,0 +1,188 @@
+//! Multi-level cache extension of the cost model (paper §4.2 and §6).
+//!
+//! "The above computation of I/O can also be extended by simply
+//! considering one tiling band per cache level and independently applying
+//! the previous reasoning to each level." The tiling recommendation for
+//! Fig. 8 minimizes the *weighted* sum of per-level data movements, the
+//! weights being measured inverse bandwidths.
+
+use ioopt_ir::Kernel;
+use ioopt_symbolic::{Expr, Symbol};
+
+use crate::cost::{cost_with_levels, UbCost};
+use crate::schedule::TilingSchedule;
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLevelSpec {
+    /// Display name (e.g. `L1`).
+    pub name: String,
+    /// Capacity in data elements.
+    pub capacity: f64,
+    /// Relative inverse bandwidth of the traffic *above* this level
+    /// (weight of the misses out of this level in the objective).
+    pub inverse_bandwidth: f64,
+}
+
+impl CacheLevelSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, capacity: f64, inverse_bandwidth: f64) -> CacheLevelSpec {
+        CacheLevelSpec { name: name.into(), capacity, inverse_bandwidth }
+    }
+}
+
+/// A tiling band per cache level.
+///
+/// `bands[0]` is the innermost band (tiles sized for the smallest, fastest
+/// cache); `bands[l]` tiles must enclose `bands[l-1]` tiles. Tile symbols
+/// are suffixed with the band index (`Ti_1`, `Ti_2`, …) so that a single
+/// optimization problem can hold all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiLevelSchedule {
+    bands: Vec<TilingSchedule>,
+}
+
+impl MultiLevelSchedule {
+    /// Builds one parametric band per cache level, all using the same
+    /// inter-tile permutation (dimension indices, outermost first).
+    ///
+    /// Returns `None` if `perm` is invalid for the kernel.
+    pub fn parametric(
+        kernel: &Kernel,
+        perm: &[usize],
+        num_levels: usize,
+    ) -> Option<MultiLevelSchedule> {
+        let mut bands = Vec::with_capacity(num_levels);
+        for band in 0..num_levels {
+            let mut sched = TilingSchedule::parametric_by_index(kernel, perm.to_vec())?;
+            // Rename tile vars with a band suffix.
+            for d in 0..kernel.dims().len() {
+                let sym = Symbol::new(&format!("T{}_{}", kernel.dims()[d].name, band + 1));
+                sched = sched.pin(kernel, &kernel.dims()[d].name.clone(), Expr::symbol(sym));
+                sched.push_tile_var(d, sym);
+            }
+            bands.push(sched);
+        }
+        Some(MultiLevelSchedule { bands })
+    }
+
+    /// The per-level bands (innermost first).
+    pub fn bands(&self) -> &[TilingSchedule] {
+        &self.bands
+    }
+
+    /// Nesting constraints: each outer band's tile must be at least as
+    /// large as the inner band's, `T_d^{l} ≥ T_d^{l-1}` — returned as
+    /// expressions that must be `≥ 0`.
+    pub fn nesting_constraints(&self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        for w in self.bands.windows(2) {
+            for d in 0..w[0].ndims() {
+                out.push(w[1].tile(d) - w[0].tile(d));
+            }
+        }
+        out
+    }
+}
+
+/// The multi-level cost: one [`UbCost`] per cache level plus the weighted
+/// total objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiLevelCost {
+    /// Per-level costs (innermost first), each with its own footprint
+    /// constraint against the level's capacity.
+    pub per_level: Vec<UbCost>,
+    /// The weighted objective `Σ_l w_l · IO_l`.
+    pub objective: Expr,
+}
+
+/// Computes the multi-level cost of a schedule: level `l`'s band is
+/// analyzed with the single-level model and weighted by the level's
+/// inverse bandwidth.
+///
+/// `levels[l]` gives the reuse-level assignment for band `l` (see
+/// [`cost_with_levels`]).
+///
+/// # Panics
+///
+/// Panics if the numbers of bands, cache levels, and level assignments
+/// disagree.
+pub fn multilevel_cost(
+    kernel: &Kernel,
+    sched: &MultiLevelSchedule,
+    caches: &[CacheLevelSpec],
+    levels: &[Vec<usize>],
+) -> MultiLevelCost {
+    assert_eq!(sched.bands().len(), caches.len(), "one band per cache level");
+    assert_eq!(levels.len(), caches.len(), "one level assignment per cache level");
+    let per_level: Vec<UbCost> = sched
+        .bands()
+        .iter()
+        .zip(levels)
+        .map(|(band, ls)| cost_with_levels(kernel, band, ls))
+        .collect();
+    // Normalize so the rational conversion keeps relative magnitudes
+    // (hardware inverse bandwidths are ~1e-11 and would round to zero).
+    let wmax = caches
+        .iter()
+        .map(|c| c.inverse_bandwidth)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let objective = Expr::add_all(per_level.iter().zip(caches).map(|(c, spec)| {
+        Expr::num(f64_to_rational(spec.inverse_bandwidth / wmax)) * &c.io
+    }));
+    MultiLevelCost { per_level, objective }
+}
+
+/// Converts a normalized positive f64 weight to an exact rational
+/// (9 decimal digits), keeping the objective inside the symbolic engine.
+fn f64_to_rational(v: f64) -> ioopt_symbolic::Rational {
+    let denom = 1_000_000_000i128;
+    let num = (v * denom as f64).round() as i128;
+    ioopt_symbolic::Rational::new(num, denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn bands_have_distinct_symbols() {
+        let k = kernels::matmul();
+        let ms = MultiLevelSchedule::parametric(&k, &[0, 1, 2], 2).unwrap();
+        assert_eq!(ms.bands().len(), 2);
+        assert_eq!(ms.bands()[0].tile(0).to_string(), "Ti_1");
+        assert_eq!(ms.bands()[1].tile(0).to_string(), "Ti_2");
+        assert_eq!(ms.bands()[0].tile_vars().len(), 3);
+    }
+
+    #[test]
+    fn nesting_constraints_count() {
+        let k = kernels::matmul();
+        let ms = MultiLevelSchedule::parametric(&k, &[0, 1, 2], 3).unwrap();
+        assert_eq!(ms.nesting_constraints().len(), 6);
+    }
+
+    #[test]
+    fn weighted_objective_combines_levels() {
+        let k = kernels::matmul();
+        let ms = MultiLevelSchedule::parametric(&k, &[0, 1, 2], 2).unwrap();
+        let caches = vec![
+            CacheLevelSpec::new("L1", 4096.0, 1.0),
+            CacheLevelSpec::new("L2", 131072.0, 4.0),
+        ];
+        let cost = multilevel_cost(&k, &ms, &caches, &[vec![1, 1, 1], vec![1, 1, 1]]);
+        assert_eq!(cost.per_level.len(), 2);
+        // The objective evaluates to w1*IO1 + w2*IO2.
+        let env: Vec<(&str, f64)> = vec![
+            ("Ni", 100.0), ("Nj", 100.0), ("Nk", 100.0),
+            ("Ti_1", 8.0), ("Tj_1", 8.0), ("Tk_1", 1.0),
+            ("Ti_2", 32.0), ("Tj_2", 32.0), ("Tk_2", 1.0),
+        ];
+        let o = cost.objective.eval_with(&env).unwrap();
+        let io1 = cost.per_level[0].io.eval_with(&env).unwrap();
+        let io2 = cost.per_level[1].io.eval_with(&env).unwrap();
+        // Weights are normalized by the largest (4.0): 1/4·IO1 + 1·IO2.
+        assert!((o - (0.25 * io1 + io2)).abs() < 1e-6 * o.abs());
+    }
+}

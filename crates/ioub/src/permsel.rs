@@ -1,0 +1,206 @@
+//! Loop permutation selection (paper §4.3, Algorithm 1).
+//!
+//! Builds permutations innermost-out, at each step keeping only the
+//! dimensions whose *reuse set* (arrays that can reuse data across that
+//! dimension) is maximal, and intersecting reuse sets as dimensions are
+//! consumed.
+
+use std::collections::BTreeSet;
+
+use ioopt_ir::{ArrayRef, Kernel};
+
+/// The reuse oracle of §4.3: decides whether `array` can reuse data across
+/// consecutive iterations of `dim` when `dim` is placed innermost.
+pub trait ReuseOracle {
+    /// Whether there is reuse for `array` along `dim`.
+    fn reuse(&self, kernel: &Kernel, array: &ArrayRef, dim: usize) -> bool;
+}
+
+/// The default oracle, using the kernel's small-dimension annotations:
+///
+/// * an array that does not use `dim` is fully reused across it;
+/// * a sliding-window subscript (`x + w` with `w` the moving dim) gives
+///   reuse when the moving dimension is *small* — the paper's
+///   `Tw − 1 ≪ Tx` criterion, answered by the user oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmallDimOracle;
+
+impl ReuseOracle for SmallDimOracle {
+    fn reuse(&self, kernel: &Kernel, array: &ArrayRef, dim: usize) -> bool {
+        if !array.access.uses(dim) {
+            return true;
+        }
+        let small = kernel.dims()[dim].small;
+        small
+            && array
+                .access
+                .dims()
+                .iter()
+                .any(|f| f.uses(dim) && f.terms().len() > 1)
+    }
+}
+
+/// Runs Algorithm 1: returns the pruned list of inter-tile permutations
+/// (dimension indices, outermost first).
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ioub::{select_permutations, SmallDimOracle};
+/// use ioopt_ir::kernels;
+/// let k = kernels::conv1d();
+/// let perms = select_permutations(&k, &SmallDimOracle);
+/// assert_eq!(perms.len(), 3); // paper Fig. 2
+/// ```
+pub fn select_permutations(kernel: &Kernel, oracle: &dyn ReuseOracle) -> Vec<Vec<usize>> {
+    let dims: Vec<usize> = (0..kernel.dims().len()).collect();
+    let reuse_sets: Vec<(usize, BTreeSet<String>)> = dims
+        .iter()
+        .map(|&d| {
+            let set: BTreeSet<String> = kernel
+                .arrays()
+                .filter(|a| oracle.reuse(kernel, a, d))
+                .map(|a| a.name.clone())
+                .collect();
+            (d, set)
+        })
+        .collect();
+    let mut out = gen_perm(&dims, &reuse_sets);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The recursive core (paper Algorithm 1). Returns permutations of
+/// `remaining`, outermost first.
+fn gen_perm(
+    remaining: &[usize],
+    reuse: &[(usize, BTreeSet<String>)],
+) -> Vec<Vec<usize>> {
+    if remaining.is_empty() {
+        return vec![Vec::new()];
+    }
+    if reuse.iter().all(|(_, s)| s.is_empty()) {
+        // No reuse potential left: one arbitrary (canonical) order.
+        let mut perm: Vec<usize> = remaining.to_vec();
+        perm.sort_unstable();
+        return vec![perm];
+    }
+    let mut perms = Vec::new();
+    for (d, s) in reuse {
+        // Prune dominated choices: skip d if another dimension's reuse set
+        // strictly contains s.
+        let dominated = reuse.iter().any(|(d2, s2)| d2 != d && s.is_subset(s2) && s != s2);
+        if dominated || s.is_empty() {
+            continue;
+        }
+        let rest: Vec<usize> = remaining.iter().copied().filter(|x| x != d).collect();
+        let next_reuse: Vec<(usize, BTreeSet<String>)> = reuse
+            .iter()
+            .filter(|(d2, _)| d2 != d)
+            .map(|(d2, s2)| (*d2, s2.intersection(s).cloned().collect()))
+            .collect();
+        for mut p in gen_perm(&rest, &next_reuse) {
+            // d was chosen innermost among `remaining`.
+            p.push(*d);
+            perms.push(p);
+        }
+    }
+    if perms.is_empty() {
+        // All non-empty sets were mutually dominated duplicates; fall back.
+        let mut perm: Vec<usize> = remaining.to_vec();
+        perm.sort_unstable();
+        return vec![perm];
+    }
+    perms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    fn names(kernel: &Kernel, perm: &[usize]) -> Vec<String> {
+        perm.iter().map(|&d| kernel.dims()[d].name.clone()).collect()
+    }
+
+    #[test]
+    fn conv1d_matches_fig2() {
+        let k = kernels::conv1d();
+        let perms = select_permutations(&k, &SmallDimOracle);
+        let rendered: Vec<Vec<String>> =
+            perms.iter().map(|p| names(&k, p)).collect();
+        // Paper Fig. 2: three permutations; one has x innermost (after
+        // choosing w..), two have w innermost with {c, f} second-innermost.
+        assert_eq!(perms.len(), 3);
+        let innermost: Vec<&str> =
+            rendered.iter().map(|p| p.last().unwrap().as_str()).collect();
+        assert_eq!(innermost.iter().filter(|&&d| d == "x").count(), 1);
+        assert_eq!(innermost.iter().filter(|&&d| d == "w").count(), 2);
+        let second: BTreeSet<&str> = rendered
+            .iter()
+            .filter(|p| p.last().unwrap() == "w")
+            .map(|p| p[p.len() - 2].as_str())
+            .collect();
+        assert_eq!(second, BTreeSet::from(["c", "f"]));
+    }
+
+    #[test]
+    fn conv1d_initial_reuse_sets_match_fig2() {
+        let k = kernels::conv1d();
+        let oracle = SmallDimOracle;
+        let set_for = |dim: &str| -> BTreeSet<String> {
+            let d = k.dim_index(dim).unwrap();
+            k.arrays()
+                .filter(|a| oracle.reuse(&k, a, d))
+                .map(|a| a.name.clone())
+                .collect()
+        };
+        // Fig. 2: x: {Filter}, w: {Out, Image}, f: {Image}, c: {Out}.
+        assert_eq!(set_for("x"), BTreeSet::from(["Filter".to_string()]));
+        assert_eq!(
+            set_for("w"),
+            BTreeSet::from(["Out".to_string(), "Image".to_string()])
+        );
+        assert_eq!(set_for("f"), BTreeSet::from(["Image".to_string()]));
+        assert_eq!(set_for("c"), BTreeSet::from(["Out".to_string()]));
+    }
+
+    #[test]
+    fn matmul_permutations() {
+        // Singleton reuse sets: i → {B}, j → {A}, k → {C}; none dominates
+        // another, so each can go innermost. After one choice the
+        // intersections are empty, so the outer order is canonical:
+        // exactly three representative permutations.
+        let k = kernels::matmul();
+        let perms = select_permutations(&k, &SmallDimOracle);
+        assert_eq!(perms.len(), 3);
+        let inner: BTreeSet<String> = perms
+            .iter()
+            .map(|p| k.dims()[*p.last().unwrap()].name.clone())
+            .collect();
+        assert_eq!(inner.len(), 3);
+    }
+
+    #[test]
+    fn permutations_are_valid() {
+        for kernel in [kernels::matmul(), kernels::conv1d(), kernels::conv2d()] {
+            for p in select_permutations(&kernel, &SmallDimOracle) {
+                let mut sorted = p.clone();
+                sorted.sort_unstable();
+                let want: Vec<usize> = (0..kernel.dims().len()).collect();
+                assert_eq!(sorted, want, "{} perm {:?}", kernel.name(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_selection_is_pruned() {
+        // 7 dims would have 5040 permutations; the algorithm must prune
+        // to a small representative set.
+        let k = kernels::conv2d();
+        let perms = select_permutations(&k, &SmallDimOracle);
+        assert!(!perms.is_empty());
+        assert!(perms.len() <= 60, "got {}", perms.len());
+    }
+}

@@ -1,0 +1,286 @@
+//! Tiling schedules `(P, T)`: inter-tile loop permutation and tile sizes.
+
+use std::fmt;
+
+use ioopt_ir::Kernel;
+use ioopt_symbolic::{Expr, Symbol};
+
+/// A rectangular tiling schedule: a permutation `P` of the kernel's
+/// dimensions (outermost first) and a symbolic tile size per dimension
+/// (paper §4.1).
+///
+/// Tile sizes of `1` and `N_d` encode untiled inner/outer dimensions, as
+/// in the paper's notation `(P = (w,c,f,x), {T_c, T_f, T_x = 1, T_w = Nw})`.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ioub::TilingSchedule;
+/// use ioopt_ir::kernels;
+/// let mm = kernels::matmul();
+/// let sched = TilingSchedule::parametric(&mm, &["i", "j", "k"]).unwrap();
+/// assert_eq!(sched.to_string(), "P = (d0, d1, d2), T = {Ti, Tj, Tk}");
+/// assert_eq!(
+///     sched.display(&mm).to_string(),
+///     "(i, j, k), {Ti = Ti, Tj = Tj, Tk = Tk}"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilingSchedule {
+    /// Dimension indices, outermost first (`perm[0]` is the paper's
+    /// `d_{|D|}`).
+    perm: Vec<usize>,
+    /// Tile size expression per dimension (indexed by dimension, not by
+    /// permutation position).
+    tiles: Vec<Expr>,
+    /// The free tile-size symbols (those not pinned to `1` or `N_d`),
+    /// with their dimension.
+    tile_vars: Vec<(usize, Symbol)>,
+}
+
+impl TilingSchedule {
+    /// Creates a schedule with fully parametric tile sizes `T<name>` for a
+    /// permutation given by dimension names (outermost first).
+    ///
+    /// Returns `None` if `perm` is not a permutation of the kernel's
+    /// dimension names.
+    pub fn parametric(kernel: &Kernel, perm: &[&str]) -> Option<TilingSchedule> {
+        let indices: Option<Vec<usize>> =
+            perm.iter().map(|n| kernel.dim_index(n)).collect();
+        let indices = indices?;
+        TilingSchedule::parametric_by_index(kernel, indices)
+    }
+
+    /// As [`TilingSchedule::parametric`], from dimension indices.
+    pub fn parametric_by_index(kernel: &Kernel, perm: Vec<usize>) -> Option<TilingSchedule> {
+        let n = kernel.dims().len();
+        if perm.len() != n {
+            return None;
+        }
+        let mut seen = vec![false; n];
+        for &d in &perm {
+            if d >= n || seen[d] {
+                return None;
+            }
+            seen[d] = true;
+        }
+        let mut tiles = Vec::with_capacity(n);
+        let mut tile_vars = Vec::new();
+        for d in 0..n {
+            let sym = Symbol::new(&format!("T{}", kernel.dims()[d].name));
+            tiles.push(Expr::symbol(sym));
+            tile_vars.push((d, sym));
+        }
+        Some(TilingSchedule { perm, tiles, tile_vars })
+    }
+
+    /// Pins the tile size of dimension `name` to a fixed expression
+    /// (commonly `1` or the full extent `N_d`), removing it from the free
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a dimension of the schedule's kernel.
+    pub fn pin(mut self, kernel: &Kernel, name: &str, value: Expr) -> TilingSchedule {
+        let d = kernel
+            .dim_index(name)
+            .unwrap_or_else(|| panic!("unknown dimension `{name}`"));
+        self.tiles[d] = value;
+        self.tile_vars.retain(|&(vd, _)| vd != d);
+        self
+    }
+
+    /// Pins the tile size of `name` to 1 (the dimension iterates between
+    /// tiles only).
+    pub fn pin_one(self, kernel: &Kernel, name: &str) -> TilingSchedule {
+        self.pin(kernel, name, Expr::one())
+    }
+
+    /// Pins the tile size of `name` to the full extent `N_d` (the
+    /// dimension iterates inside the tile only).
+    pub fn pin_full(self, kernel: &Kernel, name: &str) -> TilingSchedule {
+        let d = kernel.dim_index(name).unwrap_or_else(|| panic!("unknown dimension `{name}`"));
+        let full = kernel.size_expr(d);
+        self.pin(kernel, name, full)
+    }
+
+    /// Registers `sym` as the free tile variable of dimension `d` after a
+    /// re-pin (used by the multi-level bands to rename tile symbols).
+    pub(crate) fn push_tile_var(&mut self, d: usize, sym: Symbol) {
+        self.tile_vars.retain(|&(vd, _)| vd != d);
+        self.tile_vars.push((d, sym));
+    }
+
+    /// The permutation (dimension indices, outermost first).
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The tile size of dimension `d`.
+    pub fn tile(&self, d: usize) -> &Expr {
+        &self.tiles[d]
+    }
+
+    /// All tile sizes, indexed by dimension.
+    pub fn tiles(&self) -> &[Expr] {
+        &self.tiles
+    }
+
+    /// The free tile-size variables `(dim, symbol)`.
+    pub fn tile_vars(&self) -> &[(usize, Symbol)] {
+        &self.tile_vars
+    }
+
+    /// The number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The dimension at paper level `j ∈ 1..=n` (level 1 is innermost:
+    /// `d_1 = perm[n-1]`).
+    pub fn dim_at_level(&self, level: usize) -> usize {
+        assert!((1..=self.ndims()).contains(&level), "level out of range");
+        self.perm[self.ndims() - level]
+    }
+
+    /// The level of dimension `d`.
+    pub fn level_of(&self, d: usize) -> usize {
+        let pos = self
+            .perm
+            .iter()
+            .position(|&p| p == d)
+            .expect("dimension in permutation");
+        self.ndims() - pos
+    }
+
+    /// Per-dimension extents of the sub-domain at `level` (paper §4.1):
+    /// dimensions at levels ≥ `level` span one tile, the inner ones span
+    /// their full extent.
+    pub fn level_extents(&self, kernel: &Kernel, level: usize) -> Vec<Expr> {
+        (0..self.ndims())
+            .map(|d| {
+                if self.level_of(d) >= level {
+                    self.tiles[d].clone()
+                } else {
+                    kernel.size_expr(d)
+                }
+            })
+            .collect()
+    }
+
+    /// `|SD_level|`: the number of iteration points in the sub-domain.
+    pub fn level_domain_size(&self, kernel: &Kernel, level: usize) -> Expr {
+        Expr::mul_all(self.level_extents(kernel, level))
+    }
+
+    /// Renders with dimension names from `kernel`.
+    pub fn display<'a>(&'a self, kernel: &'a Kernel) -> ScheduleDisplay<'a> {
+        ScheduleDisplay { sched: self, kernel }
+    }
+}
+
+impl fmt::Display for TilingSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P = (")?;
+        for (i, &d) in self.perm.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "d{d}")?;
+        }
+        write!(f, "), T = {{")?;
+        for (i, t) in self.tiles.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// [`TilingSchedule`] renderer with human dimension names.
+#[derive(Debug)]
+pub struct ScheduleDisplay<'a> {
+    sched: &'a TilingSchedule,
+    kernel: &'a Kernel,
+}
+
+impl fmt::Display for ScheduleDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &d) in self.sched.perm.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.kernel.dims()[d].name)?;
+        }
+        write!(f, "), {{")?;
+        for (i, t) in self.sched.tiles.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "T{} = {}", self.kernel.dims()[i].name, t)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn level_indexing_matches_paper() {
+        // Conv1d with P = (w, c, f, x): d_4 = w, d_3 = c, d_2 = f, d_1 = x.
+        let k = kernels::conv1d();
+        let s = TilingSchedule::parametric(&k, &["w", "c", "f", "x"]).unwrap();
+        assert_eq!(k.dims()[s.dim_at_level(4)].name, "w");
+        assert_eq!(k.dims()[s.dim_at_level(1)].name, "x");
+        assert_eq!(s.level_of(k.dim_index("f").unwrap()), 2);
+    }
+
+    #[test]
+    fn level_extents_widen_inner_dims() {
+        let k = kernels::matmul();
+        let s = TilingSchedule::parametric(&k, &["i", "j", "k"]).unwrap();
+        // Level 2: i and j tiled, k full.
+        let exts = s.level_extents(&k, 2);
+        assert_eq!(exts[0].to_string(), "Ti");
+        assert_eq!(exts[1].to_string(), "Tj");
+        assert_eq!(exts[2].to_string(), "Nk");
+        // Level 1: everything tiled.
+        let exts = s.level_extents(&k, 1);
+        assert_eq!(exts[2].to_string(), "Tk");
+    }
+
+    #[test]
+    fn pinning_removes_vars() {
+        let k = kernels::matmul();
+        let s = TilingSchedule::parametric(&k, &["i", "j", "k"])
+            .unwrap()
+            .pin_one(&k, "k");
+        assert_eq!(s.tile_vars().len(), 2);
+        assert!(s.tile(2).is_one());
+        let s2 = s.pin_full(&k, "j");
+        assert_eq!(s2.tile(1).to_string(), "Nj");
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let k = kernels::matmul();
+        assert!(TilingSchedule::parametric(&k, &["i", "j"]).is_none());
+        assert!(TilingSchedule::parametric(&k, &["i", "j", "j"]).is_none());
+        assert!(TilingSchedule::parametric(&k, &["i", "j", "z"]).is_none());
+    }
+
+    #[test]
+    fn display_with_names() {
+        let k = kernels::matmul();
+        let s = TilingSchedule::parametric(&k, &["i", "j", "k"])
+            .unwrap()
+            .pin_one(&k, "k");
+        assert_eq!(s.display(&k).to_string(), "(i, j, k), {Ti = Ti, Tj = Tj, Tk = 1}");
+    }
+}

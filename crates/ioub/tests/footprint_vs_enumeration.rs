@@ -1,0 +1,105 @@
+//! Property tests: the symbolic SDF/SDR of random tilings equal
+//! brute-force enumeration over the corresponding concrete sub-domains.
+
+use std::collections::HashMap;
+
+use ioopt_ioub::{sdf, sdr, TilingSchedule};
+use ioopt_ir::kernels;
+use ioopt_polyhedra::{count_image, count_image_overlap, ConcreteBox};
+use ioopt_symbolic::{Rational, Symbol};
+use proptest::prelude::*;
+
+/// Concrete sizes and tiles for conv1d's four dimensions (c, f, x, w).
+fn case_strategy() -> impl Strategy<Value = (Vec<i64>, Vec<i64>, Vec<usize>, usize)> {
+    let sizes = proptest::collection::vec(2i64..6, 4);
+    let perm = Just(vec![0usize, 1, 2, 3]).prop_shuffle();
+    (sizes, perm, 1usize..=4).prop_flat_map(|(sizes, perm, level)| {
+        let tiles = sizes
+            .iter()
+            .map(|&n| 1i64..=n)
+            .collect::<Vec<_>>();
+        (Just(sizes), tiles, Just(perm), Just(level))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SDF equals the enumerated distinct-cell count of the level's box.
+    #[test]
+    fn sdf_matches_enumeration((sizes, tiles, perm, level) in case_strategy()) {
+        let kernel = kernels::conv1d();
+        let sched = TilingSchedule::parametric_by_index(&kernel, perm.clone())
+            .expect("valid permutation");
+        // Bindings: dimension sizes and tile symbols.
+        let mut env: HashMap<Symbol, Rational> = HashMap::new();
+        for (d, dim) in kernel.dims().iter().enumerate() {
+            env.insert(dim.size, Rational::from(sizes[d] as i128));
+            env.insert(
+                Symbol::new(&format!("T{}", dim.name)),
+                Rational::from(tiles[d] as i128),
+            );
+        }
+        // Concrete box: tiled dims (level >= `level`) use the tile size,
+        // inner dims the full extent.
+        let extents: Vec<i64> = (0..4)
+            .map(|d| {
+                if sched.level_of(d) >= level {
+                    tiles[d]
+                } else {
+                    sizes[d]
+                }
+            })
+            .collect();
+        let boxdom = ConcreteBox::at_origin(extents);
+        for array in kernel.arrays() {
+            let symbolic = sdf(&kernel, &sched, array, level);
+            prop_assert!(symbolic.exact);
+            let value = symbolic.card.eval_rational(&env).expect("rational");
+            let enumerated = count_image(&boxdom, &array.access);
+            prop_assert_eq!(
+                value,
+                Rational::from(enumerated as i128),
+                "array {} level {}", array.name, level
+            );
+        }
+    }
+
+    /// SDR equals the enumerated overlap of consecutive sub-domains.
+    #[test]
+    fn sdr_matches_enumeration((sizes, tiles, perm, level) in case_strategy()) {
+        let kernel = kernels::conv1d();
+        let sched = TilingSchedule::parametric_by_index(&kernel, perm.clone())
+            .expect("valid permutation");
+        let mut env: HashMap<Symbol, Rational> = HashMap::new();
+        for (d, dim) in kernel.dims().iter().enumerate() {
+            env.insert(dim.size, Rational::from(sizes[d] as i128));
+            env.insert(
+                Symbol::new(&format!("T{}", dim.name)),
+                Rational::from(tiles[d] as i128),
+            );
+        }
+        let extents: Vec<i64> = (0..4)
+            .map(|d| {
+                if sched.level_of(d) >= level {
+                    tiles[d]
+                } else {
+                    sizes[d]
+                }
+            })
+            .collect();
+        let d_level = sched.dim_at_level(level);
+        let b1 = ConcreteBox::at_origin(extents);
+        let b2 = b1.shifted(d_level, tiles[d_level]);
+        for array in kernel.arrays() {
+            let symbolic = sdr(&kernel, &sched, array, level);
+            let value = symbolic.card.eval_rational(&env).expect("rational");
+            let enumerated = count_image_overlap(&b1, &b2, &array.access);
+            prop_assert_eq!(
+                value,
+                Rational::from(enumerated as i128),
+                "array {} level {} shift dim {}", array.name, level, d_level
+            );
+        }
+    }
+}

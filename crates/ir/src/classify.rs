@@ -1,0 +1,135 @@
+//! Tensor-contraction classification (derives the paper's Fig. 5 rows).
+//!
+//! The paper groups the 49 distinct TCCG kernels into eight classes "by
+//! the number of dimensions of each array and the number of dimensions
+//! shared between them". This module computes that signature from a
+//! [`Kernel`], so the Fig. 5 table is *derived*, not hard-coded.
+
+use std::collections::BTreeSet;
+
+use crate::program::Kernel;
+
+/// The class signature of a tensor contraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcClass {
+    /// Dimensions per array: `(Out, In1, In2)`.
+    pub array_dims: (usize, usize, usize),
+    /// Shared dimensions: `(Out∩In1, Out∩In2, In1∩In2)`.
+    pub shared_dims: (usize, usize, usize),
+    /// The dimension groups, as indices into the kernel's dims:
+    /// `[Out∩In1, Out∩In2, In1∩In2]`. For a well-formed contraction these
+    /// partition all dimensions ("merging" each group turns the kernel
+    /// into a matrix multiplication, §6).
+    pub groups: [Vec<usize>; 3],
+}
+
+impl TcClass {
+    /// Formats the signature like Fig. 5, e.g. `332 / 211`.
+    pub fn signature(&self) -> String {
+        format!(
+            "{}{}{} / {}{}{}",
+            self.array_dims.0,
+            self.array_dims.1,
+            self.array_dims.2,
+            self.shared_dims.0,
+            self.shared_dims.1,
+            self.shared_dims.2
+        )
+    }
+}
+
+/// Classifies a two-input kernel as a tensor contraction.
+///
+/// Returns `None` if the kernel does not have exactly two inputs, or if
+/// the subscripts are not simple distinct indices (e.g. a convolution), or
+/// if some dimension does not appear in exactly two of the three arrays.
+pub fn classify_tc(kernel: &Kernel) -> Option<TcClass> {
+    if kernel.inputs().len() != 2 {
+        return None;
+    }
+    let dims_of = |a: &crate::program::ArrayRef| -> Option<BTreeSet<usize>> {
+        let mut set = BTreeSet::new();
+        for f in a.access.dims() {
+            // Tensor contractions index arrays by single distinct dims.
+            if f.terms().len() != 1 || f.terms()[0].1 != 1 {
+                return None;
+            }
+            if !set.insert(f.terms()[0].0) {
+                return None;
+            }
+        }
+        Some(set)
+    };
+    let out = dims_of(kernel.output())?;
+    let in1 = dims_of(&kernel.inputs()[0])?;
+    let in2 = dims_of(&kernel.inputs()[1])?;
+
+    let g01: Vec<usize> = out.intersection(&in1).copied().collect();
+    let g02: Vec<usize> = out.intersection(&in2).copied().collect();
+    let g12: Vec<usize> = in1.intersection(&in2).copied().collect();
+
+    // Every dimension must lie in exactly two arrays.
+    for d in 0..kernel.dims().len() {
+        let count =
+            usize::from(out.contains(&d)) + usize::from(in1.contains(&d)) + usize::from(in2.contains(&d));
+        if count != 2 {
+            return None;
+        }
+    }
+
+    Some(TcClass {
+        array_dims: (out.len(), in1.len(), in2.len()),
+        shared_dims: (g01.len(), g02.len(), g12.len()),
+        groups: [g01, g02, g12],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{conv2d, tensor_contraction, TCCG};
+
+    #[test]
+    fn fig5_signatures_are_derived() {
+        // The expected (dims, shared) columns of Fig. 5, in table order.
+        let expected = [
+            ("abcde-efbad-cf", "552 / 411"),
+            ("abcd-dbea-ec", "442 / 311"),
+            ("abc-bda-dc", "332 / 211"),
+            ("abcdef-dega-gfbc", "644 / 331"),
+            ("abc-adec-ebd", "343 / 212"),
+            ("ab-cad-dcb", "233 / 112"),
+            ("ab-ac-cb", "222 / 111"),
+            ("abcd-aebf-fdec", "444 / 222"),
+        ];
+        for (entry, (spec, sig)) in TCCG.iter().zip(expected) {
+            assert_eq!(entry.spec, spec);
+            let class = classify_tc(&entry.kernel()).expect("classifies");
+            assert_eq!(class.signature(), sig, "for {spec}");
+        }
+    }
+
+    #[test]
+    fn groups_partition_dims() {
+        for entry in TCCG {
+            let k = entry.kernel();
+            let class = classify_tc(&k).unwrap();
+            let mut all: Vec<usize> = class.groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let want: Vec<usize> = (0..k.dims().len()).collect();
+            assert_eq!(all, want, "for {}", entry.spec);
+        }
+    }
+
+    #[test]
+    fn convolution_is_not_a_tc() {
+        assert_eq!(classify_tc(&conv2d()), None);
+    }
+
+    #[test]
+    fn matmul_class() {
+        let class = classify_tc(&tensor_contraction("mm", "ab-ac-cb")).unwrap();
+        assert_eq!(class.array_dims, (2, 2, 2));
+        assert_eq!(class.shared_dims, (1, 1, 1));
+    }
+}

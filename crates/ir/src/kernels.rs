@@ -1,0 +1,470 @@
+//! The paper's benchmark kernels: matmul, 1D/2D convolution, the TCCG
+//! tensor-contraction classes (Fig. 5) and the Yolo9000 layers (Fig. 4).
+
+use std::collections::HashMap;
+
+use ioopt_polyhedra::{AccessFunction, LinearForm};
+use ioopt_symbolic::Symbol;
+
+use crate::parser::parse_kernel;
+use crate::program::{AccessKind, ArrayRef, Dim, Kernel};
+
+/// Matrix-matrix multiplication (paper Listing 1).
+pub fn matmul() -> Kernel {
+    parse_kernel(
+        "kernel matmul {
+            loop i : Ni;
+            loop j : Nj;
+            loop k : Nk;
+            C[i][j] += A[i][k] * B[k][j];
+        }",
+    )
+    .expect("builtin matmul parses")
+}
+
+/// 1D convolution, the paper's running example (Listing 2).
+pub fn conv1d() -> Kernel {
+    parse_kernel(
+        "kernel conv1d {
+            loop c : Nc;
+            loop f : Nf;
+            loop x : Nx;
+            loop w : Nw small;
+            Out[f][x] += Image[x+w][c] * Filter[f][w][c];
+        }",
+    )
+    .expect("builtin conv1d parses")
+}
+
+/// 2D convolution (paper Fig. 3a): the Yolo9000 layer shape.
+///
+/// Dimensions, outermost first: `b, c, f, x, y, h, w`; `h` and `w` carry
+/// the small-dimension annotation used by §5.2.
+pub fn conv2d() -> Kernel {
+    parse_kernel(
+        "kernel conv2d {
+            loop b : B;
+            loop c : C;
+            loop f : F;
+            loop x : X;
+            loop y : Y;
+            loop h : H small;
+            loop w : W small;
+            Out[f][x][y][b] += Image[x+h][y+w][c][b] * Filter[f][h][w][c];
+        }",
+    )
+    .expect("builtin conv2d parses")
+}
+
+/// MTTKRP (matricized tensor times Khatri-Rao product), the CP
+/// decomposition workhorse: `A[i][j] += B[i][k][l] * C[k][j] * D[l][j]`.
+///
+/// A three-input kernel: exercises the cost model and lower-bound
+/// machinery beyond the two-input tensor-contraction class.
+pub fn mttkrp() -> Kernel {
+    parse_kernel(
+        "kernel mttkrp {
+            loop i : Ni;
+            loop j : Nj;
+            loop k : Nk;
+            loop l : Nl;
+            A[i][j] += B[i][k][l] * C[k][j] * D[l][j];
+        }",
+    )
+    .expect("builtin mttkrp parses")
+}
+
+/// A 2D cross-correlation stencil written as a weighted reduction:
+/// `Out[x][y] += In[x+h][y+w] * W[h][w]` — the single-channel analogue of
+/// [`conv2d`], useful for small-scale validation.
+pub fn stencil2d() -> Kernel {
+    parse_kernel(
+        "kernel stencil2d {
+            loop x : Nx;
+            loop y : Ny;
+            loop h : Nh small;
+            loop w : Nw small;
+            Out[x][y] += In[x+h][y+w] * W[h][w];
+        }",
+    )
+    .expect("builtin stencil2d parses")
+}
+
+/// `doitgen` (PolyBench): `A[r][q][p] += C4[s][p] * A0[r][q][s]` — a
+/// tensor contraction with a 2-dimensional free group, class `332 / 211`.
+pub fn doitgen() -> Kernel {
+    parse_kernel(
+        "kernel doitgen {
+            loop r : Nr;
+            loop q : Nq;
+            loop p : Np;
+            loop s : Ns;
+            A[r][q][p] += A0[r][q][s] * C4[s][p];
+        }",
+    )
+    .expect("builtin doitgen parses")
+}
+
+/// Builds a tensor contraction from a TCCG spec string such as
+/// `"abc-bda-dc"` (`Out-In1-In2`, one letter per dimension).
+///
+/// Dimensions are created in alphabetical order; the size symbol of
+/// dimension `a` is `A`, and so on.
+///
+/// # Panics
+///
+/// Panics if the spec is not three `-`-separated index strings or if a
+/// letter appears twice within one tensor.
+pub fn tensor_contraction(name: &str, spec: &str) -> Kernel {
+    let parts: Vec<&str> = spec.split('-').collect();
+    assert_eq!(parts.len(), 3, "TC spec must be Out-In1-In2, got `{spec}`");
+    let mut letters: Vec<char> = spec.chars().filter(|c| c.is_ascii_alphabetic()).collect();
+    letters.sort_unstable();
+    letters.dedup();
+    let dims: Vec<Dim> = letters
+        .iter()
+        .map(|&c| Dim {
+            name: c.to_string(),
+            size: Symbol::new(&c.to_uppercase().to_string()),
+            small: false,
+        })
+        .collect();
+    let dim_of = |c: char| -> usize {
+        letters.iter().position(|&l| l == c).expect("letter registered")
+    };
+    let make_access = |indices: &str| -> AccessFunction {
+        let mut seen = Vec::new();
+        let forms: Vec<LinearForm> = indices
+            .chars()
+            .map(|c| {
+                assert!(!seen.contains(&c), "repeated index `{c}` in `{indices}`");
+                seen.push(c);
+                LinearForm::var(dim_of(c))
+            })
+            .collect();
+        AccessFunction::new(forms)
+    };
+    let output = ArrayRef {
+        name: "Out".into(),
+        access: make_access(parts[0]),
+        kind: AccessKind::Accumulate,
+    };
+    let inputs = vec![
+        ArrayRef { name: "In1".into(), access: make_access(parts[1]), kind: AccessKind::Read },
+        ArrayRef { name: "In2".into(), access: make_access(parts[2]), kind: AccessKind::Read },
+    ];
+    Kernel::new(name, dims, output, inputs).expect("TC spec produces a valid kernel")
+}
+
+/// PolyBench-style multi-statement programs, expressed as sequences of
+/// fully tilable kernels (each statement is one band; compose bounds with
+/// `ioopt::analyze_sequence`).
+pub mod polybench {
+    use super::*;
+
+    /// `atax`: `y = Aᵀ(Ax)` as two matvec statements over an `M×N` matrix.
+    pub fn atax() -> Vec<Kernel> {
+        crate::parser::parse(
+            "kernel atax_t1 {
+                loop i : M;
+                loop j : N;
+                T[i] += A[i][j] * X[j];
+             }
+             kernel atax_t2 {
+                loop i : M;
+                loop j : N;
+                Y[j] += A[i][j] * T[i];
+             }",
+        )
+        .expect("builtin atax parses")
+    }
+
+    /// `bicg`: the BiCG sub-kernel `s = Aᵀr ; q = Ap`.
+    pub fn bicg() -> Vec<Kernel> {
+        crate::parser::parse(
+            "kernel bicg_s {
+                loop i : M;
+                loop j : N;
+                S[j] += A[i][j] * R[i];
+             }
+             kernel bicg_q {
+                loop i : M;
+                loop j : N;
+                Q[i] += A[i][j] * P[j];
+             }",
+        )
+        .expect("builtin bicg parses")
+    }
+
+    /// `mvt`: `x1 += A·y1 ; x2 += Aᵀ·y2`.
+    pub fn mvt() -> Vec<Kernel> {
+        crate::parser::parse(
+            "kernel mvt_x1 {
+                loop i : N;
+                loop j : N;
+                X1[i] += A[i][j] * Y1[j];
+             }
+             kernel mvt_x2 {
+                loop i : N;
+                loop j : N;
+                X2[i] += A[j][i] * Y2[j];
+             }",
+        )
+        .expect("builtin mvt parses")
+    }
+
+    /// `gemm`-chain (`2mm`): `T = A·B ; D = T·C`.
+    pub fn two_mm() -> Vec<Kernel> {
+        crate::parser::parse(
+            "kernel mm_first {
+                loop i : Ni;
+                loop j : Nj;
+                loop k : Nk;
+                T[i][j] += A[i][k] * B[k][j];
+             }
+             kernel mm_second {
+                loop i : Ni;
+                loop l : Nl;
+                loop j : Nj;
+                D[i][l] += T[i][j] * C[j][l];
+             }",
+        )
+        .expect("builtin 2mm parses")
+    }
+}
+
+/// One row of the paper's Fig. 5 (TCCG benchmark classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TccgEntry {
+    /// The `Out-In1-In2` index spec.
+    pub spec: &'static str,
+    /// Problem sizes per dimension, in alphabetical dimension order.
+    pub sizes: &'static [i64],
+}
+
+/// The eight TCCG tensor-contraction classes with the paper's problem
+/// sizes (Fig. 5).
+pub const TCCG: [TccgEntry; 8] = [
+    TccgEntry { spec: "abcde-efbad-cf", sizes: &[48, 32, 24, 32, 48, 32] },
+    TccgEntry { spec: "abcd-dbea-ec", sizes: &[72, 72, 24, 72, 72] },
+    TccgEntry { spec: "abc-bda-dc", sizes: &[312, 312, 296, 312] },
+    TccgEntry { spec: "abcdef-dega-gfbc", sizes: &[24, 16, 16, 24, 16, 16, 24] },
+    TccgEntry { spec: "abc-adec-ebd", sizes: &[72, 72, 72, 72, 72] },
+    TccgEntry { spec: "ab-cad-dcb", sizes: &[312, 296, 312, 312] },
+    TccgEntry { spec: "ab-ac-cb", sizes: &[5136, 5136, 5120] },
+    TccgEntry { spec: "abcd-aebf-fdec", sizes: &[72, 72, 72, 72, 72, 72] },
+];
+
+impl TccgEntry {
+    /// The kernel for this entry (named after its spec).
+    pub fn kernel(&self) -> Kernel {
+        tensor_contraction(self.spec, self.spec)
+    }
+
+    /// `{dimension name -> size}` bindings from Fig. 5.
+    pub fn size_map(&self) -> HashMap<String, i64> {
+        let ndims = self
+            .spec
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert_eq!(self.sizes.len(), ndims, "size list length mismatch for {}", self.spec);
+        (0..ndims)
+            .map(|i| {
+                let letter = (b'a' + i as u8) as char;
+                (letter.to_string(), self.sizes[i])
+            })
+            .collect()
+    }
+}
+
+/// One convolutional layer of Yolo9000 (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YoloLayer {
+    /// Layer name, e.g. `Yolo9000-0`.
+    pub name: &'static str,
+    /// Output channels.
+    pub f: i64,
+    /// Input channels.
+    pub c: i64,
+    /// Output width.
+    pub x: i64,
+    /// Output height.
+    pub y: i64,
+    /// Filter width.
+    pub w: i64,
+    /// Filter height.
+    pub h: i64,
+}
+
+/// The eleven Yolo9000 layers of the paper's Fig. 4 (batch `B = 1`).
+pub const YOLO9000: [YoloLayer; 11] = [
+    YoloLayer { name: "Yolo9000-0", f: 32, c: 3, x: 544, y: 544, w: 3, h: 3 },
+    YoloLayer { name: "Yolo9000-2", f: 64, c: 32, x: 272, y: 272, w: 3, h: 3 },
+    YoloLayer { name: "Yolo9000-4", f: 128, c: 64, x: 136, y: 136, w: 3, h: 3 },
+    YoloLayer { name: "Yolo9000-5", f: 64, c: 128, x: 136, y: 136, w: 1, h: 1 },
+    YoloLayer { name: "Yolo9000-8", f: 256, c: 128, x: 68, y: 68, w: 3, h: 3 },
+    YoloLayer { name: "Yolo9000-9", f: 128, c: 256, x: 68, y: 68, w: 1, h: 1 },
+    YoloLayer { name: "Yolo9000-12", f: 512, c: 256, x: 34, y: 34, w: 3, h: 3 },
+    YoloLayer { name: "Yolo9000-13", f: 256, c: 512, x: 34, y: 34, w: 1, h: 1 },
+    YoloLayer { name: "Yolo9000-18", f: 1024, c: 512, x: 17, y: 17, w: 3, h: 3 },
+    YoloLayer { name: "Yolo9000-19", f: 512, c: 1024, x: 17, y: 17, w: 1, h: 1 },
+    YoloLayer { name: "Yolo9000-23", f: 28272, c: 1024, x: 17, y: 17, w: 1, h: 1 },
+];
+
+impl YoloLayer {
+    /// `{dimension name -> size}` bindings for the [`conv2d`] kernel.
+    pub fn size_map(&self) -> HashMap<String, i64> {
+        HashMap::from([
+            ("b".to_string(), 1),
+            ("c".to_string(), self.c),
+            ("f".to_string(), self.f),
+            ("x".to_string(), self.x),
+            ("y".to_string(), self.y),
+            ("h".to_string(), self.h),
+            ("w".to_string(), self.w),
+        ])
+    }
+
+    /// A proportionally downscaled copy (spatial dims divided by `factor`,
+    /// channel dims capped), used to drive the cache simulator on
+    /// tractable instances.
+    pub fn downscaled(&self, factor: i64, channel_cap: i64) -> YoloLayer {
+        YoloLayer {
+            name: self.name,
+            f: self.f.min(channel_cap),
+            c: self.c.min(channel_cap),
+            x: (self.x / factor).max(self.w),
+            y: (self.y / factor).max(self.h),
+            w: self.w,
+            h: self.h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shape() {
+        let k = matmul();
+        assert_eq!(k.dims().len(), 3);
+        assert_eq!(k.reduced_dims().len(), 1);
+    }
+
+    #[test]
+    fn mttkrp_shape() {
+        let k = mttkrp();
+        assert_eq!(k.inputs().len(), 3);
+        // Reduction over k and l.
+        assert_eq!(k.reduced_dims().len(), 2);
+        assert_eq!(k.array_size(k.output()).to_string(), "Ni*Nj");
+    }
+
+    #[test]
+    fn stencil_is_conv_shaped() {
+        let k = stencil2d();
+        assert_eq!(k.reduced_dims().len(), 2);
+        let img = &k.inputs()[0];
+        assert!(img.access.dims()[0].terms().len() == 2);
+        assert!(k.dims()[k.dim_index("h").unwrap()].small);
+    }
+
+    #[test]
+    fn doitgen_classifies_as_tc() {
+        let k = doitgen();
+        let class = crate::classify::classify_tc(&k).expect("doitgen is a TC");
+        assert_eq!(class.signature(), "332 / 211");
+    }
+
+    #[test]
+    fn conv2d_shape() {
+        let k = conv2d();
+        assert_eq!(k.dims().len(), 7);
+        // Reduction over c, h, w (paper §5.3).
+        let reduced: Vec<&str> =
+            k.reduced_dims().iter().map(|&d| k.dims()[d].name.as_str()).collect();
+        assert_eq!(reduced, vec!["c", "h", "w"]);
+        assert!(k.dims()[k.dim_index("h").unwrap()].small);
+    }
+
+    #[test]
+    fn tc_spec_roundtrip() {
+        let k = tensor_contraction("t", "abc-bda-dc");
+        assert_eq!(k.dims().len(), 4);
+        assert_eq!(k.output().access.arity(), 3);
+        assert_eq!(k.inputs()[0].access.arity(), 3);
+        assert_eq!(k.inputs()[1].access.arity(), 2);
+        // Contraction dim is `d` (absent from Out).
+        assert_eq!(k.reduced_dims(), vec![3]);
+    }
+
+    #[test]
+    fn tccg_sizes_consistent() {
+        for entry in TCCG {
+            let k = entry.kernel();
+            let sizes = entry.size_map();
+            assert_eq!(sizes.len(), k.dims().len(), "{}", entry.spec);
+            // Every kernel dimension has a size.
+            for d in k.dims() {
+                assert!(sizes.contains_key(&d.name), "{} missing {}", entry.spec, d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn tccg_matmul_member() {
+        // ab-ac-cb is matrix multiplication (paper §6).
+        let k = tensor_contraction("mm", "ab-ac-cb");
+        assert_eq!(k.reduced_dims().len(), 1);
+        assert_eq!(k.dims()[k.reduced_dims()[0]].name, "c");
+    }
+
+    #[test]
+    fn yolo_table_matches_paper() {
+        assert_eq!(YOLO9000.len(), 11);
+        let l0 = YOLO9000[0];
+        assert_eq!((l0.f, l0.c, l0.x, l0.y, l0.w, l0.h), (32, 3, 544, 544, 3, 3));
+        let l23 = YOLO9000[10];
+        assert_eq!(l23.f, 28272);
+        assert_eq!(l23.w, 1);
+    }
+
+    #[test]
+    fn yolo_binds_conv2d() {
+        let k = conv2d();
+        for layer in YOLO9000 {
+            let env = k.bind_sizes(&layer.size_map());
+            assert_eq!(env.len(), 7);
+        }
+    }
+
+    #[test]
+    fn polybench_sequences_parse_and_chain() {
+        for (name, seq) in [
+            ("atax", polybench::atax()),
+            ("bicg", polybench::bicg()),
+            ("mvt", polybench::mvt()),
+            ("2mm", polybench::two_mm()),
+        ] {
+            assert_eq!(seq.len(), 2, "{name}");
+            for k in &seq {
+                assert!(k.is_reduction(), "{name}/{}", k.name());
+            }
+        }
+        // atax's intermediate T links statement 1's output to 2's input.
+        let atax = polybench::atax();
+        assert_eq!(atax[0].output().name, "T");
+        assert!(atax[1].inputs().iter().any(|a| a.name == "T"));
+    }
+
+    #[test]
+    fn downscaling_keeps_filter_viable() {
+        let small = YOLO9000[0].downscaled(32, 8);
+        assert!(small.x >= small.w);
+        assert_eq!(small.c, 3);
+        assert_eq!(small.f, 8);
+    }
+}

@@ -1,0 +1,133 @@
+//! Tiling legality (paper §3.1): "a tiling is legal when there is no
+//! cycle of dependencies between the computation of different tiles".
+//!
+//! For the single-statement kernels of this workspace the dependence
+//! structure is simple enough to check exactly:
+//!
+//! * **input arrays** distinct from the output carry no dependences;
+//! * the **accumulation chain** on the output is a reduction —
+//!   reassociable by §5.3's argument — so it never blocks rectangular
+//!   tiling;
+//! * an input that **aliases the output array** creates flow/anti
+//!   dependences between iterations whenever the two access functions
+//!   can touch the same cell at different iteration points; we detect
+//!   that case and reject it (conservatively for non-identical affine
+//!   accesses).
+
+use crate::program::{AccessKind, Kernel};
+
+/// The tiling-legality verdict for a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Legality {
+    /// Every rectangular tiling of every permutation is legal; no array
+    /// is both read and written.
+    FullyTilable,
+    /// Legal thanks to reduction reassociativity: the output is
+    /// accumulated (`+=`) and no other dependence exists (the common
+    /// case for all the paper's kernels).
+    ReductionTilable,
+    /// A read aliases the written array with a different access
+    /// function: tiles would have to respect the flow/anti dependence,
+    /// so rectangular tiling is not legal in general.
+    Illegal(String),
+}
+
+impl Legality {
+    /// Whether the kernel may be tiled rectangularly in any permutation.
+    pub fn is_tilable(&self) -> bool {
+        !matches!(self, Legality::Illegal(_))
+    }
+}
+
+/// Checks whether every rectangular tiling of `kernel` is legal.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ir::{check_tilable, kernels, Legality};
+/// assert_eq!(check_tilable(&kernels::matmul()), Legality::ReductionTilable);
+/// ```
+pub fn check_tilable(kernel: &Kernel) -> Legality {
+    let out = kernel.output();
+    for input in kernel.inputs() {
+        if input.name != out.name {
+            continue;
+        }
+        if input.access == out.access {
+            // Same-cell read-modify-write: behaves like accumulation on
+            // that cell; no cross-iteration dependence.
+            continue;
+        }
+        // Distinct affine accesses to the written array: e.g. an
+        // in-place stencil A[i] = A[i-1] + A[i+1]. Some such pairs are
+        // still safe (disjoint images), but deciding that needs the
+        // dependence polyhedron; reject conservatively with an
+        // explanation.
+        return Legality::Illegal(format!(
+            "array `{}` is written and read through different affine accesses; \
+             a loop-carried dependence may cross tile boundaries",
+            out.name
+        ));
+    }
+    if out.kind == AccessKind::Accumulate && kernel.is_reduction() {
+        Legality::ReductionTilable
+    } else {
+        Legality::FullyTilable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::parser::parse_kernel;
+
+    #[test]
+    fn paper_kernels_are_tilable() {
+        for k in [
+            kernels::matmul(),
+            kernels::conv1d(),
+            kernels::conv2d(),
+            kernels::mttkrp(),
+            kernels::stencil2d(),
+        ] {
+            assert_eq!(check_tilable(&k), Legality::ReductionTilable, "{}", k.name());
+        }
+        for entry in kernels::TCCG {
+            assert!(check_tilable(&entry.kernel()).is_tilable(), "{}", entry.spec);
+        }
+    }
+
+    #[test]
+    fn copy_kernel_is_fully_tilable() {
+        let k = parse_kernel("kernel copy { loop i : N; B[i] = A[i]; }").unwrap();
+        assert_eq!(check_tilable(&k), Legality::FullyTilable);
+    }
+
+    #[test]
+    fn in_place_stencil_is_rejected() {
+        let k = parse_kernel(
+            "kernel seidel {
+                loop t : T;
+                loop i : N;
+                A[i] += A[i+1] * A[i];
+            }",
+        )
+        .unwrap();
+        let verdict = check_tilable(&k);
+        assert!(!verdict.is_tilable());
+        assert!(matches!(verdict, Legality::Illegal(msg) if msg.contains("A")));
+    }
+
+    #[test]
+    fn same_cell_rmw_is_allowed() {
+        let k = parse_kernel(
+            "kernel scale {
+                loop i : N;
+                A[i] += A[i] * W[i];
+            }",
+        )
+        .unwrap();
+        assert!(check_tilable(&k).is_tilable());
+    }
+}

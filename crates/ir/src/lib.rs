@@ -1,0 +1,21 @@
+//! # ioopt-ir
+//!
+//! Program representation for IOOpt: fully tilable single-statement affine
+//! kernels ([`Kernel`]), a small DSL with a hand-written parser
+//! ([`parse`]), the paper's benchmark kernel library ([`kernels`]:
+//! matmul, convolutions, the TCCG classes of Fig. 5 and the Yolo9000
+//! layers of Fig. 4), and tensor-contraction classification
+//! ([`classify_tc`]).
+
+#![warn(missing_docs)]
+
+mod classify;
+pub mod kernels;
+mod legality;
+mod parser;
+mod program;
+
+pub use classify::{classify_tc, TcClass};
+pub use legality::{check_tilable, Legality};
+pub use parser::{parse, parse_kernel, ParseError};
+pub use program::{AccessKind, ArrayRef, Dim, Kernel, KernelError};

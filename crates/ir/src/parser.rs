@@ -1,0 +1,561 @@
+//! A hand-written lexer/parser for the kernel DSL.
+//!
+//! The input language mirrors the paper's examples (Listings 1–2):
+//!
+//! ```text
+//! kernel conv1d {
+//!     loop c : Nc;
+//!     loop f : Nf;
+//!     loop x : Nx;
+//!     loop w : Nw small;
+//!     Out[f][x] += Image[x+w][c] * Filter[f][w][c];
+//! }
+//! ```
+//!
+//! Each `loop` declares a fully permutable dimension with a symbolic trip
+//! count; `small` is the oracle annotation for small dimensions (§4.3,
+//! §5.2); an optional `= N` default gives the dimension a concrete trip
+//! count (`loop i : Ni = 2000;`) usable when no sizes are supplied.
+//! Subscripts are affine: sums of indices with optional integer
+//! coefficients (`[2*x + w]`).
+
+use std::fmt;
+
+use ioopt_polyhedra::{AccessFunction, LinearForm};
+use ioopt_symbolic::Symbol;
+
+use crate::program::{AccessKind, ArrayRef, Dim, Kernel};
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Colon,
+    Plus,
+    Star,
+    Assign,
+    PlusAssign,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number `{n}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::PlusAssign => write!(f, "`+=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let Some(c) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        let tok = match c {
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            b'+' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::PlusAssign
+                } else {
+                    Tok::Plus
+                }
+            }
+            b'=' => {
+                self.bump();
+                Tok::Assign
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while let Some(d) = self.peek() {
+                    if !d.is_ascii_digit() {
+                        break;
+                    }
+                    n = n * 10 + i64::from(d - b'0');
+                    self.bump();
+                }
+                Tok::Num(n)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(d) = self.peek() {
+                    if !(d.is_ascii_alphanumeric() || d == b'_') {
+                        break;
+                    }
+                    self.bump();
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii slice")
+                    .to_owned();
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(self.error(format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let mut tokens = Vec::new();
+        loop {
+            let t = lexer.next_token()?;
+            let eof = t.0 == Tok::Eof;
+            tokens.push(t);
+            if eof {
+                break;
+            }
+        }
+        Ok(Parser { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].0
+    }
+
+    fn here(&self) -> (usize, usize) {
+        (self.tokens[self.pos].1, self.tokens[self.pos].2)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError { line, col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn kernels(&mut self) -> Result<Vec<Kernel>, ParseError> {
+        let mut out = Vec::new();
+        while *self.peek() != Tok::Eof {
+            out.push(self.kernel()?);
+        }
+        if out.is_empty() {
+            return Err(self.error("expected at least one `kernel` block"));
+        }
+        Ok(out)
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        // Note: default sizes are attached after construction.
+        let kw = self.ident()?;
+        if kw != "kernel" {
+            return Err(self.error(format!("expected `kernel`, found `{kw}`")));
+        }
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut dims: Vec<Dim> = Vec::new();
+        let mut defaults: Vec<(String, i64)> = Vec::new();
+        while matches!(self.peek(), Tok::Ident(s) if s == "loop") {
+            self.bump();
+            let dim_name = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let size = self.ident()?;
+            if *self.peek() == Tok::Assign {
+                self.bump();
+                match self.bump() {
+                    Tok::Num(v) => defaults.push((dim_name.clone(), v)),
+                    other => {
+                        return Err(self.error(format!(
+                            "expected a default size after `=`, found {other}"
+                        )))
+                    }
+                }
+            }
+            let small = if matches!(self.peek(), Tok::Ident(s) if s == "small") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            self.expect(&Tok::Semi)?;
+            dims.push(Dim { name: dim_name, size: Symbol::new(&size), small });
+        }
+        // Statement: Out[..] (+= | =) A[..] * B[..] ... ;
+        let (out_name, out_access) = self.access(&dims)?;
+        let kind = match self.bump() {
+            Tok::PlusAssign => AccessKind::Accumulate,
+            Tok::Assign => AccessKind::Write,
+            other => return Err(self.error(format!("expected `+=` or `=`, found {other}"))),
+        };
+        let mut inputs = Vec::new();
+        loop {
+            let (in_name, in_access) = self.access(&dims)?;
+            inputs.push(ArrayRef { name: in_name, access: in_access, kind: AccessKind::Read });
+            match self.peek() {
+                Tok::Star | Tok::Plus => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.expect(&Tok::Semi)?;
+        self.expect(&Tok::RBrace)?;
+        let output = ArrayRef { name: out_name, access: out_access, kind };
+        let kernel =
+            Kernel::new(name, dims, output, inputs).map_err(|e| self.error(e.to_string()))?;
+        Ok(kernel.with_default_sizes(defaults))
+    }
+
+    /// `Name[sub]...[sub]`
+    fn access(&mut self, dims: &[Dim]) -> Result<(String, AccessFunction), ParseError> {
+        let name = self.ident()?;
+        let mut forms = Vec::new();
+        while *self.peek() == Tok::LBracket {
+            self.bump();
+            forms.push(self.subscript(dims)?);
+            self.expect(&Tok::RBracket)?;
+        }
+        if forms.is_empty() {
+            return Err(self.error(format!("array `{name}` needs at least one subscript")));
+        }
+        Ok((name, AccessFunction::new(forms)))
+    }
+
+    /// `term (+ term)*` where `term := (num '*')? index`
+    fn subscript(&mut self, dims: &[Dim]) -> Result<LinearForm, ParseError> {
+        let mut terms: Vec<(usize, i64)> = Vec::new();
+        let mut constant = 0i64;
+        loop {
+            match self.peek().clone() {
+                Tok::Num(n) => {
+                    self.bump();
+                    if *self.peek() == Tok::Star {
+                        self.bump();
+                        let idx = self.ident()?;
+                        let d = self.lookup_dim(dims, &idx)?;
+                        terms.push((d, n));
+                    } else {
+                        constant += n;
+                    }
+                }
+                Tok::Ident(idx) => {
+                    self.bump();
+                    let d = self.lookup_dim(dims, &idx)?;
+                    terms.push((d, 1));
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected subscript term, found {other}"
+                    )))
+                }
+            }
+            if *self.peek() == Tok::Plus {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(LinearForm::new(&terms, constant))
+    }
+
+    fn lookup_dim(&self, dims: &[Dim], name: &str) -> Result<usize, ParseError> {
+        dims.iter()
+            .position(|d| d.name == name)
+            .ok_or_else(|| self.error(format!("unknown loop index `{name}`")))
+    }
+}
+
+/// Parses one or more kernels from DSL source.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column information on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ir::parse;
+/// let ks = parse(
+///     "kernel mm {
+///          loop i : Ni; loop j : Nj; loop k : Nk;
+///          C[i][j] += A[i][k] * B[k][j];
+///      }",
+/// )?;
+/// assert_eq!(ks[0].name(), "mm");
+/// # Ok::<(), ioopt_ir::ParseError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Vec<Kernel>, ParseError> {
+    Parser::new(src)?.kernels()
+}
+
+/// Parses exactly one kernel.
+///
+/// # Errors
+///
+/// As [`parse`]; additionally errors if the source does not contain
+/// exactly one kernel.
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let mut ks = parse(src)?;
+    if ks.len() != 1 {
+        return Err(ParseError {
+            line: 1,
+            col: 1,
+            message: format!("expected exactly one kernel, found {}", ks.len()),
+        });
+    }
+    Ok(ks.pop().expect("len checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matmul() {
+        let k = parse_kernel(
+            "kernel matmul {
+                loop i : Ni;
+                loop j : Nj;
+                loop k : Nk;
+                C[i][j] += A[i][k] * B[k][j];
+            }",
+        )
+        .unwrap();
+        assert_eq!(k.name(), "matmul");
+        assert_eq!(k.dims().len(), 3);
+        assert_eq!(k.inputs().len(), 2);
+        assert_eq!(k.output().kind, AccessKind::Accumulate);
+        assert_eq!(k.reduced_dims(), vec![2]);
+    }
+
+    #[test]
+    fn parses_conv1d_with_small_and_sums() {
+        let k = parse_kernel(
+            "# 1D convolution (paper Listing 2)
+             kernel conv1d {
+                loop c : Nc;
+                loop f : Nf;
+                loop x : Nx;
+                loop w : Nw small;
+                Out[f][x] += Image[x+w][c] * Filter[f][w][c];
+            }",
+        )
+        .unwrap();
+        assert!(k.dims()[3].small);
+        let image = &k.inputs()[0];
+        assert_eq!(image.name, "Image");
+        assert_eq!(image.access.dims()[0].terms(), &[(2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn parses_strided_subscripts() {
+        let k = parse_kernel(
+            "kernel strided {
+                loop x : Nx;
+                loop w : Nw;
+                Out[x] += In[2*x + w];
+            }",
+        )
+        .unwrap();
+        assert_eq!(k.inputs()[0].access.dims()[0].coeff(0), 2);
+    }
+
+    #[test]
+    fn error_on_unknown_index() {
+        let err = parse_kernel(
+            "kernel bad {
+                loop i : Ni;
+                C[i] += A[q];
+            }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown loop index"));
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("kernel m { loop i Ni; }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected `:`"));
+    }
+
+    #[test]
+    fn default_sizes_annotation() {
+        let k = parse_kernel(
+            "kernel sized {
+                loop i : Ni = 128;
+                loop j : Nj = 64 small;
+                C[i][j] += A[i][j] * B[j][i];
+            }",
+        )
+        .unwrap();
+        let defaults = k.default_sizes().expect("all dims annotated");
+        assert_eq!(defaults["i"], 128);
+        assert_eq!(defaults["j"], 64);
+        assert!(k.dims()[1].small);
+
+        // Partial annotation -> None.
+        let k = parse_kernel(
+            "kernel partial { loop i : Ni = 4; loop j : Nj; C[i] += A[j]; }",
+        )
+        .unwrap();
+        assert!(k.default_sizes().is_none());
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let ks = parse(
+            "kernel a { loop i : N; X[i] = Y[i]; }
+             kernel b { loop j : M; P[j] = Q[j]; }",
+        )
+        .unwrap();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[1].name(), "b");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse("").is_err());
+        assert!(parse("   # only a comment\n").is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Kernel representation: fully tilable single-statement affine programs.
+//!
+//! The paper's algorithms assume a fully permutable (rectangularly tilable)
+//! loop band around a single statement of the form
+//! `Out[f_O(i)] ⊕= g(In_1[f_1(i)], …, In_k[f_k(i)])` — which covers every
+//! kernel in its evaluation: matrix multiplication, tensor contractions,
+//! and convolutions (§3.1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ioopt_polyhedra::AccessFunction;
+use ioopt_symbolic::{Expr, Symbol};
+
+/// A loop dimension of a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dim {
+    /// Loop index name (e.g. `i`, `x`).
+    pub name: String,
+    /// The symbolic trip count (a program parameter, e.g. `Ni`).
+    pub size: Symbol,
+    /// Small-dimension annotation: the paper's "oracle" marking dimensions
+    /// whose extent is much smaller than the cache (§4.3, §5.2).
+    pub small: bool,
+}
+
+/// How a statement touches an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read-only input.
+    Read,
+    /// Accumulated output (`+=`), the target of a reduction.
+    Accumulate,
+    /// Plain write output (`=`).
+    Write,
+}
+
+/// A reference to an array with its affine access function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRef {
+    /// Array name.
+    pub name: String,
+    /// Affine access function over the kernel's dimension indices.
+    pub access: AccessFunction,
+    /// Read/write role in the statement.
+    pub kind: AccessKind,
+}
+
+/// A fully tilable affine kernel (single perfectly nested statement).
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ir::kernels;
+/// let mm = kernels::matmul();
+/// assert_eq!(mm.dims().len(), 3);
+/// assert_eq!(mm.arrays().count(), 3);
+/// assert_eq!(mm.arith_complexity().to_string(), "Ni*Nj*Nk");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    dims: Vec<Dim>,
+    output: ArrayRef,
+    inputs: Vec<ArrayRef>,
+    /// Default trip counts from `loop i : Ni = 2000;` DSL annotations.
+    default_sizes: Vec<(String, i64)>,
+}
+
+/// Errors from [`Kernel::new`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// An access function refers to a dimension index out of range.
+    DimOutOfRange {
+        /// The offending array name.
+        array: String,
+        /// The referenced dimension index.
+        dim: usize,
+    },
+    /// Two dimensions share the same name.
+    DuplicateDim(String),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::DimOutOfRange { array, dim } => {
+                write!(f, "array `{array}` references dimension {dim} out of range")
+            }
+            KernelError::DuplicateDim(name) => {
+                write!(f, "duplicate dimension name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl Kernel {
+    /// Creates a kernel after validating dimension references.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError`] if an access references an out-of-range
+    /// dimension or two dimensions share a name.
+    pub fn new(
+        name: impl Into<String>,
+        dims: Vec<Dim>,
+        output: ArrayRef,
+        inputs: Vec<ArrayRef>,
+    ) -> Result<Kernel, KernelError> {
+        let n = dims.len();
+        for (i, d) in dims.iter().enumerate() {
+            if dims[..i].iter().any(|o| o.name == d.name) {
+                return Err(KernelError::DuplicateDim(d.name.clone()));
+            }
+        }
+        for a in std::iter::once(&output).chain(inputs.iter()) {
+            for form in a.access.dims() {
+                for d in form.dims() {
+                    if d >= n {
+                        return Err(KernelError::DimOutOfRange {
+                            array: a.name.clone(),
+                            dim: d,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Kernel { name: name.into(), dims, output, inputs, default_sizes: Vec::new() })
+    }
+
+    /// Attaches default trip counts (from DSL `= N` annotations).
+    pub fn with_default_sizes(mut self, defaults: Vec<(String, i64)>) -> Kernel {
+        self.default_sizes = defaults;
+        self
+    }
+
+    /// Default sizes as a map, if *every* dimension has one.
+    pub fn default_sizes(&self) -> Option<HashMap<String, i64>> {
+        let map: HashMap<String, i64> = self.default_sizes.iter().cloned().collect();
+        if self.dims.iter().all(|d| map.contains_key(&d.name)) {
+            Some(map)
+        } else {
+            None
+        }
+    }
+
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loop dimensions, in source order (outermost first).
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// The accumulated/written output array.
+    pub fn output(&self) -> &ArrayRef {
+        &self.output
+    }
+
+    /// The input arrays.
+    pub fn inputs(&self) -> &[ArrayRef] {
+        &self.inputs
+    }
+
+    /// All arrays: output first, then inputs.
+    pub fn arrays(&self) -> impl Iterator<Item = &ArrayRef> {
+        std::iter::once(&self.output).chain(self.inputs.iter())
+    }
+
+    /// Index of the dimension named `name`.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// The symbolic size (trip count) of dimension `d`.
+    pub fn size_expr(&self, d: usize) -> Expr {
+        Expr::symbol(self.dims[d].size)
+    }
+
+    /// The full iteration-domain cardinality `∏ N_d`.
+    pub fn domain_size(&self) -> Expr {
+        Expr::mul_all((0..self.dims.len()).map(|d| self.size_expr(d)))
+    }
+
+    /// The arithmetic complexity: one fused multiply-add per iteration
+    /// point, `∏ N_d` (paper §2).
+    pub fn arith_complexity(&self) -> Expr {
+        self.domain_size()
+    }
+
+    /// Dimensions the output access does **not** use — the candidate
+    /// reduced dimensions when the statement accumulates (§5.3).
+    pub fn reduced_dims(&self) -> Vec<usize> {
+        if self.output.kind != AccessKind::Accumulate {
+            return Vec::new();
+        }
+        (0..self.dims.len())
+            .filter(|&d| !self.output.access.uses(d))
+            .collect()
+    }
+
+    /// Whether the statement is a multi-dimensional reduction.
+    pub fn is_reduction(&self) -> bool {
+        !self.reduced_dims().is_empty()
+    }
+
+    /// The symbolic size of array `a` (its memory-domain cardinality):
+    /// the image of the full iteration domain under its access function.
+    /// May over-approximate for non-separable accesses (sound for
+    /// footprints and upper bounds).
+    pub fn array_size(&self, a: &ArrayRef) -> Expr {
+        let extents: Vec<Expr> =
+            (0..self.dims.len()).map(|d| self.size_expr(d)).collect();
+        a.access.image_cardinality(&extents).card
+    }
+
+    /// A sound **lower** bound on the number of distinct cells of `a`
+    /// touched by the kernel (exact for the separable unit class; see
+    /// [`ioopt_polyhedra::AccessFunction::image_cardinality_lower`]).
+    pub fn array_size_lower(&self, a: &ArrayRef) -> Expr {
+        let extents: Vec<Expr> =
+            (0..self.dims.len()).map(|d| self.size_expr(d)).collect();
+        a.access.image_cardinality_lower(&extents)
+    }
+
+    /// Numeric parameter bindings `{size symbol -> value}` from a
+    /// `{dim name -> value}` map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension name is missing from `sizes`.
+    pub fn bind_sizes(&self, sizes: &HashMap<String, i64>) -> HashMap<Symbol, f64> {
+        self.dims
+            .iter()
+            .map(|d| {
+                let v = *sizes
+                    .get(&d.name)
+                    .unwrap_or_else(|| panic!("missing size for dimension `{}`", d.name));
+                (d.size, v as f64)
+            })
+            .collect()
+    }
+
+    /// Marks the named dimensions as small (replacing previous marks).
+    pub fn with_small_dims(mut self, names: &[&str]) -> Kernel {
+        for d in &mut self.dims {
+            d.small = names.contains(&d.name.as_str());
+        }
+        self
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel {} [", self.name)?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", d.name, d.size)?;
+            if d.small {
+                write!(f, " (small)")?;
+            }
+        }
+        write!(f, "] {}", self.output.name)?;
+        match self.output.kind {
+            AccessKind::Accumulate => write!(f, " += ")?,
+            _ => write!(f, " = ")?,
+        }
+        for (i, a) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " * ")?;
+            }
+            write!(f, "{}", a.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_polyhedra::LinearForm;
+
+    fn dim(name: &str, size: &str) -> Dim {
+        Dim { name: name.into(), size: Symbol::new(size), small: false }
+    }
+
+    fn aref(name: &str, forms: Vec<LinearForm>, kind: AccessKind) -> ArrayRef {
+        ArrayRef { name: name.into(), access: AccessFunction::new(forms), kind }
+    }
+
+    fn mini_matmul() -> Kernel {
+        Kernel::new(
+            "mm",
+            vec![dim("i", "Ni"), dim("j", "Nj"), dim("k", "Nk")],
+            aref(
+                "C",
+                vec![LinearForm::var(0), LinearForm::var(1)],
+                AccessKind::Accumulate,
+            ),
+            vec![
+                aref("A", vec![LinearForm::var(0), LinearForm::var(2)], AccessKind::Read),
+                aref("B", vec![LinearForm::var(2), LinearForm::var(1)], AccessKind::Read),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reduction_detection() {
+        let k = mini_matmul();
+        assert_eq!(k.reduced_dims(), vec![2]);
+        assert!(k.is_reduction());
+    }
+
+    #[test]
+    fn array_sizes() {
+        let k = mini_matmul();
+        let c = k.array_size(k.output());
+        assert_eq!(c.to_string(), "Ni*Nj");
+    }
+
+    #[test]
+    fn rejects_out_of_range_dims() {
+        let err = Kernel::new(
+            "bad",
+            vec![dim("i", "Ni")],
+            aref("C", vec![LinearForm::var(3)], AccessKind::Write),
+            vec![],
+        )
+        .unwrap_err();
+        assert!(matches!(err, KernelError::DimOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_dims() {
+        let err = Kernel::new(
+            "bad",
+            vec![dim("i", "Ni"), dim("i", "Nj")],
+            aref("C", vec![LinearForm::var(0)], AccessKind::Write),
+            vec![],
+        )
+        .unwrap_err();
+        assert_eq!(err, KernelError::DuplicateDim("i".into()));
+    }
+
+    #[test]
+    fn small_dim_marking() {
+        let k = mini_matmul().with_small_dims(&["k"]);
+        assert!(k.dims()[2].small);
+        assert!(!k.dims()[0].small);
+    }
+}

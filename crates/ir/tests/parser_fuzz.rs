@@ -1,0 +1,63 @@
+//! Parser robustness: arbitrary input must produce a positioned error or
+//! a valid kernel — never a panic — and valid kernels round-trip through
+//! their derived properties without inconsistency.
+
+use ioopt_ir::{parse, parse_kernel};
+use proptest::prelude::*;
+
+proptest! {
+    /// No input panics the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(src in "[ -~\\n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Structured-ish fuzz: random DSL-flavoured token soup.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("kernel".to_string()),
+                Just("loop".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just(":".to_string()),
+                Just("+=".to_string()),
+                Just("=".to_string()),
+                Just("*".to_string()),
+                Just("+".to_string()),
+                Just("small".to_string()),
+                "[a-z]{1,3}".prop_map(|s| s),
+                (0u32..999).prop_map(|n| n.to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    /// Generated well-formed kernels always parse and validate.
+    #[test]
+    fn well_formed_kernels_parse(
+        ndims in 1usize..5,
+        use_acc in proptest::bool::ANY,
+    ) {
+        let mut src = String::from("kernel gen {\n");
+        for d in 0..ndims {
+            src.push_str(&format!("loop d{d} : N{d};\n"));
+        }
+        let out_subs: String =
+            (0..ndims).map(|d| format!("[d{d}]")).collect();
+        let op = if use_acc { "+=" } else { "=" };
+        src.push_str(&format!("O{out_subs} {op} I{out_subs};\n}}\n"));
+        let kernel = parse_kernel(&src).expect("well-formed kernel parses");
+        prop_assert_eq!(kernel.dims().len(), ndims);
+        prop_assert_eq!(kernel.inputs().len(), 1);
+        // A full-rank output access leaves no reduced dims.
+        prop_assert!(kernel.reduced_dims().is_empty());
+    }
+}

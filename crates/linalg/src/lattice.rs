@@ -1,0 +1,271 @@
+//! Integer-lattice algorithms: Hermite normal form and primitive integer
+//! kernel bases.
+//!
+//! The Brascamp-Lieb subgroups of §5 are subgroups of `Z^d` (lattices),
+//! not rational subspaces. Ranks coincide, so the rational machinery in
+//! [`crate::Matrix`] is sound for the LP constraints; the lattice view
+//! here adds integer-exact generators (primitive vectors) and the HNF
+//! canonical form used to compare lattices and compute indices.
+
+use ioopt_symbolic::{gcd, Rational};
+
+use crate::matrix::Matrix;
+
+/// An integer matrix stored row-major.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IntMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i128>,
+}
+
+impl IntMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> IntMatrix {
+        IntMatrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Creates from rows of `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows.
+    pub fn from_i64(rows: &[&[i64]]) -> IntMatrix {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut m = IntMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v as i128;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> Vec<i128> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Converts to a rational [`Matrix`].
+    pub fn to_rational(&self) -> Matrix {
+        let data: Vec<Rational> = self.data.iter().map(|&v| Rational::from(v)).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Row-style Hermite normal form (non-negative pivots, entries below
+    /// a pivot zero, entries above reduced modulo the pivot), computed by
+    /// integer row operations. Returns the HNF with zero rows removed.
+    pub fn hermite_normal_form(&self) -> IntMatrix {
+        let mut m = self.clone();
+        let (rows, cols) = (m.rows, m.cols);
+        let mut pivot_row = 0usize;
+        for col in 0..cols {
+            if pivot_row == rows {
+                break;
+            }
+            // Euclidean elimination in this column below pivot_row.
+            loop {
+                // Find the row with the smallest non-zero |entry|.
+                let mut best: Option<(usize, i128)> = None;
+                for r in pivot_row..rows {
+                    let v = m[(r, col)];
+                    if v != 0 && best.map(|(_, bv): (usize, i128)| v.abs() < bv.abs()).unwrap_or(true)
+                    {
+                        best = Some((r, v));
+                    }
+                }
+                let Some((r, v)) = best else { break };
+                m.swap_rows(pivot_row, r);
+                if v < 0 {
+                    m.negate_row(pivot_row);
+                }
+                let pivot = m[(pivot_row, col)];
+                let mut done = true;
+                for r in pivot_row + 1..rows {
+                    let q = m[(r, col)].div_euclid(pivot);
+                    if q != 0 {
+                        m.row_sub_mul(r, pivot_row, q);
+                    }
+                    if m[(r, col)] != 0 {
+                        done = false;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            if m[(pivot_row, col)] != 0 {
+                // Reduce entries above the pivot.
+                let pivot = m[(pivot_row, col)];
+                for r in 0..pivot_row {
+                    let q = m[(r, col)].div_euclid(pivot);
+                    if q != 0 {
+                        m.row_sub_mul(r, pivot_row, q);
+                    }
+                }
+                pivot_row += 1;
+            }
+        }
+        // Drop all-zero rows.
+        let kept: Vec<Vec<i128>> = (0..rows)
+            .map(|i| m.row(i))
+            .filter(|r| r.iter().any(|&v| v != 0))
+            .collect();
+        let mut out = IntMatrix::zeros(kept.len(), cols);
+        for (i, r) in kept.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        out
+    }
+
+    /// Lattice rank (= rational rank).
+    pub fn rank(&self) -> usize {
+        self.hermite_normal_form().rows()
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    fn negate_row(&mut self, r: usize) {
+        for j in 0..self.cols {
+            self[(r, j)] = -self[(r, j)];
+        }
+    }
+
+    /// `row[r] -= q * row[p]`
+    fn row_sub_mul(&mut self, r: usize, p: usize, q: i128) {
+        for j in 0..self.cols {
+            let sub = q * self[(p, j)];
+            self[(r, j)] -= sub;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for IntMatrix {
+    type Output = i128;
+    fn index(&self, (i, j): (usize, usize)) -> &i128 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for IntMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i128 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Scales a rational vector to its *primitive* integer form: the shortest
+/// integer vector on the same ray.
+pub fn primitive_integer_vector(v: &[Rational]) -> Vec<i128> {
+    // Multiply by the lcm of denominators, then divide by the gcd.
+    let mut lcm: i128 = 1;
+    for r in v {
+        let d = r.denom();
+        lcm = lcm / gcd(lcm, d) * d;
+    }
+    let ints: Vec<i128> = v.iter().map(|r| r.numer() * (lcm / r.denom())).collect();
+    let g = ints.iter().fold(0i128, |acc, &x| gcd(acc, x));
+    if g == 0 {
+        return ints;
+    }
+    ints.iter().map(|&x| x / g).collect()
+}
+
+/// An integer basis of the kernel lattice of a rational matrix: the
+/// rational null-space basis scaled to primitive integer vectors.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_linalg::{integer_kernel_basis, Matrix};
+/// // phi(i, j, k) = (i, k): the kernel lattice is spanned by e_j.
+/// let phi = Matrix::from_i64(&[&[1, 0, 0], &[0, 0, 1]]);
+/// assert_eq!(integer_kernel_basis(&phi), vec![vec![0, 1, 0]]);
+/// ```
+pub fn integer_kernel_basis(m: &Matrix) -> Vec<Vec<i128>> {
+    m.kernel_basis().iter().map(|v| primitive_integer_vector(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hnf_of_identity() {
+        let m = IntMatrix::from_i64(&[&[1, 0], &[0, 1]]);
+        assert_eq!(m.hermite_normal_form(), m);
+    }
+
+    #[test]
+    fn hnf_canonicalizes_generators() {
+        // span{(2, 4), (1, 1)} over Z: HNF should be [[1, 1], [0, 2]].
+        let m = IntMatrix::from_i64(&[&[2, 4], &[1, 1]]);
+        let h = m.hermite_normal_form();
+        assert_eq!(h, IntMatrix::from_i64(&[&[1, 1], &[0, 2]]));
+        // A different generating set of the same lattice agrees.
+        let m2 = IntMatrix::from_i64(&[&[1, 3], &[1, 1]]);
+        assert_eq!(m2.hermite_normal_form(), h);
+    }
+
+    #[test]
+    fn hnf_drops_dependent_rows() {
+        let m = IntMatrix::from_i64(&[&[1, 2, 3], &[2, 4, 6], &[0, 0, 0]]);
+        let h = m.hermite_normal_form();
+        assert_eq!(h.rows(), 1);
+        assert_eq!(h.row(0), vec![1, 2, 3]);
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn lattice_vs_subspace_distinction() {
+        // (2,0),(0,2) and the identity span the same Q-subspace but
+        // different lattices; HNF tells them apart, rank does not.
+        let a = IntMatrix::from_i64(&[&[2, 0], &[0, 2]]);
+        let b = IntMatrix::from_i64(&[&[1, 0], &[0, 1]]);
+        assert_eq!(a.rank(), b.rank());
+        assert_ne!(a.hermite_normal_form(), b.hermite_normal_form());
+    }
+
+    #[test]
+    fn primitive_scaling() {
+        let v = vec![Rational::new(1, 2), Rational::new(-3, 4), Rational::ZERO];
+        assert_eq!(primitive_integer_vector(&v), vec![2, -3, 0]);
+        let v = vec![Rational::from(4i128), Rational::from(6i128)];
+        assert_eq!(primitive_integer_vector(&v), vec![2, 3]);
+    }
+
+    #[test]
+    fn integer_kernels_of_access_matrices() {
+        // phi_Image for conv1d: (x + w, c) over dims (c, f, x, w).
+        let m = Matrix::from_i64(&[&[0, 0, 1, 1], &[1, 0, 0, 0]]);
+        let basis = integer_kernel_basis(&m);
+        assert_eq!(basis.len(), 2);
+        for v in &basis {
+            // Check integrality by construction and membership in kernel.
+            let vr: Vec<Rational> = v.iter().map(|&x| Rational::from(x)).collect();
+            assert!(m.apply(&vr).iter().all(|x| x.is_zero()));
+            let g = v.iter().fold(0i128, |acc, &x| gcd(acc, x));
+            assert_eq!(g, 1, "vector not primitive: {v:?}");
+        }
+    }
+}

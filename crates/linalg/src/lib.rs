@@ -1,0 +1,20 @@
+//! # ioopt-linalg
+//!
+//! Exact rational linear algebra over [`Rational`], sized for the
+//! Brascamp-Lieb machinery of IOOpt's lower-bound algorithm (§5 of the
+//! paper): iteration spaces have at most ~8 dimensions, so dense matrices
+//! with exact arithmetic are both simple and fast.
+//!
+//! Provides [`Matrix`] with reduced row echelon form, [`Matrix::rank`],
+//! null-space bases ([`Matrix::kernel_basis`]), and canonical row-space
+//! forms used to deduplicate subgroups.
+
+#![warn(missing_docs)]
+
+pub use ioopt_symbolic::Rational;
+
+mod lattice;
+mod matrix;
+
+pub use lattice::{integer_kernel_basis, primitive_integer_vector, IntMatrix};
+pub use matrix::Matrix;

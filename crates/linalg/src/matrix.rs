@@ -1,0 +1,372 @@
+//! Dense rational matrices with exact elimination.
+
+use std::fmt;
+
+use ioopt_symbolic::Rational;
+
+/// A dense matrix of [`Rational`] entries, stored row-major.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_linalg::Matrix;
+/// let m = Matrix::from_i64(&[&[1, 2], &[2, 4]]);
+/// assert_eq!(m.rank(), 1);
+/// let kernel = m.kernel_basis();
+/// assert_eq!(kernel.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Rational::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of `i64` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_i64(rows: &[&[i64]]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows in matrix literal");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = Rational::from(v);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat vector of entries (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Rational>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix whose rows are the given vectors.
+    ///
+    /// Returns a `0 × dim` matrix when `vectors` is empty.
+    pub fn from_rows(vectors: &[Vec<Rational>], dim: usize) -> Matrix {
+        let mut m = Matrix::zeros(vectors.len(), dim);
+        for (i, v) in vectors.iter().enumerate() {
+            assert_eq!(v.len(), dim, "row vector dimension mismatch");
+            for (j, &x) in v.iter().enumerate() {
+                m[(i, j)] = x;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `i`-th row as a vector.
+    pub fn row(&self, i: usize) -> Vec<Rational> {
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn apply(&self, v: &[Rational]) -> Vec<Rational> {
+        assert_eq!(v.len(), self.cols, "vector dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc = Rational::ZERO;
+                for j in 0..self.cols {
+                    acc += self[(i, j)] * v[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let add = a * rhs[(k, j)];
+                    out[(i, j)] += add;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// In-place reduced row echelon form; returns the pivot columns.
+    pub fn rref_in_place(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut r = 0;
+        for c in 0..self.cols {
+            if r == self.rows {
+                break;
+            }
+            // Find a pivot in column c at or below row r.
+            let Some(p) = (r..self.rows).find(|&i| !self[(i, c)].is_zero()) else {
+                continue;
+            };
+            self.swap_rows(r, p);
+            let inv = self[(r, c)].recip();
+            for j in c..self.cols {
+                self[(r, j)] *= inv;
+            }
+            for i in 0..self.rows {
+                if i != r && !self[(i, c)].is_zero() {
+                    let factor = self[(i, c)];
+                    for j in c..self.cols {
+                        let sub = factor * self[(r, j)];
+                        self[(i, j)] -= sub;
+                    }
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        pivots
+    }
+
+    /// The reduced row echelon form (non-destructive).
+    pub fn rref(&self) -> Matrix {
+        let mut m = self.clone();
+        m.rref_in_place();
+        m
+    }
+
+    /// The rank of the matrix.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.rref_in_place().len()
+    }
+
+    /// A basis of the null space `{x : A x = 0}`, one vector per free column.
+    pub fn kernel_basis(&self) -> Vec<Vec<Rational>> {
+        let mut m = self.clone();
+        let pivots = m.rref_in_place();
+        let pivot_set: Vec<Option<usize>> = {
+            let mut v = vec![None; self.cols];
+            for (row, &col) in pivots.iter().enumerate() {
+                v[col] = Some(row);
+            }
+            v
+        };
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_set[free].is_some() {
+                continue;
+            }
+            let mut vec = vec![Rational::ZERO; self.cols];
+            vec[free] = Rational::ONE;
+            for (col, &maybe_row) in pivot_set.iter().enumerate() {
+                if let Some(row) = maybe_row {
+                    vec[col] = -m[(row, free)];
+                }
+            }
+            basis.push(vec);
+        }
+        basis
+    }
+
+    /// A canonical form of the row space: the RREF with zero rows removed.
+    ///
+    /// Two matrices have equal `row_space_canon` iff their rows span the
+    /// same subspace — used to deduplicate candidate subgroups in the
+    /// Brascamp-Lieb constraint generation.
+    pub fn row_space_canon(&self) -> Matrix {
+        let m = self.rref();
+        let mut rows: Vec<Vec<Rational>> = Vec::new();
+        for i in 0..m.rows {
+            let row = m.row(i);
+            if row.iter().any(|v| !v.is_zero()) {
+                rows.push(row);
+            }
+        }
+        Matrix::from_rows(&rows, self.cols)
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a * self.cols + j, b * self.cols + j);
+        }
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column count mismatch in vstack");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Rational;
+    fn index(&self, (i, j): (usize, usize)) -> &Rational {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Rational {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>6} ", self[(i, j)].to_string())?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_rank() {
+        assert_eq!(Matrix::identity(4).rank(), 4);
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = Matrix::from_i64(&[&[1, 2, 3], &[2, 4, 6], &[1, 0, 1]]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rref_normalizes() {
+        let m = Matrix::from_i64(&[&[2, 4], &[1, 3]]).rref();
+        assert_eq!(m, Matrix::from_i64(&[&[1, 0], &[0, 1]]));
+    }
+
+    #[test]
+    fn kernel_of_projection() {
+        // phi(i, j, k) = (i, k): kernel should be span{e_j}.
+        let m = Matrix::from_i64(&[&[1, 0, 0], &[0, 0, 1]]);
+        let kernel = m.kernel_basis();
+        assert_eq!(kernel.len(), 1);
+        assert_eq!(kernel[0], vec![Rational::ZERO, Rational::ONE, Rational::ZERO]);
+    }
+
+    #[test]
+    fn kernel_vectors_are_in_nullspace() {
+        let m = Matrix::from_i64(&[&[1, 1, 0, 2], &[0, 1, 1, 1]]);
+        for v in m.kernel_basis() {
+            assert!(m.apply(&v).iter().all(|x| x.is_zero()));
+        }
+        assert_eq!(m.kernel_basis().len(), 2);
+    }
+
+    #[test]
+    fn row_space_canon_identifies_equal_spans() {
+        let a = Matrix::from_i64(&[&[1, 0, 1], &[0, 1, 1]]);
+        let b = Matrix::from_i64(&[&[1, 1, 2], &[1, -1, 0]]);
+        assert_eq!(a.row_space_canon(), b.row_space_canon());
+        let c = Matrix::from_i64(&[&[1, 0, 0], &[0, 1, 1]]);
+        assert_ne!(a.row_space_canon(), c.row_space_canon());
+    }
+
+    #[test]
+    fn matmul_and_apply_agree() {
+        let a = Matrix::from_i64(&[&[1, 2], &[3, 4]]);
+        let v = vec![Rational::from(5i128), Rational::from(6i128)];
+        let as_matrix = Matrix::from_rows(&[v.clone()], 2).transpose();
+        let prod = a.matmul(&as_matrix);
+        let direct = a.apply(&v);
+        assert_eq!(prod[(0, 0)], direct[0]);
+        assert_eq!(prod[(1, 0)], direct[1]);
+    }
+
+    #[test]
+    fn rank_of_image_of_subgroup() {
+        // rank(phi(H)) where H = span{e_i, e_j}, phi = (i, k) projection:
+        // phi(e_i) = (1,0), phi(e_j) = (0,0) -> rank 1.
+        let phi = Matrix::from_i64(&[&[1, 0, 0], &[0, 0, 1]]);
+        let h = Matrix::from_i64(&[&[1, 0, 0], &[0, 1, 0]]); // rows = generators
+        let image = phi.matmul(&h.transpose());
+        assert_eq!(image.rank(), 1);
+    }
+
+    #[test]
+    fn vstack_shapes() {
+        let a = Matrix::from_i64(&[&[1, 2]]);
+        let b = Matrix::from_i64(&[&[3, 4], &[5, 6]]);
+        let s = a.vstack(&b);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s[(2, 1)], Rational::from(6i128));
+    }
+}

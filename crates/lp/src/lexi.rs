@@ -1,0 +1,89 @@
+//! Lexicographic minimization of several objectives.
+
+use ioopt_symbolic::Rational;
+
+use crate::simplex::{Cmp, Lp, LpError, LpSolution};
+
+/// Minimizes `objectives[0]`, then `objectives[1]` among the optima of the
+/// first, and so on. Returns the final solution together with the optimal
+/// value of each stage.
+///
+/// Each stage pins the previous stage's objective to its optimum with an
+/// equality constraint — the standard lexicographic LP reduction. IOOpt
+/// uses this for "minimize σ first, then minimize `s_sd`" (paper §5.2) and
+/// for the symmetric tie-break on the `s_j`.
+///
+/// # Errors
+///
+/// Propagates [`LpError`] from any stage (infeasibility can only occur at
+/// the first stage).
+///
+/// # Panics
+///
+/// Panics if `objectives` is empty or an objective has the wrong length.
+pub fn lexicographic_min(
+    base: &Lp,
+    objectives: &[Vec<Rational>],
+) -> Result<(LpSolution, Vec<Rational>), LpError> {
+    assert!(!objectives.is_empty(), "need at least one objective");
+    let mut lp = base.clone();
+    let mut stage_values = Vec::with_capacity(objectives.len());
+    let mut last = None;
+    for obj in objectives {
+        lp.set_objective(obj.clone());
+        let sol = lp.solve()?;
+        stage_values.push(sol.objective);
+        lp.add_constraint(obj.clone(), Cmp::Eq, sol.objective);
+        last = Some(sol);
+    }
+    Ok((last.expect("at least one stage"), stage_values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn two_stage_lexicographic() {
+        // min x+y, then min y, over x+y >= 2, y >= 0, x <= 3.
+        let mut lp = Lp::new(2);
+        lp.add_constraint(vec![ri(1), ri(1)], Cmp::Ge, ri(2));
+        lp.add_constraint(vec![ri(1), ri(0)], Cmp::Le, ri(3));
+        let (sol, stages) = lexicographic_min(
+            &lp,
+            &[vec![ri(1), ri(1)], vec![ri(0), ri(1)]],
+        )
+        .unwrap();
+        assert_eq!(stages, vec![ri(2), ri(0)]);
+        assert_eq!(sol.x, vec![ri(2), ri(0)]);
+    }
+
+    #[test]
+    fn minmax_tiebreak_selects_symmetric_point() {
+        // Matmul BL system has many optima with sigma = 3/2; adding a
+        // min-max stage (t >= s_j, minimize t) selects s = (1/2,1/2,1/2).
+        let mut lp = Lp::new(3);
+        lp.add_constraint(vec![ri(1), ri(0), ri(1)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(1), ri(1), ri(0)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(0), ri(1), ri(1)], Cmp::Ge, ri(1));
+        let t = lp.add_var();
+        for j in 0..3 {
+            let mut row = vec![ri(0); 4];
+            row[j] = ri(1);
+            row[t] = ri(-1);
+            lp.add_constraint(row, Cmp::Le, ri(0));
+        }
+        let mut sigma = vec![ri(1); 4];
+        sigma[t] = ri(0);
+        let mut tmin = vec![ri(0); 4];
+        tmin[t] = ri(1);
+        let (sol, stages) = lexicographic_min(&lp, &[sigma, tmin]).unwrap();
+        assert_eq!(stages[0], Rational::new(3, 2));
+        assert_eq!(stages[1], Rational::new(1, 2));
+        assert_eq!(&sol.x[0..3], &[Rational::new(1, 2); 3]);
+    }
+}

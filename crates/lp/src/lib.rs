@@ -1,0 +1,17 @@
+//! # ioopt-lp
+//!
+//! An exact rational linear-programming solver (two-phase primal simplex
+//! with Bland's rule). IOOpt's lower-bound algorithm solves small LPs to
+//! find the Brascamp-Lieb coefficients `s_j` (paper §5.1); doing this in
+//! exact arithmetic keeps the derived *lower* bounds sound.
+//!
+//! Also provides [`lexicographic_min`], which re-solves under equality pins
+//! to realize the paper's ordering "minimize σ first, then `s_sd`".
+
+#![warn(missing_docs)]
+
+mod lexi;
+mod simplex;
+
+pub use lexi::lexicographic_min;
+pub use simplex::{Cmp, Lp, LpError, LpSolution};

@@ -1,0 +1,451 @@
+//! Two-phase primal simplex with exact rational arithmetic.
+//!
+//! Bland's rule guarantees termination; exact [`Rational`] pivoting keeps
+//! the Brascamp-Lieb coefficients (`s_j`) sound — a floating-point LP
+//! could silently produce an invalid *lower* bound.
+
+use std::fmt;
+
+use ioopt_symbolic::Rational;
+
+/// Comparison direction of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A linear program `minimize c·x  s.t.  A x {≤,≥,=} b,  x ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_lp::{Cmp, Lp};
+/// use ioopt_symbolic::Rational;
+/// let r = |n, d| Rational::new(n, d);
+/// // minimize s1+s2 s.t. s1+s2 >= 1, s1 >= 1/4
+/// let mut lp = Lp::new(2);
+/// lp.set_objective(vec![r(1, 1), r(1, 1)]);
+/// lp.add_constraint(vec![r(1, 1), r(1, 1)], Cmp::Ge, r(1, 1));
+/// lp.add_constraint(vec![r(1, 1), r(0, 1)], Cmp::Ge, r(1, 4));
+/// let sol = lp.solve()?;
+/// assert_eq!(sol.objective, r(1, 1));
+/// # Ok::<(), ioopt_lp::LpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lp {
+    num_vars: usize,
+    objective: Vec<Rational>,
+    constraints: Vec<(Vec<Rational>, Cmp, Rational)>,
+}
+
+/// An optimal solution of an [`Lp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpSolution {
+    /// The optimal objective value.
+    pub objective: Rational,
+    /// Optimal values of the structural variables.
+    pub x: Vec<Rational>,
+}
+
+/// Errors from [`Lp::solve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// The feasible region is empty.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl Lp {
+    /// Creates a program with `num_vars` non-negative variables and a zero
+    /// objective.
+    pub fn new(num_vars: usize) -> Lp {
+        Lp { num_vars, objective: vec![Rational::ZERO; num_vars], constraints: Vec::new() }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Sets the minimization objective `c·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c.len() != num_vars`.
+    pub fn set_objective(&mut self, c: Vec<Rational>) {
+        assert_eq!(c.len(), self.num_vars, "objective length mismatch");
+        self.objective = c;
+    }
+
+    /// Adds a constraint `a·x cmp b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != num_vars`.
+    pub fn add_constraint(&mut self, a: Vec<Rational>, cmp: Cmp, b: Rational) {
+        assert_eq!(a.len(), self.num_vars, "constraint length mismatch");
+        self.constraints.push((a, cmp, b));
+    }
+
+    /// Adds a fresh non-negative variable and returns its index.
+    ///
+    /// Existing constraints get a zero coefficient for it.
+    pub fn add_var(&mut self) -> usize {
+        let idx = self.num_vars;
+        self.num_vars += 1;
+        self.objective.push(Rational::ZERO);
+        for (a, _, _) in &mut self.constraints {
+            a.push(Rational::ZERO);
+        }
+        idx
+    }
+
+    /// Solves the program.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`] if no point satisfies the constraints,
+    /// [`LpError::Unbounded`] if the objective decreases without bound.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        Tableau::build(self)?.optimize()
+    }
+}
+
+/// Dense simplex tableau.
+///
+/// Column layout: `[structural | slack/surplus | artificial | rhs]`.
+struct Tableau {
+    /// Constraint rows (each of length `ncols`), rhs non-negative at start.
+    rows: Vec<Vec<Rational>>,
+    /// Objective (reduced-cost) row of length `ncols`.
+    cost: Vec<Rational>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total column count including the rhs column.
+    ncols: usize,
+    /// Index of the first artificial column.
+    art_start: usize,
+    /// Original objective, padded to `ncols - 1`.
+    orig_cost: Vec<Rational>,
+    num_structural: usize,
+}
+
+impl Tableau {
+    fn build(lp: &Lp) -> Result<Tableau, LpError> {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+        // One slack/surplus per inequality.
+        let num_slack =
+            lp.constraints.iter().filter(|(_, c, _)| *c != Cmp::Eq).count();
+        // Worst case one artificial per row; trim later via usage flags.
+        let art_start = n + num_slack;
+        let ncols = art_start + m + 1;
+        let rhs_col = ncols - 1;
+
+        let mut rows = vec![vec![Rational::ZERO; ncols]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_used = 0usize;
+
+        for (i, (a, cmp, b)) in lp.constraints.iter().enumerate() {
+            let flip = b.is_negative();
+            let sign = if flip { -Rational::ONE } else { Rational::ONE };
+            for j in 0..n {
+                rows[i][j] = sign * a[j];
+            }
+            rows[i][rhs_col] = sign * *b;
+            let effective = match (cmp, flip) {
+                (Cmp::Eq, _) => Cmp::Eq,
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            };
+            match effective {
+                Cmp::Le => {
+                    rows[i][slack_idx] = Rational::ONE;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                Cmp::Ge => {
+                    rows[i][slack_idx] = -Rational::ONE;
+                    slack_idx += 1;
+                    let art = art_start + art_used;
+                    art_used += 1;
+                    rows[i][art] = Rational::ONE;
+                    basis[i] = art;
+                }
+                Cmp::Eq => {
+                    let art = art_start + art_used;
+                    art_used += 1;
+                    rows[i][art] = Rational::ONE;
+                    basis[i] = art;
+                }
+            }
+        }
+
+        let mut orig_cost = lp.objective.clone();
+        orig_cost.resize(ncols - 1, Rational::ZERO);
+
+        let mut t = Tableau {
+            rows,
+            cost: vec![Rational::ZERO; ncols],
+            basis,
+            ncols,
+            art_start,
+            orig_cost,
+            num_structural: n,
+        };
+
+        // Phase 1: minimize the sum of artificials.
+        if art_used > 0 {
+            for j in art_start..art_start + art_used {
+                t.cost[j] = Rational::ONE;
+            }
+            t.reduce_cost_row();
+            t.pivot_until_optimal(art_start + art_used)?;
+            if !t.cost[t.ncols - 1].is_zero() {
+                return Err(LpError::Infeasible);
+            }
+            // Drive remaining artificial variables out of the basis.
+            for i in 0..t.rows.len() {
+                if t.basis[i] >= t.art_start {
+                    let pivot_col = (0..t.art_start).find(|&j| !t.rows[i][j].is_zero());
+                    match pivot_col {
+                        Some(j) => t.pivot(i, j),
+                        None => {
+                            // Redundant row: harmless, keep (rhs must be 0).
+                        }
+                    }
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// Recomputes the cost row as reduced costs w.r.t. the current basis.
+    fn reduce_cost_row(&mut self) {
+        let rhs_col = self.ncols - 1;
+        for i in 0..self.rows.len() {
+            let b = self.basis[i];
+            if b == usize::MAX {
+                continue;
+            }
+            let c = self.cost[b];
+            if !c.is_zero() {
+                for j in 0..self.ncols {
+                    let sub = c * self.rows[i][j];
+                    self.cost[j] -= sub;
+                }
+            }
+        }
+        // Keep the objective value positive-denominator: nothing to do, but
+        // ensure the rhs cell reflects -objective by convention.
+        let _ = rhs_col;
+    }
+
+    /// Runs simplex pivots (Bland's rule) on columns `< limit`.
+    fn pivot_until_optimal(&mut self, limit: usize) -> Result<(), LpError> {
+        let rhs_col = self.ncols - 1;
+        loop {
+            // Entering: smallest index with negative reduced cost.
+            let Some(enter) = (0..limit).find(|&j| self.cost[j].is_negative()) else {
+                return Ok(());
+            };
+            // Leaving: min ratio, ties by smallest basis index (Bland).
+            let mut best: Option<(Rational, usize)> = None;
+            for i in 0..self.rows.len() {
+                let a = self.rows[i][enter];
+                if a.is_positive() {
+                    let ratio = self.rows[i][rhs_col] / a;
+                    let better = match &best {
+                        None => true,
+                        Some((r, bi)) => {
+                            ratio < *r || (ratio == *r && self.basis[i] < self.basis[*bi])
+                        }
+                    };
+                    if better {
+                        best = Some((ratio, i));
+                    }
+                }
+            }
+            let Some((_, leave)) = best else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(leave, enter);
+        }
+    }
+
+    /// Pivots on `(row, col)`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = self.rows[row][col].recip();
+        for j in 0..self.ncols {
+            self.rows[row][j] *= inv;
+        }
+        for i in 0..self.rows.len() {
+            if i != row && !self.rows[i][col].is_zero() {
+                let factor = self.rows[i][col];
+                for j in 0..self.ncols {
+                    let sub = factor * self.rows[row][j];
+                    self.rows[i][j] -= sub;
+                }
+            }
+        }
+        if !self.cost[col].is_zero() {
+            let factor = self.cost[col];
+            for j in 0..self.ncols {
+                let sub = factor * self.rows[row][j];
+                self.cost[j] -= sub;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Phase 2: optimize the original objective.
+    fn optimize(mut self) -> Result<LpSolution, LpError> {
+        self.cost = self.orig_cost.clone();
+        self.cost.push(Rational::ZERO);
+        self.reduce_cost_row();
+        // Artificials are excluded from entering.
+        self.pivot_until_optimal(self.art_start)?;
+        let rhs_col = self.ncols - 1;
+        let mut x = vec![Rational::ZERO; self.num_structural];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_structural {
+                x[b] = self.rows[i][rhs_col];
+            }
+        }
+        let mut objective = Rational::ZERO;
+        for j in 0..self.num_structural {
+            objective += self.orig_cost[j] * x[j];
+        }
+        Ok(LpSolution { objective, x })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn ri(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 6
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(1), ri(1)]);
+        lp.add_constraint(vec![ri(1), ri(2)], Cmp::Ge, ri(4));
+        lp.add_constraint(vec![ri(3), ri(1)], Cmp::Ge, ri(6));
+        let sol = lp.solve().unwrap();
+        // Optimum at intersection: x = 8/5, y = 6/5, value 14/5.
+        assert_eq!(sol.objective, r(14, 5));
+        assert_eq!(sol.x, vec![r(8, 5), r(6, 5)]);
+    }
+
+    #[test]
+    fn le_constraints_maximization_style() {
+        // min -x - y s.t. x <= 3, y <= 2  => x=3, y=2, value -5.
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(-1), ri(-1)]);
+        lp.add_constraint(vec![ri(1), ri(0)], Cmp::Le, ri(3));
+        lp.add_constraint(vec![ri(0), ri(1)], Cmp::Le, ri(2));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, ri(-5));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 1 => x = 1, y = 0.
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(1), ri(2)]);
+        lp.add_constraint(vec![ri(1), ri(1)], Cmp::Eq, ri(1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, ri(1));
+        assert_eq!(sol.x, vec![ri(1), ri(0)]);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = Lp::new(1);
+        lp.add_constraint(vec![ri(1)], Cmp::Ge, ri(2));
+        lp.add_constraint(vec![ri(1)], Cmp::Le, ri(1));
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = Lp::new(1);
+        lp.set_objective(vec![ri(-1)]);
+        lp.add_constraint(vec![ri(1)], Cmp::Ge, ri(0));
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let mut lp = Lp::new(1);
+        lp.set_objective(vec![ri(1)]);
+        lp.add_constraint(vec![ri(-1)], Cmp::Le, ri(-3));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, ri(3));
+    }
+
+    #[test]
+    fn matmul_brascamp_lieb_system() {
+        // Matmul (paper §5.1): minimize s_A + s_B + s_C subject to
+        //   s_A + s_C >= 1, s_A + s_B >= 1, s_B + s_C >= 1
+        // Optimal sigma = 3/2 at s = (1/2, 1/2, 1/2).
+        let mut lp = Lp::new(3);
+        lp.set_objective(vec![ri(1), ri(1), ri(1)]);
+        lp.add_constraint(vec![ri(1), ri(0), ri(1)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(1), ri(1), ri(0)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(0), ri(1), ri(1)], Cmp::Ge, ri(1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, r(3, 2));
+    }
+
+    #[test]
+    fn add_var_extends_constraints() {
+        let mut lp = Lp::new(1);
+        lp.set_objective(vec![ri(1)]);
+        lp.add_constraint(vec![ri(1)], Cmp::Ge, ri(1));
+        let t = lp.add_var();
+        assert_eq!(t, 1);
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.x.len(), 2);
+        assert_eq!(sol.objective, ri(1));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // A classic cycling-prone instance; Bland's rule must terminate.
+        let mut lp = Lp::new(4);
+        lp.set_objective(vec![r(-3, 4), ri(150), r(-1, 50), ri(6)]);
+        lp.add_constraint(vec![r(1, 4), ri(-60), r(-1, 25), ri(9)], Cmp::Le, ri(0));
+        lp.add_constraint(vec![r(1, 2), ri(-90), r(-1, 50), ri(3)], Cmp::Le, ri(0));
+        lp.add_constraint(vec![ri(0), ri(0), ri(1), ri(0)], Cmp::Le, ri(1));
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.objective, r(-1, 20));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property test: the simplex optimum equals the best vertex of the
+//! feasible polytope (brute-force oracle via exact linear algebra).
+
+use ioopt_lp::{Cmp, Lp, LpError};
+use ioopt_symbolic::Rational;
+use proptest::prelude::*;
+
+/// A random bounded LP on 2 variables:
+/// `min c·x  s.t.  A x ≤ b, 0 ≤ x ≤ 10`.
+#[derive(Debug, Clone)]
+struct SmallLp {
+    c: [i64; 2],
+    rows: Vec<([i64; 2], i64)>,
+}
+
+fn lp_strategy() -> impl Strategy<Value = SmallLp> {
+    let coeff = -4i64..=4;
+    let row = (
+        proptest::array::uniform2(coeff.clone()),
+        0i64..=20,
+    );
+    ((proptest::array::uniform2(-5i64..=5)), proptest::collection::vec(row, 1..5))
+        .prop_map(|(c, rows)| SmallLp { c, rows })
+}
+
+fn build(lp: &SmallLp) -> Lp {
+    let ri = |v: i64| Rational::from(v as i128);
+    let mut out = Lp::new(2);
+    out.set_objective(vec![ri(lp.c[0]), ri(lp.c[1])]);
+    for (a, b) in &lp.rows {
+        out.add_constraint(vec![ri(a[0]), ri(a[1])], Cmp::Le, ri(*b));
+    }
+    // Box bounds keep everything bounded: x_i <= 10 (x_i >= 0 is implicit).
+    out.add_constraint(vec![ri(1), ri(0)], Cmp::Le, ri(10));
+    out.add_constraint(vec![ri(0), ri(1)], Cmp::Le, ri(10));
+    out
+}
+
+/// All candidate vertices: intersections of every pair of constraint
+/// boundaries (including the axes and the box), filtered for feasibility.
+fn best_vertex(lp: &SmallLp) -> Option<Rational> {
+    let ri = |v: i64| Rational::from(v as i128);
+    // Constraint set as (a1, a2, b) meaning a1 x + a2 y <= b.
+    let mut cs: Vec<(Rational, Rational, Rational)> = lp
+        .rows
+        .iter()
+        .map(|(a, b)| (ri(a[0]), ri(a[1]), ri(*b)))
+        .collect();
+    cs.push((ri(1), ri(0), ri(10)));
+    cs.push((ri(0), ri(1), ri(10)));
+    cs.push((ri(-1), ri(0), ri(0))); // -x <= 0
+    cs.push((ri(0), ri(-1), ri(0)));
+    let feasible = |x: Rational, y: Rational| -> bool {
+        !x.is_negative()
+            && !y.is_negative()
+            && cs.iter().all(|&(a1, a2, b)| a1 * x + a2 * y <= b)
+    };
+    let mut best: Option<Rational> = None;
+    for i in 0..cs.len() {
+        for j in (i + 1)..cs.len() {
+            let (a1, a2, b1) = cs[i];
+            let (a3, a4, b2) = cs[j];
+            // Solve the 2x2 system via Cramer's rule with exact rationals.
+            let det = a1 * a4 - a2 * a3;
+            if det.is_zero() {
+                continue;
+            }
+            // Cramer's rule with exact rationals.
+            let x = (b1 * a4 - a2 * b2) / det;
+            let y = (a1 * b2 - b1 * a3) / det;
+            if feasible(x, y) {
+                let val = ri(lp.c[0] as i64) * x + ri(lp.c[1] as i64) * y;
+                best = Some(match best {
+                    None => val,
+                    Some(cur) => cur.min(val),
+                });
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn simplex_matches_vertex_enumeration(lp in lp_strategy()) {
+        let solver = build(&lp);
+        match (solver.solve(), best_vertex(&lp)) {
+            (Ok(sol), Some(vertex_best)) => {
+                prop_assert_eq!(
+                    sol.objective, vertex_best,
+                    "simplex {:?} vs vertex {:?}", sol.objective, vertex_best
+                );
+                // And the reported point is feasible.
+                let ri = |v: i64| Rational::from(v as i128);
+                for (a, b) in &lp.rows {
+                    prop_assert!(
+                        ri(a[0]) * sol.x[0] + ri(a[1]) * sol.x[1] <= ri(*b)
+                    );
+                }
+            }
+            (Err(LpError::Infeasible), None) => {} // agree: empty
+            (got, oracle) => {
+                prop_assert!(false, "disagree: simplex {got:?}, oracle {oracle:?}");
+            }
+        }
+    }
+}

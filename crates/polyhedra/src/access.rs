@@ -1,0 +1,285 @@
+//! Access functions and symbolic footprint cardinalities.
+//!
+//! This module is the Barvinok substitute: for the kernel class of the
+//! paper (rectangular iteration sub-domains, subscripts that are sums of
+//! distinct loop indices), the cardinality of an access function's image is
+//! a *product of interval lengths*, which we compute symbolically.
+
+use ioopt_symbolic::Expr;
+
+use crate::linear::LinearForm;
+
+/// A multi-dimensional affine access function `f_A : iteration space →
+/// memory space of array A` — one [`LinearForm`] per array dimension.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_polyhedra::{AccessFunction, LinearForm};
+/// use ioopt_symbolic::Expr;
+/// // Image[x+w][c] over dims (0=x, 1=w, 2=c)
+/// let acc = AccessFunction::new(vec![
+///     LinearForm::sum_of(&[0, 1]),
+///     LinearForm::var(2),
+/// ]);
+/// // Box extents Tx, Nw, Tc -> footprint (Tx + Nw - 1) * Tc
+/// let extents = vec![Expr::sym("Tx"), Expr::sym("Nw"), Expr::sym("Tc")];
+/// let fp = acc.image_cardinality(&extents);
+/// assert!(fp.exact);
+/// assert_eq!(fp.card.to_string(), "Tc*(Nw + Tx - 1)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessFunction {
+    dims: Vec<LinearForm>,
+}
+
+/// A symbolic cardinality together with an exactness flag.
+///
+/// `exact == false` marks a sound *over*-approximation (still valid for
+/// upper bounds and footprint constraints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cardinality {
+    /// The cardinality expression.
+    pub card: Expr,
+    /// Whether the expression is exact (vs. an over-approximation).
+    pub exact: bool,
+}
+
+impl AccessFunction {
+    /// Creates an access function from one linear form per array dimension.
+    pub fn new(dims: Vec<LinearForm>) -> AccessFunction {
+        AccessFunction { dims }
+    }
+
+    /// The per-array-dimension subscript forms.
+    pub fn dims(&self) -> &[LinearForm] {
+        &self.dims
+    }
+
+    /// The number of array dimensions.
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether any subscript uses iteration dimension `dim`.
+    pub fn uses(&self, dim: usize) -> bool {
+        self.dims.iter().any(|f| f.uses(dim))
+    }
+
+    /// Evaluates the access at an iteration point.
+    pub fn eval(&self, point: &[i64]) -> Vec<i64> {
+        self.dims.iter().map(|f| f.eval(point)).collect()
+    }
+
+    /// Whether distinct subscripts use disjoint iteration dimensions and
+    /// all coefficients are 1 — the condition under which footprints are
+    /// exact products of interval lengths.
+    pub fn is_separable_unit(&self) -> bool {
+        let mut seen: Vec<usize> = Vec::new();
+        for f in &self.dims {
+            if !f.is_unit() {
+                return false;
+            }
+            for d in f.dims() {
+                if seen.contains(&d) {
+                    return false;
+                }
+                seen.push(d);
+            }
+        }
+        true
+    }
+
+    /// Cardinality of the image of a box with the given per-dimension
+    /// `extents` (symbolic, all positive).
+    ///
+    /// For a subscript `d_1 + … + d_k` over extents `E_1..E_k` the image is
+    /// the interval of length `E_1 + … + E_k − (k−1)`; for
+    /// non-unit-coefficient forms the interval *range* is used instead and
+    /// the result is flagged inexact (a sound over-approximation).
+    pub fn image_cardinality(&self, extents: &[Expr]) -> Cardinality {
+        let mut exact = self.is_separable_unit();
+        let mut factors: Vec<Expr> = Vec::new();
+        for f in &self.dims {
+            factors.push(Self::interval_length(f, extents, &mut exact));
+        }
+        Cardinality { card: Expr::mul_all(factors), exact }
+    }
+
+    /// Length of the value interval of one subscript over the box.
+    fn interval_length(f: &LinearForm, extents: &[Expr], exact: &mut bool) -> Expr {
+        if f.terms().is_empty() {
+            return Expr::one();
+        }
+        if f.terms().len() == 1 {
+            // A single dimension (any stride) takes exactly `extent`
+            // distinct values.
+            let (d, _) = f.terms()[0];
+            return extents[d].clone();
+        }
+        if f.is_unit() {
+            // Σ E_i − (k − 1)
+            let k = f.terms().len() as i64;
+            let sum = Expr::add_all(f.dims().map(|d| extents[d].clone()));
+            sum + Expr::int(1 - k)
+        } else {
+            // Range over-approximation: Σ |c_i|·(E_i − 1) + 1.
+            *exact = false;
+            let mut acc = Expr::one();
+            for &(d, c) in f.terms() {
+                acc = acc + Expr::int(c.abs()) * (&extents[d] - Expr::one());
+            }
+            acc
+        }
+    }
+
+    /// A sound **lower** bound on the image cardinality (used by lower
+    /// bounds, where over-approximation would be unsound).
+    ///
+    /// * If the subscripts use pairwise-disjoint dimensions and each is a
+    ///   single variable or a unit sum, the product form is exact.
+    /// * Otherwise (shared dimensions, e.g. a diagonal `A[i][i]`, or
+    ///   non-unit coefficients) the bound falls back to the largest
+    ///   single-subscript value count — tuples differing in one
+    ///   coordinate are distinct, so any per-coordinate count is a valid
+    ///   lower bound.
+    pub fn image_cardinality_lower(&self, extents: &[Expr]) -> Expr {
+        let disjoint = {
+            let mut seen: Vec<usize> = Vec::new();
+            self.dims.iter().all(|f| {
+                f.dims().all(|d| {
+                    if seen.contains(&d) {
+                        false
+                    } else {
+                        seen.push(d);
+                        true
+                    }
+                })
+            })
+        };
+        let coord_count = |f: &LinearForm| -> Expr {
+            if f.terms().is_empty() {
+                Expr::one()
+            } else if f.terms().len() == 1 || f.is_unit() {
+                let mut exact = true;
+                Self::interval_length(f, extents, &mut exact)
+            } else {
+                // Fix all but the widest participating dimension: its
+                // extent many distinct values are guaranteed.
+                Expr::max_all(f.dims().map(|d| extents[d].clone()))
+            }
+        };
+        let coord_exact =
+            |f: &LinearForm| f.terms().len() == 1 || f.is_unit();
+        if disjoint && self.dims.iter().all(coord_exact) {
+            Expr::mul_all(self.dims.iter().map(coord_count))
+        } else {
+            Expr::max_all(self.dims.iter().map(coord_count))
+        }
+    }
+
+    /// Cardinality of the *overlap* between the image of a box and the
+    /// image of the same box shifted by `shift` along iteration dimension
+    /// `shift_dim` (the inter-sub-domain reuse `SDR` of the paper, §4.1).
+    ///
+    /// For unit forms the overlap of the interval with itself shifted by
+    /// `shift` has length `max(0, len − shift)`; subscripts not using
+    /// `shift_dim` overlap fully. For non-unit forms the overlap is
+    /// *under*-approximated as zero (sound for upper bounds: less reuse is
+    /// claimed than exists).
+    pub fn overlap_cardinality(
+        &self,
+        extents: &[Expr],
+        shift_dim: usize,
+        shift: &Expr,
+    ) -> Cardinality {
+        let mut exact = self.is_separable_unit();
+        let mut factors: Vec<Expr> = Vec::new();
+        for f in &self.dims {
+            let len = Self::interval_length(f, extents, &mut exact);
+            let c = f.coeff(shift_dim);
+            if c == 0 {
+                factors.push(len);
+            } else if f.is_unit() || f.terms().len() == 1 {
+                let shifted = len - Expr::int(c.abs()) * shift;
+                factors.push(Expr::max_all([Expr::zero(), shifted]));
+            } else {
+                // Non-contiguous image: claim no reuse (sound).
+                exact = false;
+                factors.push(Expr::zero());
+            }
+        }
+        Cardinality { card: Expr::mul_all(factors), exact }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(name: &str) -> Expr {
+        Expr::sym(name)
+    }
+
+    #[test]
+    fn matmul_footprints() {
+        // A[i][k] over dims (0=i, 1=j, 2=k), extents (Ti, Tj, Tk)
+        let acc = AccessFunction::new(vec![LinearForm::var(0), LinearForm::var(2)]);
+        let fp = acc.image_cardinality(&[e("Ti"), e("Tj"), e("Tk")]);
+        assert!(fp.exact);
+        assert_eq!(fp.card, e("Ti") * e("Tk"));
+    }
+
+    #[test]
+    fn conv_footprint_with_sum_subscript() {
+        // Paper §4.1: SDF_Image,2 = (Nx + Nw - 1) * Tc
+        // Image[x+w][c] over dims (0=x, 1=w, 2=c)
+        let acc = AccessFunction::new(vec![
+            LinearForm::sum_of(&[0, 1]),
+            LinearForm::var(2),
+        ]);
+        let fp = acc.image_cardinality(&[e("Nx"), e("Nw"), e("Tc")]);
+        assert!(fp.exact);
+        let expected = (e("Nx") + e("Nw") - Expr::one()) * e("Tc");
+        assert_eq!(fp.card.expand(), expected.expand());
+    }
+
+    #[test]
+    fn overlap_full_reuse_when_dim_unused() {
+        // Out[f][x] over dims (0=f, 1=x, 2=c); shifting along c overlaps fully.
+        let acc = AccessFunction::new(vec![LinearForm::var(0), LinearForm::var(1)]);
+        let extents = [e("Tf"), e("Tx"), e("Tc")];
+        let ov = acc.overlap_cardinality(&extents, 2, &e("Tc"));
+        assert_eq!(ov.card, e("Tf") * e("Tx"));
+    }
+
+    #[test]
+    fn overlap_shift_along_used_dim() {
+        // Image[x+w] over dims (0=x, 1=w), extents (Tx, Nw), shift x by Tx:
+        // overlap = max(0, Tx + Nw - 1 - Tx) = Nw - 1.
+        let acc = AccessFunction::new(vec![LinearForm::sum_of(&[0, 1])]);
+        let ov = acc.overlap_cardinality(&[e("Tx"), e("Nw")], 0, &e("Tx"));
+        let expected = Expr::max_all([Expr::zero(), e("Nw") - Expr::one()]);
+        assert_eq!(ov.card, expected);
+    }
+
+    #[test]
+    fn strided_access_is_flagged_inexact() {
+        let acc = AccessFunction::new(vec![LinearForm::new(&[(0, 2), (1, 1)], 0)]);
+        let fp = acc.image_cardinality(&[e("Tx"), e("Tw")]);
+        assert!(!fp.exact);
+        // Range approximation: 2(Tx-1) + (Tw-1) + 1
+        let expected =
+            (Expr::int(2) * (e("Tx") - Expr::one()) + (e("Tw") - Expr::one()) + Expr::one())
+                .expand();
+        assert_eq!(fp.card, expected);
+    }
+
+    #[test]
+    fn separable_unit_detection() {
+        let shared = AccessFunction::new(vec![LinearForm::var(0), LinearForm::sum_of(&[0, 1])]);
+        assert!(!shared.is_separable_unit());
+        let ok = AccessFunction::new(vec![LinearForm::var(0), LinearForm::sum_of(&[1, 2])]);
+        assert!(ok.is_separable_unit());
+    }
+}

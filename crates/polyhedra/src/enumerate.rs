@@ -1,0 +1,143 @@
+//! Brute-force integer-point enumeration, used to validate the symbolic
+//! cardinalities on concrete instances (our "Barvinok cross-check").
+
+use std::collections::HashSet;
+
+use crate::access::AccessFunction;
+
+/// A concrete box `∏ [lo_i, lo_i + size_i)` in iteration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcreteBox {
+    /// Inclusive lower corner.
+    pub lo: Vec<i64>,
+    /// Per-dimension extents (sizes).
+    pub size: Vec<i64>,
+}
+
+impl ConcreteBox {
+    /// Creates a box from lower corner and sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length or a size is negative.
+    pub fn new(lo: Vec<i64>, size: Vec<i64>) -> ConcreteBox {
+        assert_eq!(lo.len(), size.len(), "corner/size dimension mismatch");
+        assert!(size.iter().all(|&s| s >= 0), "negative box size");
+        ConcreteBox { lo, size }
+    }
+
+    /// A box anchored at the origin.
+    pub fn at_origin(size: Vec<i64>) -> ConcreteBox {
+        let lo = vec![0; size.len()];
+        ConcreteBox::new(lo, size)
+    }
+
+    /// The number of integer points.
+    pub fn cardinality(&self) -> u64 {
+        self.size.iter().map(|&s| s as u64).product()
+    }
+
+    /// Iterates all integer points (row-major).
+    pub fn points(&self) -> PointIter {
+        PointIter { lo: self.lo.clone(), size: self.size.clone(), cur: None }
+    }
+
+    /// The box translated by `delta` along dimension `dim`.
+    pub fn shifted(&self, dim: usize, delta: i64) -> ConcreteBox {
+        let mut lo = self.lo.clone();
+        lo[dim] += delta;
+        ConcreteBox::new(lo, self.size.clone())
+    }
+}
+
+/// Iterator over the integer points of a [`ConcreteBox`].
+#[derive(Debug)]
+pub struct PointIter {
+    lo: Vec<i64>,
+    size: Vec<i64>,
+    cur: Option<Vec<i64>>,
+}
+
+impl Iterator for PointIter {
+    type Item = Vec<i64>;
+    fn next(&mut self) -> Option<Vec<i64>> {
+        if self.size.iter().any(|&s| s == 0) {
+            return None;
+        }
+        match &mut self.cur {
+            None => {
+                self.cur = Some(self.lo.clone());
+                self.cur.clone()
+            }
+            Some(p) => {
+                // Increment like an odometer, last dimension fastest.
+                for d in (0..p.len()).rev() {
+                    p[d] += 1;
+                    if p[d] < self.lo[d] + self.size[d] {
+                        return Some(p.clone());
+                    }
+                    p[d] = self.lo[d];
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Counts the distinct array cells touched by `access` over `boxdom`.
+pub fn count_image(boxdom: &ConcreteBox, access: &AccessFunction) -> u64 {
+    let mut seen: HashSet<Vec<i64>> = HashSet::new();
+    for p in boxdom.points() {
+        seen.insert(access.eval(&p));
+    }
+    seen.len() as u64
+}
+
+/// Counts the distinct cells touched by `access` over *both* boxes
+/// (i.e. `|f(B1) ∩ f(B2)|`).
+pub fn count_image_overlap(
+    b1: &ConcreteBox,
+    b2: &ConcreteBox,
+    access: &AccessFunction,
+) -> u64 {
+    let img1: HashSet<Vec<i64>> = b1.points().map(|p| access.eval(&p)).collect();
+    let img2: HashSet<Vec<i64>> = b2.points().map(|p| access.eval(&p)).collect();
+    img1.intersection(&img2).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearForm;
+
+    #[test]
+    fn box_points_count() {
+        let b = ConcreteBox::at_origin(vec![2, 3]);
+        assert_eq!(b.points().count() as u64, b.cardinality());
+        assert_eq!(b.cardinality(), 6);
+    }
+
+    #[test]
+    fn empty_box() {
+        let b = ConcreteBox::at_origin(vec![2, 0]);
+        assert_eq!(b.points().count(), 0);
+        assert_eq!(b.cardinality(), 0);
+    }
+
+    #[test]
+    fn image_count_with_aliasing() {
+        // f(x, w) = x + w over [0,3) x [0,2): values 0..=3 -> 4 cells.
+        let acc = AccessFunction::new(vec![LinearForm::sum_of(&[0, 1])]);
+        let b = ConcreteBox::at_origin(vec![3, 2]);
+        assert_eq!(count_image(&b, &acc), 4);
+    }
+
+    #[test]
+    fn overlap_count() {
+        // f(x) = x over [0,4) and [2,6): overlap {2,3} -> 2.
+        let acc = AccessFunction::new(vec![LinearForm::var(0)]);
+        let b1 = ConcreteBox::at_origin(vec![4]);
+        let b2 = b1.shifted(0, 2);
+        assert_eq!(count_image_overlap(&b1, &b2, &acc), 2);
+    }
+}

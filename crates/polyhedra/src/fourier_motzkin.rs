@@ -1,0 +1,238 @@
+//! Fourier–Motzkin elimination over rational constraints.
+//!
+//! Gives the general Z-polyhedron type projections and an emptiness test
+//! that does not rely on enumeration — the core isl operations our box
+//! fast paths specialize. The projection is the *rational shadow*: exact
+//! for the rational relaxation, an over-approximation of the integer
+//! shadow (sound for the emptiness and bounding uses in this workspace).
+
+use ioopt_symbolic::Rational;
+
+use crate::linear::LinearForm;
+use crate::zpoly::ZPolyhedron;
+
+/// A rational half-space `Σ coeff_i·x_i + c ≥ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RationalConstraint {
+    /// One coefficient per dimension.
+    pub coeffs: Vec<Rational>,
+    /// The constant term.
+    pub constant: Rational,
+}
+
+impl RationalConstraint {
+    fn from_form(f: &LinearForm, dim: usize) -> RationalConstraint {
+        let mut coeffs = vec![Rational::ZERO; dim];
+        for &(d, c) in f.terms() {
+            coeffs[d] = Rational::from(c);
+        }
+        RationalConstraint { coeffs, constant: Rational::from(f.constant()) }
+    }
+
+    /// Drops the coefficient of `var` (after elimination).
+    fn without_var(&self, var: usize) -> RationalConstraint {
+        let mut coeffs = self.coeffs.clone();
+        coeffs.remove(var);
+        RationalConstraint { coeffs, constant: self.constant }
+    }
+
+    /// Whether this is a constant constraint (all coefficients zero).
+    fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|c| c.is_zero())
+    }
+}
+
+/// The rational shadow of `poly` with dimension `var` eliminated.
+///
+/// Combines every pair of constraints with opposite signs on `var`; the
+/// result has one fewer dimension (indices above `var` shift down).
+///
+/// # Panics
+///
+/// Panics if `var` is out of range.
+pub fn project_out(poly: &ZPolyhedron, var: usize) -> Vec<RationalConstraint> {
+    assert!(var < poly.dim(), "projected dimension out of range");
+    let cs: Vec<RationalConstraint> = poly
+        .constraints()
+        .iter()
+        .map(|f| RationalConstraint::from_form(f, poly.dim()))
+        .collect();
+    project_out_rc(&cs, var)
+}
+
+/// Fourier–Motzkin step on rational constraints.
+pub fn project_out_rc(
+    constraints: &[RationalConstraint],
+    var: usize,
+) -> Vec<RationalConstraint> {
+    let mut lower: Vec<&RationalConstraint> = Vec::new(); // coeff > 0
+    let mut upper: Vec<&RationalConstraint> = Vec::new(); // coeff < 0
+    let mut free: Vec<RationalConstraint> = Vec::new();
+    for c in constraints {
+        let a = c.coeffs[var];
+        if a.is_positive() {
+            lower.push(c);
+        } else if a.is_negative() {
+            upper.push(c);
+        } else {
+            free.push(c.without_var(var));
+        }
+    }
+    for lo in &lower {
+        for hi in &upper {
+            // lo: a·x + r_lo >= 0 (a > 0)  ->  x >= -r_lo / a
+            // hi: b·x + r_hi >= 0 (b < 0)  ->  x <= -r_hi / b
+            // Combine: (-r_lo/a) <= (-r_hi/b)  <=>  |b|·r_lo + a·r_hi >= 0.
+            let a = lo.coeffs[var];
+            let b = -hi.coeffs[var];
+            let mut coeffs = Vec::with_capacity(lo.coeffs.len() - 1);
+            for (d, (&cl, &ch)) in lo.coeffs.iter().zip(&hi.coeffs).enumerate() {
+                if d == var {
+                    continue;
+                }
+                coeffs.push(b * cl + a * ch);
+            }
+            let constant = b * lo.constant + a * hi.constant;
+            let c = RationalConstraint { coeffs, constant };
+            if !free.contains(&c) {
+                free.push(c);
+            }
+        }
+    }
+    free
+}
+
+/// Whether the rational relaxation of `poly` is empty, by full
+/// Fourier–Motzkin elimination.
+///
+/// `true` implies the integer set is empty too (soundness direction used
+/// by the analyses); `false` only certifies a rational point.
+pub fn is_rational_empty(poly: &ZPolyhedron) -> bool {
+    let mut cs: Vec<RationalConstraint> = poly
+        .constraints()
+        .iter()
+        .map(|f| RationalConstraint::from_form(f, poly.dim()))
+        .collect();
+    for _ in 0..poly.dim() {
+        cs = project_out_rc(&cs, 0);
+        // Constant constraints must stay satisfiable.
+        for c in &cs {
+            if c.is_constant() && c.constant.is_negative() {
+                return true;
+            }
+        }
+        cs.retain(|c| !c.is_constant());
+    }
+    false
+}
+
+/// Rational bounds `[lo, hi]` of dimension `var` over `poly`, from the
+/// fully projected one-dimensional shadow; `None` on that side when
+/// unbounded.
+pub fn rational_bounds(
+    poly: &ZPolyhedron,
+    var: usize,
+) -> (Option<Rational>, Option<Rational>) {
+    let mut cs: Vec<RationalConstraint> = poly
+        .constraints()
+        .iter()
+        .map(|f| RationalConstraint::from_form(f, poly.dim()))
+        .collect();
+    // Eliminate every other variable (always index 0 after shifting,
+    // tracking where `var` currently lives).
+    let mut pos = var;
+    for _ in 0..poly.dim() - 1 {
+        let victim = if pos == 0 { 1 } else { 0 };
+        cs = project_out_rc(&cs, victim);
+        if victim < pos {
+            pos -= 1;
+        }
+    }
+    let mut lo: Option<Rational> = None;
+    let mut hi: Option<Rational> = None;
+    for c in cs {
+        let a = c.coeffs[0];
+        if a.is_positive() {
+            let bound = -c.constant / a;
+            lo = Some(lo.map_or(bound, |b| b.max(bound)));
+        } else if a.is_negative() {
+            let bound = -c.constant / a;
+            hi = Some(hi.map_or(bound, |b| b.min(bound)));
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle(n: i64) -> ZPolyhedron {
+        let mut p = ZPolyhedron::new(2);
+        p.add_lower_bound(0, 0);
+        p.add_lower_bound(1, 0);
+        p.add_constraint(LinearForm::new(&[(0, -1), (1, -1)], n));
+        p
+    }
+
+    #[test]
+    fn triangle_projection_bounds() {
+        let p = triangle(5);
+        let (lo, hi) = rational_bounds(&p, 0);
+        assert_eq!(lo, Some(Rational::ZERO));
+        assert_eq!(hi, Some(Rational::from(5i128)));
+    }
+
+    #[test]
+    fn emptiness_detection() {
+        let mut p = ZPolyhedron::new(2);
+        p.add_lower_bound(0, 3);
+        p.add_upper_bound(0, 3); // x >= 3 and x <= 2
+        assert!(is_rational_empty(&p));
+        assert!(!is_rational_empty(&triangle(0)));
+    }
+
+    #[test]
+    fn emptiness_needs_combination() {
+        // x + y >= 5, x <= 1, y <= 2: empty only after combining.
+        let mut p = ZPolyhedron::new(2);
+        p.add_constraint(LinearForm::new(&[(0, 1), (1, 1)], -5));
+        p.add_constraint(LinearForm::new(&[(0, -1)], 1));
+        p.add_constraint(LinearForm::new(&[(1, -1)], 2));
+        assert!(is_rational_empty(&p));
+    }
+
+    #[test]
+    fn projection_agrees_with_enumeration() {
+        // The x-shadow of the triangle is {0..n}: every integer in the
+        // rational bounds must actually occur among enumerated points.
+        let p = triangle(4);
+        let points = p.enumerate();
+        let xs: std::collections::BTreeSet<i64> =
+            points.iter().map(|pt| pt[0]).collect();
+        let (lo, hi) = rational_bounds(&p, 0);
+        let lo = lo.unwrap().ceil();
+        let hi = hi.unwrap().floor();
+        assert_eq!(xs, ((lo as i64)..=(hi as i64)).collect());
+    }
+
+    #[test]
+    fn unbounded_side_reported() {
+        let mut p = ZPolyhedron::new(1);
+        p.add_lower_bound(0, 2);
+        let (lo, hi) = rational_bounds(&p, 0);
+        assert_eq!(lo, Some(Rational::from(2i128)));
+        assert_eq!(hi, None);
+    }
+
+    #[test]
+    fn rational_tightness() {
+        // 2x >= 3, x <= 7: rational lower bound 3/2.
+        let mut p = ZPolyhedron::new(1);
+        p.add_constraint(LinearForm::new(&[(0, 2)], -3));
+        p.add_constraint(LinearForm::new(&[(0, -1)], 7));
+        let (lo, hi) = rational_bounds(&p, 0);
+        assert_eq!(lo, Some(Rational::new(3, 2)));
+        assert_eq!(hi, Some(Rational::from(7i128)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Integer linear forms over iteration dimensions.
+
+use std::fmt;
+
+/// An affine form `Σ coeff_i · dim_i + constant` over iteration-space
+/// dimensions identified by index.
+///
+/// Array subscripts in affine programs are linear forms: `Image[x+w][c]`
+/// uses the forms `x + w` and `c`.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_polyhedra::LinearForm;
+/// let f = LinearForm::sum_of(&[0, 3]); // dims 0 and 3, unit coefficients
+/// assert_eq!(f.eval(&[2, 0, 0, 5]), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LinearForm {
+    terms: Vec<(usize, i64)>,
+    constant: i64,
+}
+
+impl LinearForm {
+    /// Creates a form from `(dimension, coefficient)` terms and a constant.
+    ///
+    /// Zero-coefficient terms are dropped; duplicate dimensions are merged.
+    pub fn new(terms: &[(usize, i64)], constant: i64) -> LinearForm {
+        let mut merged: Vec<(usize, i64)> = Vec::new();
+        for &(d, c) in terms {
+            if let Some(e) = merged.iter_mut().find(|(md, _)| *md == d) {
+                e.1 += c;
+            } else {
+                merged.push((d, c));
+            }
+        }
+        merged.retain(|&(_, c)| c != 0);
+        merged.sort_by_key(|&(d, _)| d);
+        LinearForm { terms: merged, constant }
+    }
+
+    /// A single dimension with unit coefficient.
+    pub fn var(dim: usize) -> LinearForm {
+        LinearForm::new(&[(dim, 1)], 0)
+    }
+
+    /// A sum of dimensions with unit coefficients (e.g. `x + w`).
+    pub fn sum_of(dims: &[usize]) -> LinearForm {
+        let terms: Vec<(usize, i64)> = dims.iter().map(|&d| (d, 1)).collect();
+        LinearForm::new(&terms, 0)
+    }
+
+    /// The `(dimension, coefficient)` terms, sorted by dimension.
+    pub fn terms(&self) -> &[(usize, i64)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `dim` (zero if absent).
+    pub fn coeff(&self, dim: usize) -> i64 {
+        self.terms
+            .iter()
+            .find(|&&(d, _)| d == dim)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Whether `dim` occurs with a non-zero coefficient.
+    pub fn uses(&self, dim: usize) -> bool {
+        self.coeff(dim) != 0
+    }
+
+    /// Whether every coefficient is `1` (the paper's kernel class).
+    pub fn is_unit(&self) -> bool {
+        self.terms.iter().all(|&(_, c)| c == 1)
+    }
+
+    /// Evaluates the form at an iteration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced dimension is out of bounds for `point`.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        self.constant + self.terms.iter().map(|&(d, c)| c * point[d]).sum::<i64>()
+    }
+
+    /// The dimensions referenced by this form.
+    pub fn dims(&self) -> impl Iterator<Item = usize> + '_ {
+        self.terms.iter().map(|&(d, _)| d)
+    }
+}
+
+impl fmt::Display for LinearForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.constant);
+        }
+        for (i, &(d, c)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if c == 1 {
+                write!(f, "d{d}")?;
+            } else {
+                write!(f, "{c}*d{d}")?;
+            }
+        }
+        if self.constant != 0 {
+            write!(f, " + {}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_and_drops_terms() {
+        let f = LinearForm::new(&[(2, 1), (0, 3), (2, -1)], 5);
+        assert_eq!(f.terms(), &[(0, 3)]);
+        assert_eq!(f.constant(), 5);
+    }
+
+    #[test]
+    fn coeff_lookup() {
+        let f = LinearForm::new(&[(1, 2), (4, 1)], 0);
+        assert_eq!(f.coeff(1), 2);
+        assert_eq!(f.coeff(4), 1);
+        assert_eq!(f.coeff(0), 0);
+        assert!(f.uses(4));
+        assert!(!f.uses(3));
+        assert!(!f.is_unit());
+        assert!(LinearForm::sum_of(&[0, 1]).is_unit());
+    }
+
+    #[test]
+    fn eval_point() {
+        let f = LinearForm::new(&[(0, 2), (1, -1)], 3);
+        assert_eq!(f.eval(&[4, 5]), 6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(LinearForm::sum_of(&[0, 2]).to_string(), "d0 + d2");
+        assert_eq!(LinearForm::new(&[(1, 3)], 1).to_string(), "3*d1 + 1");
+    }
+}

@@ -1,0 +1,302 @@
+//! General Z-polyhedra with affine inequality constraints.
+//!
+//! The paper's algorithms only need boxes, but a general integer-set type
+//! with exact (enumeration-based) counting lets the test suite check the
+//! box fast paths against a reference, and supports non-rectangular
+//! domains in the IR.
+
+use crate::linear::LinearForm;
+
+/// An integer polyhedron `{ x ∈ Z^d | a_j·x + c_j ≥ 0 for all j }`.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_polyhedra::{LinearForm, ZPolyhedron};
+/// // Triangle: 0 <= i, 0 <= j, i + j <= 3
+/// let mut p = ZPolyhedron::new(2);
+/// p.add_lower_bound(0, 0);
+/// p.add_lower_bound(1, 0);
+/// p.add_constraint(LinearForm::new(&[(0, -1), (1, -1)], 3)); // 3 - i - j >= 0
+/// assert_eq!(p.count(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZPolyhedron {
+    dim: usize,
+    /// Constraints `f(x) >= 0`.
+    constraints: Vec<LinearForm>,
+}
+
+impl ZPolyhedron {
+    /// An unconstrained polyhedron of dimension `dim`.
+    pub fn new(dim: usize) -> ZPolyhedron {
+        ZPolyhedron { dim, constraints: Vec::new() }
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds `f(x) ≥ 0`.
+    pub fn add_constraint(&mut self, f: LinearForm) {
+        self.constraints.push(f);
+    }
+
+    /// Adds `x_dim ≥ lo`.
+    pub fn add_lower_bound(&mut self, dim: usize, lo: i64) {
+        self.add_constraint(LinearForm::new(&[(dim, 1)], -lo));
+    }
+
+    /// Adds `x_dim < hi` (i.e. `x_dim ≤ hi − 1`).
+    pub fn add_upper_bound(&mut self, dim: usize, hi: i64) {
+        self.add_constraint(LinearForm::new(&[(dim, -1)], hi - 1));
+    }
+
+    /// The constraints `f(x) ≥ 0`.
+    pub fn constraints(&self) -> &[LinearForm] {
+        &self.constraints
+    }
+
+    /// Whether `point` satisfies every constraint.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.constraints.iter().all(|f| f.eval(point) >= 0)
+    }
+
+    /// A conservative bounding box `[lo, hi)` per dimension, derived by
+    /// interval propagation over the constraints. Returns `None` when a
+    /// dimension cannot be bounded.
+    pub fn bounding_box(&self) -> Option<(Vec<i64>, Vec<i64>)> {
+        // lo[d] inclusive, hi[d] exclusive; None = unknown yet.
+        let mut lo: Vec<Option<i64>> = vec![None; self.dim];
+        let mut hi: Vec<Option<i64>> = vec![None; self.dim];
+        // Fixpoint interval propagation: from c_d*x_d + Σ c_i*x_i + k >= 0
+        // derive a bound on x_d using the extreme values of the other dims.
+        for _ in 0..2 * self.dim + 2 {
+            let mut changed = false;
+            for f in &self.constraints {
+                for &(d, cd) in f.terms() {
+                    // Compute max over the box of Σ_{i≠d} c_i*x_i + k.
+                    let mut rest_max = Some(f.constant());
+                    for &(i, ci) in f.terms() {
+                        if i == d {
+                            continue;
+                        }
+                        let extreme = if ci > 0 { hi[i].map(|h| h - 1) } else { lo[i] };
+                        rest_max = match (rest_max, extreme) {
+                            (Some(acc), Some(x)) => Some(acc + ci * x),
+                            _ => None,
+                        };
+                    }
+                    let Some(rest_max) = rest_max else { continue };
+                    if cd > 0 {
+                        // x_d >= ceil(-rest_max / cd)
+                        let b = (-rest_max).div_euclid(cd)
+                            + i64::from((-rest_max).rem_euclid(cd) != 0);
+                        let new = Some(lo[d].map_or(b, |cur: i64| cur.max(b)));
+                        if new != lo[d] {
+                            lo[d] = new;
+                            changed = true;
+                        }
+                    } else {
+                        // x_d <= floor(rest_max / -cd)
+                        let b = rest_max.div_euclid(-cd) + 1;
+                        let new = Some(hi[d].map_or(b, |cur: i64| cur.min(b)));
+                        if new != hi[d] {
+                            hi[d] = new;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let lo: Option<Vec<i64>> = lo.into_iter().collect();
+        let hi: Option<Vec<i64>> = hi.into_iter().collect();
+        Some((lo?, hi?))
+    }
+
+    /// Enumerates all integer points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set has no finite bounding box.
+    pub fn enumerate(&self) -> Vec<Vec<i64>> {
+        let (lo, hi) = self
+            .bounding_box()
+            .expect("cannot enumerate an unbounded Z-polyhedron");
+        let mut out = Vec::new();
+        let mut point = lo.clone();
+        if self.dim == 0 {
+            return vec![vec![]];
+        }
+        if lo.iter().zip(&hi).any(|(l, h)| l >= h) {
+            return out;
+        }
+        loop {
+            if self.contains(&point) {
+                out.push(point.clone());
+            }
+            // Odometer increment.
+            let mut d = self.dim;
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] < hi[d] {
+                    break;
+                }
+                point[d] = lo[d];
+            }
+        }
+    }
+
+    /// Exact point count by enumeration.
+    pub fn count(&self) -> u64 {
+        self.enumerate().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle(n: i64) -> ZPolyhedron {
+        let mut p = ZPolyhedron::new(2);
+        p.add_lower_bound(0, 0);
+        p.add_lower_bound(1, 0);
+        p.add_constraint(LinearForm::new(&[(0, -1), (1, -1)], n));
+        p
+    }
+
+    #[test]
+    fn triangle_count() {
+        // i, j >= 0, i + j <= n: (n+1)(n+2)/2 points
+        for n in 0..6 {
+            assert_eq!(triangle(n).count(), ((n + 1) * (n + 2) / 2) as u64);
+        }
+    }
+
+    #[test]
+    fn box_count() {
+        let mut p = ZPolyhedron::new(3);
+        for d in 0..3 {
+            p.add_lower_bound(d, 0);
+            p.add_upper_bound(d, 4);
+        }
+        assert_eq!(p.count(), 64);
+    }
+
+    #[test]
+    fn empty_set() {
+        let mut p = ZPolyhedron::new(1);
+        p.add_lower_bound(0, 5);
+        p.add_upper_bound(0, 5);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn membership() {
+        let p = triangle(3);
+        assert!(p.contains(&[1, 2]));
+        assert!(!p.contains(&[2, 2]));
+    }
+
+    #[test]
+    fn bounding_box_from_mixed_constraints() {
+        let mut p = ZPolyhedron::new(1);
+        p.add_constraint(LinearForm::new(&[(0, 2)], -3)); // 2x >= 3 -> x >= 2
+        p.add_constraint(LinearForm::new(&[(0, -1)], 7)); // x <= 7
+        let (lo, hi) = p.bounding_box().unwrap();
+        assert_eq!((lo[0], hi[0]), (2, 8));
+        assert_eq!(p.count(), 6);
+    }
+}
+
+impl ZPolyhedron {
+    /// The polyhedron of a concrete box `∏ [lo_i, lo_i + size_i)`.
+    pub fn from_box(boxdom: &crate::enumerate::ConcreteBox) -> ZPolyhedron {
+        let mut p = ZPolyhedron::new(boxdom.lo.len());
+        for (d, (&lo, &size)) in boxdom.lo.iter().zip(&boxdom.size).enumerate() {
+            p.add_lower_bound(d, lo);
+            p.add_upper_bound(d, lo + size);
+        }
+        p
+    }
+
+    /// The intersection (conjunction of both constraint systems).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn intersect(&self, other: &ZPolyhedron) -> ZPolyhedron {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch in intersect");
+        let mut out = self.clone();
+        for c in other.constraints() {
+            out.add_constraint(c.clone());
+        }
+        out
+    }
+
+    /// Whether the integer set is empty.
+    ///
+    /// Uses the Fourier–Motzkin rational test first (rational-empty ⇒
+    /// integer-empty); bounded non-rational-empty sets are decided by
+    /// enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the set is rationally non-empty but unbounded (no
+    /// decision procedure without lattice reasoning).
+    pub fn is_empty(&self) -> bool {
+        if crate::fourier_motzkin::is_rational_empty(self) {
+            return true;
+        }
+        self.enumerate().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod set_op_tests {
+    use super::*;
+    use crate::enumerate::ConcreteBox;
+
+    #[test]
+    fn box_roundtrip() {
+        let b = ConcreteBox::new(vec![1, 2], vec![3, 4]);
+        let p = ZPolyhedron::from_box(&b);
+        assert_eq!(p.count(), b.cardinality());
+        assert!(p.contains(&[1, 2]));
+        assert!(p.contains(&[3, 5]));
+        assert!(!p.contains(&[4, 2]));
+    }
+
+    #[test]
+    fn intersection_counts() {
+        let a = ZPolyhedron::from_box(&ConcreteBox::at_origin(vec![4, 4]));
+        let b = ZPolyhedron::from_box(&ConcreteBox::new(vec![2, 2], vec![4, 4]));
+        let i = a.intersect(&b);
+        assert_eq!(i.count(), 4); // the 2x2 overlap
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let a = ZPolyhedron::from_box(&ConcreteBox::at_origin(vec![2]));
+        let b = ZPolyhedron::from_box(&ConcreteBox::new(vec![5], vec![2]));
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn integer_emptiness_beyond_rational() {
+        // 2x >= 1 and 2x <= 1: rationally x = 1/2, integrally empty.
+        let mut p = ZPolyhedron::new(1);
+        p.add_constraint(crate::linear::LinearForm::new(&[(0, 2)], -1));
+        p.add_constraint(crate::linear::LinearForm::new(&[(0, -2)], 1));
+        assert!(p.is_empty());
+    }
+}

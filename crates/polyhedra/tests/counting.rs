@@ -1,0 +1,98 @@
+//! Cross-validation of symbolic cardinalities against brute-force
+//! enumeration — the "Barvinok correctness" property of DESIGN.md.
+
+use std::collections::HashMap;
+
+use ioopt_polyhedra::{
+    count_image, count_image_overlap, AccessFunction, ConcreteBox, LinearForm,
+};
+use ioopt_symbolic::{Expr, Rational, Symbol};
+use proptest::prelude::*;
+
+/// Generates a separable unit access function over `ndims` iteration dims:
+/// a partition of a subset of the dims into subscript groups.
+fn access_strategy(ndims: usize) -> impl Strategy<Value = AccessFunction> {
+    proptest::collection::vec(0usize..4, ndims).prop_map(move |groups| {
+        // groups[d] == g assigns dim d to subscript g (3 = unused).
+        let mut subs: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        for (d, &g) in groups.iter().enumerate() {
+            if g < 3 {
+                subs[g].push(d);
+            }
+        }
+        let forms: Vec<LinearForm> = subs
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| LinearForm::sum_of(&s))
+            .collect();
+        let forms = if forms.is_empty() { vec![LinearForm::var(0)] } else { forms };
+        AccessFunction::new(forms)
+    })
+}
+
+fn extents_strategy(ndims: usize) -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(1i64..5, ndims)
+}
+
+fn symbolic_extents(sizes: &[i64]) -> (Vec<Expr>, HashMap<Symbol, Rational>) {
+    let mut exprs = Vec::new();
+    let mut env = HashMap::new();
+    for (d, &s) in sizes.iter().enumerate() {
+        let name = format!("E{d}");
+        exprs.push(Expr::sym(&name));
+        env.insert(Symbol::new(&name), Rational::from(s as i128));
+    }
+    (exprs, env)
+}
+
+proptest! {
+    /// Symbolic image cardinality equals enumerated distinct-cell count.
+    #[test]
+    fn image_cardinality_matches_enumeration(
+        access in access_strategy(4),
+        sizes in extents_strategy(4),
+    ) {
+        let (exprs, env) = symbolic_extents(&sizes);
+        let fp = access.image_cardinality(&exprs);
+        prop_assert!(fp.exact);
+        let symbolic = fp.card.eval_rational(&env).expect("rational");
+        let enumerated = count_image(&ConcreteBox::at_origin(sizes), &access);
+        prop_assert_eq!(symbolic, Rational::from(enumerated as i128));
+    }
+
+    /// Symbolic overlap cardinality equals enumerated image intersection
+    /// for a box shifted by its own extent along one dimension.
+    #[test]
+    fn overlap_cardinality_matches_enumeration(
+        access in access_strategy(4),
+        sizes in extents_strategy(4),
+        shift_dim in 0usize..4,
+    ) {
+        let (exprs, env) = symbolic_extents(&sizes);
+        let shift = Expr::sym(&format!("E{shift_dim}"));
+        let ov = access.overlap_cardinality(&exprs, shift_dim, &shift);
+        let symbolic = ov.card.eval_rational(&env).expect("rational");
+        let b1 = ConcreteBox::at_origin(sizes.clone());
+        let b2 = b1.shifted(shift_dim, sizes[shift_dim]);
+        let enumerated = count_image_overlap(&b1, &b2, &access);
+        prop_assert_eq!(symbolic, Rational::from(enumerated as i128));
+    }
+
+    /// Non-unit (strided) accesses over-approximate, never under-approximate.
+    #[test]
+    fn strided_footprint_is_sound_overapprox(
+        sizes in extents_strategy(2),
+        stride in 2i64..4,
+    ) {
+        let access = AccessFunction::new(vec![LinearForm::new(
+            &[(0, stride), (1, 1)],
+            0,
+        )]);
+        let (exprs, env) = symbolic_extents(&sizes);
+        let fp = access.image_cardinality(&exprs);
+        prop_assert!(!fp.exact);
+        let symbolic = fp.card.eval_rational(&env).expect("rational");
+        let enumerated = count_image(&ConcreteBox::at_origin(sizes), &access);
+        prop_assert!(symbolic >= Rational::from(enumerated as i128));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests: Fourier–Motzkin results agree with brute-force
+//! enumeration on random bounded constraint systems.
+
+use ioopt_polyhedra::{is_rational_empty, rational_bounds, LinearForm, ZPolyhedron};
+use proptest::prelude::*;
+
+/// Random 2-D systems inside a [0, 8)² box plus up to 4 extra cuts.
+fn system_strategy() -> impl Strategy<Value = ZPolyhedron> {
+    let cut = (proptest::array::uniform2(-3i64..=3), -6i64..=12);
+    proptest::collection::vec(cut, 0..4).prop_map(|cuts| {
+        let mut p = ZPolyhedron::new(2);
+        for d in 0..2 {
+            p.add_lower_bound(d, 0);
+            p.add_upper_bound(d, 8);
+        }
+        for (a, b) in cuts {
+            p.add_constraint(LinearForm::new(&[(0, a[0]), (1, a[1])], b));
+        }
+        p
+    })
+}
+
+proptest! {
+    /// Rational emptiness implies integer emptiness; integer non-emptiness
+    /// implies rational non-emptiness.
+    #[test]
+    fn emptiness_is_consistent(p in system_strategy()) {
+        let integer_empty = p.enumerate().is_empty();
+        if is_rational_empty(&p) {
+            prop_assert!(integer_empty, "rational-empty but has integer points");
+        }
+        if !integer_empty {
+            prop_assert!(!is_rational_empty(&p));
+        }
+        // The combined decision procedure always agrees with enumeration.
+        prop_assert_eq!(p.is_empty(), integer_empty);
+    }
+
+    /// The rational shadow bounds cover every enumerated coordinate.
+    #[test]
+    fn shadow_bounds_cover_points(p in system_strategy(), var in 0usize..2) {
+        let points = p.enumerate();
+        if points.is_empty() {
+            return Ok(());
+        }
+        let (lo, hi) = rational_bounds(&p, var);
+        for pt in &points {
+            let v = ioopt_symbolic::Rational::from(pt[var] as i128);
+            if let Some(lo) = lo {
+                prop_assert!(v >= lo, "point {pt:?} below shadow lower bound {lo}");
+            }
+            if let Some(hi) = hi {
+                prop_assert!(v <= hi, "point {pt:?} above shadow upper bound {hi}");
+            }
+        }
+    }
+}

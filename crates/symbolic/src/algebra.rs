@@ -1,0 +1,349 @@
+//! Polynomial algebra: expansion, coefficient extraction, closed-form roots.
+//!
+//! This is the computer-algebra piece IOOpt needs to eliminate tile sizes
+//! from upper-bound expressions (paper §6, "Symbolic upper bound
+//! expressions"): set the footprint constraint to equality, read it as a
+//! polynomial in one tile variable, and solve — e.g. `T² + 2T = S` gives
+//! `T = √(S+1) − 1`.
+
+use crate::expr::{Expr, Node};
+
+use crate::symbol::Symbol;
+
+impl Expr {
+    /// Fully distributes products over sums and expands small integer powers
+    /// of sums.
+    ///
+    /// Fractional powers are left intact (their base is still expanded).
+    pub fn expand(&self) -> Expr {
+        match self.node() {
+            Node::Num(_) | Node::Sym(_) => self.clone(),
+            Node::Add(es) => Expr::add_all(es.iter().map(Expr::expand)),
+            Node::Mul(es) => {
+                let expanded: Vec<Expr> = es.iter().map(Expr::expand).collect();
+                distribute(&expanded)
+            }
+            Node::Pow(b, e) => {
+                let b = b.expand();
+                if let Some(k) = e.to_integer() {
+                    if (2..=8).contains(&k) {
+                        if let Node::Add(_) = b.node() {
+                            let copies: Vec<Expr> = vec![b; k as usize];
+                            return distribute(&copies);
+                        }
+                    }
+                }
+                Expr::pow(b, *e)
+            }
+            Node::Max(es) => Expr::max_all(es.iter().map(Expr::expand)),
+            Node::Min(es) => Expr::min_all(es.iter().map(Expr::expand)),
+        }
+    }
+
+    /// Views the expression as a univariate polynomial in `var` and returns
+    /// its coefficients `[c0, c1, ..., cd]` (constant first).
+    ///
+    /// Returns `None` if `var` occurs with a negative or fractional exponent,
+    /// under a fractional power, or inside `max`/`min`.
+    pub fn coeffs_in(&self, var: Symbol) -> Option<Vec<Expr>> {
+        let expanded = self.expand();
+        let terms: Vec<Expr> = match expanded.node() {
+            Node::Add(ts) => ts.clone(),
+            _ => vec![expanded.clone()],
+        };
+        let mut coeffs: Vec<Expr> = Vec::new();
+        for term in terms {
+            let (deg, rest) = split_power_of(&term, var)?;
+            let deg = usize::try_from(deg).ok()?;
+            if coeffs.len() <= deg {
+                coeffs.resize(deg + 1, Expr::zero());
+            }
+            coeffs[deg] = &coeffs[deg] + rest;
+        }
+        if coeffs.is_empty() {
+            coeffs.push(Expr::zero());
+        }
+        Some(coeffs)
+    }
+
+    /// The degree of the expression in `var` as a polynomial, if it is one.
+    pub fn degree_in(&self, var: Symbol) -> Option<usize> {
+        let coeffs = self.coeffs_in(var)?;
+        Some(
+            coeffs
+                .iter()
+                .rposition(|c| !c.is_zero())
+                .unwrap_or(0),
+        )
+    }
+
+    /// Whether `var` occurs anywhere in the expression.
+    pub fn contains(&self, var: Symbol) -> bool {
+        self.free_symbols().contains(&var)
+    }
+}
+
+/// Distributes a product of already-expanded factors over their sums.
+///
+/// The cartesian product of addends is materialized term by term; each term
+/// is a product of monomials, so no further recursion into `expand` is
+/// needed (sums produced by exponent merging are flattened by `add_all`).
+fn distribute(factors: &[Expr]) -> Expr {
+    let mut terms: Vec<Expr> = vec![Expr::one()];
+    for f in factors {
+        let addends: Vec<Expr> = match f.node() {
+            Node::Add(ts) => ts.clone(),
+            _ => vec![f.clone()],
+        };
+        let mut next = Vec::with_capacity(terms.len() * addends.len());
+        for t in &terms {
+            for a in &addends {
+                next.push(t * a);
+            }
+        }
+        terms = next;
+    }
+    Expr::add_all(terms)
+}
+
+/// Splits a product term into `(k, rest)` with `term = var^k * rest`.
+///
+/// Fails (returns `None`) if `var` occurs non-polynomially.
+fn split_power_of(term: &Expr, var: Symbol) -> Option<(i128, Expr)> {
+    match term.node() {
+        Node::Sym(s) if *s == var => Some((1, Expr::one())),
+        Node::Pow(b, e) => {
+            if b.as_sym() == Some(var) {
+                let k = e.to_integer()?;
+                if k < 0 {
+                    return None;
+                }
+                Some((k, Expr::one()))
+            } else if b.contains(var) {
+                None
+            } else {
+                Some((0, term.clone()))
+            }
+        }
+        Node::Mul(fs) => {
+            let mut k = 0i128;
+            let mut rest: Vec<Expr> = Vec::new();
+            for f in fs {
+                let (fk, fr) = split_power_of(f, var)?;
+                k += fk;
+                if !fr.is_one() {
+                    rest.push(fr);
+                }
+            }
+            Some((k, Expr::mul_all(rest)))
+        }
+        Node::Add(_) | Node::Max(_) | Node::Min(_) => {
+            if term.contains(var) {
+                None
+            } else {
+                Some((0, term.clone()))
+            }
+        }
+        _ => {
+            if term.contains(var) {
+                None
+            } else {
+                Some((0, term.clone()))
+            }
+        }
+    }
+}
+
+/// Closed-form roots of low-degree polynomial equations `p(var) = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Roots {
+    /// A linear equation's unique root.
+    Linear(Expr),
+    /// A quadratic's two roots `(-b ± √disc) / 2a`; `.0` is the `+` branch.
+    Quadratic(Expr, Expr),
+}
+
+impl Roots {
+    /// The root that is positive under the crate's positivity conventions
+    /// (the `+√` branch for quadratics).
+    pub fn positive_branch(&self) -> &Expr {
+        match self {
+            Roots::Linear(r) => r,
+            Roots::Quadratic(plus, _) => plus,
+        }
+    }
+}
+
+/// Solves `expr = 0` for `var` in closed form (degree ≤ 2).
+///
+/// Returns `None` when `expr` is not a polynomial in `var`, has degree 0 or
+/// degree > 2. The quadratic formula is emitted symbolically, so the result
+/// stays exact (e.g. `T² + 2T − S = 0` yields `√(S+1) − 1`).
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::{solve_for, Expr, Symbol};
+/// let t = Symbol::new("T");
+/// let s = Expr::sym("S");
+/// let eq = Expr::symbol(t).powi(2) + Expr::int(2) * Expr::symbol(t) - s;
+/// let roots = solve_for(&eq, t).expect("quadratic");
+/// assert_eq!(
+///     roots.positive_branch().to_string(),
+///     "(S + 1)^(1/2) - 1"
+/// );
+/// ```
+pub fn solve_for(expr: &Expr, var: Symbol) -> Option<Roots> {
+    let coeffs = expr.coeffs_in(var)?;
+    let deg = coeffs.iter().rposition(|c| !c.is_zero())?;
+    match deg {
+        1 => {
+            let b = &coeffs[1];
+            let c = &coeffs[0];
+            Some(Roots::Linear(-(c / b)))
+        }
+        2 => {
+            let a = &coeffs[2];
+            let b = &coeffs[1];
+            let c = &coeffs[0];
+            let disc = b * b - Expr::int(4) * a * c;
+            let sq = disc.sqrt();
+            let two_a = Expr::int(2) * a;
+            let plus = (-(b.clone()) + &sq) / &two_a;
+            let minus = (-(b.clone()) - &sq) / &two_a;
+            Some(Roots::Quadratic(plus, minus))
+        }
+        _ => None,
+    }
+}
+
+/// Solves `expr = 0` for `var` numerically on `(lo, hi)` by bisection,
+/// assuming `expr` is continuous and changes sign on the interval.
+///
+/// Used as the fallback when the footprint polynomial has degree > 2
+/// (paper §6 "Limitations"). `env` binds every other symbol.
+pub fn solve_numeric(
+    expr: &Expr,
+    var: Symbol,
+    env: &crate::eval::Bindings,
+    mut lo: f64,
+    mut hi: f64,
+) -> Option<f64> {
+    let mut env = env.clone();
+    let mut eval_at = move |x: f64, e: &Expr| -> Option<f64> {
+        env.insert(var, x);
+        e.eval_f64(&env).ok()
+    };
+    let mut flo = eval_at(lo, expr)?;
+    let fhi = eval_at(hi, expr)?;
+    if flo == 0.0 {
+        return Some(lo);
+    }
+    if fhi == 0.0 {
+        return Some(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = eval_at(mid, expr)?;
+        if fmid == 0.0 || (hi - lo) < 1e-12 * hi.abs().max(1.0) {
+            return Some(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rational;
+
+    fn s(name: &str) -> Expr {
+        Expr::sym(name)
+    }
+
+    #[test]
+    fn expand_binomial() {
+        let x = s("x");
+        let y = s("y");
+        let e = ((&x + &y) * (&x - &y)).expand();
+        assert_eq!(e, x.powi(2) - y.powi(2));
+    }
+
+    #[test]
+    fn expand_square_of_sum() {
+        let x = s("x");
+        let e = Expr::pow(&x + Expr::int(1), Rational::from(2i128)).expand();
+        assert_eq!(e, x.powi(2) + Expr::int(2) * &x + Expr::int(1));
+    }
+
+    #[test]
+    fn coefficients_of_polynomial() {
+        let t = Symbol::new("T");
+        let x = Expr::symbol(t);
+        let a = s("a");
+        let e = &a * x.powi(2) + Expr::int(2) * &x + Expr::int(5);
+        let coeffs = e.coeffs_in(t).unwrap();
+        assert_eq!(coeffs.len(), 3);
+        assert_eq!(coeffs[0], Expr::int(5));
+        assert_eq!(coeffs[1], Expr::int(2));
+        assert_eq!(coeffs[2], a);
+    }
+
+    #[test]
+    fn coefficients_reject_fractional_powers() {
+        let t = Symbol::new("T");
+        let e = Expr::symbol(t).sqrt();
+        assert_eq!(e.coeffs_in(t), None);
+        let e = Expr::symbol(t).recip();
+        assert_eq!(e.coeffs_in(t), None);
+    }
+
+    #[test]
+    fn solve_linear() {
+        let t = Symbol::new("T");
+        let e = Expr::int(3) * Expr::symbol(t) - s("S");
+        let roots = solve_for(&e, t).unwrap();
+        assert_eq!(roots.positive_branch(), &(s("S") / Expr::int(3)));
+    }
+
+    #[test]
+    fn solve_matmul_footprint_quadratic() {
+        // T^2 + 2T = S  =>  T = sqrt(S+1) - 1  (paper §6)
+        let t = Symbol::new("T");
+        let e = Expr::symbol(t).powi(2) + Expr::int(2) * Expr::symbol(t) - s("S");
+        let roots = solve_for(&e, t).unwrap();
+        let root = roots.positive_branch();
+        // Check numerically: S = 1024 -> T = sqrt(1025) - 1
+        let v = root.eval_with(&[("S", 1024.0)]).unwrap();
+        assert!((v - (1025.0_f64.sqrt() - 1.0)).abs() < 1e-12);
+        // And structurally.
+        assert_eq!(root.to_string(), "(S + 1)^(1/2) - 1");
+    }
+
+    #[test]
+    fn solve_numeric_bisection() {
+        // T^3 + T = 10 has a root near 2.0861
+        let t = Symbol::new("T");
+        let e = Expr::symbol(t).powi(3) + Expr::symbol(t) - Expr::int(10);
+        let r = solve_numeric(&e, t, &Default::default(), 0.0, 10.0).unwrap();
+        assert!((r.powi(3) + r - 10.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degree_detection() {
+        let t = Symbol::new("T");
+        let x = Expr::symbol(t);
+        assert_eq!((x.powi(2) + &x).degree_in(t), Some(2));
+        assert_eq!(s("a").degree_in(t), Some(0));
+        assert_eq!(x.sqrt().degree_in(t), None);
+    }
+}

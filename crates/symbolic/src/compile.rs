@@ -1,0 +1,212 @@
+//! Compilation of expressions to a flat numeric evaluator.
+//!
+//! Optimizers evaluate the same cost expression at thousands of points;
+//! walking the `Expr` tree with a `HashMap` environment each time is
+//! wasteful. [`Expr::compile`] partially evaluates all fixed symbols and
+//! flattens the rest into a postorder instruction list over a slot array.
+
+use std::collections::HashMap;
+
+use crate::eval::{Bindings, EvalError};
+use crate::expr::{Expr, Node};
+use crate::symbol::Symbol;
+
+/// A compiled expression: evaluate with [`CompiledExpr::eval`] by passing
+/// one `f64` per variable, in the order given to [`Expr::compile`].
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::{Expr, Symbol};
+/// let e = Expr::sym("a") * Expr::sym("b") + Expr::sym("c");
+/// let mut env = std::collections::HashMap::new();
+/// env.insert(Symbol::new("c"), 10.0);
+/// let c = e.compile(&[Symbol::new("a"), Symbol::new("b")], &env)?;
+/// assert_eq!(c.eval(&[3.0, 4.0]), 22.0);
+/// # Ok::<(), ioopt_symbolic::EvalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    code: Vec<Instr>,
+    num_vars: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Instr {
+    Const(f64),
+    /// Load variable by index.
+    Var(usize),
+    /// Sum of the top `n` stack values.
+    AddN(usize),
+    /// Product of the top `n` stack values.
+    MulN(usize),
+    /// Replace the top of stack with `top^e`.
+    Pow(f64),
+    /// Maximum of the top `n` stack values.
+    MaxN(usize),
+    /// Minimum of the top `n` stack values.
+    MinN(usize),
+}
+
+impl Expr {
+    /// Compiles the expression for repeated evaluation: `vars` become
+    /// runtime arguments, every other free symbol is fixed from `env`.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnboundSymbol`] if a free symbol is neither in `vars`
+    /// nor in `env`.
+    pub fn compile(&self, vars: &[Symbol], env: &Bindings) -> Result<CompiledExpr, EvalError> {
+        let index: HashMap<Symbol, usize> =
+            vars.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut code = Vec::new();
+        emit(self, &index, env, &mut code)?;
+        Ok(CompiledExpr { code, num_vars: vars.len() })
+    }
+}
+
+fn emit(
+    e: &Expr,
+    index: &HashMap<Symbol, usize>,
+    env: &Bindings,
+    code: &mut Vec<Instr>,
+) -> Result<(), EvalError> {
+    match e.node() {
+        Node::Num(v) => code.push(Instr::Const(v.to_f64())),
+        Node::Sym(s) => {
+            if let Some(&i) = index.get(s) {
+                code.push(Instr::Var(i));
+            } else if let Some(&v) = env.get(s) {
+                code.push(Instr::Const(v));
+            } else {
+                return Err(EvalError::UnboundSymbol(*s));
+            }
+        }
+        Node::Add(es) => {
+            for sub in es {
+                emit(sub, index, env, code)?;
+            }
+            code.push(Instr::AddN(es.len()));
+        }
+        Node::Mul(es) => {
+            for sub in es {
+                emit(sub, index, env, code)?;
+            }
+            code.push(Instr::MulN(es.len()));
+        }
+        Node::Pow(b, exp) => {
+            emit(b, index, env, code)?;
+            code.push(Instr::Pow(exp.to_f64()));
+        }
+        Node::Max(es) => {
+            for sub in es {
+                emit(sub, index, env, code)?;
+            }
+            code.push(Instr::MaxN(es.len()));
+        }
+        Node::Min(es) => {
+            for sub in es {
+                emit(sub, index, env, code)?;
+            }
+            code.push(Instr::MinN(es.len()));
+        }
+    }
+    Ok(())
+}
+
+impl CompiledExpr {
+    /// Evaluates at `x` (one value per compiled variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the number of compiled variables.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars, "variable count mismatch");
+        let mut stack: Vec<f64> = Vec::with_capacity(16);
+        for instr in &self.code {
+            match instr {
+                Instr::Const(v) => stack.push(*v),
+                Instr::Var(i) => stack.push(x[*i]),
+                Instr::AddN(n) => {
+                    let at = stack.len() - n;
+                    let mut acc = 0.0;
+                    for v in stack.drain(at..) {
+                        acc += v;
+                    }
+                    stack.push(acc);
+                }
+                Instr::MulN(n) => {
+                    let at = stack.len() - n;
+                    let mut acc = 1.0;
+                    for v in stack.drain(at..) {
+                        acc *= v;
+                    }
+                    stack.push(acc);
+                }
+                Instr::Pow(e) => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(v.powf(*e));
+                }
+                Instr::MaxN(n) => {
+                    let at = stack.len() - n;
+                    let mut acc = f64::NEG_INFINITY;
+                    for v in stack.drain(at..) {
+                        acc = acc.max(v);
+                    }
+                    stack.push(acc);
+                }
+                Instr::MinN(n) => {
+                    let at = stack.len() - n;
+                    let mut acc = f64::INFINITY;
+                    for v in stack.drain(at..) {
+                        acc = acc.min(v);
+                    }
+                    stack.push(acc);
+                }
+            }
+        }
+        stack.pop().expect("compiled expression leaves one value")
+    }
+
+    /// The number of runtime variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_tree_eval() {
+        let e = (Expr::sym("ca") + Expr::int(1)) * Expr::sym("cb").sqrt()
+            + Expr::max_all([Expr::sym("ca"), Expr::sym("cc")]);
+        let vars = [Symbol::new("ca"), Symbol::new("cb")];
+        let mut env = Bindings::new();
+        env.insert(Symbol::new("cc"), 7.0);
+        let compiled = e.compile(&vars, &env).unwrap();
+        for (a, b) in [(1.0, 4.0), (3.5, 2.0), (10.0, 9.0)] {
+            let mut full = env.clone();
+            full.insert(vars[0], a);
+            full.insert(vars[1], b);
+            assert_eq!(compiled.eval(&[a, b]), e.eval_f64(&full).unwrap());
+        }
+    }
+
+    #[test]
+    fn unbound_symbol_errors_at_compile_time() {
+        let e = Expr::sym("zz_missing_compile");
+        assert!(matches!(
+            e.compile(&[], &Bindings::new()),
+            Err(EvalError::UnboundSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn reciprocal_powers() {
+        let e = Expr::sym("cx").recip();
+        let c = e.compile(&[Symbol::new("cx")], &Bindings::new()).unwrap();
+        assert_eq!(c.eval(&[4.0]), 0.25);
+    }
+}

@@ -1,0 +1,361 @@
+//! Evaluation and substitution.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::{Expr, Node};
+use crate::rational::Rational;
+use crate::symbol::Symbol;
+
+/// A binding environment mapping symbols to numeric values.
+pub type Bindings = HashMap<Symbol, f64>;
+
+/// Errors produced by numeric evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A symbol had no binding.
+    UnboundSymbol(Symbol),
+    /// A power produced a non-real result (negative base, fractional exponent).
+    NonRealPower {
+        /// The offending (negative) base value.
+        base: f64,
+        /// The fractional exponent.
+        exp: Rational,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundSymbol(s) => write!(f, "unbound symbol `{s}`"),
+            EvalError::NonRealPower { base, exp } => {
+                write!(f, "non-real power: {base}^{exp}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Expr {
+    /// Evaluates the expression to an `f64` under `bindings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundSymbol`] if a free symbol has no binding
+    /// and [`EvalError::NonRealPower`] if a fractional power of a negative
+    /// value is encountered.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ioopt_symbolic::{Expr, Symbol};
+    /// use std::collections::HashMap;
+    /// let e = Expr::sym("S").sqrt();
+    /// let mut env = HashMap::new();
+    /// env.insert(Symbol::new("S"), 1024.0);
+    /// assert_eq!(e.eval_f64(&env)?, 32.0);
+    /// # Ok::<(), ioopt_symbolic::EvalError>(())
+    /// ```
+    pub fn eval_f64(&self, bindings: &Bindings) -> Result<f64, EvalError> {
+        match self.node() {
+            Node::Num(v) => Ok(v.to_f64()),
+            Node::Sym(s) => bindings.get(s).copied().ok_or(EvalError::UnboundSymbol(*s)),
+            Node::Add(es) => {
+                let mut acc = 0.0;
+                for e in es {
+                    acc += e.eval_f64(bindings)?;
+                }
+                Ok(acc)
+            }
+            Node::Mul(es) => {
+                let mut acc = 1.0;
+                for e in es {
+                    acc *= e.eval_f64(bindings)?;
+                }
+                Ok(acc)
+            }
+            Node::Pow(b, e) => {
+                let base = b.eval_f64(bindings)?;
+                if base < 0.0 && !e.is_integer() {
+                    return Err(EvalError::NonRealPower { base, exp: *e });
+                }
+                Ok(base.powf(e.to_f64()))
+            }
+            Node::Max(es) => {
+                let mut acc = f64::NEG_INFINITY;
+                for e in es {
+                    acc = acc.max(e.eval_f64(bindings)?);
+                }
+                Ok(acc)
+            }
+            Node::Min(es) => {
+                let mut acc = f64::INFINITY;
+                for e in es {
+                    acc = acc.min(e.eval_f64(bindings)?);
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Evaluates exactly to a [`Rational`], if all powers stay rational.
+    ///
+    /// Returns `None` when the expression contains an irrational power
+    /// (e.g. `2^(1/2)`) or an unbound symbol.
+    pub fn eval_rational(&self, bindings: &HashMap<Symbol, Rational>) -> Option<Rational> {
+        match self.node() {
+            Node::Num(v) => Some(*v),
+            Node::Sym(s) => bindings.get(s).copied(),
+            Node::Add(es) => {
+                let mut acc = Rational::ZERO;
+                for e in es {
+                    acc += e.eval_rational(bindings)?;
+                }
+                Some(acc)
+            }
+            Node::Mul(es) => {
+                let mut acc = Rational::ONE;
+                for e in es {
+                    acc *= e.eval_rational(bindings)?;
+                }
+                Some(acc)
+            }
+            Node::Pow(b, e) => {
+                let base = b.eval_rational(bindings)?;
+                let root = if e.denom() == 1 {
+                    base
+                } else {
+                    base.nth_root_exact(u32::try_from(e.denom()).ok()?)?
+                };
+                let p = i32::try_from(e.numer()).ok()?;
+                Some(root.powi(p))
+            }
+            Node::Max(es) => es.iter().map(|e| e.eval_rational(bindings)).try_fold(
+                None::<Rational>,
+                |acc, v| {
+                    let v = v?;
+                    Some(Some(match acc {
+                        None => v,
+                        Some(a) => a.max(v),
+                    }))
+                },
+            )?,
+            Node::Min(es) => es.iter().map(|e| e.eval_rational(bindings)).try_fold(
+                None::<Rational>,
+                |acc, v| {
+                    let v = v?;
+                    Some(Some(match acc {
+                        None => v,
+                        Some(a) => a.min(v),
+                    }))
+                },
+            )?,
+        }
+    }
+
+    /// Substitutes symbols by expressions and re-canonicalizes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ioopt_symbolic::{Expr, Symbol};
+    /// use std::collections::HashMap;
+    /// let e = Expr::sym("x") * Expr::sym("x");
+    /// let mut map = HashMap::new();
+    /// map.insert(Symbol::new("x"), Expr::int(3));
+    /// assert_eq!(e.subst(&map), Expr::int(9));
+    /// ```
+    pub fn subst(&self, map: &HashMap<Symbol, Expr>) -> Expr {
+        match self.node() {
+            Node::Num(_) => self.clone(),
+            Node::Sym(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
+            Node::Add(es) => Expr::add_all(es.iter().map(|e| e.subst(map))),
+            Node::Mul(es) => Expr::mul_all(es.iter().map(|e| e.subst(map))),
+            Node::Pow(b, e) => Expr::pow(b.subst(map), *e),
+            Node::Max(es) => Expr::max_all(es.iter().map(|e| e.subst(map))),
+            Node::Min(es) => Expr::min_all(es.iter().map(|e| e.subst(map))),
+        }
+    }
+
+    /// Convenience: substitute a single symbol.
+    pub fn subst_one(&self, sym: Symbol, value: &Expr) -> Expr {
+        let mut map = HashMap::new();
+        map.insert(sym, value.clone());
+        self.subst(&map)
+    }
+
+    /// Convenience: evaluate with `(name, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Expr::eval_f64`].
+    pub fn eval_with(&self, pairs: &[(&str, f64)]) -> Result<f64, EvalError> {
+        let env: Bindings = pairs.iter().map(|(n, v)| (Symbol::new(n), *v)).collect();
+        self.eval_f64(&env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let e = (Expr::sym("a") + Expr::int(1)) * Expr::sym("b");
+        assert_eq!(e.eval_with(&[("a", 2.0), ("b", 3.0)]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn eval_unbound_errors() {
+        let e = Expr::sym("zz_unbound");
+        assert!(matches!(e.eval_with(&[]), Err(EvalError::UnboundSymbol(_))));
+    }
+
+    #[test]
+    fn eval_sqrt() {
+        let e = Expr::sym("S").sqrt();
+        assert!((e.eval_with(&[("S", 2.0)]).unwrap() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_negative_fractional_power_errors() {
+        let e = Expr::sym("neg_base_sym").sqrt();
+        assert!(matches!(
+            e.eval_with(&[("neg_base_sym", -1.0)]),
+            Err(EvalError::NonRealPower { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_rational_exact() {
+        let e = Expr::sym("x").powi(2) + Expr::int(1);
+        let mut env = HashMap::new();
+        env.insert(Symbol::new("x"), Rational::new(1, 2));
+        assert_eq!(e.eval_rational(&env), Some(Rational::new(5, 4)));
+    }
+
+    #[test]
+    fn eval_rational_rejects_irrational() {
+        let e = Expr::int(2).sqrt();
+        assert_eq!(e.eval_rational(&HashMap::new()), None);
+    }
+
+    #[test]
+    fn subst_recanonicalizes() {
+        let e = Expr::sym("x") + Expr::sym("y");
+        let got = e.subst_one(Symbol::new("y"), &(-Expr::sym("x")));
+        assert!(got.is_zero());
+    }
+
+    #[test]
+    fn eval_max_min() {
+        let e = Expr::max_all([Expr::sym("a"), Expr::sym("b")])
+            + Expr::min_all([Expr::sym("a"), Expr::sym("b")]);
+        assert_eq!(e.eval_with(&[("a", 2.0), ("b", 5.0)]).unwrap(), 7.0);
+    }
+}
+
+impl Expr {
+    /// Presentation aid: prunes `max`/`min` branches that are never
+    /// active on any of the `samples` (each a full binding environment).
+    ///
+    /// The result agrees with the original on the sampled points but is
+    /// **not** an equivalent expression elsewhere — use it to display the
+    /// active regime of a combined bound (e.g. Fig. 6 rows specialized to
+    /// one benchmark's sizes), never inside a soundness argument.
+    pub fn prune_extrema(&self, samples: &[Bindings]) -> Expr {
+        match self.node() {
+            Node::Num(_) | Node::Sym(_) => self.clone(),
+            Node::Add(es) => Expr::add_all(es.iter().map(|e| e.prune_extrema(samples))),
+            Node::Mul(es) => Expr::mul_all(es.iter().map(|e| e.prune_extrema(samples))),
+            Node::Pow(b, e) => Expr::pow(b.prune_extrema(samples), *e),
+            Node::Max(es) | Node::Min(es) => {
+                let is_max = matches!(self.node(), Node::Max(_));
+                let pruned: Vec<Expr> =
+                    es.iter().map(|e| e.prune_extrema(samples)).collect();
+                let mut keep = vec![false; pruned.len()];
+                for env in samples {
+                    let values: Vec<Option<f64>> =
+                        pruned.iter().map(|e| e.eval_f64(env).ok()).collect();
+                    let best = values
+                        .iter()
+                        .flatten()
+                        .copied()
+                        .fold(if is_max { f64::NEG_INFINITY } else { f64::INFINITY }, |a, v| {
+                            if is_max {
+                                a.max(v)
+                            } else {
+                                a.min(v)
+                            }
+                        });
+                    for (k, v) in keep.iter_mut().zip(&values) {
+                        if let Some(v) = v {
+                            if (*v - best).abs() <= 1e-12 * best.abs().max(1.0) {
+                                *k = true;
+                            }
+                        }
+                    }
+                }
+                let kept: Vec<Expr> = pruned
+                    .into_iter()
+                    .zip(&keep)
+                    .filter(|(_, &k)| k)
+                    .map(|(e, _)| e)
+                    .collect();
+                if kept.is_empty() {
+                    // No sample evaluated: keep everything.
+                    return self.clone();
+                }
+                if is_max {
+                    Expr::max_all(kept)
+                } else {
+                    Expr::min_all(kept)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn env(pairs: &[(&str, f64)]) -> Bindings {
+        pairs.iter().map(|&(n, v)| (Symbol::new(n), v)).collect()
+    }
+
+    #[test]
+    fn inactive_branches_drop() {
+        let e = Expr::max_all([Expr::sym("pm_a"), Expr::sym("pm_b")]);
+        let pruned = e.prune_extrema(&[env(&[("pm_a", 10.0), ("pm_b", 1.0)])]);
+        assert_eq!(pruned, Expr::sym("pm_a"));
+    }
+
+    #[test]
+    fn branches_active_anywhere_survive() {
+        let e = Expr::max_all([Expr::sym("pm_a"), Expr::sym("pm_b")]);
+        let pruned = e.prune_extrema(&[
+            env(&[("pm_a", 10.0), ("pm_b", 1.0)]),
+            env(&[("pm_a", 1.0), ("pm_b", 10.0)]),
+        ]);
+        assert_eq!(pruned, e);
+    }
+
+    #[test]
+    fn unevaluable_samples_keep_everything() {
+        let e = Expr::max_all([Expr::sym("pm_a"), Expr::sym("pm_unbound")]);
+        let pruned = e.prune_extrema(&[env(&[("pm_a", 1.0)])]);
+        // pm_a evaluated and is "best among evaluated": kept; the
+        // unbound branch is dropped only if some sample evaluated it.
+        assert_eq!(pruned, Expr::sym("pm_a"));
+    }
+
+    #[test]
+    fn min_prunes_symmetrically() {
+        let e = Expr::min_all([Expr::sym("pm_a"), Expr::sym("pm_b")]);
+        let pruned = e.prune_extrema(&[env(&[("pm_a", 10.0), ("pm_b", 1.0)])]);
+        assert_eq!(pruned, Expr::sym("pm_b"));
+    }
+}

@@ -1,0 +1,685 @@
+//! Canonical symbolic expressions.
+//!
+//! [`Expr`] is an immutable, reference-counted expression tree kept in a
+//! canonical form by its constructors: sums are flattened with like terms
+//! combined, products are flattened with like bases combined, and powers
+//! carry *rational constant* exponents (enough for the `√S` and `K^{3/2}`
+//! shapes that I/O bounds take).
+//!
+//! # Positivity assumption
+//!
+//! All symbols are assumed to denote *positive real* quantities (program
+//! parameters, tile sizes, cache sizes). This licenses the rewrites
+//! `(x·y)^e = x^e·y^e` and `(x^a)^b = x^{a·b}` used during
+//! canonicalization, exactly like the paper's use of SymPy on positive
+//! symbols.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::ops;
+use std::rc::Rc;
+
+use crate::rational::Rational;
+use crate::symbol::Symbol;
+
+/// A symbolic expression in canonical form.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::Expr;
+/// let s = Expr::sym("S");
+/// let e = (s.clone() + Expr::int(1)).sqrt() - Expr::int(1);
+/// assert_eq!(e.to_string(), "(S + 1)^(1/2) - 1");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Expr(Rc<Node>);
+
+/// The node payload of an [`Expr`].
+#[derive(PartialEq, Eq, Hash)]
+pub enum Node {
+    /// A rational constant.
+    Num(Rational),
+    /// A symbolic variable.
+    Sym(Symbol),
+    /// A canonical sum (flattened, like terms combined, at least two terms).
+    Add(Vec<Expr>),
+    /// A canonical product (flattened, like bases combined, at least two factors).
+    Mul(Vec<Expr>),
+    /// `base ^ exponent` with a rational exponent that is neither 0 nor 1.
+    Pow(Expr, Rational),
+    /// Pointwise maximum of at least two expressions.
+    Max(Vec<Expr>),
+    /// Pointwise minimum of at least two expressions.
+    Min(Vec<Expr>),
+}
+
+impl Expr {
+    fn wrap(node: Node) -> Expr {
+        Expr(Rc::new(node))
+    }
+
+    /// Access the underlying node.
+    pub fn node(&self) -> &Node {
+        &self.0
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Expr {
+        Expr::num(Rational::ZERO)
+    }
+
+    /// The constant one.
+    pub fn one() -> Expr {
+        Expr::num(Rational::ONE)
+    }
+
+    /// An integer constant.
+    pub fn int(v: i64) -> Expr {
+        Expr::num(Rational::from(v))
+    }
+
+    /// A rational constant.
+    pub fn num(v: Rational) -> Expr {
+        Expr::wrap(Node::Num(v))
+    }
+
+    /// A symbol expression, interning `name`.
+    pub fn sym(name: &str) -> Expr {
+        Expr::wrap(Node::Sym(Symbol::new(name)))
+    }
+
+    /// An expression for an existing [`Symbol`].
+    pub fn symbol(sym: Symbol) -> Expr {
+        Expr::wrap(Node::Sym(sym))
+    }
+
+    /// The rational value if this expression is a constant.
+    pub fn as_num(&self) -> Option<Rational> {
+        match self.node() {
+            Node::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The symbol if this expression is a bare variable.
+    pub fn as_sym(&self) -> Option<Symbol> {
+        match self.node() {
+            Node::Sym(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the constant zero.
+    pub fn is_zero(&self) -> bool {
+        self.as_num().map(|v| v.is_zero()).unwrap_or(false)
+    }
+
+    /// Whether this is the constant one.
+    pub fn is_one(&self) -> bool {
+        self.as_num().map(|v| v.is_one()).unwrap_or(false)
+    }
+
+    /// Builds a canonical sum of `terms`.
+    pub fn add_all<I: IntoIterator<Item = Expr>>(terms: I) -> Expr {
+        let mut constant = Rational::ZERO;
+        // monomial part -> rational coefficient
+        let mut buckets: HashMap<Expr, Rational> = HashMap::new();
+        let mut order: Vec<Expr> = Vec::new();
+        let mut stack: Vec<Expr> = terms.into_iter().collect();
+        stack.reverse();
+        while let Some(t) = stack.pop() {
+            match t.node() {
+                Node::Add(ts) => {
+                    for sub in ts.iter().rev() {
+                        stack.push(sub.clone());
+                    }
+                }
+                Node::Num(v) => constant += *v,
+                _ => {
+                    let (coeff, mono) = t.split_coeff();
+                    let entry = buckets.entry(mono.clone()).or_insert_with(|| {
+                        order.push(mono);
+                        Rational::ZERO
+                    });
+                    *entry += coeff;
+                }
+            }
+        }
+        let mut out: Vec<Expr> = Vec::new();
+        for mono in order {
+            let coeff = buckets[&mono];
+            if coeff.is_zero() {
+                continue;
+            }
+            if coeff.is_one() {
+                out.push(mono);
+            } else {
+                out.push(Expr::mul_all([Expr::num(coeff), mono]));
+            }
+        }
+        out.sort_by(cmp_expr);
+        if !constant.is_zero() {
+            out.push(Expr::num(constant));
+        }
+        match out.len() {
+            0 => Expr::zero(),
+            1 => out.pop().expect("len checked"),
+            _ => Expr::wrap(Node::Add(out)),
+        }
+    }
+
+    /// Splits a term into `(rational coefficient, monomial part)`.
+    fn split_coeff(&self) -> (Rational, Expr) {
+        match self.node() {
+            Node::Num(v) => (*v, Expr::one()),
+            Node::Mul(fs) => {
+                if let Node::Num(v) = fs[0].node() {
+                    let rest: Vec<Expr> = fs[1..].to_vec();
+                    let mono = if rest.len() == 1 {
+                        rest.into_iter().next().expect("len checked")
+                    } else {
+                        Expr::wrap(Node::Mul(rest))
+                    };
+                    (*v, mono)
+                } else {
+                    (Rational::ONE, self.clone())
+                }
+            }
+            _ => (Rational::ONE, self.clone()),
+        }
+    }
+
+    /// Builds a canonical product of `factors`.
+    pub fn mul_all<I: IntoIterator<Item = Expr>>(factors: I) -> Expr {
+        let mut coeff = Rational::ONE;
+        // base -> accumulated exponent
+        let mut buckets: HashMap<Expr, Rational> = HashMap::new();
+        let mut order: Vec<Expr> = Vec::new();
+        let mut stack: Vec<Expr> = factors.into_iter().collect();
+        stack.reverse();
+        while let Some(f) = stack.pop() {
+            match f.node() {
+                Node::Mul(fs) => {
+                    for sub in fs.iter().rev() {
+                        stack.push(sub.clone());
+                    }
+                }
+                Node::Num(v) => {
+                    if v.is_zero() {
+                        return Expr::zero();
+                    }
+                    coeff *= *v;
+                }
+                Node::Pow(base, exp) => {
+                    let entry = buckets.entry(base.clone()).or_insert_with(|| {
+                        order.push(base.clone());
+                        Rational::ZERO
+                    });
+                    *entry += *exp;
+                }
+                _ => {
+                    let entry = buckets.entry(f.clone()).or_insert_with(|| {
+                        order.push(f.clone());
+                        Rational::ZERO
+                    });
+                    *entry += Rational::ONE;
+                }
+            }
+        }
+        let mut out: Vec<Expr> = Vec::new();
+        let mut pending: Vec<Expr> = Vec::new();
+        for base in order {
+            let exp = buckets[&base];
+            if exp.is_zero() {
+                continue;
+            }
+            let powered = Expr::pow(base, exp);
+            match powered.node() {
+                Node::Num(v) => {
+                    if v.is_zero() {
+                        return Expr::zero();
+                    }
+                    coeff *= *v;
+                }
+                // pow() may have rewritten into a product (e.g. partial
+                // numeric root extraction); fold those factors in a second
+                // pass rather than recursing unboundedly.
+                Node::Mul(_) => pending.push(powered),
+                _ => out.push(powered),
+            }
+        }
+        if !pending.is_empty() {
+            pending.push(Expr::num(coeff));
+            pending.extend(out);
+            return Expr::mul_all(pending);
+        }
+        out.sort_by(cmp_expr);
+        if out.is_empty() {
+            return Expr::num(coeff);
+        }
+        if coeff.is_one() && out.len() == 1 {
+            return out.pop().expect("len checked");
+        }
+        // Distribute a bare numeric coefficient into a lone sum, so that
+        // (2·x + 2)/2 canonicalizes to x + 1.
+        if out.len() == 1 {
+            if let Node::Add(ts) = out[0].node() {
+                let c = Expr::num(coeff);
+                return Expr::add_all(
+                    ts.iter().map(|t| Expr::mul_all([c.clone(), t.clone()])).collect::<Vec<_>>(),
+                );
+            }
+        }
+        if !coeff.is_one() {
+            out.insert(0, Expr::num(coeff));
+        }
+        if out.len() == 1 {
+            return out.pop().expect("len checked");
+        }
+        Expr::wrap(Node::Mul(out))
+    }
+
+    /// Builds `base ^ exp` in canonical form.
+    ///
+    /// Under the crate's positivity assumption this distributes over
+    /// products and composes with inner powers.
+    pub fn pow(base: Expr, exp: Rational) -> Expr {
+        if exp.is_zero() {
+            return Expr::one();
+        }
+        if exp.is_one() {
+            return base;
+        }
+        match base.node() {
+            Node::Num(v) => {
+                if let Some(i) = exp.to_integer() {
+                    if let Ok(i) = i32::try_from(i) {
+                        return Expr::num(v.powi(i));
+                    }
+                }
+                // Try an exact root: v^(p/q) with v a perfect q-th power.
+                let q = exp.denom();
+                if let Ok(q32) = u32::try_from(q) {
+                    if let Some(root) = v.nth_root_exact(q32) {
+                        if let Ok(p) = i32::try_from(exp.numer()) {
+                            return Expr::num(root.powi(p));
+                        }
+                    }
+                }
+                // Split a fractional positive base so that (p/q)^e merges
+                // with q^e factors elsewhere: (1/3)^(3/2)·3^(3/2) = 1.
+                if !v.is_integer() && v.is_positive() {
+                    return Expr::mul_all([
+                        Expr::pow(Expr::num(Rational::from(v.numer())), exp),
+                        Expr::pow(Expr::num(Rational::from(v.denom())), -exp),
+                    ]);
+                }
+                Expr::wrap(Node::Pow(base, exp))
+            }
+            Node::Pow(inner, e2) => Expr::pow(inner.clone(), *e2 * exp),
+            Node::Mul(fs) => {
+                let fs = fs.clone();
+                Expr::mul_all(fs.into_iter().map(|f| Expr::pow(f, exp)))
+            }
+            Node::Add(ts) => {
+                // Factor out the numeric content when its root is exact, so
+                // that e.g. (4S + 4)^(1/2) canonicalizes to 2*(S + 1)^(1/2).
+                let mut content = Rational::ZERO;
+                for t in ts {
+                    let (c, _) = t.split_coeff();
+                    content = rational_gcd(content, c.abs());
+                }
+                if !content.is_zero() && !content.is_one() {
+                    let folded = Expr::pow(Expr::num(content), exp);
+                    if folded.as_num().is_some() {
+                        // Divide term by term so the quotient is a flat sum
+                        // (a top-level product would re-enter this branch).
+                        let inv = Expr::num(content.recip());
+                        let inner = Expr::add_all(
+                            ts.iter().map(|t| Expr::mul_all([inv.clone(), t.clone()])),
+                        );
+                        return Expr::mul_all([folded, Expr::pow(inner, exp)]);
+                    }
+                }
+                Expr::wrap(Node::Pow(base, exp))
+            }
+            _ => Expr::wrap(Node::Pow(base, exp)),
+        }
+    }
+
+    /// `self ^ exp` for an integer exponent.
+    pub fn powi(&self, exp: i64) -> Expr {
+        Expr::pow(self.clone(), Rational::from(exp))
+    }
+
+    /// The positive square root `self^(1/2)`.
+    pub fn sqrt(&self) -> Expr {
+        Expr::pow(self.clone(), Rational::new(1, 2))
+    }
+
+    /// The reciprocal `self^(-1)`.
+    pub fn recip(&self) -> Expr {
+        Expr::pow(self.clone(), Rational::from(-1i128))
+    }
+
+    /// Pointwise maximum.
+    pub fn max_all<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        Expr::extremum(items, true)
+    }
+
+    /// Pointwise minimum.
+    pub fn min_all<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        Expr::extremum(items, false)
+    }
+
+    fn extremum<I: IntoIterator<Item = Expr>>(items: I, is_max: bool) -> Expr {
+        let mut flat: Vec<Expr> = Vec::new();
+        let mut best_num: Option<Rational> = None;
+        let mut stack: Vec<Expr> = items.into_iter().collect();
+        stack.reverse();
+        while let Some(e) = stack.pop() {
+            match (e.node(), is_max) {
+                (Node::Max(es), true) | (Node::Min(es), false) => {
+                    for sub in es.iter().rev() {
+                        stack.push(sub.clone());
+                    }
+                }
+                (Node::Num(v), _) => {
+                    best_num = Some(match best_num {
+                        None => *v,
+                        Some(b) => {
+                            if is_max {
+                                b.max(*v)
+                            } else {
+                                b.min(*v)
+                            }
+                        }
+                    });
+                }
+                _ => {
+                    if !flat.contains(&e) {
+                        flat.push(e);
+                    }
+                }
+            }
+        }
+        if let Some(v) = best_num {
+            flat.push(Expr::num(v));
+        }
+        flat.sort_by(cmp_expr);
+        match flat.len() {
+            0 => panic!("extremum of an empty set"),
+            1 => flat.pop().expect("len checked"),
+            _ => Expr::wrap(if is_max { Node::Max(flat) } else { Node::Min(flat) }),
+        }
+    }
+
+    /// The set of free symbols.
+    pub fn free_symbols(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut BTreeSet<Symbol>) {
+        match self.node() {
+            Node::Num(_) => {}
+            Node::Sym(s) => {
+                out.insert(*s);
+            }
+            Node::Add(es) | Node::Mul(es) | Node::Max(es) | Node::Min(es) => {
+                for e in es {
+                    e.collect_symbols(out);
+                }
+            }
+            Node::Pow(b, _) => b.collect_symbols(out),
+        }
+    }
+
+    /// Structural size (number of nodes), useful for tests and heuristics.
+    pub fn size(&self) -> usize {
+        match self.node() {
+            Node::Num(_) | Node::Sym(_) => 1,
+            Node::Add(es) | Node::Mul(es) | Node::Max(es) | Node::Min(es) => {
+                1 + es.iter().map(Expr::size).sum::<usize>()
+            }
+            Node::Pow(b, _) => 1 + b.size(),
+        }
+    }
+}
+
+/// Greatest common divisor of rationals: `gcd(a/b, c/d) = gcd(ad, cb)/(bd)`.
+fn rational_gcd(a: Rational, b: Rational) -> Rational {
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    let num = crate::rational::gcd(
+        a.numer() * b.denom(),
+        b.numer() * a.denom(),
+    );
+    Rational::new(num, a.denom() * b.denom())
+}
+
+/// A deterministic total order on expressions used for canonical sorting.
+pub fn cmp_expr(a: &Expr, b: &Expr) -> Ordering {
+    fn rank(n: &Node) -> u8 {
+        match n {
+            Node::Num(_) => 0,
+            Node::Sym(_) => 1,
+            Node::Pow(..) => 2,
+            Node::Mul(_) => 3,
+            Node::Add(_) => 4,
+            Node::Max(_) => 5,
+            Node::Min(_) => 6,
+        }
+    }
+    match (a.node(), b.node()) {
+        (Node::Num(x), Node::Num(y)) => x.cmp(y),
+        (Node::Sym(x), Node::Sym(y)) => x.name().cmp(y.name()),
+        (Node::Pow(bx, ex), Node::Pow(by, ey)) => {
+            cmp_expr(bx, by).then_with(|| ex.cmp(ey))
+        }
+        (Node::Add(xs), Node::Add(ys))
+        | (Node::Mul(xs), Node::Mul(ys))
+        | (Node::Max(xs), Node::Max(ys))
+        | (Node::Min(xs), Node::Min(ys)) => {
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                let c = cmp_expr(x, y);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::int(v)
+    }
+}
+
+impl From<Rational> for Expr {
+    fn from(v: Rational) -> Expr {
+        Expr::num(v)
+    }
+}
+
+impl From<Symbol> for Expr {
+    fn from(s: Symbol) -> Expr {
+        Expr::symbol(s)
+    }
+}
+
+macro_rules! binop {
+    ($trait_:ident, $method:ident, |$a:ident, $b:ident| $body:expr) => {
+        impl ops::$trait_ for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let ($a, $b) = (self, rhs);
+                $body
+            }
+        }
+        impl ops::$trait_<&Expr> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                let ($a, $b) = (self, rhs.clone());
+                $body
+            }
+        }
+        impl ops::$trait_<Expr> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let ($a, $b) = (self.clone(), rhs);
+                $body
+            }
+        }
+        impl ops::$trait_<&Expr> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                let ($a, $b) = (self.clone(), rhs.clone());
+                $body
+            }
+        }
+    };
+}
+
+binop!(Add, add, |a, b| Expr::add_all([a, b]));
+binop!(Sub, sub, |a, b| Expr::add_all([a, Expr::mul_all([Expr::int(-1), b])]));
+binop!(Mul, mul, |a, b| Expr::mul_all([a, b]));
+binop!(Div, div, |a, b| Expr::mul_all([a, b.recip()]));
+
+impl ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::mul_all([Expr::int(-1), self])
+    }
+}
+
+impl ops::Neg for &Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::mul_all([Expr::int(-1), self.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str) -> Expr {
+        Expr::sym(name)
+    }
+
+    #[test]
+    fn like_terms_combine() {
+        let x = s("x");
+        let e = &x + &x + Expr::int(3) + &x - Expr::int(1);
+        assert_eq!(e, Expr::int(3) * &x + Expr::int(2));
+    }
+
+    #[test]
+    fn cancellation_to_zero() {
+        let x = s("x");
+        let y = s("y");
+        let e = &x * &y - &y * &x;
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn products_combine_bases() {
+        let x = s("x");
+        let e = &x * &x * x.powi(3);
+        assert_eq!(e, x.powi(5));
+    }
+
+    #[test]
+    fn pow_of_pow_composes() {
+        let x = s("x");
+        let e = Expr::pow(x.powi(2), Rational::new(1, 2));
+        assert_eq!(e, x);
+    }
+
+    #[test]
+    fn pow_distributes_over_mul() {
+        let x = s("x");
+        let y = s("y");
+        let e = Expr::pow(&x * &y, Rational::from(2i128));
+        assert_eq!(e, x.powi(2) * y.powi(2));
+    }
+
+    #[test]
+    fn numeric_root_folds() {
+        assert_eq!(Expr::int(4).sqrt(), Expr::int(2));
+        assert_eq!(Expr::pow(Expr::int(8), Rational::new(2, 3)), Expr::int(4));
+        // 2^(1/2) stays symbolic
+        let r = Expr::int(2).sqrt();
+        assert!(matches!(r.node(), Node::Pow(..)));
+    }
+
+    #[test]
+    fn division_cancels() {
+        let x = s("x");
+        let y = s("y");
+        let e = (&x * &y) / &x;
+        assert_eq!(e, y);
+    }
+
+    #[test]
+    fn same_base_fractional_powers_merge() {
+        let x = s("x");
+        let e = x.sqrt() * x.sqrt();
+        assert_eq!(e, x);
+        let two = Expr::int(2);
+        let e = Expr::pow(two.clone(), Rational::new(3, 2))
+            * Expr::pow(two, Rational::new(-3, 2));
+        assert!(e.is_one());
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let x = s("x");
+        assert!((Expr::zero() * x).is_zero());
+    }
+
+    #[test]
+    fn max_folds_constants_and_dedupes() {
+        let x = s("x");
+        let e = Expr::max_all([Expr::int(1), x.clone(), Expr::int(5), x.clone()]);
+        assert_eq!(e, Expr::max_all([x, Expr::int(5)]));
+        assert_eq!(Expr::max_all([Expr::int(2), Expr::int(7)]), Expr::int(7));
+    }
+
+    #[test]
+    fn canonical_ordering_is_stable() {
+        let a = s("a");
+        let b = s("b");
+        assert_eq!(&a + &b, &b + &a);
+        assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn coefficient_extraction() {
+        let x = s("x");
+        let (c, m) = (Expr::int(3) * &x).split_coeff();
+        assert_eq!(c, Rational::from(3i128));
+        assert_eq!(m, x);
+    }
+
+    #[test]
+    fn free_symbols_collected() {
+        let e = (s("a") + s("b")) * s("c").sqrt();
+        let syms: Vec<String> =
+            e.free_symbols().into_iter().map(|s| s.name().to_owned()).collect();
+        let mut sorted = syms.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["a", "b", "c"]);
+    }
+}

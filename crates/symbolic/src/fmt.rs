@@ -1,0 +1,229 @@
+//! Human-readable rendering of expressions.
+//!
+//! Output mirrors the paper's notation: `2*A*B*C/(S^(1/2))`,
+//! `(S + 1)^(1/2) - 1`, `max(…, …)`.
+
+use std::fmt;
+
+use crate::expr::{Expr, Node};
+use crate::rational::Rational;
+
+const PREC_ADD: u8 = 1;
+const PREC_MUL: u8 = 2;
+const PREC_POW: u8 = 3;
+const PREC_ATOM: u8 = 4;
+
+fn prec(e: &Expr) -> u8 {
+    match e.node() {
+        Node::Add(_) => PREC_ADD,
+        Node::Mul(_) => PREC_MUL,
+        Node::Pow(..) => PREC_POW,
+        Node::Num(v) => {
+            if v.is_negative() || !v.is_integer() {
+                PREC_MUL
+            } else {
+                PREC_ATOM
+            }
+        }
+        _ => PREC_ATOM,
+    }
+}
+
+fn write_wrapped(f: &mut fmt::Formatter<'_>, e: &Expr, min_prec: u8) -> fmt::Result {
+    if prec(e) < min_prec {
+        write!(f, "(")?;
+        write_expr(f, e)?;
+        write!(f, ")")
+    } else {
+        write_expr(f, e)
+    }
+}
+
+/// Splits an additive term into (is_negative, magnitude-expression).
+fn term_sign(e: &Expr) -> (bool, Expr) {
+    match e.node() {
+        Node::Num(v) if v.is_negative() => (true, Expr::num(-*v)),
+        Node::Mul(fs) => {
+            if let Node::Num(v) = fs[0].node() {
+                if v.is_negative() {
+                    let mut rest: Vec<Expr> = vec![Expr::num(-*v)];
+                    rest.extend(fs[1..].iter().cloned());
+                    return (true, Expr::mul_all(rest));
+                }
+            }
+            (false, e.clone())
+        }
+        _ => (false, e.clone()),
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    match e.node() {
+        Node::Num(v) => write!(f, "{v}"),
+        Node::Sym(s) => write!(f, "{s}"),
+        Node::Add(terms) => {
+            for (i, t) in terms.iter().enumerate() {
+                let (neg, mag) = term_sign(t);
+                if i == 0 {
+                    if neg {
+                        write!(f, "-")?;
+                    }
+                } else if neg {
+                    write!(f, " - ")?;
+                } else {
+                    write!(f, " + ")?;
+                }
+                write_wrapped(f, &mag, PREC_MUL)?;
+            }
+            Ok(())
+        }
+        Node::Mul(factors) => {
+            // Split into numerator and denominator by exponent sign.
+            let mut num: Vec<Expr> = Vec::new();
+            let mut den: Vec<Expr> = Vec::new();
+            for fac in factors {
+                match fac.node() {
+                    Node::Pow(b, e) if e.is_negative() => {
+                        den.push(Expr::pow(b.clone(), -*e));
+                    }
+                    Node::Num(v) if !v.is_integer() && v.numer().abs() == 1 => {
+                        // 1/3 -> denominator 3 (or -1/3 -> -1 stays up front)
+                        if v.is_negative() {
+                            num.push(Expr::num(Rational::from(-1i128)));
+                        }
+                        den.push(Expr::num(Rational::from(v.denom())));
+                    }
+                    _ => num.push(fac.clone()),
+                }
+            }
+            if num.is_empty() {
+                write!(f, "1")?;
+            } else {
+                for (i, fac) in num.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    write_wrapped(f, fac, PREC_MUL + 1)?;
+                }
+            }
+            if !den.is_empty() {
+                write!(f, "/")?;
+                if den.len() > 1 {
+                    write!(f, "(")?;
+                    for (i, fac) in den.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "*")?;
+                        }
+                        write_wrapped(f, fac, PREC_MUL + 1)?;
+                    }
+                    write!(f, ")")?;
+                } else if prec(&den[0]) <= PREC_MUL {
+                    write!(f, "(")?;
+                    write_expr(f, &den[0])?;
+                    write!(f, ")")?;
+                } else {
+                    write_wrapped(f, &den[0], PREC_MUL + 1)?;
+                }
+            }
+            Ok(())
+        }
+        Node::Pow(b, e) => {
+            if e.is_negative() {
+                // A lone reciprocal reads better as a fraction.
+                write!(f, "1/")?;
+                let inverse = Expr::pow(b.clone(), -*e);
+                return write_wrapped(f, &inverse, PREC_MUL + 1);
+            }
+            write_wrapped(f, b, PREC_ATOM)?;
+            if e.is_integer() {
+                write!(f, "^{e}")
+            } else {
+                write!(f, "^({e})")
+            }
+        }
+        Node::Max(es) | Node::Min(es) => {
+            let name = if matches!(e.node(), Node::Max(_)) { "max" } else { "min" };
+            write!(f, "{name}(")?;
+            for (i, sub) in es.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, sub)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self)
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Node::Num(v) => write!(f, "Num({v})"),
+            Node::Sym(s) => write!(f, "Sym({s})"),
+            Node::Add(es) => f.debug_tuple("Add").field(es).finish(),
+            Node::Mul(es) => f.debug_tuple("Mul").field(es).finish(),
+            Node::Pow(b, e) => f.debug_tuple("Pow").field(b).field(e).finish(),
+            Node::Max(es) => f.debug_tuple("Max").field(es).finish(),
+            Node::Min(es) => f.debug_tuple("Min").field(es).finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::Expr;
+
+    fn s(name: &str) -> Expr {
+        Expr::sym(name)
+    }
+
+    #[test]
+    fn sums_with_signs() {
+        let e = s("a") - s("b") + Expr::int(1);
+        assert_eq!(e.to_string(), "a - b + 1");
+        let e = -s("a") - Expr::int(2);
+        assert_eq!(e.to_string(), "-a - 2");
+    }
+
+    #[test]
+    fn products_and_fractions() {
+        let e = Expr::int(2) * s("A") * s("B") / s("S").sqrt();
+        assert_eq!(e.to_string(), "2*A*B/S^(1/2)");
+        let e = s("a") / (s("b") * s("c"));
+        assert_eq!(e.to_string(), "a/(b*c)");
+        let e = s("a") / Expr::int(3);
+        assert_eq!(e.to_string(), "a/3");
+    }
+
+    #[test]
+    fn powers() {
+        let e = (s("S") + Expr::int(1)).sqrt();
+        assert_eq!(e.to_string(), "(S + 1)^(1/2)");
+        let e = s("x").powi(2);
+        assert_eq!(e.to_string(), "x^2");
+    }
+
+    #[test]
+    fn nested_fraction_of_sum() {
+        let e = Expr::int(2) * s("N") / ((s("S") + Expr::int(1)).sqrt() - Expr::int(1));
+        assert_eq!(e.to_string(), "2*N/((S + 1)^(1/2) - 1)");
+    }
+
+    #[test]
+    fn max_rendering() {
+        let e = Expr::max_all([s("a"), s("b") + Expr::int(1)]);
+        assert_eq!(e.to_string(), "max(a, b + 1)");
+    }
+}

@@ -1,0 +1,162 @@
+//! LaTeX rendering of expressions, for regenerating the paper's bound
+//! tables (Fig. 6) in publishable form.
+
+use crate::expr::{Expr, Node};
+use crate::rational::Rational;
+
+impl Expr {
+    /// Renders the expression as LaTeX math, using `\frac`, `\sqrt` and
+    /// `\max` where appropriate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ioopt_symbolic::Expr;
+    /// let e = Expr::int(2) * Expr::sym("N") / ((Expr::sym("S") + Expr::int(1)).sqrt() - Expr::int(1));
+    /// assert_eq!(e.to_latex(), r"\frac{2 N}{\sqrt{S + 1} - 1}");
+    /// ```
+    pub fn to_latex(&self) -> String {
+        latex(self, false)
+    }
+}
+
+/// Renders `e`; `tight` requests bracing when the context binds tighter
+/// than addition (e.g. inside a product).
+fn latex(e: &Expr, tight: bool) -> String {
+    match e.node() {
+        Node::Num(v) => latex_rational(*v),
+        Node::Sym(s) => latex_symbol(&s.name().to_string()),
+        Node::Add(terms) => {
+            let mut out = String::new();
+            for (i, t) in terms.iter().enumerate() {
+                let (neg, mag) = split_sign(t);
+                if i == 0 {
+                    if neg {
+                        out.push('-');
+                    }
+                } else {
+                    out.push_str(if neg { " - " } else { " + " });
+                }
+                out.push_str(&latex(&mag, true));
+            }
+            if tight {
+                format!("\\left({out}\\right)")
+            } else {
+                out
+            }
+        }
+        Node::Mul(factors) => {
+            // Split into numerator and denominator by exponent sign.
+            let mut num: Vec<String> = Vec::new();
+            let mut den: Vec<String> = Vec::new();
+            for f in factors {
+                match f.node() {
+                    Node::Pow(b, exp) if exp.is_negative() => {
+                        // \frac braces already delimit the denominator.
+                        den.push(latex(&Expr::pow(b.clone(), -*exp), false));
+                    }
+                    Node::Num(v) if !v.is_integer() && v.numer().abs() == 1 => {
+                        if v.is_negative() {
+                            num.push("-1".into());
+                        }
+                        den.push(v.denom().to_string());
+                    }
+                    _ => num.push(latex(f, true)),
+                }
+            }
+            let numerator = if num.is_empty() { "1".to_string() } else { num.join(" ") };
+            if den.is_empty() {
+                numerator
+            } else {
+                format!("\\frac{{{numerator}}}{{{}}}", den.join(" "))
+            }
+        }
+        Node::Pow(b, exp) => {
+            if *exp == Rational::new(1, 2) {
+                format!("\\sqrt{{{}}}", latex(b, false))
+            } else {
+                format!("{}^{{{}}}", latex(b, true), latex_rational(*exp))
+            }
+        }
+        Node::Max(es) | Node::Min(es) => {
+            let name = if matches!(e.node(), Node::Max(_)) { "max" } else { "min" };
+            let inner: Vec<String> = es.iter().map(|s| latex(s, false)).collect();
+            format!(
+                "\\{name}\\left({}\\right)",
+                inner.join(",\\; ")
+            )
+        }
+    }
+}
+
+fn split_sign(e: &Expr) -> (bool, Expr) {
+    match e.node() {
+        Node::Num(v) if v.is_negative() => (true, Expr::num(-*v)),
+        Node::Mul(fs) => {
+            if let Node::Num(v) = fs[0].node() {
+                if v.is_negative() {
+                    let mut rest: Vec<Expr> = vec![Expr::num(-*v)];
+                    rest.extend(fs[1..].iter().cloned());
+                    return (true, Expr::mul_all(rest));
+                }
+            }
+            (false, e.clone())
+        }
+        _ => (false, e.clone()),
+    }
+}
+
+fn latex_rational(v: Rational) -> String {
+    if v.is_integer() {
+        v.numer().to_string()
+    } else if v.is_negative() {
+        format!("-\\frac{{{}}}{{{}}}", -v.numer(), v.denom())
+    } else {
+        format!("\\frac{{{}}}{{{}}}", v.numer(), v.denom())
+    }
+}
+
+/// Multi-character names become `\mathit{..}`; single letters stay bare.
+fn latex_symbol(name: &str) -> String {
+    if name.chars().count() == 1 {
+        name.to_string()
+    } else {
+        format!("\\mathit{{{name}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::Expr;
+
+    #[test]
+    fn fig6_matmul_ub_shape() {
+        let e = Expr::int(2) * Expr::sym("A") * Expr::sym("B") * Expr::sym("C")
+            / ((Expr::sym("S") + Expr::int(1)).sqrt() - Expr::int(1))
+            + Expr::sym("B") * Expr::sym("C");
+        assert_eq!(
+            e.to_latex(),
+            r"\frac{2 A B C}{\sqrt{S + 1} - 1} + B C"
+        );
+    }
+
+    #[test]
+    fn fractions_and_powers() {
+        let e = Expr::sym("N").powi(2) / Expr::sym("S").sqrt();
+        assert_eq!(e.to_latex(), r"\frac{N^{2}}{\sqrt{S}}");
+        let half = Expr::num(crate::rational::Rational::new(1, 2)) * Expr::sym("x");
+        assert_eq!(half.to_latex(), r"\frac{x}{2}");
+    }
+
+    #[test]
+    fn max_and_multichar_symbols() {
+        let e = Expr::max_all([Expr::sym("Ni"), Expr::sym("S")]);
+        assert_eq!(e.to_latex(), r"\max\left(\mathit{Ni},\; S\right)");
+    }
+
+    #[test]
+    fn negative_terms() {
+        let e = Expr::sym("x") - Expr::int(2) * Expr::sym("S");
+        assert_eq!(e.to_latex(), r"x - 2 S");
+    }
+}

@@ -1,0 +1,57 @@
+//! # ioopt-symbolic
+//!
+//! A small, exact computer-algebra engine: the [SymPy] substitute used by
+//! the IOOpt reproduction (see the workspace `DESIGN.md`).
+//!
+//! It provides:
+//!
+//! * [`Rational`] — exact `i128` rational arithmetic;
+//! * [`Symbol`] — interned variables;
+//! * [`Expr`] — canonical symbolic expressions with sums, products,
+//!   rational powers (`√S`, `K^{3/2}`), and `max`/`min`;
+//! * substitution and numeric evaluation ([`Expr::subst`],
+//!   [`Expr::eval_f64`], [`Expr::eval_rational`]);
+//! * polynomial expansion/extraction and closed-form roots of degree ≤ 2
+//!   equations ([`solve_for`]), plus a bisection fallback
+//!   ([`solve_numeric`]).
+//!
+//! All symbols denote **positive reals** (program sizes, tile sizes, cache
+//! sizes); canonicalization exploits this, exactly like IOOpt's use of
+//! SymPy's `positive=True` symbols.
+//!
+//! [SymPy]: https://www.sympy.org
+//!
+//! ## Example
+//!
+//! ```
+//! use ioopt_symbolic::{solve_for, Expr, Symbol};
+//!
+//! // Matmul footprint: T^2 + 2T = S  (square tiles filling the cache)
+//! let t = Symbol::new("T");
+//! let s = Expr::sym("S");
+//! let footprint = Expr::symbol(t).powi(2) + Expr::int(2) * Expr::symbol(t) - s;
+//! let tile = solve_for(&footprint, t).expect("quadratic").positive_branch().clone();
+//! assert_eq!(tile.to_string(), "(S + 1)^(1/2) - 1");
+//! assert_eq!(tile.eval_with(&[("S", 1024.0)])?, 1025f64.sqrt() - 1.0);
+//! # Ok::<(), ioopt_symbolic::EvalError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod algebra;
+mod compile;
+mod eval;
+mod expr;
+mod fmt;
+mod latex;
+mod poly;
+mod rational;
+mod symbol;
+
+pub use algebra::{solve_for, solve_numeric, Roots};
+pub use compile::CompiledExpr;
+pub use eval::{Bindings, EvalError};
+pub use expr::{cmp_expr, Expr, Node};
+pub use poly::{Monomial, Poly};
+pub use rational::{gcd, ParseRationalError, Rational};
+pub use symbol::Symbol;

@@ -1,0 +1,346 @@
+//! Sparse multivariate polynomials over exact rationals.
+//!
+//! [`Poly`] is the normal-form companion of [`Expr`]: conversions in both
+//! directions, ring arithmetic, partial derivatives and evaluation. The
+//! bound derivations use it to reason about footprint polynomials (degree
+//! queries, derivative-based monotonicity checks) beyond the univariate
+//! helpers in [`crate::solve_for`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::expr::{Expr, Node};
+use crate::rational::Rational;
+use crate::symbol::Symbol;
+
+/// A monomial: symbol → positive integer exponent.
+pub type Monomial = BTreeMap<Symbol, u32>;
+
+/// A sparse multivariate polynomial with [`Rational`] coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::{Expr, Poly, Symbol};
+/// let e = (Expr::sym("x") + Expr::sym("y")).powi(2);
+/// let p = Poly::from_expr(&e).expect("polynomial");
+/// assert_eq!(p.total_degree(), 2);
+/// assert_eq!(p.to_expr(), e.expand());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Poly {
+    /// Invariant: no zero coefficients.
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Poly {
+        Poly { terms: BTreeMap::new() }
+    }
+
+    /// A constant polynomial.
+    pub fn constant(c: Rational) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(Monomial::new(), c);
+        }
+        Poly { terms }
+    }
+
+    /// The polynomial `x` for a symbol.
+    pub fn var(sym: Symbol) -> Poly {
+        let mut m = Monomial::new();
+        m.insert(sym, 1);
+        let mut terms = BTreeMap::new();
+        terms.insert(m, Rational::ONE);
+        Poly { terms }
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The terms as `(monomial, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// Total degree (0 for constants and for the zero polynomial).
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.values().sum::<u32>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Degree in one variable.
+    pub fn degree_in(&self, sym: Symbol) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.get(&sym).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The coefficient of an exact monomial (zero if absent).
+    pub fn coefficient(&self, monomial: &Monomial) -> Rational {
+        self.terms.get(monomial).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Converts an [`Expr`] to a polynomial; `None` when the expression
+    /// contains fractional/negative powers, `max`/`min`, or division by
+    /// variables.
+    pub fn from_expr(e: &Expr) -> Option<Poly> {
+        match e.node() {
+            Node::Num(v) => Some(Poly::constant(*v)),
+            Node::Sym(s) => Some(Poly::var(*s)),
+            Node::Add(es) => {
+                let mut acc = Poly::zero();
+                for sub in es {
+                    acc = acc + Poly::from_expr(sub)?;
+                }
+                Some(acc)
+            }
+            Node::Mul(es) => {
+                let mut acc = Poly::constant(Rational::ONE);
+                for sub in es {
+                    acc = acc * Poly::from_expr(sub)?;
+                }
+                Some(acc)
+            }
+            Node::Pow(b, exp) => {
+                let k = exp.to_integer()?;
+                let k = u32::try_from(k).ok()?;
+                Some(Poly::from_expr(b)?.pow(k))
+            }
+            Node::Max(_) | Node::Min(_) => None,
+        }
+    }
+
+    /// Converts back to a canonical expression.
+    pub fn to_expr(&self) -> Expr {
+        Expr::add_all(self.terms.iter().map(|(m, &c)| {
+            let mut factors = vec![Expr::num(c)];
+            for (&s, &e) in m {
+                factors.push(Expr::symbol(s).powi(e as i64));
+            }
+            Expr::mul_all(factors)
+        }))
+    }
+
+    /// `self ^ k` by repeated squaring.
+    pub fn pow(&self, k: u32) -> Poly {
+        let mut result = Poly::constant(Rational::ONE);
+        let mut base = self.clone();
+        let mut k = k;
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result * base.clone();
+            }
+            base = base.clone() * base;
+            k >>= 1;
+        }
+        result
+    }
+
+    /// Partial derivative with respect to `sym`.
+    pub fn derivative(&self, sym: Symbol) -> Poly {
+        let mut terms = BTreeMap::new();
+        for (m, &c) in &self.terms {
+            let Some(&e) = m.get(&sym) else { continue };
+            let mut m2 = m.clone();
+            if e == 1 {
+                m2.remove(&sym);
+            } else {
+                m2.insert(sym, e - 1);
+            }
+            let coeff = c * Rational::from(e as i128);
+            let entry = terms.entry(m2).or_insert(Rational::ZERO);
+            *entry += coeff;
+        }
+        terms.retain(|_, c: &mut Rational| !c.is_zero());
+        Poly { terms }
+    }
+
+    /// Exact evaluation at a rational point (missing symbols default to
+    /// zero).
+    pub fn eval(&self, point: &BTreeMap<Symbol, Rational>) -> Rational {
+        let mut acc = Rational::ZERO;
+        for (m, &c) in &self.terms {
+            let mut t = c;
+            for (&s, &e) in m {
+                let v = point.get(&s).copied().unwrap_or(Rational::ZERO);
+                t *= v.powi(e as i32);
+            }
+            acc += t;
+        }
+        acc
+    }
+
+    /// Substitutes a polynomial for a variable (polynomial composition).
+    pub fn compose(&self, sym: Symbol, replacement: &Poly) -> Poly {
+        let mut acc = Poly::zero();
+        for (m, &c) in &self.terms {
+            let mut t = Poly::constant(c);
+            for (&s, &e) in m {
+                let factor = if s == sym {
+                    replacement.pow(e)
+                } else {
+                    Poly::var(s).pow(e)
+                };
+                t = t * factor;
+            }
+            acc = acc + t;
+        }
+        acc
+    }
+}
+
+impl Add for Poly {
+    type Output = Poly;
+    fn add(self, rhs: Poly) -> Poly {
+        let mut terms = self.terms;
+        for (m, c) in rhs.terms {
+            let entry = terms.entry(m).or_insert(Rational::ZERO);
+            *entry += c;
+        }
+        terms.retain(|_, c| !c.is_zero());
+        Poly { terms }
+    }
+}
+
+impl Sub for Poly {
+    type Output = Poly;
+    fn sub(self, rhs: Poly) -> Poly {
+        self + (-rhs)
+    }
+}
+
+impl Neg for Poly {
+    type Output = Poly;
+    fn neg(self) -> Poly {
+        Poly { terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect() }
+    }
+}
+
+impl Mul for Poly {
+    type Output = Poly;
+    fn mul(self, rhs: Poly) -> Poly {
+        let mut terms: BTreeMap<Monomial, Rational> = BTreeMap::new();
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &rhs.terms {
+                let mut m = ma.clone();
+                for (&s, &e) in mb {
+                    *m.entry(s).or_insert(0) += e;
+                }
+                let entry = terms.entry(m).or_insert(Rational::ZERO);
+                *entry += ca * cb;
+            }
+        }
+        terms.retain(|_, c| !c.is_zero());
+        Poly { terms }
+    }
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_expr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Symbol {
+        Symbol::new("px")
+    }
+
+    fn y() -> Symbol {
+        Symbol::new("py")
+    }
+
+    #[test]
+    fn ring_arithmetic() {
+        let p = Poly::var(x()) + Poly::constant(Rational::ONE); // x + 1
+        let q = Poly::var(x()) - Poly::constant(Rational::ONE); // x - 1
+        let prod = p * q; // x^2 - 1
+        assert_eq!(prod.degree_in(x()), 2);
+        let expect = Poly::var(x()).pow(2) - Poly::constant(Rational::ONE);
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn expr_roundtrip() {
+        let e = (Expr::sym("px") + Expr::int(2) * Expr::sym("py")).powi(3);
+        let p = Poly::from_expr(&e).unwrap();
+        assert_eq!(p.to_expr(), e.expand());
+        assert_eq!(p.total_degree(), 3);
+        assert_eq!(p.num_terms(), 4);
+    }
+
+    #[test]
+    fn non_polynomials_rejected() {
+        assert!(Poly::from_expr(&Expr::sym("px").sqrt()).is_none());
+        assert!(Poly::from_expr(&Expr::sym("px").recip()).is_none());
+        assert!(Poly::from_expr(&Expr::max_all([Expr::sym("px"), Expr::one()])).is_none());
+    }
+
+    #[test]
+    fn derivative_rules() {
+        // d/dx (x^2 y + 3x + y) = 2xy + 3
+        let p = Poly::var(x()).pow(2) * Poly::var(y())
+            + Poly::constant(Rational::from(3i128)) * Poly::var(x())
+            + Poly::var(y());
+        let d = p.derivative(x());
+        let expect = Poly::constant(Rational::from(2i128)) * Poly::var(x()) * Poly::var(y())
+            + Poly::constant(Rational::from(3i128));
+        assert_eq!(d, expect);
+        // And d/dy of the derivative: 2x.
+        let dxy = d.derivative(y());
+        assert_eq!(dxy, Poly::constant(Rational::from(2i128)) * Poly::var(x()));
+    }
+
+    #[test]
+    fn evaluation() {
+        let p = Poly::var(x()).pow(2) + Poly::var(y());
+        let point =
+            BTreeMap::from([(x(), Rational::from(3i128)), (y(), Rational::new(1, 2))]);
+        assert_eq!(p.eval(&point), Rational::new(19, 2));
+    }
+
+    #[test]
+    fn composition() {
+        // p(x) = x^2 + 1; substitute x := y + 1 -> y^2 + 2y + 2.
+        let p = Poly::var(x()).pow(2) + Poly::constant(Rational::ONE);
+        let r = Poly::var(y()) + Poly::constant(Rational::ONE);
+        let c = p.compose(x(), &r);
+        let expect = Poly::var(y()).pow(2)
+            + Poly::constant(Rational::from(2i128)) * Poly::var(y())
+            + Poly::constant(Rational::from(2i128));
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn zero_and_cancellation() {
+        let p = Poly::var(x()) - Poly::var(x());
+        assert!(p.is_zero());
+        assert_eq!(p.total_degree(), 0);
+        assert_eq!(p.to_expr(), Expr::zero());
+    }
+}

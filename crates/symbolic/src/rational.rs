@@ -1,0 +1,422 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! IOOpt's algebra only ever manipulates small integer coefficients and
+//! exponents (Brascamp-Lieb coefficients such as `1/2` or `2/3`, footprint
+//! polynomials with unit coefficients), so a fixed-width rational is
+//! sufficient. All operations are checked: an overflow panics with a clear
+//! message rather than silently wrapping, which would be unsound for the
+//! lower-bound derivation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::Rational;
+/// let a = Rational::new(1, 2);
+/// let b = Rational::new(1, 3);
+/// assert_eq!(a + b, Rational::new(5, 6));
+/// assert_eq!((a * b).to_string(), "1/6");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (non-negative).
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational, normalizing sign and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rational { num, den }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// Whether this rational is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this rational is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this rational is one.
+    pub fn is_one(self) -> bool {
+        self.num == 1 && self.den == 1
+    }
+
+    /// Whether this rational is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this rational is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// The value as an `i128`, if it is an integer.
+    pub fn to_integer(self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// A lossy conversion to `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Raises to an integer power (negative powers invert).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0^negative` or on overflow.
+    pub fn powi(self, exp: i32) -> Rational {
+        if exp == 0 {
+            return Rational::ONE;
+        }
+        let base = if exp < 0 { self.recip() } else { self };
+        let mut out = Rational::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            out *= base;
+        }
+        out
+    }
+
+    /// The floor of the rational as an integer.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The ceiling of the rational as an integer.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Exact `n`-th root if the rational is a perfect `n`-th power.
+    ///
+    /// Used to fold expressions like `4^(1/2)` to `2`. Only defined for
+    /// `n >= 1` and non-negative values when `n` is even.
+    pub fn nth_root_exact(self, n: u32) -> Option<Rational> {
+        fn iroot(v: i128, n: u32) -> Option<i128> {
+            if v < 0 {
+                if n % 2 == 0 {
+                    return None;
+                }
+                return iroot(-v, n).map(|r| -r);
+            }
+            if v <= 1 {
+                return Some(v);
+            }
+            let mut lo = 1i128;
+            let mut hi = 2i128;
+            while hi.checked_pow(n).map(|p| p < v).unwrap_or(false) {
+                lo = hi;
+                hi = hi.checked_mul(2)?;
+            }
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2 + 1;
+                match mid.checked_pow(n) {
+                    Some(p) if p <= v => lo = mid,
+                    _ => hi = mid - 1,
+                }
+            }
+            if lo.checked_pow(n) == Some(v) {
+                Some(lo)
+            } else {
+                None
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let rn = iroot(self.num, n)?;
+        let rd = iroot(self.den, n)?;
+        Some(Rational::new(rn, rd))
+    }
+
+    fn checked_add(self, rhs: Rational) -> Option<Rational> {
+        let g = gcd(self.den, rhs.den);
+        let lcm_part = rhs.den / g;
+        let num = self
+            .num
+            .checked_mul(lcm_part)?
+            .checked_add(rhs.num.checked_mul(self.den / g)?)?;
+        let den = self.den.checked_mul(lcm_part)?;
+        Some(Rational::new(num, den))
+    }
+
+    fn checked_mul(self, rhs: Rational) -> Option<Rational> {
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(num, den))
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational { num: v as i128, den: 1 }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Rational {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl From<u32> for Rational {
+    fn from(v: u32) -> Rational {
+        Rational { num: v as i128, den: 1 }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(rhs).expect("rational addition overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(rhs).expect("rational multiplication overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Compare a/b with c/d via a*d <=> c*b (denominators positive).
+        let lhs = self.num.checked_mul(other.den).expect("rational comparison overflow");
+        let rhs = other.num.checked_mul(self.den).expect("rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error produced when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError(String);
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+    fn from_str(s: &str) -> Result<Rational, ParseRationalError> {
+        let bad = || ParseRationalError(s.to_owned());
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let n: i128 = n.trim().parse().map_err(|_| bad())?;
+                let d: i128 = d.trim().parse().map_err(|_| bad())?;
+                if d == 0 {
+                    return Err(bad());
+                }
+                Ok(Rational::new(n, d))
+            }
+            None => {
+                let n: i128 = s.trim().parse().map_err(|_| bad())?;
+                Ok(Rational::from(n))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(3, 4);
+        let b = Rational::new(5, 6);
+        assert_eq!(a + b, Rational::new(19, 12));
+        assert_eq!(a - b, Rational::new(-1, 12));
+        assert_eq!(a * b, Rational::new(5, 8));
+        assert_eq!(a / b, Rational::new(9, 10));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 3) > Rational::new(2, 1));
+    }
+
+    #[test]
+    fn powers_and_roots() {
+        assert_eq!(Rational::new(2, 3).powi(3), Rational::new(8, 27));
+        assert_eq!(Rational::new(2, 3).powi(-2), Rational::new(9, 4));
+        assert_eq!(Rational::new(4, 9).nth_root_exact(2), Some(Rational::new(2, 3)));
+        assert_eq!(Rational::new(8, 27).nth_root_exact(3), Some(Rational::new(2, 3)));
+        assert_eq!(Rational::new(2, 1).nth_root_exact(2), None);
+        assert_eq!(Rational::new(-8, 1).nth_root_exact(3), Some(Rational::from(-2i128)));
+        assert_eq!(Rational::new(-4, 1).nth_root_exact(2), None);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(6, 2).floor(), 3);
+        assert_eq!(Rational::new(6, 2).ceil(), 3);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), Rational::new(3, 4));
+        assert_eq!("-5".parse::<Rational>().unwrap(), Rational::from(-5i128));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("x".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(-1, 2).to_string(), "-1/2");
+        assert_eq!(Rational::from(42i128).to_string(), "42");
+    }
+}

@@ -1,0 +1,95 @@
+//! Interned symbolic variables.
+//!
+//! Symbols are interned in a global registry so that they are `Copy`, cheap
+//! to compare, and stable across the whole analysis pipeline (a program
+//! parameter like `Ni` names the same symbol in the IR, the bound
+//! expressions, and the tile optimizer).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned symbol (variable name) used in symbolic expressions.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::Symbol;
+/// let a = Symbol::new("Ni");
+/// let b = Symbol::new("Ni");
+/// assert_eq!(a, b);
+/// assert_eq!(a.name(), "Ni");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Registry {
+    names: Vec<&'static str>,
+    index: HashMap<&'static str, u32>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry { names: Vec::new(), index: HashMap::new() }))
+}
+
+impl Symbol {
+    /// Interns `name` and returns its symbol. Idempotent.
+    pub fn new(name: &str) -> Symbol {
+        let mut reg = registry().lock().expect("symbol registry poisoned");
+        if let Some(&id) = reg.index.get(name) {
+            return Symbol(id);
+        }
+        let id = reg.names.len() as u32;
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        reg.names.push(leaked);
+        reg.index.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The symbol's name.
+    pub fn name(self) -> &'static str {
+        let reg = registry().lock().expect("symbol registry poisoned");
+        reg.names[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(name: &str) -> Symbol {
+        Symbol::new(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::new("alpha");
+        let b = Symbol::new("alpha");
+        let c = Symbol::new("beta");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(c.name(), "beta");
+    }
+
+    #[test]
+    fn symbols_are_ordered_by_creation() {
+        let a = Symbol::new("ord_first");
+        let b = Symbol::new("ord_second");
+        assert!(a < b);
+    }
+}

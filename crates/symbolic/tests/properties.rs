@@ -1,0 +1,204 @@
+//! Property tests: canonicalization must preserve numeric semantics.
+
+use std::collections::HashMap;
+
+use ioopt_symbolic::{Expr, Rational, Symbol};
+use proptest::prelude::*;
+
+const VARS: [&str; 4] = ["pa", "pb", "pc", "pd"];
+
+/// A raw (un-simplified) expression description, evaluated both directly
+/// and through the canonical `Expr` constructors.
+#[derive(Debug, Clone)]
+enum Raw {
+    Const(i32),
+    Var(usize),
+    Add(Box<Raw>, Box<Raw>),
+    Sub(Box<Raw>, Box<Raw>),
+    Mul(Box<Raw>, Box<Raw>),
+    Pow(Box<Raw>, u32),
+    Max(Box<Raw>, Box<Raw>),
+    Min(Box<Raw>, Box<Raw>),
+}
+
+fn raw_strategy() -> impl Strategy<Value = Raw> {
+    let leaf = prop_oneof![
+        (-4i32..=4).prop_map(Raw::Const),
+        (0usize..VARS.len()).prop_map(Raw::Var),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), 0u32..=3).prop_map(|(a, e)| Raw::Pow(Box::new(a), e)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Raw::Max(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Raw::Min(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_expr(raw: &Raw) -> Expr {
+    match raw {
+        Raw::Const(c) => Expr::int(*c as i64),
+        Raw::Var(i) => Expr::sym(VARS[*i]),
+        Raw::Add(a, b) => to_expr(a) + to_expr(b),
+        Raw::Sub(a, b) => to_expr(a) - to_expr(b),
+        Raw::Mul(a, b) => to_expr(a) * to_expr(b),
+        Raw::Pow(a, e) => to_expr(a).powi(*e as i64),
+        Raw::Max(a, b) => Expr::max_all([to_expr(a), to_expr(b)]),
+        Raw::Min(a, b) => Expr::min_all([to_expr(a), to_expr(b)]),
+    }
+}
+
+fn eval_raw(raw: &Raw, env: &[Rational]) -> Rational {
+    match raw {
+        Raw::Const(c) => Rational::from(*c as i128),
+        Raw::Var(i) => env[*i],
+        Raw::Add(a, b) => eval_raw(a, env) + eval_raw(b, env),
+        Raw::Sub(a, b) => eval_raw(a, env) - eval_raw(b, env),
+        Raw::Mul(a, b) => eval_raw(a, env) * eval_raw(b, env),
+        Raw::Pow(a, e) => eval_raw(a, env).powi(*e as i32),
+        Raw::Max(a, b) => eval_raw(a, env).max(eval_raw(b, env)),
+        Raw::Min(a, b) => eval_raw(a, env).min(eval_raw(b, env)),
+    }
+}
+
+fn env_strategy() -> impl Strategy<Value = Vec<Rational>> {
+    // Positive values only: the engine assumes positive symbols.
+    proptest::collection::vec((1i128..=9, 1i128..=4), VARS.len())
+        .prop_map(|v| v.into_iter().map(|(n, d)| Rational::new(n, d)).collect())
+}
+
+proptest! {
+    /// Canonical construction preserves exact values.
+    #[test]
+    fn canonicalization_preserves_value(raw in raw_strategy(), env in env_strategy()) {
+        let expr = to_expr(&raw);
+        let expected = eval_raw(&raw, &env);
+        let bindings: HashMap<Symbol, Rational> = VARS
+            .iter()
+            .zip(env.iter())
+            .map(|(n, v)| (Symbol::new(n), *v))
+            .collect();
+        let got = expr.eval_rational(&bindings).expect("integer powers stay rational");
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Expansion preserves exact values.
+    #[test]
+    fn expansion_preserves_value(raw in raw_strategy(), env in env_strategy()) {
+        let expr = to_expr(&raw);
+        let bindings: HashMap<Symbol, Rational> = VARS
+            .iter()
+            .zip(env.iter())
+            .map(|(n, v)| (Symbol::new(n), *v))
+            .collect();
+        let before = expr.eval_rational(&bindings).expect("rational");
+        let after = expr.expand().eval_rational(&bindings).expect("rational");
+        prop_assert_eq!(before, after);
+    }
+
+    /// Construction is deterministic: building twice yields identical trees.
+    #[test]
+    fn canonical_form_is_deterministic(raw in raw_strategy()) {
+        prop_assert_eq!(to_expr(&raw), to_expr(&raw));
+    }
+
+    /// Substituting x := x is the identity.
+    #[test]
+    fn self_substitution_is_identity(raw in raw_strategy()) {
+        let expr = to_expr(&raw);
+        let map: HashMap<Symbol, Expr> = VARS
+            .iter()
+            .map(|n| (Symbol::new(n), Expr::sym(n)))
+            .collect();
+        prop_assert_eq!(expr.subst(&map), expr);
+    }
+
+    /// Display output re-parses consistently under evaluation: rendering
+    /// never panics and the expression round-trips through clone/eq.
+    #[test]
+    fn display_never_panics(raw in raw_strategy()) {
+        let expr = to_expr(&raw);
+        let _ = expr.to_string();
+        prop_assert_eq!(expr.clone(), expr);
+    }
+
+    /// coeffs_in reassembles to the same polynomial value.
+    #[test]
+    fn coefficient_extraction_reassembles(raw in raw_strategy(), env in env_strategy()) {
+        let var = Symbol::new(VARS[0]);
+        let expr = to_expr(&raw);
+        if let Some(coeffs) = expr.coeffs_in(var) {
+            let x = Expr::symbol(var);
+            let rebuilt = Expr::add_all(
+                coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, c)| c * x.powi(k as i64)),
+            );
+            let bindings: HashMap<Symbol, Rational> = VARS
+                .iter()
+                .zip(env.iter())
+                .map(|(n, v)| (Symbol::new(n), *v))
+                .collect();
+            prop_assert_eq!(
+                rebuilt.eval_rational(&bindings),
+                expr.eval_rational(&bindings)
+            );
+        }
+    }
+}
+
+/// Polynomial conversion round-trips: Poly::from_expr followed by
+/// to_expr preserves exact values (for integer-power expressions).
+mod poly_props {
+    use super::*;
+    use ioopt_symbolic::Poly;
+
+    proptest! {
+        #[test]
+        fn poly_roundtrip_preserves_value(raw in raw_strategy(), env in env_strategy()) {
+            let expr = to_expr(&raw);
+            // Max/Min sub-expressions are not polynomials; skip those.
+            if let Some(p) = Poly::from_expr(&expr) {
+                let bindings: HashMap<Symbol, Rational> = VARS
+                    .iter()
+                    .zip(env.iter())
+                    .map(|(n, v)| (Symbol::new(n), *v))
+                    .collect();
+                let expected = expr.eval_rational(&bindings).expect("rational");
+                let point: std::collections::BTreeMap<Symbol, Rational> = VARS
+                    .iter()
+                    .zip(env.iter())
+                    .map(|(n, v)| (Symbol::new(n), *v))
+                    .collect();
+                prop_assert_eq!(p.eval(&point), expected);
+                prop_assert_eq!(
+                    p.to_expr().eval_rational(&bindings).expect("rational"),
+                    expected
+                );
+            }
+        }
+
+        /// The derivative of a product follows the Leibniz rule.
+        #[test]
+        fn leibniz_rule(a in raw_strategy(), b in raw_strategy()) {
+            let var = Symbol::new(VARS[0]);
+            let (Some(pa), Some(pb)) =
+                (Poly::from_expr(&to_expr(&a)), Poly::from_expr(&to_expr(&b)))
+            else {
+                return Ok(());
+            };
+            let lhs = (pa.clone() * pb.clone()).derivative(var);
+            let rhs = pa.derivative(var) * pb.clone() + pa * pb.derivative(var);
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

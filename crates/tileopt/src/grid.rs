@@ -1,0 +1,166 @@
+//! Exhaustive integer grid search over tile sizes — a slow oracle used to
+//! validate the geometric-program solver on small instances (and usable
+//! directly for tiny tile spaces).
+
+use std::collections::HashMap;
+
+use ioopt_symbolic::Symbol;
+
+use crate::nlp::{NlpError, NlpProblem};
+
+/// The best integer point found by exhaustive search.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    /// The optimal integer assignment.
+    pub point: HashMap<Symbol, i64>,
+    /// Its objective value.
+    pub objective: f64,
+    /// Number of feasible points visited.
+    pub feasible_points: u64,
+}
+
+/// Exhaustively enumerates all integer points of the box
+/// `∏ [lo_i, hi_i]` (inclusive), keeping the best feasible one.
+///
+/// # Errors
+///
+/// [`NlpError::Eval`] if an expression fails to evaluate;
+/// [`NlpError::Infeasible`] when no feasible point exists or the space
+/// exceeds `max_points`.
+pub fn grid_search(problem: &NlpProblem, max_points: u64) -> Result<GridResult, NlpError> {
+    let n = problem.vars.len();
+    let lo: Vec<i64> = problem.vars.iter().map(|v| v.lo.ceil().max(1.0) as i64).collect();
+    let hi: Vec<i64> = problem.vars.iter().map(|v| v.hi.floor() as i64).collect();
+    let mut space: u64 = 1;
+    for (l, h) in lo.iter().zip(&hi) {
+        space = space.saturating_mul((h - l + 1).max(0) as u64);
+    }
+    if space == 0 || space > max_points {
+        return Err(NlpError::Infeasible);
+    }
+    let syms: Vec<Symbol> = problem.vars.iter().map(|v| v.sym).collect();
+    let objective = problem
+        .objective
+        .compile(&syms, &problem.env)
+        .map_err(|e| NlpError::Eval(e.to_string()))?;
+    let constraints: Vec<(ioopt_symbolic::CompiledExpr, f64)> = problem
+        .constraints
+        .iter()
+        .map(|(e, b)| {
+            e.compile(&syms, &problem.env)
+                .map(|c| (c, *b))
+                .map_err(|e| NlpError::Eval(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut point = lo.clone();
+    let mut best: Option<(Vec<i64>, f64)> = None;
+    let mut feasible_points = 0u64;
+    if n == 0 {
+        let x: Vec<f64> = Vec::new();
+        return Ok(GridResult {
+            point: HashMap::new(),
+            objective: objective.eval(&x),
+            feasible_points: 1,
+        });
+    }
+    'outer: loop {
+        let x: Vec<f64> = point.iter().map(|&v| v as f64).collect();
+        if constraints.iter().all(|(c, b)| c.eval(&x) <= *b * (1.0 + 1e-12)) {
+            feasible_points += 1;
+            let obj = objective.eval(&x);
+            if best.as_ref().map(|(_, b)| obj < *b).unwrap_or(true) {
+                best = Some((point.clone(), obj));
+            }
+        }
+        // Odometer.
+        let mut d = n;
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] <= hi[d] {
+                break;
+            }
+            point[d] = lo[d];
+        }
+    }
+    match best {
+        Some((p, objective)) => Ok(GridResult {
+            point: syms.iter().copied().zip(p).collect(),
+            objective,
+            feasible_points,
+        }),
+        None => Err(NlpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nlp::{solve, NlpVar};
+    use ioopt_symbolic::{Bindings, Expr};
+
+    fn var(name: &str, lo: f64, hi: f64) -> NlpVar {
+        NlpVar { sym: Symbol::new(name), lo, hi }
+    }
+
+    #[test]
+    fn grid_matches_nlp_on_matmul_like() {
+        // min N(1/Ta + 1/Tb) s.t. Ta + Tb + Ta*Tb <= 120.
+        let ta = Expr::sym("Tga");
+        let tb = Expr::sym("Tgb");
+        let n = Expr::int(100_000);
+        let problem = NlpProblem {
+            objective: &n * ta.recip() + &n * tb.recip(),
+            constraints: vec![(&ta + &tb + &ta * &tb, 120.0)],
+            vars: vec![var("Tga", 1.0, 60.0), var("Tgb", 1.0, 60.0)],
+            env: Bindings::new(),
+        };
+        let grid = grid_search(&problem, 10_000).unwrap();
+        let nlp = solve(&problem).unwrap();
+        assert!(
+            nlp.integer_objective <= grid.objective * (1.0 + 1e-9),
+            "NLP {} worse than grid optimum {}",
+            nlp.integer_objective,
+            grid.objective
+        );
+        // Grid optimum is the true integer optimum: NLP cannot beat it.
+        assert!(nlp.integer_objective >= grid.objective * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn infeasible_and_oversized_spaces() {
+        let t = Expr::sym("Tgi");
+        let problem = NlpProblem {
+            objective: t.recip(),
+            constraints: vec![(t.clone(), 0.5)],
+            vars: vec![var("Tgi", 1.0, 10.0)],
+            env: Bindings::new(),
+        };
+        assert!(matches!(grid_search(&problem, 1000), Err(NlpError::Infeasible)));
+        let problem2 = NlpProblem {
+            objective: Expr::sym("Tgj").recip(),
+            constraints: vec![],
+            vars: vec![var("Tgj", 1.0, 1e9)],
+            env: Bindings::new(),
+        };
+        assert!(matches!(grid_search(&problem2, 1000), Err(NlpError::Infeasible)));
+    }
+
+    #[test]
+    fn counts_feasible_points() {
+        let t = Expr::sym("Tgc");
+        let problem = NlpProblem {
+            objective: t.clone(),
+            constraints: vec![(t.clone(), 5.0)],
+            vars: vec![var("Tgc", 1.0, 10.0)],
+            env: Bindings::new(),
+        };
+        let grid = grid_search(&problem, 1000).unwrap();
+        assert_eq!(grid.feasible_points, 5);
+        assert_eq!(grid.objective, 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # ioopt-tileopt
+//!
+//! TileOpt (paper Fig. 1): given the symbolic IOUB cost and footprint
+//! constraint, pick the loop permutation and tile sizes that minimize data
+//! movement.
+//!
+//! * [`solve`] / [`NlpProblem`] — the numeric optimizer (IPOPT
+//!   substitute): geometric-program-style coordinate descent in log space
+//!   with deterministic restarts and integer refinement.
+//! * [`optimize`] / [`optimize_multilevel`] — the full recommendation
+//!   loop over Algorithm-1 permutations and reuse-level assignments.
+//! * [`eliminate_tiles`] — the computer-algebra step producing closed-form
+//!   bounds such as `2·Ni·Nj·Nk/(√(S+1)−1) + Ni·Nj` (§6).
+
+#![warn(missing_docs)]
+
+mod grid;
+mod nlp;
+mod recommend;
+mod symbolic_ub;
+
+pub use grid::{grid_search, GridResult};
+pub use nlp::{solve, NlpError, NlpProblem, NlpSolution, NlpVar};
+pub use recommend::{
+    optimize, optimize_multilevel, optimize_schedule, MultiLevelRecommendation,
+    Recommendation, TileOptConfig, TileOptError,
+};
+pub use symbolic_ub::{eliminate_tiles, eliminate_tiles_relaxed, eliminate_with_subst, rewrite_in_delta, SymbolicUb, SymbolicUbError};

@@ -1,0 +1,541 @@
+//! Numeric tile-size optimization (the IPOPT substitute).
+//!
+//! The IOUB cost is a posynomial in the tile sizes and the footprint
+//! constraints are posynomials too, so in log-space the problem is convex
+//! (a geometric program). We solve it by projected gradient descent in
+//! log space — the projection is a uniform multiplicative shrink, which
+//! is exact for monotone constraints — from several deterministic starts,
+//! then refine to integer tile sizes under the exact constraints.
+
+use std::collections::HashMap;
+
+use ioopt_symbolic::{Bindings, CompiledExpr, Expr, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bounded optimization variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NlpVar {
+    /// The tile-size symbol.
+    pub sym: Symbol,
+    /// Lower bound (≥ 1 for tile sizes).
+    pub lo: f64,
+    /// Upper bound (the dimension extent).
+    pub hi: f64,
+}
+
+/// A tile-size minimization problem.
+#[derive(Debug, Clone)]
+pub struct NlpProblem {
+    /// The objective to minimize (I/O cost).
+    pub objective: Expr,
+    /// Constraints `expr ≤ bound` (footprints vs. cache capacities).
+    pub constraints: Vec<(Expr, f64)>,
+    /// The free variables.
+    pub vars: Vec<NlpVar>,
+    /// Fixed bindings for every other symbol (program parameters).
+    pub env: Bindings,
+}
+
+/// The result of [`solve`].
+#[derive(Debug, Clone)]
+pub struct NlpSolution {
+    /// Continuous optimum per variable.
+    pub relaxed: HashMap<Symbol, f64>,
+    /// Integer tile sizes (feasible w.r.t. every constraint).
+    pub integer: HashMap<Symbol, i64>,
+    /// Objective at the continuous optimum.
+    pub relaxed_objective: f64,
+    /// Objective at the integer point.
+    pub integer_objective: f64,
+}
+
+/// Errors from [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NlpError {
+    /// Even the all-lower-bounds point violates a constraint.
+    Infeasible,
+    /// An expression failed to evaluate (unbound symbol, etc.).
+    Eval(String),
+}
+
+impl std::fmt::Display for NlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NlpError::Infeasible => write!(f, "tile problem infeasible at the unit point"),
+            NlpError::Eval(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NlpError {}
+
+struct Compiled {
+    objective: CompiledExpr,
+    constraints: Vec<(CompiledExpr, f64)>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Compiled {
+    fn build(p: &NlpProblem) -> Result<Compiled, NlpError> {
+        let syms: Vec<Symbol> = p.vars.iter().map(|v| v.sym).collect();
+        let compile = |e: &Expr| -> Result<CompiledExpr, NlpError> {
+            e.compile(&syms, &p.env).map_err(|e| NlpError::Eval(e.to_string()))
+        };
+        Ok(Compiled {
+            objective: compile(&p.objective)?,
+            constraints: p
+                .constraints
+                .iter()
+                .map(|(e, b)| Ok((compile(e)?, *b)))
+                .collect::<Result<_, NlpError>>()?,
+            lo: p.vars.iter().map(|v| v.lo.max(1e-9)).collect(),
+            hi: p.vars.iter().map(|v| v.hi.max(v.lo.max(1e-9))).collect(),
+        })
+    }
+
+    fn obj(&self, x: &[f64]) -> f64 {
+        self.objective.eval(x)
+    }
+
+    fn feasible(&self, x: &[f64]) -> bool {
+        self.constraints
+            .iter()
+            .all(|(c, b)| c.eval(x) <= *b * (1.0 + 1e-12))
+    }
+
+    /// Uniformly shrinks `x` (multiplicatively, clamped at the lower
+    /// bounds) until feasible. Returns `None` if even the all-lo point is
+    /// infeasible.
+    fn project(&self, x: &mut [f64]) -> Option<()> {
+        for (xi, (&l, &h)) in x.iter_mut().zip(self.lo.iter().zip(&self.hi)) {
+            *xi = xi.clamp(l, h);
+        }
+        if self.feasible(x) {
+            return Some(());
+        }
+        // Bisect the log-space shrink t: x_i(t) = max(lo_i, x_i * e^-t).
+        let orig: Vec<f64> = x.to_vec();
+        let apply = |t: f64, out: &mut [f64]| {
+            for (o, (xi, &l)) in out.iter_mut().zip(orig.iter().zip(&self.lo)) {
+                *o = (xi * (-t).exp()).max(l);
+            }
+        };
+        let mut hi_t = 1.0;
+        loop {
+            apply(hi_t, x);
+            if self.feasible(x) {
+                break;
+            }
+            hi_t *= 2.0;
+            if hi_t > 64.0 {
+                apply(hi_t, x);
+                return if self.feasible(x) { Some(()) } else { None };
+            }
+        }
+        let mut lo_t = 0.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo_t + hi_t);
+            apply(mid, x);
+            if self.feasible(x) {
+                hi_t = mid;
+            } else {
+                lo_t = mid;
+            }
+        }
+        apply(hi_t, x);
+        Some(())
+    }
+}
+
+/// Solves the problem; deterministic (fixed-seed restarts).
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::{Bindings, Expr, Symbol};
+/// use ioopt_tileopt::{solve, NlpProblem, NlpVar};
+/// // min 100/T subject to T <= 10.
+/// let t = Expr::sym("Tdoc");
+/// let problem = NlpProblem {
+///     objective: Expr::int(100) * t.recip(),
+///     constraints: vec![(t, 10.0)],
+///     vars: vec![NlpVar { sym: Symbol::new("Tdoc"), lo: 1.0, hi: 100.0 }],
+///     env: Bindings::new(),
+/// };
+/// let sol = solve(&problem)?;
+/// assert_eq!(sol.integer[&Symbol::new("Tdoc")], 10);
+/// # Ok::<(), ioopt_tileopt::NlpError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`NlpError::Infeasible`] when even all-lower-bound tiles exceed a
+/// constraint, [`NlpError::Eval`] on unbound symbols in the expressions.
+pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
+    let n = problem.vars.len();
+    let c = Compiled::build(problem)?;
+    let lo_point = c.lo.clone();
+    if !c.feasible(&lo_point) {
+        return Err(NlpError::Infeasible);
+    }
+    if n == 0 {
+        let obj = c.obj(&lo_point);
+        return Ok(NlpSolution {
+            relaxed: HashMap::new(),
+            integer: HashMap::new(),
+            relaxed_objective: obj,
+            integer_objective: obj,
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(0x10_0b7);
+    let mut best_point = lo_point.clone();
+    let mut best_obj = c.obj(&lo_point);
+
+    // Start points: all-lo, uniformly grown to the boundary, and random.
+    let mut starts: Vec<Vec<f64>> = Vec::new();
+    starts.push(lo_point.clone());
+    {
+        let mut grown: Vec<f64> = c.hi.clone();
+        if c.project(&mut grown).is_some() {
+            starts.push(grown);
+        }
+    }
+    for _ in 0..2.max(n.min(4)) {
+        let mut p: Vec<f64> = c
+            .lo
+            .iter()
+            .zip(&c.hi)
+            .map(|(&l, &h)| {
+                let t: f64 = rng.gen();
+                (l.ln() + t * (h.ln() - l.ln())).exp()
+            })
+            .collect();
+        if c.project(&mut p).is_some() {
+            starts.push(p);
+        }
+    }
+
+    for start in starts {
+        let (point, obj) = descend(&c, start);
+        if obj < best_obj {
+            best_obj = obj;
+            best_point = point;
+        }
+    }
+
+    let mut integer_point = integer_refine(&c, &best_point);
+    let int_f: Vec<f64> = integer_point.iter().map(|&v| v as f64).collect();
+    let mut integer_objective = c.obj(&int_f);
+    // Low-dimensional instances can have integer optima far from the
+    // continuous one (jagged constraint boundary); a bounded grid makes
+    // them exact at negligible cost.
+    if n <= 2 {
+        if let Some((p, obj)) = small_grid(&c, &best_point) {
+            if obj < integer_objective {
+                integer_point = p;
+                integer_objective = obj;
+            }
+        }
+    }
+    Ok(NlpSolution {
+        relaxed: problem
+            .vars
+            .iter()
+            .zip(&best_point)
+            .map(|(v, &x)| (v.sym, x))
+            .collect(),
+        integer: problem
+            .vars
+            .iter()
+            .zip(&integer_point)
+            .map(|(v, &x)| (v.sym, x))
+            .collect(),
+        relaxed_objective: best_obj,
+        integer_objective,
+    })
+}
+
+/// Projected gradient descent in log space with backtracking.
+fn descend(c: &Compiled, start: Vec<f64>) -> (Vec<f64>, f64) {
+    let n = start.len();
+    let mut x = start;
+    let mut fx = c.obj(&x);
+    let mut eta = 0.25; // log-space step size
+    let h = 1e-6;
+    for _iter in 0..800 {
+        // Numeric gradient in log space: d f / d ln x_i.
+        let mut g = vec![0.0; n];
+        for i in 0..n {
+            let saved = x[i];
+            x[i] = saved * (1.0 + h);
+            let fp = c.obj(&x);
+            x[i] = saved * (1.0 - h);
+            let fm = c.obj(&x);
+            x[i] = saved;
+            g[i] = (fp - fm) / (2.0 * h);
+        }
+        let gmax = g.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        if gmax == 0.0 || !gmax.is_finite() {
+            break;
+        }
+        // Normalized step, then backtrack until improvement.
+        let mut improved = false;
+        while eta > 1e-9 {
+            let mut cand: Vec<f64> = x
+                .iter()
+                .zip(&g)
+                .map(|(&xi, &gi)| xi * (-eta * gi / gmax).exp())
+                .collect();
+            if c.project(&mut cand).is_some() {
+                let fc = c.obj(&cand);
+                if fc < fx - 1e-12 * fx.abs() {
+                    x = cand;
+                    fx = fc;
+                    improved = true;
+                    eta = (eta * 1.3).min(0.5);
+                    break;
+                }
+            }
+            eta *= 0.5;
+        }
+        if !improved {
+            break;
+        }
+    }
+    (x, fx)
+}
+
+/// Exhaustive integer search for 1–2 variable problems over a window
+/// around (and well past) the relaxed optimum, capped at ~65k points.
+fn small_grid(c: &Compiled, relaxed: &[f64]) -> Option<(Vec<i64>, f64)> {
+    let n = relaxed.len();
+    let lo: Vec<i64> = c.lo.iter().map(|&v| v.ceil().max(1.0) as i64).collect();
+    let hi: Vec<i64> = c
+        .hi
+        .iter()
+        .zip(relaxed)
+        .map(|(&h, &r)| (h.floor() as i64).min((8.0 * r + 64.0) as i64))
+        .collect();
+    let mut span: u64 = 1;
+    for (l, h) in lo.iter().zip(&hi) {
+        span = span.saturating_mul((h - l + 1).max(0) as u64);
+    }
+    if span == 0 || span > 65_536 {
+        return None;
+    }
+    let mut point = lo.clone();
+    let mut best: Option<(Vec<i64>, f64)> = None;
+    'outer: loop {
+        let x: Vec<f64> = point.iter().map(|&v| v as f64).collect();
+        if c.feasible(&x) {
+            let obj = c.obj(&x);
+            if best.as_ref().map(|(_, b)| obj < *b).unwrap_or(true) {
+                best = Some((point.clone(), obj));
+            }
+        }
+        let mut d = n;
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            point[d] += 1;
+            if point[d] <= hi[d] {
+                break;
+            }
+            point[d] = lo[d];
+        }
+    }
+    best
+}
+
+/// Rounds the continuous optimum down (always feasible for increasing
+/// constraints), then greedily bumps whichever variable most improves the
+/// objective while staying feasible.
+fn integer_refine(c: &Compiled, relaxed: &[f64]) -> Vec<i64> {
+    let n = relaxed.len();
+    let lo: Vec<i64> = c.lo.iter().map(|&v| v.ceil().max(1.0) as i64).collect();
+    let hi: Vec<i64> = c.hi.iter().map(|&v| v.floor().max(1.0) as i64).collect();
+    let mut point: Vec<i64> = relaxed
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (x.floor() as i64).clamp(lo[i], hi[i]))
+        .collect();
+    let as_f = |p: &[i64]| -> Vec<f64> { p.iter().map(|&v| v as f64).collect() };
+    if !c.feasible(&as_f(&point)) {
+        point = lo.clone();
+    }
+    let mut cur = c.obj(&as_f(&point));
+    // Greedy growth, then pairwise exchange local search: single-variable
+    // bumps alone cannot navigate trade-offs like (1, 9) → (2, 7) under a
+    // coupled footprint constraint.
+    loop {
+        let mut best: Option<(Vec<i64>, f64)> = None;
+        let consider = |cand: &mut Vec<i64>, best: &mut Option<(Vec<i64>, f64)>| {
+            for (v, (&l, &h)) in cand.iter_mut().zip(lo.iter().zip(&hi)) {
+                *v = (*v).clamp(l, h);
+            }
+            let fp = as_f(cand);
+            if c.feasible(&fp) {
+                let obj = c.obj(&fp);
+                if obj < cur - 1e-12 && best.as_ref().map(|b| obj < b.1).unwrap_or(true) {
+                    *best = Some((cand.clone(), obj));
+                }
+            }
+        };
+        for i in 0..n {
+            for delta in [1i64, point[i], -1] {
+                let mut cand = point.clone();
+                cand[i] += delta;
+                consider(&mut cand, &mut best);
+            }
+            // Exchange moves: raise i while lowering j. Power-of-two
+            // scales let the search follow steep constraint boundaries
+            // (e.g. (64, 1) → (56, 2) under (1+a)(1+b) ≤ cap).
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                for s in [1i64, 2, 4, 8, 16, 32] {
+                    for (di, dj) in [(1i64, -s), (s, -1), (2, -s), (s, -2)] {
+                        let mut cand = point.clone();
+                        cand[i] += di;
+                        cand[j] += dj;
+                        consider(&mut cand, &mut best);
+                    }
+                }
+            }
+        }
+        match best {
+            Some((p, obj)) => {
+                point = p;
+                cur = obj;
+            }
+            None => break,
+        }
+    }
+    point
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str, lo: f64, hi: f64) -> NlpVar {
+        NlpVar { sym: Symbol::new(name), lo, hi }
+    }
+
+    /// The paper's worked example (§2): matmul with Ni = 2000,
+    /// Nj = Nk = 1500, S = 1024 minimizes at Ti = Tj = 31.
+    #[test]
+    fn matmul_paper_example() {
+        let ti = Expr::sym("Ti");
+        let tj = Expr::sym("Tj");
+        let n = Expr::int(2000) * Expr::int(1500) * Expr::int(1500);
+        let objective = &n * ti.recip() + &n * tj.recip()
+            + Expr::int(2000) * Expr::int(1500);
+        let footprint = &ti + &tj + &ti * &tj;
+        let problem = NlpProblem {
+            objective,
+            constraints: vec![(footprint, 1024.0)],
+            vars: vec![var("Ti", 1.0, 2000.0), var("Tj", 1.0, 1500.0)],
+            env: Bindings::new(),
+        };
+        let sol = solve(&problem).unwrap();
+        assert_eq!(sol.integer[&Symbol::new("Ti")], 31);
+        assert_eq!(sol.integer[&Symbol::new("Tj")], 31);
+        // Continuous optimum at sqrt(1025) - 1 ≈ 31.016.
+        let t = sol.relaxed[&Symbol::new("Ti")];
+        assert!((t - (1025.0f64.sqrt() - 1.0)).abs() < 0.05, "t = {t}");
+        // IO at the integer point: Ni*Nj*Nk*(2/31) + Ni*Nj = 293_322_580.6...
+        assert!((sol.integer_objective - 293_322_580.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        // min 100/T with T <= 7 and loose cache: optimum T = 7.
+        let t = Expr::sym("Tub");
+        let problem = NlpProblem {
+            objective: Expr::int(100) * t.recip(),
+            constraints: vec![(t.clone(), 1e9)],
+            vars: vec![var("Tub", 1.0, 7.0)],
+            env: Bindings::new(),
+        };
+        let sol = solve(&problem).unwrap();
+        assert_eq!(sol.integer[&Symbol::new("Tub")], 7);
+    }
+
+    #[test]
+    fn infeasible_reported() {
+        let t = Expr::sym("Tinf");
+        let problem = NlpProblem {
+            objective: t.recip(),
+            constraints: vec![(t.clone(), 0.5)],
+            vars: vec![var("Tinf", 1.0, 10.0)],
+            env: Bindings::new(),
+        };
+        assert_eq!(solve(&problem).unwrap_err(), NlpError::Infeasible);
+    }
+
+    #[test]
+    fn no_variables_is_constant() {
+        let problem = NlpProblem {
+            objective: Expr::int(42),
+            constraints: vec![],
+            vars: vec![],
+            env: Bindings::new(),
+        };
+        let sol = solve(&problem).unwrap();
+        assert_eq!(sol.integer_objective, 42.0);
+    }
+
+    #[test]
+    fn asymmetric_optimum() {
+        // min a/Ta + b/Tb s.t. Ta + Tb <= 100 with a = 900, b = 100:
+        // continuous optimum at Ta/Tb = sqrt(a/b) = 3 -> Ta = 75, Tb = 25.
+        let ta = Expr::sym("Tasym_a");
+        let tb = Expr::sym("Tasym_b");
+        let problem = NlpProblem {
+            objective: Expr::int(900) * ta.recip() + Expr::int(100) * tb.recip(),
+            constraints: vec![(&ta + &tb, 100.0)],
+            vars: vec![var("Tasym_a", 1.0, 1000.0), var("Tasym_b", 1.0, 1000.0)],
+            env: Bindings::new(),
+        };
+        let sol = solve(&problem).unwrap();
+        let a = sol.relaxed[&Symbol::new("Tasym_a")];
+        let b = sol.relaxed[&Symbol::new("Tasym_b")];
+        assert!((a - 75.0).abs() < 0.5, "a = {a}");
+        assert!((b - 25.0).abs() < 0.5, "b = {b}");
+    }
+
+    #[test]
+    fn multiple_constraints() {
+        // min 1000/(Ta*Tb) s.t. Ta*Tb <= 64, Ta <= 4: optimum Ta=4, Tb=16.
+        let ta = Expr::sym("Tmc_a");
+        let tb = Expr::sym("Tmc_b");
+        let problem = NlpProblem {
+            objective: Expr::int(1000) / (&ta * &tb),
+            constraints: vec![(&ta * &tb, 64.0), (ta.clone(), 4.0)],
+            vars: vec![var("Tmc_a", 1.0, 100.0), var("Tmc_b", 1.0, 100.0)],
+            env: Bindings::new(),
+        };
+        let sol = solve(&problem).unwrap();
+        let prod = sol.integer[&Symbol::new("Tmc_a")] * sol.integer[&Symbol::new("Tmc_b")];
+        assert_eq!(prod, 64);
+        assert!(sol.integer[&Symbol::new("Tmc_a")] <= 4);
+    }
+
+    #[test]
+    fn partial_constraint_error_is_eval() {
+        let problem = NlpProblem {
+            objective: Expr::sym("unbound_param_xyz"),
+            constraints: vec![],
+            vars: vec![var("Tev", 1.0, 4.0)],
+            env: Bindings::new(),
+        };
+        assert!(matches!(solve(&problem), Err(NlpError::Eval(_))));
+    }
+}

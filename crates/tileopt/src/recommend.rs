@@ -1,0 +1,518 @@
+//! TileOpt: permutation + tile-size recommendation (paper Fig. 1, §4.4).
+
+use std::collections::HashMap;
+
+use ioopt_ir::Kernel;
+use ioopt_ioub::{
+    cost_with_levels, level_combinations, select_permutations, CacheLevelSpec, ReuseOracle,
+    TilingSchedule, UbCost,
+};
+use ioopt_symbolic::{Bindings, Expr, Symbol};
+
+use crate::nlp::{solve, NlpError, NlpProblem, NlpVar};
+
+/// A single-level tiling recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// The chosen inter-tile permutation (dimension indices, outer first).
+    pub perm: Vec<usize>,
+    /// The reuse level per array (see [`cost_with_levels`]).
+    pub levels: Vec<usize>,
+    /// The schedule with parametric tiles that produced the cost.
+    pub schedule: TilingSchedule,
+    /// The symbolic cost for this `(perm, levels)` choice.
+    pub cost: UbCost,
+    /// Integer tile size per dimension name.
+    pub tiles: HashMap<String, i64>,
+    /// Predicted I/O at the integer tiles (the numeric upper bound).
+    pub io: f64,
+}
+
+/// Options for [`optimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct TileOptConfig {
+    /// Fast-memory capacity in data elements.
+    pub cache_elems: f64,
+    /// Cap on reuse-level combinations explored per permutation.
+    pub max_level_combos: usize,
+}
+
+impl Default for TileOptConfig {
+    fn default() -> TileOptConfig {
+        TileOptConfig { cache_elems: 4096.0, max_level_combos: 512 }
+    }
+}
+
+/// Errors from the recommendation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileOptError {
+    /// No feasible (permutation, levels, tiles) combination exists.
+    NoFeasibleTiling,
+    /// The underlying NLP evaluation failed.
+    Nlp(String),
+}
+
+impl std::fmt::Display for TileOptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileOptError::NoFeasibleTiling => write!(f, "no feasible tiling found"),
+            TileOptError::Nlp(m) => write!(f, "tile optimization failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TileOptError {}
+
+/// Finds, over the pruned permutations (Algorithm 1) and reuse-level
+/// assignments, the tile sizes minimizing the IOUB cost under the
+/// footprint constraint — the paper's `TileOpt` step.
+///
+/// # Errors
+///
+/// [`TileOptError::NoFeasibleTiling`] when even unit tiles overflow the
+/// cache for every candidate.
+pub fn optimize(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    oracle: &dyn ReuseOracle,
+    config: &TileOptConfig,
+) -> Result<Recommendation, TileOptError> {
+    let env = kernel.bind_sizes(sizes);
+    let perms = select_permutations(kernel, oracle);
+    let mut best: Option<Recommendation> = None;
+    for perm in perms {
+        let sched = TilingSchedule::parametric_by_index(kernel, perm.clone())
+            .expect("Algorithm 1 yields valid permutations");
+        let rec = optimize_schedule(kernel, &sched, &env, sizes, config)?;
+        if let Some(r) = rec {
+            if best.as_ref().map(|b| r.io < b.io).unwrap_or(true) {
+                best = Some(r);
+            }
+        }
+    }
+    best.ok_or(TileOptError::NoFeasibleTiling)
+}
+
+/// Optimizes tile sizes for one fixed schedule over its reuse-level
+/// combinations; `None` when nothing is feasible.
+///
+/// When the combination count is small the search is exhaustive;
+/// otherwise a two-phase strategy is used: solve with innermost reuse
+/// everywhere, greedily raise per-array reuse levels at the solved tiles,
+/// and re-solve once — which keeps 7-dimensional kernels (conv2d)
+/// tractable.
+pub fn optimize_schedule(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    env: &Bindings,
+    sizes: &HashMap<String, i64>,
+    config: &TileOptConfig,
+) -> Result<Option<Recommendation>, TileOptError> {
+    const EXHAUSTIVE_LIMIT: usize = 64;
+    let combos = level_combinations(kernel, sched, config.max_level_combos);
+    let candidates: Vec<Vec<usize>> = if combos.len() <= EXHAUSTIVE_LIMIT {
+        combos
+    } else {
+        let arrays = kernel.arrays().count();
+        let base = vec![1usize; arrays];
+        let mut cands = vec![base.clone()];
+        // Phase 1: solve at innermost reuse to locate the tile region.
+        if let Some(first) =
+            optimize_levels(kernel, sched, env, sizes, config, &base)?
+        {
+            let mut full_env = env.clone();
+            for (name, t) in &first.tiles {
+                full_env.insert(Symbol::new(&format!("T{name}")), *t as f64);
+            }
+            let refined =
+                greedy_levels(kernel, sched, &full_env, config.cache_elems);
+            if refined != base {
+                cands.push(refined);
+            }
+        }
+        cands
+    };
+    let mut best: Option<Recommendation> = None;
+    for levels in candidates {
+        if let Some(r) = optimize_levels(kernel, sched, env, sizes, config, &levels)? {
+            if best.as_ref().map(|b| r.io < b.io).unwrap_or(true) {
+                best = Some(r);
+            }
+        }
+    }
+    Ok(best)
+}
+
+/// For fixed tile values, greedily raises per-array reuse levels while the
+/// combined footprint fits and the I/O improves.
+fn greedy_levels(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    env: &Bindings,
+    capacity: f64,
+) -> Vec<usize> {
+    best_levels_for(kernel, sched, env, capacity)
+}
+
+/// Solves the tile NLP for one fixed reuse-level assignment.
+fn optimize_levels(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    env: &Bindings,
+    sizes: &HashMap<String, i64>,
+    config: &TileOptConfig,
+    levels: &[usize],
+) -> Result<Option<Recommendation>, TileOptError> {
+    let mut best: Option<Recommendation> = None;
+    {
+        let levels = levels.to_vec();
+        let cost = cost_with_levels(kernel, sched, &levels);
+        let vars: Vec<NlpVar> = sched
+            .tile_vars()
+            .iter()
+            .map(|&(d, sym)| NlpVar {
+                sym,
+                lo: 1.0,
+                hi: sizes[&kernel.dims()[d].name] as f64,
+            })
+            .collect();
+        let problem = NlpProblem {
+            objective: cost.io.clone(),
+            constraints: vec![(cost.footprint.clone(), config.cache_elems)],
+            vars,
+            env: env.clone(),
+        };
+        match solve(&problem) {
+            Ok(sol) => {
+                if best
+                    .as_ref()
+                    .map(|b| sol.integer_objective < b.io)
+                    .unwrap_or(true)
+                {
+                    let tiles = sched
+                        .tile_vars()
+                        .iter()
+                        .map(|&(d, sym)| {
+                            (kernel.dims()[d].name.clone(), sol.integer[&sym])
+                        })
+                        .collect();
+                    best = Some(Recommendation {
+                        perm: sched.perm().to_vec(),
+                        levels,
+                        schedule: sched.clone(),
+                        cost,
+                        tiles,
+                        io: sol.integer_objective,
+                    });
+                }
+            }
+            Err(NlpError::Infeasible) => {}
+            Err(e) => return Err(TileOptError::Nlp(e.to_string())),
+        }
+    }
+    Ok(best)
+}
+
+/// A multi-level tiling recommendation (one band per cache level).
+#[derive(Debug, Clone)]
+pub struct MultiLevelRecommendation {
+    /// The shared inter-tile permutation.
+    pub perm: Vec<usize>,
+    /// Integer tile sizes per band (innermost first), by dimension name.
+    pub tiles: Vec<HashMap<String, i64>>,
+    /// Predicted traffic out of each cache level (elements).
+    pub traffic: Vec<f64>,
+    /// The weighted objective value.
+    pub objective: f64,
+}
+
+/// Multi-level TileOpt: bands are parameterized multiplicatively
+/// (`T^{l} = T^{l-1} · U^{l}`, `U ≥ 1`) so nesting is implicit and all
+/// constraints stay monotone; the reuse-level assignment per band is
+/// chosen greedily after the tiles converge.
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_multilevel(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    caches: &[CacheLevelSpec],
+    oracle: &dyn ReuseOracle,
+) -> Result<MultiLevelRecommendation, TileOptError> {
+    let env = kernel.bind_sizes(sizes);
+    let perms = select_permutations(kernel, oracle);
+    let mut best: Option<MultiLevelRecommendation> = None;
+    for perm in perms {
+        if let Some(r) = optimize_multilevel_perm(kernel, sizes, caches, &perm, &env)? {
+            if best.as_ref().map(|b| r.objective < b.objective).unwrap_or(true) {
+                best = Some(r);
+            }
+        }
+    }
+    best.ok_or(TileOptError::NoFeasibleTiling)
+}
+
+fn optimize_multilevel_perm(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    caches: &[CacheLevelSpec],
+    perm: &[usize],
+    env: &Bindings,
+) -> Result<Option<MultiLevelRecommendation>, TileOptError> {
+    let n = kernel.dims().len();
+    let nlevels = caches.len();
+    // Scale variables U^{l}_d >= 1; band l tile = prod_{m<=l} U^{m}_d.
+    let mut scale_syms: Vec<Vec<Symbol>> = Vec::new();
+    for l in 0..nlevels {
+        scale_syms.push(
+            (0..n)
+                .map(|d| Symbol::new(&format!("U{}_{}", kernel.dims()[d].name, l + 1)))
+                .collect(),
+        );
+    }
+    let band_tile = |l: usize, d: usize| -> Expr {
+        Expr::mul_all((0..=l).map(|m| Expr::symbol(scale_syms[m][d])))
+    };
+    let mut bands: Vec<TilingSchedule> = Vec::new();
+    for l in 0..nlevels {
+        let mut sched = TilingSchedule::parametric_by_index(kernel, perm.to_vec())
+            .expect("valid permutation");
+        for d in 0..n {
+            let name = kernel.dims()[d].name.clone();
+            sched = sched.pin(kernel, &name, band_tile(l, d));
+        }
+        bands.push(sched);
+    }
+    // Initial reuse levels: innermost for every array at every band.
+    let arrays = kernel.arrays().count();
+    let mut band_levels: Vec<Vec<usize>> = vec![vec![1; arrays]; nlevels];
+    let mut result = None;
+    for _iteration in 0..2 {
+        let costs: Vec<UbCost> = bands
+            .iter()
+            .zip(&band_levels)
+            .map(|(b, ls)| cost_with_levels(kernel, b, ls))
+            .collect();
+        // Normalize the weights so the rational conversion keeps relative
+        // magnitudes (absolute scale does not change the argmin).
+        let wmax = caches
+            .iter()
+            .map(|c| c.inverse_bandwidth)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let objective = Expr::add_all(costs.iter().zip(caches).map(|(c, spec)| {
+            let w = ioopt_symbolic::Rational::new(
+                ((spec.inverse_bandwidth / wmax) * 1_000_000_000.0).round() as i128,
+                1_000_000_000,
+            );
+            Expr::num(w) * &c.io
+        }));
+        let mut constraints: Vec<(Expr, f64)> = costs
+            .iter()
+            .zip(caches)
+            .map(|(c, spec)| (c.footprint.clone(), spec.capacity))
+            .collect();
+        // Band-l tiles must not exceed the dimension extents.
+        for d in 0..n {
+            constraints.push((band_tile(nlevels - 1, d), sizes[&kernel.dims()[d].name] as f64));
+        }
+        let vars: Vec<NlpVar> = scale_syms
+            .iter()
+            .flatten()
+            .map(|&sym| NlpVar { sym, lo: 1.0, hi: 1e9 })
+            .collect();
+        let problem = NlpProblem { objective, constraints, vars, env: env.clone() };
+        let sol = match solve(&problem) {
+            Ok(s) => s,
+            Err(NlpError::Infeasible) => return Ok(None),
+            Err(e) => return Err(TileOptError::Nlp(e.to_string())),
+        };
+        // Concrete integer tiles per band (products of integer scales).
+        let mut tiles_per_band: Vec<HashMap<String, i64>> = Vec::new();
+        for l in 0..nlevels {
+            let mut m = HashMap::new();
+            for d in 0..n {
+                let mut t = 1i64;
+                for syms in scale_syms.iter().take(l + 1) {
+                    t = t.saturating_mul(sol.integer[&syms[d]]);
+                }
+                m.insert(kernel.dims()[d].name.clone(), t.min(sizes[&kernel.dims()[d].name]));
+            }
+            tiles_per_band.push(m);
+        }
+        // Greedy per-band reuse-level refinement at the solved tiles.
+        let mut full_env = env.clone();
+        for (syms, _) in scale_syms.iter().zip(0..) {
+            for (d, &sym) in syms.iter().enumerate() {
+                let _ = d;
+                full_env.insert(sym, sol.integer[&sym] as f64);
+            }
+        }
+        for (l, band) in bands.iter().enumerate() {
+            band_levels[l] = best_levels_for(kernel, band, &full_env, caches[l].capacity);
+        }
+        // Evaluate final traffic with the refined levels.
+        let mut traffic = Vec::new();
+        let mut total = 0.0;
+        for (l, band) in bands.iter().enumerate() {
+            let c = cost_with_levels(kernel, band, &band_levels[l]);
+            let io = c
+                .io
+                .eval_f64(&full_env)
+                .map_err(|e| TileOptError::Nlp(e.to_string()))?;
+            traffic.push(io);
+            total += caches[l].inverse_bandwidth * io;
+        }
+        result = Some(MultiLevelRecommendation {
+            perm: perm.to_vec(),
+            tiles: tiles_per_band,
+            traffic,
+            objective: total,
+        });
+    }
+    Ok(result)
+}
+
+/// For fixed tile values, picks the feasible reuse level per array that
+/// minimizes its I/O at this band.
+fn best_levels_for(
+    kernel: &Kernel,
+    band: &TilingSchedule,
+    env: &Bindings,
+    capacity: f64,
+) -> Vec<usize> {
+    let arrays: Vec<_> = kernel.arrays().collect();
+    let mut chosen = vec![1usize; arrays.len()];
+    let mut footprint_sum: f64 = arrays
+        .iter()
+        .map(|a| {
+            ioopt_ioub::array_cost(kernel, band, a, 1)
+                .footprint
+                .eval_f64(env)
+                .unwrap_or(f64::INFINITY)
+        })
+        .sum();
+    // Greedily raise individual arrays' reuse levels while it pays off and
+    // the combined footprint still fits.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for (i, a) in arrays.iter().enumerate() {
+            let cur = ioopt_ioub::array_cost(kernel, band, a, chosen[i]);
+            let cur_io = cur.io.eval_f64(env).unwrap_or(f64::INFINITY);
+            let cur_fp = cur.footprint.eval_f64(env).unwrap_or(f64::INFINITY);
+            for l in (chosen[i] + 1)..=band.ndims() {
+                let cand = ioopt_ioub::array_cost(kernel, band, a, l);
+                let io = cand.io.eval_f64(env).unwrap_or(f64::INFINITY);
+                let fp = cand.footprint.eval_f64(env).unwrap_or(f64::INFINITY);
+                if io < cur_io && footprint_sum - cur_fp + fp <= capacity {
+                    footprint_sum = footprint_sum - cur_fp + fp;
+                    chosen[i] = l;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ioub::SmallDimOracle;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn matmul_recommendation_matches_paper() {
+        // Paper §2: Ni = 2000, Nj = Nk = 1500, S = 1024 -> Ti = Tj = 31 for
+        // the (i, j, k) permutation of Listing 1.
+        let k = kernels::matmul();
+        let sizes = HashMap::from([
+            ("i".to_string(), 2000i64),
+            ("j".to_string(), 1500),
+            ("k".to_string(), 1500),
+        ]);
+        let config = TileOptConfig { cache_elems: 1024.0, max_level_combos: 512 };
+        let env = k.bind_sizes(&sizes);
+        let paper_sched =
+            TilingSchedule::parametric(&k, &["i", "j", "k"]).unwrap();
+        let rec = optimize_schedule(&k, &paper_sched, &env, &sizes, &config)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(rec.tiles["i"], 31);
+        assert_eq!(rec.tiles["j"], 31);
+        assert_eq!(rec.tiles["k"], 1);
+        // IO = Ni·Nj·Nk·(2/31) + Ni·Nj = 293_322_580.6…
+        assert!((rec.io - 293_322_580.6).abs() < 1.0, "io = {}", rec.io);
+
+        // The global search may do marginally better by permuting the
+        // roles of the arrays (it reuses the smallest array); it must
+        // never do worse than the paper's schedule.
+        let best = optimize(&k, &sizes, &SmallDimOracle, &config).unwrap();
+        assert!(best.io <= rec.io + 1.0, "best = {}", best.io);
+        // The dominant term 2·N³/√S-ish magnitude is preserved.
+        assert!(best.io > 2.8e8);
+    }
+
+    #[test]
+    fn conv1d_recommendation_is_feasible() {
+        let k = kernels::conv1d();
+        let sizes = HashMap::from([
+            ("c".to_string(), 64i64),
+            ("f".to_string(), 64),
+            ("x".to_string(), 512),
+            ("w".to_string(), 3),
+        ]);
+        let config = TileOptConfig { cache_elems: 2048.0, max_level_combos: 512 };
+        let rec = optimize(&k, &sizes, &SmallDimOracle, &config).unwrap();
+        // The footprint at the chosen tiles must fit the cache.
+        let mut env = k.bind_sizes(&sizes);
+        for (name, t) in &rec.tiles {
+            env.insert(
+                ioopt_symbolic::Symbol::new(&format!("T{name}")),
+                *t as f64,
+            );
+        }
+        let fp = rec.cost.footprint.eval_f64(&env).unwrap();
+        assert!(fp <= 2048.0, "footprint {fp}");
+        // And the predicted IO must beat the untiled distinct-access cost.
+        assert!(rec.io > 0.0);
+    }
+
+    #[test]
+    fn infeasible_cache_reports_error() {
+        let k = kernels::matmul();
+        let sizes = HashMap::from([
+            ("i".to_string(), 100i64),
+            ("j".to_string(), 100),
+            ("k".to_string(), 100),
+        ]);
+        let config = TileOptConfig { cache_elems: 1.0, max_level_combos: 64 };
+        assert_eq!(
+            optimize(&k, &sizes, &SmallDimOracle, &config).unwrap_err(),
+            TileOptError::NoFeasibleTiling
+        );
+    }
+
+    #[test]
+    fn multilevel_recommendation_nests() {
+        let k = kernels::matmul();
+        let sizes = HashMap::from([
+            ("i".to_string(), 1024i64),
+            ("j".to_string(), 1024),
+            ("k".to_string(), 1024),
+        ]);
+        let caches = vec![
+            CacheLevelSpec::new("L1", 4096.0, 1.0),
+            CacheLevelSpec::new("L2", 131072.0, 0.25),
+        ];
+        let rec = optimize_multilevel(&k, &sizes, &caches, &SmallDimOracle).unwrap();
+        assert_eq!(rec.tiles.len(), 2);
+        for d in ["i", "j", "k"] {
+            assert!(rec.tiles[1][d] >= rec.tiles[0][d], "nesting violated for {d}");
+        }
+        // Outer-level traffic should not exceed inner-level traffic.
+        assert!(rec.traffic[1] <= rec.traffic[0] * 1.5);
+    }
+}

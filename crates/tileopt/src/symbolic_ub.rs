@@ -1,0 +1,418 @@
+//! Symbolic upper bounds: eliminating tile sizes from the I/O cost
+//! (paper §6, "Symbolic upper bound expressions").
+//!
+//! Given the IOUB cost `IO(T…)` and footprint `F(T…)`, we impose the
+//! paper's *tile group* conditions — the products of tile sizes inside
+//! each group are equal to a common value `Δ` (for tensor contractions the
+//! groups are the shared-dimension groups of Fig. 5; for matmul simply
+//! `Ti = Tj = Δ`) — then assume the tile fills the cache (`F(Δ) = S`),
+//! solve the resulting polynomial for `Δ` in closed form, and substitute
+//! back into `IO`.
+
+use ioopt_symbolic::{solve_for, Expr, Node, Rational, Symbol};
+
+/// The outcome of tile-size elimination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicUb {
+    /// The closed-form tile value `Δ(S)` (e.g. `√(S+1) − 1`).
+    pub delta: Expr,
+    /// The upper bound `IO` with tile sizes eliminated: a function of the
+    /// program parameters and the cache size only.
+    pub bound: Expr,
+    /// The footprint polynomial in `Δ` that was solved against `S`.
+    pub footprint_poly: Expr,
+}
+
+/// Errors from [`eliminate_tiles`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymbolicUbError {
+    /// A term mixes group variables with unequal exponents, so the cost is
+    /// not expressible in `Δ`.
+    NotGroupExpressible(String),
+    /// The footprint polynomial in `Δ` has degree 0 or above 2 (the paper
+    /// notes degree > 4 is hopeless; we solve up to quadratics exactly).
+    UnsolvableDegree(usize),
+}
+
+impl std::fmt::Display for SymbolicUbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymbolicUbError::NotGroupExpressible(t) => {
+                write!(f, "term not expressible in the tile groups: {t}")
+            }
+            SymbolicUbError::UnsolvableDegree(d) => {
+                write!(f, "footprint polynomial has unsolvable degree {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymbolicUbError {}
+
+/// Rewrites `expr` in terms of `delta`, where each group in `groups` is a
+/// set of tile symbols whose *product* equals `Δ`.
+///
+/// Every additive term of the expanded expression must use the variables
+/// of each group with one common exponent (e.g. `N/(Ta·Tc)` for group
+/// `{Ta, Tc}` becomes `N·Δ⁻¹`).
+///
+/// # Errors
+///
+/// [`SymbolicUbError::NotGroupExpressible`] if a term uses a group
+/// unevenly.
+pub fn rewrite_in_delta(
+    expr: &Expr,
+    groups: &[Vec<Symbol>],
+    delta: Symbol,
+) -> Result<Expr, SymbolicUbError> {
+    let expanded = expr.expand();
+    let terms: Vec<Expr> = match expanded.node() {
+        Node::Add(ts) => ts.clone(),
+        _ => vec![expanded.clone()],
+    };
+    let mut out = Vec::with_capacity(terms.len());
+    for term in terms {
+        out.push(rewrite_term(&term, groups, delta)?);
+    }
+    Ok(Expr::add_all(out))
+}
+
+fn rewrite_term(
+    term: &Expr,
+    groups: &[Vec<Symbol>],
+    delta: Symbol,
+) -> Result<Expr, SymbolicUbError> {
+    // Split the monomial into factors, pulling out group-variable powers.
+    let factors: Vec<Expr> = match term.node() {
+        Node::Mul(fs) => fs.clone(),
+        _ => vec![term.clone()],
+    };
+    let mut residual: Vec<Expr> = Vec::new();
+    let exp_of = |sym: Symbol, e: Rational, exps: &mut Vec<(Symbol, Rational)>| {
+        if let Some(entry) = exps.iter_mut().find(|(s, _)| *s == sym) {
+            entry.1 += e;
+        } else {
+            exps.push((sym, e));
+        }
+    };
+    let mut exps: Vec<(Symbol, Rational)> = Vec::new();
+    let all_group_syms: Vec<Symbol> = groups.iter().flatten().copied().collect();
+    for f in factors {
+        match f.node() {
+            Node::Sym(s) if all_group_syms.contains(s) => {
+                exp_of(*s, Rational::ONE, &mut exps)
+            }
+            Node::Pow(b, e) => match b.as_sym() {
+                Some(s) if all_group_syms.contains(&s) => exp_of(s, *e, &mut exps),
+                _ => residual.push(f.clone()),
+            },
+            _ => residual.push(f.clone()),
+        }
+    }
+    let mut delta_exp = Rational::ZERO;
+    for group in groups {
+        let first = exps
+            .iter()
+            .find(|(s, _)| group.contains(s))
+            .map(|&(_, e)| e)
+            .unwrap_or(Rational::ZERO);
+        for sym in group {
+            let e = exps
+                .iter()
+                .find(|(s, _)| s == sym)
+                .map(|&(_, e)| e)
+                .unwrap_or(Rational::ZERO);
+            if e != first {
+                return Err(SymbolicUbError::NotGroupExpressible(term.to_string()));
+            }
+        }
+        delta_exp += first;
+    }
+    residual.push(Expr::pow(Expr::symbol(delta), delta_exp));
+    Ok(Expr::mul_all(residual))
+}
+
+/// Eliminates tile sizes: rewrites `io` and `footprint` in `Δ` via the
+/// group conditions, solves `footprint(Δ) = S` exactly (degree ≤ 2), and
+/// substitutes the positive root into the cost.
+///
+/// # Errors
+///
+/// See [`SymbolicUbError`].
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_symbolic::{Expr, Symbol};
+/// use ioopt_tileopt::eliminate_tiles;
+/// // Matmul: IO = N³(1/Ti + 1/Tj + 1/Nk), F = Ti + Tj + Ti·Tj,
+/// // groups {Ti}, {Tj} (square tiles).
+/// let (ti, tj) = (Expr::sym("Ti"), Expr::sym("Tj"));
+/// let n3 = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
+/// let io = &n3 * ti.recip() + &n3 * tj.recip() + Expr::sym("Ni") * Expr::sym("Nj");
+/// let footprint = &ti + &tj + &ti * &tj;
+/// let ub = eliminate_tiles(
+///     &io,
+///     &footprint,
+///     &[vec![Symbol::new("Ti")], vec![Symbol::new("Tj")]],
+///     Symbol::new("S"),
+/// )
+/// .unwrap();
+/// assert_eq!(ub.delta.to_string(), "(S + 1)^(1/2) - 1");
+/// assert_eq!(
+///     ub.bound.to_string(),
+///     "2*Ni*Nj*Nk/((S + 1)^(1/2) - 1) + Ni*Nj"
+/// );
+/// ```
+pub fn eliminate_tiles(
+    io: &Expr,
+    footprint: &Expr,
+    groups: &[Vec<Symbol>],
+    cache: Symbol,
+) -> Result<SymbolicUb, SymbolicUbError> {
+    let delta = Symbol::new("Delta_tile");
+    let io_d = rewrite_in_delta(io, groups, delta)?;
+    let fp_d = rewrite_in_delta(footprint, groups, delta)?;
+    let equation = &fp_d - Expr::symbol(cache);
+    let degree = equation.degree_in(delta).unwrap_or(usize::MAX);
+    let roots = solve_for(&equation, delta)
+        .ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
+    let delta_expr = roots.positive_branch().clone();
+    let bound = io_d.subst_one(delta, &delta_expr);
+    Ok(SymbolicUb { delta: delta_expr, bound, footprint_poly: fp_d })
+}
+
+/// The paper's §6 "Limitations" proposes relaxing the exact cache-filling
+/// equation to "a size that does not exceed the cache capacity" when the
+/// footprint polynomial's degree defeats closed-form root-finding. This
+/// implements that proposal: for a footprint `Σ_k a_k·Δ^k` with `m`
+/// non-constant terms (positive coefficients, positive parameters),
+///
+/// ```text
+/// Δ* = min_k ( (S − a_0) / (m·a_k) )^(1/k)
+/// ```
+///
+/// makes every term at most `(S − a_0)/m`, so the footprint stays within
+/// `S` for **any** degree. The resulting bound is valid (slightly looser
+/// than the exact root — by a constant factor ≤ m^(1/k) on Δ).
+///
+/// # Errors
+///
+/// [`SymbolicUbError::NotGroupExpressible`] as in [`eliminate_tiles`];
+/// [`SymbolicUbError::UnsolvableDegree`] only if the footprint is not a
+/// polynomial in `Δ` at all.
+pub fn eliminate_tiles_relaxed(
+    io: &Expr,
+    footprint: &Expr,
+    groups: &[Vec<Symbol>],
+    cache: Symbol,
+) -> Result<SymbolicUb, SymbolicUbError> {
+    let delta = Symbol::new("Delta_tile");
+    let io_d = rewrite_in_delta(io, groups, delta)?;
+    let fp_d = rewrite_in_delta(footprint, groups, delta)?;
+    let coeffs = fp_d
+        .coeffs_in(delta)
+        .ok_or(SymbolicUbError::UnsolvableDegree(usize::MAX))?;
+    let nonconst: Vec<(usize, &Expr)> = coeffs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .filter(|(_, c)| !c.is_zero())
+        .collect();
+    if nonconst.is_empty() {
+        return Err(SymbolicUbError::UnsolvableDegree(0));
+    }
+    let m = Expr::int(nonconst.len() as i64);
+    let budget = Expr::symbol(cache) - coeffs[0].clone();
+    let candidates = nonconst.iter().map(|&(k, a_k)| {
+        Expr::pow(
+            &budget / (&m * a_k),
+            ioopt_symbolic::Rational::new(1, k as i128),
+        )
+    });
+    let delta_expr = Expr::min_all(candidates);
+    let bound = io_d.subst_one(delta, &delta_expr);
+    Ok(SymbolicUb { delta: delta_expr, bound, footprint_poly: fp_d })
+}
+
+/// Generalized tile elimination: each tile symbol is replaced by an
+/// arbitrary expression in a single parameter `delta` (and program
+/// parameters), e.g. `Tx → Δ, Tc → Δ²/(H·W)`; the substituted footprint
+/// is then solved against `S`.
+///
+/// This covers tilings whose group products are *proportional* rather
+/// than equal (the convolution recipes of §6), which
+/// [`eliminate_tiles`]'s equal-product groups cannot express.
+///
+/// # Errors
+///
+/// [`SymbolicUbError::UnsolvableDegree`] when the substituted footprint
+/// is not a polynomial of degree ≤ 2 in `delta`.
+pub fn eliminate_with_subst(
+    io: &Expr,
+    footprint: &Expr,
+    subst: &std::collections::HashMap<Symbol, Expr>,
+    delta: Symbol,
+    cache: Symbol,
+) -> Result<SymbolicUb, SymbolicUbError> {
+    let io_d = io.subst(subst);
+    let fp_d = footprint.subst(subst);
+    let equation = &fp_d - Expr::symbol(cache);
+    let degree = equation.degree_in(delta).unwrap_or(usize::MAX);
+    let roots =
+        solve_for(&equation, delta).ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
+    let delta_expr = roots.positive_branch().clone();
+    let bound = io_d.subst_one(delta, &delta_expr);
+    Ok(SymbolicUb { delta: delta_expr, bound, footprint_poly: fp_d })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str) -> Symbol {
+        Symbol::new(name)
+    }
+
+    #[test]
+    fn subst_elimination_with_proportional_tiles() {
+        // IO = N/(Ta·Tb), footprint = Ta·Tb with Ta = Δ, Tb = 2Δ:
+        // footprint 2Δ² = S -> Δ = sqrt(S/2), IO = N/(2Δ²) = N/S.
+        let n = Expr::sym("N");
+        let (ta, tb) = (Expr::sym("Tsa"), Expr::sym("Tsb"));
+        let io = &n / (&ta * &tb);
+        let fp = &ta * &tb;
+        let delta = sym("Dsub");
+        let subst = std::collections::HashMap::from([
+            (sym("Tsa"), Expr::symbol(delta)),
+            (sym("Tsb"), Expr::int(2) * Expr::symbol(delta)),
+        ]);
+        let ub = eliminate_with_subst(&io, &fp, &subst, delta, sym("S")).unwrap();
+        let v = ub.bound.eval_with(&[("N", 1000.0), ("S", 100.0)]).unwrap();
+        assert!((v - 10.0).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn subst_elimination_rejects_quartics() {
+        let t = Expr::sym("Tsq");
+        let delta = sym("Dsq");
+        let subst = std::collections::HashMap::from([(
+            sym("Tsq"),
+            Expr::symbol(delta).powi(2),
+        )]);
+        let fp = t.powi(2); // becomes Δ⁴
+        let err =
+            eliminate_with_subst(&t.recip(), &fp, &subst, delta, sym("S")).unwrap_err();
+        assert_eq!(err, SymbolicUbError::UnsolvableDegree(4));
+    }
+
+    #[test]
+    fn tc_group_products_rewrite() {
+        // Group {Ta, Tc}: N/(Ta·Tc) -> N·Δ⁻¹; footprint Ta·Tc·Tb with
+        // groups {Ta,Tc} and {Tb} -> Δ².
+        let n = Expr::sym("N");
+        let io = &n / (Expr::sym("Ta") * Expr::sym("Tc"));
+        let groups = vec![vec![sym("Ta"), sym("Tc")], vec![sym("Tb")]];
+        let delta = sym("Delta_tile");
+        let got = rewrite_in_delta(&io, &groups, delta).unwrap();
+        assert_eq!(got, &n / Expr::symbol(delta));
+        let fp = Expr::sym("Ta") * Expr::sym("Tc") * Expr::sym("Tb");
+        let got = rewrite_in_delta(&fp, &groups, delta).unwrap();
+        assert_eq!(got, Expr::symbol(delta).powi(2));
+    }
+
+    #[test]
+    fn uneven_group_use_is_rejected() {
+        let io = Expr::sym("Ta"); // group {Ta, Tc} used unevenly
+        let groups = vec![vec![sym("Ta"), sym("Tc")]];
+        let err = rewrite_in_delta(&io, &groups, sym("Delta_tile")).unwrap_err();
+        assert!(matches!(err, SymbolicUbError::NotGroupExpressible(_)));
+    }
+
+    #[test]
+    fn matmul_closed_form_matches_paper() {
+        let (ti, tj) = (Expr::sym("Ti"), Expr::sym("Tj"));
+        let n3 = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
+        let io = &n3 * ti.recip() + &n3 * tj.recip() + Expr::sym("Ni") * Expr::sym("Nj");
+        let footprint = &ti + &tj + &ti * &tj;
+        let ub = eliminate_tiles(
+            &io,
+            &footprint,
+            &[vec![sym("Ti")], vec![sym("Tj")]],
+            sym("S"),
+        )
+        .unwrap();
+        // Paper: UB = Ni·Nj·(2Nk/(√(S+1)−1) + 1).
+        let v = ub
+            .bound
+            .eval_with(&[("Ni", 2000.0), ("Nj", 1500.0), ("Nk", 1500.0), ("S", 1024.0)])
+            .unwrap();
+        let t = 1025.0f64.sqrt() - 1.0;
+        let expect = 2000.0 * 1500.0 * (2.0 * 1500.0 / t + 1.0);
+        assert!((v - expect).abs() < 1e-6 * expect);
+    }
+
+    #[test]
+    fn sliding_window_quadratic() {
+        // Conv-like footprint (Δ + W − 1)·C + Δ ≤ S is linear in Δ;
+        // (Δ + W − 1)(Δ + H − 1) is quadratic — both must solve.
+        let d = Expr::sym("Td");
+        let fp = (&d + Expr::sym("W") - Expr::one()) * (&d + Expr::sym("H") - Expr::one());
+        let io = Expr::sym("N") / &d;
+        let ub = eliminate_tiles(&io, &fp, &[vec![sym("Td")]], sym("S")).unwrap();
+        // At W = H = 3, S = 100: (Δ+2)² = 100 -> Δ = 8 -> bound N/8.
+        let v = ub.bound.eval_with(&[("N", 80.0), ("W", 3.0), ("H", 3.0), ("S", 100.0)]).unwrap();
+        assert!((v - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relaxed_elimination_is_valid_and_close() {
+        // Matmul: exact gives Δ = √(S+1)−1; relaxed gives
+        // Δ = min(((S)/(2·2))^1, ((S)/2)^(1/2))-ish. The relaxed footprint
+        // must respect the cache and the relaxed bound must dominate the
+        // exact one (it is weaker) while keeping the asymptotics.
+        let (ti, tj) = (Expr::sym("Ti"), Expr::sym("Tj"));
+        let n3 = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
+        let io = &n3 * ti.recip() + &n3 * tj.recip();
+        let footprint = &ti + &tj + &ti * &tj;
+        let groups = vec![vec![sym("Ti")], vec![sym("Tj")]];
+        let exact = eliminate_tiles(&io, &footprint, &groups, sym("S")).unwrap();
+        let relaxed =
+            eliminate_tiles_relaxed(&io, &footprint, &groups, sym("S")).unwrap();
+        for s_val in [64.0, 1024.0, 65536.0] {
+            let env = [("Ni", 500.0), ("Nj", 500.0), ("Nk", 500.0), ("S", s_val)];
+            let e = exact.bound.eval_with(&env).unwrap();
+            let r = relaxed.bound.eval_with(&env).unwrap();
+            assert!(r >= e * 0.999, "relaxed {r} below exact {e} at S={s_val}");
+            assert!(r <= e * 3.0, "relaxed {r} loses asymptotics vs {e}");
+            // The relaxed Δ keeps the footprint within S.
+            let d = relaxed.delta.eval_with(&[("S", s_val)]).unwrap();
+            assert!(d + d + d * d <= s_val * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn relaxed_handles_cubic_footprints() {
+        // Δ³ + Δ ≤ S has no closed-form exact treatment here, but the
+        // relaxed rule yields Δ = min(S/2, (S/2)^(1/3)).
+        let d = Expr::sym("Trelax");
+        let fp = d.powi(3) + d.clone();
+        let io = Expr::sym("N") / &d;
+        let ub = eliminate_tiles_relaxed(&io, &fp, &[vec![sym("Trelax")]], sym("S"))
+            .unwrap();
+        let delta = ub.delta.eval_with(&[("S", 1000.0)]).unwrap();
+        assert!((delta - 500.0f64.cbrt()).abs() < 1e-9, "delta = {delta}");
+        assert!(delta.powi(3) + delta <= 1000.0);
+        let v = ub.bound.eval_with(&[("N", 100.0), ("S", 1000.0)]).unwrap();
+        assert!((v - 100.0 / delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_footprint_is_rejected() {
+        let d = Expr::sym("Tcubic");
+        let fp = d.powi(3);
+        let err =
+            eliminate_tiles(&d.recip(), &fp, &[vec![sym("Tcubic")]], sym("S")).unwrap_err();
+        assert_eq!(err, SymbolicUbError::UnsolvableDegree(3));
+    }
+}

@@ -1,0 +1,51 @@
+//! CDAG explorer: build the concrete computational DAG of a tiny kernel,
+//! print its Graphviz rendering, and explore how the optimal red-white
+//! pebbling cost responds to the number of red pebbles.
+//!
+//! Run with: `cargo run --release --example cdag_explorer [--dot]`
+
+use std::collections::HashMap;
+
+use ioopt::cdag::{build_cdag, greedy_loads, optimal_loads, optimal_loads_with_recompute};
+use ioopt_ir::kernels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = kernels::conv1d();
+    let sizes = HashMap::from([
+        ("c".to_string(), 1i64),
+        ("f".to_string(), 1),
+        ("x".to_string(), 3),
+        ("w".to_string(), 2),
+    ]);
+    let cdag = build_cdag(&kernel, &sizes, 1000);
+    println!(
+        "conv1d (c=1, f=1, x=3, w=2): {} nodes, {} inputs, {} outputs",
+        cdag.len(),
+        cdag.inputs().len(),
+        cdag.outputs().len()
+    );
+
+    if std::env::args().any(|a| a == "--dot") {
+        println!("\n{}", cdag.to_dot());
+        return Ok(());
+    }
+
+    println!("\n{:>3} {:>12} {:>12} {:>12}", "S", "optimal", "greedy", "red-blue");
+    let order = cdag.computes();
+    for s in 4..=8usize {
+        let optimal = optimal_loads(&cdag, s, 40_000_000)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        let greedy = greedy_loads(&cdag, s, &order);
+        let redblue = optimal_loads_with_recompute(&cdag, s, 40_000_000)
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!("{s:>3} {optimal:>12} {greedy:>12} {redblue:>12}");
+    }
+    println!(
+        "\nThe optimum falls as pebbles are added until every input is loaded\n\
+         exactly once; allowing recomputation (red-blue) never pays for this\n\
+         kernel class — the paper's no-recomputation model is lossless here."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! A CNN-layer tiling advisor: for each Yolo9000 convolution layer,
+//! derive the multi-level tiling recommendation for the paper's
+//! i9-7940X cache hierarchy and print the suggested tiled code.
+//!
+//! Run with: `cargo run --release --example conv_layer_advisor [layer]`
+//! (default layer: Yolo9000-12).
+
+use ioopt::cachesim::MachineModel;
+use ioopt::codegen::TiledCode;
+use ioopt::ioub::{CacheLevelSpec, SmallDimOracle};
+use ioopt::ir::kernels;
+use ioopt::tileopt::optimize_multilevel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "Yolo9000-12".to_string());
+    let layer = kernels::YOLO9000
+        .iter()
+        .find(|l| l.name == wanted)
+        .copied()
+        .ok_or_else(|| format!("unknown layer `{wanted}`"))?;
+
+    let machine = MachineModel::i9_7940x();
+    let caches: Vec<CacheLevelSpec> = ["L1", "L2", "L3"]
+        .iter()
+        .zip(machine.capacities_elems())
+        .zip(&machine.bandwidths)
+        .map(|((name, cap), &bw)| {
+            CacheLevelSpec::new(name, cap, machine.element_bytes / bw)
+        })
+        .collect();
+
+    let kernel = kernels::conv2d();
+    let sizes = layer.size_map();
+    println!("Layer {}: F={} C={} X={} Y={} W={} H={}", layer.name, layer.f,
+        layer.c, layer.x, layer.y, layer.w, layer.h);
+
+    let rec = optimize_multilevel(&kernel, &sizes, &caches, &SmallDimOracle)?;
+    let perm_names: Vec<&str> =
+        rec.perm.iter().map(|&d| kernel.dims()[d].name.as_str()).collect();
+    println!("inter-tile permutation (outer to inner): {perm_names:?}");
+    for (band, tiles) in rec.tiles.iter().enumerate() {
+        let mut t: Vec<(&String, &i64)> = tiles.iter().collect();
+        t.sort();
+        println!("  {} tile: {t:?}", ["L1", "L2", "L3"][band]);
+    }
+    for (band, traffic) in rec.traffic.iter().enumerate() {
+        println!(
+            "  predicted traffic out of {}: {:.3e} elements",
+            ["L1", "L2", "L3"][band],
+            traffic
+        );
+    }
+
+    println!("\nSuggested innermost (L1) tiled code (f vectorized, paper §6):");
+    let code = TiledCode::from_integer_tiles(&kernel, &rec.perm, &rec.tiles[0], &sizes)
+        .with_vectorized("f");
+    print!("{}", code.to_c());
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: describe a kernel in the DSL, get I/O bounds and a tiling
+//! recommendation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::collections::HashMap;
+
+use ioopt::{analyze, render_text, AnalysisOptions};
+use ioopt_ir::parse_kernel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the program (paper Listing 1: matrix multiplication).
+    let kernel = parse_kernel(
+        "kernel matmul {
+            loop i : Ni;
+            loop j : Nj;
+            loop k : Nk;
+            C[i][j] += A[i][k] * B[k][j];
+        }",
+    )?;
+
+    // 2. Give concrete problem sizes and a cache size (in elements).
+    let sizes = HashMap::from([
+        ("i".to_string(), 2000i64),
+        ("j".to_string(), 1500),
+        ("k".to_string(), 1500),
+    ]);
+    let options = AnalysisOptions::with_cache(1024.0);
+
+    // 3. Run the full IOOpt pipeline: arithmetic complexity, symbolic
+    //    lower bound, tile-size optimization, and a suggested tiled code.
+    let analysis = analyze(&kernel, &sizes, &options)?;
+    print!("{}", render_text(&analysis));
+
+    // The recommendation is machine-checkable: the bounds must bracket
+    // reality for every possible schedule.
+    assert!(analysis.lb <= analysis.ub);
+    println!(
+        "=> data movement is provably within {:.1}% of optimal",
+        (analysis.tightness - 1.0) * 100.0
+    );
+    Ok(())
+}

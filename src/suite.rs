@@ -1,0 +1,1 @@
+//! Umbrella crate: see the `ioopt` crate for the tool itself.

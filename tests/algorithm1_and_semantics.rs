@@ -1,0 +1,148 @@
+//! Two cross-crate validations:
+//!
+//! 1. **Algorithm 1 loses nothing**: over *all* `n!` permutations of a
+//!    small kernel, the best achievable TileOpt I/O is matched (within
+//!    integer-rounding noise) by some permutation in the pruned set.
+//! 2. **Recommendations preserve semantics**: executing the recommended
+//!    tiled schedule numerically gives the same output as the source
+//!    order.
+
+use std::collections::HashMap;
+
+use ioopt::codegen::validate_tiling;
+use ioopt::ioub::{select_permutations, SmallDimOracle, TilingSchedule};
+use ioopt::ir::kernels;
+use ioopt::tileopt::{optimize_schedule, TileOptConfig};
+use ioopt::{analyze, AnalysisOptions};
+
+fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(prefix: &mut Vec<usize>, rest: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if rest.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let v = rest.remove(i);
+            prefix.push(v);
+            rec(prefix, rest, out);
+            prefix.pop();
+            rest.insert(i, v);
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut Vec::new(), &mut (0..n).collect(), &mut out);
+    out
+}
+
+#[test]
+fn algorithm1_keeps_an_optimal_permutation() {
+    for (kernel, sizes, cache) in [
+        (
+            kernels::matmul(),
+            HashMap::from([
+                ("i".to_string(), 300i64),
+                ("j".to_string(), 300),
+                ("k".to_string(), 300),
+            ]),
+            1024.0,
+        ),
+        (
+            kernels::conv1d(),
+            HashMap::from([
+                ("c".to_string(), 32i64),
+                ("f".to_string(), 32),
+                ("x".to_string(), 128),
+                ("w".to_string(), 3),
+            ]),
+            1024.0,
+        ),
+    ] {
+        let config = TileOptConfig { cache_elems: cache, max_level_combos: 512 };
+        let env = kernel.bind_sizes(&sizes);
+        let best_over = |perms: &[Vec<usize>]| -> f64 {
+            perms
+                .iter()
+                .filter_map(|perm| {
+                    let sched =
+                        TilingSchedule::parametric_by_index(&kernel, perm.clone())?;
+                    optimize_schedule(&kernel, &sched, &env, &sizes, &config)
+                        .ok()
+                        .flatten()
+                        .map(|r| r.io)
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let exhaustive = best_over(&all_permutations(kernel.dims().len()));
+        let pruned = best_over(&select_permutations(&kernel, &SmallDimOracle));
+        assert!(
+            pruned <= exhaustive * 1.02,
+            "{}: pruned best {pruned} vs exhaustive {exhaustive}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn recommendations_preserve_semantics() {
+    for (kernel, sizes) in [
+        (
+            kernels::matmul(),
+            HashMap::from([
+                ("i".to_string(), 17i64),
+                ("j".to_string(), 13),
+                ("k".to_string(), 19),
+            ]),
+        ),
+        (
+            kernels::conv1d(),
+            HashMap::from([
+                ("c".to_string(), 4i64),
+                ("f".to_string(), 5),
+                ("x".to_string(), 12),
+                ("w".to_string(), 3),
+            ]),
+        ),
+        (
+            kernels::mttkrp(),
+            HashMap::from([
+                ("i".to_string(), 6i64),
+                ("j".to_string(), 7),
+                ("k".to_string(), 5),
+                ("l".to_string(), 4),
+            ]),
+        ),
+    ] {
+        let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(256.0))
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let err = validate_tiling(
+            &kernel,
+            &sizes,
+            &a.recommendation.perm,
+            &a.recommendation.tiles,
+        );
+        assert!(
+            err < 1e-9,
+            "{}: tiled result differs from reference by {err}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn random_tensor_contractions_have_consistent_bounds() {
+    // A small deterministic family of synthetic contraction specs.
+    let specs = ["ab-acd-dcb", "abc-cd-dab", "a-ab-b", "abcd-ace-ebd"];
+    for spec in specs {
+        let kernel = kernels::tensor_contraction(spec, spec);
+        let sizes: HashMap<String, i64> = kernel
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), 16 + 8 * i as i64))
+            .collect();
+        let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(512.0))
+            .unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert!(a.lb > 0.0, "{spec}");
+        assert!(a.lb <= a.ub * (1.0 + 1e-9), "{spec}: lb {} > ub {}", a.lb, a.ub);
+    }
+}

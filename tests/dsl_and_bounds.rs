@@ -1,0 +1,100 @@
+//! DSL-to-bounds integration: user-written kernels parse, classify, and
+//! analyze end to end; symbolic bounds agree with the numeric optimizer.
+
+use std::collections::HashMap;
+
+use ioopt::ir::{classify_tc, kernels, parse_kernel};
+use ioopt::symbolic::Symbol;
+use ioopt::{analyze, symbolic_tc_ub, AnalysisOptions};
+
+#[test]
+fn custom_dsl_kernel_through_pipeline() {
+    // A batched matrix multiplication written by a user.
+    let kernel = parse_kernel(
+        "kernel batched_mm {
+            loop b : Nb;
+            loop i : Ni;
+            loop j : Nj;
+            loop k : Nk;
+            C[b][i][j] += A[b][i][k] * B[b][k][j];
+        }",
+    )
+    .expect("parses");
+    let sizes = HashMap::from([
+        ("b".to_string(), 8i64),
+        ("i".to_string(), 64),
+        ("j".to_string(), 64),
+        ("k".to_string(), 64),
+    ]);
+    let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(1024.0)).expect("analyzes");
+    assert!(a.lb > 0.0 && a.lb <= a.ub * (1.0 + 1e-9));
+    assert_eq!(a.arith_complexity.to_string(), "Nb*Ni*Nj*Nk");
+}
+
+#[test]
+fn dsl_errors_are_reported_with_position() {
+    let err = parse_kernel("kernel bad { loop i : N; C[i] += A[j]; }").unwrap_err();
+    assert!(err.message.contains("unknown loop index"));
+    assert!(err.line >= 1 && err.col >= 1);
+}
+
+#[test]
+fn symbolic_tc_ub_is_achievable_by_tileopt() {
+    // The closed-form UB is realized by a specific schedule, so the
+    // numeric optimizer must do at least as well (within integer-tile
+    // rounding) at sizes in the formula's validity regime.
+    for entry in [kernels::TCCG[2], kernels::TCCG[6]] {
+        let kernel = entry.kernel();
+        let sizes = entry.size_map();
+        let cache = 4096.0;
+        let ub = symbolic_tc_ub(&kernel).expect("TC");
+        let mut env = kernel.bind_sizes(&sizes);
+        env.insert(Symbol::new("S"), cache);
+        let closed_form = ub.bound.eval_f64(&env).expect("evaluates");
+        let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache))
+            .expect("analyzes");
+        assert!(
+            a.ub <= closed_form * 1.10,
+            "{}: TileOpt {} worse than closed form {}",
+            entry.spec,
+            a.ub,
+            closed_form
+        );
+    }
+}
+
+#[test]
+fn classification_and_scenarios_compose() {
+    let kernel = parse_kernel(
+        "kernel mm {
+            loop a : A;
+            loop b : B;
+            loop c : C;
+            O[a][b] += X[a][c] * Y[c][b];
+        }",
+    )
+    .expect("parses");
+    let class = classify_tc(&kernel).expect("is a TC");
+    assert_eq!(class.signature(), "222 / 111");
+    let scenarios = ioopt::iolb::default_scenarios(&kernel);
+    assert_eq!(scenarios.len(), 8);
+}
+
+#[test]
+fn strided_kernel_gets_sound_overapprox() {
+    // Strided (non-unit) subscripts fall outside the exact class; the
+    // footprint machinery must over-approximate, never under-approximate.
+    let kernel = parse_kernel(
+        "kernel strided {
+            loop x : Nx;
+            loop w : Nw;
+            Out[x] += In[2*x + w];
+        }",
+    )
+    .expect("parses");
+    let sizes = HashMap::from([("x".to_string(), 64i64), ("w".to_string(), 5)]);
+    let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(64.0)).expect("analyzes");
+    // Distinct In cells: 2*63 + 4 + 1 = 131; Out: 64. Any valid UB must
+    // cover at least the compulsory traffic.
+    assert!(a.ub >= 131.0 + 64.0);
+}

@@ -1,0 +1,52 @@
+//! Multi-level model vs. simulator: the analytic per-band traffic of a
+//! multi-level recommendation must agree with the simulated hierarchy
+//! within the usual LRU slack, on a downscaled convolution layer.
+
+use ioopt::cachesim::{Hierarchy, TiledLoopNest};
+use ioopt::ioub::{CacheLevelSpec, SmallDimOracle};
+use ioopt::ir::kernels;
+use ioopt::tileopt::optimize_multilevel;
+
+#[test]
+fn multilevel_traffic_matches_hierarchy_simulation() {
+    let layer = kernels::YOLO9000[4].downscaled(8, 32); // Yolo9000-8, small
+    let kernel = kernels::conv2d();
+    let sizes = layer.size_map();
+    let caches = vec![
+        CacheLevelSpec::new("L1", 512.0, 1.0),
+        CacheLevelSpec::new("L2", 8192.0, 0.25),
+    ];
+    let rec = optimize_multilevel(&kernel, &sizes, &caches, &SmallDimOracle)
+        .expect("feasible multilevel tiling");
+    // Simulate the *innermost* band's loop nest against both levels with
+    // 30% LRU slack over the nominal capacities.
+    let nest = TiledLoopNest::new(&kernel, &sizes, &rec.perm, &rec.tiles[0])
+        .expect("valid nest");
+    let mut h = Hierarchy::new(&[665, 10_650], 1);
+    let sim = nest.simulate(&mut h);
+
+    // L1 traffic: the model's band-0 prediction should bracket the
+    // simulation within a small factor.
+    let model_l1 = rec.traffic[0];
+    let sim_l1 = sim.traffic_elems[0];
+    assert!(
+        sim_l1 <= model_l1 * 2.0 && sim_l1 >= model_l1 * 0.2,
+        "L1: model {model_l1:.3e} vs simulated {sim_l1:.3e}"
+    );
+    // L2 traffic should also be in the same ballpark. The simulated nest
+    // only realizes the inner band, so the outer-band prediction is a
+    // lower bound on what this particular schedule achieves.
+    let model_l2 = rec.traffic[1];
+    let sim_l2 = sim.traffic_elems[1];
+    assert!(
+        sim_l2 >= model_l2 * 0.5,
+        "L2: simulated {sim_l2:.3e} below half the model {model_l2:.3e}?"
+    );
+
+    // And the whole thing stays above the lower bound at L1 capacity.
+    let report = ioopt::symbolic_lb(&kernel).expect("lb");
+    let mut env = kernel.bind_sizes(&sizes);
+    env.insert(ioopt::symbolic::Symbol::new("S"), 512.0);
+    let lb = report.combined.eval_f64(&env).expect("evaluates");
+    assert!(sim_l1 >= lb * (1.0 - 1e-9), "sim {sim_l1} < LB {lb}");
+}

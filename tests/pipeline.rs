@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests across crates: every paper kernel runs
+//! through IOLB + IOUB + TileOpt, and the bounds are consistent.
+
+use std::collections::HashMap;
+
+use ioopt::ir::kernels;
+use ioopt::{analyze, AnalysisOptions};
+
+fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+}
+
+#[test]
+fn matmul_bounds_are_tight() {
+    let a = analyze(
+        &kernels::matmul(),
+        &sizes(&[("i", 512), ("j", 512), ("k", 512)]),
+        &AnalysisOptions::with_cache(4096.0),
+    )
+    .expect("pipeline");
+    assert!(a.lb > 0.0);
+    assert!(a.lb <= a.ub * (1.0 + 1e-9));
+    assert!(a.tightness < 1.6, "tightness {}", a.tightness);
+}
+
+#[test]
+fn all_tccg_kernels_have_consistent_bounds() {
+    for entry in kernels::TCCG {
+        let kernel = entry.kernel();
+        let a = analyze(&kernel, &entry.size_map(), &AnalysisOptions::with_cache(8192.0))
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.spec));
+        assert!(a.lb <= a.ub * (1.0 + 1e-9), "{}: lb {} > ub {}", entry.spec, a.lb, a.ub);
+        // The paper reports close bounds for every TC; allow a modest gap.
+        assert!(a.tightness < 2.5, "{}: ratio {}", entry.spec, a.tightness);
+    }
+}
+
+#[test]
+fn yolo_layer_bounds_are_close() {
+    // One representative 3x3 layer and one 1x1 layer.
+    let kernel = kernels::conv2d();
+    for layer in [kernels::YOLO9000[4], kernels::YOLO9000[5]] {
+        let a = analyze(&kernel, &layer.size_map(), &AnalysisOptions::with_cache(32768.0))
+            .unwrap_or_else(|e| panic!("{}: {e}", layer.name));
+        assert!(a.lb <= a.ub * (1.0 + 1e-9), "{}", layer.name);
+        // Paper Fig. 7: at most ~3x between bounds.
+        assert!(a.tightness < 3.0, "{}: ratio {}", layer.name, a.tightness);
+    }
+}
+
+#[test]
+fn bounds_shrink_with_larger_cache() {
+    let kernel = kernels::matmul();
+    let s = sizes(&[("i", 256), ("j", 256), ("k", 256)]);
+    let mut prev_ub = f64::INFINITY;
+    let mut prev_lb = f64::INFINITY;
+    for cache in [1024.0, 4096.0, 16384.0] {
+        let a = analyze(&kernel, &s, &AnalysisOptions::with_cache(cache)).expect("pipeline");
+        assert!(a.ub <= prev_ub * (1.0 + 1e-9), "UB must not grow with S");
+        assert!(a.lb <= prev_lb * (1.0 + 1e-9), "LB must not grow with S");
+        prev_ub = a.ub;
+        prev_lb = a.lb;
+    }
+}
+
+#[test]
+fn large_cache_degenerates_to_compulsory_traffic() {
+    // When everything fits, both bounds equal the total array volume.
+    let kernel = kernels::matmul();
+    let s = sizes(&[("i", 64), ("j", 64), ("k", 64)]);
+    let a = analyze(&kernel, &s, &AnalysisOptions::with_cache(1e7)).expect("pipeline");
+    let arrays = 3.0 * 64.0 * 64.0;
+    assert_eq!(a.lb, arrays);
+    assert!(a.ub <= arrays * 1.01, "ub {}", a.ub);
+}
+
+#[test]
+fn recommendation_respects_footprint() {
+    let kernel = kernels::conv1d();
+    let s = sizes(&[("c", 64), ("f", 64), ("x", 256), ("w", 3)]);
+    let cache = 2048.0;
+    let a = analyze(&kernel, &s, &AnalysisOptions::with_cache(cache)).expect("pipeline");
+    let mut env = kernel.bind_sizes(&s);
+    for (name, t) in &a.recommendation.tiles {
+        env.insert(ioopt::symbolic::Symbol::new(&format!("T{name}")), *t as f64);
+    }
+    let fp = a.recommendation.cost.footprint.eval_f64(&env).expect("evaluates");
+    assert!(fp <= cache * (1.0 + 1e-9), "footprint {fp} > cache {cache}");
+}
+
+#[test]
+fn tiled_code_is_emitted_for_every_kernel() {
+    for (kernel, s) in [
+        (kernels::matmul(), sizes(&[("i", 128), ("j", 128), ("k", 128)])),
+        (kernels::conv1d(), sizes(&[("c", 16), ("f", 16), ("x", 64), ("w", 3)])),
+    ] {
+        let a = analyze(&kernel, &s, &AnalysisOptions::with_cache(1024.0)).expect("pipeline");
+        assert!(a.tiled_code.contains("for ("));
+        assert!(a.tiled_code.contains("+="));
+    }
+}
+
+#[test]
+fn polybench_sequences_have_consistent_bounds() {
+    use ioopt::analyze_sequence;
+    use ioopt::ir::kernels::polybench;
+
+    let cases: Vec<(&str, Vec<ioopt::ir::Kernel>, HashMap<String, i64>)> = vec![
+        (
+            "atax",
+            polybench::atax(),
+            sizes(&[("i", 256), ("j", 256)]),
+        ),
+        (
+            "bicg",
+            polybench::bicg(),
+            sizes(&[("i", 256), ("j", 256)]),
+        ),
+        (
+            "mvt",
+            polybench::mvt(),
+            sizes(&[("i", 256), ("j", 256)]),
+        ),
+        (
+            "2mm",
+            polybench::two_mm(),
+            sizes(&[("i", 96), ("j", 96), ("k", 96), ("l", 96)]),
+        ),
+    ];
+    for (name, seq, sz) in cases {
+        let result = analyze_sequence(&seq, &sz, &AnalysisOptions::with_cache(2048.0))
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(result.lb > 0.0, "{name}");
+        assert!(result.lb <= result.ub * (1.0 + 1e-9), "{name}: lb {} > ub {}", result.lb, result.ub);
+        assert_eq!(result.per_kernel.len(), 2, "{name}");
+    }
+}

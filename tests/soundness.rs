@@ -1,0 +1,157 @@
+//! Soundness sandwich: on tiny instances, the symbolic lower bound must
+//! not exceed the *exact optimal* red-white pebbling cost, which must not
+//! exceed any constructive schedule's cost (greedy pebbling, simulated
+//! LRU execution, the IOUB cost model).
+
+use std::collections::HashMap;
+
+use ioopt::cachesim::{Hierarchy, TiledLoopNest};
+use ioopt::cdag::{build_cdag, greedy_loads, optimal_loads};
+use ioopt::symbolic::Symbol;
+use ioopt::{analyze, symbolic_lb, AnalysisOptions};
+use ioopt_ir::kernels;
+
+fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+}
+
+/// LB(S) ≤ optimal pebbling ≤ greedy pebbling, on several instances.
+#[test]
+fn lower_bound_below_optimal_pebbling() {
+    let cases: Vec<(ioopt::ir::Kernel, HashMap<String, i64>, usize)> = vec![
+        (kernels::matmul(), sizes(&[("i", 2), ("j", 2), ("k", 2)]), 5),
+        (kernels::matmul(), sizes(&[("i", 1), ("j", 2), ("k", 3)]), 4),
+        (kernels::matmul(), sizes(&[("i", 2), ("j", 2), ("k", 2)]), 8),
+        (
+            kernels::conv1d(),
+            sizes(&[("c", 1), ("f", 2), ("x", 3), ("w", 2)]),
+            5,
+        ),
+    ];
+    for (kernel, sz, s) in cases {
+        let cdag = build_cdag(&kernel, &sz, 10_000);
+        let Some(optimal) = optimal_loads(&cdag, s, 30_000_000) else {
+            panic!("{}: exact search exceeded budget", kernel.name());
+        };
+        let greedy = greedy_loads(&cdag, s, &cdag.computes());
+        assert!(optimal <= greedy, "{}: {optimal} > greedy {greedy}", kernel.name());
+
+        let report = symbolic_lb(&kernel).expect("lb");
+        let mut env = kernel.bind_sizes(&sz);
+        env.insert(Symbol::new("S"), s as f64);
+        let lb = report.combined.eval_f64(&env).expect("evaluates");
+        assert!(
+            lb <= optimal as f64 + 1e-9,
+            "{} (S={s}): LB {lb} > optimal {optimal} — UNSOUND",
+            kernel.name()
+        );
+    }
+}
+
+/// Any simulated schedule's misses stay above the lower bound.
+#[test]
+fn lower_bound_below_simulated_schedules() {
+    let kernel = kernels::matmul();
+    let sz = sizes(&[("i", 24), ("j", 24), ("k", 24)]);
+    let cache = 128usize;
+
+    let report = symbolic_lb(&kernel).expect("lb");
+    let mut env = kernel.bind_sizes(&sz);
+    env.insert(Symbol::new("S"), cache as f64);
+    let lb = report.combined.eval_f64(&env).expect("evaluates");
+
+    // A bag of schedules: untiled orders and several tilings.
+    let perms: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2],
+        vec![2, 1, 0],
+        vec![1, 0, 2],
+    ];
+    let tilings: Vec<HashMap<String, i64>> = vec![
+        HashMap::new(),
+        sizes(&[("i", 8), ("j", 8)]),
+        sizes(&[("i", 4), ("j", 4), ("k", 4)]),
+        sizes(&[("j", 10), ("k", 10)]),
+    ];
+    for perm in &perms {
+        for tiles in &tilings {
+            let nest = TiledLoopNest::new(&kernel, &sz, perm, tiles).expect("valid");
+            let mut h = Hierarchy::new(&[cache], 1);
+            let sim = nest.simulate(&mut h);
+            let misses = sim.stats[0].misses as f64;
+            assert!(
+                misses >= lb * (1.0 - 1e-9),
+                "perm {perm:?} tiles {tiles:?}: misses {misses} < LB {lb}"
+            );
+        }
+    }
+}
+
+/// The recommended schedule's simulated misses approach the model's UB
+/// when the LRU gets a bit of slack (pebble-game vs LRU replacement).
+#[test]
+fn ub_model_matches_simulation_with_slack() {
+    let kernel = kernels::matmul();
+    let sz = sizes(&[("i", 48), ("j", 48), ("k", 48)]);
+    let a = analyze(&kernel, &sz, &AnalysisOptions::with_cache(256.0)).expect("pipeline");
+    let nest = TiledLoopNest::new(&kernel, &sz, &a.recommendation.perm, &a.recommendation.tiles)
+        .expect("valid");
+    let mut h = Hierarchy::new(&[320], 1); // 25% LRU slack
+    let sim = nest.simulate(&mut h);
+    let misses = sim.stats[0].misses as f64;
+    assert!(misses >= a.lb * (1.0 - 1e-9));
+    assert!(
+        misses <= a.ub * 1.35,
+        "misses {misses} vs model UB {} — model too optimistic",
+        a.ub
+    );
+}
+
+/// The exact pebbling optimum is bracketed by our LB and UB.
+#[test]
+fn full_sandwich_on_tiny_matmul() {
+    let kernel = kernels::matmul();
+    let sz = sizes(&[("i", 2), ("j", 2), ("k", 2)]);
+    let s = 5usize;
+    let cdag = build_cdag(&kernel, &sz, 10_000);
+    let optimal = optimal_loads(&cdag, s, 30_000_000).expect("search fits") as f64;
+
+    let report = symbolic_lb(&kernel).expect("lb");
+    let mut env = kernel.bind_sizes(&sz);
+    env.insert(Symbol::new("S"), s as f64);
+    let lb = report.combined.eval_f64(&env).expect("evaluates");
+
+    let a = analyze(&kernel, &sz, &AnalysisOptions::with_cache(s as f64)).expect("pipeline");
+    assert!(lb <= optimal + 1e-9, "LB {lb} > optimal {optimal}");
+    // Achievability with one transient pebble (the cost model updates the
+    // accumulator in place; the pebble game holds old + new one step).
+    let optimal_aug =
+        optimal_loads(&cdag, s + 1, 30_000_000).expect("search fits") as f64;
+    assert!(optimal_aug <= a.ub * (1.0 + 1e-9), "optimal(S+1) {optimal_aug} > UB {}", a.ub);
+}
+
+/// Repeated reads of one array through different subscripts
+/// (autocorrelation) must share a single data budget in the lower bound.
+#[test]
+fn repeated_array_reads_stay_sound() {
+    let kernel = ioopt::ir::parse_kernel(
+        "kernel autocorr {
+            loop k : Nk;
+            loop x : Nx;
+            Out[k] += A[x] * A[x+k];
+        }",
+    )
+    .expect("parses");
+    let sz = sizes(&[("k", 3), ("x", 3)]);
+    let cdag = build_cdag(&kernel, &sz, 1000);
+    let s = 5usize;
+    let optimal = optimal_loads(&cdag, s, 30_000_000).expect("search fits");
+
+    let report = symbolic_lb(&kernel).expect("lb");
+    let mut env = kernel.bind_sizes(&sz);
+    env.insert(Symbol::new("S"), s as f64);
+    let lb = report.combined.eval_f64(&env).expect("evaluates");
+    assert!(
+        lb <= optimal as f64 + 1e-9,
+        "autocorr: LB {lb} > optimal {optimal}"
+    );
+}
