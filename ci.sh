@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally and offline (the workspace has no
+# third-party dependencies). Mirrors .github/workflows/ci.yml.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> ioopt check smoke test"
+./target/release/ioopt check builtin:matmul
+./target/release/ioopt check builtin:Yolo9000-8 >/dev/null
+
+echo "CI OK"

@@ -1,17 +1,32 @@
-//! Criterion benches of the substrate crates: cache-simulator
-//! throughput, exact LP, pebble game, and symbolic-engine operations.
+//! Benches of the substrate crates: cache-simulator throughput, exact
+//! LP, pebble game, and symbolic-engine operations.
+//!
+//! Plain harness-less binaries timed with `std::time::Instant` (no
+//! third-party bench framework; offline-safe). Run with
+//! `cargo bench -p ioopt-bench`.
 
 use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ioopt::cachesim::{Hierarchy, TiledLoopNest};
 use ioopt::cdag::{build_cdag, greedy_loads};
 use ioopt::ir::kernels;
 use ioopt::lp::{Cmp, Lp};
 use ioopt::symbolic::{Expr, Rational};
-use std::hint::black_box;
 
-fn bench_cachesim(c: &mut Criterion) {
+/// Time `f` over `iters` iterations and report mean per-iteration time.
+fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{group}/{name}: {per_iter:?} per iter ({iters} iters)");
+}
+
+fn bench_cachesim() {
     let k = kernels::matmul();
     let sizes = HashMap::from([
         ("i".to_string(), 32i64),
@@ -20,18 +35,15 @@ fn bench_cachesim(c: &mut Criterion) {
     ]);
     let tiles = HashMap::from([("i".to_string(), 8i64), ("j".to_string(), 8)]);
     let nest = TiledLoopNest::new(&k, &sizes, &[0, 1, 2], &tiles).unwrap();
-    let mut g = c.benchmark_group("cachesim");
-    g.throughput(Throughput::Elements(nest.num_iterations()));
-    g.bench_function("matmul-32x32x32-lru", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(&[256, 4096], 1);
-            black_box(nest.simulate(&mut h))
-        })
+    let elems = nest.num_iterations();
+    bench("cachesim", "matmul-32x32x32-lru", 20, || {
+        let mut h = Hierarchy::new(&[256, 4096], 1);
+        black_box(nest.simulate(&mut h))
     });
-    g.finish();
+    println!("cachesim/matmul-32x32x32-lru: {elems} accesses per iter");
 }
 
-fn bench_pebble(c: &mut Criterion) {
+fn bench_pebble() {
     let k = kernels::matmul();
     let sizes = HashMap::from([
         ("i".to_string(), 4i64),
@@ -40,46 +52,51 @@ fn bench_pebble(c: &mut Criterion) {
     ]);
     let g_cdag = build_cdag(&k, &sizes, 10_000);
     let order = g_cdag.computes();
-    c.bench_function("pebble/greedy-4x4x4", |b| {
-        b.iter(|| greedy_loads(black_box(&g_cdag), 8, &order))
+    bench("pebble", "greedy-4x4x4", 50, || {
+        greedy_loads(black_box(&g_cdag), 8, &order)
     });
 }
 
-fn bench_lp(c: &mut Criterion) {
-    c.bench_function("lp/brascamp-matmul", |b| {
-        b.iter(|| {
-            let ri = |n: i128| Rational::from(n);
-            let mut lp = Lp::new(3);
-            lp.set_objective(vec![ri(1), ri(1), ri(1)]);
-            lp.add_constraint(vec![ri(1), ri(0), ri(1)], Cmp::Ge, ri(1));
-            lp.add_constraint(vec![ri(1), ri(1), ri(0)], Cmp::Ge, ri(1));
-            lp.add_constraint(vec![ri(0), ri(1), ri(1)], Cmp::Ge, ri(1));
-            black_box(lp.solve().unwrap())
-        })
+fn bench_lp() {
+    bench("lp", "brascamp-matmul", 200, || {
+        let ri = |n: i128| Rational::from(n);
+        let mut lp = Lp::new(3);
+        lp.set_objective(vec![ri(1), ri(1), ri(1)]);
+        lp.add_constraint(vec![ri(1), ri(0), ri(1)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(1), ri(1), ri(0)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(0), ri(1), ri(1)], Cmp::Ge, ri(1));
+        black_box(lp.solve().unwrap())
     });
 }
 
-fn bench_symbolic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("symbolic");
-    g.bench_function("expand-poly", |b| {
+fn bench_symbolic() {
+    {
         let x = Expr::sym("bx");
         let y = Expr::sym("by");
         let e = Expr::pow(&x + &y + Expr::int(1), Rational::from(6i128));
-        b.iter(|| black_box(&e).expand())
-    });
-    g.bench_function("compile-eval", |b| {
+        bench("symbolic", "expand-poly", 100, || black_box(&e).expand());
+    }
+    {
         let e = (Expr::sym("ba") + Expr::int(1)) * Expr::sym("bb").sqrt()
             / (Expr::sym("ba") * Expr::sym("bb") + Expr::int(2));
         let compiled = e
             .compile(
-                &[ioopt::symbolic::Symbol::new("ba"), ioopt::symbolic::Symbol::new("bb")],
+                &[
+                    ioopt::symbolic::Symbol::new("ba"),
+                    ioopt::symbolic::Symbol::new("bb"),
+                ],
                 &Default::default(),
             )
             .unwrap();
-        b.iter(|| black_box(compiled.eval(&[3.0, 4.0])))
-    });
-    g.finish();
+        bench("symbolic", "compile-eval", 10_000, || {
+            black_box(compiled.eval(&[3.0, 4.0]))
+        });
+    }
 }
 
-criterion_group!(benches, bench_cachesim, bench_pebble, bench_lp, bench_symbolic);
-criterion_main!(benches);
+fn main() {
+    bench_cachesim();
+    bench_pebble();
+    bench_lp();
+    bench_symbolic();
+}

@@ -1,90 +1,97 @@
-//! Criterion benches of the tool itself — the paper's practicality claim
+//! Benches of the tool itself — the paper's practicality claim
 //! (§3.2 footnote: counting and analysis take "usually less than a few
 //! seconds" per kernel).
+//!
+//! Plain harness-less binaries timed with `std::time::Instant`: the
+//! workspace carries no third-party bench framework so it builds and
+//! runs fully offline. Run with `cargo bench -p ioopt-bench`.
 
 use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ioopt::iolb::{default_scenarios, lower_bound, LbOptions};
 use ioopt::ioub::{select_permutations, SmallDimOracle};
 use ioopt::ir::kernels;
 use ioopt::tileopt::{optimize, TileOptConfig};
 use ioopt::{analyze, symbolic_tc_ub, AnalysisOptions};
-use std::hint::black_box;
 
-fn bench_lower_bounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("iolb");
-    g.sample_size(10);
+/// Time `f` over `iters` iterations and report mean per-iteration time.
+fn bench<T>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // One warm-up run, then the timed loop.
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{group}/{name}: {per_iter:?} per iter ({iters} iters)");
+}
+
+fn bench_lower_bounds() {
     for (name, kernel) in [
         ("matmul", kernels::matmul()),
         ("conv2d", kernels::conv2d()),
-        ("tc-abcd-aebf-fdec", kernels::tensor_contraction("tc", "abcd-aebf-fdec")),
+        (
+            "tc-abcd-aebf-fdec",
+            kernels::tensor_contraction("tc", "abcd-aebf-fdec"),
+        ),
     ] {
-        let options =
-            LbOptions { detect_reductions: true, scenarios: default_scenarios(&kernel) };
-        g.bench_function(name, |b| {
-            b.iter(|| lower_bound(black_box(&kernel), black_box(&options)).unwrap())
+        let options = LbOptions {
+            detect_reductions: true,
+            scenarios: default_scenarios(&kernel),
+        };
+        bench("iolb", name, 10, || {
+            lower_bound(black_box(&kernel), black_box(&options)).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_permutation_selection(c: &mut Criterion) {
-    let mut g = c.benchmark_group("permsel");
+fn bench_permutation_selection() {
     for (name, kernel) in [("conv1d", kernels::conv1d()), ("conv2d", kernels::conv2d())] {
-        g.bench_function(name, |b| {
-            b.iter(|| select_permutations(black_box(&kernel), &SmallDimOracle))
+        bench("permsel", name, 20, || {
+            select_permutations(black_box(&kernel), &SmallDimOracle)
         });
     }
-    g.finish();
 }
 
-fn bench_tileopt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tileopt");
-    g.sample_size(10);
+fn bench_tileopt() {
     let k = kernels::matmul();
     let sizes = HashMap::from([
         ("i".to_string(), 2000i64),
         ("j".to_string(), 1500),
         ("k".to_string(), 1500),
     ]);
-    let config = TileOptConfig { cache_elems: 1024.0, max_level_combos: 512 };
-    g.bench_function("matmul-s1024", |b| {
-        b.iter(|| optimize(black_box(&k), &sizes, &SmallDimOracle, &config).unwrap())
+    let config = TileOptConfig {
+        cache_elems: 1024.0,
+        max_level_combos: 512,
+    };
+    bench("tileopt", "matmul-s1024", 10, || {
+        optimize(black_box(&k), &sizes, &SmallDimOracle, &config).unwrap()
     });
-    g.finish();
 }
 
-fn bench_full_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10);
+fn bench_full_pipeline() {
     let k = kernels::conv2d();
     let sizes = kernels::YOLO9000[6].size_map(); // Yolo9000-12
-    g.bench_function("yolo9000-12", |b| {
-        b.iter(|| {
-            analyze(black_box(&k), &sizes, &AnalysisOptions::with_cache(32768.0)).unwrap()
-        })
+    bench("pipeline", "yolo9000-12", 10, || {
+        analyze(black_box(&k), &sizes, &AnalysisOptions::with_cache(32768.0)).unwrap()
     });
-    g.finish();
 }
 
-fn bench_symbolic_ub(c: &mut Criterion) {
-    let mut g = c.benchmark_group("symbolic-ub");
+fn bench_symbolic_ub() {
     for entry in [kernels::TCCG[0], kernels::TCCG[6]] {
         let k = entry.kernel();
-        g.bench_function(entry.spec, |b| {
-            b.iter(|| symbolic_tc_ub(black_box(&k)).unwrap())
+        bench("symbolic-ub", entry.spec, 10, || {
+            symbolic_tc_ub(black_box(&k)).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_lower_bounds,
-    bench_permutation_selection,
-    bench_tileopt,
-    bench_full_pipeline,
-    bench_symbolic_ub
-);
-criterion_main!(benches);
+fn main() {
+    bench_lower_bounds();
+    bench_permutation_selection();
+    bench_tileopt();
+    bench_full_pipeline();
+    bench_symbolic_ub();
+}

@@ -16,12 +16,18 @@ fn main() {
 
     let baseline = lower_bound(
         &k,
-        &LbOptions { detect_reductions: false, scenarios: vec![] },
+        &LbOptions {
+            detect_reductions: false,
+            scenarios: vec![],
+        },
     )
     .expect("baseline");
     let reductions = lower_bound(
         &k,
-        &LbOptions { detect_reductions: true, scenarios: vec![] },
+        &LbOptions {
+            detect_reductions: true,
+            scenarios: vec![],
+        },
     )
     .expect("reductions");
     let full = lower_bound(
@@ -37,7 +43,10 @@ fn main() {
     println!("LB expressions:");
     println!("  baseline (published IOLB): {}", baseline.combined);
     println!("  + reductions:              {}", reductions.combined);
-    println!("  + small dimensions:        {} scenarios combined", full.scenarios.len());
+    println!(
+        "  + small dimensions:        {} scenarios combined",
+        full.scenarios.len()
+    );
 
     println!("\nNumeric comparison on Yolo9000 layers (S = 32768 elements):\n");
     let mut rows = Vec::new();
@@ -60,9 +69,7 @@ fn main() {
         &rows,
     );
 
-    println!(
-        "\nAsymptotic check (all parameters = N, H = W = 3 small, S = 4096):"
-    );
+    println!("\nAsymptotic check (all parameters = N, H = W = 3 small, S = 4096):");
     let mut rows = Vec::new();
     for n in [64.0, 128.0, 256.0, 512.0] {
         let env: Vec<(&str, f64)> = vec![

@@ -27,8 +27,12 @@ fn run_case(n: i64, cache: usize, line: usize) -> Vec<Vec<String>> {
         ("j".to_string(), n),
         ("k".to_string(), n),
     ]);
-    let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache as f64 * 0.7))
-        .expect("pipeline");
+    let a = analyze(
+        &kernel,
+        &sizes,
+        &AnalysisOptions::with_cache(cache as f64 * 0.7),
+    )
+    .expect("pipeline");
     let nest = TiledLoopNest::new(
         &kernel,
         &sizes,
@@ -62,9 +66,7 @@ fn run_case(n: i64, cache: usize, line: usize) -> Vec<Vec<String>> {
 fn main() {
     let cache = 2048usize;
     let line = 8usize;
-    println!(
-        "matmul, recommended tiles for 0.7x{cache} elements, line = {line} elems\n"
-    );
+    println!("matmul, recommended tiles for 0.7x{cache} elements, line = {line} elems\n");
     let mut rows = run_case(96, cache, line); // stride 96 = 12 lines: pathological
     rows.extend(run_case(97, cache, line)); // odd stride: well distributed
     print_table(&["size", "geometry", "misses", "vs fully assoc"], &rows);

@@ -12,8 +12,12 @@ fn main() {
 
     println!("== Fig. 3b: homomorphisms ==");
     for h in &homs {
-        println!("phi_{:<8} : Z^{dim} -> Z^{}  (kernel dim {})",
-            h.name, h.matrix.rows(), h.kernel_basis().len());
+        println!(
+            "phi_{:<8} : Z^{dim} -> Z^{}  (kernel dim {})",
+            h.name,
+            h.matrix.rows(),
+            h.kernel_basis().len()
+        );
     }
 
     println!("\n== Fig. 3c: subgroup rank constraints (without phi_sd) ==");
@@ -25,7 +29,11 @@ fn main() {
             .zip(&homs)
             .filter(|(&r, _)| r > 0)
             .map(|(&r, h)| {
-                if r == 1 { format!("s_{}", h.name) } else { format!("{r}*s_{}", h.name) }
+                if r == 1 {
+                    format!("s_{}", h.name)
+                } else {
+                    format!("{r}*s_{}", h.name)
+                }
             })
             .collect();
         println!("  {} <= {}", c.lhs, rhs.join(" + "));
@@ -59,8 +67,11 @@ fn main() {
     )
     .expect("lb derives");
     for sc in &report.scenarios {
-        let dims: Vec<&str> =
-            sc.small_dims.iter().map(|&d| k.dims()[d].name.as_str()).collect();
+        let dims: Vec<&str> = sc
+            .small_dims
+            .iter()
+            .map(|&d| k.dims()[d].name.as_str())
+            .collect();
         println!("  small = {dims:?}: |E| <= {}", sc.rho);
     }
 }

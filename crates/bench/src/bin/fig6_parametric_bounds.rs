@@ -62,13 +62,22 @@ fn main() {
     println!("== 2D Convolution ==");
     let k = kernels::conv2d();
     let scenarios = conv2d_scenarios(&k).expect("conv2d names");
-    let report = lower_bound(&k, &LbOptions { detect_reductions: true, scenarios })
-        .expect("lower bound derives");
+    let report = lower_bound(
+        &k,
+        &LbOptions {
+            detect_reductions: true,
+            scenarios,
+        },
+    )
+    .expect("lower bound derives");
     println!("  LB = max(");
     println!("    {}  [array sizes]", report.trivial);
     for sc in &report.scenarios {
-        let dims: Vec<&str> =
-            sc.small_dims.iter().map(|&d| k.dims()[d].name.as_str()).collect();
+        let dims: Vec<&str> = sc
+            .small_dims
+            .iter()
+            .map(|&d| k.dims()[d].name.as_str())
+            .collect();
         println!(
             "    {}  [sigma = {}, s_sd = {}, small = {:?}]",
             sc.bound, sc.sigma, sc.s_sd, dims

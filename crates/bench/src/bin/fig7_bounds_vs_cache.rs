@@ -74,9 +74,7 @@ fn main() {
 
     eprintln!("\n== Fig. 7 sanity summary ==");
     for (name, worst, last) in &summaries {
-        eprintln!(
-            "{name:24} worst UB/LB = {worst:.3}   at largest S = {last:.3}"
-        );
+        eprintln!("{name:24} worst UB/LB = {worst:.3}   at largest S = {last:.3}");
     }
     if violations.is_empty() {
         eprintln!("PASS: UB >= LB everywhere; both non-increasing in S.");

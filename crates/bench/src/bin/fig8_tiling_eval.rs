@@ -47,8 +47,7 @@ fn main() {
     for layer in kernels::YOLO9000 {
         let k = kernels::conv2d();
         let sizes = layer.size_map();
-        let flops = 2.0
-            * sizes.values().map(|&v| v as f64).product::<f64>();
+        let flops = 2.0 * sizes.values().map(|&v| v as f64).product::<f64>();
 
         // --- No tiling: the source loop order, unit tiles.
         let untiled_traffic = untiled_traffic(&k, &sizes, &caches);
@@ -88,15 +87,10 @@ fn main() {
             let small = layer.downscaled(16, 16);
             let k = kernels::conv2d();
             let sizes = small.size_map();
-            let reco = optimize_multilevel(
-                &k,
-                &sizes,
-                &caches[..1],
-                &SmallDimOracle,
-            )
-            .expect("feasible");
-            let nest = TiledLoopNest::new(&k, &sizes, &reco.perm, &reco.tiles[0])
-                .expect("valid nest");
+            let reco =
+                optimize_multilevel(&k, &sizes, &caches[..1], &SmallDimOracle).expect("feasible");
+            let nest =
+                TiledLoopNest::new(&k, &sizes, &reco.perm, &reco.tiles[0]).expect("valid nest");
             let mut h = Hierarchy::new(&[machine.capacities_elems()[0] as usize], 1);
             let sim = nest.simulate(&mut h);
             println!(
@@ -162,8 +156,14 @@ fn untiled_traffic(
 /// The lower bound evaluated at one cache capacity.
 fn lb_at(k: &ioopt::ir::Kernel, sizes: &HashMap<String, i64>, capacity: f64) -> f64 {
     let scenarios = conv2d_scenarios(k).expect("conv2d");
-    let report = lower_bound(k, &LbOptions { detect_reductions: true, scenarios })
-        .expect("lb derives");
+    let report = lower_bound(
+        k,
+        &LbOptions {
+            detect_reductions: true,
+            scenarios,
+        },
+    )
+    .expect("lb derives");
     let mut env = k.bind_sizes(sizes);
     env.insert(Symbol::new("S"), capacity);
     report.combined.eval_f64(&env).expect("evaluates")

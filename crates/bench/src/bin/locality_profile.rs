@@ -8,10 +8,10 @@
 use std::collections::HashMap;
 
 use ioopt::cachesim::{stack_distances, TiledLoopNest};
+use ioopt::ir::kernels;
 use ioopt::symbolic::Symbol;
 use ioopt::{analyze, symbolic_lb, AnalysisOptions};
 use ioopt_bench::print_table;
-use ioopt::ir::kernels;
 
 fn main() {
     let kernel = kernels::matmul();
@@ -23,8 +23,7 @@ fn main() {
     ]);
     let tiled_for = 512.0;
 
-    let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(tiled_for))
-        .expect("pipeline");
+    let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(tiled_for)).expect("pipeline");
     let nest = TiledLoopNest::new(
         &kernel,
         &sizes,

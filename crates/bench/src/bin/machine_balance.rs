@@ -10,8 +10,7 @@ use ioopt_bench::{print_table, tccg_cases, yolo_cases};
 fn main() {
     let machine = MachineModel::i9_7940x();
     // Machine balance vs DRAM: flops per element of DRAM traffic.
-    let balance =
-        machine.peak_flops / (machine.bandwidths[2] / machine.element_bytes);
+    let balance = machine.peak_flops / (machine.bandwidths[2] / machine.element_bytes);
     println!(
         "i9-7940X machine balance (vs DRAM): {balance:.1} flop/element\n\
          Kernels above the balance can run compute-bound; below it, the\n\
@@ -19,8 +18,11 @@ fn main() {
     );
     let s = machine.capacities_elems()[2]; // last-level cache
     let mut rows = Vec::new();
-    let mut cases: Vec<(String, ioopt::ir::Kernel, std::collections::HashMap<String, i64>)> =
-        Vec::new();
+    let mut cases: Vec<(
+        String,
+        ioopt::ir::Kernel,
+        std::collections::HashMap<String, i64>,
+    )> = Vec::new();
     for (k, sizes) in tccg_cases().into_iter().take(4) {
         cases.push((format!("TC-{}", k.name()), k, sizes));
     }

@@ -18,7 +18,10 @@ fn main() {
     let cost = cost_with_levels(&k, &sched, &[1, 1, 1]);
     println!("IO        = {}", cost.io);
     println!("footprint = {}  <=  S", cost.footprint);
-    println!("\n-- cost breakdown --\n{}", explain_cost(&k, &sched, &cost));
+    println!(
+        "\n-- cost breakdown --\n{}",
+        explain_cost(&k, &sched, &cost)
+    );
 
     let sizes = HashMap::from([
         ("i".to_string(), 2000i64),
@@ -26,7 +29,10 @@ fn main() {
         ("k".to_string(), 1500),
     ]);
     println!("\n== TileOpt at Ni = 2000, Nj = Nk = 1500, S = 1024 ==");
-    let config = TileOptConfig { cache_elems: 1024.0, max_level_combos: 512 };
+    let config = TileOptConfig {
+        cache_elems: 1024.0,
+        max_level_combos: 512,
+    };
     let env = k.bind_sizes(&sizes);
     let full = TilingSchedule::parametric(&k, &["i", "j", "k"]).expect("valid");
     let rec = optimize_schedule(&k, &full, &env, &sizes, &config)

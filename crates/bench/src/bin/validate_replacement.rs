@@ -13,9 +13,9 @@
 use std::collections::HashMap;
 
 use ioopt::cachesim::{lru_misses, opt_misses, TiledLoopNest};
+use ioopt::ir::kernels;
 use ioopt::{analyze, AnalysisOptions};
 use ioopt_bench::print_table;
-use ioopt::ir::kernels;
 
 fn main() {
     let kernel = kernels::matmul();
@@ -28,8 +28,8 @@ fn main() {
     println!("Replacement-policy validation on matmul {n}^3\n");
     let mut rows = Vec::new();
     for cache in [128usize, 256, 512, 1024] {
-        let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache as f64))
-            .expect("pipeline");
+        let a =
+            analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache as f64)).expect("pipeline");
         let nest = TiledLoopNest::new(
             &kernel,
             &sizes,
@@ -51,10 +51,7 @@ fn main() {
         ]);
         assert!(opt >= a.lb * 0.999, "OPT beat the lower bound — unsound!");
     }
-    print_table(
-        &["S", "LB", "model UB", "OPT", "LRU", "LRU @1.25S"],
-        &rows,
-    );
+    print_table(&["S", "LB", "model UB", "OPT", "LRU", "LRU @1.25S"], &rows);
     println!("\nOPT tracks the model closely; plain LRU needs ~25% extra capacity");
     println!("(the pebble game controls placement explicitly; LRU does not).");
 }

@@ -10,10 +10,17 @@ pub fn ascii_chart(title: &str, xs: &[f64], lb: &[f64], ub: &[f64]) -> String {
     assert_eq!(xs.len(), ub.len());
     const HEIGHT: usize = 12;
     let cols = xs.len();
-    let all: Vec<f64> = lb.iter().chain(ub.iter()).copied().filter(|v| *v > 0.0).collect();
+    let all: Vec<f64> = lb
+        .iter()
+        .chain(ub.iter())
+        .copied()
+        .filter(|v| *v > 0.0)
+        .collect();
     let (ymin, ymax) = all
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
     let (lmin, lmax) = (ymin.ln(), ymax.ln().max(ymin.ln() + 1e-9));
     let row_of = |v: f64| -> usize {
         let t = (v.ln() - lmin) / (lmax - lmin);
@@ -32,7 +39,9 @@ pub fn ascii_chart(title: &str, xs: &[f64], lb: &[f64], ub: &[f64]) -> String {
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("{title}  (y: {ymin:.2e}..{ymax:.2e}, log scale)\n"));
+    out.push_str(&format!(
+        "{title}  (y: {ymin:.2e}..{ymax:.2e}, log scale)\n"
+    ));
     for (r, row) in grid.iter().enumerate() {
         let margin = if r == 0 {
             format!("{ymax:>9.1e} |")

@@ -214,7 +214,10 @@ impl Hierarchy {
             prev = c;
             levels.push(Box::new(FullyAssocLru::new((c / line_elems).max(1))));
         }
-        Hierarchy { levels, line_elems: line_elems as u64 }
+        Hierarchy {
+            levels,
+            line_elems: line_elems as u64,
+        }
     }
 
     /// Builds a hierarchy of set-associative LRU levels:
@@ -224,10 +227,7 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics on zero geometry or a capacity smaller than one set.
-    pub fn new_set_assoc(
-        levels_spec: &[(usize, usize)],
-        line_elems: usize,
-    ) -> Hierarchy {
+    pub fn new_set_assoc(levels_spec: &[(usize, usize)], line_elems: usize) -> Hierarchy {
         assert!(line_elems > 0, "line size must be positive");
         let levels: Vec<Box<dyn Cache>> = levels_spec
             .iter()
@@ -237,7 +237,10 @@ impl Hierarchy {
                 Box::new(SetAssocLru::new(sets, ways)) as Box<dyn Cache>
             })
             .collect();
-        Hierarchy { levels, line_elems: line_elems as u64 }
+        Hierarchy {
+            levels,
+            line_elems: line_elems as u64,
+        }
     }
 
     /// Touches an element address (elements, not bytes).

@@ -108,8 +108,7 @@ impl TiledLoopNest {
                 .dims()
                 .iter()
                 .map(|f| {
-                    let corner: Vec<i64> =
-                        extents.iter().map(|&e| e - 1).collect();
+                    let corner: Vec<i64> = extents.iter().map(|&e| e - 1).collect();
                     (f.eval(&corner) + 1).max(1) as u64
                 })
                 .collect();
@@ -141,8 +140,7 @@ impl TiledLoopNest {
     /// Useful with [`crate::opt_misses`] to evaluate the schedule under
     /// Belady's optimal replacement.
     pub fn trace(&self) -> Vec<u64> {
-        let mut out =
-            Vec::with_capacity((self.num_iterations() as usize).saturating_mul(3));
+        let mut out = Vec::with_capacity((self.num_iterations() as usize).saturating_mul(3));
         self.for_each_access(|addr| out.push(addr));
         out
     }
@@ -280,13 +278,8 @@ mod tests {
             nest.simulate(&mut h).stats[0].misses
         };
         let tiled = {
-            let nest = TiledLoopNest::new(
-                &k,
-                &s,
-                &[0, 1, 2],
-                &tiles(&[("i", 7), ("j", 7)]),
-            )
-            .unwrap();
+            let nest =
+                TiledLoopNest::new(&k, &s, &[0, 1, 2], &tiles(&[("i", 7), ("j", 7)])).unwrap();
             let mut h = Hierarchy::new(&[cap], 1);
             nest.simulate(&mut h).stats[0].misses
         };
@@ -315,8 +308,7 @@ mod tests {
     fn bad_inputs_rejected() {
         let k = kernels::matmul();
         assert_eq!(
-            TiledLoopNest::new(&k, &sizes(&[("i", 2)]), &[0, 1, 2], &tiles(&[]))
-                .unwrap_err(),
+            TiledLoopNest::new(&k, &sizes(&[("i", 2)]), &[0, 1, 2], &tiles(&[])).unwrap_err(),
             InterpError::MissingSize("j".into())
         );
         assert_eq!(

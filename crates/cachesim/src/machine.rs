@@ -40,7 +40,10 @@ impl MachineModel {
 
     /// Cache capacities in **elements**, innermost first.
     pub fn capacities_elems(&self) -> Vec<f64> {
-        self.capacities.iter().map(|c| c / self.element_bytes).collect()
+        self.capacities
+            .iter()
+            .map(|c| c / self.element_bytes)
+            .collect()
     }
 
     /// Execution-time estimate for `flops` total work and
@@ -50,7 +53,10 @@ impl MachineModel {
     /// code (register tiling, vectorization, …) — the paper's "naive"
     /// tiled code lacks these (§6, Fig. 8 discussion).
     pub fn time(&self, flops: f64, traffic_elems: &[f64], compute_cap: f64) -> f64 {
-        assert!(compute_cap > 0.0 && compute_cap <= 1.0, "cap must be in (0,1]");
+        assert!(
+            compute_cap > 0.0 && compute_cap <= 1.0,
+            "cap must be in (0,1]"
+        );
         let mut t = flops / (self.peak_flops * compute_cap);
         for (l, &elems) in traffic_elems.iter().enumerate() {
             let bw = self

@@ -61,8 +61,7 @@ pub fn opt_misses(trace: &[u64], capacity: usize) -> u64 {
                 misses += 1;
                 if resident.len() == capacity {
                     // Evict the farthest next use (last key).
-                    let (&(far, victim), _) =
-                        by_next.iter().next_back().expect("cache nonempty");
+                    let (&(far, victim), _) = by_next.iter().next_back().expect("cache nonempty");
                     by_next.remove(&(far, victim));
                     resident.remove(&victim);
                 }

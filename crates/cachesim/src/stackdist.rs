@@ -82,7 +82,11 @@ pub fn stack_distances(trace: &[u64]) -> StackDistances {
         fenwick.add(i + 1, 1);
         last.insert(line, i);
     }
-    StackDistances { histogram, cold, total: n as u64 }
+    StackDistances {
+        histogram,
+        cold,
+        total: n as u64,
+    }
 }
 
 /// A Fenwick (binary indexed) tree over `1..=n` with point updates and
@@ -94,7 +98,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Fenwick {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i64) {
@@ -150,17 +156,15 @@ mod tests {
         let mut x = 99u64;
         let trace: Vec<u64> = (0..3000)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (x >> 30) % 60
             })
             .collect();
         let sd = stack_distances(&trace);
         for cap in [1usize, 2, 5, 10, 30, 59, 61, 200] {
-            assert_eq!(
-                sd.misses_at(cap),
-                lru_misses(&trace, cap),
-                "capacity {cap}"
-            );
+            assert_eq!(sd.misses_at(cap), lru_misses(&trace, cap), "capacity {cap}");
         }
     }
 

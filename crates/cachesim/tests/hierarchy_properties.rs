@@ -1,48 +1,61 @@
-//! Hierarchy invariants under random traces.
+//! Hierarchy invariants under random traces (deterministic
+//! SplitMix64-driven cases).
 
 use ioopt_cachesim::{lru_misses, opt_misses, stack_distances, Hierarchy};
-use proptest::prelude::*;
+use ioopt_symbolic::SplitMix64;
 
-fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..64, 1..600)
+fn random_trace(rng: &mut SplitMix64) -> Vec<u64> {
+    let len = 1 + rng.range_usize(599);
+    (0..len).map(|_| rng.range_i64(0, 63) as u64).collect()
 }
 
-proptest! {
-    /// Outer levels see only inner-level misses, and each level's misses
-    /// are non-increasing along the hierarchy.
-    #[test]
-    fn filtering_is_monotone(trace in trace_strategy()) {
+/// Outer levels see only inner-level misses, and each level's misses
+/// are non-increasing along the hierarchy.
+#[test]
+fn filtering_is_monotone() {
+    let mut rng = SplitMix64::new(0xcac4e01);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng);
         let mut h = Hierarchy::new(&[8, 32, 128], 1);
         for &a in &trace {
             h.access(a);
         }
         let stats = h.stats();
-        prop_assert_eq!(stats[0].accesses, trace.len() as u64);
+        assert_eq!(stats[0].accesses, trace.len() as u64);
         for w in stats.windows(2) {
-            prop_assert_eq!(w[0].misses, w[1].accesses);
-            prop_assert!(w[1].misses <= w[0].misses);
+            assert_eq!(w[0].misses, w[1].accesses);
+            assert!(w[1].misses <= w[0].misses);
         }
     }
+}
 
-    /// The first level of a hierarchy behaves exactly like a standalone
-    /// LRU of the same capacity.
-    #[test]
-    fn first_level_matches_reference(trace in trace_strategy()) {
+/// The first level of a hierarchy behaves exactly like a standalone
+/// LRU of the same capacity.
+#[test]
+fn first_level_matches_reference() {
+    let mut rng = SplitMix64::new(0xcac4e02);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng);
         let mut h = Hierarchy::new(&[16, 64], 1);
         for &a in &trace {
             h.access(a);
         }
-        prop_assert_eq!(h.stats()[0].misses, lru_misses(&trace, 16));
+        assert_eq!(h.stats()[0].misses, lru_misses(&trace, 16));
     }
+}
 
-    /// Stack-distance miss counts equal direct LRU simulation at every
-    /// capacity, and OPT never exceeds LRU.
-    #[test]
-    fn policies_are_ordered(trace in trace_strategy(), cap in 1usize..40) {
+/// Stack-distance miss counts equal direct LRU simulation at every
+/// capacity, and OPT never exceeds LRU.
+#[test]
+fn policies_are_ordered() {
+    let mut rng = SplitMix64::new(0xcac4e03);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng);
+        let cap = 1 + rng.range_usize(39);
         let sd = stack_distances(&trace);
         let lru = lru_misses(&trace, cap);
-        prop_assert_eq!(sd.misses_at(cap), lru);
-        prop_assert!(opt_misses(&trace, cap) <= lru);
+        assert_eq!(sd.misses_at(cap), lru);
+        assert!(opt_misses(&trace, cap) <= lru);
         // Distinct lines lower-bound every policy (compulsory misses).
         let distinct = {
             let mut v: Vec<u64> = trace.clone();
@@ -50,12 +63,16 @@ proptest! {
             v.dedup();
             v.len() as u64
         };
-        prop_assert!(opt_misses(&trace, cap) >= distinct);
+        assert!(opt_misses(&trace, cap) >= distinct);
     }
+}
 
-    /// Larger lines can only reduce misses on unit-stride traces.
-    #[test]
-    fn line_size_helps_sequential(len in 1usize..500) {
+/// Larger lines can only reduce misses on unit-stride traces.
+#[test]
+fn line_size_helps_sequential() {
+    let mut rng = SplitMix64::new(0xcac4e04);
+    for _ in 0..32 {
+        let len = 1 + rng.range_usize(499);
         let trace: Vec<u64> = (0..len as u64).collect();
         let mut small = Hierarchy::new(&[64], 1);
         let mut big = Hierarchy::new(&[64], 8);
@@ -63,6 +80,6 @@ proptest! {
             small.access(a);
             big.access(a);
         }
-        prop_assert!(big.stats()[0].misses <= small.stats()[0].misses);
+        assert!(big.stats()[0].misses <= small.stats()[0].misses);
     }
 }

@@ -148,14 +148,21 @@ pub fn build_cdag(kernel: &Kernel, sizes: &HashMap<String, i64>, max_nodes: usiz
         } else {
             nodes.push(CdagNode::Compute(point.clone()));
             preds.push(ps);
-            chain.insert(kernel.output().access.eval(&point), (nodes.len() - 1) as u32);
+            chain.insert(
+                kernel.output().access.eval(&point),
+                (nodes.len() - 1) as u32,
+            );
         }
         // Lexicographic increment (last dimension fastest).
         let mut d = ndims;
         loop {
             if d == 0 {
                 let outputs: Vec<u32> = chain.values().copied().collect();
-                let mut cdag = Cdag { nodes, preds, outputs };
+                let mut cdag = Cdag {
+                    nodes,
+                    preds,
+                    outputs,
+                };
                 cdag.outputs.sort_unstable();
                 return cdag;
             }
@@ -213,7 +220,11 @@ mod tests {
         // conv1d with Nx=2, Nw=2 over one channel/filter: Image cells
         // x+w ∈ {0,1,2} -> 3 distinct image cells, 2 filter cells.
         let k = kernels::conv1d();
-        let g = build_cdag(&k, &sizes(&[("c", 1), ("f", 1), ("x", 2), ("w", 2)]), 10_000);
+        let g = build_cdag(
+            &k,
+            &sizes(&[("c", 1), ("f", 1), ("x", 2), ("w", 2)]),
+            10_000,
+        );
         let image_cells = g
             .inputs()
             .iter()
@@ -240,9 +251,7 @@ impl Cdag {
         let mut out = String::from("digraph cdag {\n  rankdir=BT;\n");
         for i in 0..self.len() as u32 {
             let (label, shape) = match self.node(i) {
-                CdagNode::Input(name, cell) => {
-                    (format!("{name}{cell:?}"), "box")
-                }
+                CdagNode::Input(name, cell) => (format!("{name}{cell:?}"), "box"),
                 CdagNode::Compute(point) => (format!("C{point:?}"), "ellipse"),
             };
             let peripheries = if self.outputs().contains(&i) { 2 } else { 1 };
@@ -269,8 +278,10 @@ mod dot_tests {
     #[test]
     fn dot_contains_every_node_and_edge() {
         let k = kernels::matmul();
-        let sizes: HashMap<String, i64> =
-            [("i", 1i64), ("j", 1), ("k", 2)].iter().map(|&(n, v)| (n.to_string(), v)).collect();
+        let sizes: HashMap<String, i64> = [("i", 1i64), ("j", 1), ("k", 2)]
+            .iter()
+            .map(|&(n, v)| (n.to_string(), v))
+            .collect();
         let g = build_cdag(&k, &sizes, 100);
         let dot = g.to_dot();
         assert!(dot.starts_with("digraph"));

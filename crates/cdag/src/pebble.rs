@@ -66,9 +66,11 @@ pub fn optimal_loads(cdag: &Cdag, s: usize, max_states: usize) -> Option<u64> {
             return None;
         }
         let red_count = reds.count_ones() as usize;
-        let push = |state: (u64, u64), nd: u64, front: bool,
-                        dist: &mut HashMap<(u64, u64), u64>,
-                        queue: &mut VecDeque<((u64, u64), u64)>| {
+        let push = |state: (u64, u64),
+                    nd: u64,
+                    front: bool,
+                    dist: &mut HashMap<(u64, u64), u64>,
+                    queue: &mut VecDeque<((u64, u64), u64)>| {
             let better = dist.get(&state).map(|&old| nd < old).unwrap_or(true);
             if better {
                 dist.insert(state, nd);
@@ -83,8 +85,7 @@ pub fn optimal_loads(cdag: &Cdag, s: usize, max_states: usize) -> Option<u64> {
             let bit = 1u64 << v;
             // Compute.
             if whites & bit == 0 {
-                let preds_mask: u64 =
-                    cdag.preds(v).iter().fold(0u64, |m, &p| m | (1 << p));
+                let preds_mask: u64 = cdag.preds(v).iter().fold(0u64, |m, &p| m | (1 << p));
                 if preds_mask & reds == preds_mask {
                     let new_reds = reds | bit;
                     if (new_reds.count_ones() as usize) <= s {
@@ -132,7 +133,7 @@ pub fn greedy_loads(cdag: &Cdag, s: usize, order: &[u32]) -> u64 {
     for &v in order {
         assert!(!white[v as usize], "node {v} already computed");
         let preds: Vec<u32> = cdag.preds(v).to_vec();
-        assert!(preds.len() + 1 <= s, "cache too small for node {v}");
+        assert!(preds.len() < s, "cache too small for node {v}");
         // Fetch missing predecessors.
         for &p in &preds {
             if !red[p as usize] {

@@ -48,10 +48,10 @@ pub fn optimal_loads_with_recompute(cdag: &Cdag, s: usize, max_states: usize) ->
         }
         let red_count = reds.count_ones() as usize;
         let push = |state: (u64, u64),
-                        nd: u64,
-                        front: bool,
-                        dist: &mut HashMap<(u64, u64), u64>,
-                        queue: &mut VecDeque<((u64, u64), u64)>| {
+                    nd: u64,
+                    front: bool,
+                    dist: &mut HashMap<(u64, u64), u64>,
+                    queue: &mut VecDeque<((u64, u64), u64)>| {
             let better = dist.get(&state).map(|&old| nd < old).unwrap_or(true);
             if better {
                 dist.insert(state, nd);
@@ -66,11 +66,8 @@ pub fn optimal_loads_with_recompute(cdag: &Cdag, s: usize, max_states: usize) ->
             let bit = 1u64 << v;
             // Compute (also re-compute): preds red, capacity respected.
             if inputs_mask & bit == 0 && reds & bit == 0 {
-                let preds_mask: u64 =
-                    cdag.preds(v).iter().fold(0u64, |m, &p| m | (1 << p));
-                if preds_mask & reds == preds_mask
-                    && ((reds | bit).count_ones() as usize) <= s
-                {
+                let preds_mask: u64 = cdag.preds(v).iter().fold(0u64, |m, &p| m | (1 << p));
+                if preds_mask & reds == preds_mask && ((reds | bit).count_ones() as usize) <= s {
                     push((ever | bit, reds | bit), d, true, &mut dist, &mut queue);
                 }
             }
@@ -109,8 +106,7 @@ mod tests {
         ] {
             let g = build_cdag(&k, &sz, 1000);
             let rw = optimal_loads(&g, s, 4_000_000).expect("red-white fits");
-            let rb =
-                optimal_loads_with_recompute(&g, s, 4_000_000).expect("red-blue fits");
+            let rb = optimal_loads_with_recompute(&g, s, 4_000_000).expect("red-blue fits");
             assert!(rb <= rw, "red-blue {rb} > red-white {rw}");
         }
     }

@@ -70,7 +70,11 @@ impl KernelData {
             arrays.push(data);
             strides_all.push(strides);
         }
-        KernelData { arrays, strides: strides_all, extents }
+        KernelData {
+            arrays,
+            strides: strides_all,
+            extents,
+        }
     }
 
     /// The output array values.
@@ -117,8 +121,9 @@ pub fn execute(
     let mut point = vec![0i64; n];
     let mut origins = vec![0i64; n];
     'outer: loop {
-        let limits: Vec<i64> =
-            (0..n).map(|d| (extents[d] - origins[d]).min(tiles[d])).collect();
+        let limits: Vec<i64> = (0..n)
+            .map(|d| (extents[d] - origins[d]).min(tiles[d]))
+            .collect();
         let mut offs = vec![0i64; n];
         loop {
             for d in 0..n {

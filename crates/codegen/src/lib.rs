@@ -319,12 +319,10 @@ mod tests {
 
     #[test]
     fn strided_subscripts_render() {
-        let k = ioopt_ir::parse_kernel(
-            "kernel s { loop x : Nx; loop w : Nw; Out[x] += In[2*x+w]; }",
-        )
-        .unwrap();
-        let code =
-            TiledCode::new(&k, &[0, 1], &[TileSpec::One, TileSpec::One]).to_c();
+        let k =
+            ioopt_ir::parse_kernel("kernel s { loop x : Nx; loop w : Nw; Out[x] += In[2*x+w]; }")
+                .unwrap();
+        let code = TiledCode::new(&k, &[0, 1], &[TileSpec::One, TileSpec::One]).to_c();
         assert!(code.contains("In[2*x+w]"));
     }
 }

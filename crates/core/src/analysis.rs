@@ -6,9 +6,10 @@ use std::collections::HashMap;
 use ioopt_codegen::TiledCode;
 use ioopt_iolb::{default_scenarios, lower_bound, LbOptions, LowerBoundReport};
 use ioopt_ioub::SmallDimOracle;
-use ioopt_ir::{classify_tc, Kernel};
+use ioopt_ir::Kernel;
 use ioopt_symbolic::{Expr, Symbol};
 use ioopt_tileopt::{optimize, Recommendation, TileOptConfig, TileOptError};
+use ioopt_verify::{Code, VerifyOptions, VerifyReport};
 
 /// Options for [`analyze`].
 #[derive(Debug, Clone)]
@@ -28,7 +29,10 @@ impl AnalysisOptions {
         AnalysisOptions {
             cache_elems,
             scenarios: None,
-            tileopt: TileOptConfig { cache_elems, max_level_combos: 512 },
+            tileopt: TileOptConfig {
+                cache_elems,
+                max_level_combos: 512,
+            },
         }
     }
 }
@@ -58,6 +62,10 @@ pub struct Analysis {
     pub operational_intensity: f64,
     /// The suggested tiled code (paper Fig. 1 output).
     pub tiled_code: String,
+    /// The pre-flight diagnostics report (`ioopt-verify` run before the
+    /// pipeline; hard errors abort the analysis, warnings ride along so
+    /// callers can surface them next to the bounds).
+    pub diagnostics: VerifyReport,
 }
 
 /// Errors from [`analyze`].
@@ -119,8 +127,25 @@ pub fn analyze(
     sizes: &HashMap<String, i64>,
     options: &AnalysisOptions,
 ) -> Result<Analysis, AnalyzeError> {
-    if let ioopt_ir::Legality::Illegal(msg) = ioopt_ir::check_tilable(kernel) {
-        return Err(AnalyzeError::NotTilable(msg));
+    // Pre-flight: run the static analyzer first. E001 (illegal tiling)
+    // aborts — no sound tiled upper bound exists; everything else is
+    // attached to the result for the caller to surface. The certificate
+    // pass is skipped because `analyze` itself checks lb ≤ ub at the
+    // concrete sizes.
+    let diagnostics = ioopt_verify::verify(
+        kernel,
+        &VerifyOptions {
+            sizes: Some(sizes.clone()),
+            certificate: false,
+            ..VerifyOptions::default()
+        },
+    );
+    if let Some(d) = diagnostics
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::E001)
+    {
+        return Err(AnalyzeError::NotTilable(d.message.clone()));
     }
     let scenarios = options
         .scenarios
@@ -128,7 +153,10 @@ pub fn analyze(
         .unwrap_or_else(|| default_scenarios(kernel));
     let lower = lower_bound(
         kernel,
-        &LbOptions { detect_reductions: true, scenarios },
+        &LbOptions {
+            detect_reductions: true,
+            scenarios,
+        },
     )
     .map_err(|e| AnalyzeError::LowerBound(e.to_string()))?;
     let mut env = kernel.bind_sizes(sizes);
@@ -140,13 +168,9 @@ pub fn analyze(
 
     let recommendation = optimize(kernel, sizes, &SmallDimOracle, &options.tileopt)?;
     let ub = recommendation.io;
-    let tiled_code = TiledCode::from_integer_tiles(
-        kernel,
-        &recommendation.perm,
-        &recommendation.tiles,
-        sizes,
-    )
-    .to_c();
+    let tiled_code =
+        TiledCode::from_integer_tiles(kernel, &recommendation.perm, &recommendation.tiles, sizes)
+            .to_c();
     let flops = 2.0
         * kernel
             .arith_complexity()
@@ -163,209 +187,15 @@ pub fn analyze(
         operational_intensity: if ub > 0.0 { flops / ub } else { f64::INFINITY },
         recommendation,
         tiled_code,
+        diagnostics,
     })
 }
 
-/// Derives the Fig. 6-style closed-form upper bound of a tensor
-/// contraction: one array stays resident while the group of dimensions it
-/// does not touch streams innermost with unit tiles; the two remaining
-/// groups are tiled with products equal to `Δ`, the cache fills
-/// (`Δ² + 2Δ = S`), yielding `2·∏N/(√(S+1)−1) + |resident array|`.
-///
-/// The resident array defaults to `In2`; use [`symbolic_tc_ub_for`] to
-/// pick the variant with the smallest additive term at concrete sizes,
-/// which is the choice the paper's Fig. 6 makes.
-///
-/// Returns `None` if the kernel is not a tensor contraction.
-pub fn symbolic_tc_ub(kernel: &Kernel) -> Option<ioopt_tileopt::SymbolicUb> {
-    tc_ub_variant(kernel, 2)
-}
-
-/// As [`symbolic_tc_ub`], but evaluates all three resident-array variants
-/// at `sizes` (with a large cache) and returns the smallest.
-pub fn symbolic_tc_ub_for(
-    kernel: &Kernel,
-    sizes: &HashMap<String, i64>,
-) -> Option<ioopt_tileopt::SymbolicUb> {
-    let mut env = kernel.bind_sizes(sizes);
-    env.insert(Symbol::new("S"), 1e9);
-    let mut best: Option<(f64, ioopt_tileopt::SymbolicUb)> = None;
-    for resident in 0..3 {
-        if let Some(ub) = tc_ub_variant(kernel, resident) {
-            if let Ok(v) = ub.bound.eval_f64(&env) {
-                if best.as_ref().map(|(bv, _)| v < *bv).unwrap_or(true) {
-                    best = Some((v, ub));
-                }
-            }
-        }
-    }
-    best.map(|(_, ub)| ub)
-}
-
-/// One resident-array variant: `resident` is 0 = Out, 1 = In1, 2 = In2.
-fn tc_ub_variant(kernel: &Kernel, resident: usize) -> Option<ioopt_tileopt::SymbolicUb> {
-    use ioopt_ioub::{cost_with_levels, TilingSchedule};
-    let class = classify_tc(kernel)?;
-    let [g01, g02, g12] = &class.groups;
-    // The streamed group is the one the resident array does not touch:
-    // Out misses g12, In1 misses g02, In2 misses g01.
-    let (tiled_a, tiled_b, streamed) = match resident {
-        0 => (g01, g02, g12),
-        1 => (g01, g12, g02),
-        _ => (g02, g12, g01),
-    };
-    let mut perm: Vec<usize> = Vec::new();
-    perm.extend(tiled_a);
-    perm.extend(tiled_b);
-    perm.extend(streamed);
-    let mut sched = TilingSchedule::parametric_by_index(kernel, perm)?;
-    for &d in streamed {
-        let name = kernel.dims()[d].name.clone();
-        sched = sched.pin_one(kernel, &name);
-    }
-    // The resident array ignores every streamed dimension, so it stays in
-    // cache across the whole streamed block (reuse level = its length);
-    // the other two arrays reuse across the innermost dimension only.
-    let mut levels = [1usize, 1, 1];
-    levels[resident] = streamed.len().max(1);
-    let cost = cost_with_levels(kernel, &sched, &levels);
-    let tile_sym = |d: usize| Symbol::new(&format!("T{}", kernel.dims()[d].name));
-    let groups: Vec<Vec<Symbol>> = vec![
-        tiled_a.iter().map(|&d| tile_sym(d)).collect(),
-        tiled_b.iter().map(|&d| tile_sym(d)).collect(),
-    ];
-    ioopt_tileopt::eliminate_tiles(&cost.io, &cost.footprint, &groups, Symbol::new("S")).ok()
-}
-
-/// Derives a semi-symbolic closed-form upper bound for a 2D convolution
-/// (paper Fig. 6, last row): the filter window is kept whole
-/// (`Th = H, Tw = W`), the batch stays untiled, and a family of
-/// quadratic-compatible tile templates in a single parameter `Δ` is tried
-/// over the Algorithm-1 permutations; templates whose footprint exceeds
-/// degree 2 in `Δ` are rejected (the paper hits the same quartic wall,
-/// §6 "Limitations"). The winner is selected by evaluating each candidate
-/// at `sizes` and `s_ref`.
-///
-/// Returns `None` when the kernel lacks the conv2d dimension names or no
-/// template solves.
-pub fn symbolic_conv_ub(
-    kernel: &Kernel,
-    sizes: &HashMap<String, i64>,
-    s_ref: f64,
-) -> Option<ioopt_tileopt::SymbolicUb> {
-    use ioopt_ioub::{cost_with_levels, select_permutations, TilingSchedule};
-    let delta = Symbol::new("Delta_conv");
-    let d_expr = Expr::symbol(delta);
-    let names = ["b", "c", "f", "x", "y", "h", "w"];
-    for n in names {
-        kernel.dim_index(n)?;
-    }
-    let full = |n: &str| Expr::symbol(kernel.dims()[kernel.dim_index(n).unwrap()].size);
-    // Tile templates: map dim name -> expression in Δ (missing = pinned 1).
-    let templates: Vec<Vec<(&str, Expr)>> = vec![
-        // Square spatial tiles, everything else streamed.
-        vec![("x", d_expr.clone()), ("y", d_expr.clone())],
-        // Spatial strip x full-height y, tiled filters.
-        vec![("x", d_expr.clone()), ("y", full("y")), ("f", d_expr.clone())],
-        // Spatial strip with tiled channels.
-        vec![("x", d_expr.clone()), ("y", full("y")), ("c", d_expr.clone())],
-        // Square spatial tiles with filter-count tiling.
-        vec![("x", d_expr.clone()), ("y", d_expr.clone()), ("f", d_expr.clone())],
-    ];
-    let mut env = kernel.bind_sizes(sizes);
-    env.insert(Symbol::new("S"), s_ref);
-    let arrays = kernel.arrays().count();
-    let mut best: Option<(f64, ioopt_tileopt::SymbolicUb)> = None;
-    // Degree-agnostic fallback (the paper's §6 relaxation, implemented in
-    // `eliminate_tiles_relaxed`): tile x, y, c, f all equal to Δ and pick
-    // Δ so no footprint term exceeds its share of S.
-    for perm in select_permutations(kernel, &ioopt_ioub::SmallDimOracle) {
-        let mut sched = TilingSchedule::parametric_by_index(kernel, perm.clone())
-            .expect("valid permutation");
-        for dname in ["h", "w", "b"] {
-            let value = full(dname);
-            sched = sched.pin(kernel, dname, value);
-        }
-        let free: Vec<Symbol> = ["x", "y", "c", "f"]
-            .iter()
-            .map(|n| Symbol::new(&format!("T{n}")))
-            .collect();
-        let groups: Vec<Vec<Symbol>> = free.iter().map(|&s| vec![s]).collect();
-        for levels in ioopt_ioub::level_combinations(kernel, &sched, 32) {
-            let cost = ioopt_ioub::cost_with_levels(kernel, &sched, &levels);
-            let Ok(ub) = ioopt_tileopt::eliminate_tiles_relaxed(
-                &cost.io,
-                &cost.footprint,
-                &groups,
-                Symbol::new("S"),
-            ) else {
-                continue;
-            };
-            let Ok(dv) = ub.delta.eval_f64(&env) else { continue };
-            if dv < 1.0 {
-                continue;
-            }
-            let Ok(v) = ub.bound.eval_f64(&env) else { continue };
-            if v.is_finite()
-                && v > 0.0
-                && best.as_ref().map(|(bv, _)| v < *bv).unwrap_or(true)
-            {
-                best = Some((v, ub));
-            }
-        }
-    }
-    for perm in select_permutations(kernel, &ioopt_ioub::SmallDimOracle) {
-        for template in &templates {
-            let mut sched =
-                TilingSchedule::parametric_by_index(kernel, perm.clone())?;
-            // Pin the window whole, the batch full, everything else by
-            // the template (default 1).
-            for dname in names {
-                let value = match dname {
-                    "h" => full("h"),
-                    "w" => full("w"),
-                    "b" => full("b"),
-                    _ => template
-                        .iter()
-                        .find(|(n, _)| *n == dname)
-                        .map(|(_, e)| e.clone())
-                        .unwrap_or_else(Expr::one),
-                };
-                sched = sched.pin(kernel, dname, value);
-            }
-            for levels in ioopt_ioub::level_combinations(kernel, &sched, 64)
-                .into_iter()
-                .chain(std::iter::once(vec![1; arrays]))
-            {
-                let cost = cost_with_levels(kernel, &sched, &levels);
-                let Ok(ub) = ioopt_tileopt::eliminate_with_subst(
-                    &cost.io,
-                    &cost.footprint,
-                    &HashMap::new(),
-                    delta,
-                    Symbol::new("S"),
-                ) else {
-                    continue;
-                };
-                // Validity: Δ must be positive and within the spatial
-                // extents at the reference point.
-                let Ok(dv) = ub.delta.eval_f64(&env) else { continue };
-                let max_spatial = sizes["x"].min(sizes["y"]) as f64;
-                if !(1.0..=max_spatial).contains(&dv) {
-                    continue;
-                }
-                let Ok(v) = ub.bound.eval_f64(&env) else { continue };
-                if v.is_finite()
-                    && v > 0.0
-                    && best.as_ref().map(|(bv, _)| v < *bv).unwrap_or(true)
-                {
-                    best = Some((v, ub));
-                }
-            }
-        }
-    }
-    best.map(|(_, ub)| ub)
-}
+// The closed-form (Fig. 6) symbolic upper bounds live in
+// `ioopt_tileopt::closed_form` so that front-end analyses (ioopt-verify)
+// can use them without the full pipeline; re-exported here for
+// compatibility.
+pub use ioopt_tileopt::{symbolic_conv_ub, symbolic_tc_ub, symbolic_tc_ub_for};
 
 /// The symbolic lower bound with the paper's default scenarios.
 ///
@@ -375,7 +205,10 @@ pub fn symbolic_conv_ub(
 pub fn symbolic_lb(kernel: &Kernel) -> Result<LowerBoundReport, AnalyzeError> {
     lower_bound(
         kernel,
-        &LbOptions { detect_reductions: true, scenarios: default_scenarios(kernel) },
+        &LbOptions {
+            detect_reductions: true,
+            scenarios: default_scenarios(kernel),
+        },
     )
     .map_err(|e| AnalyzeError::LowerBound(e.to_string()))
 }
@@ -462,8 +295,16 @@ mod tests {
         env.insert(Symbol::new("S"), s_ref);
         let v = ub.bound.eval_f64(&env).expect("evaluates");
         let a = analyze(&k, &sizes, &AnalysisOptions::with_cache(s_ref)).expect("pipeline");
-        assert!(v >= a.lb * (1.0 - 1e-9), "closed form {v} below LB {}", a.lb);
-        assert!(v <= a.ub * 3.0, "closed form {v} far above TileOpt {}", a.ub);
+        assert!(
+            v >= a.lb * (1.0 - 1e-9),
+            "closed form {v} below LB {}",
+            a.lb
+        );
+        assert!(
+            v <= a.ub * 3.0,
+            "closed form {v} far above TileOpt {}",
+            a.ub
+        );
         // And it must contain S as a free symbol (it is parametric).
         assert!(ub.bound.free_symbols().contains(&Symbol::new("S")));
     }

@@ -1,22 +1,27 @@
 //! The IOOpt command-line tool: parse a kernel from a DSL file (or one of
 //! the builtin names), derive its I/O bounds, and print the report with
-//! the suggested tiled code.
+//! the suggested tiled code. The `check` subcommand runs the
+//! `ioopt-verify` static analyzer alone and reports diagnostics.
 //!
 //! ```text
 //! USAGE:
 //!   ioopt <file.k | builtin:NAME> --sizes i=2000,j=1500,k=1500 [--cache 1024]
+//!   ioopt check <file.k | builtin:NAME> [--sizes ...] [--deny warnings] [--json]
 //!   ioopt --list-builtins
 //!
 //! OPTIONS:
-//!   --sizes a=V,b=V,...   concrete trip count per loop dimension (required)
+//!   --sizes a=V,b=V,...   concrete trip count per loop dimension
 //!   --cache N             fast-memory capacity in elements [default: 4096]
 //!   --symbolic            also print the symbolic expressions only
+//!   --deny warnings       (check) exit non-zero on warnings too
+//!   --json                (check) machine-readable diagnostics
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use ioopt::ir::{kernels, parse_kernel, Kernel};
+use ioopt::verify::{verify, VerifyOptions};
 use ioopt::{analyze, render_text, symbolic_lb, symbolic_tc_ub, AnalysisOptions};
 
 fn builtin(name: &str) -> Option<Kernel> {
@@ -27,26 +32,124 @@ fn builtin(name: &str) -> Option<Kernel> {
         "mttkrp" => Some(kernels::mttkrp()),
         "stencil2d" => Some(kernels::stencil2d()),
         "doitgen" => Some(kernels::doitgen()),
-        _ => kernels::TCCG
-            .iter()
-            .find(|e| e.spec == name)
-            .map(|e| e.kernel()),
+        _ => {
+            if let Some(e) = kernels::TCCG.iter().find(|e| e.spec == name) {
+                return Some(e.kernel());
+            }
+            // Yolo9000 layers: the conv2d kernel at the layer's sizes.
+            kernels::YOLO9000
+                .iter()
+                .find(|l| l.name == name)
+                .map(|l| kernels::conv2d().with_default_sizes(l.size_map().into_iter().collect()))
+        }
     }
 }
 
 fn usage() -> &'static str {
     "usage: ioopt <file.k | builtin:NAME> --sizes a=V,b=V,... [--cache N] [--symbolic]\n\
+     \u{20}      ioopt check <file.k | builtin:NAME> [--sizes a=V,...] [--deny warnings] [--json]\n\
      try:   ioopt --list-builtins"
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Loads the kernel named on the command line; returns the DSL source
+/// too when it came from a file (for caret excerpts in diagnostics).
+fn load(input: &str) -> Result<(Kernel, Option<String>), String> {
+    if let Some(name) = input.strip_prefix("builtin:") {
+        let k = builtin(name).ok_or_else(|| format!("unknown builtin `{name}`"))?;
+        Ok((k, None))
+    } else {
+        let src =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+        let k = parse_kernel(&src).map_err(|e| e.render(&src))?;
+        Ok((k, Some(src)))
+    }
+}
+
+fn parse_sizes(arg: &str, into: &mut HashMap<String, i64>) -> Result<(), String> {
+    for pair in arg.split(',') {
+        let (name, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("bad --sizes entry `{pair}` (want name=value)"))?;
+        into.insert(
+            name.trim().to_string(),
+            value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad size `{pair}`: {e}"))?,
+        );
+    }
+    Ok(())
+}
+
+/// The `check` subcommand: run the static analyzer and set the exit
+/// code from the findings (errors always fail; warnings fail under
+/// `--deny warnings`).
+fn run_check(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut input: Option<String> = None;
+    let mut sizes_arg: Option<String> = None;
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => sizes_arg = Some(it.next().ok_or("--sizes needs a value")?),
+            "--deny" => match it.next().as_deref() {
+                Some("warnings") => deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny takes `warnings`, got `{}`",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if input.is_none() => input = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let input = input.ok_or_else(|| usage().to_string())?;
+    let (kernel, src) = load(&input)?;
+
+    let mut sizes = kernel.default_sizes().unwrap_or_default();
+    if let Some(arg) = &sizes_arg {
+        parse_sizes(arg, &mut sizes)?;
+    }
+    let options = VerifyOptions {
+        sizes: if sizes.is_empty() { None } else { Some(sizes) },
+        ..VerifyOptions::default()
+    };
+    let report = verify(&kernel, &options);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render(src.as_deref()));
+    }
+    let fail = report.has_errors() || (deny_warnings && !report.is_clean());
+    Ok(if fail {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list-builtins") {
         println!("matmul conv1d conv2d mttkrp stencil2d doitgen");
         for e in kernels::TCCG {
             println!("{}", e.spec);
         }
-        return Ok(());
+        for l in kernels::YOLO9000 {
+            println!("{}", l.name);
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args.first().map(String::as_str) == Some("check") {
+        return run_check(args.split_off(1));
     }
     let mut input: Option<String> = None;
     let mut sizes_arg: Option<String> = None;
@@ -66,21 +169,14 @@ fn run() -> Result<(), String> {
             "--symbolic" => symbolic = true,
             "--help" | "-h" => {
                 println!("{}", usage());
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             other if input.is_none() => input = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
         }
     }
     let input = input.ok_or_else(|| usage().to_string())?;
-
-    let kernel = if let Some(name) = input.strip_prefix("builtin:") {
-        builtin(name).ok_or_else(|| format!("unknown builtin `{name}`"))?
-    } else {
-        let src = std::fs::read_to_string(&input)
-            .map_err(|e| format!("cannot read `{input}`: {e}"))?;
-        parse_kernel(&src).map_err(|e| e.to_string())?
-    };
+    let (kernel, _src) = load(&input)?;
 
     if symbolic {
         println!("kernel {}", kernel.name());
@@ -97,21 +193,11 @@ fn run() -> Result<(), String> {
 
     let mut sizes: HashMap<String, i64> = kernel.default_sizes().unwrap_or_default();
     match sizes_arg {
-        Some(sizes_arg) => {
-            for pair in sizes_arg.split(',') {
-                let (name, value) = pair
-                    .split_once('=')
-                    .ok_or_else(|| format!("bad --sizes entry `{pair}` (want name=value)"))?;
-                sizes.insert(
-                    name.trim().to_string(),
-                    value.trim().parse().map_err(|e| format!("bad size `{pair}`: {e}"))?,
-                );
-            }
-        }
+        Some(sizes_arg) => parse_sizes(&sizes_arg, &mut sizes)?,
         None if !sizes.is_empty() => {}
         None => {
             if symbolic {
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             return Err(format!(
                 "--sizes is required (or annotate defaults with `loop i : Ni = 2000;`)\n{}",
@@ -127,13 +213,18 @@ fn run() -> Result<(), String> {
 
     let analysis =
         analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache)).map_err(|e| e.to_string())?;
+    // Surface pre-flight warnings next to the report (hard errors have
+    // already aborted inside `analyze`).
+    for d in &analysis.diagnostics.diagnostics {
+        eprintln!("{}", d.headline());
+    }
     print!("{}", render_text(&analysis));
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -32,7 +32,7 @@
 //! ```
 //!
 //! The subsystem crates are re-exported for convenience: [`ir`], [`iolb`],
-//! [`ioub`], [`tileopt`], [`cachesim`], [`cdag`], [`codegen`],
+//! [`ioub`], [`tileopt`], [`verify`], [`cachesim`], [`cdag`], [`codegen`],
 //! [`symbolic`], [`polyhedra`], [`linalg`], [`lp`].
 
 #![warn(missing_docs)]
@@ -42,7 +42,10 @@ mod report;
 mod sequence;
 pub mod tutorial;
 
-pub use analysis::{analyze, symbolic_conv_ub, symbolic_lb, symbolic_tc_ub, symbolic_tc_ub_for, Analysis, AnalysisOptions, AnalyzeError};
+pub use analysis::{
+    analyze, symbolic_conv_ub, symbolic_lb, symbolic_tc_ub, symbolic_tc_ub_for, Analysis,
+    AnalysisOptions, AnalyzeError,
+};
 pub use report::{csv_header, csv_row, render_text};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 
@@ -57,3 +60,4 @@ pub use ioopt_lp as lp;
 pub use ioopt_polyhedra as polyhedra;
 pub use ioopt_symbolic as symbolic;
 pub use ioopt_tileopt as tileopt;
+pub use ioopt_verify as verify;

@@ -19,7 +19,11 @@ pub fn render_text(a: &Analysis) -> String {
         );
     }
     let _ = writeln!(out, "LB = {:.4e}", a.lb);
-    let _ = writeln!(out, "UB = {:.4e}  (tightness UB/LB = {:.3})", a.ub, a.tightness);
+    let _ = writeln!(
+        out,
+        "UB = {:.4e}  (tightness UB/LB = {:.3})",
+        a.ub, a.tightness
+    );
     let _ = writeln!(
         out,
         "operational intensity at UB = {:.2} flop/element",
@@ -31,11 +35,8 @@ pub fn render_text(a: &Analysis) -> String {
         t
     });
     let _ = writeln!(out, "cost-model breakdown:");
-    let explanation = ioopt_ioub::explain_cost(
-        &a.ir,
-        &a.recommendation.schedule,
-        &a.recommendation.cost,
-    );
+    let explanation =
+        ioopt_ioub::explain_cost(&a.ir, &a.recommendation.schedule, &a.recommendation.cost);
     for line in explanation.lines() {
         let _ = writeln!(out, "  {line}");
     }
@@ -45,7 +46,10 @@ pub fn render_text(a: &Analysis) -> String {
 
 /// One CSV row `kernel,S,lb,ub,tightness`.
 pub fn csv_row(a: &Analysis, cache_elems: f64) -> String {
-    format!("{},{},{:.6e},{:.6e},{:.4}", a.kernel, cache_elems, a.lb, a.ub, a.tightness)
+    format!(
+        "{},{},{:.6e},{:.6e},{:.4}",
+        a.kernel, cache_elems, a.lb, a.ub, a.tightness
+    )
 }
 
 /// The CSV header matching [`csv_row`].
@@ -67,8 +71,12 @@ mod tests {
             ("j".to_string(), 64),
             ("k".to_string(), 64),
         ]);
-        let a =
-            analyze(&kernels::matmul(), &sizes, &AnalysisOptions::with_cache(512.0)).unwrap();
+        let a = analyze(
+            &kernels::matmul(),
+            &sizes,
+            &AnalysisOptions::with_cache(512.0),
+        )
+        .unwrap();
         let text = render_text(&a);
         assert!(text.contains("IOOpt analysis: matmul"));
         assert!(text.contains("lower bound"));

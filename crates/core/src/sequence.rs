@@ -76,10 +76,7 @@ pub fn analyze_sequence(
         let env = kernel.bind_sizes(sizes);
         for a in kernel.arrays() {
             let is_output = std::ptr::eq(a, kernel.output());
-            if !is_output
-                && !written.contains(&a.name)
-                && seen_input.insert(a.name.clone())
-            {
+            if !is_output && !written.contains(&a.name) && seen_input.insert(a.name.clone()) {
                 if let Ok(v) = kernel.array_size_lower(a).eval_f64(&env) {
                     boundary += v;
                 }
@@ -88,7 +85,12 @@ pub fn analyze_sequence(
         written.insert(kernel.output().name.clone());
     }
     let lb = partition_lb.max(boundary);
-    Ok(SequenceAnalysis { per_kernel, lb, ub, boundary_traffic: boundary })
+    Ok(SequenceAnalysis {
+        per_kernel,
+        lb,
+        ub,
+        boundary_traffic: boundary,
+    })
 }
 
 #[cfg(test)]
@@ -118,9 +120,8 @@ mod tests {
             ("j".to_string(), 128),
             ("k".to_string(), 128),
         ]);
-        let seq =
-            analyze_sequence(&kernels, &sizes, &AnalysisOptions::with_cache(1024.0))
-                .expect("analyzes");
+        let seq = analyze_sequence(&kernels, &sizes, &AnalysisOptions::with_cache(1024.0))
+            .expect("analyzes");
         assert_eq!(seq.per_kernel.len(), 2);
         assert!(seq.lb > 0.0);
         assert!(seq.lb <= seq.ub, "lb {} > ub {}", seq.lb, seq.ub);
@@ -141,9 +142,8 @@ mod tests {
             ("j".to_string(), 64),
             ("k".to_string(), 64),
         ]);
-        let seq =
-            analyze_sequence(&kernels, &sizes, &AnalysisOptions::with_cache(100_000.0))
-                .expect("analyzes");
+        let seq = analyze_sequence(&kernels, &sizes, &AnalysisOptions::with_cache(100_000.0))
+            .expect("analyzes");
         // Program inputs: A, B (first), D (second) — C is an
         // intermediate; 3 × 64² = 12288.
         assert_eq!(seq.boundary_traffic, 3.0 * 64.0 * 64.0);

@@ -30,7 +30,10 @@ pub struct LbOptions {
 
 impl Default for LbOptions {
     fn default() -> LbOptions {
-        LbOptions { detect_reductions: true, scenarios: Vec::new() }
+        LbOptions {
+            detect_reductions: true,
+            scenarios: Vec::new(),
+        }
     }
 }
 
@@ -88,7 +91,9 @@ pub struct LowerBoundReport {
 /// ```
 pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundReport, BlError> {
     let dim = kernel.dims().len();
-    let hom_opts = HomOptions { detect_reductions: options.detect_reductions };
+    let hom_opts = HomOptions {
+        detect_reductions: options.detect_reductions,
+    };
     let base_homs = extract_homs(kernel, &hom_opts);
 
     // The compulsory term must not over-approximate (diagonal or strided
@@ -108,12 +113,15 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
     // dimensions and is not an affine projection. The published IOLB
     // "fails to find an interesting bound, and returns the sum of array
     // sizes" (paper §6) — reproduce exactly that fallback.
-    let path_analysis_ok =
-        options.detect_reductions || kernel.reduced_dims().len() < 2;
+    let path_analysis_ok = options.detect_reductions || kernel.reduced_dims().len() < 2;
 
     let mut scenarios = Vec::new();
     if !path_analysis_ok {
-        return Ok(LowerBoundReport { trivial: trivial.clone(), scenarios, combined: trivial });
+        return Ok(LowerBoundReport {
+            trivial: trivial.clone(),
+            scenarios,
+            combined: trivial,
+        });
     }
     for small in scenario_list {
         let mut homs = base_homs.clone();
@@ -139,8 +147,7 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
                 None => per_array.push((h.name.clone(), sj)),
             }
         }
-        let sigma_by_array: Vec<Rational> =
-            per_array.iter().map(|&(_, v)| v).collect();
+        let sigma_by_array: Vec<Rational> = per_array.iter().map(|&(_, v)| v).collect();
         let Some(bound) = assemble_bound(
             kernel,
             &volume,
@@ -169,14 +176,22 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
     let combined = Expr::max_all(
         std::iter::once(trivial.clone()).chain(scenarios.iter().map(|s| s.bound.clone())),
     );
-    Ok(LowerBoundReport { trivial, scenarios, combined })
+    Ok(LowerBoundReport {
+        trivial,
+        scenarios,
+        combined,
+    })
 }
 
 /// `|V|`: the reduction-aware vertex count
 /// `∏_{d∉red} N_d · (∏_{d∈red} N_d − 1)`, matching Fig. 6's `(C−1)`-style
 /// factors; plain `∏ N_d` without a detected reduction.
 fn compute_volume(kernel: &Kernel, detect_reductions: bool) -> Expr {
-    let reduced = if detect_reductions { kernel.reduced_dims() } else { Vec::new() };
+    let reduced = if detect_reductions {
+        kernel.reduced_dims()
+    } else {
+        Vec::new()
+    };
     if reduced.is_empty() {
         return kernel.domain_size();
     }
@@ -198,9 +213,11 @@ fn rho_expr(
     small: &[usize],
 ) -> Expr {
     let k = Expr::sym("K");
-    let c = Expr::mul_all(s.iter().filter(|v| v.is_positive()).map(|&sj| {
-        Expr::pow(Expr::num(sj / sigma), sj)
-    }));
+    let c = Expr::mul_all(
+        s.iter()
+            .filter(|v| v.is_positive())
+            .map(|&sj| Expr::pow(Expr::num(sj / sigma), sj)),
+    );
     let n_sd = Expr::mul_all(small.iter().map(|&d| kernel.size_expr(d)));
     c * Expr::pow(k, sigma) * Expr::pow(n_sd, s_sd)
 }
@@ -220,9 +237,11 @@ fn assemble_bound(
     }
     let cache = Expr::sym("S");
     // c = ∏_{s_j > 0} (s_j/σ)^{s_j}
-    let c = Expr::mul_all(s.iter().filter(|v| v.is_positive()).map(|&sj| {
-        Expr::pow(Expr::num(sj / sigma), sj)
-    }));
+    let c = Expr::mul_all(
+        s.iter()
+            .filter(|v| v.is_positive())
+            .map(|&sj| Expr::pow(Expr::num(sj / sigma), sj)),
+    );
     // T* = S/(σ−1), K* = S·σ/(σ−1).
     let t_star = &cache * Expr::num((sigma - Rational::ONE).recip());
     let k_star = &cache * Expr::num(sigma / (sigma - Rational::ONE));
@@ -270,13 +289,22 @@ mod tests {
         let plain = lower_bound(&k, &LbOptions::default()).unwrap();
         let with_sd = lower_bound(
             &k,
-            &LbOptions { detect_reductions: true, scenarios: vec![vec![h, w]] },
+            &LbOptions {
+                detect_reductions: true,
+                scenarios: vec![vec![h, w]],
+            },
         )
         .unwrap();
         // Yolo-like sizes: H = W = 3 small, S = 32k elements.
         let env = [
-            ("B", 1.0), ("C", 256.0), ("F", 256.0), ("X", 68.0), ("Y", 68.0),
-            ("H", 3.0), ("W", 3.0), ("S", 32768.0),
+            ("B", 1.0),
+            ("C", 256.0),
+            ("F", 256.0),
+            ("X", 68.0),
+            ("Y", 68.0),
+            ("H", 3.0),
+            ("W", 3.0),
+            ("S", 32768.0),
         ];
         let lb_plain = eval(&plain.combined, &env);
         let lb_sd = eval(&with_sd.combined, &env);
@@ -295,15 +323,24 @@ mod tests {
         let k = kernels::conv2d();
         let baseline = lower_bound(
             &k,
-            &LbOptions { detect_reductions: false, scenarios: vec![] },
+            &LbOptions {
+                detect_reductions: false,
+                scenarios: vec![],
+            },
         )
         .unwrap();
         assert!(baseline.scenarios.is_empty());
         assert_eq!(baseline.combined, baseline.trivial);
         let improved = lower_bound(&k, &LbOptions::default()).unwrap();
         let env = [
-            ("B", 8.0), ("C", 64.0), ("F", 64.0), ("X", 64.0), ("Y", 64.0),
-            ("H", 64.0), ("W", 64.0), ("S", 4096.0),
+            ("B", 8.0),
+            ("C", 64.0),
+            ("F", 64.0),
+            ("X", 64.0),
+            ("Y", 64.0),
+            ("H", 64.0),
+            ("W", 64.0),
+            ("S", 4096.0),
         ];
         let b = eval(&baseline.combined, &env);
         let i = eval(&improved.combined, &env);
@@ -318,7 +355,10 @@ mod tests {
         let k = kernels::matmul();
         let baseline = lower_bound(
             &k,
-            &LbOptions { detect_reductions: false, scenarios: vec![] },
+            &LbOptions {
+                detect_reductions: false,
+                scenarios: vec![],
+            },
         )
         .unwrap();
         assert_eq!(baseline.scenarios.len(), 1);
@@ -346,7 +386,10 @@ mod tests {
         let w = k.dim_index("w").unwrap();
         let report = lower_bound(
             &k,
-            &LbOptions { detect_reductions: true, scenarios: vec![vec![h, w]] },
+            &LbOptions {
+                detect_reductions: true,
+                scenarios: vec![vec![h, w]],
+            },
         )
         .unwrap();
         let sc = report
@@ -354,7 +397,10 @@ mod tests {
             .iter()
             .find(|s| !s.small_dims.is_empty())
             .expect("small-dim scenario present");
-        let v = sc.rho.eval_with(&[("K", 27.0), ("H", 4.0), ("W", 9.0)]).unwrap();
+        let v = sc
+            .rho
+            .eval_with(&[("K", 27.0), ("H", 4.0), ("W", 9.0)])
+            .unwrap();
         // (1/3)^(3/2) · 27^(3/2) · 6 = 27/3^(3/2)·... = (27/3)^(3/2)·... :
         // (K/3)^(3/2)·sqrt(HW) = 9^(3/2)·6 = 27·6 = 162.
         assert!((v - 162.0).abs() < 1e-9, "rho = {v}");

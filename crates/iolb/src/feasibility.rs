@@ -1,0 +1,159 @@
+//! Queryable feasibility diagnostics for the Brascamp-Lieb system.
+//!
+//! [`lower_bound`](crate::lower_bound) silently falls back to the trivial
+//! bound when a scenario's LP is infeasible or the path analysis is
+//! defeated. Front-end tooling (notably `ioopt-verify`) needs to know
+//! *why* that happened and *which* dimension is responsible, so this
+//! module re-runs the same extraction and exposes the intermediate
+//! verdicts as plain data instead of internal fallbacks.
+
+use ioopt_ir::Kernel;
+use ioopt_linalg::Rational;
+
+use crate::bound::LbOptions;
+use crate::brascamp::{solve_bl, BlError};
+use crate::homs::{extract_homs, small_dim_hom, HomOptions};
+
+/// Dimensions indexed by no array access: dimension `d` escapes when every
+/// extracted homomorphism maps the basis vector `e_d` to zero, i.e. the
+/// `d`-th column of every access matrix vanishes. Bounded sets can then
+/// grow arbitrarily along `d` without touching new data, so the partition
+/// argument yields nothing (DESIGN.md §7.3) and the Brascamp-Lieb LP is
+/// infeasible.
+pub fn escaping_dims(kernel: &Kernel, options: &HomOptions) -> Vec<usize> {
+    let homs = extract_homs(kernel, options);
+    let d = kernel.dims().len();
+    (0..d)
+        .filter(|&dim| {
+            homs.iter()
+                .all(|h| (0..h.matrix.rows()).all(|r| h.matrix[(r, dim)] == Rational::ZERO))
+        })
+        .collect()
+}
+
+/// The Brascamp-Lieb verdict for one small-dimension scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFeasibility {
+    /// The dimensions assumed small (empty = no assumption).
+    pub small_dims: Vec<usize>,
+    /// `Some(σ)` when the LP solved; `None` when it was infeasible.
+    pub sigma: Option<Rational>,
+}
+
+impl ScenarioFeasibility {
+    /// Whether the scenario's LP admitted a solution.
+    pub fn is_feasible(&self) -> bool {
+        self.sigma.is_some()
+    }
+}
+
+/// A feasibility report over every scenario [`lower_bound`](crate::lower_bound)
+/// would attempt, in the same order (the empty scenario first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityReport {
+    /// Whether the dependence-path analysis applies at all: `false` when
+    /// reduction detection is off and the kernel reduces over more than
+    /// one dimension (the sequential chain is then not affine, §5.3).
+    pub path_analysis_ok: bool,
+    /// Per-scenario LP verdicts (empty when `path_analysis_ok` is false).
+    pub scenarios: Vec<ScenarioFeasibility>,
+}
+
+impl FeasibilityReport {
+    /// Whether at least one scenario produced a usable partition bound.
+    pub fn any_feasible(&self) -> bool {
+        self.scenarios.iter().any(ScenarioFeasibility::is_feasible)
+    }
+}
+
+/// Runs the same scenario loop as [`lower_bound`](crate::lower_bound) but
+/// records each LP verdict instead of silently skipping infeasible ones.
+pub fn check_feasibility(kernel: &Kernel, options: &LbOptions) -> FeasibilityReport {
+    let dim = kernel.dims().len();
+    let hom_opts = HomOptions {
+        detect_reductions: options.detect_reductions,
+    };
+    let base_homs = extract_homs(kernel, &hom_opts);
+
+    let path_analysis_ok = options.detect_reductions || kernel.reduced_dims().len() < 2;
+    if !path_analysis_ok {
+        return FeasibilityReport {
+            path_analysis_ok,
+            scenarios: Vec::new(),
+        };
+    }
+
+    let mut scenario_list: Vec<Vec<usize>> = vec![Vec::new()];
+    for s in &options.scenarios {
+        if !scenario_list.contains(s) {
+            scenario_list.push(s.clone());
+        }
+    }
+
+    let scenarios = scenario_list
+        .into_iter()
+        .map(|small| {
+            let mut homs = base_homs.clone();
+            if !small.is_empty() {
+                homs.push(small_dim_hom(kernel, &small));
+            }
+            let sigma = match solve_bl(&homs, dim) {
+                Ok(sol) => Some(sol.sigma),
+                Err(BlError::Infeasible) => None,
+            };
+            ScenarioFeasibility {
+                small_dims: small,
+                sigma,
+            }
+        })
+        .collect();
+    FeasibilityReport {
+        path_analysis_ok,
+        scenarios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    #[test]
+    fn matmul_has_no_escaping_dims_and_is_feasible() {
+        let k = kernels::matmul();
+        assert!(escaping_dims(&k, &HomOptions::default()).is_empty());
+        let rep = check_feasibility(&k, &LbOptions::default());
+        assert!(rep.path_analysis_ok);
+        assert!(rep.any_feasible());
+        assert_eq!(rep.scenarios[0].sigma, Some(Rational::new(3, 2)));
+    }
+
+    #[test]
+    fn escaping_dim_detected_and_lp_infeasible() {
+        // C[i] += A[i] * B[i] inside loops i, q: q touches no array.
+        let src = "kernel escape {\n  loop i : N;\n  loop q : Q;\n  C[i] += A[i] * B[i];\n}";
+        let k = ioopt_ir::parse_kernel(src).unwrap();
+        let q = k.dim_index("q").unwrap();
+        assert_eq!(escaping_dims(&k, &HomOptions::default()), vec![q]);
+        let rep = check_feasibility(&k, &LbOptions::default());
+        assert!(rep.path_analysis_ok);
+        assert!(!rep.any_feasible());
+    }
+
+    #[test]
+    fn baseline_multi_reduction_defeats_path_analysis() {
+        let k = kernels::conv2d();
+        let rep = check_feasibility(
+            &k,
+            &LbOptions {
+                detect_reductions: false,
+                scenarios: vec![],
+            },
+        );
+        assert!(!rep.path_analysis_ok);
+        assert!(rep.scenarios.is_empty());
+        // With detection the same kernel is feasible.
+        let rep = check_feasibility(&k, &LbOptions::default());
+        assert!(rep.path_analysis_ok && rep.any_feasible());
+    }
+}

@@ -58,7 +58,9 @@ pub struct HomOptions {
 
 impl Default for HomOptions {
     fn default() -> HomOptions {
-        HomOptions { detect_reductions: true }
+        HomOptions {
+            detect_reductions: true,
+        }
     }
 }
 
@@ -81,8 +83,7 @@ pub fn extract_homs(kernel: &Kernel, options: &HomOptions) -> Vec<Hom> {
     let mut homs = Vec::new();
     // Output first (matches the paper's φ_1).
     let out = kernel.output();
-    let out_matrix = if out.kind == AccessKind::Accumulate && !kernel.reduced_dims().is_empty()
-    {
+    let out_matrix = if out.kind == AccessKind::Accumulate && !kernel.reduced_dims().is_empty() {
         if options.detect_reductions {
             // Broadcast dependence: projection forgetting every reduced
             // dimension — the output access matrix itself.
@@ -105,7 +106,11 @@ pub fn extract_homs(kernel: &Kernel, options: &HomOptions) -> Vec<Hom> {
     } else {
         access_matrix(kernel, out)
     };
-    homs.push(Hom { name: out.name.clone(), matrix: out_matrix, kind: HomKind::Output });
+    homs.push(Hom {
+        name: out.name.clone(),
+        matrix: out_matrix,
+        kind: HomKind::Output,
+    });
     for a in kernel.inputs() {
         homs.push(Hom {
             name: a.name.clone(),
@@ -127,7 +132,11 @@ pub fn small_dim_hom(kernel: &Kernel, dims: &[usize]) -> Hom {
             row
         })
         .collect();
-    Hom { name: "sd".into(), matrix: Matrix::from_rows(&rows, d), kind: HomKind::SmallDim }
+    Hom {
+        name: "sd".into(),
+        matrix: Matrix::from_rows(&rows, d),
+        kind: HomKind::SmallDim,
+    }
 }
 
 #[cfg(test)]
@@ -177,7 +186,12 @@ mod tests {
         // Without reduction detection the output hom only forgets the
         // innermost reduced dimension (w), per §5.3.
         let k = kernels::conv2d();
-        let homs = extract_homs(&k, &HomOptions { detect_reductions: false });
+        let homs = extract_homs(
+            &k,
+            &HomOptions {
+                detect_reductions: false,
+            },
+        );
         let phi1 = &homs[0];
         let dc = k.dim_index("c").unwrap();
         let mut v = vec![Rational::ZERO; 7];

@@ -12,10 +12,14 @@
 
 mod bound;
 mod brascamp;
+mod feasibility;
 mod homs;
 mod scenarios;
 
 pub use bound::{lower_bound, LbOptions, LowerBoundReport, ScenarioBound};
-pub use brascamp::{candidate_subgroups, rank_constraints, solve_bl, BlError, BlSolution, RankConstraint};
+pub use brascamp::{
+    candidate_subgroups, rank_constraints, solve_bl, BlError, BlSolution, RankConstraint,
+};
+pub use feasibility::{check_feasibility, escaping_dims, FeasibilityReport, ScenarioFeasibility};
 pub use homs::{extract_homs, small_dim_hom, Hom, HomKind, HomOptions};
 pub use scenarios::{conv2d_scenarios, default_scenarios, tc_scenarios};

@@ -31,8 +31,14 @@ pub fn tc_scenarios(kernel: &Kernel) -> Option<Vec<Vec<usize>>> {
 /// Returns `None` unless the kernel has the conv2d dimension names.
 pub fn conv2d_scenarios(kernel: &Kernel) -> Option<Vec<Vec<usize>>> {
     let idx = |n: &str| kernel.dim_index(n);
-    let (b, c, x, y, h, w) =
-        (idx("b")?, idx("c")?, idx("x")?, idx("y")?, idx("h")?, idx("w")?);
+    let (b, c, x, y, h, w) = (
+        idx("b")?,
+        idx("c")?,
+        idx("x")?,
+        idx("y")?,
+        idx("h")?,
+        idx("w")?,
+    );
     Some(vec![
         vec![],
         vec![h, w],

@@ -67,11 +67,7 @@ pub fn array_cost(
 /// # Panics
 ///
 /// Panics if `levels.len()` differs from the number of arrays.
-pub fn cost_with_levels(
-    kernel: &Kernel,
-    sched: &TilingSchedule,
-    levels: &[usize],
-) -> UbCost {
+pub fn cost_with_levels(kernel: &Kernel, sched: &TilingSchedule, levels: &[usize]) -> UbCost {
     let arrays: Vec<&ArrayRef> = kernel.arrays().collect();
     assert_eq!(levels.len(), arrays.len(), "one reuse level per array");
     let per_array: Vec<ArrayCost> = arrays
@@ -81,7 +77,11 @@ pub fn cost_with_levels(
         .collect();
     let io = Expr::add_all(per_array.iter().map(|c| c.io.clone()));
     let footprint = Expr::add_all(per_array.iter().map(|c| c.footprint.clone()));
-    UbCost { io, footprint, per_array }
+    UbCost {
+        io,
+        footprint,
+        per_array,
+    }
 }
 
 /// Candidate reuse levels for each array: all levels, deduplicated by the
@@ -165,8 +165,7 @@ mod tests {
         // SDF sum = Ti + Tj + Ti·Tj   (paper §6 eq. (2))
         let (k, s) = matmul_paper_schedule();
         let cost = cost_with_levels(&k, &s, &[1, 1, 1]);
-        let expected = Expr::sym("Ti") + Expr::sym("Tj")
-            + Expr::sym("Ti") * Expr::sym("Tj");
+        let expected = Expr::sym("Ti") + Expr::sym("Tj") + Expr::sym("Ti") * Expr::sym("Tj");
         assert_eq!(cost.footprint.expand(), expected.expand());
     }
 
@@ -205,13 +204,19 @@ mod tests {
     }
 
     #[test]
-    fn higher_level_has_no_smaller_footprint(){
+    fn higher_level_has_no_smaller_footprint() {
         // Footprints grow (weakly) with the reuse level.
         let k = kernels::conv1d();
         let s = TilingSchedule::parametric(&k, &["w", "c", "f", "x"]).unwrap();
         let env: Vec<(&str, f64)> = vec![
-            ("Nc", 64.0), ("Nf", 32.0), ("Nx", 100.0), ("Nw", 3.0),
-            ("Tc", 8.0), ("Tf", 4.0), ("Tx", 10.0), ("Tw", 3.0),
+            ("Nc", 64.0),
+            ("Nf", 32.0),
+            ("Nx", 100.0),
+            ("Nw", 3.0),
+            ("Tc", 8.0),
+            ("Tf", 4.0),
+            ("Tx", 10.0),
+            ("Tw", 3.0),
         ];
         for a in k.arrays() {
             let mut prev = 0.0;

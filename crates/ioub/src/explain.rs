@@ -34,14 +34,12 @@ pub fn explain_cost(kernel: &Kernel, sched: &TilingSchedule, cost: &UbCost) -> S
         .iter()
         .map(|&d| kernel.dims()[d].name.as_str())
         .collect();
-    let _ = writeln!(out, "schedule: inter-tile order {perm_names:?} (outer to inner)");
+    let _ = writeln!(
+        out,
+        "schedule: inter-tile order {perm_names:?} (outer to inner)"
+    );
     for d in 0..kernel.dims().len() {
-        let _ = writeln!(
-            out,
-            "  tile T{} = {}",
-            kernel.dims()[d].name,
-            sched.tile(d)
-        );
+        let _ = writeln!(out, "  tile T{} = {}", kernel.dims()[d].name, sched.tile(d));
     }
     for (array, pa) in kernel.arrays().zip(&cost.per_array) {
         let level_dim = kernel.dims()[sched.dim_at_level(pa.level)].name.as_str();
@@ -81,7 +79,10 @@ mod tests {
         let cost = cost_with_levels(&k, &sched, &[1, 1, 2]);
         let text = explain_cost(&k, &sched, &cost);
         for name in ["Out", "Image", "Filter"] {
-            assert!(text.contains(&format!("array {name}")), "missing {name}:\n{text}");
+            assert!(
+                text.contains(&format!("array {name}")),
+                "missing {name}:\n{text}"
+            );
         }
         assert!(text.contains("reuse across `x`"));
         assert!(text.contains("reuse across `f`")); // Filter at level 2

@@ -8,24 +8,14 @@ use crate::schedule::TilingSchedule;
 
 /// The sub-domain data footprint `SDF_{A,level}`: cells of `array` touched
 /// by the sub-domain at `level`.
-pub fn sdf(
-    kernel: &Kernel,
-    sched: &TilingSchedule,
-    array: &ArrayRef,
-    level: usize,
-) -> Cardinality {
+pub fn sdf(kernel: &Kernel, sched: &TilingSchedule, array: &ArrayRef, level: usize) -> Cardinality {
     let extents = sched.level_extents(kernel, level);
     array.access.image_cardinality(&extents)
 }
 
 /// The inter-sub-domain reuse `SDR_{A,level}`: overlap between the
 /// footprints of two consecutive sub-domains along the level's dimension.
-pub fn sdr(
-    kernel: &Kernel,
-    sched: &TilingSchedule,
-    array: &ArrayRef,
-    level: usize,
-) -> Cardinality {
+pub fn sdr(kernel: &Kernel, sched: &TilingSchedule, array: &ArrayRef, level: usize) -> Cardinality {
     let extents = sched.level_extents(kernel, level);
     let d = sched.dim_at_level(level);
     array.access.overlap_cardinality(&extents, d, sched.tile(d))
@@ -65,7 +55,11 @@ pub fn inverse_density(
     // Nw·Tc − Tc·(Nw−1) = Tc).
     let moved = simplify_nonneg(&(&footprint.card - &reuse.card)).expand();
     let back = moved * inv;
-    InverseDensity { front, back, exact: footprint.exact && reuse.exact }
+    InverseDensity {
+        front,
+        back,
+        exact: footprint.exact && reuse.exact,
+    }
 }
 
 /// Rewrites `max(0, e)` sub-terms to `e` and clamps a syntactically
@@ -78,7 +72,11 @@ fn strip_max_zero(e: &Expr) -> Expr {
     use ioopt_symbolic::Node;
     match e.node() {
         Node::Max(items) if items.len() == 2 && items.iter().any(|i| i.is_zero()) => {
-            let other = items.iter().find(|i| !i.is_zero()).cloned().unwrap_or_else(Expr::zero);
+            let other = items
+                .iter()
+                .find(|i| !i.is_zero())
+                .cloned()
+                .unwrap_or_else(Expr::zero);
             strip_max_zero(&other)
         }
         Node::Add(items) => Expr::add_all(items.iter().map(strip_max_zero)),
@@ -114,13 +112,15 @@ mod tests {
         // SDF_Image,2 = (Nx + Nw - 1) * Tc (paper §4.1).
         let f2 = sdf(&k, &s, image, 2);
         assert!(f2.exact);
-        let expected = ((Expr::sym("Nx") + Expr::sym("Nw") - Expr::one())
-            * Expr::sym("Tc"))
-        .expand();
+        let expected =
+            ((Expr::sym("Nx") + Expr::sym("Nw") - Expr::one()) * Expr::sym("Tc")).expand();
         assert_eq!(f2.card.expand(), expected);
         // SDF_Image,1 = Nw * Tc (level 1: x window of 1, w full).
         let f1 = sdf(&k, &s, image, 1);
-        assert_eq!(f1.card.expand(), (Expr::sym("Nw") * Expr::sym("Tc")).expand());
+        assert_eq!(
+            f1.card.expand(),
+            (Expr::sym("Nw") * Expr::sym("Tc")).expand()
+        );
     }
 
     #[test]
@@ -129,8 +129,7 @@ mod tests {
         let image = &k.inputs()[0];
         // SDR_Image,1 = Tc * (Nw - 1) (paper §4.1).
         let r1 = sdr(&k, &s, image, 1);
-        let expected =
-            (Expr::sym("Tc") * (Expr::sym("Nw") - Expr::one())).expand();
+        let expected = (Expr::sym("Tc") * (Expr::sym("Nw") - Expr::one())).expand();
         assert_eq!(simplify(&r1.card), expected);
     }
 

@@ -18,7 +18,9 @@ mod multilevel;
 mod permsel;
 mod schedule;
 
-pub use cost::{array_cost, candidate_levels, cost_with_levels, level_combinations, ArrayCost, UbCost};
+pub use cost::{
+    array_cost, candidate_levels, cost_with_levels, level_combinations, ArrayCost, UbCost,
+};
 pub use explain::explain_cost;
 pub use footprint::{inverse_density, sdf, sdr, InverseDensity};
 pub use multilevel::{multilevel_cost, CacheLevelSpec, MultiLevelCost, MultiLevelSchedule};

@@ -27,7 +27,11 @@ pub struct CacheLevelSpec {
 impl CacheLevelSpec {
     /// Convenience constructor.
     pub fn new(name: &str, capacity: f64, inverse_bandwidth: f64) -> CacheLevelSpec {
-        CacheLevelSpec { name: name.into(), capacity, inverse_bandwidth }
+        CacheLevelSpec {
+            name: name.into(),
+            capacity,
+            inverse_bandwidth,
+        }
     }
 }
 
@@ -113,8 +117,16 @@ pub fn multilevel_cost(
     caches: &[CacheLevelSpec],
     levels: &[Vec<usize>],
 ) -> MultiLevelCost {
-    assert_eq!(sched.bands().len(), caches.len(), "one band per cache level");
-    assert_eq!(levels.len(), caches.len(), "one level assignment per cache level");
+    assert_eq!(
+        sched.bands().len(),
+        caches.len(),
+        "one band per cache level"
+    );
+    assert_eq!(
+        levels.len(),
+        caches.len(),
+        "one level assignment per cache level"
+    );
     let per_level: Vec<UbCost> = sched
         .bands()
         .iter()
@@ -127,10 +139,16 @@ pub fn multilevel_cost(
         .iter()
         .map(|c| c.inverse_bandwidth)
         .fold(f64::MIN_POSITIVE, f64::max);
-    let objective = Expr::add_all(per_level.iter().zip(caches).map(|(c, spec)| {
-        Expr::num(f64_to_rational(spec.inverse_bandwidth / wmax)) * &c.io
-    }));
-    MultiLevelCost { per_level, objective }
+    let objective = Expr::add_all(
+        per_level
+            .iter()
+            .zip(caches)
+            .map(|(c, spec)| Expr::num(f64_to_rational(spec.inverse_bandwidth / wmax)) * &c.io),
+    );
+    MultiLevelCost {
+        per_level,
+        objective,
+    }
 }
 
 /// Converts a normalized positive f64 weight to an exact rational
@@ -175,9 +193,15 @@ mod tests {
         assert_eq!(cost.per_level.len(), 2);
         // The objective evaluates to w1*IO1 + w2*IO2.
         let env: Vec<(&str, f64)> = vec![
-            ("Ni", 100.0), ("Nj", 100.0), ("Nk", 100.0),
-            ("Ti_1", 8.0), ("Tj_1", 8.0), ("Tk_1", 1.0),
-            ("Ti_2", 32.0), ("Tj_2", 32.0), ("Tk_2", 1.0),
+            ("Ni", 100.0),
+            ("Nj", 100.0),
+            ("Nk", 100.0),
+            ("Ti_1", 8.0),
+            ("Tj_1", 8.0),
+            ("Tk_1", 1.0),
+            ("Ti_2", 32.0),
+            ("Tj_2", 32.0),
+            ("Tk_2", 1.0),
         ];
         let o = cost.objective.eval_with(&env).unwrap();
         let io1 = cost.per_level[0].io.eval_with(&env).unwrap();

@@ -73,10 +73,7 @@ pub fn select_permutations(kernel: &Kernel, oracle: &dyn ReuseOracle) -> Vec<Vec
 
 /// The recursive core (paper Algorithm 1). Returns permutations of
 /// `remaining`, outermost first.
-fn gen_perm(
-    remaining: &[usize],
-    reuse: &[(usize, BTreeSet<String>)],
-) -> Vec<Vec<usize>> {
+fn gen_perm(remaining: &[usize], reuse: &[(usize, BTreeSet<String>)]) -> Vec<Vec<usize>> {
     if remaining.is_empty() {
         return vec![Vec::new()];
     }
@@ -90,7 +87,9 @@ fn gen_perm(
     for (d, s) in reuse {
         // Prune dominated choices: skip d if another dimension's reuse set
         // strictly contains s.
-        let dominated = reuse.iter().any(|(d2, s2)| d2 != d && s.is_subset(s2) && s != s2);
+        let dominated = reuse
+            .iter()
+            .any(|(d2, s2)| d2 != d && s.is_subset(s2) && s != s2);
         if dominated || s.is_empty() {
             continue;
         }
@@ -121,20 +120,23 @@ mod tests {
     use ioopt_ir::kernels;
 
     fn names(kernel: &Kernel, perm: &[usize]) -> Vec<String> {
-        perm.iter().map(|&d| kernel.dims()[d].name.clone()).collect()
+        perm.iter()
+            .map(|&d| kernel.dims()[d].name.clone())
+            .collect()
     }
 
     #[test]
     fn conv1d_matches_fig2() {
         let k = kernels::conv1d();
         let perms = select_permutations(&k, &SmallDimOracle);
-        let rendered: Vec<Vec<String>> =
-            perms.iter().map(|p| names(&k, p)).collect();
+        let rendered: Vec<Vec<String>> = perms.iter().map(|p| names(&k, p)).collect();
         // Paper Fig. 2: three permutations; one has x innermost (after
         // choosing w..), two have w innermost with {c, f} second-innermost.
         assert_eq!(perms.len(), 3);
-        let innermost: Vec<&str> =
-            rendered.iter().map(|p| p.last().unwrap().as_str()).collect();
+        let innermost: Vec<&str> = rendered
+            .iter()
+            .map(|p| p.last().unwrap().as_str())
+            .collect();
         assert_eq!(innermost.iter().filter(|&&d| d == "x").count(), 1);
         assert_eq!(innermost.iter().filter(|&&d| d == "w").count(), 2);
         let second: BTreeSet<&str> = rendered

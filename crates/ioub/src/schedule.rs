@@ -45,8 +45,7 @@ impl TilingSchedule {
     /// Returns `None` if `perm` is not a permutation of the kernel's
     /// dimension names.
     pub fn parametric(kernel: &Kernel, perm: &[&str]) -> Option<TilingSchedule> {
-        let indices: Option<Vec<usize>> =
-            perm.iter().map(|n| kernel.dim_index(n)).collect();
+        let indices: Option<Vec<usize>> = perm.iter().map(|n| kernel.dim_index(n)).collect();
         let indices = indices?;
         TilingSchedule::parametric_by_index(kernel, indices)
     }
@@ -71,7 +70,11 @@ impl TilingSchedule {
             tiles.push(Expr::symbol(sym));
             tile_vars.push((d, sym));
         }
-        Some(TilingSchedule { perm, tiles, tile_vars })
+        Some(TilingSchedule {
+            perm,
+            tiles,
+            tile_vars,
+        })
     }
 
     /// Pins the tile size of dimension `name` to a fixed expression
@@ -99,7 +102,9 @@ impl TilingSchedule {
     /// Pins the tile size of `name` to the full extent `N_d` (the
     /// dimension iterates inside the tile only).
     pub fn pin_full(self, kernel: &Kernel, name: &str) -> TilingSchedule {
-        let d = kernel.dim_index(name).unwrap_or_else(|| panic!("unknown dimension `{name}`"));
+        let d = kernel
+            .dim_index(name)
+            .unwrap_or_else(|| panic!("unknown dimension `{name}`"));
         let full = kernel.size_expr(d);
         self.pin(kernel, name, full)
     }
@@ -175,7 +180,10 @@ impl TilingSchedule {
 
     /// Renders with dimension names from `kernel`.
     pub fn display<'a>(&'a self, kernel: &'a Kernel) -> ScheduleDisplay<'a> {
-        ScheduleDisplay { sched: self, kernel }
+        ScheduleDisplay {
+            sched: self,
+            kernel,
+        }
     }
 }
 
@@ -281,6 +289,9 @@ mod tests {
         let s = TilingSchedule::parametric(&k, &["i", "j", "k"])
             .unwrap()
             .pin_one(&k, "k");
-        assert_eq!(s.display(&k).to_string(), "(i, j, k), {Ti = Ti, Tj = Tj, Tk = 1}");
+        assert_eq!(
+            s.display(&k).to_string(),
+            "(i, j, k), {Ti = Ti, Tj = Tj, Tk = 1}"
+        );
     }
 }

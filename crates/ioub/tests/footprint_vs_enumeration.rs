@@ -1,45 +1,47 @@
-//! Property tests: the symbolic SDF/SDR of random tilings equal
+//! Randomized tests: the symbolic SDF/SDR of random tilings equal
 //! brute-force enumeration over the corresponding concrete sub-domains.
+//! Deterministic SplitMix64-driven cases.
 
 use std::collections::HashMap;
 
 use ioopt_ioub::{sdf, sdr, TilingSchedule};
 use ioopt_ir::kernels;
 use ioopt_polyhedra::{count_image, count_image_overlap, ConcreteBox};
-use ioopt_symbolic::{Rational, Symbol};
-use proptest::prelude::*;
+use ioopt_symbolic::{Rational, SplitMix64, Symbol};
 
-/// Concrete sizes and tiles for conv1d's four dimensions (c, f, x, w).
-fn case_strategy() -> impl Strategy<Value = (Vec<i64>, Vec<i64>, Vec<usize>, usize)> {
-    let sizes = proptest::collection::vec(2i64..6, 4);
-    let perm = Just(vec![0usize, 1, 2, 3]).prop_shuffle();
-    (sizes, perm, 1usize..=4).prop_flat_map(|(sizes, perm, level)| {
-        let tiles = sizes
-            .iter()
-            .map(|&n| 1i64..=n)
-            .collect::<Vec<_>>();
-        (Just(sizes), tiles, Just(perm), Just(level))
-    })
+/// Concrete sizes, tiles, permutation, and level for conv1d's four
+/// dimensions (c, f, x, w).
+fn random_case(rng: &mut SplitMix64) -> (Vec<i64>, Vec<i64>, Vec<usize>, usize) {
+    let sizes: Vec<i64> = (0..4).map(|_| rng.range_i64(2, 5)).collect();
+    let tiles: Vec<i64> = sizes.iter().map(|&n| rng.range_i64(1, n)).collect();
+    let mut perm = vec![0usize, 1, 2, 3];
+    rng.shuffle(&mut perm);
+    let level = 1 + rng.range_usize(4);
+    (sizes, tiles, perm, level)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn env_for(kernel: &ioopt_ir::Kernel, sizes: &[i64], tiles: &[i64]) -> HashMap<Symbol, Rational> {
+    let mut env: HashMap<Symbol, Rational> = HashMap::new();
+    for (d, dim) in kernel.dims().iter().enumerate() {
+        env.insert(dim.size, Rational::from(sizes[d] as i128));
+        env.insert(
+            Symbol::new(&format!("T{}", dim.name)),
+            Rational::from(tiles[d] as i128),
+        );
+    }
+    env
+}
 
-    /// SDF equals the enumerated distinct-cell count of the level's box.
-    #[test]
-    fn sdf_matches_enumeration((sizes, tiles, perm, level) in case_strategy()) {
+/// SDF equals the enumerated distinct-cell count of the level's box.
+#[test]
+fn sdf_matches_enumeration() {
+    let mut rng = SplitMix64::new(0x100b01);
+    for _ in 0..64 {
+        let (sizes, tiles, perm, level) = random_case(&mut rng);
         let kernel = kernels::conv1d();
-        let sched = TilingSchedule::parametric_by_index(&kernel, perm.clone())
-            .expect("valid permutation");
-        // Bindings: dimension sizes and tile symbols.
-        let mut env: HashMap<Symbol, Rational> = HashMap::new();
-        for (d, dim) in kernel.dims().iter().enumerate() {
-            env.insert(dim.size, Rational::from(sizes[d] as i128));
-            env.insert(
-                Symbol::new(&format!("T{}", dim.name)),
-                Rational::from(tiles[d] as i128),
-            );
-        }
+        let sched =
+            TilingSchedule::parametric_by_index(&kernel, perm.clone()).expect("valid permutation");
+        let env = env_for(&kernel, &sizes, &tiles);
         // Concrete box: tiled dims (level >= `level`) use the tile size,
         // inner dims the full extent.
         let extents: Vec<i64> = (0..4)
@@ -54,31 +56,29 @@ proptest! {
         let boxdom = ConcreteBox::at_origin(extents);
         for array in kernel.arrays() {
             let symbolic = sdf(&kernel, &sched, array, level);
-            prop_assert!(symbolic.exact);
+            assert!(symbolic.exact);
             let value = symbolic.card.eval_rational(&env).expect("rational");
             let enumerated = count_image(&boxdom, &array.access);
-            prop_assert_eq!(
+            assert_eq!(
                 value,
                 Rational::from(enumerated as i128),
-                "array {} level {}", array.name, level
+                "array {} level {level} perm {perm:?}",
+                array.name
             );
         }
     }
+}
 
-    /// SDR equals the enumerated overlap of consecutive sub-domains.
-    #[test]
-    fn sdr_matches_enumeration((sizes, tiles, perm, level) in case_strategy()) {
+/// SDR equals the enumerated overlap of consecutive sub-domains.
+#[test]
+fn sdr_matches_enumeration() {
+    let mut rng = SplitMix64::new(0x100b02);
+    for _ in 0..64 {
+        let (sizes, tiles, perm, level) = random_case(&mut rng);
         let kernel = kernels::conv1d();
-        let sched = TilingSchedule::parametric_by_index(&kernel, perm.clone())
-            .expect("valid permutation");
-        let mut env: HashMap<Symbol, Rational> = HashMap::new();
-        for (d, dim) in kernel.dims().iter().enumerate() {
-            env.insert(dim.size, Rational::from(sizes[d] as i128));
-            env.insert(
-                Symbol::new(&format!("T{}", dim.name)),
-                Rational::from(tiles[d] as i128),
-            );
-        }
+        let sched =
+            TilingSchedule::parametric_by_index(&kernel, perm.clone()).expect("valid permutation");
+        let env = env_for(&kernel, &sizes, &tiles);
         let extents: Vec<i64> = (0..4)
             .map(|d| {
                 if sched.level_of(d) >= level {
@@ -95,10 +95,11 @@ proptest! {
             let symbolic = sdr(&kernel, &sched, array, level);
             let value = symbolic.card.eval_rational(&env).expect("rational");
             let enumerated = count_image_overlap(&b1, &b2, &array.access);
-            prop_assert_eq!(
+            assert_eq!(
                 value,
                 Rational::from(enumerated as i128),
-                "array {} level {} shift dim {}", array.name, level, d_level
+                "array {} level {level} shift dim {d_level} perm {perm:?}",
+                array.name
             );
         }
     }

@@ -70,8 +70,9 @@ pub fn classify_tc(kernel: &Kernel) -> Option<TcClass> {
 
     // Every dimension must lie in exactly two arrays.
     for d in 0..kernel.dims().len() {
-        let count =
-            usize::from(out.contains(&d)) + usize::from(in1.contains(&d)) + usize::from(in2.contains(&d));
+        let count = usize::from(out.contains(&d))
+            + usize::from(in1.contains(&d))
+            + usize::from(in2.contains(&d));
         if count != 2 {
             return None;
         }

@@ -123,14 +123,13 @@ pub fn tensor_contraction(name: &str, spec: &str) -> Kernel {
     letters.dedup();
     let dims: Vec<Dim> = letters
         .iter()
-        .map(|&c| Dim {
-            name: c.to_string(),
-            size: Symbol::new(&c.to_uppercase().to_string()),
-            small: false,
-        })
+        .map(|&c| Dim::new(c.to_string(), Symbol::new(&c.to_uppercase().to_string())))
         .collect();
     let dim_of = |c: char| -> usize {
-        letters.iter().position(|&l| l == c).expect("letter registered")
+        letters
+            .iter()
+            .position(|&l| l == c)
+            .expect("letter registered")
     };
     let make_access = |indices: &str| -> AccessFunction {
         let mut seen = Vec::new();
@@ -144,14 +143,10 @@ pub fn tensor_contraction(name: &str, spec: &str) -> Kernel {
             .collect();
         AccessFunction::new(forms)
     };
-    let output = ArrayRef {
-        name: "Out".into(),
-        access: make_access(parts[0]),
-        kind: AccessKind::Accumulate,
-    };
+    let output = ArrayRef::new("Out", make_access(parts[0]), AccessKind::Accumulate);
     let inputs = vec![
-        ArrayRef { name: "In1".into(), access: make_access(parts[1]), kind: AccessKind::Read },
-        ArrayRef { name: "In2".into(), access: make_access(parts[2]), kind: AccessKind::Read },
+        ArrayRef::new("In1", make_access(parts[1]), AccessKind::Read),
+        ArrayRef::new("In2", make_access(parts[2]), AccessKind::Read),
     ];
     Kernel::new(name, dims, output, inputs).expect("TC spec produces a valid kernel")
 }
@@ -245,14 +240,38 @@ pub struct TccgEntry {
 /// The eight TCCG tensor-contraction classes with the paper's problem
 /// sizes (Fig. 5).
 pub const TCCG: [TccgEntry; 8] = [
-    TccgEntry { spec: "abcde-efbad-cf", sizes: &[48, 32, 24, 32, 48, 32] },
-    TccgEntry { spec: "abcd-dbea-ec", sizes: &[72, 72, 24, 72, 72] },
-    TccgEntry { spec: "abc-bda-dc", sizes: &[312, 312, 296, 312] },
-    TccgEntry { spec: "abcdef-dega-gfbc", sizes: &[24, 16, 16, 24, 16, 16, 24] },
-    TccgEntry { spec: "abc-adec-ebd", sizes: &[72, 72, 72, 72, 72] },
-    TccgEntry { spec: "ab-cad-dcb", sizes: &[312, 296, 312, 312] },
-    TccgEntry { spec: "ab-ac-cb", sizes: &[5136, 5136, 5120] },
-    TccgEntry { spec: "abcd-aebf-fdec", sizes: &[72, 72, 72, 72, 72, 72] },
+    TccgEntry {
+        spec: "abcde-efbad-cf",
+        sizes: &[48, 32, 24, 32, 48, 32],
+    },
+    TccgEntry {
+        spec: "abcd-dbea-ec",
+        sizes: &[72, 72, 24, 72, 72],
+    },
+    TccgEntry {
+        spec: "abc-bda-dc",
+        sizes: &[312, 312, 296, 312],
+    },
+    TccgEntry {
+        spec: "abcdef-dega-gfbc",
+        sizes: &[24, 16, 16, 24, 16, 16, 24],
+    },
+    TccgEntry {
+        spec: "abc-adec-ebd",
+        sizes: &[72, 72, 72, 72, 72],
+    },
+    TccgEntry {
+        spec: "ab-cad-dcb",
+        sizes: &[312, 296, 312, 312],
+    },
+    TccgEntry {
+        spec: "ab-ac-cb",
+        sizes: &[5136, 5136, 5120],
+    },
+    TccgEntry {
+        spec: "abcd-aebf-fdec",
+        sizes: &[72, 72, 72, 72, 72, 72],
+    },
 ];
 
 impl TccgEntry {
@@ -269,7 +288,12 @@ impl TccgEntry {
             .filter(|c| c.is_ascii_alphabetic())
             .collect::<std::collections::BTreeSet<_>>()
             .len();
-        assert_eq!(self.sizes.len(), ndims, "size list length mismatch for {}", self.spec);
+        assert_eq!(
+            self.sizes.len(),
+            ndims,
+            "size list length mismatch for {}",
+            self.spec
+        );
         (0..ndims)
             .map(|i| {
                 let letter = (b'a' + i as u8) as char;
@@ -300,17 +324,105 @@ pub struct YoloLayer {
 
 /// The eleven Yolo9000 layers of the paper's Fig. 4 (batch `B = 1`).
 pub const YOLO9000: [YoloLayer; 11] = [
-    YoloLayer { name: "Yolo9000-0", f: 32, c: 3, x: 544, y: 544, w: 3, h: 3 },
-    YoloLayer { name: "Yolo9000-2", f: 64, c: 32, x: 272, y: 272, w: 3, h: 3 },
-    YoloLayer { name: "Yolo9000-4", f: 128, c: 64, x: 136, y: 136, w: 3, h: 3 },
-    YoloLayer { name: "Yolo9000-5", f: 64, c: 128, x: 136, y: 136, w: 1, h: 1 },
-    YoloLayer { name: "Yolo9000-8", f: 256, c: 128, x: 68, y: 68, w: 3, h: 3 },
-    YoloLayer { name: "Yolo9000-9", f: 128, c: 256, x: 68, y: 68, w: 1, h: 1 },
-    YoloLayer { name: "Yolo9000-12", f: 512, c: 256, x: 34, y: 34, w: 3, h: 3 },
-    YoloLayer { name: "Yolo9000-13", f: 256, c: 512, x: 34, y: 34, w: 1, h: 1 },
-    YoloLayer { name: "Yolo9000-18", f: 1024, c: 512, x: 17, y: 17, w: 3, h: 3 },
-    YoloLayer { name: "Yolo9000-19", f: 512, c: 1024, x: 17, y: 17, w: 1, h: 1 },
-    YoloLayer { name: "Yolo9000-23", f: 28272, c: 1024, x: 17, y: 17, w: 1, h: 1 },
+    YoloLayer {
+        name: "Yolo9000-0",
+        f: 32,
+        c: 3,
+        x: 544,
+        y: 544,
+        w: 3,
+        h: 3,
+    },
+    YoloLayer {
+        name: "Yolo9000-2",
+        f: 64,
+        c: 32,
+        x: 272,
+        y: 272,
+        w: 3,
+        h: 3,
+    },
+    YoloLayer {
+        name: "Yolo9000-4",
+        f: 128,
+        c: 64,
+        x: 136,
+        y: 136,
+        w: 3,
+        h: 3,
+    },
+    YoloLayer {
+        name: "Yolo9000-5",
+        f: 64,
+        c: 128,
+        x: 136,
+        y: 136,
+        w: 1,
+        h: 1,
+    },
+    YoloLayer {
+        name: "Yolo9000-8",
+        f: 256,
+        c: 128,
+        x: 68,
+        y: 68,
+        w: 3,
+        h: 3,
+    },
+    YoloLayer {
+        name: "Yolo9000-9",
+        f: 128,
+        c: 256,
+        x: 68,
+        y: 68,
+        w: 1,
+        h: 1,
+    },
+    YoloLayer {
+        name: "Yolo9000-12",
+        f: 512,
+        c: 256,
+        x: 34,
+        y: 34,
+        w: 3,
+        h: 3,
+    },
+    YoloLayer {
+        name: "Yolo9000-13",
+        f: 256,
+        c: 512,
+        x: 34,
+        y: 34,
+        w: 1,
+        h: 1,
+    },
+    YoloLayer {
+        name: "Yolo9000-18",
+        f: 1024,
+        c: 512,
+        x: 17,
+        y: 17,
+        w: 3,
+        h: 3,
+    },
+    YoloLayer {
+        name: "Yolo9000-19",
+        f: 512,
+        c: 1024,
+        x: 17,
+        y: 17,
+        w: 1,
+        h: 1,
+    },
+    YoloLayer {
+        name: "Yolo9000-23",
+        f: 28272,
+        c: 1024,
+        x: 17,
+        y: 17,
+        w: 1,
+        h: 1,
+    },
 ];
 
 impl YoloLayer {
@@ -384,8 +496,11 @@ mod tests {
         let k = conv2d();
         assert_eq!(k.dims().len(), 7);
         // Reduction over c, h, w (paper §5.3).
-        let reduced: Vec<&str> =
-            k.reduced_dims().iter().map(|&d| k.dims()[d].name.as_str()).collect();
+        let reduced: Vec<&str> = k
+            .reduced_dims()
+            .iter()
+            .map(|&d| k.dims()[d].name.as_str())
+            .collect();
         assert_eq!(reduced, vec!["c", "h", "w"]);
         assert!(k.dims()[k.dim_index("h").unwrap()].small);
     }
@@ -409,7 +524,12 @@ mod tests {
             assert_eq!(sizes.len(), k.dims().len(), "{}", entry.spec);
             // Every kernel dimension has a size.
             for d in k.dims() {
-                assert!(sizes.contains_key(&d.name), "{} missing {}", entry.spec, d.name);
+                assert!(
+                    sizes.contains_key(&d.name),
+                    "{} missing {}",
+                    entry.spec,
+                    d.name
+                );
             }
         }
     }
@@ -426,7 +546,10 @@ mod tests {
     fn yolo_table_matches_paper() {
         assert_eq!(YOLO9000.len(), 11);
         let l0 = YOLO9000[0];
-        assert_eq!((l0.f, l0.c, l0.x, l0.y, l0.w, l0.h), (32, 3, 544, 544, 3, 3));
+        assert_eq!(
+            (l0.f, l0.c, l0.x, l0.y, l0.w, l0.h),
+            (32, 3, 544, 544, 3, 3)
+        );
         let l23 = YOLO9000[10];
         assert_eq!(l23.f, 28272);
         assert_eq!(l23.w, 1);

@@ -91,10 +91,19 @@ mod tests {
             kernels::mttkrp(),
             kernels::stencil2d(),
         ] {
-            assert_eq!(check_tilable(&k), Legality::ReductionTilable, "{}", k.name());
+            assert_eq!(
+                check_tilable(&k),
+                Legality::ReductionTilable,
+                "{}",
+                k.name()
+            );
         }
         for entry in kernels::TCCG {
-            assert!(check_tilable(&entry.kernel()).is_tilable(), "{}", entry.spec);
+            assert!(
+                check_tilable(&entry.kernel()).is_tilable(),
+                "{}",
+                entry.spec
+            );
         }
     }
 

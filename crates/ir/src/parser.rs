@@ -25,6 +25,7 @@ use ioopt_polyhedra::{AccessFunction, LinearForm};
 use ioopt_symbolic::Symbol;
 
 use crate::program::{AccessKind, ArrayRef, Dim, Kernel};
+use crate::span::Span;
 
 /// A parse error with source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,13 +34,42 @@ pub struct ParseError {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// Byte-offset span of the offending token ([`Span::NONE`] when no
+    /// token position applies).
+    pub span: Span,
     /// Human-readable message.
     pub message: String,
 }
 
+impl ParseError {
+    /// Renders the error with a caret-underline source excerpt. The
+    /// first line is the plain [`fmt::Display`] form, so existing
+    /// consumers that match on it keep working:
+    ///
+    /// ```text
+    /// parse error at 3:25: unknown loop index `q`
+    ///   |
+    /// 3 |                 C[i] += A[q];
+    ///   |                           ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = self.to_string();
+        let excerpt = self.span.render(src);
+        if !excerpt.is_empty() {
+            out.push('\n');
+            out.push_str(&excerpt);
+        }
+        out
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -82,6 +112,15 @@ impl fmt::Display for Tok {
     }
 }
 
+/// A token with its 1-based line/column and byte-offset span.
+#[derive(Debug, Clone)]
+struct SpTok {
+    tok: Tok,
+    line: usize,
+    col: usize,
+    span: Span,
+}
+
 struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
@@ -91,11 +130,21 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            span: Span::new(self.pos, (self.pos + 1).min(self.src.len())),
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -132,11 +181,17 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_token(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+    fn next_token(&mut self) -> Result<SpTok, ParseError> {
         self.skip_trivia();
         let (line, col) = (self.line, self.col);
+        let start = self.pos;
         let Some(c) = self.peek() else {
-            return Ok((Tok::Eof, line, col));
+            return Ok(SpTok {
+                tok: Tok::Eof,
+                line,
+                col,
+                span: Span::new(start, start),
+            });
         };
         let tok = match c {
             b'{' => {
@@ -192,7 +247,6 @@ impl<'a> Lexer<'a> {
                 Tok::Num(n)
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
-                let start = self.pos;
                 while let Some(d) = self.peek() {
                     if !(d.is_ascii_alphanumeric() || d == b'_') {
                         break;
@@ -204,16 +258,19 @@ impl<'a> Lexer<'a> {
                     .to_owned();
                 Tok::Ident(s)
             }
-            other => {
-                return Err(self.error(format!("unexpected character `{}`", other as char)))
-            }
+            other => return Err(self.error(format!("unexpected character `{}`", other as char))),
         };
-        Ok((tok, line, col))
+        Ok(SpTok {
+            tok,
+            line,
+            col,
+            span: Span::new(start, self.pos),
+        })
     }
 }
 
 struct Parser {
-    tokens: Vec<(Tok, usize, usize)>,
+    tokens: Vec<SpTok>,
     pos: usize,
 }
 
@@ -223,7 +280,7 @@ impl Parser {
         let mut tokens = Vec::new();
         loop {
             let t = lexer.next_token()?;
-            let eof = t.0 == Tok::Eof;
+            let eof = t.tok == Tok::Eof;
             tokens.push(t);
             if eof {
                 break;
@@ -233,20 +290,31 @@ impl Parser {
     }
 
     fn peek(&self) -> &Tok {
-        &self.tokens[self.pos].0
+        &self.tokens[self.pos].tok
     }
 
-    fn here(&self) -> (usize, usize) {
-        (self.tokens[self.pos].1, self.tokens[self.pos].2)
+    /// Span of the token about to be consumed.
+    fn here_span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        let (line, col) = self.here();
-        ParseError { line, col, message: message.into() }
+        let t = &self.tokens[self.pos];
+        ParseError {
+            line: t.line,
+            col: t.col,
+            span: t.span,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.tokens[self.pos].0.clone();
+        let t = self.tokens[self.pos].tok.clone();
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -294,6 +362,7 @@ impl Parser {
         let mut dims: Vec<Dim> = Vec::new();
         let mut defaults: Vec<(String, i64)> = Vec::new();
         while matches!(self.peek(), Tok::Ident(s) if s == "loop") {
+            let loop_span = self.here_span();
             self.bump();
             let dim_name = self.ident()?;
             self.expect(&Tok::Colon)?;
@@ -303,9 +372,9 @@ impl Parser {
                 match self.bump() {
                     Tok::Num(v) => defaults.push((dim_name.clone(), v)),
                     other => {
-                        return Err(self.error(format!(
-                            "expected a default size after `=`, found {other}"
-                        )))
+                        return Err(
+                            self.error(format!("expected a default size after `=`, found {other}"))
+                        )
                     }
                 }
             }
@@ -316,10 +385,16 @@ impl Parser {
                 false
             };
             self.expect(&Tok::Semi)?;
-            dims.push(Dim { name: dim_name, size: Symbol::new(&size), small });
+            // The span covers the whole declaration, `loop` through `;`.
+            let span = loop_span.to(self.prev_span());
+            dims.push(
+                Dim::new(dim_name, Symbol::new(&size))
+                    .small(small)
+                    .with_span(span),
+            );
         }
         // Statement: Out[..] (+= | =) A[..] * B[..] ... ;
-        let (out_name, out_access) = self.access(&dims)?;
+        let (out_name, out_access, out_span) = self.access(&dims)?;
         let kind = match self.bump() {
             Tok::PlusAssign => AccessKind::Accumulate,
             Tok::Assign => AccessKind::Write,
@@ -327,8 +402,8 @@ impl Parser {
         };
         let mut inputs = Vec::new();
         loop {
-            let (in_name, in_access) = self.access(&dims)?;
-            inputs.push(ArrayRef { name: in_name, access: in_access, kind: AccessKind::Read });
+            let (in_name, in_access, in_span) = self.access(&dims)?;
+            inputs.push(ArrayRef::new(in_name, in_access, AccessKind::Read).with_span(in_span));
             match self.peek() {
                 Tok::Star | Tok::Plus => {
                     self.bump();
@@ -338,14 +413,15 @@ impl Parser {
         }
         self.expect(&Tok::Semi)?;
         self.expect(&Tok::RBrace)?;
-        let output = ArrayRef { name: out_name, access: out_access, kind };
+        let output = ArrayRef::new(out_name, out_access, kind).with_span(out_span);
         let kernel =
             Kernel::new(name, dims, output, inputs).map_err(|e| self.error(e.to_string()))?;
         Ok(kernel.with_default_sizes(defaults))
     }
 
     /// `Name[sub]...[sub]`
-    fn access(&mut self, dims: &[Dim]) -> Result<(String, AccessFunction), ParseError> {
+    fn access(&mut self, dims: &[Dim]) -> Result<(String, AccessFunction, Span), ParseError> {
+        let start = self.here_span();
         let name = self.ident()?;
         let mut forms = Vec::new();
         while *self.peek() == Tok::LBracket {
@@ -356,7 +432,7 @@ impl Parser {
         if forms.is_empty() {
             return Err(self.error(format!("array `{name}` needs at least one subscript")));
         }
-        Ok((name, AccessFunction::new(forms)))
+        Ok((name, AccessFunction::new(forms), start.to(self.prev_span())))
     }
 
     /// `term (+ term)*` where `term := (num '*')? index`
@@ -381,11 +457,7 @@ impl Parser {
                     let d = self.lookup_dim(dims, &idx)?;
                     terms.push((d, 1));
                 }
-                other => {
-                    return Err(self.error(format!(
-                        "expected subscript term, found {other}"
-                    )))
-                }
+                other => return Err(self.error(format!("expected subscript term, found {other}"))),
             }
             if *self.peek() == Tok::Plus {
                 self.bump();
@@ -396,10 +468,18 @@ impl Parser {
         Ok(LinearForm::new(&terms, constant))
     }
 
+    /// Resolves a loop-index name, reporting the error at the *previous*
+    /// token (the identifier just consumed), not the lookahead.
     fn lookup_dim(&self, dims: &[Dim], name: &str) -> Result<usize, ParseError> {
-        dims.iter()
-            .position(|d| d.name == name)
-            .ok_or_else(|| self.error(format!("unknown loop index `{name}`")))
+        dims.iter().position(|d| d.name == name).ok_or_else(|| {
+            let t = &self.tokens[self.pos.saturating_sub(1)];
+            ParseError {
+                line: t.line,
+                col: t.col,
+                span: t.span,
+                message: format!("unknown loop index `{name}`"),
+            }
+        })
     }
 }
 
@@ -439,6 +519,7 @@ pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
         return Err(ParseError {
             line: 1,
             col: 1,
+            span: Span::NONE,
             message: format!("expected exactly one kernel, found {}", ks.len()),
         });
     }
@@ -520,6 +601,34 @@ mod tests {
     }
 
     #[test]
+    fn error_render_underlines_offending_token() {
+        let src = "kernel bad {\n    loop i : Ni;\n    C[i] += A[q];\n}";
+        let err = parse(src).unwrap_err();
+        let rendered = err.render(src);
+        // Display prefix stays the first line.
+        assert!(rendered.starts_with(&err.to_string()), "got:\n{rendered}");
+        assert!(rendered.contains("C[i] += A[q];"), "got:\n{rendered}");
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.trim_end().ends_with('^'), "got:\n{rendered}");
+        // The caret sits under the `q`.
+        let src_line = src.lines().nth(err.line - 1).unwrap();
+        let caret_col = caret_line.find('^').unwrap() - caret_line.find('|').unwrap() - 2;
+        assert_eq!(src_line.as_bytes()[caret_col], b'q', "got:\n{rendered}");
+    }
+
+    #[test]
+    fn parsed_ir_carries_spans() {
+        let src = "kernel mm {\n    loop i : Ni;\n    loop k : Nk;\n    C[i] += A[i][k];\n}";
+        let k = parse_kernel(src).unwrap();
+        let dim_span = k.dims()[0].span;
+        assert_eq!(&src[dim_span.start..dim_span.end], "loop i : Ni;");
+        let out_span = k.output().span;
+        assert_eq!(&src[out_span.start..out_span.end], "C[i]");
+        let in_span = k.inputs()[0].span;
+        assert_eq!(&src[in_span.start..in_span.end], "A[i][k]");
+    }
+
+    #[test]
     fn default_sizes_annotation() {
         let k = parse_kernel(
             "kernel sized {
@@ -535,10 +644,8 @@ mod tests {
         assert!(k.dims()[1].small);
 
         // Partial annotation -> None.
-        let k = parse_kernel(
-            "kernel partial { loop i : Ni = 4; loop j : Nj; C[i] += A[j]; }",
-        )
-        .unwrap();
+        let k =
+            parse_kernel("kernel partial { loop i : Ni = 4; loop j : Nj; C[i] += A[j]; }").unwrap();
         assert!(k.default_sizes().is_none());
     }
 

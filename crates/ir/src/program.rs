@@ -12,6 +12,8 @@ use std::fmt;
 use ioopt_polyhedra::AccessFunction;
 use ioopt_symbolic::{Expr, Symbol};
 
+use crate::span::Span;
+
 /// A loop dimension of a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dim {
@@ -22,6 +24,33 @@ pub struct Dim {
     /// Small-dimension annotation: the paper's "oracle" marking dimensions
     /// whose extent is much smaller than the cache (§4.3, §5.2).
     pub small: bool,
+    /// Source span of the `loop` declaration ([`Span::NONE`] for
+    /// programmatically built IR).
+    pub span: Span,
+}
+
+impl Dim {
+    /// A dimension with no small-annotation and no source span.
+    pub fn new(name: impl Into<String>, size: Symbol) -> Dim {
+        Dim {
+            name: name.into(),
+            size,
+            small: false,
+            span: Span::NONE,
+        }
+    }
+
+    /// Sets the small-dimension annotation (builder style).
+    pub fn small(mut self, small: bool) -> Dim {
+        self.small = small;
+        self
+    }
+
+    /// Attaches a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> Dim {
+        self.span = span;
+        self
+    }
 }
 
 /// How a statement touches an array.
@@ -44,6 +73,27 @@ pub struct ArrayRef {
     pub access: AccessFunction,
     /// Read/write role in the statement.
     pub kind: AccessKind,
+    /// Source span of the whole reference, `Name[..]…[..]`
+    /// ([`Span::NONE`] for programmatically built IR).
+    pub span: Span,
+}
+
+impl ArrayRef {
+    /// An array reference with no source span.
+    pub fn new(name: impl Into<String>, access: AccessFunction, kind: AccessKind) -> ArrayRef {
+        ArrayRef {
+            name: name.into(),
+            access,
+            kind,
+            span: Span::NONE,
+        }
+    }
+
+    /// Attaches a source span (builder style).
+    pub fn with_span(mut self, span: Span) -> ArrayRef {
+        self.span = span;
+        self
+    }
 }
 
 /// A fully tilable affine kernel (single perfectly nested statement).
@@ -127,7 +177,13 @@ impl Kernel {
                 }
             }
         }
-        Ok(Kernel { name: name.into(), dims, output, inputs, default_sizes: Vec::new() })
+        Ok(Kernel {
+            name: name.into(),
+            dims,
+            output,
+            inputs,
+            default_sizes: Vec::new(),
+        })
     }
 
     /// Attaches default trip counts (from DSL `= N` annotations).
@@ -213,8 +269,7 @@ impl Kernel {
     /// May over-approximate for non-separable accesses (sound for
     /// footprints and upper bounds).
     pub fn array_size(&self, a: &ArrayRef) -> Expr {
-        let extents: Vec<Expr> =
-            (0..self.dims.len()).map(|d| self.size_expr(d)).collect();
+        let extents: Vec<Expr> = (0..self.dims.len()).map(|d| self.size_expr(d)).collect();
         a.access.image_cardinality(&extents).card
     }
 
@@ -222,8 +277,7 @@ impl Kernel {
     /// touched by the kernel (exact for the separable unit class; see
     /// [`ioopt_polyhedra::AccessFunction::image_cardinality_lower`]).
     pub fn array_size_lower(&self, a: &ArrayRef) -> Expr {
-        let extents: Vec<Expr> =
-            (0..self.dims.len()).map(|d| self.size_expr(d)).collect();
+        let extents: Vec<Expr> = (0..self.dims.len()).map(|d| self.size_expr(d)).collect();
         a.access.image_cardinality_lower(&extents)
     }
 
@@ -287,11 +341,11 @@ mod tests {
     use ioopt_polyhedra::LinearForm;
 
     fn dim(name: &str, size: &str) -> Dim {
-        Dim { name: name.into(), size: Symbol::new(size), small: false }
+        Dim::new(name, Symbol::new(size))
     }
 
     fn aref(name: &str, forms: Vec<LinearForm>, kind: AccessKind) -> ArrayRef {
-        ArrayRef { name: name.into(), access: AccessFunction::new(forms), kind }
+        ArrayRef::new(name, AccessFunction::new(forms), kind)
     }
 
     fn mini_matmul() -> Kernel {
@@ -304,8 +358,16 @@ mod tests {
                 AccessKind::Accumulate,
             ),
             vec![
-                aref("A", vec![LinearForm::var(0), LinearForm::var(2)], AccessKind::Read),
-                aref("B", vec![LinearForm::var(2), LinearForm::var(1)], AccessKind::Read),
+                aref(
+                    "A",
+                    vec![LinearForm::var(0), LinearForm::var(2)],
+                    AccessKind::Read,
+                ),
+                aref(
+                    "B",
+                    vec![LinearForm::var(2), LinearForm::var(1)],
+                    AccessKind::Read,
+                ),
             ],
         )
         .unwrap()

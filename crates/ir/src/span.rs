@@ -1,0 +1,128 @@
+//! Byte-offset source spans and caret-underline rendering.
+//!
+//! Spans are half-open byte ranges `[start, end)` into the DSL source a
+//! kernel was parsed from. Programmatically constructed IR carries
+//! [`Span::NONE`]; diagnostics degrade gracefully (no source excerpt).
+
+use std::fmt;
+
+/// A half-open byte range into DSL source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty span used by IR built without source text.
+    pub const NONE: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Whether this span carries no position (programmatic IR).
+    pub fn is_none(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        if self.is_none() {
+            return other;
+        }
+        if other.is_none() {
+            return self;
+        }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based (line, column) of the span start within `src`.
+    ///
+    /// Columns count bytes, matching the lexer (the DSL is ASCII).
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src.as_bytes()[..self.start.min(src.len())];
+        let line = 1 + upto.iter().filter(|&&c| c == b'\n').count();
+        let col = 1 + upto.iter().rev().take_while(|&&c| c != b'\n').count();
+        (line, col)
+    }
+
+    /// Renders a caret-underline excerpt for this span, e.g.:
+    ///
+    /// ```text
+    ///   |
+    /// 3 |     C[i] += A[q];
+    ///   |               ^
+    /// ```
+    ///
+    /// Returns an empty string for [`Span::NONE`] or out-of-range spans.
+    pub fn render(&self, src: &str) -> String {
+        if self.is_none() || self.start >= src.len() {
+            return String::new();
+        }
+        let (line, col) = self.line_col(src);
+        let line_text = src.lines().nth(line - 1).unwrap_or("");
+        // Clip the underline to the end of the source line.
+        let line_end = self.start - (col - 1) + line_text.len();
+        let width = self.end.min(line_end).saturating_sub(self.start).max(1);
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let mut out = String::new();
+        out.push_str(&format!("{pad} |\n"));
+        out.push_str(&format!("{gutter} | {line_text}\n"));
+        out.push_str(&format!(
+            "{pad} | {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_of_offsets() {
+        let src = "ab\ncde\nf";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn caret_rendering() {
+        let src = "kernel m {\n  loop i : Ni;\n}";
+        let span = Span::new(13, 17); // "loop" on line 2
+        let r = span.render(src);
+        assert!(r.contains("2 |   loop i : Ni;"), "got:\n{r}");
+        let underline = r.lines().last().unwrap();
+        assert!(underline.ends_with("^^^^"), "got:\n{r}");
+        assert!(!underline.contains("^^^^^"), "got:\n{r}");
+    }
+
+    #[test]
+    fn none_span_renders_empty() {
+        assert_eq!(Span::NONE.render("abc"), "");
+    }
+
+    #[test]
+    fn join_spans() {
+        assert_eq!(Span::new(3, 5).to(Span::new(8, 9)), Span::new(3, 9));
+        assert_eq!(Span::NONE.to(Span::new(8, 9)), Span::new(8, 9));
+        assert_eq!(Span::new(3, 5).to(Span::NONE), Span::new(3, 5));
+    }
+}

@@ -1,63 +1,76 @@
 //! Parser robustness: arbitrary input must produce a positioned error or
 //! a valid kernel — never a panic — and valid kernels round-trip through
 //! their derived properties without inconsistency.
+//!
+//! Driven by the deterministic in-repo [`SplitMix64`] generator (no
+//! third-party fuzzing dependency; the workspace builds offline).
 
 use ioopt_ir::{parse, parse_kernel};
-use proptest::prelude::*;
+use ioopt_symbolic::SplitMix64;
 
-proptest! {
-    /// No input panics the parser.
-    #[test]
-    fn arbitrary_bytes_never_panic(src in "[ -~\\n]{0,200}") {
+/// No input panics the parser: random printable-ASCII strings.
+#[test]
+fn arbitrary_bytes_never_panic() {
+    let mut rng = SplitMix64::new(0xf02201);
+    for _ in 0..512 {
+        let len = rng.range_usize(201);
+        let src: String = (0..len)
+            .map(|_| {
+                if rng.chance(0.05) {
+                    '\n'
+                } else {
+                    // Printable ASCII: ' ' (0x20) ..= '~' (0x7e).
+                    (0x20 + rng.range_usize(0x5f)) as u8 as char
+                }
+            })
+            .collect();
         let _ = parse(&src);
     }
+}
 
-    /// Structured-ish fuzz: random DSL-flavoured token soup.
-    #[test]
-    fn token_soup_never_panics(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("kernel".to_string()),
-                Just("loop".to_string()),
-                Just("{".to_string()),
-                Just("}".to_string()),
-                Just("[".to_string()),
-                Just("]".to_string()),
-                Just(";".to_string()),
-                Just(":".to_string()),
-                Just("+=".to_string()),
-                Just("=".to_string()),
-                Just("*".to_string()),
-                Just("+".to_string()),
-                Just("small".to_string()),
-                "[a-z]{1,3}".prop_map(|s| s),
-                (0u32..999).prop_map(|n| n.to_string()),
-            ],
-            0..40,
-        )
-    ) {
+/// Structured-ish fuzz: random DSL-flavoured token soup.
+#[test]
+fn token_soup_never_panics() {
+    const FIXED: [&str; 13] = [
+        "kernel", "loop", "{", "}", "[", "]", ";", ":", "+=", "=", "*", "+", "small",
+    ];
+    let mut rng = SplitMix64::new(0xf02202);
+    for _ in 0..512 {
+        let ntok = rng.range_usize(41);
+        let tokens: Vec<String> = (0..ntok)
+            .map(|_| match rng.range_usize(15) {
+                k if k < 13 => FIXED[k].to_string(),
+                13 => {
+                    let n = 1 + rng.range_usize(3);
+                    (0..n)
+                        .map(|_| (b'a' + rng.range_usize(26) as u8) as char)
+                        .collect()
+                }
+                _ => rng.range_usize(999).to_string(),
+            })
+            .collect();
         let src = tokens.join(" ");
         let _ = parse(&src);
     }
+}
 
-    /// Generated well-formed kernels always parse and validate.
-    #[test]
-    fn well_formed_kernels_parse(
-        ndims in 1usize..5,
-        use_acc in proptest::bool::ANY,
-    ) {
-        let mut src = String::from("kernel gen {\n");
-        for d in 0..ndims {
-            src.push_str(&format!("loop d{d} : N{d};\n"));
+/// Generated well-formed kernels always parse and validate.
+#[test]
+fn well_formed_kernels_parse() {
+    for ndims in 1usize..5 {
+        for use_acc in [false, true] {
+            let mut src = String::from("kernel gen {\n");
+            for d in 0..ndims {
+                src.push_str(&format!("loop d{d} : N{d};\n"));
+            }
+            let out_subs: String = (0..ndims).map(|d| format!("[d{d}]")).collect();
+            let op = if use_acc { "+=" } else { "=" };
+            src.push_str(&format!("O{out_subs} {op} I{out_subs};\n}}\n"));
+            let kernel = parse_kernel(&src).expect("well-formed kernel parses");
+            assert_eq!(kernel.dims().len(), ndims);
+            assert_eq!(kernel.inputs().len(), 1);
+            // A full-rank output access leaves no reduced dims.
+            assert!(kernel.reduced_dims().is_empty());
         }
-        let out_subs: String =
-            (0..ndims).map(|d| format!("[d{d}]")).collect();
-        let op = if use_acc { "+=" } else { "=" };
-        src.push_str(&format!("O{out_subs} {op} I{out_subs};\n}}\n"));
-        let kernel = parse_kernel(&src).expect("well-formed kernel parses");
-        prop_assert_eq!(kernel.dims().len(), ndims);
-        prop_assert_eq!(kernel.inputs().len(), 1);
-        // A full-rank output access leaves no reduced dims.
-        prop_assert!(kernel.reduced_dims().is_empty());
     }
 }

@@ -22,7 +22,11 @@ pub struct IntMatrix {
 impl IntMatrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> IntMatrix {
-        IntMatrix { rows, cols, data: vec![0; rows * cols] }
+        IntMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Creates from rows of `i64`.
@@ -81,7 +85,10 @@ impl IntMatrix {
                 let mut best: Option<(usize, i128)> = None;
                 for r in pivot_row..rows {
                     let v = m[(r, col)];
-                    if v != 0 && best.map(|(_, bv): (usize, i128)| v.abs() < bv.abs()).unwrap_or(true)
+                    if v != 0
+                        && best
+                            .map(|(_, bv): (usize, i128)| v.abs() < bv.abs())
+                            .unwrap_or(true)
                     {
                         best = Some((r, v));
                     }
@@ -203,7 +210,10 @@ pub fn primitive_integer_vector(v: &[Rational]) -> Vec<i128> {
 /// assert_eq!(integer_kernel_basis(&phi), vec![vec![0, 1, 0]]);
 /// ```
 pub fn integer_kernel_basis(m: &Matrix) -> Vec<Vec<i128>> {
-    m.kernel_basis().iter().map(|v| primitive_integer_vector(v)).collect()
+    m.kernel_basis()
+        .iter()
+        .map(|v| primitive_integer_vector(v))
+        .collect()
 }
 
 #[cfg(test)]

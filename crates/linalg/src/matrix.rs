@@ -25,7 +25,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -255,7 +259,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "column count mismatch in vstack");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -319,7 +327,10 @@ mod tests {
         let m = Matrix::from_i64(&[&[1, 0, 0], &[0, 0, 1]]);
         let kernel = m.kernel_basis();
         assert_eq!(kernel.len(), 1);
-        assert_eq!(kernel[0], vec![Rational::ZERO, Rational::ONE, Rational::ZERO]);
+        assert_eq!(
+            kernel[0],
+            vec![Rational::ZERO, Rational::ONE, Rational::ZERO]
+        );
     }
 
     #[test]
@@ -344,7 +355,7 @@ mod tests {
     fn matmul_and_apply_agree() {
         let a = Matrix::from_i64(&[&[1, 2], &[3, 4]]);
         let v = vec![Rational::from(5i128), Rational::from(6i128)];
-        let as_matrix = Matrix::from_rows(&[v.clone()], 2).transpose();
+        let as_matrix = Matrix::from_rows(std::slice::from_ref(&v), 2).transpose();
         let prod = a.matmul(&as_matrix);
         let direct = a.apply(&v);
         assert_eq!(prod[(0, 0)], direct[0]);

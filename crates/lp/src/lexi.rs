@@ -53,11 +53,8 @@ mod tests {
         let mut lp = Lp::new(2);
         lp.add_constraint(vec![ri(1), ri(1)], Cmp::Ge, ri(2));
         lp.add_constraint(vec![ri(1), ri(0)], Cmp::Le, ri(3));
-        let (sol, stages) = lexicographic_min(
-            &lp,
-            &[vec![ri(1), ri(1)], vec![ri(0), ri(1)]],
-        )
-        .unwrap();
+        let (sol, stages) =
+            lexicographic_min(&lp, &[vec![ri(1), ri(1)], vec![ri(0), ri(1)]]).unwrap();
         assert_eq!(stages, vec![ri(2), ri(0)]);
         assert_eq!(sol.x, vec![ri(2), ri(0)]);
     }

@@ -76,7 +76,11 @@ impl Lp {
     /// Creates a program with `num_vars` non-negative variables and a zero
     /// objective.
     pub fn new(num_vars: usize) -> Lp {
-        Lp { num_vars, objective: vec![Rational::ZERO; num_vars], constraints: Vec::new() }
+        Lp {
+            num_vars,
+            objective: vec![Rational::ZERO; num_vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of structural variables.
@@ -152,8 +156,11 @@ impl Tableau {
         let m = lp.constraints.len();
         let n = lp.num_vars;
         // One slack/surplus per inequality.
-        let num_slack =
-            lp.constraints.iter().filter(|(_, c, _)| *c != Cmp::Eq).count();
+        let num_slack = lp
+            .constraints
+            .iter()
+            .filter(|(_, c, _)| *c != Cmp::Eq)
+            .count();
         // Worst case one artificial per row; trim later via usage flags.
         let art_start = n + num_slack;
         let ncols = art_start + m + 1;
@@ -331,8 +338,8 @@ impl Tableau {
             }
         }
         let mut objective = Rational::ZERO;
-        for j in 0..self.num_structural {
-            objective += self.orig_cost[j] * x[j];
+        for (j, &xj) in x.iter().enumerate().take(self.num_structural) {
+            objective += self.orig_cost[j] * xj;
         }
         Ok(LpSolution { objective, x })
     }

@@ -1,9 +1,9 @@
-//! Property test: the simplex optimum equals the best vertex of the
+//! Randomized test: the simplex optimum equals the best vertex of the
 //! feasible polytope (brute-force oracle via exact linear algebra).
+//! Deterministic SplitMix64-driven cases.
 
 use ioopt_lp::{Cmp, Lp, LpError};
-use ioopt_symbolic::Rational;
-use proptest::prelude::*;
+use ioopt_symbolic::{Rational, SplitMix64};
 
 /// A random bounded LP on 2 variables:
 /// `min c·x  s.t.  A x ≤ b, 0 ≤ x ≤ 10`.
@@ -13,14 +13,18 @@ struct SmallLp {
     rows: Vec<([i64; 2], i64)>,
 }
 
-fn lp_strategy() -> impl Strategy<Value = SmallLp> {
-    let coeff = -4i64..=4;
-    let row = (
-        proptest::array::uniform2(coeff.clone()),
-        0i64..=20,
-    );
-    ((proptest::array::uniform2(-5i64..=5)), proptest::collection::vec(row, 1..5))
-        .prop_map(|(c, rows)| SmallLp { c, rows })
+fn random_lp(rng: &mut SplitMix64) -> SmallLp {
+    let c = [rng.range_i64(-5, 5), rng.range_i64(-5, 5)];
+    let nrows = 1 + rng.range_usize(4);
+    let rows = (0..nrows)
+        .map(|_| {
+            (
+                [rng.range_i64(-4, 4), rng.range_i64(-4, 4)],
+                rng.range_i64(0, 20),
+            )
+        })
+        .collect();
+    SmallLp { c, rows }
 }
 
 fn build(lp: &SmallLp) -> Lp {
@@ -51,9 +55,7 @@ fn best_vertex(lp: &SmallLp) -> Option<Rational> {
     cs.push((ri(-1), ri(0), ri(0))); // -x <= 0
     cs.push((ri(0), ri(-1), ri(0)));
     let feasible = |x: Rational, y: Rational| -> bool {
-        !x.is_negative()
-            && !y.is_negative()
-            && cs.iter().all(|&(a1, a2, b)| a1 * x + a2 * y <= b)
+        !x.is_negative() && !y.is_negative() && cs.iter().all(|&(a1, a2, b)| a1 * x + a2 * y <= b)
     };
     let mut best: Option<Rational> = None;
     for i in 0..cs.len() {
@@ -65,11 +67,10 @@ fn best_vertex(lp: &SmallLp) -> Option<Rational> {
             if det.is_zero() {
                 continue;
             }
-            // Cramer's rule with exact rationals.
             let x = (b1 * a4 - a2 * b2) / det;
             let y = (a1 * b2 - b1 * a3) / det;
             if feasible(x, y) {
-                let val = ri(lp.c[0] as i64) * x + ri(lp.c[1] as i64) * y;
+                let val = ri(lp.c[0]) * x + ri(lp.c[1]) * y;
                 best = Some(match best {
                     None => val,
                     Some(cur) => cur.min(val),
@@ -80,29 +81,28 @@ fn best_vertex(lp: &SmallLp) -> Option<Rational> {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn simplex_matches_vertex_enumeration(lp in lp_strategy()) {
+#[test]
+fn simplex_matches_vertex_enumeration() {
+    let mut rng = SplitMix64::new(0x197601);
+    for _ in 0..256 {
+        let lp = random_lp(&mut rng);
         let solver = build(&lp);
         match (solver.solve(), best_vertex(&lp)) {
             (Ok(sol), Some(vertex_best)) => {
-                prop_assert_eq!(
+                assert_eq!(
                     sol.objective, vertex_best,
-                    "simplex {:?} vs vertex {:?}", sol.objective, vertex_best
+                    "simplex {:?} vs vertex {:?} for {lp:?}",
+                    sol.objective, vertex_best
                 );
                 // And the reported point is feasible.
                 let ri = |v: i64| Rational::from(v as i128);
                 for (a, b) in &lp.rows {
-                    prop_assert!(
-                        ri(a[0]) * sol.x[0] + ri(a[1]) * sol.x[1] <= ri(*b)
-                    );
+                    assert!(ri(a[0]) * sol.x[0] + ri(a[1]) * sol.x[1] <= ri(*b));
                 }
             }
             (Err(LpError::Infeasible), None) => {} // agree: empty
             (got, oracle) => {
-                prop_assert!(false, "disagree: simplex {got:?}, oracle {oracle:?}");
+                panic!("disagree on {lp:?}: simplex {got:?}, oracle {oracle:?}");
             }
         }
     }

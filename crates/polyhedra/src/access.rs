@@ -103,7 +103,10 @@ impl AccessFunction {
         for f in &self.dims {
             factors.push(Self::interval_length(f, extents, &mut exact));
         }
-        Cardinality { card: Expr::mul_all(factors), exact }
+        Cardinality {
+            card: Expr::mul_all(factors),
+            exact,
+        }
     }
 
     /// Length of the value interval of one subscript over the box.
@@ -169,8 +172,7 @@ impl AccessFunction {
                 Expr::max_all(f.dims().map(|d| extents[d].clone()))
             }
         };
-        let coord_exact =
-            |f: &LinearForm| f.terms().len() == 1 || f.is_unit();
+        let coord_exact = |f: &LinearForm| f.terms().len() == 1 || f.is_unit();
         if disjoint && self.dims.iter().all(coord_exact) {
             Expr::mul_all(self.dims.iter().map(coord_count))
         } else {
@@ -209,7 +211,10 @@ impl AccessFunction {
                 factors.push(Expr::zero());
             }
         }
-        Cardinality { card: Expr::mul_all(factors), exact }
+        Cardinality {
+            card: Expr::mul_all(factors),
+            exact,
+        }
     }
 }
 
@@ -234,10 +239,7 @@ mod tests {
     fn conv_footprint_with_sum_subscript() {
         // Paper §4.1: SDF_Image,2 = (Nx + Nw - 1) * Tc
         // Image[x+w][c] over dims (0=x, 1=w, 2=c)
-        let acc = AccessFunction::new(vec![
-            LinearForm::sum_of(&[0, 1]),
-            LinearForm::var(2),
-        ]);
+        let acc = AccessFunction::new(vec![LinearForm::sum_of(&[0, 1]), LinearForm::var(2)]);
         let fp = acc.image_cardinality(&[e("Nx"), e("Nw"), e("Tc")]);
         assert!(fp.exact);
         let expected = (e("Nx") + e("Nw") - Expr::one()) * e("Tc");

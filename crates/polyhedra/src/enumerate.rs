@@ -39,7 +39,11 @@ impl ConcreteBox {
 
     /// Iterates all integer points (row-major).
     pub fn points(&self) -> PointIter {
-        PointIter { lo: self.lo.clone(), size: self.size.clone(), cur: None }
+        PointIter {
+            lo: self.lo.clone(),
+            size: self.size.clone(),
+            cur: None,
+        }
     }
 
     /// The box translated by `delta` along dimension `dim`.
@@ -61,7 +65,7 @@ pub struct PointIter {
 impl Iterator for PointIter {
     type Item = Vec<i64>;
     fn next(&mut self) -> Option<Vec<i64>> {
-        if self.size.iter().any(|&s| s == 0) {
+        if self.size.contains(&0) {
             return None;
         }
         match &mut self.cur {
@@ -95,11 +99,7 @@ pub fn count_image(boxdom: &ConcreteBox, access: &AccessFunction) -> u64 {
 
 /// Counts the distinct cells touched by `access` over *both* boxes
 /// (i.e. `|f(B1) ∩ f(B2)|`).
-pub fn count_image_overlap(
-    b1: &ConcreteBox,
-    b2: &ConcreteBox,
-    access: &AccessFunction,
-) -> u64 {
+pub fn count_image_overlap(b1: &ConcreteBox, b2: &ConcreteBox, access: &AccessFunction) -> u64 {
     let img1: HashSet<Vec<i64>> = b1.points().map(|p| access.eval(&p)).collect();
     let img2: HashSet<Vec<i64>> = b2.points().map(|p| access.eval(&p)).collect();
     img1.intersection(&img2).count() as u64

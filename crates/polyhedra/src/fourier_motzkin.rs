@@ -26,14 +26,20 @@ impl RationalConstraint {
         for &(d, c) in f.terms() {
             coeffs[d] = Rational::from(c);
         }
-        RationalConstraint { coeffs, constant: Rational::from(f.constant()) }
+        RationalConstraint {
+            coeffs,
+            constant: Rational::from(f.constant()),
+        }
     }
 
     /// Drops the coefficient of `var` (after elimination).
     fn without_var(&self, var: usize) -> RationalConstraint {
         let mut coeffs = self.coeffs.clone();
         coeffs.remove(var);
-        RationalConstraint { coeffs, constant: self.constant }
+        RationalConstraint {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// Whether this is a constant constraint (all coefficients zero).
@@ -61,10 +67,7 @@ pub fn project_out(poly: &ZPolyhedron, var: usize) -> Vec<RationalConstraint> {
 }
 
 /// Fourier–Motzkin step on rational constraints.
-pub fn project_out_rc(
-    constraints: &[RationalConstraint],
-    var: usize,
-) -> Vec<RationalConstraint> {
+pub fn project_out_rc(constraints: &[RationalConstraint], var: usize) -> Vec<RationalConstraint> {
     let mut lower: Vec<&RationalConstraint> = Vec::new(); // coeff > 0
     let mut upper: Vec<&RationalConstraint> = Vec::new(); // coeff < 0
     let mut free: Vec<RationalConstraint> = Vec::new();
@@ -129,10 +132,7 @@ pub fn is_rational_empty(poly: &ZPolyhedron) -> bool {
 /// Rational bounds `[lo, hi]` of dimension `var` over `poly`, from the
 /// fully projected one-dimensional shadow; `None` on that side when
 /// unbounded.
-pub fn rational_bounds(
-    poly: &ZPolyhedron,
-    var: usize,
-) -> (Option<Rational>, Option<Rational>) {
+pub fn rational_bounds(poly: &ZPolyhedron, var: usize) -> (Option<Rational>, Option<Rational>) {
     let mut cs: Vec<RationalConstraint> = poly
         .constraints()
         .iter()
@@ -208,8 +208,7 @@ mod tests {
         // rational bounds must actually occur among enumerated points.
         let p = triangle(4);
         let points = p.enumerate();
-        let xs: std::collections::BTreeSet<i64> =
-            points.iter().map(|pt| pt[0]).collect();
+        let xs: std::collections::BTreeSet<i64> = points.iter().map(|pt| pt[0]).collect();
         let (lo, hi) = rational_bounds(&p, 0);
         let lo = lo.unwrap().ceil();
         let hi = hi.unwrap().floor();

@@ -18,6 +18,8 @@ mod zpoly;
 
 pub use access::{AccessFunction, Cardinality};
 pub use enumerate::{count_image, count_image_overlap, ConcreteBox, PointIter};
-pub use fourier_motzkin::{is_rational_empty, project_out, project_out_rc, rational_bounds, RationalConstraint};
+pub use fourier_motzkin::{
+    is_rational_empty, project_out, project_out_rc, rational_bounds, RationalConstraint,
+};
 pub use linear::LinearForm;
 pub use zpoly::ZPolyhedron;

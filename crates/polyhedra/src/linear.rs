@@ -36,7 +36,10 @@ impl LinearForm {
         }
         merged.retain(|&(_, c)| c != 0);
         merged.sort_by_key(|&(d, _)| d);
-        LinearForm { terms: merged, constant }
+        LinearForm {
+            terms: merged,
+            constant,
+        }
     }
 
     /// A single dimension with unit coefficient.

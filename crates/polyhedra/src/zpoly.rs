@@ -30,7 +30,10 @@ pub struct ZPolyhedron {
 impl ZPolyhedron {
     /// An unconstrained polyhedron of dimension `dim`.
     pub fn new(dim: usize) -> ZPolyhedron {
-        ZPolyhedron { dim, constraints: Vec::new() }
+        ZPolyhedron {
+            dim,
+            constraints: Vec::new(),
+        }
     }
 
     /// The ambient dimension.
@@ -91,8 +94,8 @@ impl ZPolyhedron {
                     let Some(rest_max) = rest_max else { continue };
                     if cd > 0 {
                         // x_d >= ceil(-rest_max / cd)
-                        let b = (-rest_max).div_euclid(cd)
-                            + i64::from((-rest_max).rem_euclid(cd) != 0);
+                        let b =
+                            (-rest_max).div_euclid(cd) + i64::from((-rest_max).rem_euclid(cd) != 0);
                         let new = Some(lo[d].map_or(b, |cur: i64| cur.max(b)));
                         if new != lo[d] {
                             lo[d] = new;

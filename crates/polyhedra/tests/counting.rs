@@ -1,37 +1,38 @@
 //! Cross-validation of symbolic cardinalities against brute-force
 //! enumeration — the "Barvinok correctness" property of DESIGN.md.
+//! Deterministic SplitMix64-driven random cases.
 
 use std::collections::HashMap;
 
-use ioopt_polyhedra::{
-    count_image, count_image_overlap, AccessFunction, ConcreteBox, LinearForm,
-};
-use ioopt_symbolic::{Expr, Rational, Symbol};
-use proptest::prelude::*;
+use ioopt_polyhedra::{count_image, count_image_overlap, AccessFunction, ConcreteBox, LinearForm};
+use ioopt_symbolic::{Expr, Rational, SplitMix64, Symbol};
 
 /// Generates a separable unit access function over `ndims` iteration dims:
 /// a partition of a subset of the dims into subscript groups.
-fn access_strategy(ndims: usize) -> impl Strategy<Value = AccessFunction> {
-    proptest::collection::vec(0usize..4, ndims).prop_map(move |groups| {
-        // groups[d] == g assigns dim d to subscript g (3 = unused).
-        let mut subs: Vec<Vec<usize>> = vec![Vec::new(); 3];
-        for (d, &g) in groups.iter().enumerate() {
-            if g < 3 {
-                subs[g].push(d);
-            }
+fn random_access(rng: &mut SplitMix64, ndims: usize) -> AccessFunction {
+    // groups[d] == g assigns dim d to subscript g (3 = unused).
+    let mut subs: Vec<Vec<usize>> = vec![Vec::new(); 3];
+    for d in 0..ndims {
+        let g = rng.range_usize(4);
+        if g < 3 {
+            subs[g].push(d);
         }
-        let forms: Vec<LinearForm> = subs
-            .into_iter()
-            .filter(|s| !s.is_empty())
-            .map(|s| LinearForm::sum_of(&s))
-            .collect();
-        let forms = if forms.is_empty() { vec![LinearForm::var(0)] } else { forms };
-        AccessFunction::new(forms)
-    })
+    }
+    let forms: Vec<LinearForm> = subs
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| LinearForm::sum_of(&s))
+        .collect();
+    let forms = if forms.is_empty() {
+        vec![LinearForm::var(0)]
+    } else {
+        forms
+    };
+    AccessFunction::new(forms)
 }
 
-fn extents_strategy(ndims: usize) -> impl Strategy<Value = Vec<i64>> {
-    proptest::collection::vec(1i64..5, ndims)
+fn random_extents(rng: &mut SplitMix64, ndims: usize) -> Vec<i64> {
+    (0..ndims).map(|_| rng.range_i64(1, 4)).collect()
 }
 
 fn symbolic_extents(sizes: &[i64]) -> (Vec<Expr>, HashMap<Symbol, Rational>) {
@@ -45,29 +46,31 @@ fn symbolic_extents(sizes: &[i64]) -> (Vec<Expr>, HashMap<Symbol, Rational>) {
     (exprs, env)
 }
 
-proptest! {
-    /// Symbolic image cardinality equals enumerated distinct-cell count.
-    #[test]
-    fn image_cardinality_matches_enumeration(
-        access in access_strategy(4),
-        sizes in extents_strategy(4),
-    ) {
+/// Symbolic image cardinality equals enumerated distinct-cell count.
+#[test]
+fn image_cardinality_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xc00701);
+    for _ in 0..256 {
+        let access = random_access(&mut rng, 4);
+        let sizes = random_extents(&mut rng, 4);
         let (exprs, env) = symbolic_extents(&sizes);
         let fp = access.image_cardinality(&exprs);
-        prop_assert!(fp.exact);
+        assert!(fp.exact);
         let symbolic = fp.card.eval_rational(&env).expect("rational");
         let enumerated = count_image(&ConcreteBox::at_origin(sizes), &access);
-        prop_assert_eq!(symbolic, Rational::from(enumerated as i128));
+        assert_eq!(symbolic, Rational::from(enumerated as i128));
     }
+}
 
-    /// Symbolic overlap cardinality equals enumerated image intersection
-    /// for a box shifted by its own extent along one dimension.
-    #[test]
-    fn overlap_cardinality_matches_enumeration(
-        access in access_strategy(4),
-        sizes in extents_strategy(4),
-        shift_dim in 0usize..4,
-    ) {
+/// Symbolic overlap cardinality equals enumerated image intersection
+/// for a box shifted by its own extent along one dimension.
+#[test]
+fn overlap_cardinality_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xc00702);
+    for _ in 0..256 {
+        let access = random_access(&mut rng, 4);
+        let sizes = random_extents(&mut rng, 4);
+        let shift_dim = rng.range_usize(4);
         let (exprs, env) = symbolic_extents(&sizes);
         let shift = Expr::sym(&format!("E{shift_dim}"));
         let ov = access.overlap_cardinality(&exprs, shift_dim, &shift);
@@ -75,24 +78,23 @@ proptest! {
         let b1 = ConcreteBox::at_origin(sizes.clone());
         let b2 = b1.shifted(shift_dim, sizes[shift_dim]);
         let enumerated = count_image_overlap(&b1, &b2, &access);
-        prop_assert_eq!(symbolic, Rational::from(enumerated as i128));
+        assert_eq!(symbolic, Rational::from(enumerated as i128));
     }
+}
 
-    /// Non-unit (strided) accesses over-approximate, never under-approximate.
-    #[test]
-    fn strided_footprint_is_sound_overapprox(
-        sizes in extents_strategy(2),
-        stride in 2i64..4,
-    ) {
-        let access = AccessFunction::new(vec![LinearForm::new(
-            &[(0, stride), (1, 1)],
-            0,
-        )]);
+/// Non-unit (strided) accesses over-approximate, never under-approximate.
+#[test]
+fn strided_footprint_is_sound_overapprox() {
+    let mut rng = SplitMix64::new(0xc00703);
+    for _ in 0..128 {
+        let sizes = random_extents(&mut rng, 2);
+        let stride = rng.range_i64(2, 3);
+        let access = AccessFunction::new(vec![LinearForm::new(&[(0, stride), (1, 1)], 0)]);
         let (exprs, env) = symbolic_extents(&sizes);
         let fp = access.image_cardinality(&exprs);
-        prop_assert!(!fp.exact);
+        assert!(!fp.exact);
         let symbolic = fp.card.eval_rational(&env).expect("rational");
         let enumerated = count_image(&ConcreteBox::at_origin(sizes), &access);
-        prop_assert!(symbolic >= Rational::from(enumerated as i128));
+        assert!(symbolic >= Rational::from(enumerated as i128));
     }
 }

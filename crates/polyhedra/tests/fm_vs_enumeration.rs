@@ -1,56 +1,65 @@
-//! Property tests: Fourier–Motzkin results agree with brute-force
-//! enumeration on random bounded constraint systems.
+//! Randomized tests: Fourier–Motzkin results agree with brute-force
+//! enumeration on random bounded constraint systems (deterministic
+//! SplitMix64-driven cases; no network-fetched test dependencies).
 
 use ioopt_polyhedra::{is_rational_empty, rational_bounds, LinearForm, ZPolyhedron};
-use proptest::prelude::*;
+use ioopt_symbolic::SplitMix64;
 
-/// Random 2-D systems inside a [0, 8)² box plus up to 4 extra cuts.
-fn system_strategy() -> impl Strategy<Value = ZPolyhedron> {
-    let cut = (proptest::array::uniform2(-3i64..=3), -6i64..=12);
-    proptest::collection::vec(cut, 0..4).prop_map(|cuts| {
-        let mut p = ZPolyhedron::new(2);
-        for d in 0..2 {
-            p.add_lower_bound(d, 0);
-            p.add_upper_bound(d, 8);
-        }
-        for (a, b) in cuts {
-            p.add_constraint(LinearForm::new(&[(0, a[0]), (1, a[1])], b));
-        }
-        p
-    })
+/// Random 2-D system inside a [0, 8)² box plus up to 4 extra cuts.
+fn random_system(rng: &mut SplitMix64) -> ZPolyhedron {
+    let mut p = ZPolyhedron::new(2);
+    for d in 0..2 {
+        p.add_lower_bound(d, 0);
+        p.add_upper_bound(d, 8);
+    }
+    let ncuts = rng.range_usize(4);
+    for _ in 0..ncuts {
+        let a0 = rng.range_i64(-3, 3);
+        let a1 = rng.range_i64(-3, 3);
+        let b = rng.range_i64(-6, 12);
+        p.add_constraint(LinearForm::new(&[(0, a0), (1, a1)], b));
+    }
+    p
 }
 
-proptest! {
-    /// Rational emptiness implies integer emptiness; integer non-emptiness
-    /// implies rational non-emptiness.
-    #[test]
-    fn emptiness_is_consistent(p in system_strategy()) {
+/// Rational emptiness implies integer emptiness; integer non-emptiness
+/// implies rational non-emptiness.
+#[test]
+fn emptiness_is_consistent() {
+    let mut rng = SplitMix64::new(0x901101);
+    for _ in 0..256 {
+        let p = random_system(&mut rng);
         let integer_empty = p.enumerate().is_empty();
         if is_rational_empty(&p) {
-            prop_assert!(integer_empty, "rational-empty but has integer points");
+            assert!(integer_empty, "rational-empty but has integer points");
         }
         if !integer_empty {
-            prop_assert!(!is_rational_empty(&p));
+            assert!(!is_rational_empty(&p));
         }
         // The combined decision procedure always agrees with enumeration.
-        prop_assert_eq!(p.is_empty(), integer_empty);
+        assert_eq!(p.is_empty(), integer_empty);
     }
+}
 
-    /// The rational shadow bounds cover every enumerated coordinate.
-    #[test]
-    fn shadow_bounds_cover_points(p in system_strategy(), var in 0usize..2) {
+/// The rational shadow bounds cover every enumerated coordinate.
+#[test]
+fn shadow_bounds_cover_points() {
+    let mut rng = SplitMix64::new(0x901102);
+    for _ in 0..256 {
+        let p = random_system(&mut rng);
+        let var = rng.range_usize(2);
         let points = p.enumerate();
         if points.is_empty() {
-            return Ok(());
+            continue;
         }
         let (lo, hi) = rational_bounds(&p, var);
         for pt in &points {
             let v = ioopt_symbolic::Rational::from(pt[var] as i128);
             if let Some(lo) = lo {
-                prop_assert!(v >= lo, "point {pt:?} below shadow lower bound {lo}");
+                assert!(v >= lo, "point {pt:?} below shadow lower bound {lo}");
             }
             if let Some(hi) = hi {
-                prop_assert!(v <= hi, "point {pt:?} above shadow upper bound {hi}");
+                assert!(v <= hi, "point {pt:?} above shadow upper bound {hi}");
             }
         }
     }

@@ -69,12 +69,7 @@ impl Expr {
     /// The degree of the expression in `var` as a polynomial, if it is one.
     pub fn degree_in(&self, var: Symbol) -> Option<usize> {
         let coeffs = self.coeffs_in(var)?;
-        Some(
-            coeffs
-                .iter()
-                .rposition(|c| !c.is_zero())
-                .unwrap_or(0),
-        )
+        Some(coeffs.iter().rposition(|c| !c.is_zero()).unwrap_or(0))
     }
 
     /// Whether `var` occurs anywhere in the expression.

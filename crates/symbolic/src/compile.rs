@@ -57,11 +57,13 @@ impl Expr {
     /// [`EvalError::UnboundSymbol`] if a free symbol is neither in `vars`
     /// nor in `env`.
     pub fn compile(&self, vars: &[Symbol], env: &Bindings) -> Result<CompiledExpr, EvalError> {
-        let index: HashMap<Symbol, usize> =
-            vars.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let index: HashMap<Symbol, usize> = vars.iter().enumerate().map(|(i, &s)| (s, i)).collect();
         let mut code = Vec::new();
         emit(self, &index, env, &mut code)?;
-        Ok(CompiledExpr { code, num_vars: vars.len() })
+        Ok(CompiledExpr {
+            code,
+            num_vars: vars.len(),
+        })
     }
 }
 

@@ -272,23 +272,25 @@ impl Expr {
             Node::Pow(b, e) => Expr::pow(b.prune_extrema(samples), *e),
             Node::Max(es) | Node::Min(es) => {
                 let is_max = matches!(self.node(), Node::Max(_));
-                let pruned: Vec<Expr> =
-                    es.iter().map(|e| e.prune_extrema(samples)).collect();
+                let pruned: Vec<Expr> = es.iter().map(|e| e.prune_extrema(samples)).collect();
                 let mut keep = vec![false; pruned.len()];
                 for env in samples {
                     let values: Vec<Option<f64>> =
                         pruned.iter().map(|e| e.eval_f64(env).ok()).collect();
-                    let best = values
-                        .iter()
-                        .flatten()
-                        .copied()
-                        .fold(if is_max { f64::NEG_INFINITY } else { f64::INFINITY }, |a, v| {
+                    let best = values.iter().flatten().copied().fold(
+                        if is_max {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        },
+                        |a, v| {
                             if is_max {
                                 a.max(v)
                             } else {
                                 a.min(v)
                             }
-                        });
+                        },
+                    );
                     for (k, v) in keep.iter_mut().zip(&values) {
                         if let Some(v) = v {
                             if (*v - best).abs() <= 1e-12 * best.abs().max(1.0) {

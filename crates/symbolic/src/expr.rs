@@ -268,7 +268,9 @@ impl Expr {
             if let Node::Add(ts) = out[0].node() {
                 let c = Expr::num(coeff);
                 return Expr::add_all(
-                    ts.iter().map(|t| Expr::mul_all([c.clone(), t.clone()])).collect::<Vec<_>>(),
+                    ts.iter()
+                        .map(|t| Expr::mul_all([c.clone(), t.clone()]))
+                        .collect::<Vec<_>>(),
                 );
             }
         }
@@ -412,7 +414,11 @@ impl Expr {
         match flat.len() {
             0 => panic!("extremum of an empty set"),
             1 => flat.pop().expect("len checked"),
-            _ => Expr::wrap(if is_max { Node::Max(flat) } else { Node::Min(flat) }),
+            _ => Expr::wrap(if is_max {
+                Node::Max(flat)
+            } else {
+                Node::Min(flat)
+            }),
         }
     }
 
@@ -458,10 +464,7 @@ fn rational_gcd(a: Rational, b: Rational) -> Rational {
     if b.is_zero() {
         return a;
     }
-    let num = crate::rational::gcd(
-        a.numer() * b.denom(),
-        b.numer() * a.denom(),
-    );
+    let num = crate::rational::gcd(a.numer() * b.denom(), b.numer() * a.denom());
     Rational::new(num, a.denom() * b.denom())
 }
 
@@ -481,9 +484,7 @@ pub fn cmp_expr(a: &Expr, b: &Expr) -> Ordering {
     match (a.node(), b.node()) {
         (Node::Num(x), Node::Num(y)) => x.cmp(y),
         (Node::Sym(x), Node::Sym(y)) => x.name().cmp(y.name()),
-        (Node::Pow(bx, ex), Node::Pow(by, ey)) => {
-            cmp_expr(bx, by).then_with(|| ex.cmp(ey))
-        }
+        (Node::Pow(bx, ex), Node::Pow(by, ey)) => cmp_expr(bx, by).then_with(|| ex.cmp(ey)),
         (Node::Add(xs), Node::Add(ys))
         | (Node::Mul(xs), Node::Mul(ys))
         | (Node::Max(xs), Node::Max(ys))
@@ -552,7 +553,10 @@ macro_rules! binop {
 }
 
 binop!(Add, add, |a, b| Expr::add_all([a, b]));
-binop!(Sub, sub, |a, b| Expr::add_all([a, Expr::mul_all([Expr::int(-1), b])]));
+binop!(Sub, sub, |a, b| Expr::add_all([
+    a,
+    Expr::mul_all([Expr::int(-1), b])
+]));
 binop!(Mul, mul, |a, b| Expr::mul_all([a, b]));
 binop!(Div, div, |a, b| Expr::mul_all([a, b.recip()]));
 
@@ -638,8 +642,7 @@ mod tests {
         let e = x.sqrt() * x.sqrt();
         assert_eq!(e, x);
         let two = Expr::int(2);
-        let e = Expr::pow(two.clone(), Rational::new(3, 2))
-            * Expr::pow(two, Rational::new(-3, 2));
+        let e = Expr::pow(two.clone(), Rational::new(3, 2)) * Expr::pow(two, Rational::new(-3, 2));
         assert!(e.is_one());
     }
 
@@ -676,8 +679,11 @@ mod tests {
     #[test]
     fn free_symbols_collected() {
         let e = (s("a") + s("b")) * s("c").sqrt();
-        let syms: Vec<String> =
-            e.free_symbols().into_iter().map(|s| s.name().to_owned()).collect();
+        let syms: Vec<String> = e
+            .free_symbols()
+            .into_iter()
+            .map(|s| s.name().to_owned())
+            .collect();
         let mut sorted = syms.clone();
         sorted.sort();
         assert_eq!(sorted, vec!["a", "b", "c"]);

@@ -142,7 +142,11 @@ fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
             }
         }
         Node::Max(es) | Node::Min(es) => {
-            let name = if matches!(e.node(), Node::Max(_)) { "max" } else { "min" };
+            let name = if matches!(e.node(), Node::Max(_)) {
+                "max"
+            } else {
+                "min"
+            };
             write!(f, "{name}(")?;
             for (i, sub) in es.iter().enumerate() {
                 if i > 0 {

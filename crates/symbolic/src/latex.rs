@@ -25,7 +25,7 @@ impl Expr {
 fn latex(e: &Expr, tight: bool) -> String {
     match e.node() {
         Node::Num(v) => latex_rational(*v),
-        Node::Sym(s) => latex_symbol(&s.name().to_string()),
+        Node::Sym(s) => latex_symbol(s.name()),
         Node::Add(terms) => {
             let mut out = String::new();
             for (i, t) in terms.iter().enumerate() {
@@ -64,7 +64,11 @@ fn latex(e: &Expr, tight: bool) -> String {
                     _ => num.push(latex(f, true)),
                 }
             }
-            let numerator = if num.is_empty() { "1".to_string() } else { num.join(" ") };
+            let numerator = if num.is_empty() {
+                "1".to_string()
+            } else {
+                num.join(" ")
+            };
             if den.is_empty() {
                 numerator
             } else {
@@ -79,12 +83,13 @@ fn latex(e: &Expr, tight: bool) -> String {
             }
         }
         Node::Max(es) | Node::Min(es) => {
-            let name = if matches!(e.node(), Node::Max(_)) { "max" } else { "min" };
+            let name = if matches!(e.node(), Node::Max(_)) {
+                "max"
+            } else {
+                "min"
+            };
             let inner: Vec<String> = es.iter().map(|s| latex(s, false)).collect();
-            format!(
-                "\\{name}\\left({}\\right)",
-                inner.join(",\\; ")
-            )
+            format!("\\{name}\\left({}\\right)", inner.join(",\\; "))
         }
     }
 }
@@ -134,10 +139,7 @@ mod tests {
         let e = Expr::int(2) * Expr::sym("A") * Expr::sym("B") * Expr::sym("C")
             / ((Expr::sym("S") + Expr::int(1)).sqrt() - Expr::int(1))
             + Expr::sym("B") * Expr::sym("C");
-        assert_eq!(
-            e.to_latex(),
-            r"\frac{2 A B C}{\sqrt{S + 1} - 1} + B C"
-        );
+        assert_eq!(e.to_latex(), r"\frac{2 A B C}{\sqrt{S + 1} - 1} + B C");
     }
 
     #[test]

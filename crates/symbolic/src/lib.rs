@@ -46,6 +46,7 @@ mod fmt;
 mod latex;
 mod poly;
 mod rational;
+mod rng;
 mod symbol;
 
 pub use algebra::{solve_for, solve_numeric, Roots};
@@ -54,4 +55,5 @@ pub use eval::{Bindings, EvalError};
 pub use expr::{cmp_expr, Expr, Node};
 pub use poly::{Monomial, Poly};
 pub use rational::{gcd, ParseRationalError, Rational};
+pub use rng::SplitMix64;
 pub use symbol::Symbol;

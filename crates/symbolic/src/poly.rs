@@ -37,7 +37,9 @@ pub struct Poly {
 impl Poly {
     /// The zero polynomial.
     pub fn zero() -> Poly {
-        Poly { terms: BTreeMap::new() }
+        Poly {
+            terms: BTreeMap::new(),
+        }
     }
 
     /// A constant polynomial.
@@ -228,7 +230,9 @@ impl Sub for Poly {
 impl Neg for Poly {
     type Output = Poly;
     fn neg(self) -> Poly {
-        Poly { terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect() }
+        Poly {
+            terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect(),
+        }
     }
 }
 
@@ -319,8 +323,7 @@ mod tests {
     #[test]
     fn evaluation() {
         let p = Poly::var(x()).pow(2) + Poly::var(y());
-        let point =
-            BTreeMap::from([(x(), Rational::from(3i128)), (y(), Rational::new(1, 2))]);
+        let point = BTreeMap::from([(x(), Rational::from(3i128)), (y(), Rational::new(1, 2))]);
         assert_eq!(p.eval(&point), Rational::new(19, 2));
     }
 

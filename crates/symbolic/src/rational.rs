@@ -123,7 +123,10 @@ impl Rational {
 
     /// The absolute value.
     pub fn abs(self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Raises to an integer power (negative powers invert).
@@ -160,7 +163,7 @@ impl Rational {
     pub fn nth_root_exact(self, n: u32) -> Option<Rational> {
         fn iroot(v: i128, n: u32) -> Option<i128> {
             if v < 0 {
-                if n % 2 == 0 {
+                if n.is_multiple_of(2) {
                     return None;
                 }
                 return iroot(-v, n).map(|r| -r);
@@ -217,7 +220,10 @@ impl Rational {
 
 impl From<i64> for Rational {
     fn from(v: i64) -> Rational {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
@@ -229,7 +235,10 @@ impl From<i128> for Rational {
 
 impl From<u32> for Rational {
     fn from(v: u32) -> Rational {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 }
 
@@ -250,12 +259,14 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
-        self.checked_mul(rhs).expect("rational multiplication overflow")
+        self.checked_mul(rhs)
+            .expect("rational multiplication overflow")
     }
 }
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // a/b = a * (1/b) by definition
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -264,7 +275,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -301,8 +315,14 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
         // Compare a/b with c/d via a*d <=> c*b (denominators positive).
-        let lhs = self.num.checked_mul(other.den).expect("rational comparison overflow");
-        let rhs = other.num.checked_mul(self.den).expect("rational comparison overflow");
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
         lhs.cmp(&rhs)
     }
 }
@@ -389,10 +409,19 @@ mod tests {
     fn powers_and_roots() {
         assert_eq!(Rational::new(2, 3).powi(3), Rational::new(8, 27));
         assert_eq!(Rational::new(2, 3).powi(-2), Rational::new(9, 4));
-        assert_eq!(Rational::new(4, 9).nth_root_exact(2), Some(Rational::new(2, 3)));
-        assert_eq!(Rational::new(8, 27).nth_root_exact(3), Some(Rational::new(2, 3)));
+        assert_eq!(
+            Rational::new(4, 9).nth_root_exact(2),
+            Some(Rational::new(2, 3))
+        );
+        assert_eq!(
+            Rational::new(8, 27).nth_root_exact(3),
+            Some(Rational::new(2, 3))
+        );
         assert_eq!(Rational::new(2, 1).nth_root_exact(2), None);
-        assert_eq!(Rational::new(-8, 1).nth_root_exact(3), Some(Rational::from(-2i128)));
+        assert_eq!(
+            Rational::new(-8, 1).nth_root_exact(3),
+            Some(Rational::from(-2i128))
+        );
         assert_eq!(Rational::new(-4, 1).nth_root_exact(2), None);
     }
 

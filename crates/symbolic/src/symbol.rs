@@ -30,7 +30,12 @@ struct Registry {
 
 fn registry() -> &'static Mutex<Registry> {
     static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REG.get_or_init(|| Mutex::new(Registry { names: Vec::new(), index: HashMap::new() }))
+    REG.get_or_init(|| {
+        Mutex::new(Registry {
+            names: Vec::new(),
+            index: HashMap::new(),
+        })
+    })
 }
 
 impl Symbol {

@@ -1,11 +1,14 @@
-//! Property tests: canonicalization must preserve numeric semantics.
+//! Randomized tests: canonicalization must preserve numeric semantics.
+//!
+//! Formerly proptest-based; now driven by the in-repo deterministic
+//! [`SplitMix64`] generator so the suite builds and runs fully offline.
 
 use std::collections::HashMap;
 
-use ioopt_symbolic::{Expr, Rational, Symbol};
-use proptest::prelude::*;
+use ioopt_symbolic::{Expr, Rational, SplitMix64, Symbol};
 
 const VARS: [&str; 4] = ["pa", "pb", "pc", "pd"];
+const CASES: usize = 256;
 
 /// A raw (un-simplified) expression description, evaluated both directly
 /// and through the canonical `Expr` constructors.
@@ -21,26 +24,30 @@ enum Raw {
     Min(Box<Raw>, Box<Raw>),
 }
 
-fn raw_strategy() -> impl Strategy<Value = Raw> {
-    let leaf = prop_oneof![
-        (-4i32..=4).prop_map(Raw::Const),
-        (0usize..VARS.len()).prop_map(Raw::Var),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), 0u32..=3).prop_map(|(a, e)| Raw::Pow(Box::new(a), e)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Raw::Max(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Raw::Min(Box::new(a), Box::new(b))),
-        ]
-    })
+fn random_raw(rng: &mut SplitMix64, depth: usize) -> Raw {
+    if depth == 0 || rng.chance(0.3) {
+        return if rng.chance(0.5) {
+            Raw::Const(rng.range_i64(-4, 4) as i32)
+        } else {
+            Raw::Var(rng.range_usize(VARS.len()))
+        };
+    }
+    let a = Box::new(random_raw(rng, depth - 1));
+    match rng.range_usize(6) {
+        0 => Raw::Add(a, Box::new(random_raw(rng, depth - 1))),
+        1 => Raw::Sub(a, Box::new(random_raw(rng, depth - 1))),
+        2 => Raw::Mul(a, Box::new(random_raw(rng, depth - 1))),
+        3 => Raw::Pow(a, rng.range_usize(4) as u32),
+        4 => Raw::Max(a, Box::new(random_raw(rng, depth - 1))),
+        _ => Raw::Min(a, Box::new(random_raw(rng, depth - 1))),
+    }
+}
+
+fn random_env(rng: &mut SplitMix64) -> Vec<Rational> {
+    // Positive values only: the engine assumes positive symbols.
+    VARS.iter()
+        .map(|_| Rational::new(rng.range_i64(1, 9) as i128, rng.range_i64(1, 4) as i128))
+        .collect()
 }
 
 fn to_expr(raw: &Raw) -> Expr {
@@ -69,88 +76,97 @@ fn eval_raw(raw: &Raw, env: &[Rational]) -> Rational {
     }
 }
 
-fn env_strategy() -> impl Strategy<Value = Vec<Rational>> {
-    // Positive values only: the engine assumes positive symbols.
-    proptest::collection::vec((1i128..=9, 1i128..=4), VARS.len())
-        .prop_map(|v| v.into_iter().map(|(n, d)| Rational::new(n, d)).collect())
+fn bindings_of(env: &[Rational]) -> HashMap<Symbol, Rational> {
+    VARS.iter()
+        .zip(env.iter())
+        .map(|(n, v)| (Symbol::new(n), *v))
+        .collect()
 }
 
-proptest! {
-    /// Canonical construction preserves exact values.
-    #[test]
-    fn canonicalization_preserves_value(raw in raw_strategy(), env in env_strategy()) {
+/// Canonical construction preserves exact values.
+#[test]
+fn canonicalization_preserves_value() {
+    let mut rng = SplitMix64::new(0x5eed01);
+    for _ in 0..CASES {
+        let raw = random_raw(&mut rng, 4);
+        let env = random_env(&mut rng);
         let expr = to_expr(&raw);
         let expected = eval_raw(&raw, &env);
-        let bindings: HashMap<Symbol, Rational> = VARS
-            .iter()
-            .zip(env.iter())
-            .map(|(n, v)| (Symbol::new(n), *v))
-            .collect();
-        let got = expr.eval_rational(&bindings).expect("integer powers stay rational");
-        prop_assert_eq!(got, expected);
+        let got = expr
+            .eval_rational(&bindings_of(&env))
+            .expect("integer powers stay rational");
+        assert_eq!(got, expected, "raw: {raw:?}");
     }
+}
 
-    /// Expansion preserves exact values.
-    #[test]
-    fn expansion_preserves_value(raw in raw_strategy(), env in env_strategy()) {
+/// Expansion preserves exact values.
+#[test]
+fn expansion_preserves_value() {
+    let mut rng = SplitMix64::new(0x5eed02);
+    for _ in 0..CASES {
+        let raw = random_raw(&mut rng, 4);
+        let env = random_env(&mut rng);
         let expr = to_expr(&raw);
-        let bindings: HashMap<Symbol, Rational> = VARS
-            .iter()
-            .zip(env.iter())
-            .map(|(n, v)| (Symbol::new(n), *v))
-            .collect();
+        let bindings = bindings_of(&env);
         let before = expr.eval_rational(&bindings).expect("rational");
         let after = expr.expand().eval_rational(&bindings).expect("rational");
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "raw: {raw:?}");
     }
+}
 
-    /// Construction is deterministic: building twice yields identical trees.
-    #[test]
-    fn canonical_form_is_deterministic(raw in raw_strategy()) {
-        prop_assert_eq!(to_expr(&raw), to_expr(&raw));
+/// Construction is deterministic: building twice yields identical trees.
+#[test]
+fn canonical_form_is_deterministic() {
+    let mut rng = SplitMix64::new(0x5eed03);
+    for _ in 0..CASES {
+        let raw = random_raw(&mut rng, 4);
+        assert_eq!(to_expr(&raw), to_expr(&raw));
     }
+}
 
-    /// Substituting x := x is the identity.
-    #[test]
-    fn self_substitution_is_identity(raw in raw_strategy()) {
-        let expr = to_expr(&raw);
-        let map: HashMap<Symbol, Expr> = VARS
-            .iter()
-            .map(|n| (Symbol::new(n), Expr::sym(n)))
-            .collect();
-        prop_assert_eq!(expr.subst(&map), expr);
+/// Substituting x := x is the identity.
+#[test]
+fn self_substitution_is_identity() {
+    let mut rng = SplitMix64::new(0x5eed04);
+    let map: HashMap<Symbol, Expr> = VARS
+        .iter()
+        .map(|n| (Symbol::new(n), Expr::sym(n)))
+        .collect();
+    for _ in 0..CASES {
+        let expr = to_expr(&random_raw(&mut rng, 4));
+        assert_eq!(expr.subst(&map), expr);
     }
+}
 
-    /// Display output re-parses consistently under evaluation: rendering
-    /// never panics and the expression round-trips through clone/eq.
-    #[test]
-    fn display_never_panics(raw in raw_strategy()) {
-        let expr = to_expr(&raw);
+/// Rendering never panics and the expression round-trips through clone/eq.
+#[test]
+fn display_never_panics() {
+    let mut rng = SplitMix64::new(0x5eed05);
+    for _ in 0..CASES {
+        let expr = to_expr(&random_raw(&mut rng, 4));
         let _ = expr.to_string();
-        prop_assert_eq!(expr.clone(), expr);
+        assert_eq!(expr.clone(), expr);
     }
+}
 
-    /// coeffs_in reassembles to the same polynomial value.
-    #[test]
-    fn coefficient_extraction_reassembles(raw in raw_strategy(), env in env_strategy()) {
-        let var = Symbol::new(VARS[0]);
+/// coeffs_in reassembles to the same polynomial value.
+#[test]
+fn coefficient_extraction_reassembles() {
+    let mut rng = SplitMix64::new(0x5eed06);
+    let var = Symbol::new(VARS[0]);
+    for _ in 0..CASES {
+        let raw = random_raw(&mut rng, 4);
+        let env = random_env(&mut rng);
         let expr = to_expr(&raw);
         if let Some(coeffs) = expr.coeffs_in(var) {
             let x = Expr::symbol(var);
-            let rebuilt = Expr::add_all(
-                coeffs
-                    .iter()
-                    .enumerate()
-                    .map(|(k, c)| c * x.powi(k as i64)),
-            );
-            let bindings: HashMap<Symbol, Rational> = VARS
-                .iter()
-                .zip(env.iter())
-                .map(|(n, v)| (Symbol::new(n), *v))
-                .collect();
-            prop_assert_eq!(
+            let rebuilt =
+                Expr::add_all(coeffs.iter().enumerate().map(|(k, c)| c * x.powi(k as i64)));
+            let bindings = bindings_of(&env);
+            assert_eq!(
                 rebuilt.eval_rational(&bindings),
-                expr.eval_rational(&bindings)
+                expr.eval_rational(&bindings),
+                "raw: {raw:?}"
             );
         }
     }
@@ -162,43 +178,48 @@ mod poly_props {
     use super::*;
     use ioopt_symbolic::Poly;
 
-    proptest! {
-        #[test]
-        fn poly_roundtrip_preserves_value(raw in raw_strategy(), env in env_strategy()) {
+    #[test]
+    fn poly_roundtrip_preserves_value() {
+        let mut rng = SplitMix64::new(0x5eed07);
+        for _ in 0..CASES {
+            let raw = random_raw(&mut rng, 4);
+            let env = random_env(&mut rng);
             let expr = to_expr(&raw);
             // Max/Min sub-expressions are not polynomials; skip those.
             if let Some(p) = Poly::from_expr(&expr) {
-                let bindings: HashMap<Symbol, Rational> = VARS
-                    .iter()
-                    .zip(env.iter())
-                    .map(|(n, v)| (Symbol::new(n), *v))
-                    .collect();
+                let bindings = bindings_of(&env);
                 let expected = expr.eval_rational(&bindings).expect("rational");
                 let point: std::collections::BTreeMap<Symbol, Rational> = VARS
                     .iter()
                     .zip(env.iter())
                     .map(|(n, v)| (Symbol::new(n), *v))
                     .collect();
-                prop_assert_eq!(p.eval(&point), expected);
-                prop_assert_eq!(
+                assert_eq!(p.eval(&point), expected, "raw: {raw:?}");
+                assert_eq!(
                     p.to_expr().eval_rational(&bindings).expect("rational"),
-                    expected
+                    expected,
+                    "raw: {raw:?}"
                 );
             }
         }
+    }
 
-        /// The derivative of a product follows the Leibniz rule.
-        #[test]
-        fn leibniz_rule(a in raw_strategy(), b in raw_strategy()) {
-            let var = Symbol::new(VARS[0]);
+    /// The derivative of a product follows the Leibniz rule.
+    #[test]
+    fn leibniz_rule() {
+        let mut rng = SplitMix64::new(0x5eed08);
+        let var = Symbol::new(VARS[0]);
+        for _ in 0..CASES {
+            let a = random_raw(&mut rng, 4);
+            let b = random_raw(&mut rng, 4);
             let (Some(pa), Some(pb)) =
                 (Poly::from_expr(&to_expr(&a)), Poly::from_expr(&to_expr(&b)))
             else {
-                return Ok(());
+                continue;
             };
             let lhs = (pa.clone() * pb.clone()).derivative(var);
             let rhs = pa.derivative(var) * pb.clone() + pa * pb.derivative(var);
-            prop_assert_eq!(lhs, rhs);
+            assert_eq!(lhs, rhs, "a: {a:?}, b: {b:?}");
         }
     }
 }

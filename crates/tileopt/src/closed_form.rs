@@ -1,0 +1,224 @@
+//! Closed-form (Fig. 6) symbolic upper bounds for tensor contractions
+//! and 2-D convolutions.
+//!
+//! These used to live in the `ioopt` pipeline crate; they sit here so
+//! that front-end analyses (e.g. `ioopt-verify`'s bound-certificate
+//! check) can derive a symbolic UB without depending on the full
+//! pipeline. The `ioopt` crate re-exports them unchanged.
+
+use std::collections::HashMap;
+
+use ioopt_ioub::{cost_with_levels, select_permutations, TilingSchedule};
+use ioopt_ir::{classify_tc, Kernel};
+use ioopt_symbolic::{Expr, Symbol};
+
+use crate::symbolic_ub::{
+    eliminate_tiles, eliminate_tiles_relaxed, eliminate_with_subst, SymbolicUb,
+};
+
+/// Derives the Fig. 6-style closed-form upper bound of a tensor
+/// contraction: one array stays resident while the group of dimensions it
+/// does not touch streams innermost with unit tiles; the two remaining
+/// groups are tiled with products equal to `Δ`, the cache fills
+/// (`Δ² + 2Δ = S`), yielding `2·∏N/(√(S+1)−1) + |resident array|`.
+///
+/// The resident array defaults to `In2`; use [`symbolic_tc_ub_for`] to
+/// pick the variant with the smallest additive term at concrete sizes,
+/// which is the choice the paper's Fig. 6 makes.
+///
+/// Returns `None` if the kernel is not a tensor contraction.
+pub fn symbolic_tc_ub(kernel: &Kernel) -> Option<SymbolicUb> {
+    tc_ub_variant(kernel, 2)
+}
+
+/// As [`symbolic_tc_ub`], but evaluates all three resident-array variants
+/// at `sizes` (with a large cache) and returns the smallest.
+pub fn symbolic_tc_ub_for(kernel: &Kernel, sizes: &HashMap<String, i64>) -> Option<SymbolicUb> {
+    let mut env = kernel.bind_sizes(sizes);
+    env.insert(Symbol::new("S"), 1e9);
+    let mut best: Option<(f64, SymbolicUb)> = None;
+    for resident in 0..3 {
+        if let Some(ub) = tc_ub_variant(kernel, resident) {
+            if let Ok(v) = ub.bound.eval_f64(&env) {
+                if best.as_ref().map(|(bv, _)| v < *bv).unwrap_or(true) {
+                    best = Some((v, ub));
+                }
+            }
+        }
+    }
+    best.map(|(_, ub)| ub)
+}
+
+/// One resident-array variant: `resident` is 0 = Out, 1 = In1, 2 = In2.
+pub(crate) fn tc_ub_variant(kernel: &Kernel, resident: usize) -> Option<SymbolicUb> {
+    let class = classify_tc(kernel)?;
+    let [g01, g02, g12] = &class.groups;
+    // The streamed group is the one the resident array does not touch:
+    // Out misses g12, In1 misses g02, In2 misses g01.
+    let (tiled_a, tiled_b, streamed) = match resident {
+        0 => (g01, g02, g12),
+        1 => (g01, g12, g02),
+        _ => (g02, g12, g01),
+    };
+    let mut perm: Vec<usize> = Vec::new();
+    perm.extend(tiled_a);
+    perm.extend(tiled_b);
+    perm.extend(streamed);
+    let mut sched = TilingSchedule::parametric_by_index(kernel, perm)?;
+    for &d in streamed {
+        let name = kernel.dims()[d].name.clone();
+        sched = sched.pin_one(kernel, &name);
+    }
+    // The resident array ignores every streamed dimension, so it stays in
+    // cache across the whole streamed block (reuse level = its length);
+    // the other two arrays reuse across the innermost dimension only.
+    let mut levels = [1usize, 1, 1];
+    levels[resident] = streamed.len().max(1);
+    let cost = cost_with_levels(kernel, &sched, &levels);
+    let tile_sym = |d: usize| Symbol::new(&format!("T{}", kernel.dims()[d].name));
+    let groups: Vec<Vec<Symbol>> = vec![
+        tiled_a.iter().map(|&d| tile_sym(d)).collect(),
+        tiled_b.iter().map(|&d| tile_sym(d)).collect(),
+    ];
+    eliminate_tiles(&cost.io, &cost.footprint, &groups, Symbol::new("S")).ok()
+}
+
+/// Derives a semi-symbolic closed-form upper bound for a 2D convolution
+/// (paper Fig. 6, last row): the filter window is kept whole
+/// (`Th = H, Tw = W`), the batch stays untiled, and a family of
+/// quadratic-compatible tile templates in a single parameter `Δ` is tried
+/// over the Algorithm-1 permutations; templates whose footprint exceeds
+/// degree 2 in `Δ` are rejected (the paper hits the same quartic wall,
+/// §6 "Limitations"). The winner is selected by evaluating each candidate
+/// at `sizes` and `s_ref`.
+///
+/// Returns `None` when the kernel lacks the conv2d dimension names or no
+/// template solves.
+pub fn symbolic_conv_ub(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    s_ref: f64,
+) -> Option<SymbolicUb> {
+    let delta = Symbol::new("Delta_conv");
+    let d_expr = Expr::symbol(delta);
+    let names = ["b", "c", "f", "x", "y", "h", "w"];
+    for n in names {
+        kernel.dim_index(n)?;
+    }
+    let full = |n: &str| Expr::symbol(kernel.dims()[kernel.dim_index(n).unwrap()].size);
+    // Tile templates: map dim name -> expression in Δ (missing = pinned 1).
+    let templates: Vec<Vec<(&str, Expr)>> = vec![
+        // Square spatial tiles, everything else streamed.
+        vec![("x", d_expr.clone()), ("y", d_expr.clone())],
+        // Spatial strip x full-height y, tiled filters.
+        vec![
+            ("x", d_expr.clone()),
+            ("y", full("y")),
+            ("f", d_expr.clone()),
+        ],
+        // Spatial strip with tiled channels.
+        vec![
+            ("x", d_expr.clone()),
+            ("y", full("y")),
+            ("c", d_expr.clone()),
+        ],
+        // Square spatial tiles with filter-count tiling.
+        vec![
+            ("x", d_expr.clone()),
+            ("y", d_expr.clone()),
+            ("f", d_expr.clone()),
+        ],
+    ];
+    let mut env = kernel.bind_sizes(sizes);
+    env.insert(Symbol::new("S"), s_ref);
+    let arrays = kernel.arrays().count();
+    let mut best: Option<(f64, SymbolicUb)> = None;
+    // Degree-agnostic fallback (the paper's §6 relaxation, implemented in
+    // `eliminate_tiles_relaxed`): tile x, y, c, f all equal to Δ and pick
+    // Δ so no footprint term exceeds its share of S.
+    for perm in select_permutations(kernel, &ioopt_ioub::SmallDimOracle) {
+        let mut sched =
+            TilingSchedule::parametric_by_index(kernel, perm.clone()).expect("valid permutation");
+        for dname in ["h", "w", "b"] {
+            let value = full(dname);
+            sched = sched.pin(kernel, dname, value);
+        }
+        let free: Vec<Symbol> = ["x", "y", "c", "f"]
+            .iter()
+            .map(|n| Symbol::new(&format!("T{n}")))
+            .collect();
+        let groups: Vec<Vec<Symbol>> = free.iter().map(|&s| vec![s]).collect();
+        for levels in ioopt_ioub::level_combinations(kernel, &sched, 32) {
+            let cost = cost_with_levels(kernel, &sched, &levels);
+            let Ok(ub) =
+                eliminate_tiles_relaxed(&cost.io, &cost.footprint, &groups, Symbol::new("S"))
+            else {
+                continue;
+            };
+            let Ok(dv) = ub.delta.eval_f64(&env) else {
+                continue;
+            };
+            if dv < 1.0 {
+                continue;
+            }
+            let Ok(v) = ub.bound.eval_f64(&env) else {
+                continue;
+            };
+            if v.is_finite() && v > 0.0 && best.as_ref().map(|(bv, _)| v < *bv).unwrap_or(true) {
+                best = Some((v, ub));
+            }
+        }
+    }
+    for perm in select_permutations(kernel, &ioopt_ioub::SmallDimOracle) {
+        for template in &templates {
+            let mut sched = TilingSchedule::parametric_by_index(kernel, perm.clone())?;
+            // Pin the window whole, the batch full, everything else by
+            // the template (default 1).
+            for dname in names {
+                let value = match dname {
+                    "h" => full("h"),
+                    "w" => full("w"),
+                    "b" => full("b"),
+                    _ => template
+                        .iter()
+                        .find(|(n, _)| *n == dname)
+                        .map(|(_, e)| e.clone())
+                        .unwrap_or_else(Expr::one),
+                };
+                sched = sched.pin(kernel, dname, value);
+            }
+            for levels in ioopt_ioub::level_combinations(kernel, &sched, 64)
+                .into_iter()
+                .chain(std::iter::once(vec![1; arrays]))
+            {
+                let cost = cost_with_levels(kernel, &sched, &levels);
+                let Ok(ub) = eliminate_with_subst(
+                    &cost.io,
+                    &cost.footprint,
+                    &HashMap::new(),
+                    delta,
+                    Symbol::new("S"),
+                ) else {
+                    continue;
+                };
+                // Validity: Δ must be positive and within the spatial
+                // extents at the reference point.
+                let Ok(dv) = ub.delta.eval_f64(&env) else {
+                    continue;
+                };
+                let max_spatial = sizes["x"].min(sizes["y"]) as f64;
+                if !(1.0..=max_spatial).contains(&dv) {
+                    continue;
+                }
+                let Ok(v) = ub.bound.eval_f64(&env) else {
+                    continue;
+                };
+                if v.is_finite() && v > 0.0 && best.as_ref().map(|(bv, _)| v < *bv).unwrap_or(true)
+                {
+                    best = Some((v, ub));
+                }
+            }
+        }
+    }
+    best.map(|(_, ub)| ub)
+}

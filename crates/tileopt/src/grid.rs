@@ -29,7 +29,11 @@ pub struct GridResult {
 /// exceeds `max_points`.
 pub fn grid_search(problem: &NlpProblem, max_points: u64) -> Result<GridResult, NlpError> {
     let n = problem.vars.len();
-    let lo: Vec<i64> = problem.vars.iter().map(|v| v.lo.ceil().max(1.0) as i64).collect();
+    let lo: Vec<i64> = problem
+        .vars
+        .iter()
+        .map(|v| v.lo.ceil().max(1.0) as i64)
+        .collect();
     let hi: Vec<i64> = problem.vars.iter().map(|v| v.hi.floor() as i64).collect();
     let mut space: u64 = 1;
     for (l, h) in lo.iter().zip(&hi) {
@@ -66,7 +70,10 @@ pub fn grid_search(problem: &NlpProblem, max_points: u64) -> Result<GridResult, 
     }
     'outer: loop {
         let x: Vec<f64> = point.iter().map(|&v| v as f64).collect();
-        if constraints.iter().all(|(c, b)| c.eval(&x) <= *b * (1.0 + 1e-12)) {
+        if constraints
+            .iter()
+            .all(|(c, b)| c.eval(&x) <= *b * (1.0 + 1e-12))
+        {
             feasible_points += 1;
             let obj = objective.eval(&x);
             if best.as_ref().map(|(_, b)| obj < *b).unwrap_or(true) {
@@ -104,7 +111,11 @@ mod tests {
     use ioopt_symbolic::{Bindings, Expr};
 
     fn var(name: &str, lo: f64, hi: f64) -> NlpVar {
-        NlpVar { sym: Symbol::new(name), lo, hi }
+        NlpVar {
+            sym: Symbol::new(name),
+            lo,
+            hi,
+        }
     }
 
     #[test]
@@ -140,14 +151,20 @@ mod tests {
             vars: vec![var("Tgi", 1.0, 10.0)],
             env: Bindings::new(),
         };
-        assert!(matches!(grid_search(&problem, 1000), Err(NlpError::Infeasible)));
+        assert!(matches!(
+            grid_search(&problem, 1000),
+            Err(NlpError::Infeasible)
+        ));
         let problem2 = NlpProblem {
             objective: Expr::sym("Tgj").recip(),
             constraints: vec![],
             vars: vec![var("Tgj", 1.0, 1e9)],
             env: Bindings::new(),
         };
-        assert!(matches!(grid_search(&problem2, 1000), Err(NlpError::Infeasible)));
+        assert!(matches!(
+            grid_search(&problem2, 1000),
+            Err(NlpError::Infeasible)
+        ));
     }
 
     #[test]

@@ -9,9 +9,7 @@
 
 use std::collections::HashMap;
 
-use ioopt_symbolic::{Bindings, CompiledExpr, Expr, Symbol};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ioopt_symbolic::{Bindings, CompiledExpr, Expr, SplitMix64, Symbol};
 
 /// A bounded optimization variable.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +79,8 @@ impl Compiled {
     fn build(p: &NlpProblem) -> Result<Compiled, NlpError> {
         let syms: Vec<Symbol> = p.vars.iter().map(|v| v.sym).collect();
         let compile = |e: &Expr| -> Result<CompiledExpr, NlpError> {
-            e.compile(&syms, &p.env).map_err(|e| NlpError::Eval(e.to_string()))
+            e.compile(&syms, &p.env)
+                .map_err(|e| NlpError::Eval(e.to_string()))
         };
         Ok(Compiled {
             objective: compile(&p.objective)?,
@@ -190,7 +189,7 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
         });
     }
 
-    let mut rng = StdRng::seed_from_u64(0x10_0b7);
+    let mut rng = SplitMix64::new(0x100b7);
     let mut best_point = lo_point.clone();
     let mut best_obj = c.obj(&lo_point);
 
@@ -204,15 +203,14 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
         }
     }
     for _ in 0..2.max(n.min(4)) {
-        let mut p: Vec<f64> = c
-            .lo
-            .iter()
-            .zip(&c.hi)
-            .map(|(&l, &h)| {
-                let t: f64 = rng.gen();
-                (l.ln() + t * (h.ln() - l.ln())).exp()
-            })
-            .collect();
+        let mut p: Vec<f64> =
+            c.lo.iter()
+                .zip(&c.hi)
+                .map(|(&l, &h)| {
+                    let t: f64 = rng.next_f64();
+                    (l.ln() + t * (h.ln() - l.ln())).exp()
+                })
+                .collect();
         if c.project(&mut p).is_some() {
             starts.push(p);
         }
@@ -225,6 +223,13 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
             best_point = point;
         }
     }
+    // Gradient descent with a uniform-shrink projection can stall short
+    // of the optimum when a constraint is active (the projected step
+    // zigzags); a coordinate pattern search in log space polishes the
+    // last digits deterministically, regardless of the start points.
+    let (point, obj) = polish(&c, best_point, best_obj);
+    best_point = point;
+    best_obj = obj;
 
     let mut integer_point = integer_refine(&c, &best_point);
     let int_f: Vec<f64> = integer_point.iter().map(|&v| v as f64).collect();
@@ -308,17 +313,46 @@ fn descend(c: &Compiled, start: Vec<f64>) -> (Vec<f64>, f64) {
     (x, fx)
 }
 
+/// Coordinate pattern search in log space: tries multiplying each
+/// variable by `e^{±δ}` (re-projecting onto the feasible set) and halves
+/// δ when no move improves. Converges to a local optimum of the
+/// projected problem without any gradient information.
+fn polish(c: &Compiled, mut x: Vec<f64>, mut fx: f64) -> (Vec<f64>, f64) {
+    let n = x.len();
+    let mut delta = 0.25f64;
+    while delta > 1e-8 {
+        let mut improved = false;
+        for i in 0..n {
+            for sign in [1.0f64, -1.0] {
+                let mut cand = x.clone();
+                cand[i] *= (sign * delta).exp();
+                if c.project(&mut cand).is_some() {
+                    let fc = c.obj(&cand);
+                    if fc < fx - 1e-15 * fx.abs() {
+                        x = cand;
+                        fx = fc;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            delta *= 0.5;
+        }
+    }
+    (x, fx)
+}
+
 /// Exhaustive integer search for 1–2 variable problems over a window
 /// around (and well past) the relaxed optimum, capped at ~65k points.
 fn small_grid(c: &Compiled, relaxed: &[f64]) -> Option<(Vec<i64>, f64)> {
     let n = relaxed.len();
     let lo: Vec<i64> = c.lo.iter().map(|&v| v.ceil().max(1.0) as i64).collect();
-    let hi: Vec<i64> = c
-        .hi
-        .iter()
-        .zip(relaxed)
-        .map(|(&h, &r)| (h.floor() as i64).min((8.0 * r + 64.0) as i64))
-        .collect();
+    let hi: Vec<i64> =
+        c.hi.iter()
+            .zip(relaxed)
+            .map(|(&h, &r)| (h.floor() as i64).min((8.0 * r + 64.0) as i64))
+            .collect();
     let mut span: u64 = 1;
     for (l, h) in lo.iter().zip(&hi) {
         span = span.saturating_mul((h - l + 1).max(0) as u64);
@@ -425,7 +459,11 @@ mod tests {
     use super::*;
 
     fn var(name: &str, lo: f64, hi: f64) -> NlpVar {
-        NlpVar { sym: Symbol::new(name), lo, hi }
+        NlpVar {
+            sym: Symbol::new(name),
+            lo,
+            hi,
+        }
     }
 
     /// The paper's worked example (§2): matmul with Ni = 2000,
@@ -435,8 +473,7 @@ mod tests {
         let ti = Expr::sym("Ti");
         let tj = Expr::sym("Tj");
         let n = Expr::int(2000) * Expr::int(1500) * Expr::int(1500);
-        let objective = &n * ti.recip() + &n * tj.recip()
-            + Expr::int(2000) * Expr::int(1500);
+        let objective = &n * ti.recip() + &n * tj.recip() + Expr::int(2000) * Expr::int(1500);
         let footprint = &ti + &tj + &ti * &tj;
         let problem = NlpProblem {
             objective,

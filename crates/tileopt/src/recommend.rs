@@ -2,11 +2,11 @@
 
 use std::collections::HashMap;
 
-use ioopt_ir::Kernel;
 use ioopt_ioub::{
     cost_with_levels, level_combinations, select_permutations, CacheLevelSpec, ReuseOracle,
     TilingSchedule, UbCost,
 };
+use ioopt_ir::Kernel;
 use ioopt_symbolic::{Bindings, Expr, Symbol};
 
 use crate::nlp::{solve, NlpError, NlpProblem, NlpVar};
@@ -39,7 +39,10 @@ pub struct TileOptConfig {
 
 impl Default for TileOptConfig {
     fn default() -> TileOptConfig {
-        TileOptConfig { cache_elems: 4096.0, max_level_combos: 512 }
+        TileOptConfig {
+            cache_elems: 4096.0,
+            max_level_combos: 512,
+        }
     }
 }
 
@@ -117,15 +120,12 @@ pub fn optimize_schedule(
         let base = vec![1usize; arrays];
         let mut cands = vec![base.clone()];
         // Phase 1: solve at innermost reuse to locate the tile region.
-        if let Some(first) =
-            optimize_levels(kernel, sched, env, sizes, config, &base)?
-        {
+        if let Some(first) = optimize_levels(kernel, sched, env, sizes, config, &base)? {
             let mut full_env = env.clone();
             for (name, t) in &first.tiles {
                 full_env.insert(Symbol::new(&format!("T{name}")), *t as f64);
             }
-            let refined =
-                greedy_levels(kernel, sched, &full_env, config.cache_elems);
+            let refined = greedy_levels(kernel, sched, &full_env, config.cache_elems);
             if refined != base {
                 cands.push(refined);
             }
@@ -192,9 +192,7 @@ fn optimize_levels(
                     let tiles = sched
                         .tile_vars()
                         .iter()
-                        .map(|&(d, sym)| {
-                            (kernel.dims()[d].name.clone(), sol.integer[&sym])
-                        })
+                        .map(|&(d, sym)| (kernel.dims()[d].name.clone(), sol.integer[&sym]))
                         .collect();
                     best = Some(Recommendation {
                         perm: sched.perm().to_vec(),
@@ -245,7 +243,11 @@ pub fn optimize_multilevel(
     let mut best: Option<MultiLevelRecommendation> = None;
     for perm in perms {
         if let Some(r) = optimize_multilevel_perm(kernel, sizes, caches, &perm, &env)? {
-            if best.as_ref().map(|b| r.objective < b.objective).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|b| r.objective < b.objective)
+                .unwrap_or(true)
+            {
                 best = Some(r);
             }
         }
@@ -276,8 +278,8 @@ fn optimize_multilevel_perm(
     };
     let mut bands: Vec<TilingSchedule> = Vec::new();
     for l in 0..nlevels {
-        let mut sched = TilingSchedule::parametric_by_index(kernel, perm.to_vec())
-            .expect("valid permutation");
+        let mut sched =
+            TilingSchedule::parametric_by_index(kernel, perm.to_vec()).expect("valid permutation");
         for d in 0..n {
             let name = kernel.dims()[d].name.clone();
             sched = sched.pin(kernel, &name, band_tile(l, d));
@@ -314,14 +316,26 @@ fn optimize_multilevel_perm(
             .collect();
         // Band-l tiles must not exceed the dimension extents.
         for d in 0..n {
-            constraints.push((band_tile(nlevels - 1, d), sizes[&kernel.dims()[d].name] as f64));
+            constraints.push((
+                band_tile(nlevels - 1, d),
+                sizes[&kernel.dims()[d].name] as f64,
+            ));
         }
         let vars: Vec<NlpVar> = scale_syms
             .iter()
             .flatten()
-            .map(|&sym| NlpVar { sym, lo: 1.0, hi: 1e9 })
+            .map(|&sym| NlpVar {
+                sym,
+                lo: 1.0,
+                hi: 1e9,
+            })
             .collect();
-        let problem = NlpProblem { objective, constraints, vars, env: env.clone() };
+        let problem = NlpProblem {
+            objective,
+            constraints,
+            vars,
+            env: env.clone(),
+        };
         let sol = match solve(&problem) {
             Ok(s) => s,
             Err(NlpError::Infeasible) => return Ok(None),
@@ -336,7 +350,10 @@ fn optimize_multilevel_perm(
                 for syms in scale_syms.iter().take(l + 1) {
                     t = t.saturating_mul(sol.integer[&syms[d]]);
                 }
-                m.insert(kernel.dims()[d].name.clone(), t.min(sizes[&kernel.dims()[d].name]));
+                m.insert(
+                    kernel.dims()[d].name.clone(),
+                    t.min(sizes[&kernel.dims()[d].name]),
+                );
             }
             tiles_per_band.push(m);
         }
@@ -356,10 +373,9 @@ fn optimize_multilevel_perm(
         let mut total = 0.0;
         for (l, band) in bands.iter().enumerate() {
             let c = cost_with_levels(kernel, band, &band_levels[l]);
-            let io = c
-                .io
-                .eval_f64(&full_env)
-                .map_err(|e| TileOptError::Nlp(e.to_string()))?;
+            let io =
+                c.io.eval_f64(&full_env)
+                    .map_err(|e| TileOptError::Nlp(e.to_string()))?;
             traffic.push(io);
             total += caches[l].inverse_bandwidth * io;
         }
@@ -433,10 +449,12 @@ mod tests {
             ("j".to_string(), 1500),
             ("k".to_string(), 1500),
         ]);
-        let config = TileOptConfig { cache_elems: 1024.0, max_level_combos: 512 };
+        let config = TileOptConfig {
+            cache_elems: 1024.0,
+            max_level_combos: 512,
+        };
         let env = k.bind_sizes(&sizes);
-        let paper_sched =
-            TilingSchedule::parametric(&k, &["i", "j", "k"]).unwrap();
+        let paper_sched = TilingSchedule::parametric(&k, &["i", "j", "k"]).unwrap();
         let rec = optimize_schedule(&k, &paper_sched, &env, &sizes, &config)
             .unwrap()
             .expect("feasible");
@@ -464,15 +482,15 @@ mod tests {
             ("x".to_string(), 512),
             ("w".to_string(), 3),
         ]);
-        let config = TileOptConfig { cache_elems: 2048.0, max_level_combos: 512 };
+        let config = TileOptConfig {
+            cache_elems: 2048.0,
+            max_level_combos: 512,
+        };
         let rec = optimize(&k, &sizes, &SmallDimOracle, &config).unwrap();
         // The footprint at the chosen tiles must fit the cache.
         let mut env = k.bind_sizes(&sizes);
         for (name, t) in &rec.tiles {
-            env.insert(
-                ioopt_symbolic::Symbol::new(&format!("T{name}")),
-                *t as f64,
-            );
+            env.insert(ioopt_symbolic::Symbol::new(&format!("T{name}")), *t as f64);
         }
         let fp = rec.cost.footprint.eval_f64(&env).unwrap();
         assert!(fp <= 2048.0, "footprint {fp}");
@@ -488,7 +506,10 @@ mod tests {
             ("j".to_string(), 100),
             ("k".to_string(), 100),
         ]);
-        let config = TileOptConfig { cache_elems: 1.0, max_level_combos: 64 };
+        let config = TileOptConfig {
+            cache_elems: 1.0,
+            max_level_combos: 64,
+        };
         assert_eq!(
             optimize(&k, &sizes, &SmallDimOracle, &config).unwrap_err(),
             TileOptError::NoFeasibleTiling
@@ -510,7 +531,10 @@ mod tests {
         let rec = optimize_multilevel(&k, &sizes, &caches, &SmallDimOracle).unwrap();
         assert_eq!(rec.tiles.len(), 2);
         for d in ["i", "j", "k"] {
-            assert!(rec.tiles[1][d] >= rec.tiles[0][d], "nesting violated for {d}");
+            assert!(
+                rec.tiles[1][d] >= rec.tiles[0][d],
+                "nesting violated for {d}"
+            );
         }
         // Outer-level traffic should not exceed inner-level traffic.
         assert!(rec.traffic[1] <= rec.traffic[0] * 1.5);

@@ -99,9 +99,7 @@ fn rewrite_term(
     let all_group_syms: Vec<Symbol> = groups.iter().flatten().copied().collect();
     for f in factors {
         match f.node() {
-            Node::Sym(s) if all_group_syms.contains(s) => {
-                exp_of(*s, Rational::ONE, &mut exps)
-            }
+            Node::Sym(s) if all_group_syms.contains(s) => exp_of(*s, Rational::ONE, &mut exps),
             Node::Pow(b, e) => match b.as_sym() {
                 Some(s) if all_group_syms.contains(&s) => exp_of(s, *e, &mut exps),
                 _ => residual.push(f.clone()),
@@ -175,11 +173,14 @@ pub fn eliminate_tiles(
     let fp_d = rewrite_in_delta(footprint, groups, delta)?;
     let equation = &fp_d - Expr::symbol(cache);
     let degree = equation.degree_in(delta).unwrap_or(usize::MAX);
-    let roots = solve_for(&equation, delta)
-        .ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
+    let roots = solve_for(&equation, delta).ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
     let delta_expr = roots.positive_branch().clone();
     let bound = io_d.subst_one(delta, &delta_expr);
-    Ok(SymbolicUb { delta: delta_expr, bound, footprint_poly: fp_d })
+    Ok(SymbolicUb {
+        delta: delta_expr,
+        bound,
+        footprint_poly: fp_d,
+    })
 }
 
 /// The paper's §6 "Limitations" proposes relaxing the exact cache-filling
@@ -232,7 +233,11 @@ pub fn eliminate_tiles_relaxed(
     });
     let delta_expr = Expr::min_all(candidates);
     let bound = io_d.subst_one(delta, &delta_expr);
-    Ok(SymbolicUb { delta: delta_expr, bound, footprint_poly: fp_d })
+    Ok(SymbolicUb {
+        delta: delta_expr,
+        bound,
+        footprint_poly: fp_d,
+    })
 }
 
 /// Generalized tile elimination: each tile symbol is replaced by an
@@ -259,11 +264,14 @@ pub fn eliminate_with_subst(
     let fp_d = footprint.subst(subst);
     let equation = &fp_d - Expr::symbol(cache);
     let degree = equation.degree_in(delta).unwrap_or(usize::MAX);
-    let roots =
-        solve_for(&equation, delta).ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
+    let roots = solve_for(&equation, delta).ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
     let delta_expr = roots.positive_branch().clone();
     let bound = io_d.subst_one(delta, &delta_expr);
-    Ok(SymbolicUb { delta: delta_expr, bound, footprint_poly: fp_d })
+    Ok(SymbolicUb {
+        delta: delta_expr,
+        bound,
+        footprint_poly: fp_d,
+    })
 }
 
 #[cfg(test)]
@@ -296,13 +304,9 @@ mod tests {
     fn subst_elimination_rejects_quartics() {
         let t = Expr::sym("Tsq");
         let delta = sym("Dsq");
-        let subst = std::collections::HashMap::from([(
-            sym("Tsq"),
-            Expr::symbol(delta).powi(2),
-        )]);
+        let subst = std::collections::HashMap::from([(sym("Tsq"), Expr::symbol(delta).powi(2))]);
         let fp = t.powi(2); // becomes Δ⁴
-        let err =
-            eliminate_with_subst(&t.recip(), &fp, &subst, delta, sym("S")).unwrap_err();
+        let err = eliminate_with_subst(&t.recip(), &fp, &subst, delta, sym("S")).unwrap_err();
         assert_eq!(err, SymbolicUbError::UnsolvableDegree(4));
     }
 
@@ -345,7 +349,12 @@ mod tests {
         // Paper: UB = Ni·Nj·(2Nk/(√(S+1)−1) + 1).
         let v = ub
             .bound
-            .eval_with(&[("Ni", 2000.0), ("Nj", 1500.0), ("Nk", 1500.0), ("S", 1024.0)])
+            .eval_with(&[
+                ("Ni", 2000.0),
+                ("Nj", 1500.0),
+                ("Nk", 1500.0),
+                ("S", 1024.0),
+            ])
             .unwrap();
         let t = 1025.0f64.sqrt() - 1.0;
         let expect = 2000.0 * 1500.0 * (2.0 * 1500.0 / t + 1.0);
@@ -361,7 +370,10 @@ mod tests {
         let io = Expr::sym("N") / &d;
         let ub = eliminate_tiles(&io, &fp, &[vec![sym("Td")]], sym("S")).unwrap();
         // At W = H = 3, S = 100: (Δ+2)² = 100 -> Δ = 8 -> bound N/8.
-        let v = ub.bound.eval_with(&[("N", 80.0), ("W", 3.0), ("H", 3.0), ("S", 100.0)]).unwrap();
+        let v = ub
+            .bound
+            .eval_with(&[("N", 80.0), ("W", 3.0), ("H", 3.0), ("S", 100.0)])
+            .unwrap();
         assert!((v - 10.0).abs() < 1e-9);
     }
 
@@ -377,8 +389,7 @@ mod tests {
         let footprint = &ti + &tj + &ti * &tj;
         let groups = vec![vec![sym("Ti")], vec![sym("Tj")]];
         let exact = eliminate_tiles(&io, &footprint, &groups, sym("S")).unwrap();
-        let relaxed =
-            eliminate_tiles_relaxed(&io, &footprint, &groups, sym("S")).unwrap();
+        let relaxed = eliminate_tiles_relaxed(&io, &footprint, &groups, sym("S")).unwrap();
         for s_val in [64.0, 1024.0, 65536.0] {
             let env = [("Ni", 500.0), ("Nj", 500.0), ("Nk", 500.0), ("S", s_val)];
             let e = exact.bound.eval_with(&env).unwrap();
@@ -398,8 +409,7 @@ mod tests {
         let d = Expr::sym("Trelax");
         let fp = d.powi(3) + d.clone();
         let io = Expr::sym("N") / &d;
-        let ub = eliminate_tiles_relaxed(&io, &fp, &[vec![sym("Trelax")]], sym("S"))
-            .unwrap();
+        let ub = eliminate_tiles_relaxed(&io, &fp, &[vec![sym("Trelax")]], sym("S")).unwrap();
         let delta = ub.delta.eval_with(&[("S", 1000.0)]).unwrap();
         assert!((delta - 500.0f64.cbrt()).abs() < 1e-9, "delta = {delta}");
         assert!(delta.powi(3) + delta <= 1000.0);
@@ -411,8 +421,7 @@ mod tests {
     fn cubic_footprint_is_rejected() {
         let d = Expr::sym("Tcubic");
         let fp = d.powi(3);
-        let err =
-            eliminate_tiles(&d.recip(), &fp, &[vec![sym("Tcubic")]], sym("S")).unwrap_err();
+        let err = eliminate_tiles(&d.recip(), &fp, &[vec![sym("Tcubic")]], sym("S")).unwrap_err();
         assert_eq!(err, SymbolicUbError::UnsolvableDegree(3));
     }
 }

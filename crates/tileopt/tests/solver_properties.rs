@@ -1,10 +1,9 @@
-//! Property tests for the tile-size optimizer: on random small geometric
-//! programs the projected-gradient solver must match the exhaustive
-//! integer grid optimum.
+//! Randomized tests for the tile-size optimizer: on random small
+//! geometric programs the projected-gradient solver must match the
+//! exhaustive integer grid optimum. Deterministic SplitMix64 cases.
 
-use ioopt_symbolic::{Bindings, Expr, Symbol};
+use ioopt_symbolic::{Bindings, Expr, SplitMix64, Symbol};
 use ioopt_tileopt::{grid_search, solve, NlpProblem, NlpVar};
-use proptest::prelude::*;
 
 /// Builds `min Σ c_i / x_i  s.t.  Σ x_i + ∏ x_i ≤ cap` over two vars —
 /// the shape of every single-level IOUB instance.
@@ -14,59 +13,71 @@ fn problem(c1: u64, c2: u64, cap: u64) -> NlpProblem {
         objective: Expr::int(c1 as i64) * a.recip() + Expr::int(c2 as i64) * b.recip(),
         constraints: vec![(&a + &b + &a * &b, cap as f64)],
         vars: vec![
-            NlpVar { sym: Symbol::new("Tpa"), lo: 1.0, hi: 64.0 },
-            NlpVar { sym: Symbol::new("Tpb"), lo: 1.0, hi: 64.0 },
+            NlpVar {
+                sym: Symbol::new("Tpa"),
+                lo: 1.0,
+                hi: 64.0,
+            },
+            NlpVar {
+                sym: Symbol::new("Tpb"),
+                lo: 1.0,
+                hi: 64.0,
+            },
         ],
         env: Bindings::new(),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For 1–2 variable problems the solver is exact (a bounded grid
-    /// polish covers the jagged constraint boundary), and it can never
-    /// beat the exhaustive oracle.
-    #[test]
-    fn nlp_matches_grid_optimum(
-        c1 in 1_000u64..1_000_000,
-        c2 in 1_000u64..1_000_000,
-        cap in 8u64..200,
-    ) {
+/// For 1–2 variable problems the solver is exact (a bounded grid
+/// polish covers the jagged constraint boundary), and it can never
+/// beat the exhaustive oracle.
+#[test]
+fn nlp_matches_grid_optimum() {
+    let mut rng = SplitMix64::new(0x711e01);
+    for _ in 0..24 {
+        let c1 = rng.range_i64(1_000, 999_999) as u64;
+        let c2 = rng.range_i64(1_000, 999_999) as u64;
+        let cap = rng.range_i64(8, 199) as u64;
         let p = problem(c1, c2, cap);
         let grid = grid_search(&p, 100_000).expect("feasible");
         let nlp = solve(&p).expect("solves");
-        prop_assert!(
+        assert!(
             nlp.integer_objective <= grid.objective * 1.0000001,
-            "nlp {} vs grid {}", nlp.integer_objective, grid.objective
+            "nlp {} vs grid {} (c1={c1} c2={c2} cap={cap})",
+            nlp.integer_objective,
+            grid.objective
         );
-        prop_assert!(nlp.integer_objective >= grid.objective * 0.9999999);
+        assert!(nlp.integer_objective >= grid.objective * 0.9999999);
     }
+}
 
-    /// The continuous relaxation is never worse than the integer optimum.
-    #[test]
-    fn relaxation_bounds_integer(
-        c1 in 1_000u64..100_000,
-        cap in 8u64..200,
-    ) {
+/// The continuous relaxation is never worse than the integer optimum.
+#[test]
+fn relaxation_bounds_integer() {
+    let mut rng = SplitMix64::new(0x711e02);
+    for _ in 0..24 {
+        let c1 = rng.range_i64(1_000, 99_999) as u64;
+        let cap = rng.range_i64(8, 199) as u64;
         let p = problem(c1, c1, cap);
         let nlp = solve(&p).expect("solves");
-        prop_assert!(nlp.relaxed_objective <= nlp.integer_objective * 1.0000001);
+        assert!(nlp.relaxed_objective <= nlp.integer_objective * 1.0000001);
     }
+}
 
-    /// Integer solutions are always feasible.
-    #[test]
-    fn integer_solution_is_feasible(
-        c1 in 1_000u64..100_000,
-        c2 in 1_000u64..100_000,
-        cap in 8u64..500,
-    ) {
+/// Integer solutions are always feasible.
+#[test]
+fn integer_solution_is_feasible() {
+    let mut rng = SplitMix64::new(0x711e03);
+    for _ in 0..24 {
+        let c1 = rng.range_i64(1_000, 99_999) as u64;
+        let c2 = rng.range_i64(1_000, 99_999) as u64;
+        let cap = rng.range_i64(8, 499) as u64;
         let p = problem(c1, c2, cap);
         let nlp = solve(&p).expect("solves");
         let a = nlp.integer[&Symbol::new("Tpa")] as f64;
         let b = nlp.integer[&Symbol::new("Tpb")] as f64;
-        prop_assert!(a + b + a * b <= cap as f64 * (1.0 + 1e-9));
-        prop_assert!((1.0..=64.0).contains(&a));
-        prop_assert!((1.0..=64.0).contains(&b));
+        assert!(a + b + a * b <= cap as f64 * (1.0 + 1e-9));
+        assert!((1.0..=64.0).contains(&a));
+        assert!((1.0..=64.0).contains(&b));
     }
 }

@@ -1,0 +1,315 @@
+//! Diagnostic types and rendering for the `ioopt check` pass.
+//!
+//! Every finding carries a stable code (`E0xx` hard errors, `W0xx`
+//! warnings), a severity, an optional source span, and a human message.
+//! Reports render either as compiler-style text (with caret excerpts when
+//! the DSL source is available) or as machine-readable JSON lines.
+
+use std::fmt;
+
+use ioopt_ir::Span;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: the pipeline still produces sound bounds, but a
+    /// refinement is lost or a result is weaker than it could be.
+    Warning,
+    /// The analysis precondition is violated: `ioopt::analyze` would
+    /// fail or silently fall back to the trivial bound.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes (documented in the README's `ioopt check`
+/// table; see DESIGN.md §7 for the underlying soundness subtleties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Rectangular tiling is illegal (an input aliases the output array
+    /// through a different affine access), §3.1.
+    E001,
+    /// A loop dimension is indexed by no array access, so the
+    /// Brascamp-Lieb LP is infeasible and the partition argument yields
+    /// only the trivial bound (DESIGN.md §7.3).
+    E002,
+    /// A bound certificate is inverted: the lower bound exceeds the
+    /// upper bound at a sampled point.
+    E008,
+    /// A non-separable access (diagonal `A[i][i]` or non-unit stride):
+    /// footprints over-approximate and compulsory-miss terms fall back
+    /// to a per-coordinate lower bound (DESIGN.md §7.4).
+    W003,
+    /// One array is read through several distinct subscripts; their
+    /// Brascamp-Lieb coefficients share a single data budget.
+    W004,
+    /// The statement reduces over more than one dimension: the
+    /// chain-pebbling oracle is invalid and soundness rests on the
+    /// broadcast model of §5.3 (DESIGN.md §7.2).
+    W005,
+    /// Small-dimension annotations disagree with the declared default
+    /// sizes, so the §5.2 scenario refinement will not engage (or
+    /// engages on a large dimension).
+    W006,
+    /// Structural lint: a size-1 dimension, a constant-subscript
+    /// (dimension-free) array reference, or an exactly duplicated read.
+    W007,
+}
+
+impl Code {
+    /// Every code, in numeric order.
+    pub const ALL: [Code; 8] = [
+        Code::E001,
+        Code::E002,
+        Code::W003,
+        Code::W004,
+        Code::W005,
+        Code::W006,
+        Code::W007,
+        Code::E008,
+    ];
+
+    /// The stable string form, e.g. `"E002"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::W003 => "W003",
+            Code::W004 => "W004",
+            Code::W005 => "W005",
+            Code::W006 => "W006",
+            Code::W007 => "W007",
+            Code::E008 => "E008",
+        }
+    }
+
+    /// The severity class of the code (`E` = error, `W` = warning).
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::E001 | Code::E002 | Code::E008 => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+
+    /// A one-line description of what the code means.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::E001 => "rectangular tiling is illegal",
+            Code::E002 => "a loop dimension escapes every array access",
+            Code::W003 => "non-separable access: cardinalities are approximated",
+            Code::W004 => "one array read through several subscripts",
+            Code::W005 => "multi-dimensional reduction: chain oracle invalid",
+            Code::W006 => "small-dimension annotation disagrees with sizes",
+            Code::W007 => "structural lint (size-1 dim, constant subscript, duplicate read)",
+            Code::E008 => "bound certificate inverted (LB > UB)",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()`).
+    pub severity: Severity,
+    /// Source span of the offending construct ([`Span::NONE`] when the
+    /// kernel was built programmatically).
+    pub span: Span,
+    /// The human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic; the severity is derived from the code.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// One line of compiler-style text: `error[E002]: message`.
+    pub fn headline(&self) -> String {
+        format!("{}[{}]: {}", self.severity, self.code, self.message)
+    }
+
+    /// Full text rendering; when `src` is available and the span is
+    /// real, a caret excerpt follows the headline.
+    pub fn render(&self, src: Option<&str>) -> String {
+        let mut out = self.headline();
+        if let Some(src) = src {
+            if !self.span.is_none() {
+                let (line, col) = self.span.line_col(src);
+                out.push_str(&format!("\n  --> {line}:{col}\n"));
+                out.push_str(&self.span.render(src));
+            }
+        }
+        out
+    }
+
+    /// One JSON object (hand-rolled; no external dependencies).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":\"{}\"}}",
+            self.code,
+            self.severity,
+            if self.span.is_none() {
+                "null".to_string()
+            } else {
+                format!("[{},{}]", self.span.start, self.span.end)
+            },
+            escape_json(&self.message),
+        )
+    }
+}
+
+/// The result of running every pass over one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// The kernel's name.
+    pub kernel: String,
+    /// All findings, in pass order (errors are not sorted first; use
+    /// [`VerifyReport::errors`]).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// Findings with [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with [`Severity::Warning`].
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any hard error was found.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether the kernel produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether the given code was emitted.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Full text rendering: one block per diagnostic plus a summary
+    /// line (`kernel `mm`: no diagnostics` for a clean report).
+    pub fn render(&self, src: Option<&str>) -> String {
+        if self.is_clean() {
+            return format!("kernel `{}`: no diagnostics", self.kernel);
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(src));
+            out.push('\n');
+        }
+        let errors = self.errors().count();
+        let warnings = self.warnings().count();
+        out.push_str(&format!(
+            "kernel `{}`: {errors} error(s), {warnings} warning(s)",
+            self.kernel
+        ));
+        out
+    }
+
+    /// Machine-readable rendering: one JSON object with the kernel name
+    /// and the diagnostics array.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
+        format!(
+            "{{\"kernel\":\"{}\",\"diagnostics\":[{}]}}",
+            escape_json(&self.kernel),
+            items.join(",")
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_table_is_consistent() {
+        for code in Code::ALL {
+            let s = code.as_str();
+            assert_eq!(s.len(), 4);
+            let expect = match &s[..1] {
+                "E" => Severity::Error,
+                _ => Severity::Warning,
+            };
+            assert_eq!(code.severity(), expect, "{code}");
+            assert!(!code.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let d = Diagnostic::new(Code::W007, Span::new(2, 5), "quote \" and \\ back");
+        let json = d.to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\"span\":[2,5]"));
+        let none = Diagnostic::new(Code::E001, Span::NONE, "x");
+        assert!(none.to_json().contains("\"span\":null"));
+    }
+
+    #[test]
+    fn report_render_summarizes() {
+        let rep = VerifyReport {
+            kernel: "mm".into(),
+            diagnostics: vec![
+                Diagnostic::new(Code::E002, Span::NONE, "dim q escapes"),
+                Diagnostic::new(Code::W005, Span::NONE, "2 reduced dims"),
+            ],
+        };
+        let text = rep.render(None);
+        assert!(text.contains("error[E002]"));
+        assert!(text.contains("warning[W005]"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+        assert!(rep.has_errors());
+        assert!(rep.has(Code::W005));
+    }
+}

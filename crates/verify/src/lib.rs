@@ -1,0 +1,47 @@
+//! # ioopt-verify
+//!
+//! Static diagnostics and precondition checking over [`ioopt_ir::Kernel`]
+//! — the analysis behind the `ioopt check` subcommand.
+//!
+//! The IOOpt pipeline has sharp preconditions (rectangular tilability,
+//! every loop indexed by some array) and several refinements that engage
+//! silently or not at all (small-dimension scenarios, reduction
+//! detection, exact footprint forms). This crate makes those conditions
+//! *visible before analysis runs*: [`verify`] executes eight passes and
+//! reports findings as [`Diagnostic`]s with stable codes, severities and
+//! DSL source spans.
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E001 | error    | rectangular tiling is illegal (§3.1) |
+//! | E002 | error    | a loop dimension escapes every access (LP infeasible, DESIGN §7.3) |
+//! | W003 | warning  | non-separable access: cardinalities approximated (DESIGN §7.4) |
+//! | W004 | warning  | one array read through several subscripts (shared budget) |
+//! | W005 | warning  | multi-dimensional reduction: chain oracle invalid (DESIGN §7.2) |
+//! | W006 | warning  | small-dim annotation disagrees with declared sizes (§5.2) |
+//! | W007 | warning  | structural lint: size-1/dead dim, constant subscript, duplicate read |
+//! | E008 | error    | derived bound certificate inverted (LB > UB) |
+//!
+//! ```
+//! use ioopt_ir::parse_kernel;
+//! use ioopt_verify::{verify, Code, VerifyOptions};
+//! let k = parse_kernel("kernel esc { loop i : N; loop q : Q; C[i] += A[i]; }")?;
+//! let report = verify(&k, &VerifyOptions::default());
+//! assert!(report.has(Code::E002)); // `q` escapes every access
+//! # Ok::<(), ioopt_ir::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod certificate;
+mod diag;
+mod passes;
+
+pub use certificate::{check_certificate, CertificateViolation};
+pub use diag::{Code, Diagnostic, Severity, VerifyReport};
+pub use passes::{verify, VerifyOptions};
+
+// The legality check is part of this crate's public vocabulary (pass
+// E001 wraps it); re-export so callers need not depend on `ioopt-ir`
+// for the verdict type.
+pub use ioopt_ir::{check_tilable, Legality};

@@ -1,0 +1,423 @@
+//! The analysis passes behind [`verify`](crate::verify).
+//!
+//! Each pass inspects one precondition or refinement opportunity of the
+//! IOOpt pipeline and reports findings as [`Diagnostic`]s; the pass
+//! order matches the code order so reports read top-down from "the
+//! pipeline will fail" (E001/E002) through "the result is weaker than
+//! it looks" (W00x) to "the derived bounds contradict each other"
+//! (E008).
+
+use std::collections::HashMap;
+
+use ioopt_iolb::{escaping_dims, lower_bound, HomOptions, LbOptions};
+use ioopt_ir::{check_tilable, ArrayRef, Kernel, Legality};
+use ioopt_tileopt::symbolic_tc_ub;
+
+use crate::certificate::check_certificate;
+use crate::diag::{Code, Diagnostic, VerifyReport};
+
+/// Knobs for [`verify`](crate::verify).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOptions {
+    /// Concrete sizes for the annotation audit (W006); when `None`, the
+    /// kernel's own `loop i : N = 2000;` defaults are used (the audit is
+    /// skipped if neither is available).
+    pub sizes: Option<HashMap<String, i64>>,
+    /// A dimension whose size is at most this counts as "small" for the
+    /// W006 audit (the paper's conv benchmarks have H = W = 3 against
+    /// spatial extents in the tens; 32 separates the two populations).
+    pub small_threshold: i64,
+    /// Run the E008 certificate cross-check (derives a lower bound and,
+    /// for tensor contractions, the Fig. 6 upper bound — the most
+    /// expensive pass; on by default).
+    pub certificate: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> VerifyOptions {
+        VerifyOptions {
+            sizes: None,
+            small_threshold: 32,
+            certificate: true,
+        }
+    }
+}
+
+/// Runs every pass over `kernel` and collects the findings.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ir::kernels;
+/// use ioopt_verify::{verify, VerifyOptions};
+/// let report = verify(&kernels::matmul(), &VerifyOptions::default());
+/// assert!(report.is_clean());
+/// ```
+pub fn verify(kernel: &Kernel, options: &VerifyOptions) -> VerifyReport {
+    let mut diags = Vec::new();
+    pass_tiling_legality(kernel, &mut diags);
+    pass_escaping_dims(kernel, &mut diags);
+    pass_non_separable(kernel, &mut diags);
+    pass_duplicate_reads(kernel, &mut diags);
+    pass_multi_reduction(kernel, &mut diags);
+    pass_small_dim_audit(kernel, options, &mut diags);
+    pass_structural_lints(kernel, &mut diags);
+    if options.certificate {
+        pass_certificate(kernel, &mut diags);
+    }
+    VerifyReport {
+        kernel: kernel.name().to_string(),
+        diagnostics: diags,
+    }
+}
+
+/// E001 — rectangular tiling legality (§3.1), delegating to
+/// [`ioopt_ir::check_tilable`].
+fn pass_tiling_legality(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    if let Legality::Illegal(msg) = check_tilable(kernel) {
+        diags.push(Diagnostic::new(Code::E001, kernel.output().span, msg));
+    }
+}
+
+/// E002 — escaping dimensions (DESIGN.md §7.3): a loop indexed by no
+/// array makes the Brascamp-Lieb LP infeasible, so every partition
+/// scenario degenerates to the trivial bound.
+fn pass_escaping_dims(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    for d in escaping_dims(kernel, &HomOptions::default()) {
+        let dim = &kernel.dims()[d];
+        diags.push(Diagnostic::new(
+            Code::E002,
+            dim.span,
+            format!(
+                "loop dimension `{}` is indexed by no array access; bounded sets \
+                 grow freely along it, the Brascamp-Lieb LP is infeasible, and \
+                 the lower bound degenerates to the sum of array sizes",
+                dim.name
+            ),
+        ));
+    }
+}
+
+/// W003 — non-separable accesses (DESIGN.md §7.4): a diagonal like
+/// `A[i][i]` or a strided subscript leaves the exact product-form
+/// cardinality; footprints over-approximate and the compulsory-miss
+/// term falls back to the largest single-coordinate count.
+fn pass_non_separable(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    for a in kernel.arrays() {
+        if a.access.is_separable_unit() {
+            continue;
+        }
+        let mut seen: Vec<usize> = Vec::new();
+        let mut repeated: Option<usize> = None;
+        let mut non_unit = false;
+        for f in a.access.dims() {
+            if !f.is_unit() {
+                non_unit = true;
+            }
+            for d in f.dims() {
+                if seen.contains(&d) {
+                    repeated.get_or_insert(d);
+                } else {
+                    seen.push(d);
+                }
+            }
+        }
+        let why = match repeated {
+            Some(d) => format!(
+                "dimension `{}` appears in more than one subscript (a diagonal \
+                 access)",
+                kernel.dims()[d].name
+            ),
+            None if non_unit => "a subscript has a non-unit coefficient".to_string(),
+            None => "its subscripts are not separable".to_string(),
+        };
+        diags.push(Diagnostic::new(
+            Code::W003,
+            a.span,
+            format!(
+                "access to `{}` is not a separable unit access ({why}): the \
+                 footprint is over-approximated and the compulsory-miss term \
+                 falls back to a per-coordinate lower bound",
+                a.name
+            ),
+        ));
+    }
+}
+
+/// W004 — one array read through several distinct subscripts: the sum
+/// constraint `Σ x_A ≤ K` of the partition argument ranges over
+/// *distinct arrays*, so those reads share one data budget and their
+/// Brascamp-Lieb coefficients aggregate (weakening the AM-GM constant).
+fn pass_duplicate_reads(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    let inputs = kernel.inputs();
+    for (i, a) in inputs.iter().enumerate() {
+        if inputs[..i]
+            .iter()
+            .any(|b| b.name == a.name && b.access != a.access)
+        {
+            let count = inputs.iter().filter(|b| b.name == a.name).count();
+            diags.push(Diagnostic::new(
+                Code::W004,
+                a.span,
+                format!(
+                    "array `{}` is read through {count} distinct subscripts; the \
+                     reads share one data budget, so their Brascamp-Lieb \
+                     coefficients aggregate before the bound constant is formed",
+                    a.name
+                ),
+            ));
+        }
+    }
+}
+
+/// W005 — multi-dimensional reductions (DESIGN.md §7.2): the sequential
+/// accumulation chain wraps across reduced dimensions and is not an
+/// affine projection, so the chain-pebbling oracle is invalid and the
+/// bound rests entirely on the broadcast model of §5.3.
+fn pass_multi_reduction(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    let reduced = kernel.reduced_dims();
+    if reduced.len() <= 1 {
+        return;
+    }
+    let names: Vec<&str> = reduced
+        .iter()
+        .map(|&d| kernel.dims()[d].name.as_str())
+        .collect();
+    diags.push(Diagnostic::new(
+        Code::W005,
+        kernel.output().span,
+        format!(
+            "statement reduces over {} dimensions ({}); the chain-pebbling \
+             oracle is invalid here and soundness relies on reduction \
+             detection (§5.3) replacing the chain by broadcast dependencies",
+            reduced.len(),
+            names.join(", ")
+        ),
+    ));
+}
+
+/// W006 — small-dimension annotation audit: the §5.2 scenario
+/// refinement only engages on `small`-annotated dimensions, so an
+/// unannotated tiny dimension silently loses the refinement, and a
+/// large annotated one injects a hypothesis the sizes do not support.
+fn pass_small_dim_audit(kernel: &Kernel, options: &VerifyOptions, diags: &mut Vec<Diagnostic>) {
+    let sizes = match options.sizes.clone().or_else(|| kernel.default_sizes()) {
+        Some(s) => s,
+        None => return,
+    };
+    for dim in kernel.dims() {
+        let Some(&n) = sizes.get(&dim.name) else {
+            continue;
+        };
+        if n <= 1 {
+            continue; // covered by the W007 size-1 lint
+        }
+        if n <= options.small_threshold && !dim.small {
+            diags.push(Diagnostic::new(
+                Code::W006,
+                dim.span,
+                format!(
+                    "dimension `{}` has size {n} but no `small` annotation: the \
+                     small-dimension scenario (§5.2) will not engage and the \
+                     lower bound may lose a √({}·…) factor",
+                    dim.name, dim.size
+                ),
+            ));
+        } else if n > options.small_threshold && dim.small {
+            diags.push(Diagnostic::new(
+                Code::W006,
+                dim.span,
+                format!(
+                    "dimension `{}` is annotated `small` but has size {n} \
+                     (threshold {}): the small-dimension hypothesis is \
+                     unsupported at these sizes",
+                    dim.name, options.small_threshold
+                ),
+            ));
+        }
+    }
+}
+
+/// W007 — structural lints: size-1 dimensions, dimension-free
+/// (constant-subscript) array references, and exactly duplicated reads.
+fn pass_structural_lints(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    let defaults = kernel.default_sizes();
+    for (d, dim) in kernel.dims().iter().enumerate() {
+        if let Some(&1) = defaults.as_ref().and_then(|m| m.get(&dim.name)) {
+            diags.push(Diagnostic::new(
+                Code::W007,
+                dim.span,
+                format!(
+                    "dimension `{}` has extent 1: the loop is degenerate and \
+                     should be removed",
+                    dim.name
+                ),
+            ));
+        }
+        let used = kernel.arrays().any(|a| a.access.uses(d));
+        if !used {
+            // Also an E002 (the LP is infeasible); the lint adds the
+            // actionable phrasing.
+            diags.push(Diagnostic::new(
+                Code::W007,
+                dim.span,
+                format!("dimension `{}` is dead: no array access uses it", dim.name),
+            ));
+        }
+    }
+    let is_const = |a: &ArrayRef| a.access.dims().iter().all(|f| f.terms().is_empty());
+    for a in kernel.arrays() {
+        if a.access.arity() > 0 && is_const(a) {
+            diags.push(Diagnostic::new(
+                Code::W007,
+                a.span,
+                format!(
+                    "access to `{}` uses no loop dimension: the reference is a \
+                     single cell and contributes nothing to the I/O analysis",
+                    a.name
+                ),
+            ));
+        }
+    }
+    let inputs = kernel.inputs();
+    for (i, a) in inputs.iter().enumerate() {
+        if inputs[..i]
+            .iter()
+            .any(|b| b.name == a.name && b.access == a.access)
+        {
+            diags.push(Diagnostic::new(
+                Code::W007,
+                a.span,
+                format!("read of `{}` exactly duplicates an earlier read", a.name),
+            ));
+        }
+    }
+}
+
+/// E008 — certificate cross-check: derive the combined lower bound and,
+/// when the kernel is a tensor contraction, the Fig. 6 closed-form
+/// upper bound, and verify `LB ≤ UB` (see [`check_certificate`]). Both
+/// derivations failing is not a finding — the pass only fires on an
+/// actual inversion.
+fn pass_certificate(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
+    if !check_tilable(kernel).is_tilable() {
+        return; // no sound UB exists to certify against
+    }
+    let Ok(lb) = lower_bound(kernel, &LbOptions::default()) else {
+        return;
+    };
+    let Some(ub) = symbolic_tc_ub(kernel) else {
+        return;
+    };
+    if let Some(v) = check_certificate(&lb.combined, &ub.bound) {
+        diags.push(Diagnostic::new(
+            Code::E008,
+            kernel.output().span,
+            format!("lower bound exceeds the derived upper bound: {v}"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::{kernels, parse_kernel};
+
+    fn verify_src(src: &str) -> VerifyReport {
+        verify(&parse_kernel(src).unwrap(), &VerifyOptions::default())
+    }
+
+    #[test]
+    fn matmul_is_clean() {
+        let report = verify(&kernels::matmul(), &VerifyOptions::default());
+        assert!(report.is_clean(), "unexpected: {:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn escaping_dim_fires_e002_on_the_dim() {
+        let src = "kernel esc {\n  loop i : N;\n  loop q : Q;\n  C[i] += A[i] * B[i];\n}";
+        let report = verify_src(src);
+        assert!(report.has(Code::E002));
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::E002)
+            .unwrap();
+        assert!(d.message.contains("`q`"));
+        // The span must cover the `loop q : Q;` declaration.
+        assert_eq!(&src[d.span.start..d.span.end], "loop q : Q;");
+    }
+
+    #[test]
+    fn diagonal_access_fires_w003() {
+        let report = verify_src("kernel diag {\n  loop i : N;\n  C[i] += A[i][i];\n}");
+        assert!(report.has(Code::W003));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn duplicate_subscripts_fire_w004() {
+        let report =
+            verify_src("kernel corr {\n  loop i : N;\n  loop k : K;\n  C[k] += A[i] * A[i+k];\n}");
+        assert!(report.has(Code::W004));
+    }
+
+    #[test]
+    fn conv2d_fires_w005_only() {
+        let report = verify(&kernels::conv2d(), &VerifyOptions::default());
+        assert!(report.has(Code::W005));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn small_dim_audit_both_directions() {
+        // h is tiny but unannotated; j is huge but annotated small.
+        let k = parse_kernel(
+            "kernel a {\n  loop i : N = 1024;\n  loop h : H = 3;\n  C[i] += A[i+h];\n}",
+        )
+        .unwrap();
+        let report = verify(&k, &VerifyOptions::default());
+        assert!(report.has(Code::W006));
+        let k2 = parse_kernel(
+            "kernel b {\n  loop i : N = 1024;\n  loop j : M = 4096 small;\n  C[i] += A[i][j] * B[j];\n}",
+        )
+        .unwrap();
+        let report2 = verify(&k2, &VerifyOptions::default());
+        assert!(
+            report2
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::W006 && d.message.contains("unsupported")),
+            "{:?}",
+            report2.diagnostics
+        );
+    }
+
+    #[test]
+    fn structural_lints_fire_w007() {
+        let one = parse_kernel(
+            "kernel one {\n  loop i : N = 1024;\n  loop b : B = 1;\n  C[i][b] += A[i][b];\n}",
+        )
+        .unwrap();
+        assert!(verify(&one, &VerifyOptions::default()).has(Code::W007));
+        let dup =
+            verify_src("kernel dup {\n  loop i : N;\n  loop k : K;\n  C[i] += A[k] * A[k];\n}");
+        assert!(dup.has(Code::W007));
+    }
+
+    #[test]
+    fn illegal_tiling_fires_e001() {
+        let report = verify_src(
+            "kernel seidel {\n  loop t : T;\n  loop i : N;\n  A[i] += A[i+1] * A[i];\n}",
+        );
+        assert!(report.has(Code::E001));
+    }
+
+    #[test]
+    fn certificate_pass_is_quiet_on_tccg() {
+        for entry in kernels::TCCG.iter().take(3) {
+            let report = verify(&entry.kernel(), &VerifyOptions::default());
+            assert!(!report.has(Code::E008), "{}", entry.spec);
+        }
+    }
+}

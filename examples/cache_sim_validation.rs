@@ -48,8 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         misses,
         analysis.ub / misses
     );
-    assert!(misses >= analysis.lb * 0.99, "simulation broke the lower bound!");
-    assert!(misses <= analysis.ub * 1.5, "simulation far above the model");
+    assert!(
+        misses >= analysis.lb * 0.99,
+        "simulation broke the lower bound!"
+    );
+    assert!(
+        misses <= analysis.ub * 1.5,
+        "simulation far above the model"
+    );
 
     // Simulate the untiled source order for contrast.
     let untiled = TiledLoopNest::new(&kernel, &sizes, &[0, 1, 2], &HashMap::new())?;

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    println!("\n{:>3} {:>12} {:>12} {:>12}", "S", "optimal", "greedy", "red-blue");
+    println!(
+        "\n{:>3} {:>12} {:>12} {:>12}",
+        "S", "optimal", "greedy", "red-blue"
+    );
     let order = cdag.computes();
     for s in 4..=8usize {
         let optimal = optimal_loads(&cdag, s, 40_000_000)

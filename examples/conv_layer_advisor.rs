@@ -12,7 +12,9 @@ use ioopt::ir::kernels;
 use ioopt::tileopt::optimize_multilevel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "Yolo9000-12".to_string());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Yolo9000-12".to_string());
     let layer = kernels::YOLO9000
         .iter()
         .find(|l| l.name == wanted)
@@ -24,19 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .zip(machine.capacities_elems())
         .zip(&machine.bandwidths)
-        .map(|((name, cap), &bw)| {
-            CacheLevelSpec::new(name, cap, machine.element_bytes / bw)
-        })
+        .map(|((name, cap), &bw)| CacheLevelSpec::new(name, cap, machine.element_bytes / bw))
         .collect();
 
     let kernel = kernels::conv2d();
     let sizes = layer.size_map();
-    println!("Layer {}: F={} C={} X={} Y={} W={} H={}", layer.name, layer.f,
-        layer.c, layer.x, layer.y, layer.w, layer.h);
+    println!(
+        "Layer {}: F={} C={} X={} Y={} W={} H={}",
+        layer.name, layer.f, layer.c, layer.x, layer.y, layer.w, layer.h
+    );
 
     let rec = optimize_multilevel(&kernel, &sizes, &caches, &SmallDimOracle)?;
-    let perm_names: Vec<&str> =
-        rec.perm.iter().map(|&d| kernel.dims()[d].name.as_str()).collect();
+    let perm_names: Vec<&str> = rec
+        .perm
+        .iter()
+        .map(|&d| kernel.dims()[d].name.as_str())
+        .collect();
     println!("inter-tile permutation (outer to inner): {perm_names:?}");
     for (band, tiles) in rec.tiles.iter().enumerate() {
         let mut t: Vec<(&String, &i64)> = tiles.iter().collect();

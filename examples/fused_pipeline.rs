@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("\ncomposite:");
-    println!("  boundary traffic (X, W1, W2 once; H internal) = {:.3e}", seq.boundary_traffic);
+    println!(
+        "  boundary traffic (X, W1, W2 once; H internal) = {:.3e}",
+        seq.boundary_traffic
+    );
     println!("  LB = {:.3e}", seq.lb);
     println!("  UB = {:.3e}  (statements run back-to-back)", seq.ub);
     assert!(seq.lb <= seq.ub);

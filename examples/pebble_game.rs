@@ -7,7 +7,7 @@ use std::collections::HashMap;
 
 use ioopt::cdag::{build_cdag, greedy_loads, optimal_loads};
 use ioopt::symbolic::Symbol;
-use ioopt::{symbolic_lb, analyze, AnalysisOptions};
+use ioopt::{analyze, symbolic_lb, AnalysisOptions};
 use ioopt_ir::kernels;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -11,9 +11,14 @@ use ioopt::{symbolic_lb, symbolic_tc_ub};
 use ioopt_ir::kernels::tensor_contraction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = std::env::args().nth(1).unwrap_or_else(|| "abc-bda-dc".to_string());
+    let spec = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "abc-bda-dc".to_string());
     let kernel = tensor_contraction(&spec, &spec);
-    println!("tensor contraction {spec}: {} dimensions", kernel.dims().len());
+    println!(
+        "tensor contraction {spec}: {} dimensions",
+        kernel.dims().len()
+    );
     println!("arithmetic complexity = {}", kernel.arith_complexity());
 
     let ub = symbolic_tc_ub(&kernel).ok_or("spec is not a contraction")?;
@@ -35,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the ideal tile would exceed the dimensions, the achievable minimum is
     // the compulsory traffic (each array touched once), so we clamp there.
     println!("\nnumeric bounds with all dimensions = 64:");
-    let mut env: HashMap<Symbol, f64> = kernel
-        .dims()
-        .iter()
-        .map(|d| (d.size, 64.0))
-        .collect();
+    let mut env: HashMap<Symbol, f64> = kernel.dims().iter().map(|d| (d.size, 64.0)).collect();
     println!("{:>10} {:>14} {:>14} {:>8}", "S", "LB", "UB", "UB/LB");
     for exp in [10, 12, 14, 16, 18] {
         let s = f64::from(1 << exp);

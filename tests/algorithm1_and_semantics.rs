@@ -57,14 +57,16 @@ fn algorithm1_keeps_an_optimal_permutation() {
             1024.0,
         ),
     ] {
-        let config = TileOptConfig { cache_elems: cache, max_level_combos: 512 };
+        let config = TileOptConfig {
+            cache_elems: cache,
+            max_level_combos: 512,
+        };
         let env = kernel.bind_sizes(&sizes);
         let best_over = |perms: &[Vec<usize>]| -> f64 {
             perms
                 .iter()
                 .filter_map(|perm| {
-                    let sched =
-                        TilingSchedule::parametric_by_index(&kernel, perm.clone())?;
+                    let sched = TilingSchedule::parametric_by_index(&kernel, perm.clone())?;
                     optimize_schedule(&kernel, &sched, &env, &sizes, &config)
                         .ok()
                         .flatten()
@@ -143,6 +145,11 @@ fn random_tensor_contractions_have_consistent_bounds() {
         let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(512.0))
             .unwrap_or_else(|e| panic!("{spec}: {e}"));
         assert!(a.lb > 0.0, "{spec}");
-        assert!(a.lb <= a.ub * (1.0 + 1e-9), "{spec}: lb {} > ub {}", a.lb, a.ub);
+        assert!(
+            a.lb <= a.ub * (1.0 + 1e-9),
+            "{spec}: lb {} > ub {}",
+            a.lb,
+            a.ub
+        );
     }
 }

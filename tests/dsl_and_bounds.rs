@@ -51,8 +51,7 @@ fn symbolic_tc_ub_is_achievable_by_tileopt() {
         let mut env = kernel.bind_sizes(&sizes);
         env.insert(Symbol::new("S"), cache);
         let closed_form = ub.bound.eval_f64(&env).expect("evaluates");
-        let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache))
-            .expect("analyzes");
+        let a = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache)).expect("analyzes");
         assert!(
             a.ub <= closed_form * 1.10,
             "{}: TileOpt {} worse than closed form {}",

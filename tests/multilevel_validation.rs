@@ -20,8 +20,7 @@ fn multilevel_traffic_matches_hierarchy_simulation() {
         .expect("feasible multilevel tiling");
     // Simulate the *innermost* band's loop nest against both levels with
     // 30% LRU slack over the nominal capacities.
-    let nest = TiledLoopNest::new(&kernel, &sizes, &rec.perm, &rec.tiles[0])
-        .expect("valid nest");
+    let nest = TiledLoopNest::new(&kernel, &sizes, &rec.perm, &rec.tiles[0]).expect("valid nest");
     let mut h = Hierarchy::new(&[665, 10_650], 1);
     let sim = nest.simulate(&mut h);
 

@@ -27,9 +27,19 @@ fn matmul_bounds_are_tight() {
 fn all_tccg_kernels_have_consistent_bounds() {
     for entry in kernels::TCCG {
         let kernel = entry.kernel();
-        let a = analyze(&kernel, &entry.size_map(), &AnalysisOptions::with_cache(8192.0))
-            .unwrap_or_else(|e| panic!("{}: {e}", entry.spec));
-        assert!(a.lb <= a.ub * (1.0 + 1e-9), "{}: lb {} > ub {}", entry.spec, a.lb, a.ub);
+        let a = analyze(
+            &kernel,
+            &entry.size_map(),
+            &AnalysisOptions::with_cache(8192.0),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", entry.spec));
+        assert!(
+            a.lb <= a.ub * (1.0 + 1e-9),
+            "{}: lb {} > ub {}",
+            entry.spec,
+            a.lb,
+            a.ub
+        );
         // The paper reports close bounds for every TC; allow a modest gap.
         assert!(a.tightness < 2.5, "{}: ratio {}", entry.spec, a.tightness);
     }
@@ -40,8 +50,12 @@ fn yolo_layer_bounds_are_close() {
     // One representative 3x3 layer and one 1x1 layer.
     let kernel = kernels::conv2d();
     for layer in [kernels::YOLO9000[4], kernels::YOLO9000[5]] {
-        let a = analyze(&kernel, &layer.size_map(), &AnalysisOptions::with_cache(32768.0))
-            .unwrap_or_else(|e| panic!("{}: {e}", layer.name));
+        let a = analyze(
+            &kernel,
+            &layer.size_map(),
+            &AnalysisOptions::with_cache(32768.0),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", layer.name));
         assert!(a.lb <= a.ub * (1.0 + 1e-9), "{}", layer.name);
         // Paper Fig. 7: at most ~3x between bounds.
         assert!(a.tightness < 3.0, "{}: ratio {}", layer.name, a.tightness);
@@ -84,15 +98,26 @@ fn recommendation_respects_footprint() {
     for (name, t) in &a.recommendation.tiles {
         env.insert(ioopt::symbolic::Symbol::new(&format!("T{name}")), *t as f64);
     }
-    let fp = a.recommendation.cost.footprint.eval_f64(&env).expect("evaluates");
+    let fp = a
+        .recommendation
+        .cost
+        .footprint
+        .eval_f64(&env)
+        .expect("evaluates");
     assert!(fp <= cache * (1.0 + 1e-9), "footprint {fp} > cache {cache}");
 }
 
 #[test]
 fn tiled_code_is_emitted_for_every_kernel() {
     for (kernel, s) in [
-        (kernels::matmul(), sizes(&[("i", 128), ("j", 128), ("k", 128)])),
-        (kernels::conv1d(), sizes(&[("c", 16), ("f", 16), ("x", 64), ("w", 3)])),
+        (
+            kernels::matmul(),
+            sizes(&[("i", 128), ("j", 128), ("k", 128)]),
+        ),
+        (
+            kernels::conv1d(),
+            sizes(&[("c", 16), ("f", 16), ("x", 64), ("w", 3)]),
+        ),
     ] {
         let a = analyze(&kernel, &s, &AnalysisOptions::with_cache(1024.0)).expect("pipeline");
         assert!(a.tiled_code.contains("for ("));
@@ -106,21 +131,9 @@ fn polybench_sequences_have_consistent_bounds() {
     use ioopt::ir::kernels::polybench;
 
     let cases: Vec<(&str, Vec<ioopt::ir::Kernel>, HashMap<String, i64>)> = vec![
-        (
-            "atax",
-            polybench::atax(),
-            sizes(&[("i", 256), ("j", 256)]),
-        ),
-        (
-            "bicg",
-            polybench::bicg(),
-            sizes(&[("i", 256), ("j", 256)]),
-        ),
-        (
-            "mvt",
-            polybench::mvt(),
-            sizes(&[("i", 256), ("j", 256)]),
-        ),
+        ("atax", polybench::atax(), sizes(&[("i", 256), ("j", 256)])),
+        ("bicg", polybench::bicg(), sizes(&[("i", 256), ("j", 256)])),
+        ("mvt", polybench::mvt(), sizes(&[("i", 256), ("j", 256)])),
         (
             "2mm",
             polybench::two_mm(),
@@ -131,7 +144,12 @@ fn polybench_sequences_have_consistent_bounds() {
         let result = analyze_sequence(&seq, &sz, &AnalysisOptions::with_cache(2048.0))
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(result.lb > 0.0, "{name}");
-        assert!(result.lb <= result.ub * (1.0 + 1e-9), "{name}: lb {} > ub {}", result.lb, result.ub);
+        assert!(
+            result.lb <= result.ub * (1.0 + 1e-9),
+            "{name}: lb {} > ub {}",
+            result.lb,
+            result.ub
+        );
         assert_eq!(result.per_kernel.len(), 2, "{name}");
     }
 }

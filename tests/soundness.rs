@@ -34,7 +34,11 @@ fn lower_bound_below_optimal_pebbling() {
             panic!("{}: exact search exceeded budget", kernel.name());
         };
         let greedy = greedy_loads(&cdag, s, &cdag.computes());
-        assert!(optimal <= greedy, "{}: {optimal} > greedy {greedy}", kernel.name());
+        assert!(
+            optimal <= greedy,
+            "{}: {optimal} > greedy {greedy}",
+            kernel.name()
+        );
 
         let report = symbolic_lb(&kernel).expect("lb");
         let mut env = kernel.bind_sizes(&sz);
@@ -61,11 +65,7 @@ fn lower_bound_below_simulated_schedules() {
     let lb = report.combined.eval_f64(&env).expect("evaluates");
 
     // A bag of schedules: untiled orders and several tilings.
-    let perms: Vec<Vec<usize>> = vec![
-        vec![0, 1, 2],
-        vec![2, 1, 0],
-        vec![1, 0, 2],
-    ];
+    let perms: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![2, 1, 0], vec![1, 0, 2]];
     let tilings: Vec<HashMap<String, i64>> = vec![
         HashMap::new(),
         sizes(&[("i", 8), ("j", 8)]),
@@ -93,8 +93,13 @@ fn ub_model_matches_simulation_with_slack() {
     let kernel = kernels::matmul();
     let sz = sizes(&[("i", 48), ("j", 48), ("k", 48)]);
     let a = analyze(&kernel, &sz, &AnalysisOptions::with_cache(256.0)).expect("pipeline");
-    let nest = TiledLoopNest::new(&kernel, &sz, &a.recommendation.perm, &a.recommendation.tiles)
-        .expect("valid");
+    let nest = TiledLoopNest::new(
+        &kernel,
+        &sz,
+        &a.recommendation.perm,
+        &a.recommendation.tiles,
+    )
+    .expect("valid");
     let mut h = Hierarchy::new(&[320], 1); // 25% LRU slack
     let sim = nest.simulate(&mut h);
     let misses = sim.stats[0].misses as f64;
@@ -124,9 +129,12 @@ fn full_sandwich_on_tiny_matmul() {
     assert!(lb <= optimal + 1e-9, "LB {lb} > optimal {optimal}");
     // Achievability with one transient pebble (the cost model updates the
     // accumulator in place; the pebble game holds old + new one step).
-    let optimal_aug =
-        optimal_loads(&cdag, s + 1, 30_000_000).expect("search fits") as f64;
-    assert!(optimal_aug <= a.ub * (1.0 + 1e-9), "optimal(S+1) {optimal_aug} > UB {}", a.ub);
+    let optimal_aug = optimal_loads(&cdag, s + 1, 30_000_000).expect("search fits") as f64;
+    assert!(
+        optimal_aug <= a.ub * (1.0 + 1e-9),
+        "optimal(S+1) {optimal_aug} > UB {}",
+        a.ub
+    );
 }
 
 /// Repeated reads of one array through different subscripts
