@@ -20,4 +20,28 @@ echo "==> ioopt check smoke test"
 ./target/release/ioopt check builtin:matmul
 ./target/release/ioopt check builtin:Yolo9000-8 >/dev/null
 
+echo "==> golden corpus gate"
+cargo test -q --test golden_corpus
+
+echo "==> ioopt batch determinism: --jobs 1 vs --jobs 4 must be byte-identical"
+t1_start=$(date +%s.%N)
+./target/release/ioopt batch builtin:all --jobs 1 --json >/tmp/ioopt_batch_j1.json
+t1_end=$(date +%s.%N)
+t4_start=$(date +%s.%N)
+./target/release/ioopt batch builtin:all --jobs 4 --json >/tmp/ioopt_batch_j4.json
+t4_end=$(date +%s.%N)
+cmp /tmp/ioopt_batch_j1.json /tmp/ioopt_batch_j4.json
+t1=$(echo "$t1_end $t1_start" | awk '{printf "%.2f", $1 - $2}')
+t4=$(echo "$t4_end $t4_start" | awk '{printf "%.2f", $1 - $2}')
+speedup=$(echo "$t1 $t4" | awk '{printf "%.2f", $1 / $2}')
+echo "batch timing: jobs=1 ${t1}s, jobs=4 ${t4}s, speedup ${speedup}x ($(nproc) cores)"
+# The >= 2x speedup assertion only makes sense with real parallel
+# hardware; single/dual-core runners still verify byte-identity above.
+if [ "$(nproc)" -ge 4 ]; then
+  echo "$speedup" | awk '{ exit !($1 >= 2.0) }' || {
+    echo "FAIL: expected >= 2x batch speedup with --jobs 4 on $(nproc) cores, got ${speedup}x"
+    exit 1
+  }
+fi
+
 echo "CI OK"

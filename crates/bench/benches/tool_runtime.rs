@@ -65,6 +65,7 @@ fn bench_tileopt() {
     let config = TileOptConfig {
         cache_elems: 1024.0,
         max_level_combos: 512,
+        threads: 1,
     };
     bench("tileopt", "matmul-s1024", 10, || {
         optimize(black_box(&k), &sizes, &SmallDimOracle, &config).unwrap()

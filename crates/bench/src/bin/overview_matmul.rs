@@ -32,6 +32,7 @@ fn main() {
     let config = TileOptConfig {
         cache_elems: 1024.0,
         max_level_combos: 512,
+        threads: 1,
     };
     let env = k.bind_sizes(&sizes);
     let full = TilingSchedule::parametric(&k, &["i", "j", "k"]).expect("valid");

@@ -21,6 +21,14 @@ pub struct AnalysisOptions {
     pub scenarios: Option<Vec<Vec<usize>>>,
     /// TileOpt search options.
     pub tileopt: TileOptConfig,
+    /// Worker threads for the search fan-out inside one analysis. `1` runs
+    /// the sequential reference algorithm; every value produces
+    /// byte-identical results (see `DESIGN.md`, determinism).
+    pub threads: usize,
+    /// Whether the process-wide memo caches (polyhedral counts,
+    /// projections, per-array costs, permutation selection) are consulted.
+    /// The flag is applied process-wide at the start of [`analyze`].
+    pub cache: bool,
 }
 
 impl AnalysisOptions {
@@ -32,9 +40,51 @@ impl AnalysisOptions {
             tileopt: TileOptConfig {
                 cache_elems,
                 max_level_combos: 512,
+                threads: 1,
             },
+            threads: 1,
+            cache: true,
         }
     }
+
+    /// The same options with the search fan-out spread over `threads`
+    /// workers (both the pipeline-level and TileOpt-level knobs).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> AnalysisOptions {
+        self.threads = threads.max(1);
+        self.tileopt.threads = self.threads;
+        self
+    }
+
+    /// The same options with memoization switched on or off.
+    #[must_use]
+    pub fn with_memo(mut self, cache: bool) -> AnalysisOptions {
+        self.cache = cache;
+        self
+    }
+}
+
+/// Aggregated hit/miss/entry counters over every memo cache in the
+/// pipeline (polyhedral counting + projection + emptiness, per-array
+/// costs, permutation selection).
+pub fn memo_stats() -> ioopt_engine::CacheStats {
+    ioopt_polyhedra::cache_stats()
+        .merged(&ioopt_ioub::cost_cache_stats())
+        .merged(&ioopt_ioub::perm_cache_stats())
+}
+
+/// Clears every memo cache in the pipeline and zeroes the counters.
+pub fn reset_memo() {
+    ioopt_polyhedra::reset_cache();
+    ioopt_ioub::reset_cost_cache();
+    ioopt_ioub::reset_perm_cache();
+}
+
+/// Enables or disables every memo cache in the pipeline (process-wide).
+pub fn set_memo_enabled(enabled: bool) {
+    ioopt_polyhedra::set_cache_enabled(enabled);
+    ioopt_ioub::set_cost_cache_enabled(enabled);
+    ioopt_ioub::set_perm_cache_enabled(enabled);
 }
 
 /// The result of a full IOOpt analysis at concrete sizes.
@@ -127,6 +177,7 @@ pub fn analyze(
     sizes: &HashMap<String, i64>,
     options: &AnalysisOptions,
 ) -> Result<Analysis, AnalyzeError> {
+    set_memo_enabled(options.cache);
     // Pre-flight: run the static analyzer first. E001 (illegal tiling)
     // aborts — no sound tiled upper bound exists; everything else is
     // attached to the result for the caller to surface. The certificate
@@ -166,7 +217,9 @@ pub fn analyze(
         .eval_f64(&env)
         .map_err(|e| AnalyzeError::Eval(e.to_string()))?;
 
-    let recommendation = optimize(kernel, sizes, &SmallDimOracle, &options.tileopt)?;
+    let mut tileopt_config = options.tileopt;
+    tileopt_config.threads = options.threads.max(1);
+    let recommendation = optimize(kernel, sizes, &SmallDimOracle, &tileopt_config)?;
     let ub = recommendation.io;
     let tiled_code =
         TiledCode::from_integer_tiles(kernel, &recommendation.perm, &recommendation.tiles, sizes)

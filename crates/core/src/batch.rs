@@ -1,0 +1,360 @@
+//! Batch analysis: run the IOOpt pipeline over a corpus of kernels
+//! concurrently and emit one combined report (the paper's Fig. 6 table).
+//!
+//! The fan-out is deterministic: items are analyzed by a fixed-size
+//! worker pool but results are collected in input order, and every
+//! per-kernel analysis runs its own search sequentially, so the report
+//! bytes are identical for any `jobs` value. Wall-clock timing and cache
+//! statistics therefore live *outside* the report (the CLI prints them
+//! to stderr).
+
+use std::collections::HashMap;
+
+use ioopt_engine::{par_map, Json};
+use ioopt_ir::{kernels, Kernel};
+use ioopt_symbolic::Symbol;
+use ioopt_tileopt::{symbolic_conv_ub, symbolic_tc_ub};
+
+use crate::analysis::{analyze, set_memo_enabled, symbolic_lb, AnalysisOptions};
+
+/// One kernel instance to analyze: a display label (builtin kernels with
+/// shared structure, e.g. the Yolo9000 layers, get distinct labels), the
+/// kernel, and its concrete sizes.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Row label in the report.
+    pub label: String,
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Concrete trip counts per dimension name.
+    pub sizes: HashMap<String, i64>,
+}
+
+/// Options for [`run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Fast-memory capacity in data elements (the paper's `S`).
+    pub cache_elems: f64,
+    /// Concurrent kernel analyses (`--jobs`); `1` is fully sequential.
+    pub jobs: usize,
+    /// Whether the process-wide memo caches are consulted.
+    pub memo: bool,
+    /// Whether to run the numeric TileOpt pipeline per kernel (LB/UB at
+    /// the concrete sizes). When `false` only the symbolic bounds are
+    /// derived, which is much faster.
+    pub numeric: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            cache_elems: 32768.0,
+            jobs: 1,
+            memo: true,
+            numeric: true,
+        }
+    }
+}
+
+/// One row of the batch report (one kernel instance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRow {
+    /// The item label.
+    pub kernel: String,
+    /// Arithmetic complexity `∏ N_d` (symbolic, rendered).
+    pub arith: String,
+    /// The symbolic lower bound `LB(S)` (rendered).
+    pub lb_symbolic: Option<String>,
+    /// The closed-form symbolic upper bound `UB(S)` when one derives
+    /// (tensor contractions always; convolutions semi-symbolically).
+    pub ub_symbolic: Option<String>,
+    /// Numeric lower bound at the concrete sizes and cache.
+    pub lb: Option<f64>,
+    /// Numeric upper bound (I/O of the recommended tiling).
+    pub ub: Option<f64>,
+    /// `ub / lb`.
+    pub tightness: Option<f64>,
+    /// The recommended tile sizes, rendered `d=T` in dimension order.
+    pub tiles: Option<String>,
+    /// The first error the pipeline hit for this kernel, if any.
+    pub error: Option<String>,
+}
+
+/// The combined batch report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// The cache size `S` the analyses ran at.
+    pub cache_elems: f64,
+    /// One row per input item, in input order.
+    pub rows: Vec<BatchRow>,
+}
+
+fn opt_str(v: &Option<String>) -> Json {
+    v.as_ref().map_or(Json::Null, Json::str)
+}
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+impl BatchRow {
+    /// The row in the shared report schema.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("kernel", Json::str(self.kernel.clone())),
+            ("arith", Json::str(self.arith.clone())),
+            ("lb_symbolic", opt_str(&self.lb_symbolic)),
+            ("ub_symbolic", opt_str(&self.ub_symbolic)),
+            ("lb", opt_num(self.lb)),
+            ("ub", opt_num(self.ub)),
+            ("tightness", opt_num(self.tightness)),
+            ("tiles", opt_str(&self.tiles)),
+            ("error", opt_str(&self.error)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<BatchRow, String> {
+        let req_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("row is missing string field `{key}`"))
+        };
+        let opt_str =
+            |key: &str| -> Option<String> { v.get(key).and_then(Json::as_str).map(str::to_string) };
+        let opt_num = |key: &str| -> Option<f64> { v.get(key).and_then(Json::as_f64) };
+        Ok(BatchRow {
+            kernel: req_str("kernel")?,
+            arith: req_str("arith")?,
+            lb_symbolic: opt_str("lb_symbolic"),
+            ub_symbolic: opt_str("ub_symbolic"),
+            lb: opt_num("lb"),
+            ub: opt_num("ub"),
+            tightness: opt_num("tightness"),
+            tiles: opt_str("tiles"),
+            error: opt_str("error"),
+        })
+    }
+}
+
+impl BatchReport {
+    /// The report in the shared report schema.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("cache_elems", Json::Num(self.cache_elems)),
+            (
+                "kernels",
+                Json::Array(self.rows.iter().map(BatchRow::to_json_value).collect()),
+            ),
+        ])
+    }
+
+    /// Rendered single-line JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render()
+    }
+
+    /// Parses a report rendered by [`BatchReport::to_json`] (the schema
+    /// round-trip the test harness checks).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed input or a missing field.
+    pub fn from_json(src: &str) -> Result<BatchReport, String> {
+        let v = Json::parse(src)?;
+        let cache_elems = v
+            .get("cache_elems")
+            .and_then(Json::as_f64)
+            .ok_or("missing `cache_elems`")?;
+        let rows = v
+            .get("kernels")
+            .and_then(Json::as_array)
+            .ok_or("missing `kernels` array")?
+            .iter()
+            .map(BatchRow::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BatchReport { cache_elems, rows })
+    }
+
+    /// A Markdown table mirroring the paper's Fig. 6: kernel, symbolic
+    /// bounds, and the numeric bounds with their ratio.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("S = {} elements\n\n", self.cache_elems));
+        out.push_str("| kernel | LB(S) | UB(S) | lb | ub | ub/lb | tiles |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for r in &self.rows {
+            let num = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.4e}"));
+            let ratio = r.tightness.map_or("—".to_string(), |x| format!("{x:.3}"));
+            let cell = |v: &Option<String>| v.clone().unwrap_or_else(|| "—".to_string());
+            if let Some(e) = &r.error {
+                out.push_str(&format!("| {} | error: {e} | | | | | |\n", r.kernel));
+            } else {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    r.kernel,
+                    cell(&r.lb_symbolic),
+                    cell(&r.ub_symbolic),
+                    num(r.lb),
+                    num(r.ub),
+                    ratio,
+                    cell(&r.tiles),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The 19 builtin kernel instances the paper evaluates (Fig. 6): the 8
+/// TCCG tensor-contraction classes at their published sizes and the 11
+/// Yolo9000 convolution layers.
+pub fn builtin_corpus() -> Vec<BatchItem> {
+    let mut items = Vec::new();
+    for e in kernels::TCCG {
+        items.push(BatchItem {
+            label: e.spec.to_string(),
+            kernel: e.kernel(),
+            sizes: e.size_map(),
+        });
+    }
+    for l in kernels::YOLO9000 {
+        items.push(BatchItem {
+            label: l.name.to_string(),
+            kernel: kernels::conv2d(),
+            sizes: l.size_map(),
+        });
+    }
+    items
+}
+
+/// Analyzes every item, `jobs` at a time, and returns the combined
+/// report with rows in input order.
+pub fn run_batch(items: &[BatchItem], options: &BatchOptions) -> BatchReport {
+    set_memo_enabled(options.memo);
+    let rows = par_map(options.jobs, items, |_, item| analyze_row(item, options));
+    BatchReport {
+        cache_elems: options.cache_elems,
+        rows,
+    }
+}
+
+fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
+    let kernel = &item.kernel;
+    let mut row = BatchRow {
+        kernel: item.label.clone(),
+        arith: kernel.arith_complexity().to_string(),
+        lb_symbolic: None,
+        ub_symbolic: None,
+        lb: None,
+        ub: None,
+        tightness: None,
+        tiles: None,
+        error: None,
+    };
+    match symbolic_lb(kernel) {
+        Ok(lb) => row.lb_symbolic = Some(lb.combined.to_string()),
+        Err(e) => {
+            row.error = Some(e.to_string());
+            return row;
+        }
+    }
+    row.ub_symbolic = symbolic_tc_ub(kernel)
+        .or_else(|| symbolic_conv_ub(kernel, &item.sizes, options.cache_elems))
+        .map(|ub| ub.bound.to_string());
+    if !options.numeric {
+        return row;
+    }
+    let analysis_options = AnalysisOptions::with_cache(options.cache_elems).with_memo(options.memo);
+    match analyze(kernel, &item.sizes, &analysis_options) {
+        Ok(a) => {
+            row.lb = Some(a.lb);
+            row.ub = Some(a.ub);
+            row.tightness = Some(a.tightness);
+            let mut dims: Vec<&str> = kernel.dims().iter().map(|d| d.name.as_str()).collect();
+            dims.sort_unstable();
+            row.tiles = Some(
+                dims.iter()
+                    .map(|d| format!("{d}={}", a.recommendation.tiles[*d]))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+        }
+        Err(e) => row.error = Some(e.to_string()),
+    }
+    row
+}
+
+/// Numeric lower bound of the symbolic LB at the item's sizes — used by
+/// the soundness tests without running the full numeric pipeline.
+pub fn eval_lb(kernel: &Kernel, sizes: &HashMap<String, i64>, cache_elems: f64) -> Option<f64> {
+    let lb = symbolic_lb(kernel).ok()?;
+    let mut env = kernel.bind_sizes(sizes);
+    env.insert(Symbol::new("S"), cache_elems);
+    lb.combined.eval_f64(&env).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_all_19_builtins() {
+        let items = builtin_corpus();
+        assert_eq!(items.len(), 19);
+        assert_eq!(items.iter().filter(|i| i.label.contains('-')).count(), 19);
+        assert_eq!(
+            items.iter().filter(|i| i.label.starts_with("Yolo")).count(),
+            11
+        );
+        for item in &items {
+            for d in item.kernel.dims() {
+                assert!(item.sizes.contains_key(&d.name), "{}", item.label);
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_batch_report_round_trips() {
+        let items: Vec<BatchItem> = builtin_corpus()
+            .into_iter()
+            .filter(|i| !i.label.starts_with("Yolo"))
+            .collect();
+        let options = BatchOptions {
+            numeric: false,
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&items, &options);
+        assert_eq!(report.rows.len(), 8);
+        for row in &report.rows {
+            assert!(row.error.is_none(), "{}: {:?}", row.kernel, row.error);
+            assert!(row.lb_symbolic.is_some(), "{}", row.kernel);
+            assert!(row.ub_symbolic.is_some(), "{}", row.kernel);
+        }
+        let parsed = BatchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        // And the markdown table has one line per kernel plus headers.
+        let md = report.to_markdown();
+        assert_eq!(md.lines().count(), 4 + items.len());
+    }
+
+    #[test]
+    fn batch_jobs_do_not_change_the_report() {
+        let items: Vec<BatchItem> = builtin_corpus().into_iter().take(4).collect();
+        let options = BatchOptions {
+            numeric: false,
+            ..BatchOptions::default()
+        };
+        let seq = run_batch(&items, &options);
+        for jobs in [2, 8] {
+            let par = run_batch(
+                &items,
+                &BatchOptions {
+                    jobs,
+                    ..options.clone()
+                },
+            );
+            assert_eq!(seq.to_json(), par.to_json(), "jobs={jobs}");
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! USAGE:
 //!   ioopt <file.k | builtin:NAME> --sizes i=2000,j=1500,k=1500 [--cache 1024]
 //!   ioopt check <file.k | builtin:NAME> [--sizes ...] [--deny warnings] [--json]
+//!   ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]
 //!   ioopt --list-builtins
 //!
 //! OPTIONS:
@@ -14,15 +15,27 @@
 //!   --cache N             fast-memory capacity in elements [default: 4096]
 //!   --symbolic            also print the symbolic expressions only
 //!   --deny warnings       (check) exit non-zero on warnings too
-//!   --json                (check) machine-readable diagnostics
+//!   --json                (check, batch) machine-readable report
+//!   --jobs N              (batch) concurrent kernel analyses [default: 1]
+//!   --symbolic-only       (batch) skip the numeric TileOpt pipeline
+//!   --no-memo             (batch) disable the memo caches
 //! ```
+//!
+//! `batch` accepts `builtin:all` (the 19 Fig. 6 kernels), any builtin
+//! names, DSL files, and simple `*` globs over file names. The report
+//! table goes to stdout; wall-clock and cache statistics go to stderr so
+//! the stdout bytes are identical for every `--jobs` value.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use ioopt::ir::{kernels, parse_kernel, Kernel};
 use ioopt::verify::{verify, VerifyOptions};
-use ioopt::{analyze, render_text, symbolic_lb, symbolic_tc_ub, AnalysisOptions};
+use ioopt::{
+    analyze, builtin_corpus, memo_stats, render_text, run_batch, symbolic_lb, symbolic_tc_ub,
+    AnalysisOptions, BatchItem, BatchOptions,
+};
 
 fn builtin(name: &str) -> Option<Kernel> {
     match name {
@@ -48,6 +61,8 @@ fn builtin(name: &str) -> Option<Kernel> {
 fn usage() -> &'static str {
     "usage: ioopt <file.k | builtin:NAME> --sizes a=V,b=V,... [--cache N] [--symbolic]\n\
      \u{20}      ioopt check <file.k | builtin:NAME> [--sizes a=V,...] [--deny warnings] [--json]\n\
+     \u{20}      ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]\n\
+     \u{20}                  [--symbolic-only] [--no-memo]\n\
      try:   ioopt --list-builtins"
 }
 
@@ -136,6 +151,188 @@ fn run_check(args: Vec<String>) -> Result<ExitCode, String> {
     })
 }
 
+/// Expands one `batch` input into items: `builtin:all`, a builtin name,
+/// a DSL file path, or a simple `*` glob over file names.
+fn batch_items(input: &str, sizes_arg: Option<&str>) -> Result<Vec<BatchItem>, String> {
+    if input == "builtin:all" {
+        return Ok(builtin_corpus());
+    }
+    // Corpus builtins (TCCG specs, Yolo layers) carry their Fig. 6 sizes.
+    if let Some(name) = input.strip_prefix("builtin:") {
+        if let Some(mut item) = builtin_corpus().into_iter().find(|i| i.label == name) {
+            if let Some(arg) = sizes_arg {
+                parse_sizes(arg, &mut item.sizes)?;
+            }
+            return Ok(vec![item]);
+        }
+    }
+    let paths: Vec<String> = if input.contains('*') {
+        expand_glob(input)?
+    } else {
+        vec![input.to_string()]
+    };
+    let mut items = Vec::new();
+    for path in paths {
+        let (kernel, _src) = load(&path)?;
+        let mut sizes = kernel.default_sizes().unwrap_or_default();
+        if let Some(arg) = sizes_arg {
+            parse_sizes(arg, &mut sizes)?;
+        }
+        for d in kernel.dims() {
+            if !sizes.contains_key(&d.name) {
+                return Err(format!(
+                    "`{path}`: missing size for loop dimension `{}` (use --sizes or defaults)",
+                    d.name
+                ));
+            }
+        }
+        let label = path
+            .strip_prefix("builtin:")
+            .map(str::to_string)
+            .unwrap_or_else(|| kernel.name().to_string());
+        items.push(BatchItem {
+            label,
+            kernel,
+            sizes,
+        });
+    }
+    Ok(items)
+}
+
+/// Minimal `*` glob over a single path component (no `**`), e.g.
+/// `kernels/*.k`. Matches are sorted for a deterministic input order.
+fn expand_glob(pattern: &str) -> Result<Vec<String>, String> {
+    let (dir, file_pat) = match pattern.rsplit_once('/') {
+        Some((d, f)) => (d.to_string(), f.to_string()),
+        None => (".".to_string(), pattern.to_string()),
+    };
+    if dir.contains('*') {
+        return Err(format!(
+            "`{pattern}`: `*` is only supported in the file name"
+        ));
+    }
+    let matches_pat = |name: &str| -> bool {
+        // Greedy segment matcher: the fragments between `*`s must appear
+        // in order, anchored at both ends.
+        let frags: Vec<&str> = file_pat.split('*').collect();
+        let mut rest = name;
+        for (i, frag) in frags.iter().enumerate() {
+            if i == 0 {
+                match rest.strip_prefix(frag) {
+                    Some(r) => rest = r,
+                    None => return false,
+                }
+            } else if i == frags.len() - 1 {
+                return rest.ends_with(frag);
+            } else if let Some(pos) = rest.find(frag) {
+                rest = &rest[pos + frag.len()..];
+            } else {
+                return false;
+            }
+        }
+        rest.is_empty() || file_pat.ends_with('*')
+    };
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("cannot read directory `{dir}`: {e}"))?;
+    let mut out: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter(|e| e.path().is_file())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|name| matches_pat(name))
+        .map(|name| {
+            if dir == "." {
+                name
+            } else {
+                format!("{dir}/{name}")
+            }
+        })
+        .collect();
+    out.sort();
+    if out.is_empty() {
+        return Err(format!("`{pattern}` matches no files"));
+    }
+    Ok(out)
+}
+
+/// The `batch` subcommand: analyze many kernels concurrently and print
+/// one combined report. Timing and cache statistics go to stderr.
+fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut sizes_arg: Option<String> = None;
+    let mut options = BatchOptions {
+        cache_elems: 4096.0,
+        ..BatchOptions::default()
+    };
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => sizes_arg = Some(it.next().ok_or("--sizes needs a value")?),
+            "--cache" => {
+                options.cache_elems = it
+                    .next()
+                    .ok_or("--cache needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache value: {e}"))?;
+            }
+            "--jobs" => {
+                options.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs value: {e}"))?;
+                if options.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--json" => json = true,
+            "--symbolic-only" => options.numeric = false,
+            "--no-memo" => options.memo = false,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if !other.starts_with("--") => inputs.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    if inputs.is_empty() {
+        return Err(format!("batch needs at least one input\n{}", usage()));
+    }
+    let mut items = Vec::new();
+    for input in &inputs {
+        items.extend(batch_items(input, sizes_arg.as_deref())?);
+    }
+    let start = Instant::now();
+    let report = run_batch(&items, &options);
+    let elapsed = start.elapsed();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_markdown());
+    }
+    let stats = memo_stats();
+    eprintln!(
+        "batch: {} kernel(s), jobs={}, wall-clock {:.2}s",
+        report.rows.len(),
+        options.jobs,
+        elapsed.as_secs_f64()
+    );
+    eprintln!(
+        "cache: {} hits, {} misses, {} entries ({:.1}% hit ratio)",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_ratio() * 100.0
+    );
+    let failed = report.rows.iter().filter(|r| r.error.is_some()).count();
+    if failed > 0 {
+        eprintln!("batch: {failed} kernel(s) failed");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list-builtins") {
@@ -150,6 +347,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if args.first().map(String::as_str) == Some("check") {
         return run_check(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("batch") {
+        return run_batch_cmd(args.split_off(1));
     }
     let mut input: Option<String> = None;
     let mut sizes_arg: Option<String> = None;

@@ -38,13 +38,17 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod batch;
 mod report;
 mod sequence;
 pub mod tutorial;
 
 pub use analysis::{
-    analyze, symbolic_conv_ub, symbolic_lb, symbolic_tc_ub, symbolic_tc_ub_for, Analysis,
-    AnalysisOptions, AnalyzeError,
+    analyze, memo_stats, reset_memo, set_memo_enabled, symbolic_conv_ub, symbolic_lb,
+    symbolic_tc_ub, symbolic_tc_ub_for, Analysis, AnalysisOptions, AnalyzeError,
+};
+pub use batch::{
+    builtin_corpus, eval_lb, run_batch, BatchItem, BatchOptions, BatchReport, BatchRow,
 };
 pub use report::{csv_header, csv_row, render_text};
 pub use sequence::{analyze_sequence, SequenceAnalysis};

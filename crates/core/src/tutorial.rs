@@ -61,7 +61,7 @@
 //!     ("k".to_string(), 1500),
 //! ]);
 //! let sched = TilingSchedule::parametric(&kernel, &["i", "j", "k"]).unwrap();
-//! let config = TileOptConfig { cache_elems: 1024.0, max_level_combos: 64 };
+//! let config = TileOptConfig { cache_elems: 1024.0, max_level_combos: 64, ..Default::default() };
 //! let env = kernel.bind_sizes(&sizes);
 //! let rec = optimize_schedule(&kernel, &sched, &env, &sizes, &config)
 //!     .expect("no evaluation error")

@@ -1,0 +1,32 @@
+//! # ioopt-engine
+//!
+//! The execution substrate of the IOOpt pipeline: a hand-rolled scoped
+//! worker pool with *deterministic result ordering* ([`par_map`]), a
+//! content-addressed memoization cache with hit/miss accounting
+//! ([`MemoCache`]), and the minimal JSON value type shared by every
+//! machine-readable report in the workspace ([`json::Json`]).
+//!
+//! The pipeline is embarrassingly parallel at three levels — candidate
+//! inter-tile permutations (paper §4.3, Algorithm 1), tile-size search
+//! per permutation, and independent kernels in a batch (§6) — and this
+//! crate lets each level fan out without changing results: a map over
+//! `N` items returns its results in input order regardless of the thread
+//! count, so every downstream reduction sees the same sequence as the
+//! sequential run.
+//!
+//! No third-party dependencies: the pool is `std::thread::scope` workers
+//! pulling indices from a shared atomic counter (self-scheduling, which
+//! behaves like work stealing for heterogeneous item costs), and the
+//! cache is a sharded `Mutex<HashMap>` keyed by full canonical key bytes
+//! (content-addressed: hash collisions are resolved by key equality,
+//! never by trusting the hash).
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod memo;
+mod pool;
+
+pub use json::Json;
+pub use memo::{CacheStats, MemoCache, StableHasher};
+pub use pool::{available_threads, par_map};

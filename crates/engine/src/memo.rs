@@ -1,0 +1,272 @@
+//! A content-addressed, thread-safe memoization cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// 64-bit FNV-1a, the stable hash used to shard and index cache keys.
+///
+/// The hash only routes a key to its shard and bucket; correctness never
+/// depends on it (entries store the full key bytes and are compared by
+/// equality), so the cache is content-addressed in the strict sense.
+#[derive(Debug, Clone, Copy)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs an `i64` (little-endian).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+/// A snapshot of cache counters (see [`MemoCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then stored the result).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when the cache was never consulted.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise sum (for aggregating several caches into one
+    /// report line).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// One shard: hash-routed buckets of `(full key bytes, value)` entries.
+/// The hash only routes; key-byte equality decides hits, so FNV
+/// collisions cost a scan, never a wrong answer.
+type Shard<V> = Mutex<HashMap<u64, Vec<(Vec<u8>, V)>>>;
+
+/// A sharded memo cache from canonical key bytes to a cloneable value.
+///
+/// Used for the polyhedral counting/projection subproblems and the
+/// symbolic per-array cost terms that the analysis recomputes across
+/// candidate permutations, tile searches, and batch kernels. Keys are
+/// the caller's canonical serialization of the subproblem; values are
+/// exact results, so replaying a hit is byte-identical to recomputing.
+///
+/// The cache can be disabled ([`MemoCache::set_enabled`]) to reproduce
+/// cold-cache behaviour; a disabled cache answers nothing, stores
+/// nothing, and counts nothing.
+pub struct MemoCache<V> {
+    shards: [Shard<V>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: AtomicBool,
+}
+
+impl<V: Clone> MemoCache<V> {
+    /// An empty, enabled cache.
+    pub fn new() -> MemoCache<V> {
+        MemoCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Turns the cache on or off (off = every lookup recomputes).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether lookups currently consult the cache.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, computing and storing with `compute` on a miss.
+    ///
+    /// The computation runs *outside* the shard lock, so a slow
+    /// subproblem never blocks unrelated lookups; if two threads race on
+    /// the same fresh key both compute and the first store wins (both
+    /// computations are deterministic, so the value is identical).
+    pub fn get_or_insert_with(&self, key: &[u8], compute: impl FnOnce() -> V) -> V {
+        if !self.is_enabled() {
+            return compute();
+        }
+        let mut h = StableHasher::new();
+        h.write(key);
+        let hash = h.finish();
+        let shard = &self.shards[(hash as usize) % SHARDS];
+        {
+            let guard = shard.lock().expect("memo shard poisoned");
+            if let Some(bucket) = guard.get(&hash) {
+                if let Some((_, v)) = bucket.iter().find(|(k, _)| k == key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return v.clone();
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut guard = shard.lock().expect("memo shard poisoned");
+        let bucket = guard.entry(hash).or_default();
+        if !bucket.iter().any(|(k, _)| k == key) {
+            bucket.push((key.to_vec(), value.clone()));
+        }
+        value
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("memo shard poisoned")
+                    .values()
+                    .map(|b| b.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Drops every entry and zeroes the counters (the enabled flag is
+    /// left as-is).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("memo shard poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<V: Clone> Default for MemoCache<V> {
+    fn default() -> MemoCache<V> {
+        MemoCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        let v1 = cache.get_or_insert_with(b"k1", || 41);
+        let v2 = cache.get_or_insert_with(b"k1", || panic!("must hit"));
+        assert_eq!((v1, v2), (41, 41));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.set_enabled(false);
+        assert_eq!(cache.get_or_insert_with(b"k", || 1), 1);
+        assert_eq!(cache.get_or_insert_with(b"k", || 2), 2);
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.set_enabled(true);
+        assert_eq!(cache.get_or_insert_with(b"k", || 3), 3);
+        assert_eq!(cache.get_or_insert_with(b"k", || 4), 3);
+    }
+
+    #[test]
+    fn distinct_keys_with_equal_hash_prefixes() {
+        let cache: MemoCache<String> = MemoCache::new();
+        for i in 0..100u8 {
+            let key = vec![i, i ^ 0x5a, 7];
+            let v = cache.get_or_insert_with(&key, || format!("v{i}"));
+            assert_eq!(v, format!("v{i}"));
+        }
+        assert_eq!(cache.stats().entries, 100);
+        cache.clear();
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn concurrent_mixed_access_is_consistent() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = (i % 32).to_le_bytes();
+                        let got = cache.get_or_insert_with(&key, || (i % 32) * 10);
+                        assert_eq!(got, (i % 32) * 10, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().entries, 32);
+    }
+
+    #[test]
+    fn stable_hasher_is_stable() {
+        let mut a = StableHasher::new();
+        a.write(b"abc");
+        // FNV-1a of "abc" is a published constant.
+        assert_eq!(a.finish(), 0xe71fa2190541574b);
+        let mut b = StableHasher::new();
+        b.write_i64(-1);
+        b.write_u64(1);
+        assert_ne!(b.finish(), StableHasher::new().finish());
+    }
+}

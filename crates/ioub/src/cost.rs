@@ -1,6 +1,15 @@
 //! The IOUB cost model (paper §4.2): per-array I/O cost and footprint
 //! constraint for a tiling schedule.
+//!
+//! Per-array costs are pure functions of the kernel structure, the
+//! schedule, and the reuse level, and the search layers above
+//! (permutation selection, level enumeration, tile NLP, batch runs over
+//! same-structure kernels) pose them repeatedly — so they are memoized
+//! in a process-wide content-addressed cache ([`cost_cache_stats`]).
 
+use std::sync::OnceLock;
+
+use ioopt_engine::{CacheStats, MemoCache};
 use ioopt_ir::{ArrayRef, Kernel};
 use ioopt_symbolic::Expr;
 
@@ -33,9 +42,53 @@ pub struct UbCost {
     pub per_array: Vec<ArrayCost>,
 }
 
+fn cost_cache() -> &'static MemoCache<ArrayCost> {
+    static CACHE: OnceLock<MemoCache<ArrayCost>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Hit/miss/entry counters of the per-array cost memo cache.
+pub fn cost_cache_stats() -> CacheStats {
+    cost_cache().stats()
+}
+
+/// Enables or disables the cost memo cache (process-wide).
+pub fn set_cost_cache_enabled(enabled: bool) {
+    cost_cache().set_enabled(enabled);
+}
+
+/// Drops every memoized cost and zeroes the counters.
+pub fn reset_cost_cache() {
+    cost_cache().clear();
+}
+
+/// The memo key: kernel structure, schedule (permutation + tile
+/// expressions, both canonical), array name, and reuse level.
+fn cost_key(kernel: &Kernel, sched: &TilingSchedule, array: &ArrayRef, level: usize) -> Vec<u8> {
+    let mut key = kernel.structural_key();
+    key.extend_from_slice(sched.to_string().as_bytes());
+    key.push(0);
+    key.extend_from_slice(array.name.as_bytes());
+    key.push(0);
+    key.extend_from_slice(&(level as u64).to_le_bytes());
+    key
+}
+
 /// Computes the cost of `array` when its data is reused across the
-/// dimension at `level` (the paper's "outermost reuse dimension" `d_l`).
+/// dimension at `level` (the paper's "outermost reuse dimension" `d_l`),
+/// memoized per `(kernel structure, schedule, array, level)`.
 pub fn array_cost(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    array: &ArrayRef,
+    level: usize,
+) -> ArrayCost {
+    cost_cache().get_or_insert_with(&cost_key(kernel, sched, array, level), || {
+        array_cost_uncached(kernel, sched, array, level)
+    })
+}
+
+fn array_cost_uncached(
     kernel: &Kernel,
     sched: &TilingSchedule,
     array: &ArrayRef,

@@ -19,10 +19,14 @@ mod permsel;
 mod schedule;
 
 pub use cost::{
-    array_cost, candidate_levels, cost_with_levels, level_combinations, ArrayCost, UbCost,
+    array_cost, candidate_levels, cost_cache_stats, cost_with_levels, level_combinations,
+    reset_cost_cache, set_cost_cache_enabled, ArrayCost, UbCost,
 };
 pub use explain::explain_cost;
 pub use footprint::{inverse_density, sdf, sdr, InverseDensity};
 pub use multilevel::{multilevel_cost, CacheLevelSpec, MultiLevelCost, MultiLevelSchedule};
-pub use permsel::{select_permutations, ReuseOracle, SmallDimOracle};
+pub use permsel::{
+    perm_cache_stats, reset_perm_cache, select_permutations, select_permutations_with,
+    set_perm_cache_enabled, ReuseOracle, SmallDimOracle,
+};
 pub use schedule::{ScheduleDisplay, TilingSchedule};

@@ -6,7 +6,9 @@
 //! consumed.
 
 use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
+use ioopt_engine::{par_map, CacheStats, MemoCache};
 use ioopt_ir::{ArrayRef, Kernel};
 
 /// The reuse oracle of §4.3: decides whether `array` can reuse data across
@@ -53,6 +55,43 @@ impl ReuseOracle for SmallDimOracle {
 /// assert_eq!(perms.len(), 3); // paper Fig. 2
 /// ```
 pub fn select_permutations(kernel: &Kernel, oracle: &dyn ReuseOracle) -> Vec<Vec<usize>> {
+    select_permutations_with(kernel, oracle, 1)
+}
+
+fn perm_cache() -> &'static MemoCache<Vec<Vec<usize>>> {
+    static CACHE: OnceLock<MemoCache<Vec<Vec<usize>>>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Hit/miss/entry counters of the permutation-selection memo cache.
+pub fn perm_cache_stats() -> CacheStats {
+    perm_cache().stats()
+}
+
+/// Enables or disables the permutation memo cache (process-wide).
+pub fn set_perm_cache_enabled(enabled: bool) {
+    perm_cache().set_enabled(enabled);
+}
+
+/// Drops every memoized permutation set and zeroes the counters.
+pub fn reset_perm_cache() {
+    perm_cache().clear();
+}
+
+/// [`select_permutations`] with an explicit worker count for the top-level
+/// branch fan-out. `threads == 1` runs the exact sequential algorithm; any
+/// other count produces byte-identical output because the branch results
+/// are merged in input order and then sorted + deduplicated.
+///
+/// The whole selection is memoized on the reuse sets (which depend only on
+/// the kernel structure and the oracle's answers, not on sizes), so
+/// same-structure kernels — e.g. every Yolo9000 conv layer — share one
+/// entry.
+pub fn select_permutations_with(
+    kernel: &Kernel,
+    oracle: &dyn ReuseOracle,
+    threads: usize,
+) -> Vec<Vec<usize>> {
     let dims: Vec<usize> = (0..kernel.dims().len()).collect();
     let reuse_sets: Vec<(usize, BTreeSet<String>)> = dims
         .iter()
@@ -65,10 +104,62 @@ pub fn select_permutations(kernel: &Kernel, oracle: &dyn ReuseOracle) -> Vec<Vec
             (d, set)
         })
         .collect();
-    let mut out = gen_perm(&dims, &reuse_sets);
-    out.sort();
-    out.dedup();
-    out
+    let mut key: Vec<u8> = vec![b'P'];
+    key.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+    for (d, s) in &reuse_sets {
+        key.extend_from_slice(&(*d as u64).to_le_bytes());
+        for name in s {
+            key.extend_from_slice(name.as_bytes());
+            key.push(0);
+        }
+        key.push(1);
+    }
+    perm_cache().get_or_insert_with(&key, || {
+        let mut out = gen_perm_root(&dims, &reuse_sets, threads);
+        out.sort();
+        out.dedup();
+        out
+    })
+}
+
+/// Top level of Algorithm 1: expands each non-dominated innermost choice,
+/// fanning the (independent) subtrees out over `threads` workers.
+fn gen_perm_root(
+    remaining: &[usize],
+    reuse: &[(usize, BTreeSet<String>)],
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    if remaining.is_empty() || reuse.iter().all(|(_, s)| s.is_empty()) {
+        return gen_perm(remaining, reuse);
+    }
+    let choices: Vec<usize> = reuse
+        .iter()
+        .filter(|(d, s)| {
+            let dominated = reuse
+                .iter()
+                .any(|(d2, s2)| d2 != d && s.is_subset(s2) && s != s2);
+            !dominated && !s.is_empty()
+        })
+        .map(|(d, _)| *d)
+        .collect();
+    if choices.is_empty() {
+        return gen_perm(remaining, reuse);
+    }
+    let subtrees = par_map(threads, &choices, |_, &d| {
+        let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != d).collect();
+        let s = &reuse.iter().find(|(d2, _)| *d2 == d).unwrap().1;
+        let next_reuse: Vec<(usize, BTreeSet<String>)> = reuse
+            .iter()
+            .filter(|(d2, _)| *d2 != d)
+            .map(|(d2, s2)| (*d2, s2.intersection(s).cloned().collect()))
+            .collect();
+        let mut perms = gen_perm(&rest, &next_reuse);
+        for p in &mut perms {
+            p.push(d);
+        }
+        perms
+    });
+    subtrees.into_iter().flatten().collect()
 }
 
 /// The recursive core (paper Algorithm 1). Returns permutations of
@@ -192,6 +283,18 @@ mod tests {
                 sorted.sort_unstable();
                 let want: Vec<usize> = (0..kernel.dims().len()).collect();
                 assert_eq!(sorted, want, "{} perm {:?}", kernel.name(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_selection_is_identical() {
+        for kernel in [kernels::matmul(), kernels::conv1d(), kernels::conv2d()] {
+            let seq = select_permutations_with(&kernel, &SmallDimOracle, 1);
+            for threads in [2, 4, 8] {
+                reset_perm_cache(); // force recomputation, not a cache replay
+                let par = select_permutations_with(&kernel, &SmallDimOracle, threads);
+                assert_eq!(seq, par, "{} threads={threads}", kernel.name());
             }
         }
     }

@@ -306,6 +306,53 @@ impl Kernel {
         }
         self
     }
+
+    /// A canonical byte serialization of the kernel's *structure*: the
+    /// dimensions (name, size symbol, small mark) and every array
+    /// reference (name, role, access forms), excluding spans, the kernel
+    /// name, and default sizes — exactly the inputs of the symbolic
+    /// analyses (Algorithm 1, the §4.2 cost model, the §5 bounds).
+    ///
+    /// Two kernels with equal keys get identical symbolic results, which
+    /// is what the memoization layer relies on: all eleven Yolo9000
+    /// layers share one conv2d structure and therefore one cache line
+    /// per subproblem, differing only in their numeric size bindings.
+    pub fn structural_key(&self) -> Vec<u8> {
+        fn push_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn push_array(out: &mut Vec<u8>, a: &ArrayRef) {
+            push_str(out, &a.name);
+            out.push(match a.kind {
+                AccessKind::Read => b'r',
+                AccessKind::Accumulate => b'+',
+                AccessKind::Write => b'w',
+            });
+            out.extend_from_slice(&(a.access.arity() as u64).to_le_bytes());
+            for f in a.access.dims() {
+                out.extend_from_slice(&(f.terms().len() as u64).to_le_bytes());
+                for &(d, c) in f.terms() {
+                    out.extend_from_slice(&(d as u64).to_le_bytes());
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                out.extend_from_slice(&f.constant().to_le_bytes());
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.dims.len() as u64).to_le_bytes());
+        for d in &self.dims {
+            push_str(&mut out, &d.name);
+            push_str(&mut out, d.size.name());
+            out.push(u8::from(d.small));
+        }
+        push_array(&mut out, &self.output);
+        out.extend_from_slice(&(self.inputs.len() as u64).to_le_bytes());
+        for a in &self.inputs {
+            push_array(&mut out, a);
+        }
+        out
+    }
 }
 
 impl fmt::Display for Kernel {

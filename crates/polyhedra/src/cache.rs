@@ -1,0 +1,144 @@
+//! Memoization of polyhedral counting and projection subproblems.
+//!
+//! The analysis pipeline poses the same polyhedral queries over and over:
+//! candidate permutations of one kernel share tile-band polyhedra, batch
+//! runs over the Yolo9000 layers share the conv2d access structure, and
+//! the exact-enumeration cross-checks revisit identical sets. Each query
+//! is a pure function of the constraint system, so the results are
+//! memoized in process-wide content-addressed caches (keys are the full
+//! canonical constraint serialization — a hash collision can never
+//! produce a wrong answer) with hit/miss counters that the batch report
+//! surfaces.
+//!
+//! Determinism: a cache hit replays the exact value the cold computation
+//! produced, so enabling or disabling the cache never changes any bound.
+//! Tests assert this (`tests/random_kernel_soundness.rs`).
+
+use std::sync::OnceLock;
+
+use ioopt_engine::{CacheStats, MemoCache};
+
+use crate::fourier_motzkin::RationalConstraint;
+use crate::zpoly::ZPolyhedron;
+
+/// Exact point counts per constraint system.
+fn count_cache() -> &'static MemoCache<u64> {
+    static CACHE: OnceLock<MemoCache<u64>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Fourier–Motzkin projections per (constraint system, variable).
+fn project_cache() -> &'static MemoCache<Vec<RationalConstraint>> {
+    static CACHE: OnceLock<MemoCache<Vec<RationalConstraint>>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Rational-emptiness verdicts per constraint system.
+fn empty_cache() -> &'static MemoCache<bool> {
+    static CACHE: OnceLock<MemoCache<bool>> = OnceLock::new();
+    CACHE.get_or_init(MemoCache::new)
+}
+
+/// Canonical byte serialization of a polyhedron: dimension count, then
+/// each constraint's sorted `(dim, coeff)` terms and constant. Two
+/// structurally equal polyhedra serialize identically ([`crate::LinearForm`]
+/// keeps terms sorted and merged).
+pub(crate) fn poly_key(poly: &ZPolyhedron, tag: u8) -> Vec<u8> {
+    let mut key = Vec::with_capacity(16 + poly.constraints().len() * 24);
+    key.push(tag);
+    key.extend_from_slice(&(poly.dim() as u64).to_le_bytes());
+    for f in poly.constraints() {
+        key.push(b'C');
+        key.extend_from_slice(&(f.terms().len() as u64).to_le_bytes());
+        for &(d, c) in f.terms() {
+            key.extend_from_slice(&(d as u64).to_le_bytes());
+            key.extend_from_slice(&c.to_le_bytes());
+        }
+        key.extend_from_slice(&f.constant().to_le_bytes());
+    }
+    key
+}
+
+pub(crate) fn cached_count(poly: &ZPolyhedron, compute: impl FnOnce() -> u64) -> u64 {
+    count_cache().get_or_insert_with(&poly_key(poly, b'#'), compute)
+}
+
+pub(crate) fn cached_projection(
+    poly: &ZPolyhedron,
+    var: usize,
+    compute: impl FnOnce() -> Vec<RationalConstraint>,
+) -> Vec<RationalConstraint> {
+    let mut key = poly_key(poly, b'P');
+    key.extend_from_slice(&(var as u64).to_le_bytes());
+    project_cache().get_or_insert_with(&key, compute)
+}
+
+pub(crate) fn cached_emptiness(poly: &ZPolyhedron, compute: impl FnOnce() -> bool) -> bool {
+    empty_cache().get_or_insert_with(&poly_key(poly, b'E'), compute)
+}
+
+/// Aggregated hit/miss/entry counters over the polyhedral caches.
+pub fn cache_stats() -> CacheStats {
+    count_cache()
+        .stats()
+        .merged(&project_cache().stats())
+        .merged(&empty_cache().stats())
+}
+
+/// Enables or disables the polyhedral memo layer (process-wide). While
+/// disabled every query recomputes and the counters do not move.
+pub fn set_cache_enabled(enabled: bool) {
+    count_cache().set_enabled(enabled);
+    project_cache().set_enabled(enabled);
+    empty_cache().set_enabled(enabled);
+}
+
+/// Drops all cached polyhedral results and zeroes the counters.
+pub fn reset_cache() {
+    count_cache().clear();
+    project_cache().clear();
+    empty_cache().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearForm;
+
+    fn triangle(n: i64) -> ZPolyhedron {
+        let mut p = ZPolyhedron::new(2);
+        p.add_lower_bound(0, 0);
+        p.add_lower_bound(1, 0);
+        p.add_constraint(LinearForm::new(&[(0, -1), (1, -1)], n));
+        p
+    }
+
+    #[test]
+    fn keys_distinguish_query_kinds_and_shapes() {
+        let a = poly_key(&triangle(3), b'#');
+        let b = poly_key(&triangle(3), b'E');
+        let c = poly_key(&triangle(4), b'#');
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, poly_key(&triangle(3), b'#'));
+    }
+
+    #[test]
+    fn cached_count_replays_exact_value() {
+        let p = triangle(5);
+        let cold = p.count();
+        let warm = p.count();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, 21);
+    }
+
+    #[test]
+    fn disabling_recomputes_identically() {
+        let p = triangle(6);
+        let warm = p.count();
+        set_cache_enabled(false);
+        let cold = p.count();
+        set_cache_enabled(true);
+        assert_eq!(warm, cold);
+    }
+}

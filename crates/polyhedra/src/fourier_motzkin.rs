@@ -58,12 +58,14 @@ impl RationalConstraint {
 /// Panics if `var` is out of range.
 pub fn project_out(poly: &ZPolyhedron, var: usize) -> Vec<RationalConstraint> {
     assert!(var < poly.dim(), "projected dimension out of range");
-    let cs: Vec<RationalConstraint> = poly
-        .constraints()
-        .iter()
-        .map(|f| RationalConstraint::from_form(f, poly.dim()))
-        .collect();
-    project_out_rc(&cs, var)
+    crate::cache::cached_projection(poly, var, || {
+        let cs: Vec<RationalConstraint> = poly
+            .constraints()
+            .iter()
+            .map(|f| RationalConstraint::from_form(f, poly.dim()))
+            .collect();
+        project_out_rc(&cs, var)
+    })
 }
 
 /// Fourier–Motzkin step on rational constraints.
@@ -111,6 +113,10 @@ pub fn project_out_rc(constraints: &[RationalConstraint], var: usize) -> Vec<Rat
 /// `true` implies the integer set is empty too (soundness direction used
 /// by the analyses); `false` only certifies a rational point.
 pub fn is_rational_empty(poly: &ZPolyhedron) -> bool {
+    crate::cache::cached_emptiness(poly, || is_rational_empty_uncached(poly))
+}
+
+fn is_rational_empty_uncached(poly: &ZPolyhedron) -> bool {
     let mut cs: Vec<RationalConstraint> = poly
         .constraints()
         .iter()

@@ -11,12 +11,14 @@
 #![warn(missing_docs)]
 
 mod access;
+mod cache;
 mod enumerate;
 mod fourier_motzkin;
 mod linear;
 mod zpoly;
 
 pub use access::{AccessFunction, Cardinality};
+pub use cache::{cache_stats, reset_cache, set_cache_enabled};
 pub use enumerate::{count_image, count_image_overlap, ConcreteBox, PointIter};
 pub use fourier_motzkin::{
     is_rational_empty, project_out, project_out_rc, rational_bounds, RationalConstraint,

@@ -158,9 +158,10 @@ impl ZPolyhedron {
         }
     }
 
-    /// Exact point count by enumeration.
+    /// Exact point count by enumeration, memoized per constraint system
+    /// (see [`crate::cache_stats`]).
     pub fn count(&self) -> u64 {
-        self.enumerate().len() as u64
+        crate::cache::cached_count(self, || self.enumerate().len() as u64)
     }
 }
 

@@ -18,7 +18,7 @@ use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::ops;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::rational::Rational;
 use crate::symbol::Symbol;
@@ -34,7 +34,7 @@ use crate::symbol::Symbol;
 /// assert_eq!(e.to_string(), "(S + 1)^(1/2) - 1");
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Expr(Rc<Node>);
+pub struct Expr(Arc<Node>);
 
 /// The node payload of an [`Expr`].
 #[derive(PartialEq, Eq, Hash)]
@@ -57,7 +57,7 @@ pub enum Node {
 
 impl Expr {
     fn wrap(node: Node) -> Expr {
-        Expr(Rc::new(node))
+        Expr(Arc::new(node))
     }
 
     /// Access the underlying node.
@@ -580,6 +580,14 @@ mod tests {
 
     fn s(name: &str) -> Expr {
         Expr::sym(name)
+    }
+
+    #[test]
+    fn expr_is_send_and_sync() {
+        // The analysis engine shares expressions across worker threads;
+        // the node pointer must stay `Arc`, not `Rc`.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Expr>();
     }
 
     #[test]

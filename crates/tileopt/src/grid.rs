@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 
+use ioopt_engine::par_map;
 use ioopt_symbolic::Symbol;
 
 use crate::nlp::{NlpError, NlpProblem};
@@ -28,6 +29,24 @@ pub struct GridResult {
 /// [`NlpError::Infeasible`] when no feasible point exists or the space
 /// exceeds `max_points`.
 pub fn grid_search(problem: &NlpProblem, max_points: u64) -> Result<GridResult, NlpError> {
+    grid_search_with(problem, max_points, 1)
+}
+
+/// [`grid_search`] with the point space split into per-worker chunks.
+///
+/// The linear point order (odometer order, last variable fastest) is
+/// preserved across the split: chunk-local winners are merged in chunk
+/// order with the same strict `<`, so the returned point, objective, and
+/// feasible count are identical for every `threads` value.
+///
+/// # Errors
+///
+/// As [`grid_search`].
+pub fn grid_search_with(
+    problem: &NlpProblem,
+    max_points: u64,
+    threads: usize,
+) -> Result<GridResult, NlpError> {
     let n = problem.vars.len();
     let lo: Vec<i64> = problem
         .vars
@@ -57,9 +76,6 @@ pub fn grid_search(problem: &NlpProblem, max_points: u64) -> Result<GridResult, 
         })
         .collect::<Result<_, _>>()?;
 
-    let mut point = lo.clone();
-    let mut best: Option<(Vec<i64>, f64)> = None;
-    let mut feasible_points = 0u64;
     if n == 0 {
         let x: Vec<f64> = Vec::new();
         return Ok(GridResult {
@@ -68,30 +84,65 @@ pub fn grid_search(problem: &NlpProblem, max_points: u64) -> Result<GridResult, 
             feasible_points: 1,
         });
     }
-    'outer: loop {
-        let x: Vec<f64> = point.iter().map(|&v| v as f64).collect();
-        if constraints
-            .iter()
-            .all(|(c, b)| c.eval(&x) <= *b * (1.0 + 1e-12))
-        {
-            feasible_points += 1;
-            let obj = objective.eval(&x);
-            if best.as_ref().map(|(_, b)| obj < *b).unwrap_or(true) {
-                best = Some((point.clone(), obj));
+    // Split the linear index space [0, space) into one contiguous chunk
+    // per worker; each worker decodes its start index (mixed radix, var 0
+    // most significant — the odometer order) and scans locally.
+    let workers = threads.max(1).min(space as usize);
+    let chunk = space.div_ceil(workers as u64);
+    let ranges: Vec<(u64, u64)> = (0..workers as u64)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(space)))
+        .collect();
+    let chunk_results = par_map(workers, &ranges, |_, &(start, end)| {
+        let mut point = vec![0i64; n];
+        let mut idx = start;
+        for d in (0..n).rev() {
+            let r = (hi[d] - lo[d] + 1) as u64;
+            point[d] = lo[d] + (idx % r) as i64;
+            idx /= r;
+        }
+        let mut best: Option<(Vec<i64>, f64)> = None;
+        let mut feasible = 0u64;
+        let mut x = vec![0.0f64; n];
+        for _ in start..end {
+            for (xi, &p) in x.iter_mut().zip(&point) {
+                *xi = p as f64;
+            }
+            if constraints
+                .iter()
+                .all(|(c, b)| c.eval(&x) <= *b * (1.0 + 1e-12))
+            {
+                feasible += 1;
+                let obj = objective.eval(&x);
+                if best.as_ref().map(|(_, b)| obj < *b).unwrap_or(true) {
+                    best = Some((point.clone(), obj));
+                }
+            }
+            // Odometer.
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] <= hi[d] {
+                    break;
+                }
+                point[d] = lo[d];
             }
         }
-        // Odometer.
-        let mut d = n;
-        loop {
-            if d == 0 {
-                break 'outer;
+        (best, feasible)
+    });
+    // Chunks are merged in index order with the same strict `<` as the
+    // sequential scan, so earlier points win ties exactly as before.
+    let mut best: Option<(Vec<i64>, f64)> = None;
+    let mut feasible_points = 0u64;
+    for (b, f) in chunk_results {
+        feasible_points += f;
+        if let Some((p, obj)) = b {
+            if best.as_ref().map(|(_, bb)| obj < *bb).unwrap_or(true) {
+                best = Some((p, obj));
             }
-            d -= 1;
-            point[d] += 1;
-            if point[d] <= hi[d] {
-                break;
-            }
-            point[d] = lo[d];
         }
     }
     match best {
@@ -165,6 +216,26 @@ mod tests {
             grid_search(&problem2, 1000),
             Err(NlpError::Infeasible)
         ));
+    }
+
+    #[test]
+    fn parallel_grid_is_identical() {
+        let ta = Expr::sym("Tpa");
+        let tb = Expr::sym("Tpb");
+        let n = Expr::int(100_000);
+        let problem = NlpProblem {
+            objective: &n * ta.recip() + &n * tb.recip(),
+            constraints: vec![(&ta + &tb + &ta * &tb, 120.0)],
+            vars: vec![var("Tpa", 1.0, 60.0), var("Tpb", 1.0, 60.0)],
+            env: Bindings::new(),
+        };
+        let seq = grid_search_with(&problem, 10_000, 1).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let par = grid_search_with(&problem, 10_000, threads).unwrap();
+            assert_eq!(par.point, seq.point, "threads={threads}");
+            assert_eq!(par.objective, seq.objective, "threads={threads}");
+            assert_eq!(par.feasible_points, seq.feasible_points);
+        }
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use std::collections::HashMap;
 
+use ioopt_engine::par_map;
 use ioopt_ioub::{
-    cost_with_levels, level_combinations, select_permutations, CacheLevelSpec, ReuseOracle,
+    cost_with_levels, level_combinations, select_permutations_with, CacheLevelSpec, ReuseOracle,
     TilingSchedule, UbCost,
 };
 use ioopt_ir::Kernel;
@@ -35,6 +36,10 @@ pub struct TileOptConfig {
     pub cache_elems: f64,
     /// Cap on reuse-level combinations explored per permutation.
     pub max_level_combos: usize,
+    /// Worker threads for the permutation / level-combination fan-out.
+    /// `1` is the sequential algorithm; any value yields byte-identical
+    /// results (candidates are always reduced in enumeration order).
+    pub threads: usize,
 }
 
 impl Default for TileOptConfig {
@@ -42,6 +47,7 @@ impl Default for TileOptConfig {
         TileOptConfig {
             cache_elems: 4096.0,
             max_level_combos: 512,
+            threads: 1,
         }
     }
 }
@@ -81,13 +87,18 @@ pub fn optimize(
     config: &TileOptConfig,
 ) -> Result<Recommendation, TileOptError> {
     let env = kernel.bind_sizes(sizes);
-    let perms = select_permutations(kernel, oracle);
-    let mut best: Option<Recommendation> = None;
-    for perm in perms {
+    let perms = select_permutations_with(kernel, oracle, config.threads);
+    // Fan the independent per-permutation searches out, then reduce in
+    // enumeration order with the same strict `<` as the sequential loop —
+    // the winner (and any error surfaced) is identical for any `threads`.
+    let branches = par_map(config.threads, &perms, |_, perm| {
         let sched = TilingSchedule::parametric_by_index(kernel, perm.clone())
             .expect("Algorithm 1 yields valid permutations");
-        let rec = optimize_schedule(kernel, &sched, &env, sizes, config)?;
-        if let Some(r) = rec {
+        optimize_schedule(kernel, &sched, &env, sizes, config)
+    });
+    let mut best: Option<Recommendation> = None;
+    for rec in branches {
+        if let Some(r) = rec? {
             if best.as_ref().map(|b| r.io < b.io).unwrap_or(true) {
                 best = Some(r);
             }
@@ -132,9 +143,12 @@ pub fn optimize_schedule(
         }
         cands
     };
+    let solved = par_map(config.threads, &candidates, |_, levels| {
+        optimize_levels(kernel, sched, env, sizes, config, levels)
+    });
     let mut best: Option<Recommendation> = None;
-    for levels in candidates {
-        if let Some(r) = optimize_levels(kernel, sched, env, sizes, config, &levels)? {
+    for rec in solved {
+        if let Some(r) = rec? {
             if best.as_ref().map(|b| r.io < b.io).unwrap_or(true) {
                 best = Some(r);
             }
@@ -238,11 +252,30 @@ pub fn optimize_multilevel(
     caches: &[CacheLevelSpec],
     oracle: &dyn ReuseOracle,
 ) -> Result<MultiLevelRecommendation, TileOptError> {
+    optimize_multilevel_with(kernel, sizes, caches, oracle, 1)
+}
+
+/// [`optimize_multilevel`] with an explicit worker count for the
+/// per-permutation fan-out; results are independent of `threads`.
+///
+/// # Errors
+///
+/// As [`optimize`].
+pub fn optimize_multilevel_with(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    caches: &[CacheLevelSpec],
+    oracle: &dyn ReuseOracle,
+    threads: usize,
+) -> Result<MultiLevelRecommendation, TileOptError> {
     let env = kernel.bind_sizes(sizes);
-    let perms = select_permutations(kernel, oracle);
+    let perms = select_permutations_with(kernel, oracle, threads);
+    let branches = par_map(threads, &perms, |_, perm| {
+        optimize_multilevel_perm(kernel, sizes, caches, perm, &env)
+    });
     let mut best: Option<MultiLevelRecommendation> = None;
-    for perm in perms {
-        if let Some(r) = optimize_multilevel_perm(kernel, sizes, caches, &perm, &env)? {
+    for rec in branches {
+        if let Some(r) = rec? {
             if best
                 .as_ref()
                 .map(|b| r.objective < b.objective)
@@ -452,6 +485,7 @@ mod tests {
         let config = TileOptConfig {
             cache_elems: 1024.0,
             max_level_combos: 512,
+            threads: 1,
         };
         let env = k.bind_sizes(&sizes);
         let paper_sched = TilingSchedule::parametric(&k, &["i", "j", "k"]).unwrap();
@@ -485,6 +519,7 @@ mod tests {
         let config = TileOptConfig {
             cache_elems: 2048.0,
             max_level_combos: 512,
+            threads: 1,
         };
         let rec = optimize(&k, &sizes, &SmallDimOracle, &config).unwrap();
         // The footprint at the chosen tiles must fit the cache.
@@ -509,6 +544,7 @@ mod tests {
         let config = TileOptConfig {
             cache_elems: 1.0,
             max_level_combos: 64,
+            threads: 1,
         };
         assert_eq!(
             optimize(&k, &sizes, &SmallDimOracle, &config).unwrap_err(),

@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use ioopt_engine::Json;
 use ioopt_ir::Span;
 
 /// How serious a finding is.
@@ -163,19 +164,31 @@ impl Diagnostic {
         out
     }
 
-    /// One JSON object (hand-rolled; no external dependencies).
+    /// The diagnostic as a value in the shared report schema
+    /// (`ioopt_engine::Json`), used by both `ioopt check --json` and the
+    /// batch report.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("code", Json::str(self.code.as_str())),
+            ("severity", Json::str(self.severity.to_string())),
+            (
+                "span",
+                if self.span.is_none() {
+                    Json::Null
+                } else {
+                    Json::Array(vec![
+                        Json::Int(self.span.start as i64),
+                        Json::Int(self.span.end as i64),
+                    ])
+                },
+            ),
+            ("message", Json::str(self.message.clone())),
+        ])
+    }
+
+    /// One rendered JSON object (see [`Diagnostic::to_json_value`]).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":\"{}\"}}",
-            self.code,
-            self.severity,
-            if self.span.is_none() {
-                "null".to_string()
-            } else {
-                format!("[{},{}]", self.span.start, self.span.end)
-            },
-            escape_json(&self.message),
-        )
+        self.to_json_value().render()
     }
 }
 
@@ -239,32 +252,28 @@ impl VerifyReport {
         out
     }
 
+    /// The report as a value in the shared report schema (the same
+    /// `kernel` + `diagnostics` shape the batch report embeds per row).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("kernel", Json::str(self.kernel.clone())),
+            (
+                "diagnostics",
+                Json::Array(
+                    self.diagnostics
+                        .iter()
+                        .map(Diagnostic::to_json_value)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
     /// Machine-readable rendering: one JSON object with the kernel name
     /// and the diagnostics array.
     pub fn to_json(&self) -> String {
-        let items: Vec<String> = self.diagnostics.iter().map(Diagnostic::to_json).collect();
-        format!(
-            "{{\"kernel\":\"{}\",\"diagnostics\":[{}]}}",
-            escape_json(&self.kernel),
-            items.join(",")
-        )
+        self.to_json_value().render()
     }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -294,6 +303,25 @@ mod tests {
         assert!(json.contains("\"span\":[2,5]"));
         let none = Diagnostic::new(Code::E001, Span::NONE, "x");
         assert!(none.to_json().contains("\"span\":null"));
+    }
+
+    #[test]
+    fn report_json_round_trips_in_shared_schema() {
+        let rep = VerifyReport {
+            kernel: "mm".into(),
+            diagnostics: vec![
+                Diagnostic::new(Code::E002, Span::new(2, 5), "dim q escapes"),
+                Diagnostic::new(Code::W005, Span::NONE, "2 reduced \"dims\""),
+            ],
+        };
+        let v = Json::parse(&rep.to_json()).expect("parses back");
+        assert_eq!(v.get("kernel").and_then(Json::as_str), Some("mm"));
+        let diags = v.get("diagnostics").and_then(Json::as_array).unwrap();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].get("code").and_then(Json::as_str), Some("E002"));
+        assert_eq!(diags[1].get("span"), Some(&Json::Null));
+        // Render → parse → render is a fixed point.
+        assert_eq!(v.render(), rep.to_json());
     }
 
     #[test]

@@ -60,6 +60,7 @@ fn algorithm1_keeps_an_optimal_permutation() {
         let config = TileOptConfig {
             cache_elems: cache,
             max_level_combos: 512,
+            threads: 1,
         };
         let env = kernel.bind_sizes(&sizes);
         let best_over = |perms: &[Vec<usize>]| -> f64 {

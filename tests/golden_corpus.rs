@@ -1,0 +1,147 @@
+//! Golden-corpus snapshot tests: the full symbolic lower and upper
+//! bounds for all 19 builtin kernel instances (8 TCCG tensor
+//! contractions + 11 Yolo9000 convolution layers) are pinned in
+//! `tests/golden/*.json`.
+//!
+//! Any change to the derived symbolic bounds fails these tests. When a
+//! change is intended (an algorithmic improvement, say), regenerate the
+//! snapshots with:
+//!
+//! ```text
+//! IOOPT_BLESS=1 cargo test --test golden_corpus
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ioopt::{builtin_corpus, run_batch, BatchOptions, BatchRow};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn blessing() -> bool {
+    std::env::var("IOOPT_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// The snapshot options: symbolic bounds only (the numeric pipeline is
+/// covered by `algorithm1_and_semantics` and the batch tests), at the
+/// reference cache size the conv semi-symbolic templates are anchored to.
+fn snapshot_options() -> BatchOptions {
+    BatchOptions {
+        cache_elems: 32768.0,
+        jobs: 1,
+        memo: true,
+        numeric: false,
+    }
+}
+
+fn snapshot(row: &BatchRow) -> String {
+    row.to_json_value().render()
+}
+
+#[test]
+fn golden_corpus_all_19_builtins() {
+    let items = builtin_corpus();
+    assert_eq!(items.len(), 19, "the Fig. 6 corpus is 8 TCCG + 11 Yolo");
+    let report = run_batch(&items, &snapshot_options());
+    let dir = golden_dir();
+    if blessing() {
+        fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    let mut failures = Vec::new();
+    for row in &report.rows {
+        assert!(
+            row.error.is_none(),
+            "{} failed to analyze: {:?}",
+            row.kernel,
+            row.error
+        );
+        assert!(
+            row.lb_symbolic.is_some(),
+            "{} has no symbolic LB",
+            row.kernel
+        );
+        assert!(
+            row.ub_symbolic.is_some(),
+            "{} has no symbolic UB",
+            row.kernel
+        );
+        let path = dir.join(format!("{}.json", row.kernel));
+        let got = snapshot(row);
+        if blessing() {
+            fs::write(&path, format!("{got}\n")).expect("write golden file");
+            continue;
+        }
+        let want = fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden file {} — generate with IOOPT_BLESS=1 cargo test --test golden_corpus",
+                path.display()
+            )
+        });
+        if got != want.trim_end() {
+            failures.push(format!(
+                "{}:\n  golden: {}\n  got:    {}",
+                row.kernel,
+                want.trim_end(),
+                got
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "symbolic bounds changed for {} kernel(s) — if intended, re-bless with \
+         IOOPT_BLESS=1 cargo test --test golden_corpus\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_files_cover_exactly_the_corpus() {
+    if blessing() {
+        return; // the blessing run is rewriting the directory
+    }
+    let mut on_disk: Vec<String> = fs::read_dir(golden_dir())
+        .expect("tests/golden exists — generate with IOOPT_BLESS=1")
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter_map(|n| n.strip_suffix(".json").map(str::to_string))
+        .collect();
+    on_disk.sort();
+    let mut corpus: Vec<String> = builtin_corpus().into_iter().map(|i| i.label).collect();
+    corpus.sort();
+    assert_eq!(
+        on_disk, corpus,
+        "tests/golden/*.json must match the builtin corpus exactly (no stale or missing files)"
+    );
+}
+
+#[test]
+fn golden_files_parse_in_the_shared_schema() {
+    if blessing() {
+        return;
+    }
+    for item in builtin_corpus() {
+        let path = golden_dir().join(format!("{}.json", item.label));
+        let src = fs::read_to_string(&path).expect("golden file readable");
+        let v = ioopt_engine::Json::parse(&src).expect("golden file is valid JSON");
+        assert_eq!(
+            v.get("kernel").and_then(ioopt_engine::Json::as_str),
+            Some(item.label.as_str()),
+            "{}",
+            path.display()
+        );
+        for key in ["arith", "lb_symbolic", "ub_symbolic"] {
+            assert!(
+                v.get(key).and_then(ioopt_engine::Json::as_str).is_some(),
+                "{}: `{key}` missing",
+                path.display()
+            );
+        }
+    }
+}

@@ -9,7 +9,7 @@ use ioopt::cdag::{build_cdag, optimal_loads};
 use ioopt::ir::{AccessKind, ArrayRef, Dim, Kernel};
 use ioopt::polyhedra::{AccessFunction, LinearForm};
 use ioopt::symbolic::{SplitMix64, Symbol};
-use ioopt::{analyze, symbolic_lb, AnalysisOptions};
+use ioopt::{analyze, reset_memo, symbolic_lb, Analysis, AnalysisOptions};
 
 /// A random kernel description: 3 dims, an output over a subset of dims,
 /// two inputs over random single-dim or window subscripts.
@@ -77,6 +77,97 @@ fn build(rk: &RandKernel, id: usize) -> Option<Kernel> {
         })
         .collect();
     Kernel::new(format!("rand{id}"), dims, output, inputs).ok()
+}
+
+/// A bit-exact fingerprint of everything the analysis reports: float
+/// results are compared by their bit patterns, so any nondeterminism in
+/// the parallel search or the memo replay shows up.
+fn fingerprint(a: &Analysis) -> String {
+    let mut tiles: Vec<(&String, &i64)> = a.recommendation.tiles.iter().collect();
+    tiles.sort();
+    format!(
+        "lb={:016x} ub={:016x} io={:016x} perm={:?} levels={:?} tiles={:?} lbsym={} ubsym={}",
+        a.lb.to_bits(),
+        a.ub.to_bits(),
+        a.recommendation.io.to_bits(),
+        a.recommendation.perm,
+        a.recommendation.levels,
+        tiles,
+        a.lower.combined,
+        a.recommendation.cost.io,
+    )
+}
+
+/// Determinism and cache-transparency under parallelism, randomized:
+/// for random kernels, `analyze` with `threads ∈ {2, 8}` must be
+/// bit-identical to the sequential run; a warm-cache replay and a
+/// cache-disabled run must also be bit-identical; and LB ≤ UB always.
+#[test]
+fn parallel_analysis_is_deterministic_and_sound() {
+    let mut rng = SplitMix64::new(0x5a4d1c);
+    let sizes: HashMap<String, i64> = HashMap::from([
+        ("d0".to_string(), 6i64),
+        ("d1".to_string(), 5),
+        ("d2".to_string(), 4),
+    ]);
+    let s = 64.0;
+    let mut analyzed = 0usize;
+    for case in 0..12 {
+        let rk = random_kernel(&mut rng);
+        let Some(kernel) = build(&rk, 100 + case) else {
+            continue;
+        };
+        reset_memo();
+        let Ok(cold) = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(s)) else {
+            continue; // untilable / infeasible kernels are not the point here
+        };
+        analyzed += 1;
+        assert!(
+            cold.lb <= cold.ub * (1.0 + 1e-9),
+            "kernel {rk:?}: LB {} > UB {}",
+            cold.lb,
+            cold.ub
+        );
+        let want = fingerprint(&cold);
+
+        // A warm replay answers from the memo caches; bit-identical.
+        let warm = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(s)).expect("warm replay");
+        assert_eq!(
+            fingerprint(&warm),
+            want,
+            "kernel {rk:?}: warm replay differs"
+        );
+
+        // With the caches disabled everything recomputes; bit-identical.
+        let uncached = analyze(
+            &kernel,
+            &sizes,
+            &AnalysisOptions::with_cache(s).with_memo(false),
+        )
+        .expect("uncached run");
+        assert_eq!(
+            fingerprint(&uncached),
+            want,
+            "kernel {rk:?}: cache-disabled run differs"
+        );
+
+        // Parallel fan-out from a cold cache; bit-identical.
+        for threads in [2usize, 8] {
+            reset_memo();
+            let par = analyze(
+                &kernel,
+                &sizes,
+                &AnalysisOptions::with_cache(s).with_threads(threads),
+            )
+            .expect("parallel run");
+            assert_eq!(
+                fingerprint(&par),
+                want,
+                "kernel {rk:?}: threads={threads} differs"
+            );
+        }
+    }
+    assert!(analyzed >= 6, "only {analyzed} random kernels analyzed");
 }
 
 /// LB(S) ≤ optimal pebbling ≤ UB(S) on tiny instances of random
