@@ -44,4 +44,51 @@ if [ "$(nproc)" -ge 4 ]; then
   }
 fi
 
+# The fault-injection legs rebuild the ioopt binary with the
+# `fault-inject` feature, so they run after every leg that uses the
+# stock release binary.
+echo "==> fault-injection test suite (feature fault-inject)"
+cargo test -q --features fault-inject --test fault_injection
+
+echo "==> fault containment: injected panic -> exit 2, 18 exact rows, one structured failed row"
+cargo build --release -p ioopt --features fault-inject
+rc=0
+IOOPT_FAULT=panic:Yolo9000-8 ./target/release/ioopt batch builtin:all \
+  --json --symbolic-only >/tmp/ioopt_fault.json 2>/tmp/ioopt_fault.err || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "FAIL: expected exit code 2 from a faulted batch, got $rc"
+  exit 1
+fi
+grep -q '"status":"failed"' /tmp/ioopt_fault.json || {
+  echo "FAIL: no structured failed row in the report"
+  exit 1
+}
+if grep -q 'panicked at' /tmp/ioopt_fault.json; then
+  echo "FAIL: raw panic output leaked into the report"
+  exit 1
+fi
+# The report is a single JSON line: count occurrences, not lines.
+exact=$(grep -o '"status":"exact"' /tmp/ioopt_fault.json | wc -l)
+if [ "$exact" -ne 18 ]; then
+  echo "FAIL: expected 18 exact rows alongside the failed one, got $exact"
+  exit 1
+fi
+
+echo "==> graceful degradation: --timeout-ms 1 -> exit 2, every row degraded, none exact"
+rc=0
+./target/release/ioopt batch builtin:all --json --timeout-ms 1 \
+  >/tmp/ioopt_degraded.json 2>/dev/null || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "FAIL: expected exit code 2 from a spent-budget batch, got $rc"
+  exit 1
+fi
+grep -q '"status":"degraded"' /tmp/ioopt_degraded.json || {
+  echo "FAIL: no degraded rows under --timeout-ms 1"
+  exit 1
+}
+if grep -q '"status":"exact"' /tmp/ioopt_degraded.json; then
+  echo "FAIL: exact rows survived a 1 ms budget"
+  exit 1
+fi
+
 echo "CI OK"

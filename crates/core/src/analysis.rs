@@ -4,11 +4,14 @@
 use std::collections::HashMap;
 
 use ioopt_codegen::TiledCode;
-use ioopt_iolb::{default_scenarios, lower_bound, LbOptions, LowerBoundReport};
+use ioopt_engine::{Budget, Status};
+use ioopt_iolb::{
+    default_scenarios, lower_bound, lower_bound_governed, LbOptions, LowerBoundReport,
+};
 use ioopt_ioub::SmallDimOracle;
 use ioopt_ir::Kernel;
 use ioopt_symbolic::{Expr, Symbol};
-use ioopt_tileopt::{optimize, Recommendation, TileOptConfig, TileOptError};
+use ioopt_tileopt::{optimize_governed, Recommendation, TileOptConfig, TileOptError};
 use ioopt_verify::{Code, VerifyOptions, VerifyReport};
 
 /// Options for [`analyze`].
@@ -29,6 +32,11 @@ pub struct AnalysisOptions {
     /// projections, per-array costs, permutation selection) are consulted.
     /// The flag is applied process-wide at the start of [`analyze`].
     pub cache: bool,
+    /// Resource budget governing the whole analysis (wall-clock deadline
+    /// and/or step count). The default is unlimited; an exhausted budget
+    /// degrades the result instead of failing it (see `DESIGN.md`,
+    /// degradation semantics).
+    pub budget: Budget,
 }
 
 impl AnalysisOptions {
@@ -44,7 +52,15 @@ impl AnalysisOptions {
             },
             threads: 1,
             cache: true,
+            budget: Budget::unlimited(),
         }
+    }
+
+    /// The same options governed by `budget`.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> AnalysisOptions {
+        self.budget = budget;
+        self
     }
 
     /// The same options with the search fan-out spread over `threads`
@@ -116,6 +132,14 @@ pub struct Analysis {
     /// pipeline; hard errors abort the analysis, warnings ride along so
     /// callers can surface them next to the bounds).
     pub diagnostics: VerifyReport,
+    /// [`Status::Exact`] when every stage ran to completion;
+    /// [`Status::Degraded`] when a resource budget (or arithmetic
+    /// overflow) weakened some stage. Degraded bounds stay sound:
+    /// the LB can only drop, the UB can only rise.
+    pub status: Status,
+    /// Human-readable notes on which stages degraded and why (empty for
+    /// exact results).
+    pub degradations: Vec<String>,
 }
 
 /// Errors from [`analyze`].
@@ -178,6 +202,10 @@ pub fn analyze(
     options: &AnalysisOptions,
 ) -> Result<Analysis, AnalyzeError> {
     set_memo_enabled(options.cache);
+    // Make the budget ambient for the whole pipeline so governed hot
+    // loops reached through ungoverned entry points (emptiness checks,
+    // cost-model projections, …) observe it too.
+    let _scope = options.budget.enter();
     // Pre-flight: run the static analyzer first. E001 (illegal tiling)
     // aborts — no sound tiled upper bound exists; everything else is
     // attached to the result for the caller to surface. The certificate
@@ -202,12 +230,13 @@ pub fn analyze(
         .scenarios
         .clone()
         .unwrap_or_else(|| default_scenarios(kernel));
-    let lower = lower_bound(
+    let lower = lower_bound_governed(
         kernel,
         &LbOptions {
             detect_reductions: true,
             scenarios,
         },
+        &options.budget,
     )
     .map_err(|e| AnalyzeError::LowerBound(e.to_string()))?;
     let mut env = kernel.bind_sizes(sizes);
@@ -219,7 +248,13 @@ pub fn analyze(
 
     let mut tileopt_config = options.tileopt;
     tileopt_config.threads = options.threads.max(1);
-    let recommendation = optimize(kernel, sizes, &SmallDimOracle, &tileopt_config)?;
+    let recommendation = optimize_governed(
+        kernel,
+        sizes,
+        &SmallDimOracle,
+        &tileopt_config,
+        &options.budget,
+    )?;
     let ub = recommendation.io;
     let tiled_code =
         TiledCode::from_integer_tiles(kernel, &recommendation.perm, &recommendation.tiles, sizes)
@@ -229,6 +264,24 @@ pub fn analyze(
             .arith_complexity()
             .eval_f64(&env)
             .map_err(|e| AnalyzeError::Eval(e.to_string()))?;
+    let mut degradations = Vec::new();
+    if lower.degraded {
+        degradations.push(match options.budget.exhausted() {
+            Some(e) => format!("lower bound degraded ({e}): scenario sweep cut short"),
+            None => "lower bound degraded: rational overflow skipped a scenario".to_string(),
+        });
+    }
+    if recommendation.degraded {
+        degradations.push(match options.budget.exhausted() {
+            Some(e) => format!("tile search degraded ({e}): best tiling over visited prefix"),
+            None => "tile search degraded: search space cut short".to_string(),
+        });
+    }
+    let status = if degradations.is_empty() {
+        Status::Exact
+    } else {
+        Status::Degraded
+    };
     Ok(Analysis {
         kernel: kernel.name().to_string(),
         ir: kernel.clone(),
@@ -241,6 +294,8 @@ pub fn analyze(
         recommendation,
         tiled_code,
         diagnostics,
+        status,
+        degradations,
     })
 }
 

@@ -9,8 +9,11 @@
 //! to stderr).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
-use ioopt_engine::{par_map, Json};
+use ioopt_engine::{par_map, Budget, Json, Status};
 use ioopt_ir::{kernels, Kernel};
 use ioopt_symbolic::Symbol;
 use ioopt_tileopt::{symbolic_conv_ub, symbolic_tc_ub};
@@ -43,6 +46,18 @@ pub struct BatchOptions {
     /// the concrete sizes). When `false` only the symbolic bounds are
     /// derived, which is much faster.
     pub numeric: bool,
+    /// Per-kernel wall-clock budget in milliseconds (`--timeout-ms`).
+    /// An exhausted deadline degrades the row instead of hanging.
+    pub timeout_ms: Option<u64>,
+    /// Per-kernel analysis step budget (`--max-steps`). Steps count loop
+    /// iterations of the governed hot loops, so the cutoff is
+    /// deterministic across runs and `--jobs` values.
+    pub max_steps: Option<u64>,
+    /// Stop scheduling new kernels after the first failed row
+    /// (`--fail-fast`). Skipped rows are reported as failed with a
+    /// `skipped:` error. Which later rows were already in flight depends
+    /// on timing, so fail-fast reports are *not* `--jobs`-deterministic.
+    pub fail_fast: bool,
 }
 
 impl Default for BatchOptions {
@@ -52,6 +67,9 @@ impl Default for BatchOptions {
             jobs: 1,
             memo: true,
             numeric: true,
+            timeout_ms: None,
+            max_steps: None,
+            fail_fast: false,
         }
     }
 }
@@ -78,6 +96,12 @@ pub struct BatchRow {
     pub tiles: Option<String>,
     /// The first error the pipeline hit for this kernel, if any.
     pub error: Option<String>,
+    /// `exact` when every stage completed, `degraded` when a budget or
+    /// overflow weakened a bound (the row's bounds are still sound), and
+    /// `failed` when the analysis errored or panicked.
+    pub status: Status,
+    /// Degradation detail for `degraded` rows (which stage, why).
+    pub note: Option<String>,
 }
 
 /// The combined batch report.
@@ -110,6 +134,8 @@ impl BatchRow {
             ("tightness", opt_num(self.tightness)),
             ("tiles", opt_str(&self.tiles)),
             ("error", opt_str(&self.error)),
+            ("status", Json::str(self.status.as_str())),
+            ("note", opt_str(&self.note)),
         ])
     }
 
@@ -133,6 +159,13 @@ impl BatchRow {
             tightness: opt_num("tightness"),
             tiles: opt_str("tiles"),
             error: opt_str("error"),
+            status: v
+                .get("status")
+                .and_then(Json::as_str)
+                .map(|s| Status::parse(s).ok_or_else(|| format!("unknown row status `{s}`")))
+                .transpose()?
+                .unwrap_or(Status::Exact),
+            note: opt_str("note"),
         })
     }
 }
@@ -181,18 +214,23 @@ impl BatchReport {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("S = {} elements\n\n", self.cache_elems));
-        out.push_str("| kernel | LB(S) | UB(S) | lb | ub | ub/lb | tiles |\n");
-        out.push_str("|---|---|---|---|---|---|---|\n");
+        out.push_str("| kernel | status | LB(S) | UB(S) | lb | ub | ub/lb | tiles |\n");
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
         for r in &self.rows {
             let num = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.4e}"));
             let ratio = r.tightness.map_or("—".to_string(), |x| format!("{x:.3}"));
             let cell = |v: &Option<String>| v.clone().unwrap_or_else(|| "—".to_string());
             if let Some(e) = &r.error {
-                out.push_str(&format!("| {} | error: {e} | | | | | |\n", r.kernel));
+                out.push_str(&format!(
+                    "| {} | {} | error: {e} | | | | | |\n",
+                    r.kernel,
+                    r.status.as_str()
+                ));
             } else {
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
                     r.kernel,
+                    r.status.as_str(),
                     cell(&r.lb_symbolic),
                     cell(&r.ub_symbolic),
                     num(r.lb),
@@ -203,6 +241,14 @@ impl BatchReport {
             }
         }
         out
+    }
+
+    /// The worst row status (`failed > degraded > exact`); drives the
+    /// CLI exit code.
+    pub fn worst_status(&self) -> Status {
+        self.rows
+            .iter()
+            .fold(Status::Exact, |acc, r| acc.worst(r.status))
     }
 }
 
@@ -230,20 +276,35 @@ pub fn builtin_corpus() -> Vec<BatchItem> {
 
 /// Analyzes every item, `jobs` at a time, and returns the combined
 /// report with rows in input order.
+///
+/// Each row runs under its own [`Budget`] (from
+/// [`BatchOptions::timeout_ms`] / [`BatchOptions::max_steps`]) and
+/// inside [`catch_unwind`], so one hanging or panicking kernel cannot
+/// take down the batch: the panic becomes a structured `failed` row and
+/// every other kernel still reports.
 pub fn run_batch(items: &[BatchItem], options: &BatchOptions) -> BatchReport {
     set_memo_enabled(options.memo);
-    let rows = par_map(options.jobs, items, |_, item| analyze_row(item, options));
+    let abort = AtomicBool::new(false);
+    let rows = par_map(options.jobs, items, |_, item| {
+        if options.fail_fast && abort.load(Ordering::SeqCst) {
+            return skipped_row(item);
+        }
+        let row = contained_row(item, options);
+        if row.status == Status::Failed {
+            abort.store(true, Ordering::SeqCst);
+        }
+        row
+    });
     BatchReport {
         cache_elems: options.cache_elems,
         rows,
     }
 }
 
-fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
-    let kernel = &item.kernel;
-    let mut row = BatchRow {
+fn blank_row(item: &BatchItem) -> BatchRow {
+    BatchRow {
         kernel: item.label.clone(),
-        arith: kernel.arith_complexity().to_string(),
+        arith: item.kernel.arith_complexity().to_string(),
         lb_symbolic: None,
         ub_symbolic: None,
         lb: None,
@@ -251,11 +312,75 @@ fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
         tightness: None,
         tiles: None,
         error: None,
-    };
+        status: Status::Exact,
+        note: None,
+    }
+}
+
+fn skipped_row(item: &BatchItem) -> BatchRow {
+    let mut row = blank_row(item);
+    row.error = Some("skipped: earlier kernel failed (--fail-fast)".to_string());
+    row.status = Status::Failed;
+    row
+}
+
+/// The panic payload as text (`panic!` carries `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one row inside `catch_unwind`: a panic anywhere in the pipeline
+/// (including a rational overflow) is converted into a structured
+/// `failed` row instead of unwinding through the worker pool.
+fn contained_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
+    match catch_unwind(AssertUnwindSafe(|| analyze_row(item, options))) {
+        Ok(row) => row,
+        Err(payload) => {
+            let mut row = blank_row(item);
+            row.error = Some(format!("panic: {}", panic_message(payload.as_ref())));
+            row.status = Status::Failed;
+            row
+        }
+    }
+}
+
+fn row_budget(options: &BatchOptions) -> Budget {
+    if options.timeout_ms.is_none() && options.max_steps.is_none() {
+        return Budget::unlimited();
+    }
+    Budget::with_limits(
+        options.timeout_ms.map(Duration::from_millis),
+        options.max_steps,
+        None,
+    )
+}
+
+fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
+    let kernel = &item.kernel;
+    // One budget per row: a slow kernel exhausts only its own allowance.
+    // Entering it makes the deadline ambient for the symbolic stages too.
+    let budget = row_budget(options);
+    let _scope = budget.enter();
+    #[cfg(any(test, feature = "fault-inject"))]
+    inject_fault(&item.label, &budget);
+    let mut row = blank_row(item);
     match symbolic_lb(kernel) {
-        Ok(lb) => row.lb_symbolic = Some(lb.combined.to_string()),
+        Ok(lb) => {
+            row.lb_symbolic = Some(lb.combined.to_string());
+            if lb.degraded {
+                row.status = Status::Degraded;
+                row.note = Some(degradation_note("symbolic lower bound", &budget));
+            }
+        }
         Err(e) => {
             row.error = Some(e.to_string());
+            row.status = Status::Failed;
             return row;
         }
     }
@@ -265,7 +390,9 @@ fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
     if !options.numeric {
         return row;
     }
-    let analysis_options = AnalysisOptions::with_cache(options.cache_elems).with_memo(options.memo);
+    let analysis_options = AnalysisOptions::with_cache(options.cache_elems)
+        .with_memo(options.memo)
+        .with_budget(budget.clone());
     match analyze(kernel, &item.sizes, &analysis_options) {
         Ok(a) => {
             row.lb = Some(a.lb);
@@ -279,10 +406,80 @@ fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
                     .collect::<Vec<_>>()
                     .join(" "),
             );
+            row.status = row.status.worst(a.status);
+            if !a.degradations.is_empty() {
+                let detail = a.degradations.join("; ");
+                row.note = Some(match row.note.take() {
+                    Some(prev) => format!("{prev}; {detail}"),
+                    None => detail,
+                });
+            }
         }
-        Err(e) => row.error = Some(e.to_string()),
+        Err(e) => {
+            row.error = Some(e.to_string());
+            row.status = Status::Failed;
+        }
     }
     row
+}
+
+fn degradation_note(stage: &str, budget: &Budget) -> String {
+    match budget.exhausted() {
+        Some(e) => format!("{stage} degraded: {e}"),
+        None => format!("{stage} degraded: rational overflow"),
+    }
+}
+
+/// Test/CI-only fault injection, selected via the `IOOPT_FAULT`
+/// environment variable (comma-separated directives):
+///
+/// * `panic:<label>` — panic while analyzing the labelled kernel.
+/// * `overflow[:<label>]` — force a rational overflow (every kernel, or
+///   just the labelled one).
+/// * `slow:<ms>[:<label>]` — busy-wait `ms` milliseconds per kernel in
+///   1 ms slices, checking the row budget between slices (exercises the
+///   deadline path deterministically).
+///
+/// Compiled only under `cfg(test)` or the `fault-inject` feature, so
+/// release builds carry no environment-variable hook.
+#[cfg(any(test, feature = "fault-inject"))]
+fn inject_fault(label: &str, budget: &Budget) {
+    let Ok(spec) = std::env::var("IOOPT_FAULT") else {
+        return;
+    };
+    for directive in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let mut parts = directive.splitn(3, ':');
+        match parts.next() {
+            Some("panic") if parts.next() == Some(label) => {
+                panic!("injected fault: panic while analyzing `{label}`");
+            }
+            Some("overflow") => {
+                let target = parts.next();
+                if target.is_none() || target == Some(label) {
+                    // Reproduce the historical overflow failure mode: the
+                    // checked product has no representation, which the
+                    // ungoverned pipeline reports by panicking.
+                    let huge = ioopt_symbolic::Rational::from(i128::MAX / 2);
+                    if huge.try_mul(huge).is_none() {
+                        panic!("rational overflow while analyzing `{label}` (injected)");
+                    }
+                }
+            }
+            Some("slow") => {
+                let ms: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                let target = parts.next();
+                if target.is_none() || target == Some(label) {
+                    for _ in 0..ms {
+                        if budget.checkpoint().is_err() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Numeric lower bound of the symbolic LB at the item's sizes — used by
@@ -336,6 +533,117 @@ mod tests {
         // And the markdown table has one line per kernel plus headers.
         let md = report.to_markdown();
         assert_eq!(md.lines().count(), 4 + items.len());
+    }
+
+    #[test]
+    fn injected_panic_becomes_structured_failed_row() {
+        // The directive names a label only this test uses, so concurrent
+        // tests reading IOOPT_FAULT are unaffected.
+        std::env::set_var("IOOPT_FAULT", "panic:__fault_target__");
+        let matmul = kernels::matmul();
+        let sizes: HashMap<String, i64> = [("i", 64i64), ("j", 64), ("k", 64)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let items = vec![
+            BatchItem {
+                label: "__fault_target__".to_string(),
+                kernel: matmul.clone(),
+                sizes: sizes.clone(),
+            },
+            BatchItem {
+                label: "healthy".to_string(),
+                kernel: matmul,
+                sizes,
+            },
+        ];
+        let report = run_batch(
+            &items,
+            &BatchOptions {
+                numeric: false,
+                ..BatchOptions::default()
+            },
+        );
+        std::env::remove_var("IOOPT_FAULT");
+        assert_eq!(report.rows[0].status, Status::Failed);
+        let err = report.rows[0].error.as_deref().unwrap();
+        assert!(err.starts_with("panic: injected fault"), "{err}");
+        assert_eq!(report.rows[1].status, Status::Exact);
+        assert!(report.rows[1].error.is_none());
+        assert_eq!(report.worst_status(), Status::Failed);
+        // The schema round-trips the new fields.
+        let parsed = BatchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn fail_fast_skips_later_kernels() {
+        // seidel is rejected as not tilable -> a failed row.
+        let bad = ioopt_ir::parse_kernel(
+            "kernel seidel { loop t : T; loop i : N; A[i] += A[i+1] * A[i]; }",
+        )
+        .unwrap();
+        let bad_sizes: HashMap<String, i64> = [("t", 4i64), ("i", 16)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let ok_sizes: HashMap<String, i64> = [("i", 64i64), ("j", 64), ("k", 64)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let items = vec![
+            BatchItem {
+                label: "bad".to_string(),
+                kernel: bad,
+                sizes: bad_sizes,
+            },
+            BatchItem {
+                label: "ok".to_string(),
+                kernel: kernels::matmul(),
+                sizes: ok_sizes,
+            },
+        ];
+        let options = BatchOptions {
+            fail_fast: true,
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&items, &options);
+        assert_eq!(report.rows[0].status, Status::Failed);
+        assert_eq!(report.rows[1].status, Status::Failed);
+        assert!(report.rows[1]
+            .error
+            .as_deref()
+            .unwrap()
+            .starts_with("skipped:"));
+        // Without fail-fast the second kernel still runs.
+        let report = run_batch(
+            &items,
+            &BatchOptions {
+                fail_fast: false,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(report.rows[1].status, Status::Exact);
+    }
+
+    #[test]
+    fn spent_timeout_degrades_rows_without_failing_them() {
+        let items: Vec<BatchItem> = builtin_corpus().into_iter().take(2).collect();
+        let options = BatchOptions {
+            timeout_ms: Some(0),
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&items, &options);
+        for row in &report.rows {
+            assert_eq!(row.status, Status::Degraded, "{}", row.kernel);
+            assert!(row.error.is_none(), "{}: {:?}", row.kernel, row.error);
+            assert!(row.note.is_some(), "{}", row.kernel);
+            // Degraded bounds must still bracket: lb <= ub.
+            if let (Some(lb), Some(ub)) = (row.lb, row.ub) {
+                assert!(lb <= ub * (1.0 + 1e-9), "{}: {lb} > {ub}", row.kernel);
+            }
+        }
+        assert_eq!(report.worst_status(), Status::Degraded);
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //!   --jobs N              (batch) concurrent kernel analyses [default: 1]
 //!   --symbolic-only       (batch) skip the numeric TileOpt pipeline
 //!   --no-memo             (batch) disable the memo caches
+//!   --timeout-ms N        (batch) per-kernel wall-clock budget; rows degrade
+//!   --max-steps N         (batch) per-kernel analysis step budget
+//!   --fail-fast           (batch) stop scheduling kernels after a failure
 //! ```
+//!
+//! `batch` exit codes: 0 when every row is exact, 2 when any row is
+//! degraded or failed (the report still prints), 1 on usage errors.
 //!
 //! `batch` accepts `builtin:all` (the 19 Fig. 6 kernels), any builtin
 //! names, DSL files, and simple `*` globs over file names. The report
@@ -62,7 +68,8 @@ fn usage() -> &'static str {
     "usage: ioopt <file.k | builtin:NAME> --sizes a=V,b=V,... [--cache N] [--symbolic]\n\
      \u{20}      ioopt check <file.k | builtin:NAME> [--sizes a=V,...] [--deny warnings] [--json]\n\
      \u{20}      ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]\n\
-     \u{20}                  [--symbolic-only] [--no-memo]\n\
+     \u{20}                  [--symbolic-only] [--no-memo] [--timeout-ms N] [--max-steps N]\n\
+     \u{20}                  [--fail-fast]\n\
      try:   ioopt --list-builtins"
 }
 
@@ -288,6 +295,23 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
             "--json" => json = true,
             "--symbolic-only" => options.numeric = false,
             "--no-memo" => options.memo = false,
+            "--timeout-ms" => {
+                options.timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms value: {e}"))?,
+                );
+            }
+            "--max-steps" => {
+                options.max_steps = Some(
+                    it.next()
+                        .ok_or("--max-steps needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-steps value: {e}"))?,
+                );
+            }
+            "--fail-fast" => options.fail_fast = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
@@ -304,7 +328,13 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
         items.extend(batch_items(input, sizes_arg.as_deref())?);
     }
     let start = Instant::now();
+    // Panics inside the batch are contained into structured `failed`
+    // rows; silence the default hook so no raw backtrace interleaves
+    // with the report, then restore it for the rest of the process.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
     let report = run_batch(&items, &options);
+    std::panic::set_hook(prev_hook);
     let elapsed = start.elapsed();
     if json {
         println!("{}", report.to_json());
@@ -325,12 +355,25 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
         stats.entries,
         stats.hit_ratio() * 100.0
     );
-    let failed = report.rows.iter().filter(|r| r.error.is_some()).count();
-    if failed > 0 {
-        eprintln!("batch: {failed} kernel(s) failed");
-        return Ok(ExitCode::FAILURE);
+    // Exit codes: 0 all rows exact, 2 any row degraded or failed (the
+    // report still printed in full), 1 usage error (via `main`).
+    match report.worst_status() {
+        ioopt::Status::Exact => Ok(ExitCode::SUCCESS),
+        worst => {
+            let failed = report
+                .rows
+                .iter()
+                .filter(|r| r.status == ioopt::Status::Failed)
+                .count();
+            let degraded = report
+                .rows
+                .iter()
+                .filter(|r| r.status == ioopt::Status::Degraded)
+                .count();
+            eprintln!("batch: {failed} kernel(s) failed, {degraded} degraded ({worst:?})");
+            Ok(ExitCode::from(2))
+        }
     }
-    Ok(ExitCode::SUCCESS)
 }
 
 fn run() -> Result<ExitCode, String> {

@@ -1,0 +1,510 @@
+//! Resource governance for long-running analyses.
+//!
+//! The IOOpt pipeline contains several worst-case exponential searches
+//! (Algorithm 1 permutation enumeration, tile-size grid search,
+//! Fourier–Motzkin elimination, Brascamp–Lieb subgroup enumeration). A
+//! [`Budget`] is a cheap, cloneable handle threaded through those hot
+//! loops; each loop calls [`Budget::step`] at iteration granularity and
+//! bails out with an [`Exhaustion`] the moment the wall-clock deadline,
+//! step count, or memory high-water estimate is exceeded — or when the
+//! budget is [cancelled](Budget::cancel) from another thread.
+//!
+//! Exhaustion is *sticky*: once any check fails, every later check on
+//! any clone of the same budget fails with the first recorded cause, so
+//! a pipeline unwinds promptly instead of limping from stage to stage.
+//!
+//! The default budget is unlimited and checks are near-free (a single
+//! `Option` test), so governed code paths cost nothing when no limit is
+//! set.
+//!
+//! # Ambient budgets
+//!
+//! Plumbing a budget through every signature of a deep call tree is
+//! invasive, so the module also offers a thread-local *ambient* budget:
+//! [`Budget::enter`] installs a budget for the current scope (restoring
+//! the previous one on drop) and [`Budget::ambient`] reads it.
+//! [`crate::par_map`] propagates the caller's ambient budget into its
+//! worker threads, so governed leaf code observes the same budget on
+//! every thread of a fan-out.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budget stopped the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The step counter exceeded the configured maximum.
+    Steps,
+    /// The tracked memory estimate exceeded the configured maximum.
+    Memory,
+    /// [`Budget::cancel`] was called.
+    Cancelled,
+}
+
+impl Exhaustion {
+    fn code(self) -> u8 {
+        match self {
+            Exhaustion::Deadline => 1,
+            Exhaustion::Steps => 2,
+            Exhaustion::Memory => 3,
+            Exhaustion::Cancelled => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Exhaustion> {
+        match code {
+            1 => Some(Exhaustion::Deadline),
+            2 => Some(Exhaustion::Steps),
+            3 => Some(Exhaustion::Memory),
+            4 => Some(Exhaustion::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exhaustion::Deadline => write!(f, "wall-clock deadline exceeded"),
+            Exhaustion::Steps => write!(f, "step budget exhausted"),
+            Exhaustion::Memory => write!(f, "memory budget exhausted"),
+            Exhaustion::Cancelled => write!(f, "analysis cancelled"),
+        }
+    }
+}
+
+/// Outcome quality of a governed analysis, carried by every report row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Every stage ran to completion; the bounds are the exact model
+    /// answers.
+    Exact,
+    /// At least one stage hit a resource limit (or an arithmetic
+    /// overflow) and fell back to a sound but weaker answer.
+    Degraded,
+    /// The analysis produced no result (error or contained panic).
+    Failed,
+}
+
+impl Status {
+    /// Stable lowercase wire name (`exact` / `degraded` / `failed`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Exact => "exact",
+            Status::Degraded => "degraded",
+            Status::Failed => "failed",
+        }
+    }
+
+    /// Parses the wire name produced by [`Status::as_str`].
+    pub fn parse(s: &str) -> Option<Status> {
+        match s {
+            "exact" => Some(Status::Exact),
+            "degraded" => Some(Status::Degraded),
+            "failed" => Some(Status::Failed),
+            _ => None,
+        }
+    }
+
+    /// The worse of two statuses (`Failed > Degraded > Exact`).
+    pub fn worst(self, other: Status) -> Status {
+        fn rank(s: Status) -> u8 {
+            match s {
+                Status::Exact => 0,
+                Status::Degraded => 1,
+                Status::Failed => 2,
+            }
+        }
+        if rank(other) > rank(self) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    deadline: Option<Instant>,
+    max_steps: Option<u64>,
+    max_mem: Option<u64>,
+    steps: AtomicU64,
+    mem_now: AtomicU64,
+    mem_peak: AtomicU64,
+    /// 0 = live; otherwise `Exhaustion::code()` of the first failure.
+    state: AtomicU8,
+}
+
+/// How often [`Budget::step`] consults the wall clock: every step checks
+/// the sticky flag and the step counter, but `Instant::now()` only runs
+/// when the counter crosses a multiple of this mask + 1.
+const TIME_CHECK_MASK: u64 = 0x3F;
+
+/// A cancellable resource budget: wall-clock deadline, step counter, and
+/// memory high-water estimate.
+///
+/// Clones share the same counters, so a budget handed to several worker
+/// threads is exhausted for all of them at once. The [`Default`] budget
+/// is unlimited and its checks are near-free.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_engine::{Budget, Exhaustion};
+///
+/// let b = Budget::with_limits(None, Some(2), None);
+/// assert!(b.step().is_ok());
+/// assert!(b.step().is_ok());
+/// assert_eq!(b.step(), Err(Exhaustion::Steps));
+/// // Exhaustion is sticky.
+/// assert_eq!(b.checkpoint(), Err(Exhaustion::Steps));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Budget {
+    /// An unlimited budget (same as `Budget::default()`): every check
+    /// succeeds and costs a single `Option` test.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget limited by any combination of wall-clock time, step
+    /// count, and estimated bytes of working memory (`None` = no limit
+    /// on that axis). The deadline clock starts now.
+    pub fn with_limits(
+        timeout: Option<Duration>,
+        max_steps: Option<u64>,
+        max_mem_bytes: Option<u64>,
+    ) -> Budget {
+        Budget {
+            inner: Some(Arc::new(Inner {
+                deadline: timeout.map(|d| Instant::now() + d),
+                max_steps,
+                max_mem: max_mem_bytes,
+                steps: AtomicU64::new(0),
+                mem_now: AtomicU64::new(0),
+                mem_peak: AtomicU64::new(0),
+                state: AtomicU8::new(0),
+            })),
+        }
+    }
+
+    /// Whether this budget can ever be exhausted (false for the
+    /// unlimited default).
+    pub fn is_limited(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one unit of work and fails if any limit is exceeded.
+    ///
+    /// This is the per-iteration check for hot loops: the sticky flag
+    /// and step counter are checked every call, the wall clock every
+    /// [`TIME_CHECK_MASK`]` + 1` calls (checking `Instant::now` on every
+    /// iteration of a tight loop would dominate the loop body).
+    #[inline]
+    pub fn step(&self) -> Result<(), Exhaustion> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(e) = Exhaustion::from_code(inner.state.load(Ordering::Relaxed)) {
+            return Err(e);
+        }
+        let steps = inner.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(max) = inner.max_steps {
+            if steps > max {
+                return Err(self.exhaust(Exhaustion::Steps));
+            }
+        }
+        if steps & TIME_CHECK_MASK == 0 {
+            self.check_deadline()?;
+        }
+        Ok(())
+    }
+
+    /// A stage-boundary check: consults the sticky flag and the wall
+    /// clock unconditionally, without consuming a step. Call this at
+    /// phase entry/exit so a deadline that passed during an ungoverned
+    /// stretch is still noticed promptly.
+    pub fn checkpoint(&self) -> Result<(), Exhaustion> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(e) = Exhaustion::from_code(inner.state.load(Ordering::Relaxed)) {
+            return Err(e);
+        }
+        self.check_deadline()
+    }
+
+    fn check_deadline(&self) -> Result<(), Exhaustion> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.exhaust(Exhaustion::Deadline));
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds `bytes` to the tracked memory estimate (updating the
+    /// high-water mark) and fails if the memory limit is exceeded.
+    /// Callers charge allocations they are about to make; there is no
+    /// allocator hook, so this is an estimate, not an accounting.
+    pub fn charge_mem(&self, bytes: u64) -> Result<(), Exhaustion> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if let Some(e) = Exhaustion::from_code(inner.state.load(Ordering::Relaxed)) {
+            return Err(e);
+        }
+        let now = inner.mem_now.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        inner.mem_peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(max) = inner.max_mem {
+            if now > max {
+                return Err(self.exhaust(Exhaustion::Memory));
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases `bytes` previously charged with [`Budget::charge_mem`]
+    /// (the high-water mark is unaffected).
+    pub fn release_mem(&self, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            // Saturating: a release without a matching charge clamps at 0.
+            let mut cur = inner.mem_now.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_sub(bytes);
+                match inner.mem_now.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+
+    /// Cancels the budget: every subsequent check on any clone fails
+    /// with [`Exhaustion::Cancelled`] (unless already exhausted for
+    /// another reason — the first cause wins).
+    pub fn cancel(&self) {
+        if self.inner.is_some() {
+            self.exhaust(Exhaustion::Cancelled);
+        }
+    }
+
+    /// The sticky exhaustion cause, if any check has failed.
+    pub fn exhausted(&self) -> Option<Exhaustion> {
+        self.inner
+            .as_ref()
+            .and_then(|i| Exhaustion::from_code(i.state.load(Ordering::Relaxed)))
+    }
+
+    /// Steps consumed so far (0 for the unlimited budget).
+    pub fn steps_used(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.steps.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// High-water mark of the tracked memory estimate, in bytes.
+    pub fn mem_peak(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.mem_peak.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Records `cause` as the sticky exhaustion state and returns the
+    /// *first* recorded cause (which may differ under a race).
+    fn exhaust(&self, cause: Exhaustion) -> Exhaustion {
+        let inner = self.inner.as_ref().expect("exhaust on unlimited budget");
+        match inner
+            .state
+            .compare_exchange(0, cause.code(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => cause,
+            Err(prev) => Exhaustion::from_code(prev).unwrap_or(cause),
+        }
+    }
+
+    /// Installs this budget as the current thread's ambient budget for
+    /// the lifetime of the returned guard; the previous ambient budget
+    /// is restored on drop. Scopes nest.
+    pub fn enter(&self) -> AmbientGuard {
+        let previous = AMBIENT.with(|slot| slot.replace(self.clone()));
+        AmbientGuard { previous }
+    }
+
+    /// The current thread's ambient budget (unlimited if none was
+    /// entered). [`crate::par_map`] re-installs the spawning thread's
+    /// ambient budget inside its workers, so fan-outs inherit it.
+    pub fn ambient() -> Budget {
+        AMBIENT.with(|slot| slot.borrow().clone())
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Budget> = RefCell::new(Budget::default());
+}
+
+/// Guard returned by [`Budget::enter`]; restores the previously ambient
+/// budget when dropped.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    previous: Budget,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|slot| {
+            *slot.borrow_mut() = std::mem::take(&mut self.previous);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.step().is_ok());
+        }
+        assert!(b.checkpoint().is_ok());
+        assert!(b.charge_mem(u64::MAX / 2).is_ok());
+        assert_eq!(b.exhausted(), None);
+        assert!(!b.is_limited());
+    }
+
+    #[test]
+    fn step_limit_is_sticky_and_shared_across_clones() {
+        let b = Budget::with_limits(None, Some(10), None);
+        let clone = b.clone();
+        let mut ok = 0;
+        while clone.step().is_ok() {
+            ok += 1;
+            assert!(ok <= 10, "step limit not enforced");
+        }
+        assert_eq!(ok, 10);
+        assert_eq!(b.step(), Err(Exhaustion::Steps));
+        assert_eq!(b.checkpoint(), Err(Exhaustion::Steps));
+        assert_eq!(b.exhausted(), Some(Exhaustion::Steps));
+    }
+
+    #[test]
+    fn deadline_in_the_past_fails_at_checkpoint() {
+        let b = Budget::with_limits(Some(Duration::ZERO), None, None);
+        assert_eq!(b.checkpoint(), Err(Exhaustion::Deadline));
+        // And step() notices within one time-check window.
+        let b = Budget::with_limits(Some(Duration::ZERO), None, None);
+        let mut failed = false;
+        for _ in 0..=(TIME_CHECK_MASK + 1) {
+            if b.step().is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "deadline not noticed within one mask window");
+    }
+
+    #[test]
+    fn memory_charges_track_high_water() {
+        let b = Budget::with_limits(None, None, Some(100));
+        assert!(b.charge_mem(60).is_ok());
+        b.release_mem(50);
+        assert!(b.charge_mem(60).is_ok());
+        assert_eq!(b.mem_peak(), 70);
+        assert_eq!(b.charge_mem(60), Err(Exhaustion::Memory));
+        assert_eq!(b.exhausted(), Some(Exhaustion::Memory));
+        // Release never underflows.
+        let c = Budget::with_limits(None, None, Some(100));
+        c.release_mem(10_000);
+        assert!(c.charge_mem(99).is_ok());
+    }
+
+    #[test]
+    fn cancel_wins_only_when_first() {
+        let b = Budget::with_limits(None, Some(1), None);
+        b.cancel();
+        assert_eq!(b.step(), Err(Exhaustion::Cancelled));
+        let c = Budget::with_limits(None, Some(1), None);
+        assert!(c.step().is_ok());
+        assert_eq!(c.step(), Err(Exhaustion::Steps));
+        c.cancel();
+        assert_eq!(c.exhausted(), Some(Exhaustion::Steps), "first cause wins");
+    }
+
+    #[test]
+    fn ambient_scopes_nest_and_restore() {
+        assert!(!Budget::ambient().is_limited());
+        let outer = Budget::with_limits(None, Some(100), None);
+        {
+            let _g1 = outer.enter();
+            assert!(Budget::ambient().is_limited());
+            let inner = Budget::unlimited();
+            {
+                let _g2 = inner.enter();
+                assert!(!Budget::ambient().is_limited());
+            }
+            assert!(Budget::ambient().is_limited());
+            // The ambient handle shares state with the entered budget.
+            Budget::ambient().cancel();
+            assert_eq!(outer.exhausted(), Some(Exhaustion::Cancelled));
+        }
+        assert!(!Budget::ambient().is_limited());
+    }
+
+    #[test]
+    fn par_map_propagates_ambient_budget() {
+        let b = Budget::with_limits(None, Some(1_000_000), None);
+        let _g = b.enter();
+        let items: Vec<u32> = (0..64).collect();
+        let seen = crate::par_map(4, &items, |_, _| Budget::ambient().is_limited());
+        assert!(seen.iter().all(|&limited| limited));
+        assert!(b.steps_used() == 0);
+    }
+
+    #[test]
+    fn status_ordering_and_wire_names() {
+        assert_eq!(Status::Exact.worst(Status::Degraded), Status::Degraded);
+        assert_eq!(Status::Failed.worst(Status::Degraded), Status::Failed);
+        assert_eq!(Status::Degraded.worst(Status::Exact), Status::Degraded);
+        for s in [Status::Exact, Status::Degraded, Status::Failed] {
+            assert_eq!(Status::parse(s.as_str()), Some(s));
+            assert_eq!(format!("{s}"), s.as_str());
+        }
+        assert_eq!(Status::parse("bogus"), None);
+    }
+
+    #[test]
+    fn exhaustion_display_is_stable() {
+        assert_eq!(
+            format!("{}", Exhaustion::Deadline),
+            "wall-clock deadline exceeded"
+        );
+        assert_eq!(format!("{}", Exhaustion::Steps), "step budget exhausted");
+    }
+}

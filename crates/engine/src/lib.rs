@@ -23,10 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod govern;
 pub mod json;
 mod memo;
 mod pool;
 
+pub use govern::{AmbientGuard, Budget, Exhaustion, Status};
 pub use json::Json;
 pub use memo::{CacheStats, MemoCache, StableHasher};
 pub use pool::{available_threads, par_map};

@@ -163,6 +163,50 @@ impl<V: Clone> MemoCache<V> {
         value
     }
 
+    /// Looks up `key` without computing on a miss (counted as a hit or
+    /// miss like [`MemoCache::get_or_insert_with`]). Returns `None` when
+    /// the cache is disabled.
+    ///
+    /// Paired with [`MemoCache::insert`], this lets callers decide
+    /// *whether* to store a computed value — e.g. a result produced
+    /// under an exhausted [`crate::Budget`] is degraded and must not
+    /// poison the cache for later exact runs.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut h = StableHasher::new();
+        h.write(key);
+        let hash = h.finish();
+        let shard = &self.shards[(hash as usize) % SHARDS];
+        let guard = shard.lock().expect("memo shard poisoned");
+        if let Some(bucket) = guard.get(&hash) {
+            if let Some((_, v)) = bucket.iter().find(|(k, _)| k == key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(v.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `value` under `key` (first store wins on a race, like
+    /// [`MemoCache::get_or_insert_with`]); a no-op when disabled.
+    pub fn insert(&self, key: &[u8], value: V) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut h = StableHasher::new();
+        h.write(key);
+        let hash = h.finish();
+        let shard = &self.shards[(hash as usize) % SHARDS];
+        let mut guard = shard.lock().expect("memo shard poisoned");
+        let bucket = guard.entry(hash).or_default();
+        if !bucket.iter().any(|(k, _)| k == key) {
+            bucket.push((key.to_vec(), value));
+        }
+    }
+
     /// Current hit/miss/entry counters.
     pub fn stats(&self) -> CacheStats {
         let entries = self
@@ -256,6 +300,24 @@ mod tests {
             }
         });
         assert_eq!(cache.stats().entries, 32);
+    }
+
+    #[test]
+    fn get_and_insert_respect_enable_flag() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        assert_eq!(cache.get(b"k"), None);
+        cache.insert(b"k", 7);
+        assert_eq!(cache.get(b"k"), Some(7));
+        // First store wins.
+        cache.insert(b"k", 8);
+        assert_eq!(cache.get(b"k"), Some(7));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (2, 1, 1));
+        cache.set_enabled(false);
+        assert_eq!(cache.get(b"k"), None);
+        cache.insert(b"x", 1);
+        cache.set_enabled(true);
+        assert_eq!(cache.get(b"x"), None, "disabled insert stored nothing");
     }
 
     #[test]

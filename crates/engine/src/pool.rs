@@ -1,5 +1,6 @@
 //! A scoped worker pool with deterministic result ordering.
 
+use crate::govern::Budget;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The number of hardware threads available, or 1 when undetectable.
@@ -19,6 +20,10 @@ pub fn available_threads() -> usize {
 /// hard tile-size NLP) never serializes the rest of the queue behind it.
 /// With `threads <= 1` or fewer than two items the map runs inline on
 /// the calling thread with no synchronization at all.
+///
+/// The calling thread's ambient [`Budget`] (see [`Budget::ambient`]) is
+/// re-installed inside every worker, so governed code deep in `f`
+/// observes the same resource budget on every thread of the fan-out.
 ///
 /// Panics in `f` propagate to the caller (the scope joins every worker).
 ///
@@ -40,12 +45,15 @@ where
     }
     let workers = threads.min(n);
     let next = AtomicUsize::new(0);
+    let ambient = Budget::ambient();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let chunks = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| {
+                let (ambient, next, f) = (&ambient, &next, &f);
+                scope.spawn(move || {
+                    let _scope = ambient.enter();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

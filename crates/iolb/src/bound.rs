@@ -10,10 +10,11 @@
 //! combined with `max` (§6: a small-dimension bound stays sound even when
 //! the hypothesis fails, since `|φ_sd(E)| ≤ N_sd` always holds).
 
+use ioopt_engine::Budget;
 use ioopt_ir::Kernel;
 use ioopt_symbolic::{Expr, Rational};
 
-use crate::brascamp::{solve_bl, BlError};
+use crate::brascamp::{solve_bl_governed, BlError};
 use crate::homs::{extract_homs, small_dim_hom, HomOptions};
 
 /// Options for the lower-bound derivation (ablation knobs of DESIGN.md).
@@ -67,6 +68,11 @@ pub struct LowerBoundReport {
     /// `max(trivial, scenarios…)` — the paper's combined expression
     /// (Fig. 6).
     pub combined: Expr,
+    /// Whether a resource budget (or an arithmetic overflow) cut the
+    /// scenario sweep short. The report is then a *weaker but still
+    /// sound* lower bound: `max` over a prefix of the scenario bounds —
+    /// in the worst case just the trivial `Σ|arrays|` term.
+    pub degraded: bool,
 }
 
 /// Derives the symbolic I/O lower bound of a kernel as a function of the
@@ -90,6 +96,26 @@ pub struct LowerBoundReport {
 /// # Ok::<(), ioopt_iolb::BlError>(())
 /// ```
 pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundReport, BlError> {
+    lower_bound_governed(kernel, options, &Budget::ambient())
+}
+
+/// [`lower_bound`] under an explicit [`Budget`].
+///
+/// Exhaustion never fails the derivation: the scenario sweep stops where
+/// the budget ran out and the report combines the scenarios derived so
+/// far (a sound prefix — `max` over fewer terms only weakens the bound),
+/// falling back to the trivial `Σ|arrays|` term when nothing was
+/// derived. Rational overflow in one scenario skips that scenario. Both
+/// paths set [`LowerBoundReport::degraded`].
+///
+/// # Errors
+///
+/// As [`lower_bound`] — only genuinely malformed systems.
+pub fn lower_bound_governed(
+    kernel: &Kernel,
+    options: &LbOptions,
+    budget: &Budget,
+) -> Result<LowerBoundReport, BlError> {
     let dim = kernel.dims().len();
     let hom_opts = HomOptions {
         detect_reductions: options.detect_reductions,
@@ -116,14 +142,16 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
     let path_analysis_ok = options.detect_reductions || kernel.reduced_dims().len() < 2;
 
     let mut scenarios = Vec::new();
+    let mut degraded = false;
     if !path_analysis_ok {
         return Ok(LowerBoundReport {
             trivial: trivial.clone(),
             scenarios,
             combined: trivial,
+            degraded,
         });
     }
-    for small in scenario_list {
+    'scenarios: for small in scenario_list {
         let mut homs = base_homs.clone();
         if !small.is_empty() {
             homs.push(small_dim_hom(kernel, &small));
@@ -132,9 +160,18 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
         // homomorphism (e.g. a dimension no array uses): arbitrarily
         // large bounded sets exist and the partition argument yields
         // nothing — fall back to the trivial bound for this scenario.
-        let sol = match solve_bl(&homs, dim) {
+        let sol = match solve_bl_governed(&homs, dim, budget) {
             Ok(sol) => sol,
             Err(BlError::Infeasible) => continue,
+            Err(BlError::Overflow) => {
+                degraded = true;
+                continue;
+            }
+            Err(BlError::Exhausted(_)) => {
+                // Budgets are sticky: later scenarios would fail too.
+                degraded = true;
+                break;
+            }
         };
         // The sum constraint Σ x_A ≤ K ranges over *distinct arrays*: two
         // homomorphisms reading the same array (e.g. A[x] and A[x+k] in an
@@ -143,22 +180,40 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
         let mut per_array: Vec<(String, Rational)> = Vec::new();
         for (h, &sj) in base_homs.iter().zip(&sol.s) {
             match per_array.iter_mut().find(|(n, _)| *n == h.name) {
-                Some((_, acc)) => *acc += sj,
+                Some((_, acc)) => match acc.try_add(sj) {
+                    Some(sum) => *acc = sum,
+                    None => {
+                        degraded = true;
+                        continue 'scenarios;
+                    }
+                },
                 None => per_array.push((h.name.clone(), sj)),
             }
         }
         let sigma_by_array: Vec<Rational> = per_array.iter().map(|&(_, v)| v).collect();
-        let Some(bound) = assemble_bound(
+        let bound = match assemble_bound(
             kernel,
             &volume,
             &sigma_by_array,
             sol.sigma,
             sol.s_sd,
             &small,
-        ) else {
-            continue;
+        ) {
+            Ok(Some(bound)) => bound,
+            Ok(None) => continue,
+            Err(BlError::Overflow) => {
+                degraded = true;
+                continue;
+            }
+            Err(e) => return Err(e),
         };
-        let rho = rho_expr(kernel, &sigma_by_array, sol.sigma, sol.s_sd, &small);
+        let rho = match rho_expr(kernel, &sigma_by_array, sol.sigma, sol.s_sd, &small) {
+            Some(rho) => rho,
+            None => {
+                degraded = true;
+                continue;
+            }
+        };
         scenarios.push(ScenarioBound {
             small_dims: small,
             sigma: sol.sigma,
@@ -180,6 +235,7 @@ pub fn lower_bound(kernel: &Kernel, options: &LbOptions) -> Result<LowerBoundRep
         trivial,
         scenarios,
         combined,
+        degraded,
     })
 }
 
@@ -204,26 +260,35 @@ fn compute_volume(kernel: &Kernel, detect_reductions: bool) -> Expr {
     outer * (inner - Expr::one())
 }
 
-/// `ρ(K)` as a symbolic function of `K` for reporting.
+/// `∏_{s_j > 0} (s_j/σ)^{s_j}` — the AM-GM constant shared by the bound
+/// and `ρ`; `None` on `i128` overflow in the exact division.
+fn am_gm_constant(s: &[Rational], sigma: Rational) -> Option<Expr> {
+    let mut factors = Vec::new();
+    for &sj in s.iter().filter(|v| v.is_positive()) {
+        factors.push(Expr::pow(Expr::num(sj.try_div(sigma)?), sj));
+    }
+    Some(Expr::mul_all(factors))
+}
+
+/// `ρ(K)` as a symbolic function of `K` for reporting; `None` on
+/// rational overflow.
 fn rho_expr(
     kernel: &Kernel,
     s: &[Rational],
     sigma: Rational,
     s_sd: Rational,
     small: &[usize],
-) -> Expr {
+) -> Option<Expr> {
     let k = Expr::sym("K");
-    let c = Expr::mul_all(
-        s.iter()
-            .filter(|v| v.is_positive())
-            .map(|&sj| Expr::pow(Expr::num(sj / sigma), sj)),
-    );
+    let c = am_gm_constant(s, sigma)?;
     let n_sd = Expr::mul_all(small.iter().map(|&d| kernel.size_expr(d)));
-    c * Expr::pow(k, sigma) * Expr::pow(n_sd, s_sd)
+    Some(c * Expr::pow(k, sigma) * Expr::pow(n_sd, s_sd))
 }
 
-/// Builds `T*·(|V|/ρ(S+T*) − 1)`; `None` when `σ ≤ 1` (the partition
-/// argument then gives nothing beyond the trivial bound).
+/// Builds `T*·(|V|/ρ(S+T*) − 1)`; `Ok(None)` when `σ ≤ 1` (the partition
+/// argument then gives nothing beyond the trivial bound),
+/// [`BlError::Overflow`] when the exact coefficient arithmetic leaves
+/// `i128`.
 fn assemble_bound(
     kernel: &Kernel,
     volume: &Expr,
@@ -231,23 +296,21 @@ fn assemble_bound(
     sigma: Rational,
     s_sd: Rational,
     small: &[usize],
-) -> Option<Expr> {
+) -> Result<Option<Expr>, BlError> {
     if sigma <= Rational::ONE {
-        return None;
+        return Ok(None);
     }
     let cache = Expr::sym("S");
-    // c = ∏_{s_j > 0} (s_j/σ)^{s_j}
-    let c = Expr::mul_all(
-        s.iter()
-            .filter(|v| v.is_positive())
-            .map(|&sj| Expr::pow(Expr::num(sj / sigma), sj)),
-    );
+    let c = am_gm_constant(s, sigma).ok_or(BlError::Overflow)?;
     // T* = S/(σ−1), K* = S·σ/(σ−1).
-    let t_star = &cache * Expr::num((sigma - Rational::ONE).recip());
-    let k_star = &cache * Expr::num(sigma / (sigma - Rational::ONE));
+    let sigma_m1 = sigma.try_sub(Rational::ONE).ok_or(BlError::Overflow)?;
+    let t_coeff = Rational::ONE.try_div(sigma_m1).ok_or(BlError::Overflow)?;
+    let k_coeff = sigma.try_div(sigma_m1).ok_or(BlError::Overflow)?;
+    let t_star = &cache * Expr::num(t_coeff);
+    let k_star = &cache * Expr::num(k_coeff);
     let n_sd = Expr::mul_all(small.iter().map(|&d| kernel.size_expr(d)));
     let rho = c * Expr::pow(k_star, sigma) * Expr::pow(n_sd, s_sd);
-    Some(&t_star * volume * rho.recip() - &t_star)
+    Ok(Some(&t_star * volume * rho.recip() - &t_star))
 }
 
 #[cfg(test)]
@@ -363,6 +426,29 @@ mod tests {
         .unwrap();
         assert_eq!(baseline.scenarios.len(), 1);
         assert_eq!(baseline.scenarios[0].sigma, Rational::new(3, 2));
+    }
+
+    #[test]
+    fn exhausted_lower_bound_degrades_to_a_weaker_sound_bound() {
+        use ioopt_engine::Budget;
+        let k = kernels::matmul();
+        let exact = lower_bound(&k, &LbOptions::default()).unwrap();
+        assert!(!exact.degraded);
+        let env = [("Ni", 500.0), ("Nj", 400.0), ("Nk", 300.0), ("S", 1024.0)];
+        let exact_lb = eval(&exact.combined, &env);
+        // A spent budget stops the scenario sweep before anything is
+        // derived: the report degrades to the trivial bound.
+        let spent = Budget::with_limits(None, Some(0), None);
+        assert!(spent.step().is_err());
+        let degraded = lower_bound_governed(&k, &LbOptions::default(), &spent).unwrap();
+        assert!(degraded.degraded);
+        assert!(degraded.scenarios.is_empty());
+        assert_eq!(degraded.combined, degraded.trivial);
+        // Degraded LB must never exceed the exact LB.
+        assert!(eval(&degraded.combined, &env) <= exact_lb);
+        // An unlimited explicit budget reproduces the exact report.
+        let full = lower_bound_governed(&k, &LbOptions::default(), &Budget::unlimited()).unwrap();
+        assert_eq!(full, exact);
     }
 
     #[test]

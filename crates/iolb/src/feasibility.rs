@@ -11,7 +11,7 @@ use ioopt_ir::Kernel;
 use ioopt_linalg::Rational;
 
 use crate::bound::LbOptions;
-use crate::brascamp::{solve_bl, BlError};
+use crate::brascamp::solve_bl;
 use crate::homs::{extract_homs, small_dim_hom, HomOptions};
 
 /// Dimensions indexed by no array access: dimension `d` escapes when every
@@ -97,9 +97,11 @@ pub fn check_feasibility(kernel: &Kernel, options: &LbOptions) -> FeasibilityRep
             if !small.is_empty() {
                 homs.push(small_dim_hom(kernel, &small));
             }
+            // Diagnostics treat any failed solve (infeasible, overflow,
+            // exhausted budget) as "no partition bound here".
             let sigma = match solve_bl(&homs, dim) {
                 Ok(sol) => Some(sol.sigma),
-                Err(BlError::Infeasible) => None,
+                Err(_) => None,
             };
             ScenarioFeasibility {
                 small_dims: small,

@@ -16,9 +16,10 @@ mod feasibility;
 mod homs;
 mod scenarios;
 
-pub use bound::{lower_bound, LbOptions, LowerBoundReport, ScenarioBound};
+pub use bound::{lower_bound, lower_bound_governed, LbOptions, LowerBoundReport, ScenarioBound};
 pub use brascamp::{
-    candidate_subgroups, rank_constraints, solve_bl, BlError, BlSolution, RankConstraint,
+    candidate_subgroups, candidate_subgroups_governed, rank_constraints, rank_constraints_governed,
+    solve_bl, solve_bl_governed, BlError, BlSolution, RankConstraint,
 };
 pub use feasibility::{check_feasibility, escaping_dims, FeasibilityReport, ScenarioFeasibility};
 pub use homs::{extract_homs, small_dim_hom, Hom, HomKind, HomOptions};

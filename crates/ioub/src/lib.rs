@@ -26,7 +26,7 @@ pub use explain::explain_cost;
 pub use footprint::{inverse_density, sdf, sdr, InverseDensity};
 pub use multilevel::{multilevel_cost, CacheLevelSpec, MultiLevelCost, MultiLevelSchedule};
 pub use permsel::{
-    perm_cache_stats, reset_perm_cache, select_permutations, select_permutations_with,
-    set_perm_cache_enabled, ReuseOracle, SmallDimOracle,
+    perm_cache_stats, reset_perm_cache, select_permutations, select_permutations_governed,
+    select_permutations_with, set_perm_cache_enabled, PermSelection, ReuseOracle, SmallDimOracle,
 };
 pub use schedule::{ScheduleDisplay, TilingSchedule};

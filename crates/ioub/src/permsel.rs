@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
-use ioopt_engine::{par_map, CacheStats, MemoCache};
+use ioopt_engine::{par_map, Budget, CacheStats, MemoCache};
 use ioopt_ir::{ArrayRef, Kernel};
 
 /// The reuse oracle of §4.3: decides whether `array` can reuse data across
@@ -92,6 +92,34 @@ pub fn select_permutations_with(
     oracle: &dyn ReuseOracle,
     threads: usize,
 ) -> Vec<Vec<usize>> {
+    select_permutations_governed(kernel, oracle, threads, &Budget::ambient()).perms
+}
+
+/// The result of a governed permutation selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermSelection {
+    /// The selected permutations (outermost first), sorted and deduped.
+    /// Never empty: on exhaustion the enumerated prefix is completed
+    /// with canonical orders, and any single valid permutation yields a
+    /// sound upper bound.
+    pub perms: Vec<Vec<usize>>,
+    /// Whether Algorithm 1 ran to completion. Incomplete selections are
+    /// still sound (every returned permutation is valid) but may miss
+    /// the cheapest candidate; they are never memoized.
+    pub complete: bool,
+}
+
+/// [`select_permutations_with`] under an explicit [`Budget`].
+///
+/// One budget step is consumed per Algorithm 1 tree node; on exhaustion
+/// every unexpanded subtree collapses to its canonical dimension order,
+/// so the search terminates promptly with a valid (prefix) selection.
+pub fn select_permutations_governed(
+    kernel: &Kernel,
+    oracle: &dyn ReuseOracle,
+    threads: usize,
+    budget: &Budget,
+) -> PermSelection {
     let dims: Vec<usize> = (0..kernel.dims().len()).collect();
     let reuse_sets: Vec<(usize, BTreeSet<String>)> = dims
         .iter()
@@ -114,12 +142,22 @@ pub fn select_permutations_with(
         }
         key.push(1);
     }
-    perm_cache().get_or_insert_with(&key, || {
-        let mut out = gen_perm_root(&dims, &reuse_sets, threads);
-        out.sort();
-        out.dedup();
-        out
-    })
+    // A cache hit replays a complete prior run, exactly — degraded runs
+    // are never inserted, so hits are always complete.
+    if let Some(perms) = perm_cache().get(&key) {
+        return PermSelection {
+            perms,
+            complete: true,
+        };
+    }
+    let mut perms = gen_perm_root(&dims, &reuse_sets, threads, budget);
+    perms.sort();
+    perms.dedup();
+    let complete = budget.exhausted().is_none();
+    if complete {
+        perm_cache().insert(&key, perms.clone());
+    }
+    PermSelection { perms, complete }
 }
 
 /// Top level of Algorithm 1: expands each non-dominated innermost choice,
@@ -128,9 +166,10 @@ fn gen_perm_root(
     remaining: &[usize],
     reuse: &[(usize, BTreeSet<String>)],
     threads: usize,
+    budget: &Budget,
 ) -> Vec<Vec<usize>> {
     if remaining.is_empty() || reuse.iter().all(|(_, s)| s.is_empty()) {
-        return gen_perm(remaining, reuse);
+        return gen_perm(remaining, reuse, budget);
     }
     let choices: Vec<usize> = reuse
         .iter()
@@ -143,7 +182,7 @@ fn gen_perm_root(
         .map(|(d, _)| *d)
         .collect();
     if choices.is_empty() {
-        return gen_perm(remaining, reuse);
+        return gen_perm(remaining, reuse, budget);
     }
     let subtrees = par_map(threads, &choices, |_, &d| {
         let rest: Vec<usize> = remaining.iter().copied().filter(|&x| x != d).collect();
@@ -153,7 +192,7 @@ fn gen_perm_root(
             .filter(|(d2, _)| *d2 != d)
             .map(|(d2, s2)| (*d2, s2.intersection(s).cloned().collect()))
             .collect();
-        let mut perms = gen_perm(&rest, &next_reuse);
+        let mut perms = gen_perm(&rest, &next_reuse, budget);
         for p in &mut perms {
             p.push(d);
         }
@@ -163,10 +202,22 @@ fn gen_perm_root(
 }
 
 /// The recursive core (paper Algorithm 1). Returns permutations of
-/// `remaining`, outermost first.
-fn gen_perm(remaining: &[usize], reuse: &[(usize, BTreeSet<String>)]) -> Vec<Vec<usize>> {
+/// `remaining`, outermost first. One budget step per tree node; on
+/// exhaustion the subtree collapses to the canonical order of its
+/// remaining dimensions (a valid permutation, so the overall selection
+/// stays sound).
+fn gen_perm(
+    remaining: &[usize],
+    reuse: &[(usize, BTreeSet<String>)],
+    budget: &Budget,
+) -> Vec<Vec<usize>> {
     if remaining.is_empty() {
         return vec![Vec::new()];
+    }
+    if budget.step().is_err() {
+        let mut perm: Vec<usize> = remaining.to_vec();
+        perm.sort_unstable();
+        return vec![perm];
     }
     if reuse.iter().all(|(_, s)| s.is_empty()) {
         // No reuse potential left: one arbitrary (canonical) order.
@@ -190,7 +241,7 @@ fn gen_perm(remaining: &[usize], reuse: &[(usize, BTreeSet<String>)]) -> Vec<Vec
             .filter(|(d2, _)| d2 != d)
             .map(|(d2, s2)| (*d2, s2.intersection(s).cloned().collect()))
             .collect();
-        for mut p in gen_perm(&rest, &next_reuse) {
+        for mut p in gen_perm(&rest, &next_reuse, budget) {
             // d was chosen innermost among `remaining`.
             p.push(*d);
             perms.push(p);
@@ -296,6 +347,42 @@ mod tests {
                 let par = select_permutations_with(&kernel, &SmallDimOracle, threads);
                 assert_eq!(seq, par, "{} threads={threads}", kernel.name());
             }
+        }
+    }
+
+    #[test]
+    fn exhausted_selection_is_a_valid_prefix_and_not_cached() {
+        let k = kernels::conv2d();
+        let spent = Budget::with_limits(None, Some(0), None);
+        assert!(spent.step().is_err());
+        reset_perm_cache();
+        let degraded = select_permutations_governed(&k, &SmallDimOracle, 1, &spent);
+        assert!(!degraded.complete);
+        assert!(!degraded.perms.is_empty(), "prefix fallback must exist");
+        let want: Vec<usize> = (0..k.dims().len()).collect();
+        for p in &degraded.perms {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, want, "invalid permutation {p:?}");
+        }
+        // The degraded selection was not memoized: a fresh run is complete
+        // and is a superset of the prefix.
+        let exact = select_permutations_governed(&k, &SmallDimOracle, 1, &Budget::unlimited());
+        assert!(exact.complete);
+        assert!(exact.perms.len() >= degraded.perms.len());
+        // A mid-size budget lands between the two.
+        reset_perm_cache();
+        let partial = select_permutations_governed(
+            &k,
+            &SmallDimOracle,
+            1,
+            &Budget::with_limits(None, Some(10), None),
+        );
+        assert!(!partial.perms.is_empty());
+        for p in &partial.perms {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, want);
         }
     }
 

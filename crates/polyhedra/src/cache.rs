@@ -73,8 +73,22 @@ pub(crate) fn cached_projection(
     project_cache().get_or_insert_with(&key, compute)
 }
 
-pub(crate) fn cached_emptiness(poly: &ZPolyhedron, compute: impl FnOnce() -> bool) -> bool {
-    empty_cache().get_or_insert_with(&poly_key(poly, b'E'), compute)
+/// Budget-aware emptiness memoization: cache hits are returned as-is
+/// (they were computed exactly), a fresh verdict is stored **only** when
+/// the computation finished without exhausting `budget` — a degraded
+/// verdict must never masquerade as an exact one for later runs.
+pub(crate) fn cached_emptiness_governed<E>(
+    poly: &ZPolyhedron,
+    budget: &ioopt_engine::Budget,
+    compute: impl FnOnce(&ioopt_engine::Budget) -> Result<bool, E>,
+) -> Result<bool, E> {
+    let key = poly_key(poly, b'E');
+    if let Some(hit) = empty_cache().get(&key) {
+        return Ok(hit);
+    }
+    let verdict = compute(budget)?;
+    empty_cache().insert(&key, verdict);
+    Ok(verdict)
 }
 
 /// Aggregated hit/miss/entry counters over the polyhedral caches.

@@ -6,10 +6,43 @@
 //! for the rational relaxation, an over-approximation of the integer
 //! shadow (sound for the emptiness and bounding uses in this workspace).
 
+use ioopt_engine::{Budget, Exhaustion};
 use ioopt_symbolic::Rational;
 
 use crate::linear::LinearForm;
 use crate::zpoly::ZPolyhedron;
+
+/// Why a governed projection could not produce an exact answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProjectionError {
+    /// The requested dimension has no finite bound on at least one side
+    /// (only produced by [`rational_bounds_exact`]).
+    Unbounded {
+        /// The dimension whose bound was requested.
+        var: usize,
+    },
+    /// Exact rational arithmetic overflowed `i128` while combining
+    /// constraints.
+    Overflow,
+    /// The resource budget was exhausted mid-elimination.
+    Exhausted(Exhaustion),
+}
+
+impl std::fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProjectionError::Unbounded { var } => {
+                write!(f, "dimension {var} is unbounded in the projection")
+            }
+            ProjectionError::Overflow => {
+                write!(f, "rational overflow during Fourier–Motzkin elimination")
+            }
+            ProjectionError::Exhausted(e) => write!(f, "projection stopped: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProjectionError {}
 
 /// A rational half-space `Σ coeff_i·x_i + c ≥ 0`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,7 +102,35 @@ pub fn project_out(poly: &ZPolyhedron, var: usize) -> Vec<RationalConstraint> {
 }
 
 /// Fourier–Motzkin step on rational constraints.
+///
+/// # Panics
+///
+/// Panics on rational overflow (the historical behaviour); use
+/// [`project_out_rc_governed`] to get a recoverable error instead.
 pub fn project_out_rc(constraints: &[RationalConstraint], var: usize) -> Vec<RationalConstraint> {
+    match project_out_rc_governed(constraints, var, &Budget::unlimited()) {
+        Ok(free) => free,
+        Err(ProjectionError::Overflow) => {
+            panic!("rational overflow during Fourier–Motzkin elimination")
+        }
+        Err(e) => unreachable!("unlimited budget cannot fail with {e}"),
+    }
+}
+
+/// Rough per-constraint heap footprint, for the budget's memory
+/// estimate (`Rational` is two `i128`s).
+fn constraint_bytes(dim: usize) -> u64 {
+    (dim * std::mem::size_of::<Rational>() + std::mem::size_of::<RationalConstraint>()) as u64
+}
+
+/// Governed Fourier–Motzkin step: checks `budget` once per combined
+/// constraint pair, uses checked rational arithmetic, and charges the
+/// output's memory estimate.
+pub fn project_out_rc_governed(
+    constraints: &[RationalConstraint],
+    var: usize,
+    budget: &Budget,
+) -> Result<Vec<RationalConstraint>, ProjectionError> {
     let mut lower: Vec<&RationalConstraint> = Vec::new(); // coeff > 0
     let mut upper: Vec<&RationalConstraint> = Vec::new(); // coeff < 0
     let mut free: Vec<RationalConstraint> = Vec::new();
@@ -83,8 +144,11 @@ pub fn project_out_rc(constraints: &[RationalConstraint], var: usize) -> Vec<Rat
             free.push(c.without_var(var));
         }
     }
+    let combine =
+        |x: Rational, b: Rational, y: Rational, a: Rational| b.try_mul(x)?.try_add(a.try_mul(y)?);
     for lo in &lower {
         for hi in &upper {
+            budget.step().map_err(ProjectionError::Exhausted)?;
             // lo: a·x + r_lo >= 0 (a > 0)  ->  x >= -r_lo / a
             // hi: b·x + r_hi >= 0 (b < 0)  ->  x <= -r_hi / b
             // Combine: (-r_lo/a) <= (-r_hi/b)  <=>  |b|·r_lo + a·r_hi >= 0.
@@ -95,16 +159,21 @@ pub fn project_out_rc(constraints: &[RationalConstraint], var: usize) -> Vec<Rat
                 if d == var {
                     continue;
                 }
-                coeffs.push(b * cl + a * ch);
+                coeffs.push(combine(cl, b, ch, a).ok_or(ProjectionError::Overflow)?);
             }
-            let constant = b * lo.constant + a * hi.constant;
+            let constant =
+                combine(lo.constant, b, hi.constant, a).ok_or(ProjectionError::Overflow)?;
             let c = RationalConstraint { coeffs, constant };
             if !free.contains(&c) {
                 free.push(c);
             }
         }
     }
-    free
+    let dim = constraints.first().map(|c| c.coeffs.len()).unwrap_or(1);
+    budget
+        .charge_mem(free.len() as u64 * constraint_bytes(dim.saturating_sub(1)))
+        .map_err(ProjectionError::Exhausted)?;
+    Ok(free)
 }
 
 /// Whether the rational relaxation of `poly` is empty, by full
@@ -113,32 +182,75 @@ pub fn project_out_rc(constraints: &[RationalConstraint], var: usize) -> Vec<Rat
 /// `true` implies the integer set is empty too (soundness direction used
 /// by the analyses); `false` only certifies a rational point.
 pub fn is_rational_empty(poly: &ZPolyhedron) -> bool {
-    crate::cache::cached_emptiness(poly, || is_rational_empty_uncached(poly))
+    let budget = Budget::ambient();
+    match is_rational_empty_governed(poly, &budget) {
+        Ok(empty) => empty,
+        // "Don't know" is sound as "not provably empty": callers only use
+        // `true` to prune, so a degraded `false` costs time, never
+        // correctness. Only degrade under an actual budget; an overflow
+        // with no budget in force keeps the historical panic.
+        Err(ProjectionError::Overflow) if !budget.is_limited() => {
+            panic!("rational overflow during Fourier–Motzkin elimination")
+        }
+        Err(_) => false,
+    }
 }
 
-fn is_rational_empty_uncached(poly: &ZPolyhedron) -> bool {
+/// Governed rational-emptiness test. `Ok` results are cached; a result
+/// cut short by the budget is **not** cached, so a later exact run is
+/// not poisoned by a degraded verdict.
+pub fn is_rational_empty_governed(
+    poly: &ZPolyhedron,
+    budget: &Budget,
+) -> Result<bool, ProjectionError> {
+    crate::cache::cached_emptiness_governed(poly, budget, |b| is_rational_empty_uncached(poly, b))
+}
+
+fn is_rational_empty_uncached(
+    poly: &ZPolyhedron,
+    budget: &Budget,
+) -> Result<bool, ProjectionError> {
     let mut cs: Vec<RationalConstraint> = poly
         .constraints()
         .iter()
         .map(|f| RationalConstraint::from_form(f, poly.dim()))
         .collect();
-    for _ in 0..poly.dim() {
-        cs = project_out_rc(&cs, 0);
+    for round in 0..poly.dim() {
+        let released = cs.len() as u64 * constraint_bytes(poly.dim() - round);
+        cs = project_out_rc_governed(&cs, 0, budget)?;
+        budget.release_mem(released);
         // Constant constraints must stay satisfiable.
         for c in &cs {
             if c.is_constant() && c.constant.is_negative() {
-                return true;
+                return Ok(true);
             }
         }
         cs.retain(|c| !c.is_constant());
     }
-    false
+    Ok(false)
 }
 
 /// Rational bounds `[lo, hi]` of dimension `var` over `poly`, from the
 /// fully projected one-dimensional shadow; `None` on that side when
 /// unbounded.
 pub fn rational_bounds(poly: &ZPolyhedron, var: usize) -> (Option<Rational>, Option<Rational>) {
+    match rational_bounds_governed(poly, var, &Budget::unlimited()) {
+        Ok(bounds) => bounds,
+        Err(ProjectionError::Overflow) => {
+            panic!("rational overflow during Fourier–Motzkin elimination")
+        }
+        Err(e) => unreachable!("unlimited budget cannot fail with {e}"),
+    }
+}
+
+/// Governed variant of [`rational_bounds`]: overflow and budget
+/// exhaustion surface as [`ProjectionError`] instead of panicking or
+/// running unboundedly.
+pub fn rational_bounds_governed(
+    poly: &ZPolyhedron,
+    var: usize,
+    budget: &Budget,
+) -> Result<(Option<Rational>, Option<Rational>), ProjectionError> {
     let mut cs: Vec<RationalConstraint> = poly
         .constraints()
         .iter()
@@ -149,7 +261,7 @@ pub fn rational_bounds(poly: &ZPolyhedron, var: usize) -> (Option<Rational>, Opt
     let mut pos = var;
     for _ in 0..poly.dim() - 1 {
         let victim = if pos == 0 { 1 } else { 0 };
-        cs = project_out_rc(&cs, victim);
+        cs = project_out_rc_governed(&cs, victim, budget)?;
         if victim < pos {
             pos -= 1;
         }
@@ -159,14 +271,28 @@ pub fn rational_bounds(poly: &ZPolyhedron, var: usize) -> (Option<Rational>, Opt
     for c in cs {
         let a = c.coeffs[0];
         if a.is_positive() {
-            let bound = -c.constant / a;
+            let bound = (-c.constant).try_div(a).ok_or(ProjectionError::Overflow)?;
             lo = Some(lo.map_or(bound, |b| b.max(bound)));
         } else if a.is_negative() {
-            let bound = -c.constant / a;
+            let bound = (-c.constant).try_div(a).ok_or(ProjectionError::Overflow)?;
             hi = Some(hi.map_or(bound, |b| b.min(bound)));
         }
     }
-    (lo, hi)
+    Ok((lo, hi))
+}
+
+/// Both rational bounds of `var`, or [`ProjectionError::Unbounded`] when
+/// either side is missing — the checked replacement for unwrapping the
+/// optional sides of [`rational_bounds`].
+pub fn rational_bounds_exact(
+    poly: &ZPolyhedron,
+    var: usize,
+) -> Result<(Rational, Rational), ProjectionError> {
+    let (lo, hi) = rational_bounds(poly, var);
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => Ok((lo, hi)),
+        _ => Err(ProjectionError::Unbounded { var }),
+    }
 }
 
 #[cfg(test)]
@@ -215,10 +341,66 @@ mod tests {
         let p = triangle(4);
         let points = p.enumerate();
         let xs: std::collections::BTreeSet<i64> = points.iter().map(|pt| pt[0]).collect();
-        let (lo, hi) = rational_bounds(&p, 0);
-        let lo = lo.unwrap().ceil();
-        let hi = hi.unwrap().floor();
+        let (lo, hi) = rational_bounds_exact(&p, 0).expect("triangle is bounded");
+        let lo = lo.ceil();
+        let hi = hi.floor();
         assert_eq!(xs, ((lo as i64)..=(hi as i64)).collect());
+    }
+
+    #[test]
+    fn exact_bounds_report_unbounded_instead_of_panicking() {
+        let mut p = ZPolyhedron::new(1);
+        p.add_lower_bound(0, 2);
+        assert_eq!(
+            rational_bounds_exact(&p, 0),
+            Err(ProjectionError::Unbounded { var: 0 })
+        );
+        let msg = format!("{}", ProjectionError::Unbounded { var: 0 });
+        assert!(msg.contains("unbounded"), "got: {msg}");
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_projection_not_result() {
+        let spent = Budget::with_limits(None, Some(0), None);
+        assert!(spent.step().is_err());
+        // Governed emptiness reports exhaustion... (unique constants so
+        // no other test can have warmed this cache entry)
+        let p = triangle(137);
+        match is_rational_empty_governed(&p, &spent) {
+            Err(ProjectionError::Exhausted(_)) => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // ...and the ungoverned wrapper degrades to "not provably empty"
+        // under an ambient budget, without caching the degraded verdict.
+        {
+            let _scope = spent.enter();
+            assert!(!is_rational_empty(&p));
+        }
+        assert!(!is_rational_empty(&p), "exact verdict after degradation");
+        // A genuinely empty set is still detected once the budget is gone.
+        let mut q = ZPolyhedron::new(2);
+        q.add_lower_bound(0, 71);
+        q.add_upper_bound(0, 12);
+        {
+            let _scope = spent.enter();
+            assert!(!is_rational_empty(&q), "degraded don't-know");
+        }
+        assert!(is_rational_empty(&q), "no degraded verdict was cached");
+    }
+
+    #[test]
+    fn governed_projection_matches_ungoverned() {
+        let p = triangle(6);
+        let cs: Vec<RationalConstraint> = p
+            .constraints()
+            .iter()
+            .map(|f| RationalConstraint::from_form(f, p.dim()))
+            .collect();
+        let exact = project_out_rc(&cs, 0);
+        let governed =
+            project_out_rc_governed(&cs, 0, &Budget::with_limits(None, Some(1_000), None))
+                .expect("ample budget");
+        assert_eq!(exact, governed);
     }
 
     #[test]

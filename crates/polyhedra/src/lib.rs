@@ -21,7 +21,9 @@ pub use access::{AccessFunction, Cardinality};
 pub use cache::{cache_stats, reset_cache, set_cache_enabled};
 pub use enumerate::{count_image, count_image_overlap, ConcreteBox, PointIter};
 pub use fourier_motzkin::{
-    is_rational_empty, project_out, project_out_rc, rational_bounds, RationalConstraint,
+    is_rational_empty, is_rational_empty_governed, project_out, project_out_rc,
+    project_out_rc_governed, rational_bounds, rational_bounds_exact, rational_bounds_governed,
+    ProjectionError, RationalConstraint,
 };
 pub use linear::LinearForm;
 pub use zpoly::ZPolyhedron;

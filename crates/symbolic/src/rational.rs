@@ -198,6 +198,62 @@ impl Rational {
         Some(Rational::new(rn, rd))
     }
 
+    /// Checked addition: `None` on `i128` overflow.
+    ///
+    /// The operator impls panic on overflow (sound but fatal); the
+    /// `try_*` family lets pipeline-facing callers degrade to a weaker
+    /// bound instead of aborting the whole batch.
+    pub fn try_add(self, rhs: Rational) -> Option<Rational> {
+        self.checked_add(rhs)
+    }
+
+    /// Checked subtraction: `None` on `i128` overflow.
+    pub fn try_sub(self, rhs: Rational) -> Option<Rational> {
+        self.checked_add(-rhs)
+    }
+
+    /// Checked multiplication: `None` on `i128` overflow.
+    pub fn try_mul(self, rhs: Rational) -> Option<Rational> {
+        self.checked_mul(rhs)
+    }
+
+    /// Checked division: `None` on overflow **or** division by zero.
+    pub fn try_div(self, rhs: Rational) -> Option<Rational> {
+        if rhs.is_zero() {
+            return None;
+        }
+        self.checked_mul(rhs.recip())
+    }
+
+    /// Checked integer power (negative powers invert): `None` on
+    /// overflow or `0^negative`.
+    pub fn try_pow(self, exp: i32) -> Option<Rational> {
+        if exp == 0 {
+            return Some(Rational::ONE);
+        }
+        let base = if exp < 0 {
+            if self.is_zero() {
+                return None;
+            }
+            self.recip()
+        } else {
+            self
+        };
+        let mut out = Rational::ONE;
+        for _ in 0..exp.unsigned_abs() {
+            out = out.checked_mul(base)?;
+        }
+        Some(out)
+    }
+
+    /// Checked comparison: `None` when the cross-multiplication
+    /// overflows `i128` (the `Ord` impl panics in that case).
+    pub fn try_cmp(self, other: Rational) -> Option<Ordering> {
+        let lhs = self.num.checked_mul(other.den)?;
+        let rhs = other.num.checked_mul(self.den)?;
+        Some(lhs.cmp(&rhs))
+    }
+
     fn checked_add(self, rhs: Rational) -> Option<Rational> {
         let g = gcd(self.den, rhs.den);
         let lcm_part = rhs.den / g;
@@ -433,6 +489,37 @@ mod tests {
         assert_eq!(Rational::new(-7, 2).ceil(), -3);
         assert_eq!(Rational::new(6, 2).floor(), 3);
         assert_eq!(Rational::new(6, 2).ceil(), 3);
+    }
+
+    #[test]
+    fn try_ops_match_operators_in_range() {
+        let a = Rational::new(3, 4);
+        let b = Rational::new(5, 6);
+        assert_eq!(a.try_add(b), Some(a + b));
+        assert_eq!(a.try_sub(b), Some(a - b));
+        assert_eq!(a.try_mul(b), Some(a * b));
+        assert_eq!(a.try_div(b), Some(a / b));
+        assert_eq!(a.try_pow(3), Some(a.powi(3)));
+        assert_eq!(a.try_pow(-2), Some(a.powi(-2)));
+        assert_eq!(a.try_cmp(b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn try_ops_return_none_on_overflow() {
+        let huge = Rational::from(i128::MAX);
+        assert_eq!(huge.try_add(Rational::ONE), None);
+        assert_eq!(huge.try_mul(Rational::from(2i128)), None);
+        assert_eq!(huge.try_pow(2), None);
+        assert_eq!(Rational::from(2i128).try_pow(127), None);
+        assert_eq!(Rational::ONE.try_div(Rational::ZERO), None);
+        assert_eq!(Rational::ZERO.try_pow(-1), None);
+        let tiny = Rational::new(1, i128::MAX);
+        assert_eq!(huge.try_cmp(tiny), None);
+        // In-range powers of the same base still work.
+        assert_eq!(
+            Rational::from(2i128).try_pow(100),
+            Some(Rational::from(1i128 << 100))
+        );
     }
 
     #[test]

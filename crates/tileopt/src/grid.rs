@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use ioopt_engine::par_map;
+use ioopt_engine::{par_map, Budget};
 use ioopt_symbolic::Symbol;
 
 use crate::nlp::{NlpError, NlpProblem};
@@ -18,6 +18,9 @@ pub struct GridResult {
     pub objective: f64,
     /// Number of feasible points visited.
     pub feasible_points: u64,
+    /// Whether the scan was cut short by a resource budget: the point is
+    /// then the best over the visited prefix, not the full box.
+    pub degraded: bool,
 }
 
 /// Exhaustively enumerates all integer points of the box
@@ -46,6 +49,20 @@ pub fn grid_search_with(
     problem: &NlpProblem,
     max_points: u64,
     threads: usize,
+) -> Result<GridResult, NlpError> {
+    grid_search_governed(problem, max_points, threads, &Budget::ambient())
+}
+
+/// [`grid_search_with`] under an explicit [`Budget`]: one step per grid
+/// point. On exhaustion each worker stops scanning; the merged result is
+/// the best point over the visited prefix and is flagged
+/// [`GridResult::degraded`]. If no feasible point was visited before
+/// exhaustion the search fails with [`NlpError::Exhausted`].
+pub fn grid_search_governed(
+    problem: &NlpProblem,
+    max_points: u64,
+    threads: usize,
+    budget: &Budget,
 ) -> Result<GridResult, NlpError> {
     let n = problem.vars.len();
     let lo: Vec<i64> = problem
@@ -82,6 +99,7 @@ pub fn grid_search_with(
             point: HashMap::new(),
             objective: objective.eval(&x),
             feasible_points: 1,
+            degraded: budget.exhausted().is_some(),
         });
     }
     // Split the linear index space [0, space) into one contiguous chunk
@@ -104,6 +122,9 @@ pub fn grid_search_with(
         let mut feasible = 0u64;
         let mut x = vec![0.0f64; n];
         for _ in start..end {
+            if budget.step().is_err() {
+                break;
+            }
             for (xi, &p) in x.iter_mut().zip(&point) {
                 *xi = p as f64;
             }
@@ -145,13 +166,15 @@ pub fn grid_search_with(
             }
         }
     }
-    match best {
-        Some((p, objective)) => Ok(GridResult {
+    match (best, budget.exhausted()) {
+        (Some((p, objective)), cut) => Ok(GridResult {
             point: syms.iter().copied().zip(p).collect(),
             objective,
             feasible_points,
+            degraded: cut.is_some(),
         }),
-        None => Err(NlpError::Infeasible),
+        (None, Some(e)) => Err(NlpError::Exhausted(e)),
+        (None, None) => Err(NlpError::Infeasible),
     }
 }
 
@@ -236,6 +259,39 @@ mod tests {
             assert_eq!(par.objective, seq.objective, "threads={threads}");
             assert_eq!(par.feasible_points, seq.feasible_points);
         }
+    }
+
+    #[test]
+    fn exhausted_grid_returns_prefix_best_or_exhausted() {
+        let ta = Expr::sym("Tba");
+        let tb = Expr::sym("Tbb");
+        let n = Expr::int(100_000);
+        let problem = NlpProblem {
+            objective: &n * ta.recip() + &n * tb.recip(),
+            constraints: vec![(&ta + &tb + &ta * &tb, 120.0)],
+            vars: vec![var("Tba", 1.0, 60.0), var("Tbb", 1.0, 60.0)],
+            env: Bindings::new(),
+        };
+        let exact = grid_search_governed(&problem, 10_000, 1, &Budget::unlimited()).unwrap();
+        assert!(!exact.degraded);
+        // A prefix scan is an upper bound on the true optimum.
+        let partial = grid_search_governed(
+            &problem,
+            10_000,
+            1,
+            &Budget::with_limits(None, Some(50), None),
+        )
+        .unwrap();
+        assert!(partial.degraded);
+        assert!(partial.objective >= exact.objective * (1.0 - 1e-12));
+        assert!(partial.feasible_points <= exact.feasible_points);
+        // A spent budget with no feasible visit reports exhaustion.
+        let spent = Budget::with_limits(None, Some(0), None);
+        assert!(spent.step().is_err());
+        assert!(matches!(
+            grid_search_governed(&problem, 10_000, 1, &spent),
+            Err(NlpError::Exhausted(_))
+        ));
     }
 
     #[test]

@@ -21,11 +21,12 @@ mod recommend;
 mod symbolic_ub;
 
 pub use closed_form::{symbolic_conv_ub, symbolic_tc_ub, symbolic_tc_ub_for};
-pub use grid::{grid_search, grid_search_with, GridResult};
-pub use nlp::{solve, NlpError, NlpProblem, NlpSolution, NlpVar};
+pub use grid::{grid_search, grid_search_governed, grid_search_with, GridResult};
+pub use nlp::{solve, solve_governed, NlpError, NlpProblem, NlpSolution, NlpVar};
 pub use recommend::{
-    optimize, optimize_multilevel, optimize_multilevel_with, optimize_schedule,
-    MultiLevelRecommendation, Recommendation, TileOptConfig, TileOptError,
+    optimize, optimize_governed, optimize_multilevel, optimize_multilevel_with, optimize_schedule,
+    optimize_schedule_governed, MultiLevelRecommendation, Recommendation, TileOptConfig,
+    TileOptError,
 };
 pub use symbolic_ub::{
     eliminate_tiles, eliminate_tiles_relaxed, eliminate_with_subst, rewrite_in_delta, SymbolicUb,

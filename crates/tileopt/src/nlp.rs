@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use ioopt_engine::{Budget, Exhaustion};
 use ioopt_symbolic::{Bindings, CompiledExpr, Expr, SplitMix64, Symbol};
 
 /// A bounded optimization variable.
@@ -46,6 +47,10 @@ pub struct NlpSolution {
     pub relaxed_objective: f64,
     /// Objective at the integer point.
     pub integer_objective: f64,
+    /// Whether the search was cut short by a resource budget. A degraded
+    /// solution is still feasible (every accepted point satisfies the
+    /// constraints), it just may not be the optimum.
+    pub degraded: bool,
 }
 
 /// Errors from [`solve`].
@@ -55,6 +60,8 @@ pub enum NlpError {
     Infeasible,
     /// An expression failed to evaluate (unbound symbol, etc.).
     Eval(String),
+    /// The resource budget ran out before any feasible point was found.
+    Exhausted(Exhaustion),
 }
 
 impl std::fmt::Display for NlpError {
@@ -62,6 +69,7 @@ impl std::fmt::Display for NlpError {
         match self {
             NlpError::Infeasible => write!(f, "tile problem infeasible at the unit point"),
             NlpError::Eval(m) => write!(f, "evaluation failed: {m}"),
+            NlpError::Exhausted(e) => write!(f, "tile search stopped: {e}"),
         }
     }
 }
@@ -173,6 +181,15 @@ impl Compiled {
 /// [`NlpError::Infeasible`] when even all-lower-bound tiles exceed a
 /// constraint, [`NlpError::Eval`] on unbound symbols in the expressions.
 pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
+    solve_governed(problem, &Budget::ambient())
+}
+
+/// [`solve`] under an explicit [`Budget`]: the descent iterations,
+/// polish rounds, integer refinement, and grid sweep each consume steps
+/// and stop early on exhaustion. The result is then marked
+/// [`NlpSolution::degraded`] but remains feasible — the search keeps the
+/// best point it had, never an unvalidated one.
+pub fn solve_governed(problem: &NlpProblem, budget: &Budget) -> Result<NlpSolution, NlpError> {
     let n = problem.vars.len();
     let c = Compiled::build(problem)?;
     let lo_point = c.lo.clone();
@@ -186,6 +203,7 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
             integer: HashMap::new(),
             relaxed_objective: obj,
             integer_objective: obj,
+            degraded: budget.exhausted().is_some(),
         });
     }
 
@@ -217,7 +235,7 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
     }
 
     for start in starts {
-        let (point, obj) = descend(&c, start);
+        let (point, obj) = descend(&c, start, budget);
         if obj < best_obj {
             best_obj = obj;
             best_point = point;
@@ -227,18 +245,18 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
     // of the optimum when a constraint is active (the projected step
     // zigzags); a coordinate pattern search in log space polishes the
     // last digits deterministically, regardless of the start points.
-    let (point, obj) = polish(&c, best_point, best_obj);
+    let (point, obj) = polish(&c, best_point, best_obj, budget);
     best_point = point;
     best_obj = obj;
 
-    let mut integer_point = integer_refine(&c, &best_point);
+    let mut integer_point = integer_refine(&c, &best_point, budget);
     let int_f: Vec<f64> = integer_point.iter().map(|&v| v as f64).collect();
     let mut integer_objective = c.obj(&int_f);
     // Low-dimensional instances can have integer optima far from the
     // continuous one (jagged constraint boundary); a bounded grid makes
     // them exact at negligible cost.
     if n <= 2 {
-        if let Some((p, obj)) = small_grid(&c, &best_point) {
+        if let Some((p, obj)) = small_grid(&c, &best_point, budget) {
             if obj < integer_objective {
                 integer_point = p;
                 integer_objective = obj;
@@ -246,6 +264,7 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
         }
     }
     Ok(NlpSolution {
+        degraded: budget.exhausted().is_some(),
         relaxed: problem
             .vars
             .iter()
@@ -263,14 +282,18 @@ pub fn solve(problem: &NlpProblem) -> Result<NlpSolution, NlpError> {
     })
 }
 
-/// Projected gradient descent in log space with backtracking.
-fn descend(c: &Compiled, start: Vec<f64>) -> (Vec<f64>, f64) {
+/// Projected gradient descent in log space with backtracking. One
+/// budget step per iteration; exhaustion keeps the best point so far.
+fn descend(c: &Compiled, start: Vec<f64>, budget: &Budget) -> (Vec<f64>, f64) {
     let n = start.len();
     let mut x = start;
     let mut fx = c.obj(&x);
     let mut eta = 0.25; // log-space step size
     let h = 1e-6;
     for _iter in 0..800 {
+        if budget.step().is_err() {
+            break;
+        }
         // Numeric gradient in log space: d f / d ln x_i.
         let mut g = vec![0.0; n];
         for i in 0..n {
@@ -317,10 +340,13 @@ fn descend(c: &Compiled, start: Vec<f64>) -> (Vec<f64>, f64) {
 /// variable by `e^{±δ}` (re-projecting onto the feasible set) and halves
 /// δ when no move improves. Converges to a local optimum of the
 /// projected problem without any gradient information.
-fn polish(c: &Compiled, mut x: Vec<f64>, mut fx: f64) -> (Vec<f64>, f64) {
+fn polish(c: &Compiled, mut x: Vec<f64>, mut fx: f64, budget: &Budget) -> (Vec<f64>, f64) {
     let n = x.len();
     let mut delta = 0.25f64;
     while delta > 1e-8 {
+        if budget.step().is_err() {
+            break;
+        }
         let mut improved = false;
         for i in 0..n {
             for sign in [1.0f64, -1.0] {
@@ -345,7 +371,7 @@ fn polish(c: &Compiled, mut x: Vec<f64>, mut fx: f64) -> (Vec<f64>, f64) {
 
 /// Exhaustive integer search for 1–2 variable problems over a window
 /// around (and well past) the relaxed optimum, capped at ~65k points.
-fn small_grid(c: &Compiled, relaxed: &[f64]) -> Option<(Vec<i64>, f64)> {
+fn small_grid(c: &Compiled, relaxed: &[f64], budget: &Budget) -> Option<(Vec<i64>, f64)> {
     let n = relaxed.len();
     let lo: Vec<i64> = c.lo.iter().map(|&v| v.ceil().max(1.0) as i64).collect();
     let hi: Vec<i64> =
@@ -363,6 +389,9 @@ fn small_grid(c: &Compiled, relaxed: &[f64]) -> Option<(Vec<i64>, f64)> {
     let mut point = lo.clone();
     let mut best: Option<(Vec<i64>, f64)> = None;
     'outer: loop {
+        if budget.step().is_err() {
+            break 'outer;
+        }
         let x: Vec<f64> = point.iter().map(|&v| v as f64).collect();
         if c.feasible(&x) {
             let obj = c.obj(&x);
@@ -389,7 +418,7 @@ fn small_grid(c: &Compiled, relaxed: &[f64]) -> Option<(Vec<i64>, f64)> {
 /// Rounds the continuous optimum down (always feasible for increasing
 /// constraints), then greedily bumps whichever variable most improves the
 /// objective while staying feasible.
-fn integer_refine(c: &Compiled, relaxed: &[f64]) -> Vec<i64> {
+fn integer_refine(c: &Compiled, relaxed: &[f64], budget: &Budget) -> Vec<i64> {
     let n = relaxed.len();
     let lo: Vec<i64> = c.lo.iter().map(|&v| v.ceil().max(1.0) as i64).collect();
     let hi: Vec<i64> = c.hi.iter().map(|&v| v.floor().max(1.0) as i64).collect();
@@ -407,6 +436,9 @@ fn integer_refine(c: &Compiled, relaxed: &[f64]) -> Vec<i64> {
     // bumps alone cannot navigate trade-offs like (1, 9) → (2, 7) under a
     // coupled footprint constraint.
     loop {
+        if budget.step().is_err() {
+            break;
+        }
         let mut best: Option<(Vec<i64>, f64)> = None;
         let consider = |cand: &mut Vec<i64>, best: &mut Option<(Vec<i64>, f64)>| {
             for (v, (&l, &h)) in cand.iter_mut().zip(lo.iter().zip(&hi)) {
@@ -563,6 +595,43 @@ mod tests {
         let prod = sol.integer[&Symbol::new("Tmc_a")] * sol.integer[&Symbol::new("Tmc_b")];
         assert_eq!(prod, 64);
         assert!(sol.integer[&Symbol::new("Tmc_a")] <= 4);
+    }
+
+    #[test]
+    fn exhausted_solve_degrades_to_feasible_point() {
+        // Same problem as the paper example, but with the budget already
+        // spent: the solver must return a feasible (if suboptimal)
+        // integer point flagged as degraded — never hang or error.
+        let ti = Expr::sym("Tg_i");
+        let tj = Expr::sym("Tg_j");
+        let n = Expr::int(2000) * Expr::int(1500) * Expr::int(1500);
+        let objective = &n * ti.recip() + &n * tj.recip();
+        let footprint = &ti + &tj + &ti * &tj;
+        let problem = NlpProblem {
+            objective,
+            constraints: vec![(footprint.clone(), 1024.0)],
+            vars: vec![var("Tg_i", 1.0, 2000.0), var("Tg_j", 1.0, 1500.0)],
+            env: Bindings::new(),
+        };
+        let spent = Budget::with_limits(None, Some(0), None);
+        assert!(spent.step().is_err());
+        let degraded = solve_governed(&problem, &spent).unwrap();
+        assert!(degraded.degraded);
+        let exact = solve_governed(&problem, &Budget::unlimited()).unwrap();
+        assert!(!exact.degraded);
+        // Degraded objective is an upper bound on the exact optimum, and
+        // its integer point satisfies the footprint constraint.
+        assert!(degraded.integer_objective >= exact.integer_objective - 1e-9);
+        let fp = |s: &NlpSolution| {
+            let a = s.integer[&Symbol::new("Tg_i")] as f64;
+            let b = s.integer[&Symbol::new("Tg_j")] as f64;
+            a + b + a * b
+        };
+        assert!(fp(&degraded) <= 1024.0 * (1.0 + 1e-12));
+        // A partial budget also stays feasible and sound.
+        let partial = solve_governed(&problem, &Budget::with_limits(None, Some(25), None)).unwrap();
+        assert!(fp(&partial) <= 1024.0 * (1.0 + 1e-12));
+        assert!(partial.integer_objective >= exact.integer_objective - 1e-9);
     }
 
     #[test]

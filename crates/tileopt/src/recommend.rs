@@ -2,15 +2,15 @@
 
 use std::collections::HashMap;
 
-use ioopt_engine::par_map;
+use ioopt_engine::{par_map, Budget};
 use ioopt_ioub::{
-    cost_with_levels, level_combinations, select_permutations_with, CacheLevelSpec, ReuseOracle,
-    TilingSchedule, UbCost,
+    cost_with_levels, level_combinations, select_permutations_governed, select_permutations_with,
+    CacheLevelSpec, ReuseOracle, TilingSchedule, UbCost,
 };
 use ioopt_ir::Kernel;
 use ioopt_symbolic::{Bindings, Expr, Symbol};
 
-use crate::nlp::{solve, NlpError, NlpProblem, NlpVar};
+use crate::nlp::{solve, solve_governed, NlpError, NlpProblem, NlpVar};
 
 /// A single-level tiling recommendation.
 #[derive(Debug, Clone)]
@@ -27,6 +27,10 @@ pub struct Recommendation {
     pub tiles: HashMap<String, i64>,
     /// Predicted I/O at the integer tiles (the numeric upper bound).
     pub io: f64,
+    /// Whether any stage of the search was cut short by a resource
+    /// budget. A degraded recommendation is still a feasible tiling and
+    /// `io` is still a sound upper bound — it just may not be optimal.
+    pub degraded: bool,
 }
 
 /// Options for [`optimize`].
@@ -86,15 +90,38 @@ pub fn optimize(
     oracle: &dyn ReuseOracle,
     config: &TileOptConfig,
 ) -> Result<Recommendation, TileOptError> {
+    optimize_governed(kernel, sizes, oracle, config, &Budget::ambient())
+}
+
+/// [`optimize`] under an explicit [`Budget`].
+///
+/// Degradation ladder on exhaustion, each rung still a sound upper
+/// bound: (1) an incomplete permutation selection is a valid prefix;
+/// (2) per-permutation NLP searches keep their best feasible point;
+/// (3) if *nothing* was scored before the budget ran out, the unit-tile
+/// fallback recommendation is returned (every tile = 1), whose cost the
+/// full search always dominates.
+pub fn optimize_governed(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    oracle: &dyn ReuseOracle,
+    config: &TileOptConfig,
+    budget: &Budget,
+) -> Result<Recommendation, TileOptError> {
     let env = kernel.bind_sizes(sizes);
-    let perms = select_permutations_with(kernel, oracle, config.threads);
+    let selection = select_permutations_governed(kernel, oracle, config.threads, budget);
     // Fan the independent per-permutation searches out, then reduce in
     // enumeration order with the same strict `<` as the sequential loop —
     // the winner (and any error surfaced) is identical for any `threads`.
-    let branches = par_map(config.threads, &perms, |_, perm| {
+    let branches = par_map(config.threads, &selection.perms, |_, perm| {
+        if budget.exhausted().is_some() {
+            // Unscored permutations are dropped (a prefix of the
+            // candidate set still yields a valid upper bound).
+            return Ok(None);
+        }
         let sched = TilingSchedule::parametric_by_index(kernel, perm.clone())
             .expect("Algorithm 1 yields valid permutations");
-        optimize_schedule(kernel, &sched, &env, sizes, config)
+        optimize_schedule_governed(kernel, &sched, &env, sizes, config, budget)
     });
     let mut best: Option<Recommendation> = None;
     for rec in branches {
@@ -104,7 +131,59 @@ pub fn optimize(
             }
         }
     }
-    best.ok_or(TileOptError::NoFeasibleTiling)
+    let cut_short = !selection.complete || budget.exhausted().is_some();
+    match best {
+        Some(mut r) => {
+            r.degraded |= cut_short;
+            Ok(r)
+        }
+        None if cut_short => fallback_recommendation(kernel, sizes, &selection.perms[0], config),
+        None => Err(TileOptError::NoFeasibleTiling),
+    }
+}
+
+/// The last-resort degraded recommendation: unit tiles under the first
+/// selected permutation. Its predicted I/O is the cost model evaluated
+/// at all-ones tiles — a point the exhaustive search always considers,
+/// so this never beats (and thus soundly over-approximates) the exact
+/// optimum. Fails with [`TileOptError::NoFeasibleTiling`] when even unit
+/// tiles overflow the cache, exactly like the exact search.
+fn fallback_recommendation(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    perm: &[usize],
+    config: &TileOptConfig,
+) -> Result<Recommendation, TileOptError> {
+    let sched = TilingSchedule::parametric_by_index(kernel, perm.to_vec())
+        .expect("selected permutations are valid");
+    let levels = vec![1usize; kernel.arrays().count()];
+    let cost = cost_with_levels(kernel, &sched, &levels);
+    let mut env = kernel.bind_sizes(sizes);
+    let mut tiles = HashMap::new();
+    for &(d, sym) in sched.tile_vars().iter() {
+        env.insert(sym, 1.0);
+        tiles.insert(kernel.dims()[d].name.clone(), 1i64);
+    }
+    let footprint = cost
+        .footprint
+        .eval_f64(&env)
+        .map_err(|e| TileOptError::Nlp(e.to_string()))?;
+    if footprint > config.cache_elems * (1.0 + 1e-12) {
+        return Err(TileOptError::NoFeasibleTiling);
+    }
+    let io = cost
+        .io
+        .eval_f64(&env)
+        .map_err(|e| TileOptError::Nlp(e.to_string()))?;
+    Ok(Recommendation {
+        perm: perm.to_vec(),
+        levels,
+        schedule: sched,
+        cost,
+        tiles,
+        io,
+        degraded: true,
+    })
 }
 
 /// Optimizes tile sizes for one fixed schedule over its reuse-level
@@ -122,6 +201,18 @@ pub fn optimize_schedule(
     sizes: &HashMap<String, i64>,
     config: &TileOptConfig,
 ) -> Result<Option<Recommendation>, TileOptError> {
+    optimize_schedule_governed(kernel, sched, env, sizes, config, &Budget::ambient())
+}
+
+/// [`optimize_schedule`] under an explicit [`Budget`].
+pub fn optimize_schedule_governed(
+    kernel: &Kernel,
+    sched: &TilingSchedule,
+    env: &Bindings,
+    sizes: &HashMap<String, i64>,
+    config: &TileOptConfig,
+    budget: &Budget,
+) -> Result<Option<Recommendation>, TileOptError> {
     const EXHAUSTIVE_LIMIT: usize = 64;
     let combos = level_combinations(kernel, sched, config.max_level_combos);
     let candidates: Vec<Vec<usize>> = if combos.len() <= EXHAUSTIVE_LIMIT {
@@ -131,7 +222,7 @@ pub fn optimize_schedule(
         let base = vec![1usize; arrays];
         let mut cands = vec![base.clone()];
         // Phase 1: solve at innermost reuse to locate the tile region.
-        if let Some(first) = optimize_levels(kernel, sched, env, sizes, config, &base)? {
+        if let Some(first) = optimize_levels(kernel, sched, env, sizes, config, &base, budget)? {
             let mut full_env = env.clone();
             for (name, t) in &first.tiles {
                 full_env.insert(Symbol::new(&format!("T{name}")), *t as f64);
@@ -144,7 +235,7 @@ pub fn optimize_schedule(
         cands
     };
     let solved = par_map(config.threads, &candidates, |_, levels| {
-        optimize_levels(kernel, sched, env, sizes, config, levels)
+        optimize_levels(kernel, sched, env, sizes, config, levels, budget)
     });
     let mut best: Option<Recommendation> = None;
     for rec in solved {
@@ -176,6 +267,7 @@ fn optimize_levels(
     sizes: &HashMap<String, i64>,
     config: &TileOptConfig,
     levels: &[usize],
+    budget: &Budget,
 ) -> Result<Option<Recommendation>, TileOptError> {
     let mut best: Option<Recommendation> = None;
     {
@@ -196,7 +288,7 @@ fn optimize_levels(
             vars,
             env: env.clone(),
         };
-        match solve(&problem) {
+        match solve_governed(&problem, budget) {
             Ok(sol) => {
                 if best
                     .as_ref()
@@ -215,10 +307,12 @@ fn optimize_levels(
                         cost,
                         tiles,
                         io: sol.integer_objective,
+                        degraded: sol.degraded,
                     });
                 }
             }
             Err(NlpError::Infeasible) => {}
+            Err(NlpError::Exhausted(_)) => {}
             Err(e) => return Err(TileOptError::Nlp(e.to_string())),
         }
     }
@@ -550,6 +644,39 @@ mod tests {
             optimize(&k, &sizes, &SmallDimOracle, &config).unwrap_err(),
             TileOptError::NoFeasibleTiling
         );
+    }
+
+    #[test]
+    fn exhausted_optimize_degrades_but_stays_an_upper_bound() {
+        let k = kernels::matmul();
+        let sizes = HashMap::from([
+            ("i".to_string(), 200i64),
+            ("j".to_string(), 150),
+            ("k".to_string(), 150),
+        ]);
+        let config = TileOptConfig {
+            cache_elems: 1024.0,
+            max_level_combos: 512,
+            threads: 1,
+        };
+        let exact = optimize_governed(&k, &sizes, &SmallDimOracle, &config, &Budget::unlimited())
+            .expect("feasible");
+        assert!(!exact.degraded);
+        // A budget exhausted before any permutation is scored falls back to
+        // the unit-tile evaluation of the real cost model — still a sound
+        // (if weak) upper bound, and flagged as degraded.
+        for steps in [0u64, 10, 1000] {
+            let tight = Budget::with_limits(None, Some(steps), None);
+            let rec = optimize_governed(&k, &sizes, &SmallDimOracle, &config, &tight)
+                .expect("degraded result must stay available");
+            assert!(rec.degraded, "steps={steps}");
+            assert!(
+                rec.io >= exact.io * (1.0 - 1e-9),
+                "degraded UB {} below exact UB {} (steps={steps})",
+                rec.io,
+                exact.io
+            );
+        }
     }
 
     #[test]

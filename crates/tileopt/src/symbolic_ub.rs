@@ -32,6 +32,9 @@ pub enum SymbolicUbError {
     /// The footprint polynomial in `Δ` has degree 0 or above 2 (the paper
     /// notes degree > 4 is hopeless; we solve up to quadratics exactly).
     UnsolvableDegree(usize),
+    /// Exact-rational exponent arithmetic overflowed `i128` while
+    /// collecting group exponents (pathological inputs only).
+    Overflow,
 }
 
 impl std::fmt::Display for SymbolicUbError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for SymbolicUbError {
             }
             SymbolicUbError::UnsolvableDegree(d) => {
                 write!(f, "footprint polynomial has unsolvable degree {d}")
+            }
+            SymbolicUbError::Overflow => {
+                write!(f, "rational overflow while collecting tile-group exponents")
             }
         }
     }
@@ -88,20 +94,24 @@ fn rewrite_term(
         _ => vec![term.clone()],
     };
     let mut residual: Vec<Expr> = Vec::new();
-    let exp_of = |sym: Symbol, e: Rational, exps: &mut Vec<(Symbol, Rational)>| {
+    let exp_of = |sym: Symbol,
+                  e: Rational,
+                  exps: &mut Vec<(Symbol, Rational)>|
+     -> Result<(), SymbolicUbError> {
         if let Some(entry) = exps.iter_mut().find(|(s, _)| *s == sym) {
-            entry.1 += e;
+            entry.1 = entry.1.try_add(e).ok_or(SymbolicUbError::Overflow)?;
         } else {
             exps.push((sym, e));
         }
+        Ok(())
     };
     let mut exps: Vec<(Symbol, Rational)> = Vec::new();
     let all_group_syms: Vec<Symbol> = groups.iter().flatten().copied().collect();
     for f in factors {
         match f.node() {
-            Node::Sym(s) if all_group_syms.contains(s) => exp_of(*s, Rational::ONE, &mut exps),
+            Node::Sym(s) if all_group_syms.contains(s) => exp_of(*s, Rational::ONE, &mut exps)?,
             Node::Pow(b, e) => match b.as_sym() {
-                Some(s) if all_group_syms.contains(&s) => exp_of(s, *e, &mut exps),
+                Some(s) if all_group_syms.contains(&s) => exp_of(s, *e, &mut exps)?,
                 _ => residual.push(f.clone()),
             },
             _ => residual.push(f.clone()),
@@ -124,7 +134,7 @@ fn rewrite_term(
                 return Err(SymbolicUbError::NotGroupExpressible(term.to_string()));
             }
         }
-        delta_exp += first;
+        delta_exp = delta_exp.try_add(first).ok_or(SymbolicUbError::Overflow)?;
     }
     residual.push(Expr::pow(Expr::symbol(delta), delta_exp));
     Ok(Expr::mul_all(residual))

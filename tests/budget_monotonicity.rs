@@ -1,0 +1,186 @@
+//! Budget monotonicity, randomized: tightening the resource budget may
+//! *degrade* an analysis but must never break it. For SplitMix64-driven
+//! random kernels and random finite step budgets:
+//!
+//! * `analyze` still returns `Ok` with status `exact` or `degraded`
+//!   (never `failed`, never a hang or panic);
+//! * a degraded upper bound is never *below* the exact one (the search
+//!   only shrinks, so the best found can only be worse);
+//! * a degraded lower bound is never *above* the exact one (the scenario
+//!   sweep only shortens, so the max is over fewer terms);
+//! * the sandwich `lb <= ub` holds at every budget.
+
+use std::collections::HashMap;
+
+use ioopt::ir::{AccessKind, ArrayRef, Dim, Kernel};
+use ioopt::polyhedra::{AccessFunction, LinearForm};
+use ioopt::symbolic::{SplitMix64, Symbol};
+use ioopt::{analyze, reset_memo, AnalysisOptions, Budget, Status};
+
+/// The random-kernel shape shared with `random_kernel_soundness`: 3 dims,
+/// an output over a subset of dims, 1–2 inputs with single-dim or window
+/// subscripts.
+#[derive(Debug, Clone)]
+struct RandKernel {
+    out_dims: Vec<usize>,
+    inputs: Vec<Vec<(usize, Option<usize>)>>,
+}
+
+fn random_kernel(rng: &mut SplitMix64) -> RandKernel {
+    let mut out_dims: Vec<usize> = (0..3).filter(|_| rng.chance(0.5)).collect();
+    if out_dims.is_empty() {
+        out_dims.push(rng.range_usize(3));
+    }
+    if out_dims.len() > 2 {
+        out_dims.remove(rng.range_usize(out_dims.len()));
+    }
+    let ninputs = 1 + rng.range_usize(2);
+    let inputs = (0..ninputs)
+        .map(|_| {
+            let nsubs = 1 + rng.range_usize(2);
+            (0..nsubs)
+                .map(|_| {
+                    let d1 = rng.range_usize(3);
+                    let d2 = if rng.chance(0.5) {
+                        Some(rng.range_usize(3))
+                    } else {
+                        None
+                    };
+                    (d1, d2)
+                })
+                .collect()
+        })
+        .collect();
+    RandKernel { out_dims, inputs }
+}
+
+fn build(rk: &RandKernel, id: usize) -> Option<Kernel> {
+    let dims: Vec<Dim> = (0..3)
+        .map(|d| Dim::new(format!("d{d}"), Symbol::new(&format!("Nbm{id}_{d}"))))
+        .collect();
+    let out_access = AccessFunction::new(rk.out_dims.iter().map(|&d| LinearForm::var(d)).collect());
+    let output = ArrayRef::new("O", out_access, AccessKind::Accumulate);
+    let inputs: Vec<ArrayRef> = rk
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(i, subs)| {
+            let forms: Vec<LinearForm> = subs
+                .iter()
+                .map(|&(d1, d2)| match d2 {
+                    Some(d2) if d2 != d1 => LinearForm::sum_of(&[d1, d2]),
+                    _ => LinearForm::var(d1),
+                })
+                .collect();
+            ArrayRef::new(
+                format!("I{i}"),
+                AccessFunction::new(forms),
+                AccessKind::Read,
+            )
+        })
+        .collect();
+    Kernel::new(format!("bm{id}"), dims, output, inputs).ok()
+}
+
+#[test]
+fn finite_budgets_degrade_but_stay_sound() {
+    let mut rng = SplitMix64::new(0xb0d9e7);
+    let sizes: HashMap<String, i64> = HashMap::from([
+        ("d0".to_string(), 6i64),
+        ("d1".to_string(), 5),
+        ("d2".to_string(), 4),
+    ]);
+    let s = 64.0;
+    let mut analyzed = 0usize;
+    let mut degraded_seen = 0usize;
+    for case in 0..10 {
+        let rk = random_kernel(&mut rng);
+        let Some(kernel) = build(&rk, case) else {
+            continue;
+        };
+        reset_memo();
+        let Ok(exact) = analyze(&kernel, &sizes, &AnalysisOptions::with_cache(s)) else {
+            continue; // untilable / infeasible kernels are not the point here
+        };
+        analyzed += 1;
+        assert_eq!(exact.status, Status::Exact, "kernel {rk:?}");
+        assert!(exact.degradations.is_empty(), "kernel {rk:?}");
+
+        // Zero steps (everything degrades), a random tiny budget, and a
+        // random larger one that may or may not suffice.
+        let budgets = [
+            0u64,
+            rng.range_usize(200) as u64,
+            rng.range_usize(20_000) as u64,
+        ];
+        for &steps in &budgets {
+            // Degraded results are never cached, but the *exact* run
+            // above populated the memo caches; start cold so the budget
+            // is actually exercised.
+            reset_memo();
+            let options = AnalysisOptions::with_cache(s).with_budget(Budget::with_limits(
+                None,
+                Some(steps),
+                None,
+            ));
+            let a = analyze(&kernel, &sizes, &options)
+                .unwrap_or_else(|e| panic!("kernel {rk:?} steps={steps}: analyze failed: {e}"));
+
+            // Never `failed`: exhaustion is degradation, not an error.
+            assert!(
+                matches!(a.status, Status::Exact | Status::Degraded),
+                "kernel {rk:?} steps={steps}: status {:?}",
+                a.status
+            );
+            assert_eq!(
+                a.status == Status::Degraded,
+                !a.degradations.is_empty(),
+                "kernel {rk:?} steps={steps}: status/notes disagree: {:?}",
+                a.degradations
+            );
+            if a.status == Status::Degraded {
+                degraded_seen += 1;
+            }
+
+            // Soundness at any budget: the sandwich holds, and the
+            // budgeted bounds are never *tighter* than the exact ones.
+            assert!(
+                a.lb <= a.ub * (1.0 + 1e-9),
+                "kernel {rk:?} steps={steps}: LB {} > UB {}",
+                a.lb,
+                a.ub
+            );
+            assert!(
+                a.ub >= exact.ub * (1.0 - 1e-9),
+                "kernel {rk:?} steps={steps}: degraded UB {} < exact UB {}",
+                a.ub,
+                exact.ub
+            );
+            assert!(
+                a.lb <= exact.lb * (1.0 + 1e-9),
+                "kernel {rk:?} steps={steps}: degraded LB {} > exact LB {}",
+                a.lb,
+                exact.lb
+            );
+
+            // A budget that was never exhausted reproduces the exact run.
+            if a.status == Status::Exact {
+                assert_eq!(
+                    a.lb.to_bits(),
+                    exact.lb.to_bits(),
+                    "kernel {rk:?} steps={steps}"
+                );
+                assert_eq!(
+                    a.ub.to_bits(),
+                    exact.ub.to_bits(),
+                    "kernel {rk:?} steps={steps}"
+                );
+            }
+        }
+    }
+    assert!(analyzed >= 5, "only {analyzed} random kernels analyzed");
+    assert!(
+        degraded_seen >= 5,
+        "only {degraded_seen} degraded runs — budgets too loose to test anything"
+    );
+}

@@ -1,0 +1,147 @@
+//! Fault-injection integration tests (compiled only with the
+//! `fault-inject` feature, which forwards to the core crate and enables
+//! the `IOOPT_FAULT` hook):
+//!
+//! ```text
+//! cargo test -q --features fault-inject --test fault_injection
+//! ```
+//!
+//! A panicking, overflowing, or pathologically slow kernel must never
+//! take down a batch: every other kernel still reports its exact bounds
+//! (byte-identical to the golden snapshots), the faulty kernel becomes a
+//! structured `failed`/`degraded` row, and the report bytes do not
+//! depend on `--jobs`.
+#![cfg(feature = "fault-inject")]
+
+use std::fs;
+use std::path::PathBuf;
+
+use ioopt::{builtin_corpus, run_batch, BatchOptions, Status};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn symbolic_options(jobs: usize) -> BatchOptions {
+    BatchOptions {
+        cache_elems: 32768.0,
+        jobs,
+        memo: true,
+        numeric: false,
+        ..BatchOptions::default()
+    }
+}
+
+/// The scenarios share the process-global `IOOPT_FAULT` variable and the
+/// panic hook, so they run sequentially inside one test function.
+#[test]
+fn injected_faults_are_contained_and_deterministic() {
+    const TARGET: &str = "Yolo9000-8";
+    let corpus = builtin_corpus();
+    assert!(corpus.iter().any(|i| i.label == TARGET));
+
+    // Injected panics are expected here; keep the test output free of
+    // their backtraces (the CLI does the same around `run_batch`).
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // --- panic: one poisoned kernel, 18 healthy ones -------------------
+    std::env::set_var("IOOPT_FAULT", format!("panic:{TARGET}"));
+    let seq = run_batch(&corpus, &symbolic_options(1));
+    let par = run_batch(&corpus, &symbolic_options(4));
+    std::env::remove_var("IOOPT_FAULT");
+
+    assert_eq!(
+        seq.to_json(),
+        par.to_json(),
+        "fault-containing batch must stay --jobs-deterministic"
+    );
+    assert_eq!(seq.rows.len(), 19);
+    assert_eq!(seq.worst_status(), Status::Failed);
+    let failed: Vec<_> = seq
+        .rows
+        .iter()
+        .filter(|r| r.status == Status::Failed)
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly the injected kernel fails");
+    assert_eq!(failed[0].kernel, TARGET);
+    let err = failed[0].error.as_deref().unwrap();
+    assert!(
+        err.starts_with("panic: injected fault"),
+        "structured error row, not a raw unwind: {err}"
+    );
+    // Every healthy row is byte-identical to its golden snapshot: the
+    // contained panic must not perturb any other kernel's analysis.
+    for row in seq.rows.iter().filter(|r| r.kernel != TARGET) {
+        assert_eq!(row.status, Status::Exact, "{}", row.kernel);
+        assert!(row.error.is_none(), "{}: {:?}", row.kernel, row.error);
+        let path = golden_dir().join(format!("{}.json", row.kernel));
+        let want = fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing golden file {}", path.display()));
+        assert_eq!(
+            row.to_json_value().render(),
+            want.trim_end(),
+            "{} drifted from its golden snapshot",
+            row.kernel
+        );
+    }
+
+    // --- overflow: the historical Rational panic, contained ------------
+    std::env::set_var("IOOPT_FAULT", format!("overflow:{TARGET}"));
+    let report = run_batch(&corpus, &symbolic_options(1));
+    std::env::remove_var("IOOPT_FAULT");
+    std::panic::set_hook(quiet);
+
+    assert_eq!(report.worst_status(), Status::Failed);
+    let bad = report.rows.iter().find(|r| r.kernel == TARGET).unwrap();
+    assert_eq!(bad.status, Status::Failed);
+    assert!(
+        bad.error.as_deref().unwrap().contains("rational overflow"),
+        "{:?}",
+        bad.error
+    );
+    assert_eq!(
+        report
+            .rows
+            .iter()
+            .filter(|r| r.status == Status::Exact)
+            .count(),
+        18
+    );
+
+    // --- slow + deadline: hung kernel degrades, the rest stay exact ----
+    // The injected kernel sleeps in 1 ms budget-checked slices far past
+    // the row deadline, so it wakes up with a spent budget and degrades;
+    // the healthy rows (warm caches, small TCCG contractions) finish well
+    // inside the same deadline.
+    let items: Vec<_> = corpus
+        .iter()
+        .filter(|i| !i.label.starts_with("Yolo"))
+        .take(3)
+        .cloned()
+        .collect();
+    let slow_target = items[0].label.clone();
+    std::env::set_var("IOOPT_FAULT", format!("slow:60000:{slow_target}"));
+    let options = BatchOptions {
+        timeout_ms: Some(3_000),
+        ..symbolic_options(1)
+    };
+    let report = run_batch(&items, &options);
+    std::env::remove_var("IOOPT_FAULT");
+
+    assert_eq!(report.worst_status(), Status::Degraded);
+    for row in &report.rows {
+        assert!(row.error.is_none(), "{}: {:?}", row.kernel, row.error);
+        if row.kernel == slow_target {
+            assert_eq!(row.status, Status::Degraded, "{}", row.kernel);
+            let note = row.note.as_deref().unwrap();
+            assert!(note.contains("degraded"), "{note}");
+            // The degraded row still reports a (trivial but sound) LB.
+            assert!(row.lb_symbolic.is_some(), "{}", row.kernel);
+        } else {
+            assert_eq!(row.status, Status::Exact, "{}", row.kernel);
+        }
+    }
+}

@@ -37,6 +37,7 @@ fn snapshot_options() -> BatchOptions {
         jobs: 1,
         memo: true,
         numeric: false,
+        ..BatchOptions::default()
     }
 }
 
