@@ -44,6 +44,31 @@ if [ "$(nproc)" -ge 4 ]; then
   }
 fi
 
+echo "==> observability: --profile/--trace-json must not perturb the report"
+./target/release/ioopt batch builtin:all --jobs 4 --json --profile \
+  --trace-json /tmp/ioopt_trace.json >/tmp/ioopt_batch_prof.json 2>/tmp/ioopt_prof.err
+# The per-row surface must be byte-identical to the unprofiled run; the
+# profile block is additive, so strip it before comparing.
+python3 - <<'EOF'
+import json
+plain = json.load(open("/tmp/ioopt_batch_j4.json"))
+prof = json.load(open("/tmp/ioopt_batch_prof.json"))
+assert "profile" in prof, "--profile did not embed a profile block in --json"
+prof.pop("profile")
+assert plain == prof, "--profile perturbed the per-row report"
+trace = json.load(open("/tmp/ioopt_trace.json"))
+events = trace["traceEvents"]
+assert events, "empty Chrome trace"
+kernels = {e["args"]["arg"] for e in events if e["name"] == "batch.kernel"}
+assert len(kernels) == 19, f"expected 19 kernel spans, got {len(kernels)}"
+stages = {e["name"] for e in events}
+assert {"iolb.symbolic", "tileopt.optimize"} <= stages, f"missing stage spans: {stages}"
+EOF
+grep -q '^metrics: ' /tmp/ioopt_prof.err || {
+  echo "FAIL: --profile printed no metrics line on stderr"
+  exit 1
+}
+
 # The fault-injection legs rebuild the ioopt binary with the
 # `fault-inject` feature, so they run after every leg that uses the
 # stock release binary.

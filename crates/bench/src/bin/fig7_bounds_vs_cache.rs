@@ -72,16 +72,22 @@ fn main() {
         summaries.push((name.clone(), worst_ratio, last_ratio));
     }
 
-    eprintln!("\n== Fig. 7 sanity summary ==");
+    // One atomic stderr block: the CSV on stdout stays uncorrupted even
+    // when the harness runs several bench bins concurrently.
+    let mut summary = String::from("\n== Fig. 7 sanity summary ==\n");
     for (name, worst, last) in &summaries {
-        eprintln!("{name:24} worst UB/LB = {worst:.3}   at largest S = {last:.3}");
+        summary.push_str(&format!(
+            "{name:24} worst UB/LB = {worst:.3}   at largest S = {last:.3}\n"
+        ));
     }
     if violations.is_empty() {
-        eprintln!("PASS: UB >= LB everywhere; both non-increasing in S.");
+        summary.push_str("PASS: UB >= LB everywhere; both non-increasing in S.");
+        ioopt::obs::log_block(&summary);
     } else {
         for v in &violations {
-            eprintln!("VIOLATION: {v}");
+            summary.push_str(&format!("VIOLATION: {v}\n"));
         }
+        ioopt::obs::log_block(&summary);
         std::process::exit(1);
     }
 }

@@ -33,7 +33,7 @@ fn main() {
         let a = match analyze(kernel, sizes, &AnalysisOptions::with_cache(s)) {
             Ok(a) => a,
             Err(e) => {
-                eprintln!("{name}: {e}");
+                ioopt::obs::log_block(&format!("{name}: {e}"));
                 continue;
             }
         };

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use ioopt_codegen::TiledCode;
-use ioopt_engine::{Budget, Status};
+use ioopt_engine::{obs, Budget, Status};
 use ioopt_iolb::{
     default_scenarios, lower_bound, lower_bound_governed, LbOptions, LowerBoundReport,
 };
@@ -211,14 +211,17 @@ pub fn analyze(
     // attached to the result for the caller to surface. The certificate
     // pass is skipped because `analyze` itself checks lb ≤ ub at the
     // concrete sizes.
-    let diagnostics = ioopt_verify::verify(
-        kernel,
-        &VerifyOptions {
-            sizes: Some(sizes.clone()),
-            certificate: false,
-            ..VerifyOptions::default()
-        },
-    );
+    let diagnostics = {
+        let _span = obs::span("verify.preflight");
+        ioopt_verify::verify(
+            kernel,
+            &VerifyOptions {
+                sizes: Some(sizes.clone()),
+                certificate: false,
+                ..VerifyOptions::default()
+            },
+        )
+    };
     if let Some(d) = diagnostics
         .diagnostics
         .iter()
@@ -230,15 +233,18 @@ pub fn analyze(
         .scenarios
         .clone()
         .unwrap_or_else(|| default_scenarios(kernel));
-    let lower = lower_bound_governed(
-        kernel,
-        &LbOptions {
-            detect_reductions: true,
-            scenarios,
-        },
-        &options.budget,
-    )
-    .map_err(|e| AnalyzeError::LowerBound(e.to_string()))?;
+    let lower = {
+        let _span = obs::span("iolb.lower_bound");
+        lower_bound_governed(
+            kernel,
+            &LbOptions {
+                detect_reductions: true,
+                scenarios,
+            },
+            &options.budget,
+        )
+        .map_err(|e| AnalyzeError::LowerBound(e.to_string()))?
+    };
     let mut env = kernel.bind_sizes(sizes);
     env.insert(Symbol::new("S"), options.cache_elems);
     let lb = lower
@@ -248,17 +254,22 @@ pub fn analyze(
 
     let mut tileopt_config = options.tileopt;
     tileopt_config.threads = options.threads.max(1);
-    let recommendation = optimize_governed(
-        kernel,
-        sizes,
-        &SmallDimOracle,
-        &tileopt_config,
-        &options.budget,
-    )?;
+    let recommendation = {
+        let _span = obs::span("tileopt.optimize");
+        optimize_governed(
+            kernel,
+            sizes,
+            &SmallDimOracle,
+            &tileopt_config,
+            &options.budget,
+        )?
+    };
     let ub = recommendation.io;
-    let tiled_code =
+    let tiled_code = {
+        let _span = obs::span("codegen.tile");
         TiledCode::from_integer_tiles(kernel, &recommendation.perm, &recommendation.tiles, sizes)
-            .to_c();
+            .to_c()
+    };
     let flops = 2.0
         * kernel
             .arith_complexity()

@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use ioopt_engine::{par_map, Budget, Json, Status};
+use ioopt_engine::{obs, par_map, Budget, Json, Status};
 use ioopt_ir::{kernels, Kernel};
 use ioopt_symbolic::Symbol;
 use ioopt_tileopt::{symbolic_conv_ub, symbolic_tc_ub};
@@ -54,9 +54,11 @@ pub struct BatchOptions {
     /// deterministic across runs and `--jobs` values.
     pub max_steps: Option<u64>,
     /// Stop scheduling new kernels after the first failed row
-    /// (`--fail-fast`). Skipped rows are reported as failed with a
-    /// `skipped:` error. Which later rows were already in flight depends
-    /// on timing, so fail-fast reports are *not* `--jobs`-deterministic.
+    /// (`--fail-fast`). The report commits to the *lowest-input-index*
+    /// genuine failure: every row after it is reported as failed with a
+    /// `skipped:` error, even if it was already in flight and completed,
+    /// so fail-fast reports are `--jobs`-deterministic like everything
+    /// else.
     pub fail_fast: bool,
 }
 
@@ -285,7 +287,7 @@ pub fn builtin_corpus() -> Vec<BatchItem> {
 pub fn run_batch(items: &[BatchItem], options: &BatchOptions) -> BatchReport {
     set_memo_enabled(options.memo);
     let abort = AtomicBool::new(false);
-    let rows = par_map(options.jobs, items, |_, item| {
+    let mut rows = par_map(options.jobs, items, |_, item| {
         if options.fail_fast && abort.load(Ordering::SeqCst) {
             return skipped_row(item);
         }
@@ -295,6 +297,24 @@ pub fn run_batch(items: &[BatchItem], options: &BatchOptions) -> BatchReport {
         }
         row
     });
+    if options.fail_fast {
+        // Commit to the lowest-input-index genuine failure. Workers claim
+        // indices in strictly increasing order, so a row can only have
+        // been skipped by the abort flag if a *lower*-index row genuinely
+        // failed first — hence every row before the minimum-index genuine
+        // failure was computed normally on every run, and the minimum
+        // itself is timing-invariant. Uniformly skipping everything after
+        // it (even rows that happened to finish) makes the report
+        // identical for every `jobs` value.
+        let first_failure = rows.iter().position(|r| {
+            r.status == Status::Failed && !r.error.as_deref().unwrap_or("").starts_with("skipped:")
+        });
+        if let Some(first) = first_failure {
+            for (item, row) in items.iter().zip(rows.iter_mut()).skip(first + 1) {
+                *row = skipped_row(item);
+            }
+        }
+    }
     BatchReport {
         cache_elems: options.cache_elems,
         rows,
@@ -352,7 +372,9 @@ fn contained_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
 
 fn row_budget(options: &BatchOptions) -> Budget {
     if options.timeout_ms.is_none() && options.max_steps.is_none() {
-        return Budget::unlimited();
+        // No limits requested, but count anyway: the step totals feed the
+        // profiling registry, and a counting budget still never exhausts.
+        return Budget::counting();
     }
     Budget::with_limits(
         options.timeout_ms.map(Duration::from_millis),
@@ -362,15 +384,27 @@ fn row_budget(options: &BatchOptions) -> Budget {
 }
 
 fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
-    let kernel = &item.kernel;
     // One budget per row: a slow kernel exhausts only its own allowance.
     // Entering it makes the deadline ambient for the symbolic stages too.
     let budget = row_budget(options);
     let _scope = budget.enter();
+    let _span = obs::span_arg("batch.kernel", item.label.clone());
     #[cfg(any(test, feature = "fault-inject"))]
     inject_fault(&item.label, &budget);
+    let row = analyze_row_stages(item, options);
+    obs::add(obs::Metric::BudgetSteps, budget.steps_used());
+    row
+}
+
+fn analyze_row_stages(item: &BatchItem, options: &BatchOptions) -> BatchRow {
+    let kernel = &item.kernel;
+    let budget = Budget::ambient();
     let mut row = blank_row(item);
-    match symbolic_lb(kernel) {
+    let symbolic = {
+        let _span = obs::span("iolb.symbolic");
+        symbolic_lb(kernel)
+    };
+    match symbolic {
         Ok(lb) => {
             row.lb_symbolic = Some(lb.combined.to_string());
             if lb.degraded {
@@ -384,9 +418,12 @@ fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
             return row;
         }
     }
-    row.ub_symbolic = symbolic_tc_ub(kernel)
-        .or_else(|| symbolic_conv_ub(kernel, &item.sizes, options.cache_elems))
-        .map(|ub| ub.bound.to_string());
+    row.ub_symbolic = {
+        let _span = obs::span("ioub.closed_form");
+        symbolic_tc_ub(kernel)
+            .or_else(|| symbolic_conv_ub(kernel, &item.sizes, options.cache_elems))
+            .map(|ub| ub.bound.to_string())
+    };
     if !options.numeric {
         return row;
     }
@@ -624,6 +661,78 @@ mod tests {
             },
         );
         assert_eq!(report.rows[1].status, Status::Exact);
+    }
+
+    #[test]
+    fn fail_fast_reports_are_jobs_deterministic() {
+        // Regression: fail-fast used to report whichever rows happened to
+        // be in flight when the abort flag flipped, so `--jobs` changed
+        // the report. The fix commits to the lowest-input-index genuine
+        // failure and uniformly skips everything after it.
+        let bad = ioopt_ir::parse_kernel(
+            "kernel seidel { loop t : T; loop i : N; A[i] += A[i+1] * A[i]; }",
+        )
+        .unwrap();
+        let bad_sizes: HashMap<String, i64> = [("t", 4i64), ("i", 16)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let ok_sizes: HashMap<String, i64> = [("i", 32i64), ("j", 32), ("k", 32)]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        // The failure sits mid-corpus so later rows genuinely race it.
+        let mut items: Vec<BatchItem> = (0..3)
+            .map(|i| BatchItem {
+                label: format!("ok{i}"),
+                kernel: kernels::matmul(),
+                sizes: ok_sizes.clone(),
+            })
+            .collect();
+        items.push(BatchItem {
+            label: "bad".to_string(),
+            kernel: bad,
+            sizes: bad_sizes,
+        });
+        items.extend((3..8).map(|i| BatchItem {
+            label: format!("ok{i}"),
+            kernel: kernels::matmul(),
+            sizes: ok_sizes.clone(),
+        }));
+        let options = BatchOptions {
+            fail_fast: true,
+            ..BatchOptions::default()
+        };
+        let seq = run_batch(&items, &options);
+        // Rows before the failure computed, the failure itself reported,
+        // every row after it skipped.
+        for row in &seq.rows[..3] {
+            assert_eq!(row.status, Status::Exact, "{}", row.kernel);
+        }
+        assert_eq!(seq.rows[3].status, Status::Failed);
+        assert!(!seq.rows[3]
+            .error
+            .as_deref()
+            .unwrap()
+            .starts_with("skipped:"));
+        for row in &seq.rows[4..] {
+            assert_eq!(row.status, Status::Failed, "{}", row.kernel);
+            assert!(
+                row.error.as_deref().unwrap().starts_with("skipped:"),
+                "{}",
+                row.kernel
+            );
+        }
+        for jobs in [2, 4, 8] {
+            let par = run_batch(
+                &items,
+                &BatchOptions {
+                    jobs,
+                    ..options.clone()
+                },
+            );
+            assert_eq!(seq.to_json(), par.to_json(), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   --timeout-ms N        (batch) per-kernel wall-clock budget; rows degrade
 //!   --max-steps N         (batch) per-kernel analysis step budget
 //!   --fail-fast           (batch) stop scheduling kernels after a failure
+//!   --profile             (batch) per-kernel/per-stage breakdown on stderr
+//!                         (and a `profile` block in the --json report)
+//!   --trace-json PATH     (batch) write a Chrome-trace JSON of the run
 //! ```
 //!
 //! `batch` exit codes: 0 when every row is exact, 2 when any row is
@@ -39,9 +42,10 @@ use std::time::Instant;
 use ioopt::ir::{kernels, parse_kernel, Kernel};
 use ioopt::verify::{verify, VerifyOptions};
 use ioopt::{
-    analyze, builtin_corpus, memo_stats, render_text, run_batch, symbolic_lb, symbolic_tc_ub,
+    analyze, builtin_corpus, memo_stats, obs, render_text, run_batch, symbolic_lb, symbolic_tc_ub,
     AnalysisOptions, BatchItem, BatchOptions,
 };
+use ioopt_engine::obs_log;
 
 fn builtin(name: &str) -> Option<Kernel> {
     match name {
@@ -69,7 +73,7 @@ fn usage() -> &'static str {
      \u{20}      ioopt check <file.k | builtin:NAME> [--sizes a=V,...] [--deny warnings] [--json]\n\
      \u{20}      ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]\n\
      \u{20}                  [--symbolic-only] [--no-memo] [--timeout-ms N] [--max-steps N]\n\
-     \u{20}                  [--fail-fast]\n\
+     \u{20}                  [--fail-fast] [--profile] [--trace-json PATH]\n\
      try:   ioopt --list-builtins"
 }
 
@@ -271,6 +275,8 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
         ..BatchOptions::default()
     };
     let mut json = false;
+    let mut profile = false;
+    let mut trace_json: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -312,6 +318,10 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
                 );
             }
             "--fail-fast" => options.fail_fast = true,
+            "--profile" => profile = true,
+            "--trace-json" => {
+                trace_json = Some(it.next().ok_or("--trace-json needs a path")?);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
@@ -327,34 +337,62 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
     for input in &inputs {
         items.extend(batch_items(input, sizes_arg.as_deref())?);
     }
+    // Span collection only runs when asked for; metric counters are
+    // always on (they are wait-free) but zeroed here so the report
+    // reflects this batch alone.
+    obs::reset_metrics();
+    let trace = (profile || trace_json.is_some()).then(ioopt_engine::Trace::new);
     let start = Instant::now();
     // Panics inside the batch are contained into structured `failed`
     // rows; silence the default hook so no raw backtrace interleaves
     // with the report, then restore it for the rest of the process.
     let prev_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
-    let report = run_batch(&items, &options);
+    let report = {
+        let _obs = trace.as_ref().map(|t| t.attach());
+        run_batch(&items, &options)
+    };
     std::panic::set_hook(prev_hook);
     let elapsed = start.elapsed();
+    let records = trace.as_ref().map(|t| t.records()).unwrap_or_default();
     if json {
-        println!("{}", report.to_json());
+        // The optional `profile` block rides along in the shared schema;
+        // consumers comparing reports across runs should strip it (its
+        // timings and cache counters are not `--jobs`-deterministic).
+        let mut value = report.to_json_value();
+        if profile {
+            if let ioopt::Json::Object(pairs) = &mut value {
+                pairs.push(("profile".to_string(), obs::profile_json(&records)));
+            }
+        }
+        println!("{}", value.render());
     } else {
         print!("{}", report.to_markdown());
     }
+    if let Some(path) = &trace_json {
+        let chrome = trace
+            .as_ref()
+            .expect("trace collected when --trace-json is set")
+            .to_chrome_json();
+        std::fs::write(path, chrome.render())
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        obs_log!("trace: {} span(s) written to {path}", records.len());
+    }
+    if profile {
+        obs::log_block(&obs::render_profile_table(&records));
+    }
     let stats = memo_stats();
-    eprintln!(
-        "batch: {} kernel(s), jobs={}, wall-clock {:.2}s",
+    obs::log_block(&format!(
+        "batch: {} kernel(s), jobs={}, wall-clock {:.2}s\n\
+         cache: {} hits, {} misses, {} entries ({:.1}% hit ratio)",
         report.rows.len(),
         options.jobs,
-        elapsed.as_secs_f64()
-    );
-    eprintln!(
-        "cache: {} hits, {} misses, {} entries ({:.1}% hit ratio)",
+        elapsed.as_secs_f64(),
         stats.hits,
         stats.misses,
         stats.entries,
         stats.hit_ratio() * 100.0
-    );
+    ));
     // Exit codes: 0 all rows exact, 2 any row degraded or failed (the
     // report still printed in full), 1 usage error (via `main`).
     match report.worst_status() {
@@ -370,7 +408,7 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
                 .iter()
                 .filter(|r| r.status == ioopt::Status::Degraded)
                 .count();
-            eprintln!("batch: {failed} kernel(s) failed, {degraded} degraded ({worst:?})");
+            obs_log!("batch: {failed} kernel(s) failed, {degraded} degraded ({worst:?})");
             Ok(ExitCode::from(2))
         }
     }
@@ -457,9 +495,16 @@ fn run() -> Result<ExitCode, String> {
     let analysis =
         analyze(&kernel, &sizes, &AnalysisOptions::with_cache(cache)).map_err(|e| e.to_string())?;
     // Surface pre-flight warnings next to the report (hard errors have
-    // already aborted inside `analyze`).
-    for d in &analysis.diagnostics.diagnostics {
-        eprintln!("{}", d.headline());
+    // already aborted inside `analyze`). One atomic block keeps the
+    // headlines contiguous even if other threads log concurrently.
+    if !analysis.diagnostics.diagnostics.is_empty() {
+        let headlines: Vec<String> = analysis
+            .diagnostics
+            .diagnostics
+            .iter()
+            .map(|d| d.headline())
+            .collect();
+        obs::log_block(&headlines.join("\n"));
     }
     print!("{}", render_text(&analysis));
     Ok(ExitCode::SUCCESS)
@@ -469,7 +514,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs_log!("error: {e}");
             ExitCode::FAILURE
         }
     }

@@ -53,7 +53,7 @@ pub use batch::{
 pub use report::{csv_header, csv_row, render_text};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 
-pub use ioopt_engine::{Budget, Exhaustion, Status};
+pub use ioopt_engine::{obs, Budget, Exhaustion, Json, Status, Trace};
 
 pub use ioopt_cachesim as cachesim;
 pub use ioopt_cdag as cdag;

@@ -203,6 +203,16 @@ impl Budget {
         }
     }
 
+    /// A budget that counts steps and memory but never exhausts: no
+    /// deadline, no step cap, no memory cap — same as
+    /// `with_limits(None, None, None)`. Use instead of
+    /// [`Budget::unlimited`] when the step counter should feed the
+    /// observability layer (see [`crate::obs::Metric::BudgetSteps`])
+    /// even though no limit was requested.
+    pub fn counting() -> Budget {
+        Budget::with_limits(None, None, None)
+    }
+
     /// Whether this budget can ever be exhausted (false for the
     /// unlimited default).
     pub fn is_limited(&self) -> bool {
@@ -343,7 +353,10 @@ impl Budget {
             .state
             .compare_exchange(0, cause.code(), Ordering::Relaxed, Ordering::Relaxed)
         {
-            Ok(_) => cause,
+            Ok(_) => {
+                crate::obs::add(crate::obs::Metric::BudgetExhaustions, 1);
+                cause
+            }
             Err(prev) => Exhaustion::from_code(prev).unwrap_or(cause),
         }
     }

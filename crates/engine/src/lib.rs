@@ -26,9 +26,11 @@
 pub mod govern;
 pub mod json;
 mod memo;
+pub mod obs;
 mod pool;
 
 pub use govern::{AmbientGuard, Budget, Exhaustion, Status};
 pub use json::Json;
 pub use memo::{CacheStats, MemoCache, StableHasher};
+pub use obs::Trace;
 pub use pool::{available_threads, par_map};

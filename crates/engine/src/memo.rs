@@ -86,6 +86,15 @@ impl CacheStats {
 
 const SHARDS: usize = 16;
 
+/// Routes a 64-bit hash to a shard by folding the high half into the low
+/// half before the modulo. FNV-1a mixes most of its entropy into the
+/// high bits for short keys; plain `hash as usize % SHARDS` would use
+/// only the low bits (and on a 32-bit target `as usize` discards the
+/// high word entirely), clustering short keys onto few shards.
+fn shard_index(hash: u64) -> usize {
+    (((hash >> 32) ^ hash) as usize) % SHARDS
+}
+
 /// One shard: hash-routed buckets of `(full key bytes, value)` entries.
 /// The hash only routes; key-byte equality decides hits, so FNV
 /// collisions cost a scan, never a wrong answer.
@@ -143,17 +152,19 @@ impl<V: Clone> MemoCache<V> {
         let mut h = StableHasher::new();
         h.write(key);
         let hash = h.finish();
-        let shard = &self.shards[(hash as usize) % SHARDS];
+        let shard = &self.shards[shard_index(hash)];
         {
             let guard = shard.lock().expect("memo shard poisoned");
             if let Some(bucket) = guard.get(&hash) {
                 if let Some((_, v)) = bucket.iter().find(|(k, _)| k == key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::add(crate::obs::Metric::MemoHits, 1);
                     return v.clone();
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::add(crate::obs::Metric::MemoMisses, 1);
         let value = compute();
         let mut guard = shard.lock().expect("memo shard poisoned");
         let bucket = guard.entry(hash).or_default();
@@ -178,15 +189,17 @@ impl<V: Clone> MemoCache<V> {
         let mut h = StableHasher::new();
         h.write(key);
         let hash = h.finish();
-        let shard = &self.shards[(hash as usize) % SHARDS];
+        let shard = &self.shards[shard_index(hash)];
         let guard = shard.lock().expect("memo shard poisoned");
         if let Some(bucket) = guard.get(&hash) {
             if let Some((_, v)) = bucket.iter().find(|(k, _)| k == key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::obs::add(crate::obs::Metric::MemoHits, 1);
                 return Some(v.clone());
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::add(crate::obs::Metric::MemoMisses, 1);
         None
     }
 
@@ -199,7 +212,7 @@ impl<V: Clone> MemoCache<V> {
         let mut h = StableHasher::new();
         h.write(key);
         let hash = h.finish();
-        let shard = &self.shards[(hash as usize) % SHARDS];
+        let shard = &self.shards[shard_index(hash)];
         let mut guard = shard.lock().expect("memo shard poisoned");
         let bucket = guard.entry(hash).or_default();
         if !bucket.iter().any(|(k, _)| k == key) {
@@ -318,6 +331,30 @@ mod tests {
         cache.insert(b"x", 1);
         cache.set_enabled(true);
         assert_eq!(cache.get(b"x"), None, "disabled insert stored nothing");
+    }
+
+    #[test]
+    fn shard_routing_folds_the_high_bits() {
+        // Regression: routing used `hash as usize % SHARDS`, which takes
+        // only the low bits — and on a 32-bit usize discards the high
+        // word of the FNV hash entirely. Two hashes differing only in
+        // the high word must land on different shards after folding.
+        assert_ne!(shard_index(0x0000_0001_0000_0000), shard_index(0));
+        assert_ne!(
+            shard_index(0xdead_beef_0000_0000),
+            shard_index(0x0000_0000_0000_0000)
+        );
+        // And folding must still cover every shard reachably: short FNV
+        // keys spread across strictly more shards than the un-folded
+        // low-bits-only routing would give them.
+        let mut used = [false; SHARDS];
+        for i in 0..256u32 {
+            let mut h = StableHasher::new();
+            h.write(&i.to_le_bytes());
+            used[shard_index(h.finish())] = true;
+        }
+        let covered = used.iter().filter(|&&u| u).count();
+        assert_eq!(covered, SHARDS, "256 short keys must reach all shards");
     }
 
     #[test]

@@ -1,0 +1,839 @@
+//! Observability: hierarchical spans, a process-wide metrics registry,
+//! and an atomic stderr formatter.
+//!
+//! The pipeline spans six stages (parse → verify → IOLB → IOUB →
+//! TileOpt → report) across worker threads, a memo cache, and a resource
+//! governor; this module is the one place their timings and counters
+//! meet.
+//!
+//! # Spans
+//!
+//! A [`span`] is a lightweight scope guard recording wall-time, the
+//! steps consumed on the ambient [`Budget`] while it was open, and the
+//! thread it ran on. Spans are collected into a [`Trace`] installed as a
+//! thread-local ambient ([`Trace::attach`]); [`crate::par_map`]
+//! re-installs the spawning thread's context inside its workers, so
+//! spans opened in a fan-out nest under the span that launched it. When
+//! no trace is attached a span is a no-op guard — two thread-local reads
+//! — so instrumented code costs nearly nothing in un-profiled runs and
+//! the recorded trace never feeds back into any analysis result.
+//!
+//! Opening or closing a span also runs [`Budget::checkpoint`] on the
+//! ambient budget. This is a correctness hook, not just telemetry: the
+//! per-step governor only consults the wall clock every few dozen steps,
+//! so one slow step (a large Fourier–Motzkin projection, say) can
+//! overshoot a deadline by seconds. Stage boundaries force the check, so
+//! the overshoot is bounded by one stage, and the sticky exhaustion then
+//! degrades the remaining stages promptly.
+//!
+//! # Metrics
+//!
+//! [`Metric`] is the registry of process-wide counters that were
+//! previously siloed per crate: memo hits/misses, budget steps and
+//! exhaustions, permutations pruned, grid points evaluated, FM
+//! projections. Counters are plain relaxed atomics — increments are
+//! wait-free and never affect analysis output. [`metrics_snapshot`]
+//! reads them all for a report.
+//!
+//! # Logging
+//!
+//! [`log_block`] writes a whole block to stderr as a single `write_all`
+//! behind one process-wide lock, so concurrent worker threads can never
+//! interleave partial lines into each other (or into a `--json` stdout
+//! stream being piped elsewhere). The [`crate::obs_log!`] macro is the
+//! `eprintln!`-shaped front end.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::govern::Budget;
+use crate::json::Json;
+
+// ---------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------
+
+/// The unified registry of process-wide pipeline counters.
+///
+/// Each variant is one counter with a stable dotted wire name
+/// ([`Metric::name`]). Counters only ever accumulate; [`reset_metrics`]
+/// zeroes them between batch runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Memo-cache lookups answered from any [`crate::MemoCache`].
+    MemoHits,
+    /// Memo-cache lookups that had to compute.
+    MemoMisses,
+    /// Steps consumed by row [`Budget`]s (recorded per analysis).
+    BudgetSteps,
+    /// Budgets that hit a limit (deadline, steps, memory, or cancel).
+    BudgetExhaustions,
+    /// Algorithm 1 branches skipped because a dominating reuse set
+    /// exists (paper §4.3 pruning).
+    PermsPruned,
+    /// Inter-tile permutations returned by Algorithm 1 selections.
+    PermsSelected,
+    /// Integer grid points visited by the tile-size search.
+    GridPoints,
+    /// Fourier–Motzkin projection steps (one per eliminated variable).
+    FmProjections,
+}
+
+const METRIC_COUNT: usize = 8;
+
+impl Metric {
+    /// Every metric, in registry (display) order.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::MemoHits,
+        Metric::MemoMisses,
+        Metric::BudgetSteps,
+        Metric::BudgetExhaustions,
+        Metric::PermsPruned,
+        Metric::PermsSelected,
+        Metric::GridPoints,
+        Metric::FmProjections,
+    ];
+
+    /// The stable dotted wire name (used in reports and the JSON
+    /// `profile` block).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::MemoHits => "memo.hits",
+            Metric::MemoMisses => "memo.misses",
+            Metric::BudgetSteps => "budget.steps",
+            Metric::BudgetExhaustions => "budget.exhaustions",
+            Metric::PermsPruned => "perm.pruned",
+            Metric::PermsSelected => "perm.selected",
+            Metric::GridPoints => "grid.points",
+            Metric::FmProjections => "fm.projections",
+        }
+    }
+}
+
+static COUNTERS: [AtomicU64; METRIC_COUNT] = [const { AtomicU64::new(0) }; METRIC_COUNT];
+
+/// Adds `n` to a metric's process-wide counter (wait-free; a no-op when
+/// `n == 0`).
+#[inline]
+pub fn add(metric: Metric, n: u64) {
+    if n != 0 {
+        COUNTERS[metric as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// The current value of one metric.
+pub fn value(metric: Metric) -> u64 {
+    COUNTERS[metric as usize].load(Ordering::Relaxed)
+}
+
+/// `(wire name, value)` for every registered metric, in registry order.
+pub fn metrics_snapshot() -> Vec<(&'static str, u64)> {
+    Metric::ALL.iter().map(|&m| (m.name(), value(m))).collect()
+}
+
+/// Zeroes every metric counter (e.g. at the start of a batch run so the
+/// report reflects that run alone).
+pub fn reset_metrics() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One `name=value` line over every metric, for the profile footer.
+pub fn render_metrics_line() -> String {
+    let mut out = String::from("metrics:");
+    for (name, v) in metrics_snapshot() {
+        out.push_str(&format!(" {name}={v}"));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Spans and traces
+// ---------------------------------------------------------------------
+
+/// One completed span, as collected by a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the trace (1-based; ids increase in open order).
+    pub id: u64,
+    /// The id of the enclosing span, or 0 for a top-level span.
+    pub parent: u64,
+    /// The span name (dotted taxonomy, e.g. `iolb.scenario_sweep`).
+    pub name: &'static str,
+    /// Optional free-form argument (the batch row spans carry the kernel
+    /// label here).
+    pub arg: Option<String>,
+    /// Trace-local thread id (assigned per attached thread, 0-based).
+    pub tid: u64,
+    /// Microseconds from the trace epoch to span open.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Steps consumed on the ambient [`Budget`] while the span was open
+    /// (shared across every thread of the same row budget).
+    pub steps: u64,
+}
+
+#[derive(Debug)]
+struct TraceShared {
+    epoch: Instant,
+    records: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicU64,
+    next_tid: AtomicU64,
+}
+
+/// A collector of hierarchical [`SpanRecord`]s for one profiled run.
+///
+/// Clones share the same buffer. Install with [`Trace::attach`]; every
+/// [`span`] opened while attached (on this thread or any [`crate::par_map`]
+/// worker it spawns) is recorded on drop.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_engine::obs::{self, Trace};
+///
+/// let trace = Trace::new();
+/// {
+///     let _t = trace.attach();
+///     let _outer = obs::span("stage.outer");
+///     let _inner = obs::span("stage.inner");
+/// }
+/// let records = trace.records();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].name, "stage.outer");
+/// assert_eq!(records[1].parent, records[0].id);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    shared: Arc<TraceShared>,
+}
+
+struct TlCtx {
+    shared: Arc<TraceShared>,
+    current: u64,
+    tid: u64,
+}
+
+thread_local! {
+    static TL: RefCell<Option<TlCtx>> = const { RefCell::new(None) };
+}
+
+impl Trace {
+    /// A fresh, empty trace; its epoch (the zero of every
+    /// [`SpanRecord::start_us`]) is now.
+    pub fn new() -> Trace {
+        Trace {
+            shared: Arc::new(TraceShared {
+                epoch: Instant::now(),
+                records: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(1),
+                next_tid: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Installs this trace as the current thread's ambient collector for
+    /// the lifetime of the returned guard (the previous ambient trace is
+    /// restored on drop). The thread gets a fresh trace-local tid.
+    pub fn attach(&self) -> ObsGuard {
+        let ctx = TlCtx {
+            shared: self.shared.clone(),
+            current: 0,
+            tid: self.shared.next_tid.fetch_add(1, Ordering::Relaxed),
+        };
+        ObsGuard {
+            previous: TL.with(|tl| tl.borrow_mut().replace(ctx)),
+        }
+    }
+
+    /// Every completed span so far, sorted by id (open order).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut records = self
+            .shared
+            .records
+            .lock()
+            .expect("obs trace poisoned")
+            .clone();
+        records.sort_by_key(|r| r.id);
+        records
+    }
+
+    /// The trace in the Chrome trace-event format (`chrome://tracing`,
+    /// Perfetto): one complete (`"ph":"X"`) event per span, timestamps
+    /// in microseconds from the trace epoch.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut records = self.records();
+        records.sort_by_key(|r| (r.start_us, r.id));
+        let events: Vec<Json> = records
+            .iter()
+            .map(|r| {
+                let mut args = vec![("steps".to_string(), Json::Int(r.steps as i64))];
+                if let Some(a) = &r.arg {
+                    args.push(("arg".to_string(), Json::str(a.clone())));
+                }
+                Json::obj([
+                    ("name", Json::str(r.name)),
+                    ("cat", Json::str("ioopt")),
+                    ("ph", Json::str("X")),
+                    ("pid", Json::Int(1)),
+                    ("tid", Json::Int(r.tid as i64)),
+                    ("ts", Json::Int(r.start_us as i64)),
+                    ("dur", Json::Int(r.dur_us as i64)),
+                    ("args", Json::Object(args)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("traceEvents", Json::Array(events)),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::new()
+    }
+}
+
+/// Guard returned by [`Trace::attach`] / [`ObsContext::attach`];
+/// restores the previously ambient tracing context when dropped.
+#[derive(Debug)]
+pub struct ObsGuard {
+    previous: Option<TlCtx>,
+}
+
+impl std::fmt::Debug for TlCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlCtx")
+            .field("current", &self.current)
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        TL.with(|tl| {
+            *tl.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// A snapshot of the calling thread's tracing context (the trace and the
+/// currently open span), for re-installation inside worker threads.
+/// [`crate::par_map`] captures one and attaches it in every worker, so
+/// spans opened in a fan-out nest under the span that launched it.
+#[derive(Debug, Clone)]
+pub struct ObsContext {
+    shared: Option<(Arc<TraceShared>, u64)>,
+}
+
+/// The calling thread's tracing context (empty when no trace is
+/// attached).
+pub fn context() -> ObsContext {
+    ObsContext {
+        shared: TL.with(|tl| {
+            tl.borrow()
+                .as_ref()
+                .map(|ctx| (ctx.shared.clone(), ctx.current))
+        }),
+    }
+}
+
+impl ObsContext {
+    /// Installs the snapshot on the current thread (a fresh trace-local
+    /// tid is assigned); a no-op guard when the snapshot is empty.
+    pub fn attach(&self) -> ObsGuard {
+        let ctx = self.shared.as_ref().map(|(shared, current)| TlCtx {
+            shared: shared.clone(),
+            current: *current,
+            tid: shared.next_tid.fetch_add(1, Ordering::Relaxed),
+        });
+        ObsGuard {
+            previous: TL.with(|tl| std::mem::replace(&mut *tl.borrow_mut(), ctx)),
+        }
+    }
+}
+
+/// An open span; records itself into the ambient [`Trace`] when dropped.
+/// When no trace is attached the guard is inert (but the budget
+/// checkpoints at the boundaries still run).
+#[derive(Debug)]
+#[must_use = "a span records the scope it is alive for; bind it to a `_guard`"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    shared: Arc<TraceShared>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    arg: Option<String>,
+    tid: u64,
+    start: Instant,
+    steps0: u64,
+}
+
+/// Opens a span named by the dotted stage taxonomy (see `DESIGN.md` §9).
+pub fn span(name: &'static str) -> Span {
+    open_span(name, None)
+}
+
+/// Opens a span carrying a free-form argument (e.g. the kernel label of
+/// a batch row).
+pub fn span_arg(name: &'static str, arg: impl Into<String>) -> Span {
+    open_span(name, Some(arg.into()))
+}
+
+fn open_span(name: &'static str, arg: Option<String>) -> Span {
+    // Stage-boundary deadline enforcement: a slow ungoverned stretch
+    // must not let the budget's wall-clock overshoot survive into the
+    // next stage. Sticky exhaustion makes every later check fail.
+    let budget = Budget::ambient();
+    let _ = budget.checkpoint();
+    let live = TL.with(|tl| {
+        let mut tl = tl.borrow_mut();
+        let ctx = tl.as_mut()?;
+        let id = ctx.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = ctx.current;
+        ctx.current = id;
+        Some(LiveSpan {
+            shared: ctx.shared.clone(),
+            id,
+            parent,
+            name,
+            arg,
+            tid: ctx.tid,
+            start: Instant::now(),
+            steps0: budget.steps_used(),
+        })
+    });
+    Span { live }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let budget = Budget::ambient();
+        if let Some(l) = self.live.take() {
+            let dur_us = l.start.elapsed().as_micros() as u64;
+            let start_us = l
+                .start
+                .checked_duration_since(l.shared.epoch)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(0);
+            TL.with(|tl| {
+                if let Some(ctx) = tl.borrow_mut().as_mut() {
+                    if ctx.current == l.id {
+                        ctx.current = l.parent;
+                    }
+                }
+            });
+            l.shared
+                .records
+                .lock()
+                .expect("obs trace poisoned")
+                .push(SpanRecord {
+                    id: l.id,
+                    parent: l.parent,
+                    name: l.name,
+                    arg: l.arg,
+                    tid: l.tid,
+                    start_us,
+                    dur_us,
+                    steps: budget.steps_used().saturating_sub(l.steps0),
+                });
+        }
+        let _ = budget.checkpoint();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Profile aggregation
+// ---------------------------------------------------------------------
+
+/// Aggregated timing of one stage (one span name) under a top-level
+/// span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// The stage span name.
+    pub stage: &'static str,
+    /// How many spans with this name ran under the kernel.
+    pub calls: u64,
+    /// Total wall time across those spans, microseconds.
+    pub total_us: u64,
+    /// Total budget steps consumed across those spans.
+    pub steps: u64,
+}
+
+/// Per-stage breakdown of one top-level span (one batch kernel row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// The top-level span's argument (the kernel label), falling back to
+    /// its name.
+    pub label: String,
+    /// The top-level span's duration, microseconds.
+    pub total_us: u64,
+    /// Budget steps consumed over the whole top-level span.
+    pub steps: u64,
+    /// Direct child stages in execution order (deeper spans are visible
+    /// in the Chrome trace but fold into their stage here — their time
+    /// is already contained in it).
+    pub stages: Vec<StageProfile>,
+}
+
+/// Groups a trace's records into per-kernel, per-stage aggregates:
+/// top-level spans (parent 0) become kernels, their direct children
+/// become stage rows. Kernels are sorted by label so the breakdown is
+/// structurally identical for every `--jobs` value.
+pub fn kernel_profiles(records: &[SpanRecord]) -> Vec<KernelProfile> {
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for r in records {
+        children.entry(r.parent).or_default().push(r);
+    }
+    let mut tops: Vec<&SpanRecord> = children.get(&0).cloned().unwrap_or_default();
+    tops.sort_by(|a, b| {
+        let ka = a.arg.as_deref().unwrap_or(a.name);
+        let kb = b.arg.as_deref().unwrap_or(b.name);
+        ka.cmp(kb).then(a.id.cmp(&b.id))
+    });
+    tops.iter()
+        .map(|top| {
+            // Aggregate direct children by name, keeping first-open
+            // order (ids increase in open order within one row).
+            let mut order: Vec<&'static str> = Vec::new();
+            let mut agg: HashMap<&'static str, StageProfile> = HashMap::new();
+            let mut kids: Vec<&SpanRecord> = children.get(&top.id).cloned().unwrap_or_default();
+            kids.sort_by_key(|r| r.id);
+            for r in kids {
+                let e = agg.entry(r.name).or_insert_with(|| {
+                    order.push(r.name);
+                    StageProfile {
+                        stage: r.name,
+                        calls: 0,
+                        total_us: 0,
+                        steps: 0,
+                    }
+                });
+                e.calls += 1;
+                e.total_us += r.dur_us;
+                e.steps += r.steps;
+            }
+            KernelProfile {
+                label: top.arg.clone().unwrap_or_else(|| top.name.to_string()),
+                total_us: top.dur_us,
+                steps: top.steps,
+                stages: order.into_iter().map(|n| agg.remove(n).unwrap()).collect(),
+            }
+        })
+        .collect()
+}
+
+/// The JSON `profile` block of the shared report schema: the current
+/// metric counters plus the per-kernel stage breakdown.
+pub fn profile_json(records: &[SpanRecord]) -> Json {
+    let metrics = Json::Object(
+        metrics_snapshot()
+            .into_iter()
+            .map(|(n, v)| (n.to_string(), Json::Int(v as i64)))
+            .collect(),
+    );
+    let kernels: Vec<Json> = kernel_profiles(records)
+        .into_iter()
+        .map(|k| {
+            Json::obj([
+                ("kernel", Json::str(k.label)),
+                ("total_us", Json::Int(k.total_us as i64)),
+                ("steps", Json::Int(k.steps as i64)),
+                (
+                    "stages",
+                    Json::Array(
+                        k.stages
+                            .into_iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("stage", Json::str(s.stage)),
+                                    ("calls", Json::Int(s.calls as i64)),
+                                    ("total_us", Json::Int(s.total_us as i64)),
+                                    ("steps", Json::Int(s.steps as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([("metrics", metrics), ("kernels", Json::Array(kernels))])
+}
+
+/// A human-readable per-kernel, per-stage breakdown table (the
+/// `--profile` output), ending with the stage-coverage summary: the
+/// fraction of kernel wall time accounted for by stage spans.
+pub fn render_profile_table(records: &[SpanRecord]) -> String {
+    let profiles = kernel_profiles(records);
+    let ms = |us: u64| us as f64 / 1000.0;
+    let mut out = String::from("profile: per-kernel stage breakdown\n");
+    out.push_str(&format!(
+        "{:<24} {:<22} {:>5} {:>10} {:>10}\n",
+        "kernel", "stage", "calls", "ms", "steps"
+    ));
+    let mut kernel_us = 0u64;
+    let mut stage_us = 0u64;
+    for k in &profiles {
+        kernel_us += k.total_us;
+        out.push_str(&format!(
+            "{:<24} {:<22} {:>5} {:>10.2} {:>10}\n",
+            k.label,
+            "<total>",
+            1,
+            ms(k.total_us),
+            k.steps
+        ));
+        for s in &k.stages {
+            stage_us += s.total_us;
+            out.push_str(&format!(
+                "{:<24} {:<22} {:>5} {:>10.2} {:>10}\n",
+                "",
+                s.stage,
+                s.calls,
+                ms(s.total_us),
+                s.steps
+            ));
+        }
+    }
+    let coverage = if kernel_us > 0 {
+        100.0 * stage_us as f64 / kernel_us as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "stage coverage: {:.1}% of {:.2} ms kernel time\n",
+        coverage,
+        ms(kernel_us)
+    ));
+    out.push_str(&render_metrics_line());
+    out.push('\n');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Atomic stderr logging
+// ---------------------------------------------------------------------
+
+static LOG: Mutex<()> = Mutex::new(());
+
+/// Writes `text` (a trailing newline is added if missing) to stderr as a
+/// single `write_all` behind a process-wide lock, so concurrent writers
+/// — worker threads mid-batch, say — can never interleave partial lines
+/// into each other or corrupt a `--json` stdout stream consumer that
+/// also captures stderr.
+pub fn log_block(text: &str) {
+    let mut buf = String::with_capacity(text.len() + 1);
+    buf.push_str(text);
+    if !buf.ends_with('\n') {
+        buf.push('\n');
+    }
+    let _guard = LOG.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = std::io::stderr().write_all(buf.as_bytes());
+}
+
+/// [`log_block`] over pre-formatted arguments (the [`crate::obs_log!`]
+/// macro's backend).
+pub fn logln(args: std::fmt::Arguments<'_>) {
+    log_block(&args.to_string());
+}
+
+/// `eprintln!`-shaped atomic stderr logging through the obs formatter:
+/// the whole formatted line is written with one `write_all` under a
+/// process-wide lock (see [`obs::log_block`](log_block)).
+#[macro_export]
+macro_rules! obs_log {
+    ($($arg:tt)*) => {
+        $crate::obs::logln(::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::govern::Exhaustion;
+    use std::time::Duration;
+
+    #[test]
+    fn spans_record_nesting_and_restore_parent() {
+        let trace = Trace::new();
+        let _t = trace.attach();
+        {
+            let _a = span("stage.a");
+            {
+                let _b = span_arg("stage.b", "detail");
+            }
+            let _c = span("stage.c");
+        }
+        let records = trace.records();
+        assert_eq!(records.len(), 3);
+        let a = records.iter().find(|r| r.name == "stage.a").unwrap();
+        let b = records.iter().find(|r| r.name == "stage.b").unwrap();
+        let c = records.iter().find(|r| r.name == "stage.c").unwrap();
+        assert_eq!(a.parent, 0);
+        assert_eq!(b.parent, a.id);
+        assert_eq!(c.parent, a.id, "parent restored after sibling closed");
+        assert_eq!(b.arg.as_deref(), Some("detail"));
+        assert_eq!(a.tid, b.tid);
+    }
+
+    #[test]
+    fn spans_without_a_trace_are_inert() {
+        // No attach: nothing panics, nothing is recorded anywhere.
+        let _s = span("stage.orphan");
+        drop(_s);
+        let trace = Trace::new();
+        assert!(trace.records().is_empty());
+    }
+
+    #[test]
+    fn par_map_nests_worker_spans_under_the_launching_span() {
+        let trace = Trace::new();
+        let _t = trace.attach();
+        let outer_id;
+        {
+            let _outer = span("stage.fanout");
+            outer_id = trace
+                .shared
+                .next_id
+                .load(Ordering::Relaxed)
+                .saturating_sub(1);
+            let items: Vec<u32> = (0..16).collect();
+            crate::par_map(4, &items, |_, _| {
+                let _w = span("stage.worker");
+            });
+        }
+        let records = trace.records();
+        let workers: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "stage.worker")
+            .collect();
+        assert_eq!(workers.len(), 16);
+        for w in &workers {
+            assert_eq!(w.parent, outer_id, "worker span must nest under fanout");
+        }
+        // Worker threads got their own tids (at least the fan-out used
+        // more than one distinct tid including the main thread's).
+        let outer = records.iter().find(|r| r.name == "stage.fanout").unwrap();
+        assert_eq!(outer.parent, 0);
+    }
+
+    #[test]
+    fn span_boundaries_force_the_deadline_check() {
+        // Regression: the governor consults the wall clock only every
+        // TIME_CHECK_MASK+1 steps, so a slow ungoverned stretch used to
+        // overshoot --timeout-ms until the next governed loop got warm.
+        // Span entry/exit must notice a passed deadline immediately,
+        // with no step() calls at all — even with no trace attached.
+        let budget = Budget::with_limits(Some(Duration::from_millis(5)), None, None);
+        let _scope = budget.enter();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            budget.exhausted(),
+            None,
+            "nothing has checked the clock yet"
+        );
+        {
+            let _stage = span("stage.boundary");
+        }
+        assert_eq!(
+            budget.exhausted(),
+            Some(Exhaustion::Deadline),
+            "span boundary must mark the sticky deadline exhaustion"
+        );
+    }
+
+    #[test]
+    fn metrics_accumulate_snapshot_and_reset() {
+        reset_metrics();
+        add(Metric::FmProjections, 3);
+        add(Metric::FmProjections, 0); // no-op
+        add(Metric::GridPoints, 7);
+        assert_eq!(value(Metric::FmProjections), 3);
+        let snap = metrics_snapshot();
+        assert_eq!(snap.len(), Metric::ALL.len());
+        assert!(snap.contains(&("fm.projections", 3)));
+        assert!(snap.contains(&("grid.points", 7)));
+        let line = render_metrics_line();
+        assert!(line.starts_with("metrics:"), "{line}");
+        assert!(line.contains("fm.projections=3"), "{line}");
+        reset_metrics();
+        assert_eq!(value(Metric::GridPoints), 0);
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_shared_json() {
+        let trace = Trace::new();
+        {
+            let _t = trace.attach();
+            let _a = span_arg("batch.kernel", "matmul");
+            let _b = span("iolb.lower_bound");
+        }
+        let chrome = trace.to_chrome_json();
+        let text = chrome.render();
+        let back = Json::parse(&text).expect("chrome trace is valid JSON");
+        let events = back
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(e.get("ts").and_then(Json::as_i64).is_some());
+            assert!(e.get("dur").and_then(Json::as_i64).is_some());
+        }
+    }
+
+    #[test]
+    fn kernel_profiles_aggregate_direct_children_only() {
+        let trace = Trace::new();
+        {
+            let _t = trace.attach();
+            {
+                let _k = span_arg("batch.kernel", "k1");
+                {
+                    let _s = span("tileopt.optimize");
+                    let _deep = span("ioub.permsel"); // nested: folds into its stage
+                }
+                let _s2 = span("tileopt.optimize"); // second call, same stage
+            }
+            let _k2 = span_arg("batch.kernel", "k0");
+        }
+        let profiles = kernel_profiles(&trace.records());
+        assert_eq!(profiles.len(), 2);
+        // Sorted by label for --jobs determinism.
+        assert_eq!(profiles[0].label, "k0");
+        assert_eq!(profiles[1].label, "k1");
+        let k1 = &profiles[1];
+        assert_eq!(k1.stages.len(), 1, "deep span must not appear as a stage");
+        assert_eq!(k1.stages[0].stage, "tileopt.optimize");
+        assert_eq!(k1.stages[0].calls, 2);
+        let table = render_profile_table(&trace.records());
+        assert!(table.contains("k1"), "{table}");
+        assert!(table.contains("stage coverage"), "{table}");
+        let json = profile_json(&trace.records());
+        let parsed = Json::parse(&json.render()).expect("profile block is valid JSON");
+        assert!(parsed.get("metrics").is_some());
+        assert_eq!(
+            parsed
+                .get("kernels")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+}

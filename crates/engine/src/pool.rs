@@ -21,9 +21,11 @@ pub fn available_threads() -> usize {
 /// With `threads <= 1` or fewer than two items the map runs inline on
 /// the calling thread with no synchronization at all.
 ///
-/// The calling thread's ambient [`Budget`] (see [`Budget::ambient`]) is
-/// re-installed inside every worker, so governed code deep in `f`
-/// observes the same resource budget on every thread of the fan-out.
+/// The calling thread's ambient [`Budget`] (see [`Budget::ambient`]) and
+/// tracing context (see [`crate::obs::context`]) are re-installed inside
+/// every worker, so governed code deep in `f` observes the same resource
+/// budget on every thread of the fan-out and spans opened by workers
+/// nest under the span that launched the map.
 ///
 /// Panics in `f` propagate to the caller (the scope joins every worker).
 ///
@@ -46,14 +48,16 @@ where
     let workers = threads.min(n);
     let next = AtomicUsize::new(0);
     let ambient = Budget::ambient();
+    let obs_ctx = crate::obs::context();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let chunks = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (ambient, next, f) = (&ambient, &next, &f);
+                let (ambient, obs_ctx, next, f) = (&ambient, &obs_ctx, &next, &f);
                 scope.spawn(move || {
                     let _scope = ambient.enter();
+                    let _obs = obs_ctx.attach();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);

@@ -151,6 +151,7 @@ pub fn lower_bound_governed(
             degraded,
         });
     }
+    let _sweep = ioopt_engine::obs::span("iolb.scenario_sweep");
     'scenarios: for small in scenario_list {
         let mut homs = base_homs.clone();
         if !small.is_empty() {

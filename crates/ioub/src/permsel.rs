@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
-use ioopt_engine::{par_map, Budget, CacheStats, MemoCache};
+use ioopt_engine::{obs, par_map, Budget, CacheStats, MemoCache};
 use ioopt_ir::{ArrayRef, Kernel};
 
 /// The reuse oracle of §4.3: decides whether `array` can reuse data across
@@ -120,6 +120,7 @@ pub fn select_permutations_governed(
     threads: usize,
     budget: &Budget,
 ) -> PermSelection {
+    let _span = obs::span("ioub.permsel");
     let dims: Vec<usize> = (0..kernel.dims().len()).collect();
     let reuse_sets: Vec<(usize, BTreeSet<String>)> = dims
         .iter()
@@ -145,6 +146,7 @@ pub fn select_permutations_governed(
     // A cache hit replays a complete prior run, exactly — degraded runs
     // are never inserted, so hits are always complete.
     if let Some(perms) = perm_cache().get(&key) {
+        obs::add(obs::Metric::PermsSelected, perms.len() as u64);
         return PermSelection {
             perms,
             complete: true,
@@ -157,6 +159,7 @@ pub fn select_permutations_governed(
     if complete {
         perm_cache().insert(&key, perms.clone());
     }
+    obs::add(obs::Metric::PermsSelected, perms.len() as u64);
     PermSelection { perms, complete }
 }
 
@@ -177,6 +180,9 @@ fn gen_perm_root(
             let dominated = reuse
                 .iter()
                 .any(|(d2, s2)| d2 != d && s.is_subset(s2) && s != s2);
+            if dominated {
+                obs::add(obs::Metric::PermsPruned, 1);
+            }
             !dominated && !s.is_empty()
         })
         .map(|(d, _)| *d)
@@ -233,6 +239,9 @@ fn gen_perm(
             .iter()
             .any(|(d2, s2)| d2 != d && s.is_subset(s2) && s != s2);
         if dominated || s.is_empty() {
+            if dominated {
+                obs::add(obs::Metric::PermsPruned, 1);
+            }
             continue;
         }
         let rest: Vec<usize> = remaining.iter().copied().filter(|x| x != d).collect();

@@ -131,6 +131,7 @@ pub fn project_out_rc_governed(
     var: usize,
     budget: &Budget,
 ) -> Result<Vec<RationalConstraint>, ProjectionError> {
+    ioopt_engine::obs::add(ioopt_engine::obs::Metric::FmProjections, 1);
     let mut lower: Vec<&RationalConstraint> = Vec::new(); // coeff > 0
     let mut upper: Vec<&RationalConstraint> = Vec::new(); // coeff < 0
     let mut free: Vec<RationalConstraint> = Vec::new();

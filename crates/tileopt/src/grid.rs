@@ -120,11 +120,13 @@ pub fn grid_search_governed(
         }
         let mut best: Option<(Vec<i64>, f64)> = None;
         let mut feasible = 0u64;
+        let mut visited = 0u64;
         let mut x = vec![0.0f64; n];
         for _ in start..end {
             if budget.step().is_err() {
                 break;
             }
+            visited += 1;
             for (xi, &p) in x.iter_mut().zip(&point) {
                 *xi = p as f64;
             }
@@ -152,6 +154,9 @@ pub fn grid_search_governed(
                 point[d] = lo[d];
             }
         }
+        // One registry update per chunk, not per point: the scan body
+        // must stay free of shared-cacheline traffic.
+        ioopt_engine::obs::add(ioopt_engine::obs::Metric::GridPoints, visited);
         (best, feasible)
     });
     // Chunks are merged in index order with the same strict `<` as the

@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use ioopt_engine::{Budget, Exhaustion};
 use ioopt_symbolic::{Bindings, CompiledExpr, Expr, SplitMix64, Symbol};
 
+use crate::grid::grid_search_governed;
+
 /// A bounded optimization variable.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NlpVar {
@@ -256,7 +258,35 @@ pub fn solve_governed(problem: &NlpProblem, budget: &Budget) -> Result<NlpSoluti
     // continuous one (jagged constraint boundary); a bounded grid makes
     // them exact at negligible cost.
     if n <= 2 {
-        if let Some((p, obj)) = small_grid(&c, &best_point, budget) {
+        let hi: Vec<f64> =
+            c.hi.iter()
+                .zip(&best_point)
+                .map(|(&h, &r)| h.min((8.0 * r + 64.0).trunc()))
+                .collect();
+        if let Some((p, obj)) = grid_window(problem, &c.lo, &hi, budget) {
+            if obj < integer_objective {
+                integer_point = p;
+                integer_objective = obj;
+            }
+        }
+    }
+    // Local-optimality oracle: the greedy/exchange moves of
+    // `integer_refine` cannot navigate every coupled constraint boundary,
+    // so scan the full ±1 box around the integer point (the grid rejects
+    // boxes past its point cap, which keeps this cheap) and keep a
+    // strictly better neighbor.
+    {
+        let lo: Vec<f64> = integer_point
+            .iter()
+            .zip(&c.lo)
+            .map(|(&p, &l)| ((p - 1) as f64).max(l))
+            .collect();
+        let hi: Vec<f64> = integer_point
+            .iter()
+            .zip(&c.hi)
+            .map(|(&p, &h)| ((p + 1) as f64).min(h))
+            .collect();
+        if let Some((p, obj)) = grid_window(problem, &lo, &hi, budget) {
             if obj < integer_objective {
                 integer_point = p;
                 integer_objective = obj;
@@ -369,50 +399,35 @@ fn polish(c: &Compiled, mut x: Vec<f64>, mut fx: f64, budget: &Budget) -> (Vec<f
     (x, fx)
 }
 
-/// Exhaustive integer search for 1–2 variable problems over a window
-/// around (and well past) the relaxed optimum, capped at ~65k points.
-fn small_grid(c: &Compiled, relaxed: &[f64], budget: &Budget) -> Option<(Vec<i64>, f64)> {
-    let n = relaxed.len();
-    let lo: Vec<i64> = c.lo.iter().map(|&v| v.ceil().max(1.0) as i64).collect();
-    let hi: Vec<i64> =
-        c.hi.iter()
-            .zip(relaxed)
-            .map(|(&h, &r)| (h.floor() as i64).min((8.0 * r + 64.0) as i64))
-            .collect();
-    let mut span: u64 = 1;
-    for (l, h) in lo.iter().zip(&hi) {
-        span = span.saturating_mul((h - l + 1).max(0) as u64);
-    }
-    if span == 0 || span > 65_536 {
-        return None;
-    }
-    let mut point = lo.clone();
-    let mut best: Option<(Vec<i64>, f64)> = None;
-    'outer: loop {
-        if budget.step().is_err() {
-            break 'outer;
-        }
-        let x: Vec<f64> = point.iter().map(|&v| v as f64).collect();
-        if c.feasible(&x) {
-            let obj = c.obj(&x);
-            if best.as_ref().map(|(_, b)| obj < *b).unwrap_or(true) {
-                best = Some((point.clone(), obj));
-            }
-        }
-        let mut d = n;
-        loop {
-            if d == 0 {
-                break 'outer;
-            }
-            d -= 1;
-            point[d] += 1;
-            if point[d] <= hi[d] {
-                break;
-            }
-            point[d] = lo[d];
-        }
-    }
-    best
+/// Runs the shared integer grid oracle ([`grid_search_governed`]) over
+/// the sub-box `[lo, hi]` of the problem's variables, returning the best
+/// feasible point in variable order — or `None` when the box is empty,
+/// exceeds the ~65k-point cap, or holds no feasible point before the
+/// budget runs out.
+fn grid_window(
+    problem: &NlpProblem,
+    lo: &[f64],
+    hi: &[f64],
+    budget: &Budget,
+) -> Option<(Vec<i64>, f64)> {
+    let sub = NlpProblem {
+        objective: problem.objective.clone(),
+        constraints: problem.constraints.clone(),
+        vars: problem
+            .vars
+            .iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(v, (&l, &h))| NlpVar {
+                sym: v.sym,
+                lo: l,
+                hi: h,
+            })
+            .collect(),
+        env: problem.env.clone(),
+    };
+    let res = grid_search_governed(&sub, 65_536, 1, budget).ok()?;
+    let point: Vec<i64> = problem.vars.iter().map(|v| res.point[&v.sym]).collect();
+    Some((point, res.objective))
 }
 
 /// Rounds the continuous optimum down (always feasible for increasing

@@ -62,11 +62,16 @@ pub enum Code {
     /// Structural lint: a size-1 dimension, a constant-subscript
     /// (dimension-free) array reference, or an exactly duplicated read.
     W007,
+    /// The Fourier–Motzkin image-bounds oracle disagrees with the
+    /// interval arithmetic behind the symbolic footprint cardinalities:
+    /// an internal inconsistency in the polyhedral machinery for this
+    /// kernel's accesses.
+    W008,
 }
 
 impl Code {
     /// Every code, in numeric order.
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 9] = [
         Code::E001,
         Code::E002,
         Code::W003,
@@ -74,6 +79,7 @@ impl Code {
         Code::W005,
         Code::W006,
         Code::W007,
+        Code::W008,
         Code::E008,
     ];
 
@@ -87,6 +93,7 @@ impl Code {
             Code::W005 => "W005",
             Code::W006 => "W006",
             Code::W007 => "W007",
+            Code::W008 => "W008",
             Code::E008 => "E008",
         }
     }
@@ -109,6 +116,7 @@ impl Code {
             Code::W005 => "multi-dimensional reduction: chain oracle invalid",
             Code::W006 => "small-dimension annotation disagrees with sizes",
             Code::W007 => "structural lint (size-1 dim, constant subscript, duplicate read)",
+            Code::W008 => "FM image bounds disagree with the symbolic footprint intervals",
             Code::E008 => "bound certificate inverted (LB > UB)",
         }
     }

@@ -9,8 +9,11 @@
 
 use std::collections::HashMap;
 
+use ioopt_engine::Budget;
 use ioopt_iolb::{escaping_dims, lower_bound, HomOptions, LbOptions};
 use ioopt_ir::{check_tilable, ArrayRef, Kernel, Legality};
+use ioopt_polyhedra::{rational_bounds_governed, LinearForm, ZPolyhedron};
+use ioopt_symbolic::Rational;
 use ioopt_tileopt::symbolic_tc_ub;
 
 use crate::certificate::check_certificate;
@@ -61,6 +64,7 @@ pub fn verify(kernel: &Kernel, options: &VerifyOptions) -> VerifyReport {
     pass_duplicate_reads(kernel, &mut diags);
     pass_multi_reduction(kernel, &mut diags);
     pass_small_dim_audit(kernel, options, &mut diags);
+    pass_image_bounds(kernel, options, &mut diags);
     pass_structural_lints(kernel, &mut diags);
     if options.certificate {
         pass_certificate(kernel, &mut diags);
@@ -238,6 +242,83 @@ fn pass_small_dim_audit(kernel: &Kernel, options: &VerifyOptions, diags: &mut Ve
     }
 }
 
+/// W008 — Fourier–Motzkin image-bounds cross-check: for every access
+/// subscript, project the polyhedron `{(i, y) : y = f(i), 0 ≤ i < N}`
+/// down to the image coordinate `y` and compare the resulting rational
+/// interval against the interval arithmetic the symbolic footprint
+/// cardinalities (§4.1) rest on. The two are computed by disjoint code
+/// paths, so a mismatch means the polyhedral machinery is internally
+/// inconsistent for this kernel's accesses. Budget exhaustion or
+/// rational overflow silently skips the check (a degraded pass is not a
+/// finding).
+fn pass_image_bounds(kernel: &Kernel, options: &VerifyOptions, diags: &mut Vec<Diagnostic>) {
+    let sizes = match options.sizes.clone().or_else(|| kernel.default_sizes()) {
+        Some(s) => s,
+        None => return,
+    };
+    let n = kernel.dims().len();
+    let budget = Budget::ambient();
+    let extents: Option<Vec<i64>> = kernel
+        .dims()
+        .iter()
+        .map(|d| sizes.get(&d.name).copied().filter(|&v| v >= 1))
+        .collect();
+    let Some(extents) = extents else {
+        return;
+    };
+    for a in kernel.arrays() {
+        for (coord, form) in a.access.dims().iter().enumerate() {
+            let mut poly = ZPolyhedron::new(n + 1);
+            for (d, &extent) in extents.iter().enumerate() {
+                poly.add_lower_bound(d, 0);
+                poly.add_upper_bound(d, extent); // exclusive: x_d ≤ extent − 1
+            }
+            // y = f(i) as the pair of half-spaces y − f(i) ≥ 0, f(i) − y ≥ 0.
+            let mut above: Vec<(usize, i64)> = vec![(n, 1)];
+            let mut below: Vec<(usize, i64)> = vec![(n, -1)];
+            for &(d, c) in form.terms() {
+                above.push((d, -c));
+                below.push((d, c));
+            }
+            poly.add_constraint(LinearForm::new(&above, -form.constant()));
+            poly.add_constraint(LinearForm::new(&below, form.constant()));
+            let Ok((lo, hi)) = rational_bounds_governed(&poly, n, &budget) else {
+                return; // overflow or exhausted budget: skip, not a finding
+            };
+            // Interval arithmetic over the box [0, N−1]^n — the basis of
+            // the symbolic `interval_length` formulas.
+            let min = form.constant()
+                + form
+                    .terms()
+                    .iter()
+                    .map(|&(d, c)| c.min(0) * (extents[d] - 1))
+                    .sum::<i64>();
+            let max = form.constant()
+                + form
+                    .terms()
+                    .iter()
+                    .map(|&(d, c)| c.max(0) * (extents[d] - 1))
+                    .sum::<i64>();
+            if lo != Some(Rational::from(min)) || hi != Some(Rational::from(max)) {
+                let side =
+                    |b: Option<Rational>| b.map_or("unbounded".to_string(), |r| r.to_string());
+                diags.push(Diagnostic::new(
+                    Code::W008,
+                    a.span,
+                    format!(
+                        "subscript {coord} of `{}`: FM projection gives image bounds \
+                         [{}, {}] but interval arithmetic gives [{min}, {max}] — the \
+                         footprint cardinalities and the polyhedral oracle disagree",
+                        a.name,
+                        side(lo),
+                        side(hi),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// W007 — structural lints: size-1 dimensions, dimension-free
 /// (constant-subscript) array references, and exactly duplicated reads.
 fn pass_structural_lints(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
@@ -411,6 +492,29 @@ mod tests {
             "kernel seidel {\n  loop t : T;\n  loop i : N;\n  A[i] += A[i+1] * A[i];\n}",
         );
         assert!(report.has(Code::E001));
+    }
+
+    #[test]
+    fn image_bounds_pass_is_quiet_and_exercises_fm() {
+        use ioopt_engine::obs::{value, Metric};
+        // Counters are process-global and tests run concurrently, so
+        // assert a delta with `>=`, never an absolute value.
+        let before = value(Metric::FmProjections);
+        for kernel in [kernels::matmul(), kernels::conv2d()] {
+            let sizes = kernel.dims().iter().map(|d| (d.name.clone(), 64)).collect();
+            let options = VerifyOptions {
+                sizes: Some(sizes),
+                ..VerifyOptions::default()
+            };
+            let report = verify(&kernel, &options);
+            assert!(!report.has(Code::W008), "{:?}", report.diagnostics);
+        }
+        let after = value(Metric::FmProjections);
+        // matmul alone has 6 subscripts over 3 dims: ≥ 18 projections.
+        assert!(
+            after - before >= 18,
+            "FM oracle did not run: {before} -> {after}"
+        );
     }
 
     #[test]

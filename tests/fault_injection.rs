@@ -128,8 +128,20 @@ fn injected_faults_are_contained_and_deterministic() {
         timeout_ms: Some(3_000),
         ..symbolic_options(1)
     };
+    let started = std::time::Instant::now();
     let report = run_batch(&items, &options);
+    let elapsed = started.elapsed();
     std::env::remove_var("IOOPT_FAULT");
+
+    // Regression: the deadline used to be checked only every 64th
+    // `Budget::step`, so a stage that stopped stepping could overshoot
+    // by its full duration. Spans now checkpoint the deadline on entry
+    // and exit, so the 60 s injected stall must be cut off near the 3 s
+    // row deadline (wide margin for loaded CI machines).
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "deadline overshoot: batch took {elapsed:?} against a 3 s row deadline"
+    );
 
     assert_eq!(report.worst_status(), Status::Degraded);
     for row in &report.rows {

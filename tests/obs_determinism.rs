@@ -1,0 +1,85 @@
+//! Observability must be a pure observer: attaching a [`Trace`],
+//! rendering its Chrome-trace JSON, or varying `--jobs` must never
+//! change a single byte of the batch report. The golden corpus pins the
+//! exact bytes, so the cross-check here is three-way: profiling off,
+//! profiling on, and profiling on with the trace rendered, each at
+//! `--jobs 1` and `--jobs 4`, all against the golden snapshots.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ioopt::{builtin_corpus, run_batch, BatchOptions, Trace};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn symbolic_options(jobs: usize) -> BatchOptions {
+    BatchOptions {
+        cache_elems: 32768.0,
+        jobs,
+        memo: true,
+        numeric: false,
+        ..BatchOptions::default()
+    }
+}
+
+/// Runs the corpus with a trace attached and returns the report bytes
+/// plus the rendered Chrome-trace JSON.
+fn traced_run(jobs: usize) -> (String, String) {
+    let trace = Trace::new();
+    let report = {
+        let _guard = trace.attach();
+        run_batch(&builtin_corpus(), &symbolic_options(jobs))
+    };
+    let chrome = trace.to_chrome_json().render();
+    (report.to_json(), chrome)
+}
+
+#[test]
+fn report_bytes_are_invariant_under_profiling_and_jobs() {
+    let corpus = builtin_corpus();
+
+    // Baseline: profiling off, sequential.
+    let plain = run_batch(&corpus, &symbolic_options(1)).to_json();
+
+    // Profiling must not perturb the report, at any parallelism.
+    for jobs in [1, 4] {
+        let off = run_batch(&corpus, &symbolic_options(jobs)).to_json();
+        assert_eq!(off, plain, "jobs={jobs}: report depends on --jobs");
+        let (traced, chrome) = traced_run(jobs);
+        assert_eq!(
+            traced, plain,
+            "jobs={jobs}: attaching a Trace changed the report bytes"
+        );
+        // The trace itself must be substantive (spans were recorded) and
+        // well-formed enough to name every kernel exactly once.
+        assert!(chrome.contains("\"traceEvents\""), "jobs={jobs}");
+        for item in &corpus {
+            let needle = format!("\"arg\":\"{}\"", item.label);
+            assert_eq!(
+                chrome.matches(&needle).count(),
+                1,
+                "jobs={jobs}: kernel `{}` missing from the trace",
+                item.label
+            );
+        }
+    }
+
+    // And the pinned bytes themselves: every row matches its golden
+    // snapshot, so "invariant" means invariant at the blessed output.
+    let report = run_batch(&corpus, &symbolic_options(4));
+    for row in &report.rows {
+        let path = golden_dir().join(format!("{}.json", row.kernel));
+        let want = fs::read_to_string(&path)
+            .unwrap_or_else(|_| panic!("missing golden file {}", path.display()));
+        assert_eq!(
+            row.to_json_value().render(),
+            want.trim_end(),
+            "{} drifted from its golden snapshot under profiling",
+            row.kernel
+        );
+    }
+}
