@@ -69,11 +69,84 @@ grep -q '^metrics: ' /tmp/ioopt_prof.err || {
   exit 1
 }
 
+echo "==> ioopt serve smoke: healthz, golden-row conformance, metrics, graceful shutdown"
+./target/release/ioopt serve --addr 127.0.0.1:7171 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+python3 - <<'EOF'
+import json, sys, time, urllib.request, urllib.error
+
+BASE = "http://127.0.0.1:7171"
+
+def req(method, path, body=None):
+    data = body.encode() if body is not None else None
+    r = urllib.request.Request(BASE + path, data=data, method=method)
+    with urllib.request.urlopen(r, timeout=60) as resp:
+        return resp.status, resp.read().decode()
+
+# Wait for the listener (the binary starts in well under 30 s).
+deadline = time.time() + 30
+while True:
+    try:
+        status, body = req("GET", "/healthz")
+        assert status == 200 and body == "ok\n", (status, body)
+        break
+    except (urllib.error.URLError, ConnectionError):
+        assert time.time() < deadline, "serve never answered /healthz"
+        time.sleep(0.25)
+
+# Three served analyses must match the golden corpus rows (the Rust
+# conformance suite pins byte-identity; this smoke pins the release
+# binary end-to-end over real sockets).
+for label in ["Yolo9000-8", "Yolo9000-0", "ab-ac-cb"]:
+    body = json.dumps({"kernels": [f"builtin:{label}"],
+                       "cache": 32768.0, "symbolic_only": True})
+    status, served = req("POST", "/analyze", body)
+    assert status == 200, (label, status, served)
+    row = json.loads(served)["kernels"][0]
+    golden = json.load(open(f"tests/golden/{label}.json"))
+    assert row == golden, f"{label}: served row diverges from the golden snapshot"
+print("serve smoke: 3 golden rows match")
+
+# A warm server must report memo activity on /metrics.
+status, metrics = req("GET", "/metrics")
+assert status == 200
+series = {line.split()[0]: float(line.split()[1])
+          for line in metrics.splitlines() if line and not line.startswith("#")}
+assert series.get("ioopt_memo_hits", 0) > 0, "no memo hits after three analyses"
+assert series.get("ioopt_serve_requests", 0) >= 3, series.get("ioopt_serve_requests")
+print(f"serve smoke: metrics ok (memo hits {series['ioopt_memo_hits']:.0f})")
+
+status, body = req("POST", "/shutdown")
+assert status == 202 and "draining" in body, (status, body)
+EOF
+shutdown_deadline=$(( $(date +%s) + 30 ))
+while kill -0 "$serve_pid" 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$shutdown_deadline" ]; then
+    echo "FAIL: ioopt serve did not exit within 30s of POST /shutdown"
+    exit 1
+  fi
+  sleep 0.25
+done
+wait "$serve_pid" || {
+  echo "FAIL: ioopt serve exited non-zero after graceful drain"
+  exit 1
+}
+trap - EXIT
+echo "serve smoke: graceful shutdown OK"
+
+echo "==> loadgen: 400 requests x 8 connections, warm memo ratio must beat cold batch"
+./target/release/loadgen --connections 8 --requests 400
+
 # The fault-injection legs rebuild the ioopt binary with the
 # `fault-inject` feature, so they run after every leg that uses the
 # stock release binary.
 echo "==> fault-injection test suite (feature fault-inject)"
 cargo test -q --features fault-inject --test fault_injection
+
+echo "==> serve fault legs: injected panic poisons one response; slow fault triggers 429"
+cargo test -q --features fault-inject --test serve_stress injected_panic
+cargo test -q --features fault-inject --test serve_backpressure slow_fault
 
 echo "==> fault containment: injected panic -> exit 2, 18 exact rows, one structured failed row"
 cargo build --release -p ioopt --features fault-inject

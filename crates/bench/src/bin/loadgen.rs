@@ -1,0 +1,239 @@
+//! Load generator for `ioopt serve`: drives N concurrent connections
+//! through a mixed stream of analysis requests and reports throughput
+//! and client-side latency percentiles.
+//!
+//! By default the server runs **in-process** on an ephemeral port, which
+//! also lets the bench read the shared memo cache directly and verify
+//! the serving claim that matters: the warm-cache hit ratio under load
+//! is *strictly above* a single-shot cold batch over the same kernels —
+//! the process-lifetime cache genuinely pays for itself across requests.
+//! Point `--addr HOST:PORT` at an external server to load it instead
+//! (throughput/latency only; the memo assertion needs in-process stats).
+//!
+//! Exit status is non-zero when any request fails or the warm/cold
+//! memo assertion does not hold, so CI can gate on it.
+//!
+//!     cargo run --release -p ioopt-bench --bin loadgen -- \
+//!         [--addr HOST:PORT] [--connections 8] [--requests 400]
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ioopt::{
+    analysis_handler, corpus_item, memo_stats, reset_memo, run_batch, BatchOptions, ServiceDefaults,
+};
+use ioopt_serve::{ServeOptions, Server};
+use ioopt_suite::testutil::http_post;
+
+/// The kernels the load mix cycles: TCCG contractions and Yolo layers,
+/// all symbolic at the snapshot cache size (32768 elements).
+const MIX: &[&str] = &[
+    "ab-ac-cb",
+    "abc-bda-dc",
+    "abcd-dbea-ec",
+    "Yolo9000-0",
+    "Yolo9000-12",
+    "Yolo9000-23",
+];
+
+const SNAPSHOT_CACHE: f64 = 32768.0;
+
+struct Args {
+    addr: Option<SocketAddr>,
+    connections: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        connections: 8,
+        requests: 400,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = Some(
+                    value("--addr")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("--addr: {e}"))),
+                );
+            }
+            "--connections" => {
+                args.connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--connections: {e}")));
+            }
+            "--requests" => {
+                args.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--requests: {e}")));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    if args.connections == 0 || args.requests == 0 {
+        die("--connections and --requests must be positive");
+    }
+    args
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(2);
+}
+
+fn request_body(kernel: &str) -> String {
+    format!(r#"{{"kernels":["builtin:{kernel}"],"cache":{SNAPSHOT_CACHE},"symbolic_only":true}}"#)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted_us.len() as f64).ceil() as usize).max(1);
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Cold baseline: the same kernels once, single-shot, from an empty
+    // cache — the hit ratio a one-off `ioopt batch` run would see.
+    let cold_ratio = if args.addr.is_none() {
+        reset_memo();
+        let zero = memo_stats();
+        let items: Vec<_> = MIX
+            .iter()
+            .map(|k| corpus_item(k).unwrap_or_else(|| die(&format!("unknown builtin `{k}`"))))
+            .collect();
+        let report = run_batch(
+            &items,
+            &BatchOptions {
+                cache_elems: SNAPSHOT_CACHE,
+                numeric: false,
+                ..BatchOptions::default()
+            },
+        );
+        if report.rows.iter().any(|r| r.error.is_some()) {
+            die("cold baseline batch reported an error row");
+        }
+        let cold = memo_stats().delta(&zero);
+        println!(
+            "cold batch: {} kernels, memo hits {} misses {} (ratio {:.3})",
+            MIX.len(),
+            cold.hits,
+            cold.misses,
+            cold.hit_ratio()
+        );
+        Some(cold.hit_ratio())
+    } else {
+        None
+    };
+
+    // The server under load: in-process unless --addr points elsewhere.
+    let local = if args.addr.is_none() {
+        Some(
+            Server::bind(
+                "127.0.0.1:0",
+                ServeOptions::default(),
+                analysis_handler(ServiceDefaults::default()),
+            )
+            .unwrap_or_else(|e| die(&format!("bind: {e}"))),
+        )
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .or_else(|| local.as_ref().map(Server::addr))
+        .expect("an address either way");
+
+    let warm_base = memo_stats();
+    let failed = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.connections)
+        .map(|c| {
+            let failed = failed.clone();
+            let share = args.requests / args.connections
+                + usize::from(c < args.requests % args.connections);
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(share);
+                for i in 0..share {
+                    let body = request_body(MIX[(c * 31 + i) % MIX.len()]);
+                    let sent = Instant::now();
+                    let response = http_post(addr, "/analyze", &body);
+                    latencies_us.push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    if response.status != 200 {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "loadgen: connection {c} request {i}: HTTP {} — {}",
+                            response.status, response.body
+                        );
+                    }
+                }
+                latencies_us
+            })
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(args.requests);
+    for worker in workers {
+        latencies_us.extend(worker.join().expect("load connection panicked"));
+    }
+    let elapsed = started.elapsed();
+    if let Some(server) = local {
+        server.shutdown();
+    }
+
+    latencies_us.sort_unstable();
+    let completed = latencies_us.len();
+    println!(
+        "load: {completed} requests, {} connections, {:.2} s wall, {:.1} req/s",
+        args.connections,
+        elapsed.as_secs_f64(),
+        completed as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        percentile(&latencies_us, 0.50) as f64 / 1e3,
+        percentile(&latencies_us, 0.99) as f64 / 1e3,
+        *latencies_us.last().expect("at least one request") as f64 / 1e3
+    );
+
+    let failures = failed.load(Ordering::Relaxed);
+    if failures > 0 {
+        eprintln!("loadgen: FAIL — {failures} request(s) did not answer 200");
+        std::process::exit(1);
+    }
+    if let Some(cold_ratio) = cold_ratio {
+        let warm = memo_stats().delta(&warm_base);
+        println!(
+            "warm storm: memo hits {} misses {} (ratio {:.3})",
+            warm.hits,
+            warm.misses,
+            warm.hit_ratio()
+        );
+        if warm.hit_ratio() <= cold_ratio {
+            eprintln!(
+                "loadgen: FAIL — warm hit ratio {:.3} is not above the cold batch's {:.3}; \
+                 the shared memo cache is not persisting across served requests",
+                warm.hit_ratio(),
+                cold_ratio
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "memo: warm ratio {:.3} > cold ratio {:.3} — cache persists across requests",
+            warm.hit_ratio(),
+            cold_ratio
+        );
+    }
+}

@@ -254,6 +254,46 @@ impl BatchReport {
     }
 }
 
+/// Looks up a builtin kernel by name: the six classic kernels, a TCCG
+/// tensor-contraction spec, or a Yolo9000 layer (the conv2d kernel at
+/// that layer's sizes). This is the one name table the CLI, the serving
+/// layer, and the test harnesses all resolve against.
+pub fn builtin_kernel(name: &str) -> Option<Kernel> {
+    match name {
+        "matmul" => Some(kernels::matmul()),
+        "conv1d" => Some(kernels::conv1d()),
+        "conv2d" => Some(kernels::conv2d()),
+        "mttkrp" => Some(kernels::mttkrp()),
+        "stencil2d" => Some(kernels::stencil2d()),
+        "doitgen" => Some(kernels::doitgen()),
+        _ => {
+            if let Some(e) = kernels::TCCG.iter().find(|e| e.spec == name) {
+                return Some(e.kernel());
+            }
+            kernels::YOLO9000
+                .iter()
+                .find(|l| l.name == name)
+                .map(|l| kernels::conv2d().with_default_sizes(l.size_map().into_iter().collect()))
+        }
+    }
+}
+
+/// The corpus entry for a builtin name, carrying its published Fig. 6
+/// sizes when the name is a corpus kernel (TCCG spec or Yolo layer) and
+/// the kernel's annotated defaults otherwise.
+pub fn corpus_item(name: &str) -> Option<BatchItem> {
+    if let Some(item) = builtin_corpus().into_iter().find(|i| i.label == name) {
+        return Some(item);
+    }
+    let kernel = builtin_kernel(name)?;
+    let sizes = kernel.default_sizes().unwrap_or_default();
+    Some(BatchItem {
+        label: name.to_string(),
+        kernel,
+        sizes,
+    })
+}
+
 /// The 19 builtin kernel instances the paper evaluates (Fig. 6): the 8
 /// TCCG tensor-contraction classes at their published sizes and the 11
 /// Yolo9000 convolution layers.
@@ -371,16 +411,23 @@ fn contained_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
 }
 
 fn row_budget(options: &BatchOptions) -> Budget {
-    if options.timeout_ms.is_none() && options.max_steps.is_none() {
+    // A row never outlives the scope that launched it: when an ambient
+    // budget carries a deadline (the serving layer enters one per
+    // request), the row's own allowance is capped by the time that
+    // request has left, so all rows of a request share its window. The
+    // CLI runs with an unlimited ambient and is unaffected.
+    let ambient_remaining = Budget::ambient().remaining_time();
+    let requested = options.timeout_ms.map(Duration::from_millis);
+    let deadline = match (requested, ambient_remaining) {
+        (Some(r), Some(a)) => Some(r.min(a)),
+        (one, other) => one.or(other),
+    };
+    if deadline.is_none() && options.max_steps.is_none() {
         // No limits requested, but count anyway: the step totals feed the
         // profiling registry, and a counting budget still never exhausts.
         return Budget::counting();
     }
-    Budget::with_limits(
-        options.timeout_ms.map(Duration::from_millis),
-        options.max_steps,
-        None,
-    )
+    Budget::with_limits(deadline, options.max_steps, None)
 }
 
 fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
@@ -753,6 +800,41 @@ mod tests {
             }
         }
         assert_eq!(report.worst_status(), Status::Degraded);
+    }
+
+    #[test]
+    fn ambient_deadline_caps_row_budgets() {
+        // The serving layer enters one deadline budget per request; rows
+        // must inherit that cap even when the options ask for no timeout.
+        let items: Vec<BatchItem> = builtin_corpus().into_iter().take(1).collect();
+        let options = BatchOptions::default();
+        assert!(options.timeout_ms.is_none());
+        let ambient = Budget::with_limits(Some(Duration::ZERO), None, None);
+        let _scope = ambient.enter();
+        let report = run_batch(&items, &options);
+        assert_eq!(
+            report.rows[0].status,
+            Status::Degraded,
+            "{:?}",
+            report.rows[0]
+        );
+        assert!(report.rows[0].error.is_none());
+    }
+
+    #[test]
+    fn builtin_lookup_resolves_every_corpus_label() {
+        for item in builtin_corpus() {
+            let direct = builtin_kernel(&item.label).expect(&item.label);
+            assert_eq!(direct.name(), item.kernel.name(), "{}", item.label);
+            let corpus = corpus_item(&item.label).expect(&item.label);
+            assert_eq!(corpus.sizes, item.sizes, "{}", item.label);
+        }
+        assert!(builtin_kernel("matmul").is_some());
+        assert!(builtin_kernel("no-such-kernel").is_none());
+        // Non-corpus classics resolve too; they carry no annotated
+        // defaults, so callers must supply sizes.
+        let classic = corpus_item("matmul").expect("matmul");
+        assert!(classic.sizes.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!   ioopt <file.k | builtin:NAME> --sizes i=2000,j=1500,k=1500 [--cache 1024]
 //!   ioopt check <file.k | builtin:NAME> [--sizes ...] [--deny warnings] [--json]
 //!   ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]
+//!   ioopt serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!   ioopt --list-builtins
 //!
 //! OPTIONS:
@@ -42,31 +43,12 @@ use std::time::Instant;
 use ioopt::ir::{kernels, parse_kernel, Kernel};
 use ioopt::verify::{verify, VerifyOptions};
 use ioopt::{
-    analyze, builtin_corpus, memo_stats, obs, render_text, run_batch, symbolic_lb, symbolic_tc_ub,
-    AnalysisOptions, BatchItem, BatchOptions,
+    analysis_handler, analyze, builtin_corpus, builtin_kernel, memo_stats, obs, render_text,
+    run_batch, symbolic_lb, symbolic_tc_ub, AnalysisOptions, BatchItem, BatchOptions,
+    ServiceDefaults,
 };
 use ioopt_engine::obs_log;
-
-fn builtin(name: &str) -> Option<Kernel> {
-    match name {
-        "matmul" => Some(kernels::matmul()),
-        "conv1d" => Some(kernels::conv1d()),
-        "conv2d" => Some(kernels::conv2d()),
-        "mttkrp" => Some(kernels::mttkrp()),
-        "stencil2d" => Some(kernels::stencil2d()),
-        "doitgen" => Some(kernels::doitgen()),
-        _ => {
-            if let Some(e) = kernels::TCCG.iter().find(|e| e.spec == name) {
-                return Some(e.kernel());
-            }
-            // Yolo9000 layers: the conv2d kernel at the layer's sizes.
-            kernels::YOLO9000
-                .iter()
-                .find(|l| l.name == name)
-                .map(|l| kernels::conv2d().with_default_sizes(l.size_map().into_iter().collect()))
-        }
-    }
-}
+use ioopt_serve::{ServeOptions, Server};
 
 fn usage() -> &'static str {
     "usage: ioopt <file.k | builtin:NAME> --sizes a=V,b=V,... [--cache N] [--symbolic]\n\
@@ -74,6 +56,8 @@ fn usage() -> &'static str {
      \u{20}      ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]\n\
      \u{20}                  [--symbolic-only] [--no-memo] [--timeout-ms N] [--max-steps N]\n\
      \u{20}                  [--fail-fast] [--profile] [--trace-json PATH]\n\
+     \u{20}      ioopt serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+     \u{20}                  [--timeout-ms N] [--max-kernels N]\n\
      try:   ioopt --list-builtins"
 }
 
@@ -81,7 +65,7 @@ fn usage() -> &'static str {
 /// too when it came from a file (for caret excerpts in diagnostics).
 fn load(input: &str) -> Result<(Kernel, Option<String>), String> {
     if let Some(name) = input.strip_prefix("builtin:") {
-        let k = builtin(name).ok_or_else(|| format!("unknown builtin `{name}`"))?;
+        let k = builtin_kernel(name).ok_or_else(|| format!("unknown builtin `{name}`"))?;
         Ok((k, None))
     } else {
         let src =
@@ -414,6 +398,93 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+/// The `serve` subcommand: a persistent analysis service. The memo
+/// cache lives for the process, so repeated requests hit warm; the
+/// admission queue sheds overload with 429s; `POST /shutdown` drains
+/// gracefully (in-flight requests finish, then the process exits 0).
+fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut options = ServeOptions::default();
+    let mut defaults = ServiceDefaults::default();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs host:port")?,
+            "--workers" => {
+                options.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers value: {e}"))?;
+                if options.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--queue" => {
+                options.queue_capacity = it
+                    .next()
+                    .ok_or("--queue needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue value: {e}"))?;
+            }
+            "--cache" => {
+                defaults.cache_elems = it
+                    .next()
+                    .ok_or("--cache needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache value: {e}"))?;
+            }
+            "--timeout-ms" => {
+                defaults.timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --timeout-ms value: {e}"))?,
+                );
+            }
+            "--max-kernels" => {
+                defaults.max_kernels = it
+                    .next()
+                    .ok_or("--max-kernels needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-kernels value: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let server = Server::bind(&addr, options, analysis_handler(defaults))
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    obs_log!(
+        "serve: listening on {} (POST /analyze, GET /healthz, GET /metrics, POST /shutdown)",
+        server.addr()
+    );
+    let start = Instant::now();
+    // Contained request panics must not spray backtraces between the
+    // access lines of concurrent workers; the rows already report them.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    server.run();
+    std::panic::set_hook(prev_hook);
+    let stats = memo_stats();
+    obs::log_block(&format!(
+        "serve: drained after {:.1}s\n\
+         serve: {} request(s) answered, {} rejected (429)\n\
+         cache: {} hits, {} misses, {} entries ({:.1}% hit ratio)",
+        start.elapsed().as_secs_f64(),
+        obs::value(obs::Metric::ServeRequests),
+        obs::value(obs::Metric::ServeRejected),
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_ratio() * 100.0
+    ));
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run() -> Result<ExitCode, String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list-builtins") {
@@ -431,6 +502,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(args.split_off(1));
     }
     let mut input: Option<String> = None;
     let mut sizes_arg: Option<String> = None;

@@ -41,6 +41,7 @@ mod analysis;
 mod batch;
 mod report;
 mod sequence;
+pub mod service;
 pub mod tutorial;
 
 pub use analysis::{
@@ -48,10 +49,15 @@ pub use analysis::{
     symbolic_tc_ub, symbolic_tc_ub_for, Analysis, AnalysisOptions, AnalyzeError,
 };
 pub use batch::{
-    builtin_corpus, eval_lb, run_batch, BatchItem, BatchOptions, BatchReport, BatchRow,
+    builtin_corpus, builtin_kernel, corpus_item, eval_lb, run_batch, BatchItem, BatchOptions,
+    BatchReport, BatchRow,
 };
 pub use report::{csv_header, csv_row, render_text};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
+pub use service::{
+    analysis_handler, handle_analyze, run_service, service_items, KernelSpec, ServiceDefaults,
+    ServiceError, ServiceRequest,
+};
 
 pub use ioopt_engine::{obs, Budget, Exhaustion, Json, Status, Trace};
 

@@ -1,0 +1,501 @@
+//! The analysis service: the request schema and dispatch shared by
+//! `ioopt serve`, the conformance/stress tests, and the loadgen bench.
+//!
+//! A service request names kernels — builtin corpus entries or inline
+//! DSL source — plus the same knobs `ioopt batch` takes (`sizes`,
+//! `cache`, `symbolic_only`, `timeout_ms`, `max_steps`), and the
+//! response body is **exactly** the bytes `ioopt batch --json` would
+//! print for the same inputs: both paths funnel through
+//! [`crate::run_batch`] and [`crate::BatchReport::to_json`], so the
+//! serving layer can never perturb an analysis result. The one thing
+//! the service adds is scoping: each request runs inside its own
+//! [`Budget`] deadline (rows inherit the remaining window), its own
+//! `serve.request` span, and the process-lifetime memo cache.
+//!
+//! File paths are deliberately **not** accepted over the wire — a
+//! served analysis may only name builtins or carry its source inline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ioopt_engine::{obs, Budget, Json};
+use ioopt_serve::{Request, Response};
+
+use crate::batch::{builtin_corpus, corpus_item, run_batch, BatchItem, BatchOptions, BatchReport};
+
+/// Server-side defaults applied when a request omits an option.
+#[derive(Debug, Clone)]
+pub struct ServiceDefaults {
+    /// Fast-memory capacity `S` when the request has no `cache` field
+    /// (matches the single-kernel CLI default).
+    pub cache_elems: f64,
+    /// Per-request wall-clock budget when the request has no
+    /// `timeout_ms`; `None` leaves requests unbounded.
+    pub timeout_ms: Option<u64>,
+    /// Upper bound on kernels per request (`builtin:all` counts 19).
+    pub max_kernels: usize,
+}
+
+impl Default for ServiceDefaults {
+    fn default() -> ServiceDefaults {
+        ServiceDefaults {
+            cache_elems: 4096.0,
+            timeout_ms: None,
+            max_kernels: 64,
+        }
+    }
+}
+
+/// One kernel named by a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelSpec {
+    /// A builtin name (`"builtin:matmul"`, `"builtin:all"`, a TCCG spec,
+    /// a Yolo9000 layer) — the string keeps its `builtin:` prefix off.
+    Builtin(String),
+    /// Inline DSL source, parsed server-side.
+    Inline {
+        /// The kernel DSL text.
+        source: String,
+    },
+}
+
+/// A parsed `/analyze` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRequest {
+    /// The kernels to analyze, in request order.
+    pub kernels: Vec<KernelSpec>,
+    /// Size overrides applied to every kernel (on top of corpus or
+    /// annotated defaults).
+    pub sizes: HashMap<String, i64>,
+    /// Fast-memory capacity `S`; server default when absent.
+    pub cache_elems: Option<f64>,
+    /// Skip the numeric TileOpt pipeline (mirrors `--symbolic-only`).
+    pub symbolic_only: bool,
+    /// Wall-clock budget for the whole request, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Per-kernel analysis step budget (mirrors `--max-steps`).
+    pub max_steps: Option<u64>,
+}
+
+/// A request rejection: the HTTP status to answer with and the message
+/// for the structured JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// HTTP status code (always 4xx from this module).
+    pub status: u16,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ServiceError {
+    fn bad(message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl ServiceRequest {
+    /// Parses a request body. Strict: unknown fields are rejected so a
+    /// client typo (`"symbolic"` for `"symbolic_only"`) fails loudly
+    /// instead of silently changing semantics.
+    ///
+    /// # Errors
+    ///
+    /// A 400 [`ServiceError`] naming the offending field.
+    pub fn from_json(v: &Json) -> Result<ServiceRequest, ServiceError> {
+        let Json::Object(pairs) = v else {
+            return Err(ServiceError::bad("request body must be a JSON object"));
+        };
+        let mut request = ServiceRequest {
+            kernels: Vec::new(),
+            sizes: HashMap::new(),
+            cache_elems: None,
+            symbolic_only: false,
+            timeout_ms: None,
+            max_steps: None,
+        };
+        for (key, value) in pairs {
+            match key.as_str() {
+                "kernels" => {
+                    let entries = value
+                        .as_array()
+                        .ok_or_else(|| ServiceError::bad("`kernels` must be an array"))?;
+                    for entry in entries {
+                        request.kernels.push(parse_kernel_spec(entry)?);
+                    }
+                }
+                "sizes" => {
+                    let Json::Object(sizes) = value else {
+                        return Err(ServiceError::bad("`sizes` must be an object"));
+                    };
+                    for (name, size) in sizes {
+                        let n = size
+                            .as_f64()
+                            .filter(|n| n.fract() == 0.0 && *n >= 1.0 && *n <= i64::MAX as f64)
+                            .ok_or_else(|| {
+                                ServiceError::bad(format!(
+                                    "size `{name}` must be a positive integer"
+                                ))
+                            })?;
+                        request.sizes.insert(name.clone(), n as i64);
+                    }
+                }
+                "cache" => {
+                    request.cache_elems = Some(
+                        value
+                            .as_f64()
+                            .filter(|c| c.is_finite() && *c > 0.0)
+                            .ok_or_else(|| {
+                                ServiceError::bad("`cache` must be a positive number of elements")
+                            })?,
+                    );
+                }
+                "symbolic_only" => {
+                    request.symbolic_only = match value {
+                        Json::Bool(b) => *b,
+                        _ => return Err(ServiceError::bad("`symbolic_only` must be a boolean")),
+                    };
+                }
+                "timeout_ms" => {
+                    request.timeout_ms = Some(positive_int(value, "timeout_ms")?);
+                }
+                "max_steps" => {
+                    request.max_steps = Some(positive_int(value, "max_steps")?);
+                }
+                other => {
+                    return Err(ServiceError::bad(format!(
+                        "unknown request field `{other}`"
+                    )));
+                }
+            }
+        }
+        if request.kernels.is_empty() {
+            return Err(ServiceError::bad(
+                "request must name at least one kernel in `kernels`",
+            ));
+        }
+        Ok(request)
+    }
+
+    /// The canonical rendering of this request: fixed field order,
+    /// `sizes` sorted by dimension name, absent options omitted — so
+    /// parse→render→parse is a fixpoint (the schema round-trip test).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        pairs.push((
+            "kernels".to_string(),
+            Json::Array(
+                self.kernels
+                    .iter()
+                    .map(|spec| match spec {
+                        KernelSpec::Builtin(name) => Json::str(format!("builtin:{name}")),
+                        KernelSpec::Inline { source } => {
+                            Json::obj([("source", Json::str(source.clone()))])
+                        }
+                    })
+                    .collect(),
+            ),
+        ));
+        if !self.sizes.is_empty() {
+            let mut sizes: Vec<(&String, &i64)> = self.sizes.iter().collect();
+            sizes.sort_by(|a, b| a.0.cmp(b.0));
+            pairs.push((
+                "sizes".to_string(),
+                Json::Object(
+                    sizes
+                        .into_iter()
+                        .map(|(name, size)| (name.clone(), Json::Int(*size)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(cache) = self.cache_elems {
+            pairs.push(("cache".to_string(), Json::Num(cache)));
+        }
+        if self.symbolic_only {
+            pairs.push(("symbolic_only".to_string(), Json::Bool(true)));
+        }
+        if let Some(ms) = self.timeout_ms {
+            pairs.push(("timeout_ms".to_string(), Json::Int(ms as i64)));
+        }
+        if let Some(steps) = self.max_steps {
+            pairs.push(("max_steps".to_string(), Json::Int(steps as i64)));
+        }
+        Json::Object(pairs)
+    }
+}
+
+fn positive_int(value: &Json, field: &str) -> Result<u64, ServiceError> {
+    value
+        .as_i64()
+        .filter(|n| *n >= 0)
+        .map(|n| n as u64)
+        .ok_or_else(|| ServiceError::bad(format!("`{field}` must be a non-negative integer")))
+}
+
+fn parse_kernel_spec(entry: &Json) -> Result<KernelSpec, ServiceError> {
+    match entry {
+        Json::Str(s) => {
+            let name = s.strip_prefix("builtin:").ok_or_else(|| {
+                ServiceError::bad(format!(
+                    "kernel `{s}`: only `builtin:NAME` strings are served; \
+                     send DSL source inline as {{\"source\": ...}}"
+                ))
+            })?;
+            Ok(KernelSpec::Builtin(name.to_string()))
+        }
+        Json::Object(_) => {
+            let source = entry
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ServiceError::bad("inline kernel needs a string `source` field"))?;
+            if let Json::Object(pairs) = entry {
+                if let Some((key, _)) = pairs.iter().find(|(k, _)| k != "source") {
+                    return Err(ServiceError::bad(format!(
+                        "unknown inline-kernel field `{key}`"
+                    )));
+                }
+            }
+            Ok(KernelSpec::Inline {
+                source: source.to_string(),
+            })
+        }
+        _ => Err(ServiceError::bad(
+            "each kernel must be a `builtin:NAME` string or a {\"source\": ...} object",
+        )),
+    }
+}
+
+/// Resolves a request into concrete batch items: expands `builtin:all`,
+/// attaches corpus sizes, parses inline source, applies the request's
+/// size overrides, and checks every loop dimension has a size.
+///
+/// # Errors
+///
+/// A 400 [`ServiceError`] for unknown builtins, parse failures, missing
+/// dimension sizes, or a request exceeding
+/// [`ServiceDefaults::max_kernels`].
+pub fn service_items(
+    request: &ServiceRequest,
+    defaults: &ServiceDefaults,
+) -> Result<Vec<BatchItem>, ServiceError> {
+    let mut items: Vec<BatchItem> = Vec::new();
+    for spec in &request.kernels {
+        match spec {
+            KernelSpec::Builtin(name) if name == "all" => {
+                items.extend(builtin_corpus());
+            }
+            KernelSpec::Builtin(name) => {
+                let item = corpus_item(name)
+                    .ok_or_else(|| ServiceError::bad(format!("unknown builtin `{name}`")))?;
+                items.push(item);
+            }
+            KernelSpec::Inline { source } => {
+                let kernel = ioopt_ir::parse_kernel(source)
+                    .map_err(|e| ServiceError::bad(e.render(source)))?;
+                let sizes = kernel.default_sizes().unwrap_or_default();
+                items.push(BatchItem {
+                    label: kernel.name().to_string(),
+                    kernel,
+                    sizes,
+                });
+            }
+        }
+    }
+    for item in &mut items {
+        for (name, size) in &request.sizes {
+            item.sizes.insert(name.clone(), *size);
+        }
+        for d in item.kernel.dims() {
+            if !item.sizes.contains_key(&d.name) {
+                return Err(ServiceError::bad(format!(
+                    "kernel `{}`: missing size for loop dimension `{}`",
+                    item.label, d.name
+                )));
+            }
+        }
+    }
+    if items.len() > defaults.max_kernels {
+        return Err(ServiceError::bad(format!(
+            "request names {} kernels; this server caps a request at {}",
+            items.len(),
+            defaults.max_kernels
+        )));
+    }
+    Ok(items)
+}
+
+/// Runs a resolved request on the shared batch machinery inside a
+/// per-request budget scope and a `serve.request` span. The returned
+/// report renders to the same bytes `ioopt batch --json` prints.
+pub fn run_service(
+    request: &ServiceRequest,
+    items: &[BatchItem],
+    defaults: &ServiceDefaults,
+) -> BatchReport {
+    let options = BatchOptions {
+        cache_elems: request.cache_elems.unwrap_or(defaults.cache_elems),
+        jobs: 1,
+        memo: true,
+        numeric: !request.symbolic_only,
+        timeout_ms: request.timeout_ms.or(defaults.timeout_ms),
+        max_steps: request.max_steps,
+        fail_fast: false,
+    };
+    // One budget per request: every row's own deadline is capped by the
+    // window this request has left (see `row_budget`), so a 19-kernel
+    // request cannot spend 19 full timeouts.
+    let budget = match options.timeout_ms {
+        Some(ms) => Budget::with_limits(Some(Duration::from_millis(ms)), None, None),
+        None => Budget::counting(),
+    };
+    let _scope = budget.enter();
+    let _span = obs::span("serve.request");
+    run_batch(items, &options)
+}
+
+/// The full `/analyze` path: parse the body, resolve items, run, render.
+///
+/// # Errors
+///
+/// A [`ServiceError`] carrying the HTTP status for malformed or
+/// rejected requests.
+pub fn handle_analyze(body: &str, defaults: &ServiceDefaults) -> Result<String, ServiceError> {
+    let value = Json::parse(body)
+        .map_err(|e| ServiceError::bad(format!("request is not valid JSON: {e}")))?;
+    let request = ServiceRequest::from_json(&value)?;
+    let items = service_items(&request, defaults)?;
+    let report = run_service(&request, &items, defaults);
+    // Exactly the bytes `ioopt batch --json` prints: report + newline.
+    Ok(format!("{}\n", report.to_json()))
+}
+
+/// Builds the HTTP handler `ioopt serve` mounts: `POST /analyze` runs
+/// [`handle_analyze`]; everything else is 404/405. Internal routes
+/// (`/healthz`, `/metrics`, `/shutdown`) are handled by the serving
+/// layer before this handler is consulted.
+pub fn analysis_handler(
+    defaults: ServiceDefaults,
+) -> Arc<dyn Fn(&Request) -> Response + Send + Sync> {
+    Arc::new(
+        move |request: &Request| match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/analyze") => {
+                let body = match request.body_utf8() {
+                    Ok(body) => body,
+                    Err(e) => return Response::error(e.status, &e.message),
+                };
+                match handle_analyze(body, &defaults) {
+                    Ok(rendered) => Response::json_raw(200, rendered),
+                    Err(e) => Response::error(e.status, &e.message),
+                }
+            }
+            (_, "/analyze") => Response::error(405, "use POST /analyze"),
+            _ => Response::error(404, "unknown path; the API is POST /analyze"),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<ServiceRequest, ServiceError> {
+        ServiceRequest::from_json(&Json::parse(body).expect("test body is valid JSON"))
+    }
+
+    #[test]
+    fn request_parses_and_renders_canonically() {
+        let body = r#"{"kernels":["builtin:matmul",{"source":"kernel k { loop i : N = 4; A[i] += B[i]; }"}],"sizes":{"j":8,"i":4},"cache":1024.0,"symbolic_only":true,"timeout_ms":500}"#;
+        let request = parse(body).expect("parses");
+        assert_eq!(request.kernels.len(), 2);
+        assert_eq!(
+            request.kernels[0],
+            KernelSpec::Builtin("matmul".to_string())
+        );
+        assert_eq!(request.sizes.get("i"), Some(&4));
+        assert!(request.symbolic_only);
+        // Canonical render sorts sizes and keeps field order fixed.
+        let rendered = request.to_json().render();
+        let again = ServiceRequest::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(again, request);
+        assert_eq!(again.to_json().render(), rendered, "render is a fixpoint");
+    }
+
+    #[test]
+    fn strict_parsing_rejects_bad_shapes() {
+        assert!(parse(r#"{"kernels":[]}"#).is_err(), "empty kernels");
+        assert!(
+            parse(r#"{"kernels":["matmul"]}"#).is_err(),
+            "no builtin: prefix"
+        );
+        assert!(parse(r#"{"kernels":["builtin:matmul"],"symbolic":true}"#).is_err());
+        assert!(
+            parse(r#"{"kernels":[{"src":"x"}]}"#).is_err(),
+            "bad inline key"
+        );
+        assert!(parse(r#"{"kernels":["builtin:matmul"],"sizes":{"i":0}}"#).is_err());
+        assert!(parse(r#"{"kernels":["builtin:matmul"],"cache":-1}"#).is_err());
+        let err = parse(r#"{"kernels":["/etc/passwd"]}"#).expect_err("no file paths");
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("builtin:NAME"), "{}", err.message);
+    }
+
+    #[test]
+    fn items_resolve_builtins_and_inline_source() {
+        let defaults = ServiceDefaults::default();
+        let request = parse(
+            r#"{"kernels":["builtin:all",{"source":"kernel tiny { loop i : N = 8; loop j : M = 8; A[i] += B[j]; }"}]}"#,
+        )
+        .unwrap();
+        let items = service_items(&request, &defaults).expect("resolves");
+        assert_eq!(items.len(), 20, "19 corpus + inline");
+        assert_eq!(items[19].label, "tiny");
+        assert_eq!(items[19].sizes.get("i"), Some(&8));
+        // A classic builtin has no default sizes: the request supplies
+        // them (and without them the dim-coverage check answers 400).
+        let classic =
+            parse(r#"{"kernels":["builtin:matmul"],"sizes":{"i":64,"j":64,"k":64}}"#).unwrap();
+        let items = service_items(&classic, &defaults).expect("sized classic resolves");
+        assert_eq!(items[0].sizes.len(), 3);
+        let unsized_classic = parse(r#"{"kernels":["builtin:matmul"]}"#).unwrap();
+        assert!(service_items(&unsized_classic, &defaults).is_err());
+
+        let unknown = parse(r#"{"kernels":["builtin:nope"]}"#).unwrap();
+        assert!(service_items(&unknown, &defaults).is_err());
+        let bad_src = parse(r#"{"kernels":[{"source":"kernel {"}]}"#).unwrap();
+        assert!(service_items(&bad_src, &defaults).is_err());
+        let no_sizes =
+            parse(r#"{"kernels":[{"source":"kernel k { loop i : N; A[i] += B[i]; }"}]}"#).unwrap();
+        let err = service_items(&no_sizes, &defaults).expect_err("missing dimension size");
+        assert!(err.message.contains("missing size"), "{}", err.message);
+
+        let capped = ServiceDefaults {
+            max_kernels: 3,
+            ..ServiceDefaults::default()
+        };
+        let err = service_items(&request, &capped).expect_err("over the kernel cap");
+        assert!(err.message.contains("caps a request"), "{}", err.message);
+    }
+
+    #[test]
+    fn served_report_matches_batch_bytes() {
+        let defaults = ServiceDefaults::default();
+        let body = r#"{"kernels":["builtin:matmul"],"sizes":{"i":64,"j":64,"k":64},"cache":1024.0,"symbolic_only":true}"#;
+        let served = handle_analyze(body, &defaults).expect("analyzes");
+        // The same inputs through the batch entry point directly.
+        let request = parse(body).unwrap();
+        let items = service_items(&request, &defaults).unwrap();
+        let report = run_batch(
+            &items,
+            &BatchOptions {
+                cache_elems: 1024.0,
+                numeric: false,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(served, format!("{}\n", report.to_json()));
+    }
+}

@@ -329,6 +329,30 @@ impl Budget {
             .and_then(|i| Exhaustion::from_code(i.state.load(Ordering::Relaxed)))
     }
 
+    /// The wall-clock deadline, if this budget has one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// Time remaining until the wall-clock deadline: `None` when there is
+    /// no deadline, `Some(Duration::ZERO)` once it has passed (or the
+    /// budget is already exhausted for any reason).
+    ///
+    /// The serving layer uses this for *per-request budget scoping*: it
+    /// enters one deadline budget per request, and every row budget the
+    /// batch runner derives underneath caps its own deadline by the time
+    /// remaining on the ambient request budget, so one slow kernel can
+    /// never spend a later kernel's share of the request window.
+    pub fn remaining_time(&self) -> Option<Duration> {
+        let inner = self.inner.as_ref()?;
+        if Exhaustion::from_code(inner.state.load(Ordering::Relaxed)).is_some() {
+            return Some(Duration::ZERO);
+        }
+        inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
     /// Steps consumed so far (0 for the unlimited budget).
     pub fn steps_used(&self) -> u64 {
         self.inner
@@ -510,6 +534,23 @@ mod tests {
             assert_eq!(format!("{s}"), s.as_str());
         }
         assert_eq!(Status::parse("bogus"), None);
+    }
+
+    #[test]
+    fn remaining_time_tracks_the_deadline() {
+        assert_eq!(Budget::unlimited().remaining_time(), None);
+        let b = Budget::with_limits(None, Some(10), None);
+        assert_eq!(b.remaining_time(), None, "no deadline, no remaining time");
+        let b = Budget::with_limits(Some(Duration::from_secs(3600)), None, None);
+        let left = b.remaining_time().expect("deadline budget has remaining");
+        assert!(left > Duration::from_secs(3590), "{left:?}");
+        assert!(b.deadline().is_some());
+        let spent = Budget::with_limits(Some(Duration::ZERO), None, None);
+        assert_eq!(spent.remaining_time(), Some(Duration::ZERO));
+        // Exhaustion (for any cause) clamps remaining time to zero.
+        let c = Budget::with_limits(Some(Duration::from_secs(3600)), None, None);
+        c.cancel();
+        assert_eq!(c.remaining_time(), Some(Duration::ZERO));
     }
 
     #[test]

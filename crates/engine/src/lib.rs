@@ -32,5 +32,5 @@ mod pool;
 pub use govern::{AmbientGuard, Budget, Exhaustion, Status};
 pub use json::Json;
 pub use memo::{CacheStats, MemoCache, StableHasher};
-pub use obs::Trace;
-pub use pool::{available_threads, par_map};
+pub use obs::{Histogram, Trace};
+pub use pool::{available_threads, par_map, BoundedQueue};

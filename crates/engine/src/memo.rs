@@ -82,6 +82,20 @@ impl CacheStats {
             entries: self.entries + other.entries,
         }
     }
+
+    /// The counter movement since `baseline` (a snapshot taken earlier on
+    /// the same cache): hits and misses subtract saturating, entries keep
+    /// the current resident count. This is how a long-lived server
+    /// isolates one window's hit ratio — e.g. proving a request storm ran
+    /// warmer than the cold batch that preceded it — without resetting
+    /// the process-lifetime cache.
+    pub fn delta(&self, baseline: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            entries: self.entries,
+        }
+    }
 }
 
 const SHARDS: usize = 16;
@@ -331,6 +345,27 @@ mod tests {
         cache.insert(b"x", 1);
         cache.set_enabled(true);
         assert_eq!(cache.get(b"x"), None, "disabled insert stored nothing");
+    }
+
+    #[test]
+    fn stats_delta_isolates_a_window() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        cache.get_or_insert_with(b"a", || 1); // miss
+        cache.get_or_insert_with(b"a", || 1); // hit
+        let baseline = cache.stats();
+        cache.get_or_insert_with(b"a", || 1); // hit
+        cache.get_or_insert_with(b"a", || 1); // hit
+        cache.get_or_insert_with(b"b", || 2); // miss
+        let window = cache.stats().delta(&baseline);
+        assert_eq!((window.hits, window.misses, window.entries), (2, 1, 2));
+        assert!((window.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        // Delta against a fresher snapshot saturates instead of wrapping.
+        let stale = cache.stats().delta(&CacheStats {
+            hits: u64::MAX,
+            misses: u64::MAX,
+            entries: 0,
+        });
+        assert_eq!((stale.hits, stale.misses), (0, 0));
     }
 
     #[test]

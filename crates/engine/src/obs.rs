@@ -81,9 +81,15 @@ pub enum Metric {
     GridPoints,
     /// Fourier–Motzkin projection steps (one per eliminated variable).
     FmProjections,
+    /// HTTP requests the `ioopt serve` layer answered (any status except
+    /// admission rejections).
+    ServeRequests,
+    /// Connections the serving layer's admission control turned away
+    /// with a 429 because the request queue was full.
+    ServeRejected,
 }
 
-const METRIC_COUNT: usize = 8;
+const METRIC_COUNT: usize = 10;
 
 impl Metric {
     /// Every metric, in registry (display) order.
@@ -96,6 +102,8 @@ impl Metric {
         Metric::PermsSelected,
         Metric::GridPoints,
         Metric::FmProjections,
+        Metric::ServeRequests,
+        Metric::ServeRejected,
     ];
 
     /// The stable dotted wire name (used in reports and the JSON
@@ -110,6 +118,8 @@ impl Metric {
             Metric::PermsSelected => "perm.selected",
             Metric::GridPoints => "grid.points",
             Metric::FmProjections => "fm.projections",
+            Metric::ServeRequests => "serve.requests",
+            Metric::ServeRejected => "serve.rejected",
         }
     }
 }
@@ -150,6 +160,110 @@ pub fn render_metrics_line() -> String {
         out.push_str(&format!(" {name}={v}"));
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+/// Default latency bucket upper bounds in microseconds (250 µs … 10 s,
+/// roughly ×2–×2.5 apart), chosen so both a warm memo-cache hit and a
+/// slow numeric TileOpt request land in an interior bucket.
+pub const LATENCY_BOUNDS_US: [u64; 15] = [
+    250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+    2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A fixed-bucket histogram over relaxed atomics: wait-free to observe,
+/// lock-free to read, never feeding back into any analysis result.
+///
+/// Buckets hold *non-cumulative* counts internally; readers get the
+/// Prometheus-style cumulative view from [`Histogram::cumulative`]. One
+/// extra overflow bucket (+Inf) catches observations beyond the last
+/// bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds_us: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the default request-latency bounds
+    /// ([`LATENCY_BOUNDS_US`]).
+    pub fn latency() -> Histogram {
+        Histogram::with_bounds_us(&LATENCY_BOUNDS_US)
+    }
+
+    /// A histogram over the given strictly increasing bucket upper
+    /// bounds (microseconds). A trailing +Inf bucket is always added.
+    pub fn with_bounds_us(bounds_us: &[u64]) -> Histogram {
+        assert!(
+            bounds_us.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds_us: bounds_us.to_vec(),
+            buckets: (0..=bounds_us.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = self
+            .bounds_us
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(self.bounds_us.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of every observation, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// The cumulative bucket view, Prometheus style: `(upper bound in
+    /// µs, observations ≤ bound)` per bucket, ending with `(None, total)`
+    /// for +Inf. Concurrent observers may race individual increments;
+    /// the view is still internally monotone.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(self.buckets.len());
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            acc += bucket.load(Ordering::Relaxed);
+            out.push((self.bounds_us.get(i).copied(), acc));
+        }
+        out
+    }
+
+    /// The upper bound (µs) of the bucket containing the `q`-quantile
+    /// (0 < q ≤ 1) of the observations so far; observations beyond the
+    /// last finite bound report that last bound. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let view = self.cumulative();
+        let total = view.last().map_or(0, |&(_, c)| c);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        for (bound, cum) in &view {
+            if *cum >= rank {
+                return bound.unwrap_or_else(|| *self.bounds_us.last().unwrap_or(&0));
+            }
+        }
+        *self.bounds_us.last().unwrap_or(&0)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -835,5 +949,57 @@ mod tests {
                 .map(<[Json]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_quantiles() {
+        let h = Histogram::with_bounds_us(&[10, 100, 1_000]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram reports 0");
+        for us in [5, 10, 11, 99, 500, 2_000] {
+            h.observe_us(us);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_us(), 5 + 10 + 11 + 99 + 500 + 2_000);
+        let view = h.cumulative();
+        assert_eq!(
+            view,
+            vec![(Some(10), 2), (Some(100), 4), (Some(1_000), 5), (None, 6)]
+        );
+        // p50 lands in the ≤100 bucket (rank 3 of 6); p99 is in +Inf,
+        // which reports the last finite bound.
+        assert_eq!(h.quantile_us(0.5), 100);
+        assert_eq!(h.quantile_us(0.99), 1_000);
+    }
+
+    #[test]
+    fn histogram_default_latency_bounds_are_increasing() {
+        let h = Histogram::latency();
+        h.observe_us(300);
+        h.observe_us(30_000_000); // beyond the last bound → +Inf bucket
+        let view = h.cumulative();
+        assert_eq!(view.last(), Some(&(None, 2)));
+        assert_eq!(view.len(), LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(h.quantile_us(1.0), *LATENCY_BOUNDS_US.last().unwrap());
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_observers() {
+        let h = std::sync::Arc::new(Histogram::latency());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        h.observe_us(t * 1_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("observer joins");
+        }
+        assert_eq!(h.count(), 1_000);
+        assert_eq!(h.cumulative().last(), Some(&(None, 1_000)));
     }
 }

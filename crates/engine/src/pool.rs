@@ -1,7 +1,10 @@
-//! A scoped worker pool with deterministic result ordering.
+//! A scoped worker pool with deterministic result ordering, plus the
+//! bounded MPMC queue the serving layer uses for admission control.
 
 use crate::govern::Budget;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// The number of hardware threads available, or 1 when undetectable.
 pub fn available_threads() -> usize {
@@ -86,6 +89,96 @@ where
         .collect()
 }
 
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue with *rejecting*
+/// overflow semantics: [`BoundedQueue::try_push`] never blocks and hands
+/// the item back when the queue is full, so the producer can apply
+/// backpressure (the serving layer turns a full queue into an HTTP 429
+/// instead of queuing unboundedly).
+///
+/// Consumers block in [`BoundedQueue::pop`] until an item arrives or the
+/// queue is [closed](BoundedQueue::close); a closed queue still drains
+/// every item that was admitted before the close, which is what gives
+/// the server its graceful-drain semantics (stop accepting, finish
+/// everything in flight).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue admitting at most `capacity` items at a time
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The admission capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits `item` if there is room; hands it back (`Err`) when the
+    /// queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed *and* fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes are rejected, and consumers get
+    /// `None` once the already-admitted items are drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting (a point-in-time snapshot; the `/metrics`
+    /// queue-depth gauge).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +227,57 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow_and_drains_on_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3), "full queue hands the item back");
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue rejects pushes");
+        // Admitted items still drain after the close, in FIFO order.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_wakes_blocked_consumers() {
+        let q: std::sync::Arc<BoundedQueue<u32>> = std::sync::Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        for v in 0..8u32 {
+            // Capacity 4: spin until the consumer makes room.
+            let mut item = v;
+            while let Err(back) = q.try_push(item) {
+                item = back;
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let got = consumer.join().expect("consumer joins");
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_queue_capacity_is_at_least_one() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(9).is_ok());
+        assert_eq!(q.try_push(10), Err(10));
+        assert_eq!(q.pop(), Some(9));
     }
 }

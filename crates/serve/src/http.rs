@@ -1,0 +1,348 @@
+//! Minimal HTTP/1.1 request parsing and response writing over
+//! `std::net::TcpStream`.
+//!
+//! This is deliberately not a general HTTP implementation: the server
+//! speaks `Connection: close` (one request per connection), enforces a
+//! bounded head and body size so a slow or hostile client cannot pin a
+//! worker on unbounded reads, and surfaces every malformed input as an
+//! [`HttpError`] carrying the status code the caller should answer with.
+//! Keeping the connection single-shot is what makes admission control
+//! exact: one queue slot is exactly one request, never an idle
+//! keep-alive socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parse/read failure carrying the HTTP status to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// The HTTP status code the response should use (400, 408, 413, …).
+    pub status: u16,
+    /// Human-readable reason, included in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// A parsed HTTP/1.1 request: method, path, lower-cased headers, body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path, query string included verbatim.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body decoded as UTF-8, or an [`HttpError`] 400.
+    pub fn body_utf8(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::new(400, "request body is not valid UTF-8"))
+    }
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+///
+/// Returns `Ok(None)` when the peer closed the connection before
+/// sending anything (a health-checker probing the port, say) — not an
+/// error, just nothing to answer. `read_timeout` bounds every blocking
+/// read, so a stalled client surfaces as a 408 instead of pinning the
+/// worker forever; `max_body_bytes` turns an oversized `Content-Length`
+/// into a 413 before any body byte is read.
+pub fn read_request(
+    stream: &mut TcpStream,
+    read_timeout: Duration,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    stream
+        .set_read_timeout(Some(read_timeout))
+        .map_err(|e| HttpError::new(500, format!("set_read_timeout: {e}")))?;
+
+    // Read until the blank line ending the head, never past MAX_HEAD_BYTES.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::new(431, "request head exceeds 16 KiB"));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = read_chunk(stream, &mut chunk, buf.is_empty())?;
+        match n {
+            None => return Ok(None), // clean close before any bytes
+            Some(0) => {
+                return Err(HttpError::new(400, "connection closed mid-request"));
+            }
+            Some(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request method"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "missing request path"))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            505,
+            format!("unsupported version {version:?}"),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {max_body_bytes}-byte limit"
+            ),
+        ));
+    }
+
+    // Body: whatever followed the head in the buffer, then read the rest.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (content_length - body.len()).min(chunk.len());
+        match read_chunk(stream, &mut chunk[..want], false)? {
+            None | Some(0) => {
+                return Err(HttpError::new(400, "connection closed mid-body"));
+            }
+            Some(n) => body.extend_from_slice(&chunk[..n]),
+        }
+    }
+    body.truncate(content_length);
+
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// One `read`, mapping timeouts to 408. `first` marks the very first
+/// read of the connection, where EOF means "peer never sent anything"
+/// (`Ok(None)`) rather than a truncated request.
+fn read_chunk(
+    stream: &mut TcpStream,
+    chunk: &mut [u8],
+    first: bool,
+) -> Result<Option<usize>, HttpError> {
+    match stream.read(chunk) {
+        Ok(0) if first => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Err(HttpError::new(408, "timed out reading the request"))
+        }
+        Err(e) => Err(HttpError::new(400, format!("read error: {e}"))),
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` HTTP/1.1 response, then
+/// performs a *lingering close*: shut down the write side and drain
+/// what the peer still has in flight (bounded by a 2 s timeout). The
+/// drain matters whenever the request was not fully read — a shed 429
+/// or an early 4xx — because closing a socket with unread bytes in its
+/// receive buffer makes the kernel send RST, which can destroy the
+/// response before the client reads it. Extra headers (e.g.
+/// `Retry-After`) are emitted verbatim between the fixed headers and
+/// the body. Write errors are swallowed: the peer hanging up while we
+/// answer is their problem, not the server's.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut sink = [0u8; 1024];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("write");
+            // Drop closes the write side so EOF-sensitive paths resolve.
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let got = read_request(&mut stream, Duration::from_secs(2), 1024 * 1024);
+        writer.join().expect("writer joins");
+        got
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            round_trip(b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .expect("ok")
+                .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.header("content-length"), Some("5"));
+        assert_eq!(req.header("HOST"), Some("x"), "case-insensitive lookup");
+        assert_eq!(req.body_utf8().unwrap(), "hello");
+    }
+
+    #[test]
+    fn empty_connection_is_not_an_error() {
+        let got = round_trip(b"").expect("ok");
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_a_400() {
+        let err =
+            round_trip(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi").expect_err("must fail");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn oversized_content_length_is_a_413() {
+        let err = round_trip(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+            .expect_err("must fail");
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn bad_version_is_a_505() {
+        let err = round_trip(b"GET / HTTP/2\r\n\r\n").expect_err("must fail");
+        assert_eq!(err.status, 505);
+    }
+
+    #[test]
+    fn response_writer_emits_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            out
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        write_response(
+            &mut stream,
+            429,
+            "application/json",
+            &[("Retry-After".to_string(), "1".to_string())],
+            b"{\"error\":\"full\"}",
+        );
+        drop(stream);
+        let text = reader.join().expect("reader joins");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":\"full\"}"), "{text}");
+    }
+}

@@ -1,0 +1,522 @@
+//! # ioopt-serve
+//!
+//! A zero-dependency HTTP/1.1 serving layer on `std::net::TcpListener`:
+//! bounded admission queue with backpressure, a fixed worker pool,
+//! Prometheus-format metrics, health checks, and graceful drain.
+//!
+//! The crate is generic over the work it serves: [`Server::bind`] takes
+//! a handler closure mapping a parsed [`Request`] to a [`Response`], and
+//! everything analysis-specific (the request schema, kernel dispatch,
+//! budget scoping) lives upstream in `ioopt::service`. That keeps the
+//! dependency arrow pointing one way — `ioopt` depends on this crate,
+//! never the reverse — while the serving machinery itself stays
+//! reusable and independently testable.
+//!
+//! # Admission control
+//!
+//! One accepted connection is exactly one request (`Connection: close`),
+//! and every connection must win a slot in a [`BoundedQueue`] before a
+//! worker will look at it. When the queue is full the acceptor answers
+//! `429 Too Many Requests` immediately — with a `Retry-After` header
+//! and a structured JSON body — instead of queuing unboundedly. Load
+//! the server cannot keep up with is therefore shed at the front door
+//! in O(1), and the queue depth is an honest measure of backlog.
+//!
+//! # Graceful drain
+//!
+//! [`Server::shutdown`] stops the acceptor (new connections are
+//! refused), closes the queue (admitted requests still drain), and
+//! joins every worker — so in-flight requests always complete and the
+//! process exits clean. Dropping an un-shut-down [`Server`] performs
+//! the same drain.
+
+#![warn(missing_docs)]
+
+pub mod http;
+
+pub use http::{HttpError, Request};
+
+use ioopt_engine::obs::{self, Histogram, Metric};
+use ioopt_engine::{BoundedQueue, Json};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`Server`]. `Default` is sized for the analysis
+/// workload: a few workers (each request may itself fan out via the
+/// engine pool), a queue a couple of bursts deep, and body limits far
+/// above any legitimate kernel source.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connection number `capacity + workers + 1`
+    /// is the first to see a 429.
+    pub queue_capacity: usize,
+    /// Per-read timeout while parsing a request; a stalled client gets
+    /// a 408 and frees its worker.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size (413 beyond it).
+    pub max_body_bytes: usize,
+    /// The `Retry-After` hint (milliseconds, rounded up to whole
+    /// seconds on the wire) attached to 429 responses.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            workers: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 1024 * 1024,
+            retry_after_ms: 1000,
+        }
+    }
+}
+
+/// What a handler answers: status, content type, body, extra headers.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Extra headers appended verbatim (e.g. `Retry-After`).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A JSON response rendering `value` through the shared
+    /// deterministic [`Json`] renderer.
+    pub fn json(status: u16, value: &Json) -> Response {
+        let mut body = value.render().into_bytes();
+        body.push(b'\n');
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body,
+            headers: Vec::new(),
+        }
+    }
+
+    /// A JSON response from an already-rendered body (no trailing
+    /// newline added — the caller owns the exact bytes).
+    pub fn json_raw(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json".to_string(),
+            body: body.into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".to_string(),
+            body: body.as_bytes().to_vec(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// The structured JSON error body every non-2xx answer uses:
+    /// `{"error": <reason phrase>, "message": ...}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        let value = Json::obj([
+            (
+                "error",
+                Json::str(http::reason_phrase(status).to_ascii_lowercase()),
+            ),
+            ("message", Json::str(message)),
+        ]);
+        Response::json(status, &value)
+    }
+}
+
+/// The handler signature: pure function of the parsed request. Panics
+/// are contained per request (the worker answers 500 and lives on).
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+struct Shared {
+    queue: BoundedQueue<(TcpStream, Instant)>,
+    options: ServeOptions,
+    latency: Histogram,
+    stop: AtomicBool,
+    stop_gate: Mutex<bool>,
+    stop_signal: Condvar,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        *self.stop_gate.lock().expect("stop gate poisoned") = true;
+        self.stop_signal.notify_all();
+    }
+}
+
+/// A running HTTP server: one acceptor thread, `workers` worker
+/// threads, and a bounded admission queue between them.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor and worker threads immediately.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        options: ServeOptions,
+        handler: Arc<Handler>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(options.queue_capacity),
+            options: options.clone(),
+            latency: Histogram::latency(),
+            stop: AtomicBool::new(false),
+            stop_gate: Mutex::new(false),
+            stop_signal: Condvar::new(),
+        });
+
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        let workers = (0..options.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &handler))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound socket address (resolves port 0 to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests currently waiting for a worker (the `/metrics`
+    /// queue-depth gauge).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Flags the server for shutdown without blocking: the acceptor
+    /// stops on its next poll, and [`Server::run`] returns. `POST
+    /// /shutdown` calls this internally.
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+    }
+
+    /// Blocks until shutdown is requested (via [`Server::request_shutdown`]
+    /// or `POST /shutdown`), then drains and joins everything.
+    pub fn run(mut self) {
+        {
+            let mut stopped = self.shared.stop_gate.lock().expect("stop gate poisoned");
+            while !*stopped {
+                stopped = self
+                    .shared
+                    .stop_signal
+                    .wait(stopped)
+                    .expect("stop gate poisoned");
+            }
+        }
+        self.drain();
+    }
+
+    /// Graceful drain: stop accepting (new connections are refused),
+    /// finish every admitted request, join all threads. Idempotent.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The listener is dropped with the acceptor: the port now
+        // refuses connections. Close the queue so workers exit once the
+        // already-admitted requests are done.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                admit(stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Queue the connection or shed it with a structured 429. The 429 is
+/// written (with its lingering close) on a detached thread: the shed
+/// client has not been read, so the graceful close must wait for its
+/// in-flight bytes, and that wait must never stall the acceptor.
+fn admit(stream: TcpStream, shared: &Shared) {
+    match shared.queue.try_push((stream, Instant::now())) {
+        Ok(()) => {}
+        Err((mut stream, _)) => {
+            obs::add(Metric::ServeRejected, 1);
+            let retry_ms = shared.options.retry_after_ms;
+            let body = Json::obj([
+                ("error", Json::str("too many requests")),
+                (
+                    "message",
+                    Json::str(format!(
+                        "admission queue is full ({} waiting); retry after {retry_ms} ms",
+                        shared.queue.len()
+                    )),
+                ),
+                ("retry_after_ms", Json::Int(retry_ms as i64)),
+            ]);
+            let mut rendered = body.render().into_bytes();
+            rendered.push(b'\n');
+            let spawned = std::thread::Builder::new()
+                .name("serve-reject".to_string())
+                .spawn(move || {
+                    http::write_response(
+                        &mut stream,
+                        429,
+                        "application/json",
+                        &[(
+                            "Retry-After".to_string(),
+                            format!("{}", retry_ms.div_ceil(1000).max(1)),
+                        )],
+                        &rendered,
+                    );
+                });
+            // Thread exhaustion means the client sees a reset instead of
+            // the 429 body — survivable, and strictly an overload signal.
+            let _ = spawned;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, handler: &Arc<Handler>) {
+    while let Some((mut stream, admitted)) = shared.queue.pop() {
+        let response = match http::read_request(
+            &mut stream,
+            shared.options.read_timeout,
+            shared.options.max_body_bytes,
+        ) {
+            Ok(None) => continue, // probe connection, nothing to answer
+            Ok(Some(request)) => dispatch(&request, shared, handler),
+            Err(e) => Response::error(e.status, &e.message),
+        };
+        http::write_response(
+            &mut stream,
+            response.status,
+            &response.content_type,
+            &response.headers,
+            &response.body,
+        );
+        drop(stream);
+        let us = admitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        shared.latency.observe_us(us);
+        obs::add(Metric::ServeRequests, 1);
+    }
+}
+
+/// Internal routes first, then the user handler with per-request panic
+/// containment.
+fn dispatch(request: &Request, shared: &Shared, handler: &Arc<Handler>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".to_string(),
+            body: render_prometheus(shared).into_bytes(),
+            headers: Vec::new(),
+        },
+        ("POST", "/shutdown") => {
+            shared.request_shutdown();
+            Response::json(202, &Json::obj([("status", Json::str("draining"))]))
+        }
+        (_, "/healthz") | (_, "/metrics") | (_, "/shutdown") => {
+            Response::error(405, "method not allowed on this endpoint")
+        }
+        _ => match catch_unwind(AssertUnwindSafe(|| handler(request))) {
+            Ok(response) => response,
+            Err(_) => Response::error(500, "request handler panicked; server still healthy"),
+        },
+    }
+}
+
+/// Renders the process-wide [`Metric`] registry, the queue-depth gauge,
+/// and the request-latency histogram in Prometheus text format. Metric
+/// dots become underscores under an `ioopt_` prefix (`memo.hits` →
+/// `ioopt_memo_hits`).
+fn render_prometheus(shared: &Shared) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, value) in obs::metrics_snapshot() {
+        let wire = format!("ioopt_{}", name.replace('.', "_"));
+        out.push_str(&format!("# TYPE {wire} counter\n{wire} {value}\n"));
+    }
+    out.push_str(&format!(
+        "# TYPE ioopt_serve_queue_depth gauge\nioopt_serve_queue_depth {}\n",
+        shared.queue.len()
+    ));
+    out.push_str("# TYPE ioopt_serve_request_latency_seconds histogram\n");
+    for (bound_us, cumulative) in shared.latency.cumulative() {
+        let le = match bound_us {
+            Some(us) => format!("{}", us as f64 / 1e6),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(&format!(
+            "ioopt_serve_request_latency_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "ioopt_serve_request_latency_seconds_sum {}\n",
+        shared.latency.sum_us() as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "ioopt_serve_request_latency_seconds_count {}\n",
+        shared.latency.count()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("read");
+        let status: u16 = text
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn echo_server(options: ServeOptions) -> Server {
+        Server::bind(
+            "127.0.0.1:0",
+            options,
+            Arc::new(|req: &Request| {
+                if req.path == "/panic" {
+                    panic!("handler poisoned");
+                }
+                Response::text(200, &format!("{} {}", req.method, req.path))
+            }),
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn serves_health_metrics_and_the_handler() {
+        let server = echo_server(ServeOptions::default());
+        let addr = server.addr();
+        assert_eq!(get(addr, "/healthz"), (200, "ok\n".to_string()));
+        let (status, body) = get(addr, "/anything");
+        assert_eq!((status, body.as_str()), (200, "GET /anything"));
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("ioopt_serve_queue_depth "), "{metrics}");
+        assert!(
+            metrics.contains("ioopt_serve_request_latency_seconds_count "),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn handler_panics_are_contained() {
+        let server = echo_server(ServeOptions::default());
+        let addr = server.addr();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let (status, body) = get(addr, "/panic");
+        std::panic::set_hook(hook);
+        assert_eq!(status, 500);
+        assert!(body.contains("panicked"), "{body}");
+        // The server still answers afterwards.
+        assert_eq!(get(addr, "/healthz").0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_connections() {
+        let server = echo_server(ServeOptions::default());
+        let addr = server.addr();
+        assert_eq!(get(addr, "/healthz").0, 200);
+        server.shutdown();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+            "port must refuse connections after drain"
+        );
+    }
+
+    #[test]
+    fn post_shutdown_unblocks_run() {
+        let server = echo_server(ServeOptions::default());
+        let addr = server.addr();
+        let runner = std::thread::spawn(move || server.run());
+        let (status, body) = request(
+            addr,
+            "POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 202);
+        assert!(body.contains("draining"), "{body}");
+        runner.join().expect("run() returns after POST /shutdown");
+    }
+}

@@ -1,1 +1,84 @@
 //! Umbrella crate: see the `ioopt` crate for the tool itself.
+//!
+//! The [`testutil`] module holds the blocking HTTP client the serving
+//! integration tests and the loadgen bench share.
+
+pub mod testutil {
+    //! A minimal blocking HTTP/1.1 client for exercising `ioopt serve`
+    //! in-process: one request per connection (the server speaks
+    //! `Connection: close`), response read to EOF.
+
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// A parsed HTTP response: status code, headers, body text.
+    #[derive(Debug, Clone)]
+    pub struct HttpResponse {
+        /// The status code from the response line.
+        pub status: u16,
+        /// Header `(name, value)` pairs, names lower-cased.
+        pub headers: Vec<(String, String)>,
+        /// The response body as text.
+        pub body: String,
+    }
+
+    impl HttpResponse {
+        /// The first value of header `name` (ASCII case-insensitive).
+        pub fn header(&self, name: &str) -> Option<&str> {
+            let name = name.to_ascii_lowercase();
+            self.headers
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| v.as_str())
+        }
+    }
+
+    /// Sends one request and reads the response to EOF. Panics on I/O
+    /// or parse failure — these are test helpers; a broken transport is
+    /// a test failure, not a condition to handle.
+    pub fn http_request(addr: SocketAddr, method: &str, path: &str, body: &str) -> HttpResponse {
+        let mut stream = TcpStream::connect(addr).expect("connect to test server");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).expect("write head");
+        stream.write_all(body.as_bytes()).expect("write body");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        parse_response(&raw)
+    }
+
+    /// `GET path` with an empty body.
+    pub fn http_get(addr: SocketAddr, path: &str) -> HttpResponse {
+        http_request(addr, "GET", path, "")
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn http_post(addr: SocketAddr, path: &str, body: &str) -> HttpResponse {
+        http_request(addr, "POST", path, body)
+    }
+
+    fn parse_response(raw: &str) -> HttpResponse {
+        let (head, body) = raw
+            .split_once("\r\n\r\n")
+            .expect("response has a blank line");
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().expect("status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let headers = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        HttpResponse {
+            status,
+            headers,
+            body: body.to_string(),
+        }
+    }
+}

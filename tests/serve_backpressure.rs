@@ -1,0 +1,142 @@
+//! Backpressure and graceful drain: with the queue capacity forced to 1
+//! and the single worker pinned, a surplus request must be shed with a
+//! structured 429 + `Retry-After`; shutdown mid-flight must finish the
+//! admitted requests, refuse new connections, and exit clean.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ioopt::{analysis_handler, ServiceDefaults};
+use ioopt_engine::Json;
+use ioopt_serve::{ServeOptions, Server};
+use ioopt_suite::testutil::http_post;
+
+const ANALYZE: &str = r#"{"kernels":["builtin:ab-ac-cb"],"cache":32768.0,"symbolic_only":true}"#;
+
+fn tiny_server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 1,
+            queue_capacity: 1,
+            read_timeout: Duration::from_secs(30),
+            retry_after_ms: 1500,
+            ..ServeOptions::default()
+        },
+        analysis_handler(ServiceDefaults::default()),
+    )
+    .expect("bind ephemeral port")
+}
+
+/// Opens a connection that deterministically pins the single worker:
+/// full headers, half the body — the worker blocks reading the rest.
+fn stalled_request(addr: std::net::SocketAddr) -> (TcpStream, &'static str) {
+    let (first, rest) = ANALYZE.split_at(ANALYZE.len() / 2);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST /analyze HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{first}",
+        ANALYZE.len()
+    );
+    stream.write_all(head.as_bytes()).expect("write partial");
+    stream.flush().expect("flush");
+    (stream, rest)
+}
+
+fn wait_for_depth(server: &Server, depth: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.queue_depth() != depth {
+        assert!(
+            Instant::now() < deadline,
+            "queue depth never reached {depth} (now {})",
+            server.queue_depth()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn overload_is_shed_with_a_structured_429_and_drain_finishes_in_flight() {
+    let server = tiny_server();
+    let addr = server.addr();
+
+    // A: admitted, popped by the worker, stalls it mid-body. The sleep
+    // gives the loopback accept→pop handoff ample time, so the worker
+    // is provably inside A's body read before B arrives.
+    let (mut stalled, rest) = stalled_request(addr);
+    std::thread::sleep(Duration::from_millis(300));
+    wait_for_depth(&server, 0);
+
+    // B: admitted, sits in the (capacity-1) queue behind A.
+    let queued = std::thread::spawn(move || http_post(addr, "/analyze", ANALYZE));
+    wait_for_depth(&server, 1);
+
+    // C: the queue is full — shed at the front door with a 429.
+    let shed = http_post(addr, "/analyze", ANALYZE);
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert_eq!(shed.header("retry-after"), Some("2"), "1500 ms rounds up");
+    let body = Json::parse(&shed.body).expect("429 body is valid JSON");
+    assert_eq!(
+        body.get("retry_after_ms").and_then(Json::as_i64),
+        Some(1500)
+    );
+    assert!(
+        body.get("message").and_then(Json::as_str).is_some(),
+        "{}",
+        shed.body
+    );
+
+    // Drain mid-flight: shutdown stops the acceptor, then waits for A
+    // and B. Completing A's body lets everything finish.
+    let draining = std::thread::spawn(move || {
+        server.shutdown();
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    stalled.write_all(rest.as_bytes()).expect("finish A's body");
+    let mut a_response = String::new();
+    stalled
+        .read_to_string(&mut a_response)
+        .expect("A answered after drain started");
+    assert!(
+        a_response.starts_with("HTTP/1.1 200"),
+        "in-flight request must complete: {a_response}"
+    );
+    let b_response = queued.join().expect("B joined");
+    assert_eq!(b_response.status, 200, "queued request must complete");
+    draining.join().expect("shutdown returned");
+
+    // And the port now refuses new connections.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "drained server must refuse new connections"
+    );
+}
+
+/// The ISSUE's fault-injected variant: a `slow:` fault occupies the
+/// pool instead of a stalled socket, proving backpressure triggers on
+/// analysis time, not only on slow clients.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn slow_fault_occupying_the_pool_triggers_429() {
+    let server = tiny_server();
+    let addr = server.addr();
+    // Only the kernel named `bp_slow` dawdles; 3 s is far beyond the
+    // time the two probe requests below need.
+    std::env::set_var("IOOPT_FAULT", "slow:3000:bp_slow");
+    let slow_body = r#"{"kernels":[{"source":"kernel bp_slow { loop i : N = 8; A[i] += B[i]; }"}],"symbolic_only":true}"#;
+    let slow = std::thread::spawn(move || http_post(addr, "/analyze", slow_body));
+    // Wait until the worker is inside the slow analysis (queue drained).
+    std::thread::sleep(Duration::from_millis(300));
+    wait_for_depth(&server, 0);
+    let queued = std::thread::spawn(move || http_post(addr, "/analyze", ANALYZE));
+    wait_for_depth(&server, 1);
+    let shed = http_post(addr, "/analyze", ANALYZE);
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    assert!(shed.header("retry-after").is_some());
+    assert!(Json::parse(&shed.body).is_ok(), "{}", shed.body);
+    assert_eq!(slow.join().expect("slow join").status, 200);
+    assert_eq!(queued.join().expect("queued join").status, 200);
+    std::env::remove_var("IOOPT_FAULT");
+    server.shutdown();
+}

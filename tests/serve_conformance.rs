@@ -1,0 +1,173 @@
+//! Black-box conformance: analysis served over HTTP is **byte-identical**
+//! to the pinned golden-corpus snapshots and to `ioopt batch --json`.
+//! The serving layer adds queuing, budgets, and metrics — it may never
+//! perturb an analysis result.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ioopt::{analysis_handler, builtin_corpus, run_batch, BatchOptions, ServiceDefaults};
+use ioopt_engine::Json;
+use ioopt_serve::{ServeOptions, Server};
+use ioopt_suite::testutil::{http_get, http_post};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn start() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServeOptions::default(),
+        analysis_handler(ServiceDefaults::default()),
+    )
+    .expect("bind ephemeral port")
+}
+
+/// The request mirroring the golden-snapshot options (cache 32768,
+/// symbolic bounds only).
+fn snapshot_request(kernel: &str) -> String {
+    format!(r#"{{"kernels":["builtin:{kernel}"],"cache":32768.0,"symbolic_only":true}}"#)
+}
+
+#[test]
+fn all_19_corpus_kernels_served_match_the_golden_snapshots() {
+    let server = start();
+    let addr = server.addr();
+    let items = builtin_corpus();
+    assert_eq!(items.len(), 19);
+    for item in &items {
+        let response = http_post(addr, "/analyze", &snapshot_request(&item.label));
+        assert_eq!(response.status, 200, "{}: {}", item.label, response.body);
+        assert_eq!(
+            response.header("content-type"),
+            Some("application/json"),
+            "{}",
+            item.label
+        );
+        let report = Json::parse(&response.body).expect("served body is valid JSON");
+        let rows = report
+            .get("kernels")
+            .and_then(Json::as_array)
+            .expect("served body has a kernels array");
+        assert_eq!(rows.len(), 1, "{}", item.label);
+        let served_row = rows[0].render();
+        let golden = fs::read_to_string(golden_dir().join(format!("{}.json", item.label)))
+            .expect("golden snapshot exists");
+        assert_eq!(
+            served_row,
+            golden.trim_end(),
+            "{}: served row diverges from the golden snapshot",
+            item.label
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn served_builtin_all_is_byte_identical_to_batch_json() {
+    let server = start();
+    let response = http_post(
+        server.addr(),
+        "/analyze",
+        r#"{"kernels":["builtin:all"],"cache":32768.0,"symbolic_only":true}"#,
+    );
+    assert_eq!(response.status, 200, "{}", response.body);
+    // The exact bytes `ioopt batch builtin:all --cache 32768 \
+    // --symbolic-only --json` prints: report JSON plus one newline.
+    let report = run_batch(
+        &builtin_corpus(),
+        &BatchOptions {
+            cache_elems: 32768.0,
+            numeric: false,
+            ..BatchOptions::default()
+        },
+    );
+    assert_eq!(response.body, format!("{}\n", report.to_json()));
+    server.shutdown();
+}
+
+#[test]
+fn served_rows_are_position_independent() {
+    // A row must not depend on what else rides in the request: served
+    // alone or mid-corpus, same bytes.
+    let server = start();
+    let addr = server.addr();
+    let solo = http_post(addr, "/analyze", &snapshot_request("Yolo9000-8"));
+    let all = http_post(
+        addr,
+        "/analyze",
+        r#"{"kernels":["builtin:all"],"cache":32768.0,"symbolic_only":true}"#,
+    );
+    assert_eq!(solo.status, 200, "{}", solo.body);
+    assert_eq!(all.status, 200, "{}", all.body);
+    let solo_row = Json::parse(&solo.body)
+        .unwrap()
+        .get("kernels")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .render();
+    let parsed = Json::parse(&all.body).unwrap();
+    let rows = parsed.get("kernels").unwrap().as_array().unwrap();
+    let from_all = rows
+        .iter()
+        .find(|r| r.get("kernel").and_then(Json::as_str) == Some("Yolo9000-8"))
+        .expect("corpus row present")
+        .render();
+    assert_eq!(solo_row, from_all);
+    server.shutdown();
+}
+
+#[test]
+fn health_metrics_and_errors_speak_the_contract() {
+    let server = start();
+    let addr = server.addr();
+    assert_eq!(http_get(addr, "/healthz").status, 200);
+
+    // Malformed and rejected requests: structured JSON errors.
+    let bad = http_post(addr, "/analyze", "not json");
+    assert_eq!(bad.status, 400);
+    let err = Json::parse(&bad.body).expect("400 body is valid JSON");
+    assert!(err.get("message").and_then(Json::as_str).is_some());
+    let unknown = http_post(addr, "/analyze", r#"{"kernels":["builtin:nope"]}"#);
+    assert_eq!(unknown.status, 400, "{}", unknown.body);
+    let path_smuggle = http_post(addr, "/analyze", r#"{"kernels":["tests/golden/x.json"]}"#);
+    assert_eq!(path_smuggle.status, 400, "file paths are never served");
+    assert_eq!(http_get(addr, "/analyze").status, 405);
+    assert_eq!(http_get(addr, "/nope").status, 404);
+
+    // After at least one analysis, /metrics reports activity.
+    let ok = http_post(addr, "/analyze", &snapshot_request("Yolo9000-0"));
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    let metrics = http_get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    for series in [
+        "ioopt_memo_hits",
+        "ioopt_serve_requests",
+        "ioopt_serve_queue_depth",
+        "ioopt_serve_request_latency_seconds_bucket",
+        "ioopt_serve_request_latency_seconds_count",
+    ] {
+        assert!(
+            metrics.body.contains(series),
+            "missing {series}:\n{}",
+            metrics.body
+        );
+    }
+    let count_line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("ioopt_serve_request_latency_seconds_count"))
+        .expect("count series present");
+    let count: f64 = count_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(count >= 1.0, "{count_line}");
+    server.shutdown();
+}

@@ -1,0 +1,209 @@
+//! Stress/soak: a storm of concurrent mixed requests against the
+//! shared process-lifetime memo cache. Every response body must be
+//! byte-deterministic across repeats and threads, the warm hit ratio
+//! must beat the cold pass (the cache genuinely persists across
+//! requests), and an injected panic must poison exactly one response.
+
+use std::sync::Arc;
+
+use ioopt::{analysis_handler, memo_stats, reset_memo, ServiceDefaults};
+use ioopt_serve::{ServeOptions, Server};
+use ioopt_suite::testutil::http_post;
+
+const STORM_THREADS: usize = 8;
+const STORM_REQUESTS_PER_THREAD: usize = 50;
+
+fn start() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServeOptions::default(),
+        analysis_handler(ServiceDefaults::default()),
+    )
+    .expect("bind ephemeral port")
+}
+
+/// The mixed request set the storm cycles: TCCG contractions, Yolo
+/// layers (symbolic), and one small inline kernel through the numeric
+/// pipeline.
+fn request_bodies() -> Vec<String> {
+    let mut bodies: Vec<String> = [
+        "ab-ac-cb",
+        "abc-bda-dc",
+        "abcd-dbea-ec",
+        "Yolo9000-0",
+        "Yolo9000-12",
+        "Yolo9000-23",
+    ]
+    .iter()
+    .map(|k| format!(r#"{{"kernels":["builtin:{k}"],"cache":32768.0,"symbolic_only":true}}"#))
+    .collect();
+    bodies.push(
+        r#"{"kernels":[{"source":"kernel stress_mm { loop i : N = 24; loop j : M = 24; loop k : K = 24; C[i][j] += A[i][k] * B[k][j]; }"}],"cache":1024.0}"#
+            .to_string(),
+    );
+    bodies
+}
+
+#[test]
+fn storm_is_deterministic_and_the_cache_persists_across_requests() {
+    let server = start();
+    let addr = server.addr();
+    let bodies = request_bodies();
+
+    // Cold pass: every distinct request once, from a cleared cache.
+    reset_memo();
+    let zero = memo_stats();
+    let expected: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let response = http_post(addr, "/analyze", body);
+            assert_eq!(response.status, 200, "{body}: {}", response.body);
+            response.body
+        })
+        .collect();
+    let cold = memo_stats().delta(&zero);
+    let cold_ratio = cold.hit_ratio();
+    assert!(
+        cold.misses > 0,
+        "the cold pass must actually compute something"
+    );
+
+    // Storm: 8 threads × 50 requests cycling the same set. Bodies must
+    // be byte-identical to the cold pass on every repeat.
+    let warm_base = memo_stats();
+    let bodies = Arc::new(bodies);
+    let expected = Arc::new(expected);
+    let workers: Vec<_> = (0..STORM_THREADS)
+        .map(|t| {
+            let bodies = bodies.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for i in 0..STORM_REQUESTS_PER_THREAD {
+                    let pick = (t * 13 + i * 7) % bodies.len();
+                    let response = http_post(addr, "/analyze", &bodies[pick]);
+                    assert_eq!(response.status, 200, "thread {t} request {i}");
+                    assert_eq!(
+                        response.body, expected[pick],
+                        "thread {t} request {i}: response bytes drifted"
+                    );
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("storm worker panicked");
+    }
+
+    let warm = memo_stats().delta(&warm_base);
+    let warm_ratio = warm.hit_ratio();
+    assert!(
+        warm_ratio > cold_ratio,
+        "warm storm hit ratio {warm_ratio:.3} must exceed the cold-start ratio {cold_ratio:.3} \
+         (hits {} misses {} vs cold hits {} misses {})",
+        warm.hits,
+        warm.misses,
+        cold.hits,
+        cold.misses
+    );
+    server.shutdown();
+}
+
+#[test]
+fn responses_never_interleave_across_connections() {
+    // Two very different responses requested concurrently many times:
+    // each body parses cleanly and matches its own expectation exactly —
+    // no cross-connection corruption.
+    let server = start();
+    let addr = server.addr();
+    let a = r#"{"kernels":["builtin:ab-ac-cb"],"cache":32768.0,"symbolic_only":true}"#;
+    let b = r#"{"kernels":["builtin:abcdef-dega-gfbc"],"cache":32768.0,"symbolic_only":true}"#;
+    let want_a = http_post(addr, "/analyze", a).body;
+    let want_b = http_post(addr, "/analyze", b).body;
+    assert_ne!(want_a, want_b);
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let (body, want) = if t % 2 == 0 {
+                (a, want_a.clone())
+            } else {
+                (b, want_b.clone())
+            };
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let response = http_post(addr, "/analyze", body);
+                    assert_eq!(response.status, 200);
+                    assert_eq!(response.body, want);
+                    let parsed = ioopt_engine::Json::parse(&response.body);
+                    assert!(parsed.is_ok(), "body corrupted: {:?}", parsed.err());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    server.shutdown();
+}
+
+/// A request that panics mid-analysis (fault injection) must yield one
+/// structured `failed` row while every concurrent request succeeds
+/// untouched — and the server keeps serving afterwards.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_panic_poisons_exactly_one_response() {
+    let server = start();
+    let addr = server.addr();
+    let healthy = r#"{"kernels":["builtin:Yolo9000-4"],"cache":32768.0,"symbolic_only":true}"#;
+    let want_healthy = {
+        let response = http_post(addr, "/analyze", healthy);
+        assert_eq!(response.status, 200);
+        response.body
+    };
+
+    // The fault directive targets only this label; concurrent healthy
+    // requests never see it.
+    std::env::set_var("IOOPT_FAULT", "panic:stress_poison");
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let poisoned = r#"{"kernels":[{"source":"kernel stress_poison { loop i : N = 8; A[i] += B[i]; }"}],"symbolic_only":true}"#;
+    let concurrent: Vec<_> = (0..4)
+        .map(|_| {
+            let want = want_healthy.clone();
+            std::thread::spawn(move || {
+                let response = http_post(
+                    addr,
+                    "/analyze",
+                    r#"{"kernels":["builtin:Yolo9000-4"],"cache":32768.0,"symbolic_only":true}"#,
+                );
+                assert_eq!(response.status, 200);
+                assert_eq!(response.body, want);
+            })
+        })
+        .collect();
+    let response = http_post(addr, "/analyze", poisoned);
+    for h in concurrent {
+        h.join().expect("concurrent healthy request failed");
+    }
+    std::env::remove_var("IOOPT_FAULT");
+    std::panic::set_hook(prev_hook);
+
+    // The poisoned request still answers 200 with a structured failed
+    // row (the batch layer contains the panic), not a dropped socket.
+    assert_eq!(response.status, 200, "{}", response.body);
+    let parsed = ioopt_engine::Json::parse(&response.body).expect("structured body");
+    let row = &parsed.get("kernels").unwrap().as_array().unwrap()[0];
+    assert_eq!(
+        row.get("status").and_then(ioopt_engine::Json::as_str),
+        Some("failed")
+    );
+    let error = row
+        .get("error")
+        .and_then(ioopt_engine::Json::as_str)
+        .expect("failed row carries the error");
+    assert!(error.starts_with("panic: injected fault"), "{error}");
+
+    // Server is still healthy afterwards.
+    let after = http_post(addr, "/analyze", healthy);
+    assert_eq!(after.status, 200);
+    assert_eq!(after.body, want_healthy);
+    server.shutdown();
+}

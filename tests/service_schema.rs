@@ -1,0 +1,207 @@
+//! Schema round-trip property tests: randomized [`ServiceRequest`]s
+//! must survive parse→render→parse exactly (the canonical rendering is
+//! a fixpoint), hostile strings must come back byte-identical through
+//! the JSON escaper, and every malformed mutation must be rejected with
+//! a structured 400 — never accepted with silently changed semantics.
+
+use std::collections::HashMap;
+
+use ioopt::{handle_analyze, BatchReport, KernelSpec, ServiceDefaults, ServiceRequest};
+use ioopt_engine::Json;
+use ioopt_symbolic::SplitMix64;
+
+/// Strings that stress the JSON escaper: quotes, backslashes, control
+/// characters, multi-byte and astral Unicode, and plausible DSL text.
+const NASTY_STRINGS: &[&str] = &[
+    "kernel k { loop i : N = 4; A[i] += B[i]; }",
+    "line1\nline2\ttab \"quoted\" back\\slash",
+    "ünïcode 名前 🚀 ∀x∈S",
+    "control \u{1} \u{1f} chars\r\n",
+    "{\"not\":\"json-in-json\"}",
+    "builtin:matmul",
+    "",
+];
+
+const DIM_NAMES: &[&str] = &["i", "j", "k", "N", "M", "寸法", "d0"];
+
+const BUILTIN_NAMES: &[&str] = &[
+    "matmul",
+    "all",
+    "ab-ac-cb",
+    "Yolo9000-8",
+    "conv2d",
+    "not a real kernel / with spaces",
+];
+
+fn random_request(rng: &mut SplitMix64) -> ServiceRequest {
+    let kernels = (0..rng.range_usize(4) + 1)
+        .map(|_| {
+            if rng.chance(0.5) {
+                KernelSpec::Builtin(rng.pick(BUILTIN_NAMES).to_string())
+            } else {
+                KernelSpec::Inline {
+                    source: rng.pick(NASTY_STRINGS).to_string(),
+                }
+            }
+        })
+        .collect();
+    let mut sizes = HashMap::new();
+    for _ in 0..rng.range_usize(4) {
+        sizes.insert(rng.pick(DIM_NAMES).to_string(), rng.range_i64(1, 1 << 40));
+    }
+    ServiceRequest {
+        kernels,
+        sizes,
+        // Integer-valued and dyadic floats render/parse exactly.
+        cache_elems: rng.chance(0.7).then(|| {
+            rng.range_i64(1, 1 << 30) as f64 + f64::from(rng.range_i64(0, 3) as i32) / 4.0
+        }),
+        symbolic_only: rng.chance(0.5),
+        timeout_ms: rng.chance(0.4).then(|| rng.range_i64(0, 60_000) as u64),
+        max_steps: rng.chance(0.3).then(|| rng.range_i64(0, 1 << 32) as u64),
+    }
+}
+
+#[test]
+fn random_requests_round_trip_and_render_is_a_fixpoint() {
+    let mut rng = SplitMix64::new(0x5e47_e001);
+    for case in 0..500 {
+        let request = random_request(&mut rng);
+        let rendered = request.to_json().render();
+        let reparsed = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("case {case}: render not parseable: {e}\n{rendered}"));
+        let again = ServiceRequest::from_json(&reparsed).unwrap_or_else(|e| {
+            panic!(
+                "case {case}: round-trip rejected: {}\n{rendered}",
+                e.message
+            )
+        });
+        assert_eq!(again, request, "case {case}: request drifted\n{rendered}");
+        assert_eq!(
+            again.to_json().render(),
+            rendered,
+            "case {case}: canonical render is not a fixpoint"
+        );
+    }
+}
+
+#[test]
+fn parsing_is_insensitive_to_field_order() {
+    let mut rng = SplitMix64::new(0x5e47_e002);
+    for case in 0..200 {
+        let request = random_request(&mut rng);
+        let Json::Object(mut pairs) = request.to_json() else {
+            panic!("canonical form is an object");
+        };
+        rng.shuffle(&mut pairs);
+        let shuffled = Json::Object(pairs).render();
+        let reparsed = ServiceRequest::from_json(&Json::parse(&shuffled).unwrap())
+            .unwrap_or_else(|e| panic!("case {case}: {}\n{shuffled}", e.message));
+        assert_eq!(
+            reparsed, request,
+            "case {case}: field order changed meaning"
+        );
+    }
+}
+
+#[test]
+fn hostile_strings_survive_the_wire_byte_for_byte() {
+    for (n, nasty) in NASTY_STRINGS.iter().enumerate() {
+        let request = ServiceRequest {
+            kernels: vec![KernelSpec::Inline {
+                source: (*nasty).to_string(),
+            }],
+            sizes: HashMap::new(),
+            cache_elems: None,
+            symbolic_only: false,
+            timeout_ms: None,
+            max_steps: None,
+        };
+        let rendered = request.to_json().render();
+        let again =
+            ServiceRequest::from_json(&Json::parse(&rendered).unwrap()).expect("round-trips");
+        let KernelSpec::Inline { source } = &again.kernels[0] else {
+            panic!("kernel variant changed");
+        };
+        assert_eq!(source, nasty, "string {n} corrupted in transit");
+    }
+}
+
+/// Every mutation that damages a well-formed request must be rejected
+/// with a 400 — strict parsing means typos fail loudly.
+#[test]
+fn malformed_mutations_are_all_rejected() {
+    let reject = |body: &str, why: &str| {
+        let err = ServiceRequest::from_json(&Json::parse(body).expect("valid JSON"))
+            .expect_err(&format!("{why}: {body}"));
+        assert_eq!(err.status, 400, "{why}");
+        assert!(!err.message.is_empty(), "{why}");
+    };
+    reject(r#"{"kernels":[]}"#, "empty kernels");
+    reject(r#"{"kernels":["matmul"]}"#, "missing builtin: prefix");
+    reject(r#"{"kernels":[42]}"#, "numeric kernel entry");
+    reject(r#"{"kernels":[["builtin:matmul"]]}"#, "nested array entry");
+    reject(
+        r#"{"kernels":[{"source":"k","extra":1}]}"#,
+        "extra inline field",
+    );
+    reject(r#"{"kernels":[{"src":"k"}]}"#, "misspelled source");
+    reject(
+        r#"{"kernels":["builtin:matmul"],"sizes":{"i":0}}"#,
+        "zero size",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"sizes":{"i":-4}}"#,
+        "negative size",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"sizes":{"i":1.5}}"#,
+        "fractional size",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"sizes":[4]}"#,
+        "sizes as array",
+    );
+    reject(r#"{"kernels":["builtin:matmul"],"cache":0}"#, "zero cache");
+    reject(
+        r#"{"kernels":["builtin:matmul"],"cache":"big"}"#,
+        "string cache",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"symbolic_only":1}"#,
+        "int for bool",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"timeout_ms":-1}"#,
+        "negative timeout",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"timeout":100}"#,
+        "unknown field",
+    );
+    reject(
+        r#"{"kernels":["builtin:matmul"],"jobs":4}"#,
+        "server-only knob",
+    );
+    let err = ServiceRequest::from_json(&Json::parse("[1,2]").unwrap()).expect_err("array body");
+    assert_eq!(err.status, 400);
+}
+
+/// The response side of the schema: a served report parses back through
+/// [`BatchReport::from_json`] and re-renders to the same bytes.
+#[test]
+fn served_reports_round_trip_through_the_report_schema() {
+    let defaults = ServiceDefaults::default();
+    for body in [
+        r#"{"kernels":["builtin:matmul"],"sizes":{"i":8,"j":8,"k":8},"cache":256.0,"symbolic_only":true}"#,
+        r#"{"kernels":[{"source":"kernel rt { loop i : N = 6; loop j : M = 6; C[i][j] += A[i] * B[j]; }"}],"cache":64.0,"symbolic_only":true}"#,
+    ] {
+        let served = handle_analyze(body, &defaults).expect("analyzes");
+        let report = BatchReport::from_json(served.trim_end()).expect("report schema parses");
+        assert_eq!(
+            format!("{}\n", report.to_json()),
+            served,
+            "report render is a fixpoint"
+        );
+    }
+}
