@@ -10,6 +10,19 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> lint: no unwrap/expect in crates/lp and crates/polyhedra non-test code"
+# Hot numeric paths carry structured errors (LpError / FmError), not
+# panics. Test modules sit at the end of each file behind #[cfg(test)],
+# so everything before that marker must be unwrap/expect-free.
+lint_bad=$(for f in crates/lp/src/*.rs crates/polyhedra/src/*.rs; do
+  awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|\.expect\(/{print FILENAME":"FNR": "$0}' "$f"
+done)
+if [ -n "$lint_bad" ]; then
+  echo "FAIL: unwrap/expect in non-test lp/polyhedra code:"
+  echo "$lint_bad"
+  exit 1
+fi
+
 echo "==> cargo build --release --workspace"
 cargo build --release --workspace
 
@@ -68,6 +81,41 @@ grep -q '^metrics: ' /tmp/ioopt_prof.err || {
   echo "FAIL: --profile printed no metrics line on stderr"
   exit 1
 }
+
+echo "==> certificate audit: certified corpus accepted; tampered dual rejected"
+./target/release/ioopt batch builtin:all --jobs 4 --json --certify \
+  >/tmp/ioopt_certified.json
+./target/release/ioopt audit /tmp/ioopt_certified.json >/dev/null
+# --certify must be strictly additive: stripping the certificate blocks
+# recovers the plain --jobs 4 report, row for row.
+python3 - <<'EOF'
+import json, re
+src = open("/tmp/ioopt_certified.json").read()
+cert = json.loads(src)
+for row in cert["kernels"]:
+    assert "certificate" in row, f"row {row.get('kernel')} is uncertified"
+cert["kernels"] = [{k: v for k, v in row.items() if k != "certificate"}
+                   for row in cert["kernels"]]
+plain = json.load(open("/tmp/ioopt_batch_j4.json"))
+assert cert == plain, "--certify perturbed the per-row report"
+# Flip one simplex dual coefficient: the LP optimality proof must break.
+m = re.search(r'"rank_duals":\["([^"]*)"', src)
+assert m, "no rank duals in the certified report"
+with open("/tmp/ioopt_tampered.json", "w") as f:
+    f.write(src[:m.start(1)] + "1000000" + src[m.end(1):])
+EOF
+rc=0
+./target/release/ioopt audit /tmp/ioopt_tampered.json >/tmp/ioopt_audit_rej.out || rc=$?
+if [ "$rc" -ne 2 ]; then
+  echo "FAIL: expected exit code 2 from a tampered certificate, got $rc"
+  exit 1
+fi
+grep -q 'error\[lp\.' /tmp/ioopt_audit_rej.out || {
+  echo "FAIL: rejection did not name the violated lp.* check:"
+  cat /tmp/ioopt_audit_rej.out
+  exit 1
+}
+echo "certificate audit: 19 accepted, tampered dual rejected with $(grep -c 'error\[' /tmp/ioopt_audit_rej.out) finding(s)"
 
 echo "==> ioopt serve smoke: healthz, golden-row conformance, metrics, graceful shutdown"
 ./target/release/ioopt serve --addr 127.0.0.1:7171 &

@@ -1,0 +1,681 @@
+//! The audit checks: plain arithmetic over the decoded certificate.
+//!
+//! Every check either passes, fails with a pinpointed
+//! [`AuditFinding`](crate::AuditFinding), or is *visibly* skipped with a
+//! note — an inapplicable check never silently counts as passed.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ioopt_cdag::{build_cdag, optimal_loads};
+use ioopt_ir::{check_tilable, parse_kernel, Kernel, Legality};
+
+use crate::expr::AExpr;
+use crate::rat::{sum, Rat};
+use crate::{AuditFinding, AuditRowResult, CertificateData, ScenarioCertData};
+
+/// Relative tolerance when comparing re-evaluated `f64` bounds against
+/// recorded ones (the recorded values went through one render/parse
+/// round trip).
+const REL_TOL: f64 = 1e-6;
+
+/// `lb ≤ ub` slack mirroring the producer's E008 check.
+fn ordered(lb: f64, ub: f64) -> bool {
+    lb <= ub * (1.0 + 1e-9) + 1e-6
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+}
+
+struct Ctx {
+    findings: Vec<AuditFinding>,
+    notes: Vec<String>,
+}
+
+impl Ctx {
+    fn fail(&mut self, check: &str, message: impl Into<String>) {
+        self.findings.push(AuditFinding {
+            check: check.to_string(),
+            message: message.into(),
+        });
+    }
+
+    fn note(&mut self, message: impl Into<String>) {
+        self.notes.push(message.into());
+    }
+}
+
+pub(crate) fn run(cert: &CertificateData) -> AuditRowResult {
+    let mut ctx = Ctx {
+        findings: Vec::new(),
+        notes: Vec::new(),
+    };
+
+    if cert.version != 1 {
+        ctx.fail(
+            "schema",
+            format!("unknown certificate version {}", cert.version),
+        );
+        return AuditRowResult {
+            kernel: cert.kernel_name.clone(),
+            findings: ctx.findings,
+            notes: ctx.notes,
+        };
+    }
+
+    let kernel = check_kernel(cert, &mut ctx);
+    for (i, sc) in cert.lb.scenarios.iter().enumerate() {
+        check_lp(i, sc, kernel.as_ref(), &mut ctx);
+    }
+    let lb_expr = parse_bound("LB", &cert.lb.combined, &mut ctx);
+    let ub_expr = cert
+        .ub
+        .as_ref()
+        .and_then(|ub| parse_bound("UB", &ub.bound, &mut ctx));
+    // The trivial bound must also re-parse (it rides inside `combined`
+    // on the producer side, but a tampered field should not slip by).
+    parse_bound("trivial LB", &cert.lb.trivial, &mut ctx);
+    check_samples(cert, lb_expr.as_ref(), ub_expr.as_ref(), &mut ctx);
+    check_growth(lb_expr.as_ref(), ub_expr.as_ref(), &mut ctx);
+    check_row(cert, kernel.as_ref(), lb_expr.as_ref(), &mut ctx);
+    check_tiles(cert, kernel.as_ref(), &mut ctx);
+    check_pebble(kernel.as_ref(), lb_expr.as_ref(), &mut ctx);
+
+    AuditRowResult {
+        kernel: cert.kernel_name.clone(),
+        findings: ctx.findings,
+        notes: ctx.notes,
+    }
+}
+
+fn parse_bound(what: &str, src: &str, ctx: &mut Ctx) -> Option<AExpr> {
+    match AExpr::parse(src) {
+        Ok(e) => Some(e),
+        Err(e) => {
+            ctx.fail("bounds.expr", format!("{what} `{src}` does not parse: {e}"));
+            None
+        }
+    }
+}
+
+/// `kernel`: the embedded DSL parses, is tilable, and the recorded
+/// sizes cover every loop dimension.
+fn check_kernel(cert: &CertificateData, ctx: &mut Ctx) -> Option<Kernel> {
+    let Some(src) = &cert.kernel_dsl else {
+        ctx.note("no kernel DSL embedded: kernel-dependent checks skipped");
+        return None;
+    };
+    let kernel = match parse_kernel(src) {
+        Ok(k) => k,
+        Err(e) => {
+            ctx.fail("kernel", format!("embedded DSL does not parse: {e:?}"));
+            return None;
+        }
+    };
+    if let Legality::Illegal(reason) = check_tilable(&kernel) {
+        ctx.fail(
+            "kernel",
+            format!("kernel is not rectangularly tilable: {reason}"),
+        );
+    }
+    if !cert.sizes.is_empty() {
+        for d in kernel.dims() {
+            match cert.sizes.iter().find(|(name, _)| *name == d.name) {
+                Some((_, v)) if *v >= 1 => {}
+                Some((name, v)) => {
+                    ctx.fail("kernel", format!("size `{name}` is {v}, must be >= 1"));
+                }
+                None => {
+                    ctx.fail(
+                        "kernel",
+                        format!("no size recorded for loop dimension `{}`", d.name),
+                    );
+                }
+            }
+        }
+    }
+    Some(kernel)
+}
+
+fn parse_rat(check: &str, what: &str, s: &str, ctx: &mut Ctx) -> Option<Rat> {
+    match Rat::parse(s) {
+        Some(r) => Some(r),
+        None => {
+            ctx.fail(check, format!("{what} `{s}` is not a rational"));
+            None
+        }
+    }
+}
+
+/// `lp.primal` + `lp.dual`: re-verify one scenario's Brascamp-Lieb LP
+/// optimum from the exported witness, in this crate's own exact
+/// rationals. Primal feasibility + dual feasibility + strong duality
+/// together prove `σ` is the optimum of `min Σ_main s_j` — no simplex
+/// run needed.
+fn check_lp(index: usize, sc: &ScenarioCertData, kernel: Option<&Kernel>, ctx: &mut Ctx) {
+    let at = |msg: String| format!("scenario {index}: {msg}");
+    let nh = sc.homs.len();
+    if nh == 0 {
+        ctx.fail("lp.primal", at("no homomorphisms".to_string()));
+        return;
+    }
+    if let Some(k) = kernel {
+        let ndims = k.dims().len() as i64;
+        for &d in &sc.small_dims {
+            if d < 0 || d >= ndims {
+                ctx.fail(
+                    "lp.primal",
+                    at(format!(
+                        "small dim index {d} out of range (kernel has {ndims} dims)"
+                    )),
+                );
+            }
+        }
+    }
+    if sc.rank_duals.len() != sc.constraints.len() || sc.cap_duals.len() != nh {
+        ctx.fail(
+            "lp.dual",
+            at(format!(
+                "dual shape mismatch: {} rank duals for {} constraints, {} cap duals for {} homs",
+                sc.rank_duals.len(),
+                sc.constraints.len(),
+                sc.cap_duals.len(),
+                nh
+            )),
+        );
+        return;
+    }
+    for (i, c) in sc.constraints.iter().enumerate() {
+        if c.image_ranks.len() != nh {
+            ctx.fail(
+                "lp.primal",
+                at(format!(
+                    "constraint {i} has {} image ranks for {nh} homs",
+                    c.image_ranks.len()
+                )),
+            );
+            return;
+        }
+    }
+
+    let Some(sigma) = parse_rat("lp.primal", &at("sigma".into()), &sc.sigma, ctx) else {
+        return;
+    };
+    let Some(s_sd) = parse_rat("lp.primal", &at("s_sd".into()), &sc.s_sd, ctx) else {
+        return;
+    };
+    let mut s = Vec::with_capacity(nh);
+    for h in &sc.homs {
+        let Some(v) = parse_rat(
+            "lp.primal",
+            &at(format!("s for hom `{}`", h.name)),
+            &h.s,
+            ctx,
+        ) else {
+            return;
+        };
+        s.push(v);
+    }
+    let main: Vec<bool> = sc.homs.iter().map(|h| h.kind != "sd").collect();
+
+    // Primal feasibility: caps, rank rows, σ = Σ_main s_j, s_sd binding.
+    for (j, (&sj, h)) in s.iter().zip(&sc.homs).enumerate() {
+        if sj.is_negative() || sj > Rat::ONE {
+            ctx.fail(
+                "lp.primal",
+                at(format!(
+                    "s_{j} = {sj} for hom `{}` is outside [0, 1]",
+                    h.name
+                )),
+            );
+        }
+    }
+    match sum(s.iter().zip(&main).filter(|(_, m)| **m).map(|(v, _)| *v)) {
+        Some(total) if total == sigma => {}
+        Some(total) => ctx.fail(
+            "lp.primal",
+            at(format!("sigma = {sigma} but the main s_j sum to {total}")),
+        ),
+        None => ctx.fail("lp.primal", at("rational overflow summing s".into())),
+    }
+    match sc.homs.iter().position(|h| h.kind == "sd") {
+        Some(j) if s[j] != s_sd => ctx.fail(
+            "lp.primal",
+            at(format!("s_sd = {s_sd} but the sd hom carries s = {}", s[j])),
+        ),
+        None if s_sd != Rat::ZERO => ctx.fail(
+            "lp.primal",
+            at(format!("s_sd = {s_sd} but no sd hom is present")),
+        ),
+        _ => {}
+    }
+    for (i, c) in sc.constraints.iter().enumerate() {
+        let row = sum(c
+            .image_ranks
+            .iter()
+            .zip(&s)
+            .map(|(&r, &sj)| Rat::from_int(r as i128).mul(sj).unwrap_or(Rat::ZERO)));
+        match row {
+            Some(v) if v >= Rat::from_int(c.lhs as i128) => {}
+            Some(v) => ctx.fail(
+                "lp.primal",
+                at(format!(
+                    "rank constraint {i} violated: Σ rank(φ_j(H))·s_j = {v} < rank(H) = {}",
+                    c.lhs
+                )),
+            ),
+            None => ctx.fail("lp.primal", at(format!("overflow in rank constraint {i}"))),
+        }
+    }
+
+    // Dual certificate: u, v ≥ 0; Σ_i u_i·R_ij − v_j ≤ c_j per column
+    // (c_j = 1 for main homs, 0 for the sd hom); strong duality
+    // Σ_i u_i·rank(H_i) − Σ_j v_j = σ.
+    let mut u = Vec::with_capacity(sc.rank_duals.len());
+    for (i, d) in sc.rank_duals.iter().enumerate() {
+        let Some(v) = parse_rat("lp.dual", &at(format!("rank dual {i}")), d, ctx) else {
+            return;
+        };
+        if v.is_negative() {
+            ctx.fail("lp.dual", at(format!("rank dual {i} = {v} is negative")));
+        }
+        u.push(v);
+    }
+    let mut v = Vec::with_capacity(nh);
+    for (j, d) in sc.cap_duals.iter().enumerate() {
+        let Some(val) = parse_rat("lp.dual", &at(format!("cap dual {j}")), d, ctx) else {
+            return;
+        };
+        if val.is_negative() {
+            ctx.fail("lp.dual", at(format!("cap dual {j} = {val} is negative")));
+        }
+        v.push(val);
+    }
+    for j in 0..nh {
+        let col = sum(sc.constraints.iter().zip(&u).map(|(c, &ui)| {
+            Rat::from_int(c.image_ranks[j] as i128)
+                .mul(ui)
+                .unwrap_or(Rat::ZERO)
+        }))
+        .and_then(|t| t.sub(v[j]));
+        let cap = if main[j] { Rat::ONE } else { Rat::ZERO };
+        match col {
+            Some(t) if t <= cap => {}
+            Some(t) => ctx.fail(
+                "lp.dual",
+                at(format!(
+                    "dual constraint violated at hom `{}`: Σ u_i·R_ij − v_j = {t} > {cap}",
+                    sc.homs[j].name
+                )),
+            ),
+            None => ctx.fail("lp.dual", at(format!("overflow in dual column {j}"))),
+        }
+    }
+    let dual_obj = sum(sc
+        .constraints
+        .iter()
+        .zip(&u)
+        .map(|(c, &ui)| Rat::from_int(c.lhs as i128).mul(ui).unwrap_or(Rat::ZERO)))
+    .and_then(|t| sum(v.iter().copied()).and_then(|vs| t.sub(vs)));
+    match dual_obj {
+        Some(obj) if obj == sigma => {}
+        Some(obj) => ctx.fail(
+            "lp.dual",
+            at(format!(
+                "strong duality fails: dual objective {obj} != sigma {sigma}"
+            )),
+        ),
+        None => ctx.fail("lp.dual", at("overflow in the dual objective".into())),
+    }
+}
+
+fn env_of(assignment: &[(String, f64)]) -> HashMap<String, f64> {
+    assignment.iter().cloned().collect()
+}
+
+/// `bounds.samples`: the recorded evidence grid matches an independent
+/// re-evaluation of both bounds, and `LB ≤ UB` holds on it.
+fn check_samples(cert: &CertificateData, lb: Option<&AExpr>, ub: Option<&AExpr>, ctx: &mut Ctx) {
+    if cert.ub.is_some() && cert.samples.is_empty() {
+        ctx.note("upper bound present but no sample evidence recorded");
+    }
+    for (i, sample) in cert.samples.iter().enumerate() {
+        let env = env_of(&sample.assignment);
+        let at: Vec<String> = sample
+            .assignment
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect();
+        let at = at.join(", ");
+        if !ordered(sample.lb, sample.ub) {
+            ctx.fail(
+                "bounds.samples",
+                format!(
+                    "sample {i}: LB = {:.4e} exceeds UB = {:.4e} at {at}",
+                    sample.lb, sample.ub
+                ),
+            );
+        }
+        if let Some(lb) = lb {
+            match lb.eval(&env) {
+                Ok(v) if close(v, sample.lb) => {}
+                Ok(v) => ctx.fail(
+                    "bounds.samples",
+                    format!(
+                        "sample {i}: recorded lb {:.6e} but LB({at}) re-evaluates to {v:.6e}",
+                        sample.lb
+                    ),
+                ),
+                Err(e) => ctx.fail(
+                    "bounds.samples",
+                    format!("sample {i}: LB does not evaluate at {at}: {e}"),
+                ),
+            }
+        }
+        if let Some(ub) = ub {
+            match ub.eval(&env) {
+                Ok(v) if close(v, sample.ub) => {}
+                Ok(v) => ctx.fail(
+                    "bounds.samples",
+                    format!(
+                        "sample {i}: recorded ub {:.6e} but UB({at}) re-evaluates to {v:.6e}",
+                        sample.ub
+                    ),
+                ),
+                Err(e) => ctx.fail(
+                    "bounds.samples",
+                    format!("sample {i}: UB does not evaluate at {at}: {e}"),
+                ),
+            }
+        }
+    }
+}
+
+/// `bounds.poly_growth`: `LB ≤ UB` on an independent doubling sweep —
+/// a finite recorded grid can be fooled by constants; growth cannot.
+fn check_growth(lb: Option<&AExpr>, ub: Option<&AExpr>, ctx: &mut Ctx) {
+    let (Some(lb), Some(ub)) = (lb, ub) else {
+        return;
+    };
+    let mut syms = lb.free_symbols();
+    syms.extend(ub.free_symbols());
+    for n in [512.0, 1024.0, 2048.0, 4096.0, 8192.0] {
+        let env: HashMap<String, f64> = syms
+            .iter()
+            .map(|s| (s.clone(), if s == "S" { 256.0 } else { n }))
+            .collect();
+        let (Ok(l), Ok(u)) = (lb.eval(&env), ub.eval(&env)) else {
+            ctx.note(format!(
+                "growth sweep skipped at n={n}: bound does not evaluate"
+            ));
+            return;
+        };
+        if !ordered(l, u) {
+            ctx.fail(
+                "bounds.poly_growth",
+                format!("LB = {l:.4e} exceeds UB = {u:.4e} at every size = {n}, S = 256"),
+            );
+            return;
+        }
+    }
+}
+
+/// The evaluation environment at the row's concrete sizes: size symbols
+/// bound per dimension, plus the cache symbol `S`.
+fn row_env(cert: &CertificateData, kernel: &Kernel) -> Option<HashMap<String, f64>> {
+    let cache = cert.cache_elems?;
+    let mut env = HashMap::new();
+    for d in kernel.dims() {
+        let (_, v) = cert.sizes.iter().find(|(name, _)| *name == d.name)?;
+        env.insert(d.size.name().to_string(), *v as f64);
+    }
+    env.insert("S".to_string(), cache);
+    Some(env)
+}
+
+/// `bounds.row`: the row's numeric `lb` is exactly the certified bound
+/// evaluated at the row's sizes, and `lb ≤ ub`.
+fn check_row(
+    cert: &CertificateData,
+    kernel: Option<&Kernel>,
+    lb_expr: Option<&AExpr>,
+    ctx: &mut Ctx,
+) {
+    if let (Some(lb), Some(ub)) = (cert.row_lb, cert.row_ub) {
+        if !ordered(lb, ub) {
+            ctx.fail(
+                "bounds.row",
+                format!("row lb = {lb:.4e} exceeds row ub = {ub:.4e}"),
+            );
+        }
+    }
+    let (Some(row_lb), Some(lb_expr)) = (cert.row_lb, lb_expr) else {
+        return;
+    };
+    let Some(env) = kernel.and_then(|k| row_env(cert, k)) else {
+        ctx.note("row lb cross-check skipped: no kernel/sizes/cache to evaluate at");
+        return;
+    };
+    match lb_expr.eval(&env) {
+        Ok(v) if close(v, row_lb) => {}
+        Ok(v) => ctx.fail(
+            "bounds.row",
+            format!("row lb = {row_lb:.6e} but LB at the row's sizes re-evaluates to {v:.6e}"),
+        ),
+        Err(e) => ctx.fail(
+            "bounds.row",
+            format!("LB does not evaluate at the row's sizes: {e}"),
+        ),
+    }
+}
+
+/// `tiles.*`: the witness is a real schedule (permutation, levels, tile
+/// ranges), its footprint fits the cache for separable-unit accesses,
+/// and its predicted I/O is the row's `ub`.
+fn check_tiles(cert: &CertificateData, kernel: Option<&Kernel>, ctx: &mut Ctx) {
+    let Some(w) = &cert.tiles else {
+        return;
+    };
+    if let Some(ub) = cert.row_ub {
+        if !close(w.io, ub) {
+            ctx.fail(
+                "tiles.io",
+                format!(
+                    "witness io = {:.6e} but the row reports ub = {ub:.6e}",
+                    w.io
+                ),
+            );
+        }
+    }
+    let Some(kernel) = kernel else {
+        ctx.note("tile witness present but no kernel DSL: legality/capacity skipped");
+        return;
+    };
+    let ndims = kernel.dims().len();
+
+    // Legality: perm is a permutation of 0..ndims.
+    let mut seen = vec![false; ndims];
+    let mut perm_ok = w.perm.len() == ndims;
+    for &p in &w.perm {
+        match usize::try_from(p).ok().filter(|&p| p < ndims) {
+            Some(p) if !seen[p] => seen[p] = true,
+            _ => perm_ok = false,
+        }
+    }
+    if !perm_ok {
+        ctx.fail(
+            "tiles.legality",
+            format!("perm {:?} is not a permutation of 0..{ndims}", w.perm),
+        );
+        return;
+    }
+    // Levels: one per array, each within 1..=ndims.
+    let arrays: Vec<&str> = kernel.arrays().map(|a| a.name.as_str()).collect();
+    for name in &arrays {
+        match w.levels.iter().find(|(n, _)| n == name) {
+            Some((_, l)) if *l >= 1 && *l <= ndims as i64 => {}
+            Some((_, l)) => ctx.fail(
+                "tiles.legality",
+                format!("array `{name}` has reuse level {l}, outside 1..={ndims}"),
+            ),
+            None => ctx.fail(
+                "tiles.legality",
+                format!("no reuse level recorded for array `{name}`"),
+            ),
+        }
+    }
+    // Tiles: every dimension tiled within its extent.
+    let mut tile = HashMap::new();
+    let mut extent = HashMap::new();
+    for d in kernel.dims() {
+        let n = cert
+            .sizes
+            .iter()
+            .find(|(name, _)| *name == d.name)
+            .map(|(_, v)| *v);
+        let t = w
+            .tiles
+            .iter()
+            .find(|(name, _)| *name == d.name)
+            .map(|(_, v)| *v);
+        match (t, n) {
+            (Some(t), Some(n)) if t >= 1 && t <= n => {
+                tile.insert(d.name.clone(), t);
+                extent.insert(d.name.clone(), n);
+            }
+            (Some(t), n) => ctx.fail(
+                "tiles.legality",
+                format!(
+                    "tile {t} for dimension `{}` is outside 1..={}",
+                    d.name,
+                    n.map_or("?".to_string(), |n| n.to_string())
+                ),
+            ),
+            (None, _) => ctx.fail(
+                "tiles.legality",
+                format!("no tile recorded for dimension `{}`", d.name),
+            ),
+        }
+    }
+    if tile.len() != ndims {
+        return; // legality already failed; capacity would cascade
+    }
+    let Some(cache) = cert.cache_elems else {
+        ctx.note("tile witness present but no cache size: capacity check skipped");
+        return;
+    };
+
+    // Capacity: Σ_A footprint(A, level_A) ≤ S. A dimension keeps its
+    // tile extent at levels it is tiled for (level_of(d) = ndims − its
+    // position in the outermost-first perm ≥ the array's reuse level)
+    // and its full extent otherwise. The product-of-range-widths
+    // footprint is exact for separable unit accesses; anything else is
+    // skipped visibly.
+    let level_of: HashMap<usize, usize> = w
+        .perm
+        .iter()
+        .enumerate()
+        .map(|(pos, &d)| (d as usize, ndims - pos))
+        .collect();
+    let mut total = 0.0f64;
+    for array in kernel.arrays() {
+        let level = w
+            .levels
+            .iter()
+            .find(|(n, _)| *n == array.name)
+            .map(|(_, l)| *l)
+            .unwrap_or(1);
+        if !array.access.is_separable_unit() {
+            ctx.note(format!(
+                "capacity check skipped for array `{}`: access is not separable-unit",
+                array.name
+            ));
+            continue;
+        }
+        let mut footprint = 1.0f64;
+        for form in array.access.dims() {
+            let mut width = 1.0f64;
+            for &(d, c) in form.terms() {
+                let name = &kernel.dims()[d].name;
+                let e = if level_of[&d] as i64 >= level {
+                    tile[name]
+                } else {
+                    extent[name]
+                };
+                width += c.unsigned_abs() as f64 * (e - 1) as f64;
+            }
+            footprint *= width;
+        }
+        total += footprint;
+    }
+    if total > cache * (1.0 + 1e-9) {
+        ctx.fail(
+            "tiles.capacity",
+            format!("witness footprint {total:.1} elements exceeds the cache ({cache:.1})"),
+        );
+    }
+}
+
+/// `pebble.tiny`: on a tiny concrete instance the certified LB must not
+/// beat the exhaustive red-white pebble optimum from `ioopt-cdag` —
+/// soundness against ground truth, independent of every closed form.
+fn check_pebble(kernel: Option<&Kernel>, lb_expr: Option<&AExpr>, ctx: &mut Ctx) {
+    let (Some(kernel), Some(lb_expr)) = (kernel, lb_expr) else {
+        return;
+    };
+    let ndims = kernel.dims().len();
+    let narrays = kernel.inputs().len() + 1;
+    // Conservative node estimate: one compute per domain point plus one
+    // cell per array access; skip when the enumeration would blow up.
+    let domain = 2u64.pow(ndims.min(16) as u32);
+    if domain * (narrays as u64 + 1) > 256 {
+        ctx.note(format!(
+            "pebble check skipped: tiny instance still too large ({ndims} dims, {narrays} arrays)"
+        ));
+        return;
+    }
+    let sizes: HashMap<String, i64> = kernel.dims().iter().map(|d| (d.name.clone(), 2)).collect();
+    let mut env: HashMap<String, f64> = kernel
+        .dims()
+        .iter()
+        .map(|d| (d.size.name().to_string(), 2.0))
+        .collect();
+    let verdict = catch_unwind(AssertUnwindSafe(|| {
+        let cdag = build_cdag(kernel, &sizes, 4096);
+        if cdag.len() > 64 {
+            // The exhaustive oracle is a bitset enumeration over node
+            // subsets; past 64 nodes it asserts rather than thrash.
+            return Err(format!(
+                "tiny CDAG has {} nodes (oracle limit is 64)",
+                cdag.len()
+            ));
+        }
+        for s in [4usize, 6, 8] {
+            let Some(optimal) = optimal_loads(&cdag, s, 1_000_000) else {
+                continue;
+            };
+            env.insert("S".to_string(), s as f64);
+            let Ok(lb) = lb_expr.eval(&env) else {
+                return Err("LB does not evaluate at the tiny instance".to_string());
+            };
+            if lb > optimal as f64 + 1e-9 {
+                return Ok(Some((s, lb, optimal)));
+            }
+            return Ok(None);
+        }
+        Err("no cache size admits exhaustive pebbling".to_string())
+    }));
+    match verdict {
+        Ok(Ok(None)) => {}
+        Ok(Ok(Some((s, lb, optimal)))) => ctx.fail(
+            "pebble.tiny",
+            format!(
+                "LB = {lb:.4} exceeds the exhaustive pebble optimum {optimal} \
+                 (all dims = 2, S = {s})"
+            ),
+        ),
+        Ok(Err(reason)) => ctx.note(format!("pebble check skipped: {reason}")),
+        Err(_) => ctx.note("pebble check skipped: CDAG construction panicked".to_string()),
+    }
+}

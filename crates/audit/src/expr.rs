@@ -1,0 +1,342 @@
+//! A small independent parser/evaluator for the expression rendering
+//! `ioopt` bound certificates carry (`2*A*B*C/(S + 1)^(1/2)`,
+//! `max(N*M, 3)` …).
+//!
+//! The grammar is the one `ioopt_symbolic`'s `Display` emits — additive
+//! chains over multiplicative chains, `^` for powers (fractional
+//! exponents parenthesized, as in `^(1/2)`), unary minus, and variadic
+//! `max(…)`/`min(…)` — but the implementation shares no code with it:
+//! the audit re-reads the rendered bound with its own eyes.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// A parsed bound expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExpr {
+    /// An integer literal.
+    Num(f64),
+    /// A free symbol (size parameter or the cache symbol `S`).
+    Sym(String),
+    /// `a + b`.
+    Add(Box<AExpr>, Box<AExpr>),
+    /// `a - b`.
+    Sub(Box<AExpr>, Box<AExpr>),
+    /// `a * b`.
+    Mul(Box<AExpr>, Box<AExpr>),
+    /// `a / b`.
+    Div(Box<AExpr>, Box<AExpr>),
+    /// `a ^ b`.
+    Pow(Box<AExpr>, Box<AExpr>),
+    /// `-a`.
+    Neg(Box<AExpr>),
+    /// `max(a, b, …)`.
+    Max(Vec<AExpr>),
+    /// `min(a, b, …)` (conv upper bounds pick the tightest template).
+    Min(Vec<AExpr>),
+}
+
+impl AExpr {
+    /// Parses the certificate rendering of a bound expression.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending byte offset.
+    pub fn parse(src: &str) -> Result<AExpr, String> {
+        let mut p = Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(format!("trailing input at byte {} of `{src}`", p.pos));
+        }
+        Ok(e)
+    }
+
+    /// Evaluates under `env` (symbol name → value).
+    ///
+    /// # Errors
+    ///
+    /// Unbound symbols and non-finite intermediate values (division by
+    /// zero, fractional powers of negatives).
+    pub fn eval(&self, env: &HashMap<String, f64>) -> Result<f64, String> {
+        let v = match self {
+            AExpr::Num(n) => *n,
+            AExpr::Sym(name) => *env
+                .get(name)
+                .ok_or_else(|| format!("unbound symbol `{name}`"))?,
+            AExpr::Add(a, b) => a.eval(env)? + b.eval(env)?,
+            AExpr::Sub(a, b) => a.eval(env)? - b.eval(env)?,
+            AExpr::Mul(a, b) => a.eval(env)? * b.eval(env)?,
+            AExpr::Div(a, b) => a.eval(env)? / b.eval(env)?,
+            AExpr::Pow(a, b) => a.eval(env)?.powf(b.eval(env)?),
+            AExpr::Neg(a) => -a.eval(env)?,
+            AExpr::Max(items) => {
+                let mut best = f64::NEG_INFINITY;
+                for item in items {
+                    best = best.max(item.eval(env)?);
+                }
+                best
+            }
+            AExpr::Min(items) => {
+                let mut best = f64::INFINITY;
+                for item in items {
+                    best = best.min(item.eval(env)?);
+                }
+                best
+            }
+        };
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(format!("non-finite value {v}"))
+        }
+    }
+
+    /// Every free symbol, sorted.
+    pub fn free_symbols(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut BTreeSet<String>) {
+        match self {
+            AExpr::Num(_) => {}
+            AExpr::Sym(name) => {
+                out.insert(name.clone());
+            }
+            AExpr::Add(a, b)
+            | AExpr::Sub(a, b)
+            | AExpr::Mul(a, b)
+            | AExpr::Div(a, b)
+            | AExpr::Pow(a, b) => {
+                a.collect_symbols(out);
+                b.collect_symbols(out);
+            }
+            AExpr::Neg(a) => a.collect_symbols(out),
+            AExpr::Max(items) | AExpr::Min(items) => {
+                for item in items {
+                    item.collect_symbols(out);
+                }
+            }
+        }
+    }
+}
+
+/// Recursive descent over the rendering grammar:
+/// `expr := term (('+'|'-') term)*`, `term := factor (('*'|'/') factor)*`,
+/// `factor := '-' factor | power`, `power := atom ('^' atom)?`,
+/// `atom := number | ident | ('max'|'min') '(' expr (',' expr)* ')'
+///        | '(' expr ')'`.
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            got => Err(format!(
+                "expected `{}` at byte {}, got {:?}",
+                want as char,
+                self.pos,
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn expr(&mut self) -> Result<AExpr, String> {
+        let mut lhs = self.term()?;
+        while let Some(op @ (b'+' | b'-')) = self.peek() {
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = if op == b'+' {
+                AExpr::Add(Box::new(lhs), Box::new(rhs))
+            } else {
+                AExpr::Sub(Box::new(lhs), Box::new(rhs))
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<AExpr, String> {
+        let mut lhs = self.factor()?;
+        while let Some(op @ (b'*' | b'/')) = self.peek() {
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = if op == b'*' {
+                AExpr::Mul(Box::new(lhs), Box::new(rhs))
+            } else {
+                AExpr::Div(Box::new(lhs), Box::new(rhs))
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<AExpr, String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            return Ok(AExpr::Neg(Box::new(self.factor()?)));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<AExpr, String> {
+        let base = self.atom()?;
+        if self.peek() == Some(b'^') {
+            self.pos += 1;
+            let exp = self.atom()?;
+            return Ok(AExpr::Pow(Box::new(base), Box::new(exp)));
+        }
+        Ok(base)
+    }
+
+    fn atom(&mut self) -> Result<AExpr, String> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(b')')?;
+                Ok(e)
+            }
+            Some(b) if b.is_ascii_digit() => self.number(),
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+                let name = self.ident();
+                if (name == "max" || name == "min") && self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    let mut items = vec![self.expr()?];
+                    while self.peek() == Some(b',') {
+                        self.pos += 1;
+                        items.push(self.expr()?);
+                    }
+                    self.expect(b')')?;
+                    return Ok(if name == "max" {
+                        AExpr::Max(items)
+                    } else {
+                        AExpr::Min(items)
+                    });
+                }
+                Ok(AExpr::Sym(name))
+            }
+            got => Err(format!(
+                "expected a number, symbol or `(` at byte {}, got {:?}",
+                self.pos,
+                got.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<AExpr, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || *b == b'.')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(AExpr::Num)
+            .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str, env: &[(&str, f64)]) -> f64 {
+        let e = AExpr::parse(src).unwrap_or_else(|err| panic!("{src}: {err}"));
+        let env: HashMap<String, f64> = env.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        e.eval(&env).unwrap_or_else(|err| panic!("{src}: {err}"))
+    }
+
+    #[test]
+    fn corpus_shapes_parse_and_evaluate() {
+        // Shapes taken from real rendered bounds across the workspace.
+        assert_eq!(eval("a - b + 1", &[("a", 5.0), ("b", 2.0)]), 4.0);
+        assert_eq!(eval("-a - 2", &[("a", 3.0)]), -5.0);
+        let v = eval("2*A*B/S^(1/2)", &[("A", 4.0), ("B", 3.0), ("S", 16.0)]);
+        assert!((v - 6.0).abs() < 1e-12);
+        assert_eq!(eval("a/(b*c)", &[("a", 12.0), ("b", 2.0), ("c", 3.0)]), 2.0);
+        let v = eval("(S + 1)^(1/2)", &[("S", 24.0)]);
+        assert!((v - 5.0).abs() < 1e-12);
+        assert_eq!(eval("x^2", &[("x", 7.0)]), 49.0);
+        let v = eval("2*N/((S + 1)^(1/2) - 1)", &[("N", 8.0), ("S", 24.0)]);
+        assert!((v - 4.0).abs() < 1e-12);
+        assert_eq!(eval("max(a, b + 1, 10)", &[("a", 3.0), ("b", 1.0)]), 10.0);
+        assert_eq!(eval("min(a, b + 1, 10)", &[("a", 3.0), ("b", 1.0)]), 2.0);
+        // A conv-style bound: a quotient of a product by a min of roots.
+        let v = eval("B*C/min(S, S^(1/2))", &[("B", 6.0), ("C", 2.0), ("S", 4.0)]);
+        assert!((v - 6.0).abs() < 1e-12);
+        assert_eq!(eval("1/x", &[("x", 4.0)]), 0.25);
+        assert_eq!(eval("a/3", &[("a", 9.0)]), 3.0);
+    }
+
+    #[test]
+    fn precedence_matches_the_renderer() {
+        // `2*N^2` is 2·(N²), not (2N)²; `a - b + c` associates left.
+        assert_eq!(eval("2*N^2", &[("N", 3.0)]), 18.0);
+        assert_eq!(
+            eval("a - b + c", &[("a", 1.0), ("b", 2.0), ("c", 3.0)]),
+            2.0
+        );
+        assert_eq!(eval("-x^2", &[("x", 3.0)]), -9.0);
+    }
+
+    #[test]
+    fn errors_are_structured_not_panics() {
+        assert!(AExpr::parse("2 +").is_err());
+        assert!(AExpr::parse("max(a").is_err());
+        assert!(AExpr::parse("a b").is_err());
+        assert!(AExpr::parse("").is_err());
+        let e = AExpr::parse("N*Q").unwrap();
+        let env: HashMap<String, f64> = [("N".to_string(), 2.0)].into();
+        assert!(e.eval(&env).unwrap_err().contains("unbound symbol `Q`"));
+        let div = AExpr::parse("1/x").unwrap();
+        let env: HashMap<String, f64> = [("x".to_string(), 0.0)].into();
+        assert!(div.eval(&env).is_err(), "division by zero is an error");
+    }
+
+    #[test]
+    fn free_symbols_are_collected() {
+        let e = AExpr::parse("max(2*A*B/S^(1/2), A + C)").unwrap();
+        let syms: Vec<String> = e.free_symbols().into_iter().collect();
+        assert_eq!(syms, ["A", "B", "C", "S"]);
+    }
+}

@@ -1,0 +1,194 @@
+//! # ioopt-audit
+//!
+//! An **independent** offline checker for the proof-carrying bound
+//! certificates `ioopt batch --certify` exports (DESIGN.md §11).
+//!
+//! The pipeline crates (`ioopt-iolb`, `ioopt-ioub`, `ioopt-tileopt`,
+//! `ioopt-lp`) *produce* bounds; this crate re-checks them from the
+//! certificate alone, sharing no code with the producers: its own exact
+//! rational arithmetic ([`rat`]-internal), its own expression parser for
+//! the rendered bounds, and plain arithmetic over the exported witness
+//! data. The only workspace dependencies are the kernel vocabulary
+//! (`ioopt-ir`/`ioopt-polyhedra` — inputs to the pipeline, not
+//! derivations) and the concrete pebble-game oracle (`ioopt-cdag`).
+//!
+//! What each check proves:
+//!
+//! | check | claim re-verified |
+//! |---|---|
+//! | `schema` | certificate version is understood |
+//! | `kernel` | the embedded DSL parses, is tilable, sizes cover dims |
+//! | `lp.primal` | the exported `s` is feasible and `σ = Σ s_j` |
+//! | `lp.dual` | the dual vector proves `σ` is *optimal* (feasibility + strong duality) |
+//! | `bounds.expr` | the rendered bounds re-parse |
+//! | `bounds.samples` | recorded grid evidence matches re-evaluation; `LB ≤ UB` on it |
+//! | `bounds.row` | the row's numeric `lb` is the bound at the row's sizes; `lb ≤ ub` |
+//! | `bounds.poly_growth` | `LB ≤ UB` on an independent doubling sweep |
+//! | `tiles.legality` | the tile witness is a real schedule (perm/levels/tile ranges) |
+//! | `tiles.capacity` | the witness footprint fits the cache (separable-unit accesses) |
+//! | `tiles.io` | the witness I/O equals the row's `ub` |
+//! | `pebble.tiny` | on a tiny instance, `LB` never beats exhaustive pebbling |
+//!
+//! Trust boundary: the duals certify the LP *optimum* `σ` only; that the
+//! closed-form bound was correctly assembled from `σ` is cross-checked
+//! behaviorally (samples, growth, pebbling) rather than re-derived.
+
+#![warn(missing_docs)]
+
+mod checks;
+mod expr;
+mod rat;
+
+pub use expr::AExpr;
+pub use rat::Rat;
+
+/// One rejected check: which check failed and a pinpointed reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The check name (`lp.dual`, `tiles.capacity`, …).
+    pub check: String,
+    /// What exactly was violated.
+    pub message: String,
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.message)
+    }
+}
+
+/// The audit verdict for one certified report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRowResult {
+    /// The row's kernel label.
+    pub kernel: String,
+    /// Violated checks; empty means the certificate is accepted.
+    pub findings: Vec<AuditFinding>,
+    /// Checks that were skipped (and why) — skipping is visible, never
+    /// silent.
+    pub notes: Vec<String>,
+}
+
+impl AuditRowResult {
+    /// Whether every applicable check passed.
+    pub fn accepted(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// One homomorphism row of an LP certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomData {
+    /// Display name (array name or `sd`).
+    pub name: String,
+    /// `"input"`, `"output"`, or `"sd"`.
+    pub kind: String,
+    /// The exported `s_j`, rendered `"p/q"`.
+    pub s: String,
+}
+
+/// One rank constraint `Σ_j rank(φ_j(H))·s_j ≥ rank(H)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintData {
+    /// `rank(H)`.
+    pub lhs: i64,
+    /// `rank(φ_j(H))`, aligned with the homs.
+    pub image_ranks: Vec<i64>,
+}
+
+/// The LP certificate of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCertData {
+    /// Indices of the dimensions the scenario treats as small.
+    pub small_dims: Vec<i64>,
+    /// The certified optimum `σ`, rendered `"p/q"`.
+    pub sigma: String,
+    /// The small-dimension coefficient, rendered `"p/q"`.
+    pub s_sd: String,
+    /// The homomorphisms with their exported `s_j`.
+    pub homs: Vec<HomData>,
+    /// The rank constraints.
+    pub constraints: Vec<ConstraintData>,
+    /// Dual multipliers of the rank rows, rendered `"p/q"`.
+    pub rank_duals: Vec<String>,
+    /// Dual multipliers of the cap rows `s_j ≤ 1`, rendered `"p/q"`.
+    pub cap_duals: Vec<String>,
+}
+
+/// The lower-bound block of a certificate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbCertData {
+    /// The trivial bound (rendered expression).
+    pub trivial: String,
+    /// The combined bound `LB(S)` (rendered expression).
+    pub combined: String,
+    /// Per-scenario LP certificates.
+    pub scenarios: Vec<ScenarioCertData>,
+}
+
+/// The closed-form upper-bound block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UbCertData {
+    /// The rendered bound `UB(S)`.
+    pub bound: String,
+    /// `"tc"` (Fig. 6 tensor contraction) or `"conv"` (semi-symbolic).
+    pub source: String,
+}
+
+/// The tile-feasibility witness of the numeric upper bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileWitness {
+    /// Inter-tile permutation (dimension indices, outermost first).
+    pub perm: Vec<i64>,
+    /// Reuse level per array `(array name, level)`.
+    pub levels: Vec<(String, i64)>,
+    /// Integer tile size per dimension `(dim name, T)`.
+    pub tiles: Vec<(String, i64)>,
+    /// Predicted I/O at those tiles (the row's numeric `ub`).
+    pub io: f64,
+}
+
+/// One recorded sample of the `LB ≤ UB` evidence grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleData {
+    /// The assignment `(symbol name, value)`.
+    pub assignment: Vec<(String, f64)>,
+    /// Recorded lower-bound value.
+    pub lb: f64,
+    /// Recorded upper-bound value.
+    pub ub: f64,
+}
+
+/// A fully decoded certificate for one report row — the audit's entire
+/// input (plus the row's own `lb`/`ub` numbers for cross-checking).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertificateData {
+    /// Certificate schema version (this crate understands `1`).
+    pub version: i64,
+    /// The row's kernel label.
+    pub kernel_name: String,
+    /// The kernel re-rendered as DSL source, when renderable.
+    pub kernel_dsl: Option<String>,
+    /// Concrete sizes `(dim name, trip count)` for numeric rows.
+    pub sizes: Vec<(String, i64)>,
+    /// The cache capacity `S` the analysis ran at.
+    pub cache_elems: Option<f64>,
+    /// The row's numeric lower bound, when the numeric pipeline ran.
+    pub row_lb: Option<f64>,
+    /// The row's numeric upper bound, when the numeric pipeline ran.
+    pub row_ub: Option<f64>,
+    /// The lower-bound block.
+    pub lb: LbCertData,
+    /// The closed-form upper bound, when one derived.
+    pub ub: Option<UbCertData>,
+    /// The tile witness, when the numeric pipeline ran.
+    pub tiles: Option<TileWitness>,
+    /// The recorded evidence grid (present when a closed-form UB is).
+    pub samples: Vec<SampleData>,
+}
+
+/// Statically re-checks one certificate. Never panics: malformed or
+/// adversarial input becomes findings with pinpointed reasons.
+pub fn audit_certificate(cert: &CertificateData) -> AuditRowResult {
+    checks::run(cert)
+}

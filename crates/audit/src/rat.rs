@@ -1,0 +1,188 @@
+//! Exact rational arithmetic for the certificate checker.
+//!
+//! Deliberately *not* `ioopt_symbolic::Rational`: the whole point of the
+//! audit is that its arithmetic is independent of the code that produced
+//! the certificate. Operations are checked — adversarial certificates
+//! must surface as findings, never as panics — so every combinator
+//! returns `Option` and the checks treat `None` as an overflow finding.
+
+/// A reduced rational `num/den` with `den > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs().max(1)
+}
+
+// The arithmetic names mirror `std::ops`, but the std traits cannot
+// express checked arithmetic (`Option` results) without panicking on
+// overflow — exactly what an adversarial certificate must never cause.
+#[allow(clippy::should_implement_trait)]
+impl Rat {
+    /// `0/1`.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// `1/1`.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms; `None` when `den == 0`.
+    pub fn new(num: i128, den: i128) -> Option<Rat> {
+        if den == 0 {
+            return None;
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Some(Rat {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        })
+    }
+
+    /// The integer `n`.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// Parses `"p/q"` or `"n"` (optionally signed, surrounding
+    /// whitespace ignored) — the rendering `ioopt` certificates use.
+    pub fn parse(s: &str) -> Option<Rat> {
+        let s = s.trim();
+        match s.split_once('/') {
+            Some((p, q)) => {
+                let num: i128 = p.trim().parse().ok()?;
+                let den: i128 = q.trim().parse().ok()?;
+                Rat::new(num, den)
+            }
+            None => s.parse::<i128>().ok().map(Rat::from_int),
+        }
+    }
+
+    /// Checked addition.
+    pub fn add(self, o: Rat) -> Option<Rat> {
+        let num = self
+            .num
+            .checked_mul(o.den)?
+            .checked_add(o.num.checked_mul(self.den)?)?;
+        Rat::new(num, self.den.checked_mul(o.den)?)
+    }
+
+    /// Checked subtraction.
+    pub fn sub(self, o: Rat) -> Option<Rat> {
+        self.add(o.neg())
+    }
+
+    /// Checked multiplication.
+    pub fn mul(self, o: Rat) -> Option<Rat> {
+        // Cross-reduce first so products of many small factors stay small.
+        let g1 = gcd(self.num, o.den);
+        let g2 = gcd(o.num, self.den);
+        Rat::new(
+            (self.num / g1).checked_mul(o.num / g2)?,
+            (self.den / g2).checked_mul(o.den / g1)?,
+        )
+    }
+
+    /// Negation (always exact: `den > 0` and `i128::MIN` never survives
+    /// reduction from parse-sized inputs).
+    pub fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// `self < 0`.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Nearest `f64` (diagnostic rendering only; checks stay exact).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact comparison; falls back to `f64` if the cross product
+    /// overflows (practically unreachable for certificate-sized values).
+    fn cmp_impl(self, o: Rat) -> std::cmp::Ordering {
+        match (self.num.checked_mul(o.den), o.num.checked_mul(self.den)) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => self
+                .to_f64()
+                .partial_cmp(&o.to_f64())
+                .unwrap_or(std::cmp::Ordering::Equal),
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> std::cmp::Ordering {
+        self.cmp_impl(*other)
+    }
+}
+
+impl std::fmt::Display for Rat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Checked sum of a sequence of rationals.
+pub fn sum(terms: impl IntoIterator<Item = Rat>) -> Option<Rat> {
+    terms.into_iter().try_fold(Rat::ZERO, Rat::add)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["3/2", "-1/3", "7", "0", "-4"] {
+            let r = Rat::parse(s).unwrap();
+            assert_eq!(r.to_string(), s);
+        }
+        assert_eq!(Rat::parse("6/4").unwrap(), Rat::new(3, 2).unwrap());
+        assert_eq!(Rat::parse(" 1/2 ").unwrap(), Rat::new(1, 2).unwrap());
+        assert!(Rat::parse("1/0").is_none());
+        assert!(Rat::parse("x").is_none());
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let half = Rat::new(1, 2).unwrap();
+        let third = Rat::new(1, 3).unwrap();
+        assert_eq!(half.add(third).unwrap(), Rat::new(5, 6).unwrap());
+        assert_eq!(half.mul(third).unwrap(), Rat::new(1, 6).unwrap());
+        assert_eq!(half.sub(half).unwrap(), Rat::ZERO);
+        assert!(half.neg().is_negative());
+        assert!(third < half);
+        assert_eq!(
+            sum([half, third, Rat::ONE]).unwrap(),
+            Rat::new(11, 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn overflow_is_an_option_not_a_panic() {
+        let big = Rat::from_int(i128::MAX);
+        assert!(big.mul(big).is_none());
+        assert!(big.add(big).is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! End-to-end audit checks over handcrafted certificates: a consistent
+//! matmul-shaped certificate is accepted, and each class of tampering
+//! (primal, dual, bound expression, sample evidence, tile witness) is
+//! rejected with a finding naming the violated check.
+
+use ioopt_audit::{
+    audit_certificate, CertificateData, ConstraintData, HomData, LbCertData, SampleData,
+    ScenarioCertData, TileWitness, UbCertData,
+};
+
+const MATMUL_DSL: &str =
+    "kernel matmul {\n  loop i : Ni;\n  loop j : Nj;\n  loop k : Nk;\n  C[i][j] += A[i][k] * B[k][j];\n}\n";
+
+/// A small, fully consistent certificate: the LP system is
+/// `min s_C + s_A + s_B` s.t. `2(s_C + s_A + s_B) >= 3`, `s <= 1`
+/// (σ = 3/2, witnessed by the dual `u = 1/2`), with simple polynomial
+/// bounds `LB = Ni*Nj`, `UB = 2*Ni*Nj` and a trivially feasible tiling.
+fn good_certificate() -> CertificateData {
+    CertificateData {
+        version: 1,
+        kernel_name: "matmul".to_string(),
+        kernel_dsl: Some(MATMUL_DSL.to_string()),
+        sizes: vec![
+            ("i".to_string(), 4),
+            ("j".to_string(), 8),
+            ("k".to_string(), 3),
+        ],
+        cache_elems: Some(100.0),
+        row_lb: Some(32.0),
+        row_ub: Some(64.0),
+        lb: LbCertData {
+            trivial: "3".to_string(),
+            combined: "Ni*Nj".to_string(),
+            scenarios: vec![ScenarioCertData {
+                small_dims: vec![],
+                sigma: "3/2".to_string(),
+                s_sd: "0".to_string(),
+                homs: vec![
+                    HomData {
+                        name: "C".to_string(),
+                        kind: "output".to_string(),
+                        s: "1/2".to_string(),
+                    },
+                    HomData {
+                        name: "A".to_string(),
+                        kind: "input".to_string(),
+                        s: "1/2".to_string(),
+                    },
+                    HomData {
+                        name: "B".to_string(),
+                        kind: "input".to_string(),
+                        s: "1/2".to_string(),
+                    },
+                ],
+                constraints: vec![ConstraintData {
+                    lhs: 3,
+                    image_ranks: vec![2, 2, 2],
+                }],
+                rank_duals: vec!["1/2".to_string()],
+                cap_duals: vec!["0".to_string(), "0".to_string(), "0".to_string()],
+            }],
+        },
+        ub: Some(UbCertData {
+            bound: "2*Ni*Nj".to_string(),
+            source: "tc".to_string(),
+        }),
+        tiles: Some(TileWitness {
+            perm: vec![0, 1, 2],
+            levels: vec![
+                ("C".to_string(), 1),
+                ("A".to_string(), 1),
+                ("B".to_string(), 1),
+            ],
+            tiles: vec![
+                ("i".to_string(), 1),
+                ("j".to_string(), 1),
+                ("k".to_string(), 1),
+            ],
+            io: 64.0,
+        }),
+        samples: vec![
+            SampleData {
+                assignment: vec![("Ni".to_string(), 4.0), ("Nj".to_string(), 8.0)],
+                lb: 32.0,
+                ub: 64.0,
+            },
+            SampleData {
+                assignment: vec![("Ni".to_string(), 16.0), ("Nj".to_string(), 2.0)],
+                lb: 32.0,
+                ub: 64.0,
+            },
+        ],
+    }
+}
+
+fn rejected_checks(cert: &CertificateData) -> Vec<String> {
+    audit_certificate(cert)
+        .findings
+        .into_iter()
+        .map(|f| f.check)
+        .collect()
+}
+
+#[test]
+fn consistent_certificate_is_accepted() {
+    let result = audit_certificate(&good_certificate());
+    assert!(result.accepted(), "{:?}", result.findings);
+    assert_eq!(result.kernel, "matmul");
+}
+
+#[test]
+fn tampered_sigma_fails_the_primal_check() {
+    let mut cert = good_certificate();
+    cert.lb.scenarios[0].sigma = "2".to_string();
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"lp.primal".to_string()), "{checks:?}");
+}
+
+#[test]
+fn tampered_primal_violates_a_rank_constraint() {
+    let mut cert = good_certificate();
+    // Lower every s_j: the cheaper "solution" no longer covers rank 3.
+    for h in &mut cert.lb.scenarios[0].homs {
+        h.s = "1/4".to_string();
+    }
+    cert.lb.scenarios[0].sigma = "3/4".to_string();
+    let result = audit_certificate(&cert);
+    assert!(result
+        .findings
+        .iter()
+        .any(|f| f.check == "lp.primal" && f.message.contains("rank constraint")));
+}
+
+#[test]
+fn tampered_dual_breaks_strong_duality() {
+    let mut cert = good_certificate();
+    cert.lb.scenarios[0].rank_duals[0] = "1/3".to_string();
+    let result = audit_certificate(&cert);
+    assert!(
+        result
+            .findings
+            .iter()
+            .any(|f| f.check == "lp.dual" && f.message.contains("strong duality")),
+        "{:?}",
+        result.findings
+    );
+}
+
+#[test]
+fn negative_dual_is_rejected() {
+    let mut cert = good_certificate();
+    cert.lb.scenarios[0].cap_duals[0] = "-1".to_string();
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"lp.dual".to_string()), "{checks:?}");
+}
+
+#[test]
+fn inverted_bound_expression_is_rejected_by_growth() {
+    let mut cert = good_certificate();
+    // Swap in a cubic "lower" bound: the recorded samples no longer
+    // match AND the doubling sweep inverts.
+    cert.lb.combined = "Ni*Nj*Nk".to_string();
+    let checks = rejected_checks(&cert);
+    assert!(
+        checks.contains(&"bounds.poly_growth".to_string()),
+        "{checks:?}"
+    );
+    assert!(checks.contains(&"bounds.samples".to_string()), "{checks:?}");
+}
+
+#[test]
+fn tampered_sample_evidence_is_rejected() {
+    let mut cert = good_certificate();
+    cert.samples[0].lb = 1.0;
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"bounds.samples".to_string()), "{checks:?}");
+}
+
+#[test]
+fn unparseable_bound_is_rejected() {
+    let mut cert = good_certificate();
+    cert.lb.combined = "Ni *".to_string();
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"bounds.expr".to_string()), "{checks:?}");
+}
+
+#[test]
+fn oversized_tile_witness_fails_capacity() {
+    let mut cert = good_certificate();
+    let tiles = cert.tiles.as_mut().unwrap();
+    // Full-extent tiles: footprints 32 + 12 + 24 = 68 <= 100 still fit;
+    // shrink the cache so the same witness overflows it.
+    tiles.tiles = vec![
+        ("i".to_string(), 4),
+        ("j".to_string(), 8),
+        ("k".to_string(), 3),
+    ];
+    cert.cache_elems = Some(16.0);
+    // Keep the row lb cross-check silent about the cache change.
+    cert.row_lb = None;
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"tiles.capacity".to_string()), "{checks:?}");
+}
+
+#[test]
+fn malformed_tile_witness_fails_legality() {
+    let mut cert = good_certificate();
+    cert.tiles.as_mut().unwrap().perm = vec![0, 0, 2];
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"tiles.legality".to_string()), "{checks:?}");
+
+    let mut cert = good_certificate();
+    cert.tiles.as_mut().unwrap().tiles[0].1 = 99; // tile > extent
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"tiles.legality".to_string()), "{checks:?}");
+}
+
+#[test]
+fn witness_io_must_match_the_row_ub() {
+    let mut cert = good_certificate();
+    cert.tiles.as_mut().unwrap().io = 1.0;
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"tiles.io".to_string()), "{checks:?}");
+}
+
+#[test]
+fn row_lb_must_match_the_bound_at_the_row_sizes() {
+    let mut cert = good_certificate();
+    cert.row_lb = Some(1.0); // LB(Ni=4, Nj=8) is 32, not 1
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"bounds.row".to_string()), "{checks:?}");
+}
+
+#[test]
+fn absurd_lower_bound_loses_to_the_pebble_game() {
+    let mut cert = good_certificate();
+    // A bound claiming ~4M loads on a 2x2x2 instance cannot survive the
+    // exhaustive pebbling oracle. Strip everything else that would also
+    // trip (samples, row numbers, ub) to isolate the pebble check.
+    cert.lb.combined = "Ni*Nj*Nk*S^6".to_string();
+    cert.ub = None;
+    cert.samples.clear();
+    cert.row_lb = None;
+    cert.row_ub = None;
+    cert.tiles = None;
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"pebble.tiny".to_string()), "{checks:?}");
+}
+
+#[test]
+fn unknown_version_is_rejected_up_front() {
+    let mut cert = good_certificate();
+    cert.version = 2;
+    let result = audit_certificate(&cert);
+    assert_eq!(result.findings.len(), 1);
+    assert_eq!(result.findings[0].check, "schema");
+}
+
+#[test]
+fn broken_kernel_dsl_is_rejected() {
+    let mut cert = good_certificate();
+    cert.kernel_dsl = Some("kernel nope {".to_string());
+    let checks = rejected_checks(&cert);
+    assert!(checks.contains(&"kernel".to_string()), "{checks:?}");
+}

@@ -1,0 +1,203 @@
+//! Property tests for the pebble games on small random CDAG instances.
+//!
+//! A [`SplitMix64`] stream drives instance selection (kernel shape and
+//! trip counts), so the "random" cases are identical on every platform
+//! and every run. The pinned laws:
+//!
+//! * [`optimal_loads`] is non-increasing in the red-pebble count `s`;
+//! * the red-blue optimum (recomputation allowed) never exceeds the
+//!   red-white optimum;
+//! * a concrete greedy schedule never beats the optimum;
+//! * chain, fan, and diamond shaped CDAGs match hand-computed optima.
+
+use std::collections::HashMap;
+
+use ioopt_cdag::{build_cdag, greedy_loads, optimal_loads, optimal_loads_with_recompute, Cdag};
+use ioopt_ir::{kernels, parse_kernel, Kernel};
+use ioopt_symbolic::SplitMix64;
+
+const MAX_STATES: usize = 4_000_000;
+
+fn sizes(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+}
+
+/// `Out[j] = A[i] * B[j]` with a single `i`: one source cell `A[0]`
+/// fans out to every compute, each of which also reads its own `B[j]`.
+fn fan_kernel() -> Kernel {
+    parse_kernel("kernel fan {\n    loop i : Ni;\n    loop j : Nj;\n    Out[j] = A[i] * B[j];\n}")
+        .expect("fan kernel parses")
+}
+
+/// `S[i] += A[i] * B[k]` with a single `i`: the shared `A[0]` feeds
+/// every link of the accumulation chain, so consecutive computes form
+/// diamonds (`A[0] -> c_t -> c_{t+1}` and `A[0] -> c_{t+1}`).
+fn diamond_kernel() -> Kernel {
+    parse_kernel(
+        "kernel diamond {\n    loop i : Ni;\n    loop k : Nk;\n    S[i] += A[i] * B[k];\n}",
+    )
+    .expect("diamond kernel parses")
+}
+
+/// 1-D stencil reduction `Out[x] += In[x+w]`: adjacent outputs share
+/// input cells, the classic overlapping-diamond dependence pattern.
+fn stencil_kernel() -> Kernel {
+    parse_kernel("kernel stencil {\n    loop x : Nx;\n    loop w : Nw;\n    Out[x] += In[x+w];\n}")
+        .expect("stencil kernel parses")
+}
+
+/// Draws a small instance from a fixed pool of shapes with randomized
+/// trip counts. Node counts stay well under the 64-node oracle limit,
+/// and mostly under ~16 so the state-space search completes.
+fn random_instance(rng: &mut SplitMix64) -> (String, Cdag) {
+    match rng.range_usize(4) {
+        0 => {
+            let j = rng.range_i64(1, 2);
+            let k = rng.range_i64(2, 3);
+            let g = build_cdag(
+                &kernels::matmul(),
+                &sizes(&[("i", 1), ("j", j), ("k", k)]),
+                1000,
+            );
+            (format!("matmul i=1 j={j} k={k}"), g)
+        }
+        1 => {
+            let n = rng.range_i64(2, 6);
+            let g = build_cdag(&fan_kernel(), &sizes(&[("i", 1), ("j", n)]), 1000);
+            (format!("fan j={n}"), g)
+        }
+        2 => {
+            let k = rng.range_i64(2, 4);
+            let g = build_cdag(&diamond_kernel(), &sizes(&[("i", 1), ("k", k)]), 1000);
+            (format!("diamond k={k}"), g)
+        }
+        _ => {
+            let x = rng.range_i64(2, 3);
+            let g = build_cdag(&stencil_kernel(), &sizes(&[("x", x), ("w", 2)]), 1000);
+            (format!("stencil x={x} w=2"), g)
+        }
+    }
+}
+
+/// Smallest cache that can compute every node: max in-degree + 1.
+fn min_cache(cdag: &Cdag) -> usize {
+    cdag.computes()
+        .iter()
+        .map(|&v| cdag.preds(v).len() + 1)
+        .max()
+        .expect("at least one compute")
+}
+
+#[test]
+fn optimal_loads_is_monotone_in_cache_size() {
+    let mut rng = SplitMix64::new(0x1007);
+    for _ in 0..12 {
+        let (label, g) = random_instance(&mut rng);
+        let s0 = min_cache(&g);
+        let mut prev: Option<u64> = None;
+        for s in s0..s0 + 3 {
+            let cur = optimal_loads(&g, s, MAX_STATES);
+            if let (Some(p), Some(c)) = (prev, cur) {
+                assert!(
+                    c <= p,
+                    "{label}: optimum increased from {p} to {c} when s grew to {s}"
+                );
+            }
+            if cur.is_some() {
+                prev = cur;
+            }
+        }
+        assert!(prev.is_some(), "{label}: no cache size completed");
+    }
+}
+
+#[test]
+fn recomputation_never_increases_loads() {
+    let mut rng = SplitMix64::new(0x5eed);
+    for _ in 0..10 {
+        let (label, g) = random_instance(&mut rng);
+        let s = min_cache(&g) + rng.range_usize(2);
+        let (Some(rw), Some(rb)) = (
+            optimal_loads(&g, s, MAX_STATES),
+            optimal_loads_with_recompute(&g, s, MAX_STATES),
+        ) else {
+            continue; // state budget exhausted: nothing to compare
+        };
+        assert!(rb <= rw, "{label} s={s}: red-blue {rb} > red-white {rw}");
+    }
+}
+
+#[test]
+fn greedy_never_beats_optimal() {
+    let mut rng = SplitMix64::new(0x9eed);
+    for _ in 0..10 {
+        let (label, g) = random_instance(&mut rng);
+        let s = min_cache(&g) + rng.range_usize(3);
+        let greedy = greedy_loads(&g, s, &g.computes());
+        if let Some(opt) = optimal_loads(&g, s, MAX_STATES) {
+            assert!(
+                opt <= greedy,
+                "{label} s={s}: optimal {opt} > greedy {greedy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_optimum_matches_closed_form() {
+    // matmul with i = j = 1 degenerates to a reduction chain: link t
+    // reads fresh cells A[0][t], B[t][0] plus the carried accumulator.
+    // With s = 4 every input is loaded exactly once: 2k + 1 loads.
+    for k in 2..=5i64 {
+        let g = build_cdag(
+            &kernels::matmul(),
+            &sizes(&[("i", 1), ("j", 1), ("k", k)]),
+            1000,
+        );
+        let expect = (2 * k + 1) as u64;
+        assert_eq!(
+            optimal_loads(&g, 4, MAX_STATES),
+            Some(expect),
+            "chain k={k}"
+        );
+        // Recomputation buys nothing on a chain of fresh inputs.
+        assert_eq!(
+            optimal_loads_with_recompute(&g, 4, MAX_STATES),
+            Some(expect),
+            "red-blue chain k={k}"
+        );
+    }
+}
+
+#[test]
+fn fan_optimum_counts_each_input_once() {
+    // One source A[0] fans out to n independent computes, each with a
+    // private B[j]. Keeping A resident: 1 + n loads with s = 3; s = 2
+    // cannot hold both predecessors plus the result.
+    for n in 2..=5i64 {
+        let g = build_cdag(&fan_kernel(), &sizes(&[("i", 1), ("j", n)]), 1000);
+        assert_eq!(
+            optimal_loads(&g, 3, MAX_STATES),
+            Some(1 + n as u64),
+            "fan n={n}"
+        );
+        assert_eq!(optimal_loads(&g, 2, MAX_STATES), None, "fan n={n} s=2");
+    }
+}
+
+#[test]
+fn diamond_reuses_the_shared_source() {
+    // Chain link t >= 1 has preds {c_{t-1}, A[0], B[t]} — a diamond on
+    // A[0]. With s = 4 the source stays resident: init + A + k B-cells.
+    for k in 2..=4i64 {
+        let g = build_cdag(&diamond_kernel(), &sizes(&[("i", 1), ("k", k)]), 1000);
+        assert_eq!(
+            optimal_loads(&g, 4, MAX_STATES),
+            Some(k as u64 + 2),
+            "diamond k={k}"
+        );
+    }
+    // s = 3 cannot hold three predecessors plus the new result.
+    let g = build_cdag(&diamond_kernel(), &sizes(&[("i", 1), ("k", 2)]), 1000);
+    assert_eq!(optimal_loads(&g, 3, MAX_STATES), None);
+}

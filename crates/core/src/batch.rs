@@ -60,6 +60,12 @@ pub struct BatchOptions {
     /// so fail-fast reports are `--jobs`-deterministic like everything
     /// else.
     pub fail_fast: bool,
+    /// Attach a proof-carrying `certificate` block to every successful
+    /// row (`--certify`): the BL simplex duals, the tile-feasibility
+    /// witness, and sampled `LB ≤ UB` evidence, re-checkable offline by
+    /// `ioopt audit` (DESIGN.md §11). Off by default — the report bytes
+    /// are unchanged when disabled.
+    pub certify: bool,
 }
 
 impl Default for BatchOptions {
@@ -72,6 +78,7 @@ impl Default for BatchOptions {
             timeout_ms: None,
             max_steps: None,
             fail_fast: false,
+            certify: false,
         }
     }
 }
@@ -104,6 +111,9 @@ pub struct BatchRow {
     pub status: Status,
     /// Degradation detail for `degraded` rows (which stage, why).
     pub note: Option<String>,
+    /// The proof-carrying certificate block, present only when the batch
+    /// ran with [`BatchOptions::certify`] and the row succeeded.
+    pub certificate: Option<Json>,
 }
 
 /// The combined batch report.
@@ -124,9 +134,11 @@ fn opt_num(v: Option<f64>) -> Json {
 }
 
 impl BatchRow {
-    /// The row in the shared report schema.
+    /// The row in the shared report schema. The `certificate` key is
+    /// additive: it is emitted only when present, so reports produced
+    /// without `--certify` render byte-identically to older ones.
     pub fn to_json_value(&self) -> Json {
-        Json::obj([
+        let mut pairs: Vec<(String, Json)> = [
             ("kernel", Json::str(self.kernel.clone())),
             ("arith", Json::str(self.arith.clone())),
             ("lb_symbolic", opt_str(&self.lb_symbolic)),
@@ -138,7 +150,14 @@ impl BatchRow {
             ("error", opt_str(&self.error)),
             ("status", Json::str(self.status.as_str())),
             ("note", opt_str(&self.note)),
-        ])
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        if let Some(cert) = &self.certificate {
+            pairs.push(("certificate".to_string(), cert.clone()));
+        }
+        Json::Object(pairs)
     }
 
     fn from_json_value(v: &Json) -> Result<BatchRow, String> {
@@ -168,6 +187,10 @@ impl BatchRow {
                 .transpose()?
                 .unwrap_or(Status::Exact),
             note: opt_str("note"),
+            certificate: match v.get("certificate") {
+                None | Some(Json::Null) => None,
+                Some(c) => Some(c.clone()),
+            },
         })
     }
 }
@@ -374,6 +397,7 @@ fn blank_row(item: &BatchItem) -> BatchRow {
         error: None,
         status: Status::Exact,
         note: None,
+        certificate: None,
     }
 }
 
@@ -451,27 +475,45 @@ fn analyze_row_stages(item: &BatchItem, options: &BatchOptions) -> BatchRow {
         let _span = obs::span("iolb.symbolic");
         symbolic_lb(kernel)
     };
-    match symbolic {
+    let lower = match symbolic {
         Ok(lb) => {
             row.lb_symbolic = Some(lb.combined.to_string());
             if lb.degraded {
                 row.status = Status::Degraded;
                 row.note = Some(degradation_note("symbolic lower bound", &budget));
             }
+            lb
         }
         Err(e) => {
             row.error = Some(e.to_string());
             row.status = Status::Failed;
             return row;
         }
-    }
-    row.ub_symbolic = {
+    };
+    // Keep the closed-form UB expression (and its provenance) around:
+    // the certificate records both so the audit can re-evaluate it.
+    let ub_closed: Option<(ioopt_symbolic::Expr, &'static str)> = {
         let _span = obs::span("ioub.closed_form");
         symbolic_tc_ub(kernel)
-            .or_else(|| symbolic_conv_ub(kernel, &item.sizes, options.cache_elems))
-            .map(|ub| ub.bound.to_string())
+            .map(|ub| (ub.bound, "tc"))
+            .or_else(|| {
+                symbolic_conv_ub(kernel, &item.sizes, options.cache_elems)
+                    .map(|ub| (ub.bound, "conv"))
+            })
     };
+    row.ub_symbolic = ub_closed.as_ref().map(|(bound, _)| bound.to_string());
     if !options.numeric {
+        if options.certify {
+            let _span = obs::span("certify.build");
+            row.certificate = Some(crate::certificate::build_certificate(
+                kernel,
+                &item.sizes,
+                options.cache_elems,
+                &lower,
+                ub_closed.as_ref(),
+                None,
+            ));
+        }
         return row;
     }
     let analysis_options = AnalysisOptions::with_cache(options.cache_elems)
@@ -497,6 +539,17 @@ fn analyze_row_stages(item: &BatchItem, options: &BatchOptions) -> BatchRow {
                     Some(prev) => format!("{prev}; {detail}"),
                     None => detail,
                 });
+            }
+            if options.certify {
+                let _span = obs::span("certify.build");
+                row.certificate = Some(crate::certificate::build_certificate(
+                    kernel,
+                    &item.sizes,
+                    options.cache_elems,
+                    &a.lower,
+                    ub_closed.as_ref(),
+                    Some(&a.recommendation),
+                ));
             }
         }
         Err(e) => {

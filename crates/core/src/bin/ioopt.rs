@@ -8,6 +8,7 @@
 //!   ioopt <file.k | builtin:NAME> --sizes i=2000,j=1500,k=1500 [--cache 1024]
 //!   ioopt check <file.k | builtin:NAME> [--sizes ...] [--deny warnings] [--json]
 //!   ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]
+//!   ioopt audit <report.json> [--json]
 //!   ioopt serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!   ioopt --list-builtins
 //!
@@ -23,6 +24,7 @@
 //!   --timeout-ms N        (batch) per-kernel wall-clock budget; rows degrade
 //!   --max-steps N         (batch) per-kernel analysis step budget
 //!   --fail-fast           (batch) stop scheduling kernels after a failure
+//!   --certify             (batch) attach proof-carrying certificates to rows
 //!   --profile             (batch) per-kernel/per-stage breakdown on stderr
 //!                         (and a `profile` block in the --json report)
 //!   --trace-json PATH     (batch) write a Chrome-trace JSON of the run
@@ -30,6 +32,11 @@
 //!
 //! `batch` exit codes: 0 when every row is exact, 2 when any row is
 //! degraded or failed (the report still prints), 1 on usage errors.
+//!
+//! `audit` re-validates a certified report (`batch --json --certify`)
+//! with the independent `ioopt-audit` checker: exit 0 when every
+//! certificate is accepted, 2 when any is rejected (each rejection names
+//! the violated check), 1 on usage/IO errors or an uncertified report.
 //!
 //! `batch` accepts `builtin:all` (the 19 Fig. 6 kernels), any builtin
 //! names, DSL files, and simple `*` globs over file names. The report
@@ -55,7 +62,8 @@ fn usage() -> &'static str {
      \u{20}      ioopt check <file.k | builtin:NAME> [--sizes a=V,...] [--deny warnings] [--json]\n\
      \u{20}      ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]\n\
      \u{20}                  [--symbolic-only] [--no-memo] [--timeout-ms N] [--max-steps N]\n\
-     \u{20}                  [--fail-fast] [--profile] [--trace-json PATH]\n\
+     \u{20}                  [--fail-fast] [--certify] [--profile] [--trace-json PATH]\n\
+     \u{20}      ioopt audit <report.json> [--json]\n\
      \u{20}      ioopt serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
      \u{20}                  [--timeout-ms N] [--max-kernels N]\n\
      try:   ioopt --list-builtins"
@@ -302,6 +310,7 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
                 );
             }
             "--fail-fast" => options.fail_fast = true,
+            "--certify" => options.certify = true,
             "--profile" => profile = true,
             "--trace-json" => {
                 trace_json = Some(it.next().ok_or("--trace-json needs a path")?);
@@ -396,6 +405,97 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
             Ok(ExitCode::from(2))
         }
     }
+}
+
+/// The byte span of the rejected row's `"kernel":"<label>"` key in the
+/// report source, for caret diagnostics.
+fn locate_row(src: &str, label: &str) -> Option<ioopt::ir::Span> {
+    let needle = format!(
+        "\"kernel\":{}",
+        ioopt::Json::str(label.to_string()).render()
+    );
+    src.find(&needle)
+        .map(|pos| ioopt::ir::Span::new(pos, pos + needle.len()))
+}
+
+/// Renders the caret excerpt for `span`, clipped to a window around it:
+/// batch reports are single-line JSON, so rendering the raw line would
+/// drown the caret in kilobytes of report.
+fn render_clipped(src: &str, span: ioopt::ir::Span) -> String {
+    let line_start = src[..span.start].rfind('\n').map_or(0, |p| p + 1);
+    let line_end = src[span.start..]
+        .find('\n')
+        .map_or(src.len(), |p| span.start + p);
+    let mut win_start = span.start.saturating_sub(20).max(line_start);
+    while !src.is_char_boundary(win_start) {
+        win_start -= 1;
+    }
+    let mut win_end = (span.end + 60).min(line_end);
+    while !src.is_char_boundary(win_end) {
+        win_end += 1;
+    }
+    let snippet = &src[win_start..win_end];
+    ioopt::ir::Span::new(span.start - win_start, span.end - win_start).render(snippet)
+}
+
+/// The `audit` subcommand: re-validate a certified batch report with the
+/// independent `ioopt-audit` checker. Exit 0 when every certificate is
+/// accepted, 2 when any is rejected, 1 on usage/IO errors or a report
+/// with no certificates at all.
+fn run_audit(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(|| format!("audit needs a report path\n{}", usage()))?;
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let value = ioopt::Json::parse(&src).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    let audit = ioopt::audit_report(&value)?;
+    if json {
+        println!("{}", audit.to_json_value().render());
+    } else {
+        for r in &audit.results {
+            if r.accepted() {
+                println!("audit: kernel `{}`: accepted", r.kernel);
+            } else {
+                for f in &r.findings {
+                    println!("error[{}]: kernel `{}`: {}", f.check, r.kernel, f.message);
+                }
+                if let Some(span) = locate_row(&src, &r.kernel) {
+                    let (line, col) = span.line_col(&src);
+                    println!("  --> {path}:{line}:{col}");
+                    print!("{}", render_clipped(&src, span));
+                }
+            }
+            for n in &r.notes {
+                println!("note: kernel `{}`: {}", r.kernel, n);
+            }
+        }
+        for label in &audit.uncertified {
+            println!("warning: kernel `{label}` carries no certificate (failed row, or the report was produced without --certify)");
+        }
+        let rejected = audit.results.iter().filter(|r| !r.accepted()).count();
+        println!(
+            "audit: {} certificate(s) checked, {} accepted, {} rejected",
+            audit.results.len(),
+            audit.results.len() - rejected,
+            rejected
+        );
+    }
+    Ok(if audit.accepted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 /// The `serve` subcommand: a persistent analysis service. The memo
@@ -502,6 +602,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if args.first().map(String::as_str) == Some("batch") {
         return run_batch_cmd(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("audit") {
+        return run_audit(args.split_off(1));
     }
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(args.split_off(1));

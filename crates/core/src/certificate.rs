@@ -1,0 +1,534 @@
+//! Proof-carrying certificate assembly and offline audit plumbing
+//! (DESIGN.md §11).
+//!
+//! [`build_certificate`] packages everything the independent
+//! `ioopt-audit` checker needs to re-verify one batch row offline: the
+//! Brascamp-Lieb LP witness (primal `s` and the dual vector that
+//! certifies the optimum `σ`), the rendered bounds, the tile
+//! feasibility witness behind the numeric `ub`, and the sampled
+//! `LB ≤ UB` evidence grid. The block is purely additive: it only
+//! appears in the report when `--certify` is set, so golden report
+//! bytes are unchanged otherwise.
+//!
+//! [`audit_report`] is the inverse direction: decode a certified report
+//! (strictly — a malformed certificate is an error, not a skip) and run
+//! every row through [`ioopt_audit::audit_certificate`].
+
+use std::collections::HashMap;
+
+use ioopt_audit::{
+    audit_certificate, AuditRowResult, CertificateData, ConstraintData, HomData, LbCertData,
+    SampleData, ScenarioCertData, TileWitness, UbCertData,
+};
+use ioopt_engine::{Budget, Json};
+use ioopt_iolb::{certify_scenario, Hom, HomKind, LowerBoundReport};
+use ioopt_ir::{render_dsl, Kernel};
+use ioopt_symbolic::Expr;
+use ioopt_tileopt::Recommendation;
+use ioopt_verify::sample_evidence;
+
+/// The certificate schema version this workspace emits.
+const VERSION: i64 = 1;
+
+fn hom_kind(kind: HomKind) -> &'static str {
+    match kind {
+        HomKind::Input => "input",
+        HomKind::Output => "output",
+        HomKind::SmallDim => "sd",
+    }
+}
+
+fn scenario_json(small_dims: &[usize], homs: &[Hom], cert: &ioopt_iolb::BlCertificate) -> Json {
+    Json::obj([
+        (
+            "small_dims",
+            Json::Array(small_dims.iter().map(|&d| Json::Int(d as i64)).collect()),
+        ),
+        ("sigma", Json::str(cert.sigma.to_string())),
+        ("s_sd", Json::str(cert.s_sd.to_string())),
+        (
+            "homs",
+            Json::Array(
+                homs.iter()
+                    .zip(&cert.s)
+                    .map(|(h, s)| {
+                        Json::obj([
+                            ("name", Json::str(h.name.clone())),
+                            ("kind", Json::str(hom_kind(h.kind))),
+                            ("s", Json::str(s.to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "constraints",
+            Json::Array(
+                cert.constraints
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("lhs", Json::Int(c.lhs as i64)),
+                            (
+                                "image_ranks",
+                                Json::Array(
+                                    c.image_ranks.iter().map(|&r| Json::Int(r as i64)).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rank_duals",
+            Json::Array(
+                cert.rank_duals
+                    .iter()
+                    .map(|r| Json::str(r.to_string()))
+                    .collect(),
+            ),
+        ),
+        (
+            "cap_duals",
+            Json::Array(
+                cert.cap_duals
+                    .iter()
+                    .map(|r| Json::str(r.to_string()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Assembles the `certificate` block for one batch row. Scenario duals
+/// are minted by re-solving each scenario's LP through
+/// [`ioopt_iolb::certify_scenario`] under the ambient (row) budget; a
+/// scenario whose certification exhausts the budget is omitted — the
+/// audit checks what is present, never silently assumes the rest.
+pub(crate) fn build_certificate(
+    kernel: &Kernel,
+    sizes: &HashMap<String, i64>,
+    cache_elems: f64,
+    lower: &LowerBoundReport,
+    ub: Option<&(Expr, &'static str)>,
+    recommendation: Option<&Recommendation>,
+) -> Json {
+    let budget = Budget::ambient();
+    let mut scenarios = Vec::new();
+    for sb in &lower.scenarios {
+        if let Ok((homs, cert)) = certify_scenario(kernel, &sb.small_dims, true, &budget) {
+            scenarios.push(scenario_json(&sb.small_dims, &homs, &cert));
+        }
+    }
+    let mut sorted_sizes: Vec<(&String, &i64)> = sizes.iter().collect();
+    sorted_sizes.sort_by(|a, b| a.0.cmp(b.0));
+
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("version".to_string(), Json::Int(VERSION)),
+        (
+            "kernel_dsl".to_string(),
+            render_dsl(kernel).map_or(Json::Null, Json::str),
+        ),
+        (
+            "sizes".to_string(),
+            Json::Object(
+                sorted_sizes
+                    .into_iter()
+                    .map(|(name, v)| (name.clone(), Json::Int(*v)))
+                    .collect(),
+            ),
+        ),
+        ("cache_elems".to_string(), Json::Num(cache_elems)),
+        (
+            "lb".to_string(),
+            Json::obj([
+                ("trivial", Json::str(lower.trivial.to_string())),
+                ("combined", Json::str(lower.combined.to_string())),
+                ("scenarios", Json::Array(scenarios)),
+            ]),
+        ),
+        (
+            "ub".to_string(),
+            ub.map_or(Json::Null, |(bound, source)| {
+                Json::obj([
+                    ("bound", Json::str(bound.to_string())),
+                    ("source", Json::str(*source)),
+                ])
+            }),
+        ),
+    ];
+    pairs.push((
+        "tiles".to_string(),
+        recommendation.map_or(Json::Null, |rec| {
+            let mut dims: Vec<&str> = kernel.dims().iter().map(|d| d.name.as_str()).collect();
+            dims.sort_unstable();
+            Json::obj([
+                (
+                    "perm",
+                    Json::Array(rec.perm.iter().map(|&d| Json::Int(d as i64)).collect()),
+                ),
+                (
+                    "levels",
+                    Json::Object(
+                        kernel
+                            .arrays()
+                            .zip(&rec.levels)
+                            .map(|(a, &l)| (a.name.clone(), Json::Int(l as i64)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "tiles",
+                    Json::Object(
+                        dims.iter()
+                            .map(|d| (d.to_string(), Json::Int(rec.tiles[*d])))
+                            .collect(),
+                    ),
+                ),
+                ("io", Json::Num(rec.io)),
+            ])
+        }),
+    ));
+    let samples = ub.map_or_else(Vec::new, |(bound, _)| {
+        sample_evidence(&lower.combined, bound)
+    });
+    pairs.push((
+        "samples".to_string(),
+        Json::Array(
+            samples
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        (
+                            "assignment",
+                            Json::Object(
+                                s.assignment
+                                    .iter()
+                                    .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                        ("lb", Json::Num(s.lb)),
+                        ("ub", Json::Num(s.ub)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Object(pairs)
+}
+
+fn field<'a>(v: &'a Json, path: &str, key: &str) -> Result<&'a Json, String> {
+    v.get(key)
+        .ok_or_else(|| format!("certificate {path}: missing `{key}`"))
+}
+
+fn str_field(v: &Json, path: &str, key: &str) -> Result<String, String> {
+    field(v, path, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("certificate {path}: `{key}` must be a string"))
+}
+
+fn int_field(v: &Json, path: &str, key: &str) -> Result<i64, String> {
+    field(v, path, key)?
+        .as_i64()
+        .ok_or_else(|| format!("certificate {path}: `{key}` must be an integer"))
+}
+
+fn num_field(v: &Json, path: &str, key: &str) -> Result<f64, String> {
+    field(v, path, key)?
+        .as_f64()
+        .ok_or_else(|| format!("certificate {path}: `{key}` must be a number"))
+}
+
+fn array_field<'a>(v: &'a Json, path: &str, key: &str) -> Result<&'a [Json], String> {
+    field(v, path, key)?
+        .as_array()
+        .ok_or_else(|| format!("certificate {path}: `{key}` must be an array"))
+}
+
+fn str_list(v: &Json, path: &str, key: &str) -> Result<Vec<String>, String> {
+    array_field(v, path, key)?
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("certificate {path}: `{key}` entries must be strings"))
+        })
+        .collect()
+}
+
+fn decode_scenario(v: &Json, index: usize) -> Result<ScenarioCertData, String> {
+    let path = format!("scenario {index}");
+    let small_dims = array_field(v, &path, "small_dims")?
+        .iter()
+        .map(|e| {
+            e.as_i64()
+                .ok_or_else(|| format!("certificate {path}: small_dims must be integers"))
+        })
+        .collect::<Result<Vec<i64>, String>>()?;
+    let homs = array_field(v, &path, "homs")?
+        .iter()
+        .map(|h| {
+            Ok(HomData {
+                name: str_field(h, &path, "name")?,
+                kind: str_field(h, &path, "kind")?,
+                s: str_field(h, &path, "s")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let constraints = array_field(v, &path, "constraints")?
+        .iter()
+        .map(|c| {
+            Ok(ConstraintData {
+                lhs: int_field(c, &path, "lhs")?,
+                image_ranks: array_field(c, &path, "image_ranks")?
+                    .iter()
+                    .map(|r| {
+                        r.as_i64().ok_or_else(|| {
+                            format!("certificate {path}: image_ranks must be integers")
+                        })
+                    })
+                    .collect::<Result<Vec<i64>, String>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ScenarioCertData {
+        small_dims,
+        sigma: str_field(v, &path, "sigma")?,
+        s_sd: str_field(v, &path, "s_sd")?,
+        homs,
+        constraints,
+        rank_duals: str_list(v, &path, "rank_duals")?,
+        cap_duals: str_list(v, &path, "cap_duals")?,
+    })
+}
+
+/// Decodes the `certificate` block of one report row into the audit
+/// crate's plain data model (plus the row's own `lb`/`ub`/`kernel`
+/// fields for cross-checking). `Ok(None)` when the row carries no
+/// certificate; a *malformed* certificate is an error.
+///
+/// # Errors
+///
+/// A message naming the missing or mistyped field.
+pub fn decode_certificate(row: &Json) -> Result<Option<CertificateData>, String> {
+    let cert = match row.get("certificate") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(c) => c,
+    };
+    let kernel_name = row
+        .get("kernel")
+        .and_then(Json::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string();
+    let kernel_dsl = match cert.get("kernel_dsl") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_str()
+                .map(str::to_string)
+                .ok_or("certificate: `kernel_dsl` must be a string or null")?,
+        ),
+    };
+    let sizes = match cert.get("sizes") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Object(pairs)) => pairs
+            .iter()
+            .map(|(name, v)| {
+                v.as_i64()
+                    .map(|n| (name.clone(), n))
+                    .ok_or_else(|| format!("certificate: size `{name}` must be an integer"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        Some(_) => return Err("certificate: `sizes` must be an object".to_string()),
+    };
+    let lb = field(cert, "root", "lb")?;
+    let scenarios = array_field(lb, "lb", "scenarios")?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| decode_scenario(s, i))
+        .collect::<Result<Vec<_>, String>>()?;
+    let ub = match cert.get("ub") {
+        None | Some(Json::Null) => None,
+        Some(u) => Some(UbCertData {
+            bound: str_field(u, "ub", "bound")?,
+            source: str_field(u, "ub", "source")?,
+        }),
+    };
+    let tiles = match cert.get("tiles") {
+        None | Some(Json::Null) => None,
+        Some(t) => {
+            let perm = array_field(t, "tiles", "perm")?
+                .iter()
+                .map(|e| {
+                    e.as_i64()
+                        .ok_or_else(|| "certificate tiles: perm must be integers".to_string())
+                })
+                .collect::<Result<Vec<i64>, String>>()?;
+            let obj_pairs = |key: &str| -> Result<Vec<(String, i64)>, String> {
+                match field(t, "tiles", key)? {
+                    Json::Object(pairs) => pairs
+                        .iter()
+                        .map(|(name, v)| {
+                            v.as_i64().map(|n| (name.clone(), n)).ok_or_else(|| {
+                                format!("certificate tiles: `{key}`.`{name}` must be an integer")
+                            })
+                        })
+                        .collect(),
+                    _ => Err(format!("certificate tiles: `{key}` must be an object")),
+                }
+            };
+            Some(TileWitness {
+                perm,
+                levels: obj_pairs("levels")?,
+                tiles: obj_pairs("tiles")?,
+                io: num_field(t, "tiles", "io")?,
+            })
+        }
+    };
+    let samples = match cert.get("samples") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(v) => v
+            .as_array()
+            .ok_or("certificate: `samples` must be an array")?
+            .iter()
+            .map(|s| {
+                let assignment = match field(s, "sample", "assignment")? {
+                    Json::Object(pairs) => pairs
+                        .iter()
+                        .map(|(name, v)| {
+                            v.as_f64().map(|x| (name.clone(), x)).ok_or_else(|| {
+                                format!("certificate sample: `{name}` must be a number")
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    _ => return Err("certificate sample: `assignment` must be an object".into()),
+                };
+                Ok(SampleData {
+                    assignment,
+                    lb: num_field(s, "sample", "lb")?,
+                    ub: num_field(s, "sample", "ub")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    Ok(Some(CertificateData {
+        version: int_field(cert, "root", "version")?,
+        kernel_name,
+        kernel_dsl,
+        sizes,
+        cache_elems: cert.get("cache_elems").and_then(Json::as_f64),
+        row_lb: row.get("lb").and_then(Json::as_f64),
+        row_ub: row.get("ub").and_then(Json::as_f64),
+        lb: LbCertData {
+            trivial: str_field(lb, "lb", "trivial")?,
+            combined: str_field(lb, "lb", "combined")?,
+            scenarios,
+        },
+        ub,
+        tiles,
+        samples,
+    }))
+}
+
+/// The outcome of auditing one full report.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// One verdict per certified row, in report order.
+    pub results: Vec<AuditRowResult>,
+    /// Labels of rows that carried no certificate (failed rows, or a
+    /// report produced without `--certify`).
+    pub uncertified: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether every certified row was accepted.
+    pub fn accepted(&self) -> bool {
+        self.results.iter().all(AuditRowResult::accepted)
+    }
+
+    /// The audit verdict in the shared report schema.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            ("accepted", Json::Bool(self.accepted())),
+            (
+                "rows",
+                Json::Array(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("kernel", Json::str(r.kernel.clone())),
+                                (
+                                    "status",
+                                    Json::str(if r.accepted() { "accepted" } else { "rejected" }),
+                                ),
+                                (
+                                    "findings",
+                                    Json::Array(
+                                        r.findings
+                                            .iter()
+                                            .map(|f| {
+                                                Json::obj([
+                                                    ("check", Json::str(f.check.clone())),
+                                                    ("message", Json::str(f.message.clone())),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                (
+                                    "notes",
+                                    Json::Array(r.notes.iter().map(Json::str).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "uncertified",
+                Json::Array(self.uncertified.iter().map(Json::str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Audits every row of a parsed `ioopt batch --json --certify` report.
+///
+/// # Errors
+///
+/// The report does not have the batch schema, a certificate block is
+/// malformed, or **no** row carries a certificate at all (the caller
+/// forgot `--certify`).
+pub fn audit_report(report: &Json) -> Result<AuditReport, String> {
+    let rows = report
+        .get("kernels")
+        .and_then(Json::as_array)
+        .ok_or("report has no `kernels` array; is this an `ioopt batch --json` report?")?;
+    let mut results = Vec::new();
+    let mut uncertified = Vec::new();
+    for row in rows {
+        let label = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        match decode_certificate(row).map_err(|e| format!("kernel `{label}`: {e}"))? {
+            Some(cert) => results.push(audit_certificate(&cert)),
+            None => uncertified.push(label),
+        }
+    }
+    if results.is_empty() {
+        return Err(
+            "report carries no certificates; produce one with `ioopt batch --certify --json`"
+                .to_string(),
+        );
+    }
+    Ok(AuditReport {
+        results,
+        uncertified,
+    })
+}

@@ -39,6 +39,7 @@
 
 mod analysis;
 mod batch;
+pub mod certificate;
 mod report;
 mod sequence;
 pub mod service;
@@ -52,6 +53,7 @@ pub use batch::{
     builtin_corpus, builtin_kernel, corpus_item, eval_lb, run_batch, BatchItem, BatchOptions,
     BatchReport, BatchRow,
 };
+pub use certificate::{audit_report, decode_certificate, AuditReport};
 pub use report::{csv_header, csv_row, render_text};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 pub use service::{
@@ -61,6 +63,7 @@ pub use service::{
 
 pub use ioopt_engine::{obs, Budget, Exhaustion, Json, Status, Trace};
 
+pub use ioopt_audit as audit;
 pub use ioopt_cachesim as cachesim;
 pub use ioopt_cdag as cdag;
 pub use ioopt_codegen as codegen;

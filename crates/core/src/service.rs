@@ -76,6 +76,9 @@ pub struct ServiceRequest {
     pub timeout_ms: Option<u64>,
     /// Per-kernel analysis step budget (mirrors `--max-steps`).
     pub max_steps: Option<u64>,
+    /// Attach proof-carrying certificates to every row (mirrors
+    /// `--certify`; see `ioopt audit`).
+    pub certify: bool,
 }
 
 /// A request rejection: the HTTP status to answer with and the message
@@ -116,6 +119,7 @@ impl ServiceRequest {
             symbolic_only: false,
             timeout_ms: None,
             max_steps: None,
+            certify: false,
         };
         for (key, value) in pairs {
             match key.as_str() {
@@ -164,6 +168,12 @@ impl ServiceRequest {
                 }
                 "max_steps" => {
                     request.max_steps = Some(positive_int(value, "max_steps")?);
+                }
+                "certify" => {
+                    request.certify = match value {
+                        Json::Bool(b) => *b,
+                        _ => return Err(ServiceError::bad("`certify` must be a boolean")),
+                    };
                 }
                 other => {
                     return Err(ServiceError::bad(format!(
@@ -223,6 +233,9 @@ impl ServiceRequest {
         }
         if let Some(steps) = self.max_steps {
             pairs.push(("max_steps".to_string(), Json::Int(steps as i64)));
+        }
+        if self.certify {
+            pairs.push(("certify".to_string(), Json::Bool(true)));
         }
         Json::Object(pairs)
     }
@@ -344,6 +357,7 @@ pub fn run_service(
         timeout_ms: request.timeout_ms.or(defaults.timeout_ms),
         max_steps: request.max_steps,
         fail_fast: false,
+        certify: request.certify,
     };
     // One budget per request: every row's own deadline is capped by the
     // window this request has left (see `row_budget`), so a 19-kernel
@@ -478,6 +492,31 @@ mod tests {
         };
         let err = service_items(&request, &capped).expect_err("over the kernel cap");
         assert!(err.message.contains("caps a request"), "{}", err.message);
+    }
+
+    #[test]
+    fn certify_flag_round_trips_and_attaches_certificates() {
+        let body = r#"{"kernels":["builtin:matmul"],"sizes":{"i":8,"j":8,"k":8},"cache":64.0,"symbolic_only":true,"certify":true}"#;
+        let request = parse(body).expect("parses");
+        assert!(request.certify);
+        let rendered = request.to_json().render();
+        assert!(rendered.ends_with(r#""certify":true}"#), "{rendered}");
+        let again = ServiceRequest::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(again, request);
+        assert!(
+            parse(r#"{"kernels":["builtin:matmul"],"certify":1}"#).is_err(),
+            "certify must be boolean"
+        );
+        // A certified served report carries an auditable block per row.
+        let served = handle_analyze(body, &ServiceDefaults::default()).expect("analyzes");
+        let report = Json::parse(served.trim()).unwrap();
+        let rows = report.get("kernels").and_then(Json::as_array).unwrap();
+        assert!(
+            rows[0].get("certificate").is_some(),
+            "certified rows carry a certificate block"
+        );
+        let audit = crate::certificate::audit_report(&report).expect("audits");
+        assert!(audit.accepted(), "{:?}", audit.results);
     }
 
     #[test]

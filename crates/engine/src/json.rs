@@ -130,9 +130,11 @@ impl fmt::Display for Json {
             Json::Bool(b) => write!(f, "{b}"),
             Json::Int(v) => write!(f, "{v}"),
             Json::Num(v) => {
-                if v.fract() == 0.0 && v.abs() < 1e15 {
+                if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 {
                     // Keep a decimal point so the variant survives a
-                    // round trip (Int vs Num).
+                    // round trip (Int vs Num). Whole floats beyond the
+                    // i64 range render bare and re-parse as Num via the
+                    // parser's overflow fallback.
                     write!(f, "{v:.1}")
                 } else {
                     write!(f, "{v}")
@@ -288,9 +290,16 @@ impl Parser<'_> {
                 .map(Json::Num)
                 .map_err(|e| format!("bad number `{text}`: {e}"))
         } else {
-            text.parse::<i64>()
-                .map(Json::Int)
-                .map_err(|e| format!("bad integer `{text}`: {e}"))
+            match text.parse::<i64>() {
+                Ok(n) => Ok(Json::Int(n)),
+                // Integer literals beyond i64 (e.g. large sampled bounds
+                // that rendered from f64 without a fractional part) keep
+                // the nearest double, as every standard JSON parser does.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|e| format!("bad integer `{text}`: {e}")),
+            }
         }
     }
 
@@ -376,6 +385,22 @@ mod tests {
         let text = v.render();
         assert_eq!(text, "[2.0,2]");
         assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn huge_whole_floats_round_trip_as_num() {
+        // Sampled bounds can be astronomically large whole doubles;
+        // they must survive render → parse with their variant intact.
+        for v in [1.044807183830552e19, 4.5e15, -3.0e20, 1e300] {
+            let text = Json::Num(v).render();
+            assert_eq!(Json::parse(&text).unwrap(), Json::Num(v), "{text}");
+        }
+        // Integer literals past i64 degrade to the nearest double.
+        assert_eq!(
+            Json::parse("10448071838305520000").unwrap(),
+            Json::Num(1.044807183830552e19)
+        );
+        assert!(Json::parse("-").is_err());
     }
 
     #[test]

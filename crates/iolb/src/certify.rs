@@ -1,0 +1,247 @@
+//! Proof-carrying witnesses for the Brascamp-Lieb lower bound
+//! (DESIGN.md §11).
+//!
+//! A [`BlCertificate`] packages everything an *independent* checker
+//! needs to re-verify one scenario's LP optimum by arithmetic alone:
+//!
+//! * the rank constraints `Σ_j rank(φ_j(H))·s_j ≥ rank(H)` (with the
+//!   per-hom caps `s_j ≤ 1` implicit),
+//! * the primal solution `s` (the production lexicographic optimum),
+//! * a dual vector: multipliers `u ≥ 0` for the rank rows and `v ≥ 0`
+//!   for the cap rows.
+//!
+//! The auditor checks primal feasibility, dual feasibility
+//! (`Σ_i u_i·R_ij − v_j ≤ c_j`, where `c_j = 1` for main homs and `0`
+//! for the small-dimension hom), and strong duality
+//! (`Σ_i u_i·rank(H_i) − Σ_j v_j = σ`). Together these prove `σ` is the
+//! *optimal* objective of `min Σ_main s_j` over the system — no simplex
+//! run needed on the audit side.
+//!
+//! Trust boundary: the duals certify `σ`-optimality only. That `s`
+//! itself is the lexicographic (σ, then `s_sd`, then min-max) solution
+//! is not dual-certified; soundness of the exported bound needs only
+//! primal feasibility of `s`, which the auditor checks directly.
+
+use ioopt_engine::Budget;
+use ioopt_ir::Kernel;
+use ioopt_linalg::Rational;
+use ioopt_lp::{solve_dual, Cmp, Lp};
+
+use crate::brascamp::{rank_constraints_governed, solve_bl_governed, BlError, RankConstraint};
+use crate::homs::{extract_homs, small_dim_hom, Hom, HomKind, HomOptions};
+
+/// A re-checkable witness of one scenario's Brascamp-Lieb LP optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlCertificate {
+    /// The deduplicated rank constraints, aligned with `homs` order.
+    pub constraints: Vec<RankConstraint>,
+    /// The full primal solution, one `s_j` per hom in `homs` order
+    /// (including the small-dimension hom when present).
+    pub s: Vec<Rational>,
+    /// `σ = Σ_{main} s_j` — the certified LP optimum.
+    pub sigma: Rational,
+    /// The small-dimension coefficient (zero without a `φ_sd`).
+    pub s_sd: Rational,
+    /// Dual multipliers of the rank rows, non-negative, one per entry
+    /// of [`BlCertificate::constraints`].
+    pub rank_duals: Vec<Rational>,
+    /// Dual multipliers of the cap rows `s_j ≤ 1`, non-negative (the
+    /// export convention negates the ≤-row sign), one per hom.
+    pub cap_duals: Vec<Rational>,
+}
+
+/// Solves one Brascamp-Lieb system *and* derives the dual witness that
+/// certifies its optimum.
+///
+/// The primal solution is the production lexicographic optimum (same
+/// path as [`crate::solve_bl_governed`], so the exported `s` matches
+/// what the bound assembly used); the duals come from the plain
+/// `min Σ_main s_j` view of the system, which has the same first-stage
+/// optimum — the min-max helper variable and its rows never change `σ`.
+///
+/// # Errors
+///
+/// As [`crate::solve_bl_governed`]; additionally
+/// [`BlError::Infeasible`] if the dual solve fails to reproduce the
+/// primal optimum (which would mean the system is malformed — strong
+/// duality cannot fail on a feasible bounded LP).
+pub fn certify_bl(homs: &[Hom], dim: usize, budget: &Budget) -> Result<BlCertificate, BlError> {
+    let constraints = rank_constraints_governed(homs, dim, budget).map_err(BlError::Exhausted)?;
+    let sol = solve_bl_governed(homs, dim, budget)?;
+
+    let nh = homs.len();
+    let main_idx: Vec<usize> = homs
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.kind != HomKind::SmallDim)
+        .map(|(i, _)| i)
+        .collect();
+    let sd_idx: Option<usize> = homs.iter().position(|h| h.kind == HomKind::SmallDim);
+    let mut s = vec![Rational::ZERO; nh];
+    for (k, &j) in main_idx.iter().enumerate() {
+        s[j] = sol.s[k];
+    }
+    if let Some(j) = sd_idx {
+        s[j] = sol.s_sd;
+    }
+
+    // The certificate LP: min Σ_main s_j over the rank rows and caps.
+    let zero = Rational::ZERO;
+    let one = Rational::ONE;
+    let mut lp = Lp::new(nh);
+    let mut obj = vec![zero; nh];
+    for &j in &main_idx {
+        obj[j] = one;
+    }
+    lp.set_objective(obj);
+    for c in &constraints {
+        let row: Vec<Rational> = c
+            .image_ranks
+            .iter()
+            .map(|&r| Rational::from(r as i128))
+            .collect();
+        lp.add_constraint(row, Cmp::Ge, Rational::from(c.lhs as i128));
+    }
+    for j in 0..nh {
+        let mut row = vec![zero; nh];
+        row[j] = one;
+        lp.add_constraint(row, Cmp::Le, one);
+    }
+
+    budget.checkpoint().map_err(BlError::Exhausted)?;
+    let dual = solve_dual(&lp).map_err(|_| BlError::Infeasible)?;
+    if dual.objective != sol.sigma {
+        // Strong duality holds on every feasible bounded LP, so a
+        // mismatch can only mean the constraint system itself is bad.
+        return Err(BlError::Infeasible);
+    }
+    let (rank_y, cap_y) = dual.y.split_at(constraints.len());
+    Ok(BlCertificate {
+        constraints,
+        s,
+        sigma: sol.sigma,
+        s_sd: sol.s_sd,
+        rank_duals: rank_y.to_vec(),
+        cap_duals: cap_y.iter().map(|&v| -v).collect(),
+    })
+}
+
+/// Reconstructs the homomorphisms of one scenario (the base homs plus
+/// the small-dimension hom when `small_dims` is non-empty) and
+/// certifies its Brascamp-Lieb system.
+///
+/// Returns the homs alongside the certificate so callers can serialize
+/// names, kinds, and matrices consistently with the `s` ordering.
+///
+/// # Errors
+///
+/// As [`certify_bl`].
+pub fn certify_scenario(
+    kernel: &Kernel,
+    small_dims: &[usize],
+    detect_reductions: bool,
+    budget: &Budget,
+) -> Result<(Vec<Hom>, BlCertificate), BlError> {
+    let mut homs = extract_homs(kernel, &HomOptions { detect_reductions });
+    if !small_dims.is_empty() {
+        homs.push(small_dim_hom(kernel, small_dims));
+    }
+    let cert = certify_bl(&homs, kernel.dims().len(), budget)?;
+    Ok((homs, cert))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioopt_ir::kernels;
+
+    /// Re-runs the auditor's arithmetic: primal feasibility, dual
+    /// feasibility, and strong duality — all in exact rationals.
+    fn audit(homs: &[Hom], cert: &BlCertificate) {
+        let main: Vec<bool> = homs.iter().map(|h| h.kind != HomKind::SmallDim).collect();
+        // Primal: rank rows and caps hold, sigma = sum of main s_j.
+        let mut sigma = Rational::ZERO;
+        for (j, &sj) in cert.s.iter().enumerate() {
+            assert!(!sj.is_negative() && sj <= Rational::ONE);
+            if main[j] {
+                sigma += sj;
+            }
+        }
+        assert_eq!(sigma, cert.sigma);
+        for c in &cert.constraints {
+            let mut lhs = Rational::ZERO;
+            for (j, &r) in c.image_ranks.iter().enumerate() {
+                lhs += Rational::from(r as i128) * cert.s[j];
+            }
+            assert!(lhs >= Rational::from(c.lhs as i128), "rank row violated");
+        }
+        // Dual feasibility: sum_i u_i R_ij - v_j <= c_j.
+        assert!(cert.rank_duals.iter().all(|u| !u.is_negative()));
+        assert!(cert.cap_duals.iter().all(|v| !v.is_negative()));
+        for (j, &is_main) in main.iter().enumerate() {
+            let mut acc = -cert.cap_duals[j];
+            for (u, c) in cert.rank_duals.iter().zip(&cert.constraints) {
+                acc += *u * Rational::from(c.image_ranks[j] as i128);
+            }
+            let cj = if is_main {
+                Rational::ONE
+            } else {
+                Rational::ZERO
+            };
+            assert!(acc <= cj, "dual row {j} violated");
+        }
+        // Strong duality: u·r - sum v = sigma.
+        let mut dual_obj = Rational::ZERO;
+        for (u, c) in cert.rank_duals.iter().zip(&cert.constraints) {
+            dual_obj += *u * Rational::from(c.lhs as i128);
+        }
+        for v in &cert.cap_duals {
+            dual_obj -= *v;
+        }
+        assert_eq!(dual_obj, cert.sigma);
+    }
+
+    #[test]
+    fn matmul_certificate_audits_clean() {
+        let k = kernels::matmul();
+        let (homs, cert) = certify_scenario(&k, &[], true, &Budget::unlimited()).unwrap();
+        assert_eq!(cert.sigma, Rational::new(3, 2));
+        assert_eq!(cert.s, vec![Rational::new(1, 2); 3]);
+        audit(&homs, &cert);
+    }
+
+    #[test]
+    fn conv2d_small_dim_certificate_audits_clean() {
+        let k = kernels::conv2d();
+        let small = [k.dim_index("h").unwrap(), k.dim_index("w").unwrap()];
+        let (homs, cert) = certify_scenario(&k, &small, true, &Budget::unlimited()).unwrap();
+        assert_eq!(cert.sigma, Rational::new(3, 2));
+        assert_eq!(cert.s_sd, Rational::new(1, 2));
+        assert_eq!(homs.len(), 4);
+        assert_eq!(cert.s.len(), 4);
+        audit(&homs, &cert);
+    }
+
+    #[test]
+    fn tampered_dual_fails_strong_duality() {
+        let k = kernels::matmul();
+        let (_, mut cert) = certify_scenario(&k, &[], true, &Budget::unlimited()).unwrap();
+        cert.rank_duals[0] += Rational::new(1, 7);
+        let mut dual_obj = Rational::ZERO;
+        for (u, c) in cert.rank_duals.iter().zip(&cert.constraints) {
+            dual_obj += *u * Rational::from(c.lhs as i128);
+        }
+        for v in &cert.cap_duals {
+            dual_obj -= *v;
+        }
+        assert_ne!(dual_obj, cert.sigma);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_exhaustion() {
+        let spent = Budget::with_limits(None, Some(0), None);
+        let k = kernels::matmul();
+        let err = certify_scenario(&k, &[], true, &spent).unwrap_err();
+        assert!(matches!(err, BlError::Exhausted(_)));
+    }
+}

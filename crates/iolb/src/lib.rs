@@ -12,6 +12,7 @@
 
 mod bound;
 mod brascamp;
+mod certify;
 mod feasibility;
 mod homs;
 mod scenarios;
@@ -21,6 +22,7 @@ pub use brascamp::{
     candidate_subgroups, candidate_subgroups_governed, rank_constraints, rank_constraints_governed,
     solve_bl, solve_bl_governed, BlError, BlSolution, RankConstraint,
 };
+pub use certify::{certify_bl, certify_scenario, BlCertificate};
 pub use feasibility::{check_feasibility, escaping_dims, FeasibilityReport, ScenarioFeasibility};
 pub use homs::{extract_homs, small_dim_hom, Hom, HomKind, HomOptions};
 pub use scenarios::{conv2d_scenarios, default_scenarios, tc_scenarios};

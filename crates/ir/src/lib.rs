@@ -14,10 +14,12 @@ pub mod kernels;
 mod legality;
 mod parser;
 mod program;
+mod render;
 mod span;
 
 pub use classify::{classify_tc, TcClass};
 pub use legality::{check_tilable, Legality};
 pub use parser::{parse, parse_kernel, ParseError};
 pub use program::{AccessKind, ArrayRef, Dim, Kernel, KernelError};
+pub use render::render_dsl;
 pub use span::Span;

@@ -1,0 +1,221 @@
+//! Rendering a [`Kernel`] back to parseable DSL source.
+//!
+//! Proof-carrying certificates (DESIGN.md §11) embed the kernel as DSL
+//! text so an independent auditor can re-parse it and re-derive ranks
+//! and footprints without trusting the producer's IR. The renderer is a
+//! partial inverse of [`crate::parse_kernel`]: it returns `None` for
+//! kernels the grammar cannot express (negative subscript coefficients
+//! or constants — the DSL has no minus token — and non-identifier dim,
+//! size, or array names).
+
+use crate::program::{AccessKind, ArrayRef, Kernel};
+
+/// Whether `s` lexes as a single DSL identifier.
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A copy of `name` that lexes as an identifier: every illegal byte
+/// becomes `_`, and a leading digit gets a `k` prefix. Used only for
+/// the kernel *label* (TCCG names like `abcde-efbad-cf` carry dashes);
+/// dimension and array names are semantic and are never rewritten.
+fn sanitize_label(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, 'k');
+    }
+    out
+}
+
+fn render_access(k: &Kernel, a: &ArrayRef, out: &mut String) -> Option<()> {
+    if !is_ident(&a.name) {
+        return None;
+    }
+    out.push_str(&a.name);
+    for form in a.access.dims() {
+        out.push('[');
+        let mut first = true;
+        for &(d, c) in form.terms() {
+            if c <= 0 {
+                return None;
+            }
+            if !first {
+                out.push_str(" + ");
+            }
+            first = false;
+            if c != 1 {
+                out.push_str(&format!("{c}*"));
+            }
+            out.push_str(&k.dims().get(d)?.name);
+        }
+        let constant = form.constant();
+        if constant < 0 {
+            return None;
+        }
+        if constant > 0 || first {
+            if !first {
+                out.push_str(" + ");
+            }
+            out.push_str(&constant.to_string());
+        }
+        out.push(']');
+    }
+    Some(())
+}
+
+/// Renders `kernel` as DSL source that [`crate::parse_kernel`] accepts
+/// and that parses back to a structurally identical kernel (same dims,
+/// sizes, small marks, defaults, and access functions; spans differ,
+/// and a non-identifier kernel name is sanitized to a legal label).
+///
+/// Returns `None` when the kernel is outside the grammar: a negative
+/// subscript coefficient or constant, or a dim/size/array name that is
+/// not a DSL identifier.
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_ir::{kernels, parse_kernel, render_dsl};
+/// let mm = kernels::matmul();
+/// let src = render_dsl(&mm).expect("matmul is expressible");
+/// let back = parse_kernel(&src).expect("round-trips");
+/// assert_eq!(back.structural_key(), mm.structural_key());
+/// ```
+pub fn render_dsl(kernel: &Kernel) -> Option<String> {
+    let defaults: std::collections::HashMap<&str, i64> = kernel
+        .default_sizes()
+        .map(|m| {
+            kernel
+                .dims()
+                .iter()
+                .filter_map(|d| m.get(&d.name).map(|&v| (d.name.as_str(), v)))
+                .collect::<Vec<_>>()
+        })
+        .unwrap_or_default()
+        .into_iter()
+        .collect();
+    let mut out = format!("kernel {} {{\n", sanitize_label(kernel.name()));
+    for d in kernel.dims() {
+        if !is_ident(&d.name) || !is_ident(d.size.name()) {
+            return None;
+        }
+        out.push_str(&format!("  loop {} : {}", d.name, d.size.name()));
+        if let Some(v) = defaults.get(d.name.as_str()) {
+            out.push_str(&format!(" = {v}"));
+        }
+        if d.small {
+            out.push_str(" small");
+        }
+        out.push_str(";\n");
+    }
+    out.push_str("  ");
+    render_access(kernel, kernel.output(), &mut out)?;
+    out.push_str(match kernel.output().kind {
+        AccessKind::Accumulate => " += ",
+        _ => " = ",
+    });
+    if kernel.inputs().is_empty() {
+        return None;
+    }
+    for (i, a) in kernel.inputs().iter().enumerate() {
+        if i > 0 {
+            out.push_str(" * ");
+        }
+        render_access(kernel, a, &mut out)?;
+    }
+    out.push_str(";\n}\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_kernel;
+
+    #[test]
+    fn matmul_round_trips() {
+        let k = crate::kernels::matmul();
+        let src = render_dsl(&k).unwrap();
+        let back = parse_kernel(&src).unwrap();
+        assert_eq!(back.structural_key(), k.structural_key());
+        assert_eq!(back.name(), k.name());
+    }
+
+    #[test]
+    fn conv_with_defaults_and_small_round_trips() {
+        let src = "kernel conv1d {
+            loop c : Nc = 16;
+            loop f : Nf = 32;
+            loop x : Nx = 1024;
+            loop w : Nw = 3 small;
+            Out[f][x] += Image[x + w][c] * Filter[f][w][c];
+        }";
+        let k = parse_kernel(src).unwrap();
+        let rendered = render_dsl(&k).unwrap();
+        let back = parse_kernel(&rendered).unwrap();
+        assert_eq!(back.structural_key(), k.structural_key());
+        assert_eq!(back.default_sizes(), k.default_sizes());
+    }
+
+    #[test]
+    fn strided_and_constant_subscripts_round_trip() {
+        let src = "kernel s { loop x : Nx; loop w : Nw; Out[x][0] += In[2*x + w + 1]; }";
+        let k = parse_kernel(src).unwrap();
+        let rendered = render_dsl(&k).unwrap();
+        assert!(rendered.contains("2*x + w + 1"), "got: {rendered}");
+        assert!(rendered.contains("Out[x][0]"), "got: {rendered}");
+        let back = parse_kernel(&rendered).unwrap();
+        assert_eq!(back.structural_key(), k.structural_key());
+    }
+
+    #[test]
+    fn dashed_tccg_name_is_sanitized() {
+        let k = parse_kernel("kernel tmp { loop i : Ni; C[i] = A[i]; }").unwrap();
+        // Rebuild under a TCCG-style dashed label.
+        let k = crate::Kernel::new(
+            "abcde-efbad-cf",
+            k.dims().to_vec(),
+            k.output().clone(),
+            k.inputs().to_vec(),
+        )
+        .unwrap();
+        let rendered = render_dsl(&k).unwrap();
+        let back = parse_kernel(&rendered).unwrap();
+        assert_eq!(back.name(), "abcde_efbad_cf");
+        assert_eq!(back.structural_key(), k.structural_key());
+    }
+
+    #[test]
+    fn every_builtin_kernel_renders_and_round_trips() {
+        let mut all = vec![
+            crate::kernels::matmul(),
+            crate::kernels::conv1d(),
+            crate::kernels::conv2d(),
+            crate::kernels::mttkrp(),
+            crate::kernels::stencil2d(),
+            crate::kernels::doitgen(),
+            crate::kernels::tensor_contraction("abc-bda-dc", "abc-bda-dc"),
+        ];
+        all.extend(crate::kernels::polybench::atax());
+        all.extend(crate::kernels::polybench::two_mm());
+        for k in all {
+            let rendered =
+                render_dsl(&k).unwrap_or_else(|| panic!("kernel `{}` should render", k.name()));
+            let back = parse_kernel(&rendered)
+                .unwrap_or_else(|e| panic!("kernel `{}` re-parse: {e}", k.name()));
+            assert_eq!(back.structural_key(), k.structural_key(), "{}", k.name());
+        }
+    }
+}

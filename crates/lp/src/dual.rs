@@ -1,0 +1,254 @@
+//! Dual solutions: the certificate side of linear programming.
+//!
+//! For a minimization LP `min c·x  s.t.  A x {≤,≥,=} b, x ≥ 0`, LP
+//! duality provides a vector `y` (one multiplier per constraint) such
+//! that dual feasibility plus `b·y = c·x*` *proves* optimality of `x*`
+//! without re-running the solver. [`solve_dual`] computes such a vector
+//! with the same exact-rational simplex used for the primal, so the
+//! multipliers can be exported verbatim into proof-carrying
+//! certificates (DESIGN.md §11) and re-checked by arithmetic alone.
+//!
+//! Sign conventions (minimization primal):
+//!
+//! * `a·x ≥ b` rows get `y ≥ 0`,
+//! * `a·x ≤ b` rows get `y ≤ 0`,
+//! * `a·x = b` rows get a free `y`,
+//!
+//! and the dual constraints are `Σ_i y_i a_ij ≤ c_j` for every primal
+//! column `j` (all primal variables are non-negative). Weak duality then
+//! gives `b·y ≤ c·x` for every primal-feasible `x`, so matching
+//! objectives certify optimality.
+
+use ioopt_symbolic::Rational;
+
+use crate::simplex::{Cmp, Lp, LpError, LpSolution};
+
+/// An optimal dual solution of an [`Lp`] (see [`solve_dual`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualSolution {
+    /// One multiplier per constraint, in insertion order. Non-negative
+    /// for `Ge` rows, non-positive for `Le` rows, unrestricted for `Eq`.
+    pub y: Vec<Rational>,
+    /// The dual objective `b·y`; equals the primal optimum by strong
+    /// duality.
+    pub objective: Rational,
+}
+
+impl DualSolution {
+    /// Checks dual feasibility against the primal data: correct signs
+    /// per row and `Σ_i y_i a_ij ≤ c_j` for every column. This is the
+    /// same arithmetic an external auditor performs; exposed here so
+    /// tests and producers can assert it before exporting.
+    pub fn is_feasible_for(&self, lp: &Lp) -> bool {
+        if self.y.len() != lp.constraints().len() {
+            return false;
+        }
+        for (yi, (_, cmp, _)) in self.y.iter().zip(lp.constraints()) {
+            let ok = match cmp {
+                Cmp::Ge => !yi.is_negative(),
+                Cmp::Le => !yi.is_positive(),
+                Cmp::Eq => true,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for j in 0..lp.num_vars() {
+            let mut acc = Rational::ZERO;
+            for (yi, (a, _, _)) in self.y.iter().zip(lp.constraints()) {
+                acc += *yi * a[j];
+            }
+            if acc > lp.objective_coeffs()[j] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Solves the dual of `lp` and returns the multiplier vector.
+///
+/// The dual is constructed explicitly (signed rows become sign-split
+/// non-negative variables) and solved with the same two-phase simplex,
+/// so the result is exact. Use together with [`Lp::solve`]: the primal
+/// gives the optimum and `x*`, the dual gives the certificate.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when the dual has no feasible point (the
+/// primal is unbounded), [`LpError::Unbounded`] when the dual is
+/// unbounded (the primal is infeasible).
+///
+/// # Examples
+///
+/// ```
+/// use ioopt_lp::{solve_dual, Cmp, Lp};
+/// use ioopt_symbolic::Rational;
+/// let ri = |n| Rational::from(n as i128);
+/// // min x + y s.t. x + 2y >= 4, 3x + y >= 6  (optimum 14/5)
+/// let mut lp = Lp::new(2);
+/// lp.set_objective(vec![ri(1), ri(1)]);
+/// lp.add_constraint(vec![ri(1), ri(2)], Cmp::Ge, ri(4));
+/// lp.add_constraint(vec![ri(3), ri(1)], Cmp::Ge, ri(6));
+/// let dual = solve_dual(&lp)?;
+/// assert_eq!(dual.objective, lp.solve()?.objective); // strong duality
+/// assert!(dual.is_feasible_for(&lp));
+/// # Ok::<(), ioopt_lp::LpError>(())
+/// ```
+pub fn solve_dual(lp: &Lp) -> Result<DualSolution, LpError> {
+    let m = lp.constraints().len();
+    let n = lp.num_vars();
+    // Map each signed dual variable to one or two non-negative columns:
+    // Ge  -> y_i = u_k        (u_k >= 0)
+    // Le  -> y_i = -u_k       (u_k >= 0)
+    // Eq  -> y_i = u_k - u_k' (both >= 0)
+    let mut col_of = Vec::with_capacity(m);
+    let mut ncols = 0usize;
+    for (_, cmp, _) in lp.constraints() {
+        col_of.push(ncols);
+        ncols += match cmp {
+            Cmp::Eq => 2,
+            _ => 1,
+        };
+    }
+    let sign = |cmp: &Cmp| -> Rational {
+        match cmp {
+            Cmp::Le => -Rational::ONE,
+            _ => Rational::ONE,
+        }
+    };
+
+    let mut dual = Lp::new(ncols);
+    // Maximize b·y  ==  minimize -b·y.
+    let mut obj = vec![Rational::ZERO; ncols];
+    for (i, (_, cmp, b)) in lp.constraints().iter().enumerate() {
+        let c = col_of[i];
+        obj[c] = -(sign(cmp) * *b);
+        if *cmp == Cmp::Eq {
+            obj[c + 1] = *b;
+        }
+    }
+    dual.set_objective(obj);
+    // One dual constraint per primal column: sum_i y_i a_ij <= c_j.
+    for j in 0..n {
+        let mut row = vec![Rational::ZERO; ncols];
+        for (i, (a, cmp, _)) in lp.constraints().iter().enumerate() {
+            let c = col_of[i];
+            row[c] = sign(cmp) * a[j];
+            if *cmp == Cmp::Eq {
+                row[c + 1] = -a[j];
+            }
+        }
+        dual.add_constraint(row, Cmp::Le, lp.objective_coeffs()[j]);
+    }
+
+    let sol: LpSolution = dual.solve()?;
+    let mut y = Vec::with_capacity(m);
+    for (i, (_, cmp, _)) in lp.constraints().iter().enumerate() {
+        let c = col_of[i];
+        let v = match cmp {
+            Cmp::Ge => sol.x[c],
+            Cmp::Le => -sol.x[c],
+            Cmp::Eq => sol.x[c] - sol.x[c + 1],
+        };
+        y.push(v);
+    }
+    Ok(DualSolution {
+        y,
+        objective: -sol.objective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    fn ri(n: i128) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn strong_duality_on_simple_minimization() {
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(1), ri(1)]);
+        lp.add_constraint(vec![ri(1), ri(2)], Cmp::Ge, ri(4));
+        lp.add_constraint(vec![ri(3), ri(1)], Cmp::Ge, ri(6));
+        let primal = lp.solve().unwrap();
+        let dual = solve_dual(&lp).unwrap();
+        assert_eq!(dual.objective, primal.objective);
+        assert_eq!(dual.objective, r(14, 5));
+        assert!(dual.is_feasible_for(&lp));
+        assert!(dual.y.iter().all(|v| !v.is_negative()));
+    }
+
+    #[test]
+    fn matmul_brascamp_lieb_duals() {
+        // sigma = 3/2; the symmetric dual y = (1/2, 1/2, 1/2) certifies it.
+        let mut lp = Lp::new(3);
+        lp.set_objective(vec![ri(1), ri(1), ri(1)]);
+        lp.add_constraint(vec![ri(1), ri(0), ri(1)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(1), ri(1), ri(0)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(0), ri(1), ri(1)], Cmp::Ge, ri(1));
+        let dual = solve_dual(&lp).unwrap();
+        assert_eq!(dual.objective, r(3, 2));
+        assert!(dual.is_feasible_for(&lp));
+        // b·y recomputes the objective.
+        let recompute: Rational = dual.y.iter().fold(Rational::ZERO, |a, &v| a + v);
+        assert_eq!(recompute, r(3, 2));
+    }
+
+    #[test]
+    fn le_rows_get_nonpositive_multipliers() {
+        // min -x - y s.t. x <= 3, y <= 2: optimum -5, duals (-1, -1).
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(-1), ri(-1)]);
+        lp.add_constraint(vec![ri(1), ri(0)], Cmp::Le, ri(3));
+        lp.add_constraint(vec![ri(0), ri(1)], Cmp::Le, ri(2));
+        let dual = solve_dual(&lp).unwrap();
+        assert_eq!(dual.objective, ri(-5));
+        assert_eq!(dual.y, vec![ri(-1), ri(-1)]);
+        assert!(dual.is_feasible_for(&lp));
+    }
+
+    #[test]
+    fn equality_rows_get_free_multipliers() {
+        // min x + 2y s.t. x + y = 1: optimum 1, dual y = 1 (free sign).
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(1), ri(2)]);
+        lp.add_constraint(vec![ri(1), ri(1)], Cmp::Eq, ri(1));
+        let dual = solve_dual(&lp).unwrap();
+        assert_eq!(dual.objective, ri(1));
+        assert_eq!(dual.y, vec![ri(1)]);
+        assert!(dual.is_feasible_for(&lp));
+    }
+
+    #[test]
+    fn infeasible_primal_makes_dual_unbounded() {
+        let mut lp = Lp::new(1);
+        lp.add_constraint(vec![ri(1)], Cmp::Ge, ri(2));
+        lp.add_constraint(vec![ri(1)], Cmp::Le, ri(1));
+        assert_eq!(solve_dual(&lp).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn bounded_box_with_capacity_rows() {
+        // The certificate-LP shape used by iolb: min s1+s2 with rank
+        // rows (Ge) and per-variable caps (Le).
+        let mut lp = Lp::new(2);
+        lp.set_objective(vec![ri(1), ri(1)]);
+        lp.add_constraint(vec![ri(1), ri(1)], Cmp::Ge, ri(1));
+        lp.add_constraint(vec![ri(1), ri(0)], Cmp::Le, ri(1));
+        lp.add_constraint(vec![ri(0), ri(1)], Cmp::Le, ri(1));
+        let primal = lp.solve().unwrap();
+        let dual = solve_dual(&lp).unwrap();
+        assert_eq!(dual.objective, primal.objective);
+        assert!(dual.is_feasible_for(&lp));
+        // Complementary slackness: the inactive cap rows have zero duals.
+        assert_eq!(dual.y[1] * (primal.x[0] - ri(1)), ri(0));
+        assert_eq!(dual.y[2] * (primal.x[1] - ri(1)), ri(0));
+    }
+}

@@ -16,16 +16,15 @@ use crate::simplex::{Cmp, Lp, LpError, LpSolution};
 /// # Errors
 ///
 /// Propagates [`LpError`] from any stage (infeasibility can only occur at
-/// the first stage).
+/// the first stage); [`LpError::NoObjective`] when `objectives` is empty.
 ///
 /// # Panics
 ///
-/// Panics if `objectives` is empty or an objective has the wrong length.
+/// Panics if an objective has the wrong length.
 pub fn lexicographic_min(
     base: &Lp,
     objectives: &[Vec<Rational>],
 ) -> Result<(LpSolution, Vec<Rational>), LpError> {
-    assert!(!objectives.is_empty(), "need at least one objective");
     let mut lp = base.clone();
     let mut stage_values = Vec::with_capacity(objectives.len());
     let mut last = None;
@@ -36,7 +35,10 @@ pub fn lexicographic_min(
         lp.add_constraint(obj.clone(), Cmp::Eq, sol.objective);
         last = Some(sol);
     }
-    Ok((last.expect("at least one stage"), stage_values))
+    match last {
+        Some(sol) => Ok((sol, stage_values)),
+        None => Err(LpError::NoObjective),
+    }
 }
 
 #[cfg(test)]

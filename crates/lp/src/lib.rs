@@ -6,12 +6,16 @@
 //! exact arithmetic keeps the derived *lower* bounds sound.
 //!
 //! Also provides [`lexicographic_min`], which re-solves under equality pins
-//! to realize the paper's ordering "minimize σ first, then `s_sd`".
+//! to realize the paper's ordering "minimize σ first, then `s_sd`", and
+//! [`solve_dual`], which produces the multiplier vector that *certifies*
+//! an optimum (exported into proof-carrying certificates, DESIGN.md §11).
 
 #![warn(missing_docs)]
 
+mod dual;
 mod lexi;
 mod simplex;
 
+pub use dual::{solve_dual, DualSolution};
 pub use lexi::lexicographic_min;
 pub use simplex::{Cmp, Lp, LpError, LpSolution};

@@ -52,13 +52,15 @@ pub struct LpSolution {
     pub x: Vec<Rational>,
 }
 
-/// Errors from [`Lp::solve`].
+/// Errors from [`Lp::solve`] and [`crate::lexicographic_min`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LpError {
     /// The feasible region is empty.
     Infeasible,
     /// The objective is unbounded below.
     Unbounded,
+    /// A lexicographic solve was requested with no objectives at all.
+    NoObjective,
 }
 
 impl fmt::Display for LpError {
@@ -66,6 +68,7 @@ impl fmt::Display for LpError {
         match self {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::NoObjective => write!(f, "lexicographic solve has no objectives"),
         }
     }
 }
@@ -86,6 +89,17 @@ impl Lp {
     /// Number of structural variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// The constraint rows `(a, cmp, b)` in insertion order (the order
+    /// dual multipliers from [`crate::solve_dual`] are reported in).
+    pub(crate) fn constraints(&self) -> &[(Vec<Rational>, Cmp, Rational)] {
+        &self.constraints
+    }
+
+    /// The objective coefficients `c`.
+    pub(crate) fn objective_coeffs(&self) -> &[Rational] {
+        &self.objective
     }
 
     /// Sets the minimization objective `c·x`.

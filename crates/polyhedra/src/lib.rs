@@ -26,4 +26,4 @@ pub use fourier_motzkin::{
     ProjectionError, RationalConstraint,
 };
 pub use linear::LinearForm;
-pub use zpoly::ZPolyhedron;
+pub use zpoly::{ZPolyError, ZPolyhedron};

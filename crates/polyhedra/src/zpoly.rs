@@ -5,7 +5,39 @@
 //! box fast paths against a reference, and supports non-rectangular
 //! domains in the IR.
 
+use std::fmt;
+
 use crate::linear::LinearForm;
+
+/// Errors from the fallible [`ZPolyhedron`] set operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZPolyError {
+    /// The set has no finite bounding box, so enumeration (and integer
+    /// emptiness beyond the rational test) is undecidable here.
+    Unbounded,
+    /// Two operands have different ambient dimensions.
+    DimMismatch {
+        /// Dimension of the left operand.
+        left: usize,
+        /// Dimension of the right operand.
+        right: usize,
+    },
+}
+
+impl fmt::Display for ZPolyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZPolyError::Unbounded => {
+                write!(f, "Z-polyhedron has no finite bounding box")
+            }
+            ZPolyError::DimMismatch { left, right } => {
+                write!(f, "Z-polyhedron dimension mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZPolyError {}
 
 /// An integer polyhedron `{ x ∈ Z^d | a_j·x + c_j ≥ 0 for all j }`.
 ///
@@ -125,18 +157,29 @@ impl ZPolyhedron {
     ///
     /// # Panics
     ///
-    /// Panics if the set has no finite bounding box.
+    /// Panics if the set has no finite bounding box; use
+    /// [`ZPolyhedron::try_enumerate`] for the fallible form.
     pub fn enumerate(&self) -> Vec<Vec<i64>> {
-        let (lo, hi) = self
-            .bounding_box()
-            .expect("cannot enumerate an unbounded Z-polyhedron");
+        match self.try_enumerate() {
+            Ok(points) => points,
+            Err(e) => panic!("cannot enumerate: {e}"),
+        }
+    }
+
+    /// Enumerates all integer points, or reports why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// [`ZPolyError::Unbounded`] when the set has no finite bounding box.
+    pub fn try_enumerate(&self) -> Result<Vec<Vec<i64>>, ZPolyError> {
+        let (lo, hi) = self.bounding_box().ok_or(ZPolyError::Unbounded)?;
         let mut out = Vec::new();
         let mut point = lo.clone();
         if self.dim == 0 {
-            return vec![vec![]];
+            return Ok(vec![vec![]]);
         }
         if lo.iter().zip(&hi).any(|(l, h)| l >= h) {
-            return out;
+            return Ok(out);
         }
         loop {
             if self.contains(&point) {
@@ -146,7 +189,7 @@ impl ZPolyhedron {
             let mut d = self.dim;
             loop {
                 if d == 0 {
-                    return out;
+                    return Ok(out);
                 }
                 d -= 1;
                 point[d] += 1;
@@ -236,14 +279,32 @@ impl ZPolyhedron {
     ///
     /// # Panics
     ///
-    /// Panics if the dimensions differ.
+    /// Panics if the dimensions differ; use
+    /// [`ZPolyhedron::try_intersect`] for the fallible form.
     pub fn intersect(&self, other: &ZPolyhedron) -> ZPolyhedron {
-        assert_eq!(self.dim(), other.dim(), "dimension mismatch in intersect");
+        match self.try_intersect(other) {
+            Ok(p) => p,
+            Err(e) => panic!("cannot intersect: {e}"),
+        }
+    }
+
+    /// The intersection, or a structured error on dimension mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`ZPolyError::DimMismatch`] when the ambient dimensions differ.
+    pub fn try_intersect(&self, other: &ZPolyhedron) -> Result<ZPolyhedron, ZPolyError> {
+        if self.dim() != other.dim() {
+            return Err(ZPolyError::DimMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
         let mut out = self.clone();
         for c in other.constraints() {
             out.add_constraint(c.clone());
         }
-        out
+        Ok(out)
     }
 
     /// Whether the integer set is empty.
@@ -255,12 +316,27 @@ impl ZPolyhedron {
     /// # Panics
     ///
     /// Panics when the set is rationally non-empty but unbounded (no
-    /// decision procedure without lattice reasoning).
+    /// decision procedure without lattice reasoning); use
+    /// [`ZPolyhedron::try_is_empty`] for the fallible form.
     pub fn is_empty(&self) -> bool {
-        if crate::fourier_motzkin::is_rational_empty(self) {
-            return true;
+        match self.try_is_empty() {
+            Ok(empty) => empty,
+            Err(e) => panic!("cannot decide emptiness: {e}"),
         }
-        self.enumerate().is_empty()
+    }
+
+    /// Whether the integer set is empty, or a structured error when the
+    /// set is rationally non-empty but unbounded.
+    ///
+    /// # Errors
+    ///
+    /// [`ZPolyError::Unbounded`] when enumeration would be required but
+    /// the set has no finite bounding box.
+    pub fn try_is_empty(&self) -> Result<bool, ZPolyError> {
+        if crate::fourier_motzkin::is_rational_empty(self) {
+            return Ok(true);
+        }
+        Ok(self.try_enumerate()?.is_empty())
     }
 }
 

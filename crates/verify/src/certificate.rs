@@ -27,6 +27,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use ioopt_engine::Json;
 use ioopt_symbolic::{Expr, Poly, Rational, Symbol};
 
 /// A witness that `lb > ub` somewhere.
@@ -38,6 +39,26 @@ pub struct CertificateViolation {
     pub lb: f64,
     /// The upper bound's value there (strictly smaller).
     pub ub: f64,
+}
+
+impl CertificateViolation {
+    /// The violation as a machine-readable witness in the shared report
+    /// schema: `{"assignment": {sym: value, …}, "lb": …, "ub": …}`.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj([
+            (
+                "assignment",
+                Json::Object(
+                    self.assignment
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            ("lb", Json::Num(self.lb)),
+            ("ub", Json::Num(self.ub)),
+        ])
+    }
 }
 
 impl std::fmt::Display for CertificateViolation {
@@ -119,6 +140,46 @@ pub fn check_certificate(lb: &Expr, ub: &Expr) -> Option<CertificateViolation> {
         }
     }
     None
+}
+
+/// One recorded evaluation of a bound pair at a sampled assignment —
+/// the E008 evidence exported into proof-carrying certificates
+/// (DESIGN.md §11) so an auditor can re-evaluate both sides offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundSample {
+    /// The sampled assignment `(symbol name, value)`.
+    pub assignment: Vec<(String, f64)>,
+    /// The lower bound's value at the sample.
+    pub lb: f64,
+    /// The upper bound's value at the sample (`lb ≤ ub` held here).
+    pub ub: f64,
+}
+
+/// Evaluates `lb` and `ub` over the same deterministic grid used by
+/// [`check_certificate`] and returns every sample where both sides
+/// evaluated. The caller is expected to have already checked the pair
+/// (a violating sample is *not* filtered out — the auditor re-checks
+/// the ordering itself).
+pub fn sample_evidence(lb: &Expr, ub: &Expr) -> Vec<BoundSample> {
+    let mut syms: BTreeSet<Symbol> = lb.free_symbols();
+    syms.extend(ub.free_symbols());
+    let syms: Vec<Symbol> = syms.into_iter().collect();
+    let mut out = Vec::new();
+    for assignment in sample_grid(&syms) {
+        let env: ioopt_symbolic::Bindings =
+            assignment.iter().map(|&(s, v)| (s, v as f64)).collect();
+        if let (Ok(l), Ok(u)) = (lb.eval_f64(&env), ub.eval_f64(&env)) {
+            out.push(BoundSample {
+                assignment: assignment
+                    .iter()
+                    .map(|&(s, v)| (s.name().to_string(), v as f64))
+                    .collect(),
+                lb: l,
+                ub: u,
+            });
+        }
+    }
+    out
 }
 
 /// The polynomial fast path: `deg(LB) > deg(UB)`, or equal degree with a

@@ -140,6 +140,10 @@ pub struct Diagnostic {
     pub span: Span,
     /// The human-readable message.
     pub message: String,
+    /// Machine-readable evidence backing the finding (e.g. the sampled
+    /// assignment of an E008 inversion), emitted as a `witness` key in
+    /// the JSON form. `None` for purely structural findings.
+    pub witness: Option<Json>,
 }
 
 impl Diagnostic {
@@ -150,7 +154,14 @@ impl Diagnostic {
             severity: code.severity(),
             span,
             message: message.into(),
+            witness: None,
         }
+    }
+
+    /// Attaches machine-readable witness data (builder style).
+    pub fn with_witness(mut self, witness: Json) -> Diagnostic {
+        self.witness = Some(witness);
+        self
     }
 
     /// One line of compiler-style text: `error[E002]: message`.
@@ -176,7 +187,7 @@ impl Diagnostic {
     /// (`ioopt_engine::Json`), used by both `ioopt check --json` and the
     /// batch report.
     pub fn to_json_value(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("code", Json::str(self.code.as_str())),
             ("severity", Json::str(self.severity.to_string())),
             (
@@ -191,7 +202,11 @@ impl Diagnostic {
                 },
             ),
             ("message", Json::str(self.message.clone())),
-        ])
+        ];
+        if let Some(w) = &self.witness {
+            fields.push(("witness", w.clone()));
+        }
+        Json::obj(fields)
     }
 
     /// One rendered JSON object (see [`Diagnostic::to_json_value`]).
@@ -330,6 +345,26 @@ mod tests {
         assert_eq!(diags[1].get("span"), Some(&Json::Null));
         // Render → parse → render is a fixed point.
         assert_eq!(v.render(), rep.to_json());
+    }
+
+    #[test]
+    fn witness_is_emitted_only_when_present() {
+        let plain = Diagnostic::new(Code::E008, Span::NONE, "inverted");
+        assert!(!plain.to_json().contains("witness"));
+        let with = plain.clone().with_witness(Json::obj([
+            ("assignment", Json::obj([("N", Json::Num(512.0))])),
+            ("lb", Json::Num(2.0)),
+            ("ub", Json::Num(1.0)),
+        ]));
+        let v = Json::parse(&with.to_json()).expect("parses back");
+        let w = v.get("witness").expect("witness key");
+        assert_eq!(
+            w.get("assignment")
+                .and_then(|a| a.get("N"))
+                .and_then(Json::as_f64),
+            Some(512.0)
+        );
+        assert_eq!(w.get("lb").and_then(Json::as_f64), Some(2.0));
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod certificate;
 mod diag;
 mod passes;
 
-pub use certificate::{check_certificate, CertificateViolation};
+pub use certificate::{check_certificate, sample_evidence, BoundSample, CertificateViolation};
 pub use diag::{Code, Diagnostic, Severity, VerifyReport};
 pub use passes::{verify, VerifyOptions};
 

@@ -391,11 +391,14 @@ fn pass_certificate(kernel: &Kernel, diags: &mut Vec<Diagnostic>) {
         return;
     };
     if let Some(v) = check_certificate(&lb.combined, &ub.bound) {
-        diags.push(Diagnostic::new(
-            Code::E008,
-            kernel.output().span,
-            format!("lower bound exceeds the derived upper bound: {v}"),
-        ));
+        diags.push(
+            Diagnostic::new(
+                Code::E008,
+                kernel.output().span,
+                format!("lower bound exceeds the derived upper bound: {v}"),
+            )
+            .with_witness(v.to_json_value()),
+        );
     }
 }
 

@@ -1,0 +1,130 @@
+//! End-to-end proof-carrying bounds: a certified batch report over the
+//! 19-kernel Fig. 6 corpus is independently re-validated by the
+//! `ioopt-audit` checker, reports without `--certify` stay byte-free of
+//! certificate blocks, and tampering with any witness (dual vector,
+//! sample evidence, tile witness, bound expression) is rejected with a
+//! finding naming the violated check.
+
+use ioopt::{audit_report, builtin_corpus, run_batch, BatchOptions, Json};
+
+fn certified_options(numeric: bool) -> BatchOptions {
+    BatchOptions {
+        cache_elems: 32768.0,
+        numeric,
+        certify: true,
+        ..BatchOptions::default()
+    }
+}
+
+#[test]
+fn certified_corpus_report_is_accepted_by_the_audit() {
+    let items = builtin_corpus();
+    let report = run_batch(&items, &certified_options(false));
+    let value = report.to_json_value();
+    let audit = audit_report(&value).expect("report decodes");
+    assert_eq!(audit.results.len(), 19, "all 19 rows certified");
+    assert!(audit.uncertified.is_empty(), "{:?}", audit.uncertified);
+    for r in &audit.results {
+        assert!(r.accepted(), "{}: {:?}", r.kernel, r.findings);
+    }
+    // Certificates survive the schema round-trip byte-for-byte.
+    let parsed = ioopt::BatchReport::from_json(&report.to_json()).expect("round-trips");
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.to_json(), report.to_json());
+}
+
+#[test]
+fn uncertified_reports_carry_no_certificate_bytes() {
+    let items: Vec<_> = builtin_corpus().into_iter().take(3).collect();
+    let plain = run_batch(
+        &items,
+        &BatchOptions {
+            cache_elems: 32768.0,
+            numeric: false,
+            ..BatchOptions::default()
+        },
+    );
+    assert!(
+        !plain.to_json().contains("certificate"),
+        "reports without --certify must render byte-identically to older ones"
+    );
+    let err = audit_report(&plain.to_json_value()).expect_err("nothing to audit");
+    assert!(err.contains("--certify"), "{err}");
+}
+
+#[test]
+fn certified_numeric_row_carries_an_accepted_tile_witness() {
+    let item = builtin_corpus().into_iter().next().expect("corpus");
+    let report = run_batch(&[item], &certified_options(true));
+    let value = report.to_json_value();
+    let row = &value.get("kernels").and_then(Json::as_array).unwrap()[0];
+    let cert = row.get("certificate").expect("row is certified");
+    assert!(
+        !matches!(cert.get("tiles"), None | Some(Json::Null)),
+        "numeric rows carry the tile-feasibility witness"
+    );
+    let audit = audit_report(&value).expect("decodes");
+    assert!(audit.results[0].accepted(), "{:?}", audit.results[0]);
+}
+
+/// Replaces the first occurrence of `from` in the rendered report —
+/// byte-level tampering, exactly what an adversarial producer would do.
+fn tamper(value: &Json, from: &str, to: &str) -> Json {
+    let src = value.render();
+    assert!(src.contains(from), "tamper target `{from}` not in report");
+    Json::parse(&src.replacen(from, to, 1)).expect("tampered report still parses")
+}
+
+#[test]
+fn tampered_certificates_are_rejected_with_the_violated_check() {
+    let items: Vec<_> = builtin_corpus().into_iter().take(1).collect();
+    let value = run_batch(&items, &certified_options(true)).to_json_value();
+    assert!(audit_report(&value).expect("decodes").accepted());
+
+    // Flip a dual coefficient: strong duality (or dual feasibility)
+    // breaks and the LB certificate no longer certifies the optimum.
+    let src = value.render();
+    let duals_at = src.find("\"rank_duals\":[\"").expect("has rank duals");
+    let tail = &src[duals_at + "\"rank_duals\":[\"".len()..];
+    let dual = &tail[..tail.find('"').expect("closing quote")];
+    let tampered = tamper(
+        &value,
+        &format!("\"rank_duals\":[\"{dual}\""),
+        "\"rank_duals\":[\"1000000\"",
+    );
+    let audit = audit_report(&tampered).expect("decodes");
+    assert!(
+        audit.results[0]
+            .findings
+            .iter()
+            .any(|f| f.check.starts_with("lp.")),
+        "{:?}",
+        audit.results[0].findings
+    );
+
+    // Invert the sampled evidence: recorded lb no longer matches.
+    let tampered = tamper(
+        &value,
+        "\"samples\":[{\"assignment\"",
+        "\"samples\":[{\"lb\":1e30,\"assignment\"",
+    );
+    let audit = audit_report(&tampered).expect("decodes");
+    assert!(
+        !audit.results[0].accepted(),
+        "{:?}",
+        audit.results[0].findings
+    );
+
+    // Shrink the witnessed tiling's I/O below the row's ub: the witness
+    // no longer reproduces the claimed upper bound.
+    let tampered = tamper(&value, "\"io\":", "\"io\":1e-3,\"io_was\":");
+    let audit = audit_report(&tampered).expect("decodes");
+    assert!(
+        audit.results[0]
+            .findings
+            .iter()
+            .any(|f| f.check == "tiles.io"),
+        "{:?}",
+        audit.results[0].findings
+    );
+}

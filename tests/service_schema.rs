@@ -59,6 +59,7 @@ fn random_request(rng: &mut SplitMix64) -> ServiceRequest {
         symbolic_only: rng.chance(0.5),
         timeout_ms: rng.chance(0.4).then(|| rng.range_i64(0, 60_000) as u64),
         max_steps: rng.chance(0.3).then(|| rng.range_i64(0, 1 << 32) as u64),
+        certify: rng.chance(0.3),
     }
 }
 
@@ -116,6 +117,7 @@ fn hostile_strings_survive_the_wire_byte_for_byte() {
             symbolic_only: false,
             timeout_ms: None,
             max_steps: None,
+            certify: false,
         };
         let rendered = request.to_json().render();
         let again =
