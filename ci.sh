@@ -10,12 +10,15 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> lint: no unwrap/expect in crates/lp and crates/polyhedra non-test code"
+echo "==> lint: no unwrap/expect in crates/lp, crates/polyhedra, crates/symbolic non-test code"
 # Hot numeric paths carry structured errors (LpError / FmError), not
 # panics. Test modules sit at the end of each file behind #[cfg(test)],
-# so everything before that marker must be unwrap/expect-free.
-lint_bad=$(for f in crates/lp/src/*.rs crates/polyhedra/src/*.rs; do
-  awk '/#\[cfg\(test\)\]/{exit} /\.unwrap\(\)|\.expect\(/{print FILENAME":"FNR": "$0}' "$f"
+# so everything before that marker must be unwrap/expect-free. Comment
+# lines are skipped: doc examples legitimately show `.unwrap()`.
+lint_bad=$(for f in crates/lp/src/*.rs crates/polyhedra/src/*.rs crates/symbolic/src/*.rs; do
+  awk '/#\[cfg\(test\)\]/{exit}
+       /^[[:space:]]*\/\//{next}
+       /\.unwrap\(\)|\.expect\(/{print FILENAME":"FNR": "$0}' "$f"
 done)
 if [ -n "$lint_bad" ]; then
   echo "FAIL: unwrap/expect in non-test lp/polyhedra code:"
@@ -185,6 +188,10 @@ echo "serve smoke: graceful shutdown OK"
 
 echo "==> loadgen: 400 requests x 8 connections, warm memo ratio must beat cold batch"
 ./target/release/loadgen --connections 8 --requests 400
+
+echo "==> perf baseline: CI-mode run gated against committed BENCH_perf.json (>15% = fail)"
+cargo build --release -p ioopt-bench --features count-alloc --bin perf_baseline
+./target/release/perf_baseline --ci --out /tmp/ioopt_perf_ci.json --check BENCH_perf.json
 
 # The fault-injection legs rebuild the ioopt binary with the
 # `fault-inject` feature, so they run after every leg that uses the

@@ -73,7 +73,7 @@ fn bench_symbolic() {
     {
         let x = Expr::sym("bx");
         let y = Expr::sym("by");
-        let e = Expr::pow(&x + &y + Expr::int(1), Rational::from(6i128));
+        let e = Expr::pow(x + y + Expr::int(1), Rational::from(6i128));
         bench("symbolic", "expand-poly", 100, || black_box(&e).expand());
     }
     {

@@ -1,0 +1,94 @@
+//! Allocation counting for the perf baseline.
+//!
+//! With the bench-only `count-alloc` feature enabled, a counting wrapper
+//! around the system allocator is installed as the global allocator for
+//! every binary in this crate, and [`snapshot`] reports how many heap
+//! allocations (and bytes) have been requested since process start.
+//! Counting uses relaxed atomics — the overhead is two `fetch_add`s per
+//! allocation, small enough that latency numbers from a counting build
+//! remain comparable, but the committed baseline records whether it was
+//! produced with counting on so the CI gate only compares like with like.
+//!
+//! Without the feature this module still compiles (so the harness can be
+//! built cheaply for latency-only runs); [`enabled`] reports `false` and
+//! [`snapshot`] stays at zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts every allocation before delegating to
+/// the system allocator. Deallocations are not counted: the baseline
+/// tracks allocator pressure (calls made), not live-set size.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Whether the counting allocator is installed in this build.
+pub const fn enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// `(allocations, bytes requested)` since process start. Zero in builds
+/// without the `count-alloc` feature.
+pub fn snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// The allocation delta between two [`snapshot`]s taken in order.
+pub fn delta(before: (u64, u64), after: (u64, u64)) -> (u64, u64) {
+    (
+        after.0.saturating_sub(before.0),
+        after.1.saturating_sub(before.1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_monotone() {
+        let before = snapshot();
+        let v: Vec<u64> = (0..1024).collect();
+        let after = snapshot();
+        assert!(v.len() == 1024);
+        assert!(after.0 >= before.0 && after.1 >= before.1);
+        if enabled() {
+            let (allocs, bytes) = delta(before, after);
+            assert!(allocs >= 1, "vec growth must be counted");
+            assert!(bytes >= 1024 * 8, "vec bytes must be counted");
+        }
+    }
+}

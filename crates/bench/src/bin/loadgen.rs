@@ -17,28 +17,12 @@
 //!         [--addr HOST:PORT] [--connections 8] [--requests 400]
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
 
 use ioopt::{
     analysis_handler, corpus_item, memo_stats, reset_memo, run_batch, BatchOptions, ServiceDefaults,
 };
+use ioopt_bench::loadclient::{self, MIX, SNAPSHOT_CACHE};
 use ioopt_serve::{ServeOptions, Server};
-use ioopt_suite::testutil::http_post;
-
-/// The kernels the load mix cycles: TCCG contractions and Yolo layers,
-/// all symbolic at the snapshot cache size (32768 elements).
-const MIX: &[&str] = &[
-    "ab-ac-cb",
-    "abc-bda-dc",
-    "abcd-dbea-ec",
-    "Yolo9000-0",
-    "Yolo9000-12",
-    "Yolo9000-23",
-];
-
-const SNAPSHOT_CACHE: f64 = 32768.0;
 
 struct Args {
     addr: Option<SocketAddr>,
@@ -92,15 +76,6 @@ fn parse_args() -> Args {
 fn die(message: &str) -> ! {
     eprintln!("loadgen: {message}");
     std::process::exit(2);
-}
-
-fn request_body(kernel: &str) -> String {
-    format!(r#"{{"kernels":["builtin:{kernel}"],"cache":{SNAPSHOT_CACHE},"symbolic_only":true}}"#)
-}
-
-fn percentile(sorted_us: &[u64], p: f64) -> u64 {
-    let rank = ((p * sorted_us.len() as f64).ceil() as usize).max(1);
-    sorted_us[rank.min(sorted_us.len()) - 1]
 }
 
 fn main() {
@@ -158,57 +133,26 @@ fn main() {
         .expect("an address either way");
 
     let warm_base = memo_stats();
-    let failed = Arc::new(AtomicUsize::new(0));
-    let started = Instant::now();
-    let workers: Vec<_> = (0..args.connections)
-        .map(|c| {
-            let failed = failed.clone();
-            let share = args.requests / args.connections
-                + usize::from(c < args.requests % args.connections);
-            std::thread::spawn(move || {
-                let mut latencies_us = Vec::with_capacity(share);
-                for i in 0..share {
-                    let body = request_body(MIX[(c * 31 + i) % MIX.len()]);
-                    let sent = Instant::now();
-                    let response = http_post(addr, "/analyze", &body);
-                    latencies_us.push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-                    if response.status != 200 {
-                        failed.fetch_add(1, Ordering::Relaxed);
-                        eprintln!(
-                            "loadgen: connection {c} request {i}: HTTP {} — {}",
-                            response.status, response.body
-                        );
-                    }
-                }
-                latencies_us
-            })
-        })
-        .collect();
-    let mut latencies_us: Vec<u64> = Vec::with_capacity(args.requests);
-    for worker in workers {
-        latencies_us.extend(worker.join().expect("load connection panicked"));
-    }
-    let elapsed = started.elapsed();
+    let report = loadclient::drive(addr, MIX, args.connections, args.requests);
     if let Some(server) = local {
         server.shutdown();
     }
 
-    latencies_us.sort_unstable();
-    let completed = latencies_us.len();
+    let completed = report.sorted_us.len();
     println!(
         "load: {completed} requests, {} connections, {:.2} s wall, {:.1} req/s",
         args.connections,
-        elapsed.as_secs_f64(),
-        completed as f64 / elapsed.as_secs_f64()
+        report.wall.as_secs_f64(),
+        completed as f64 / report.wall.as_secs_f64()
     );
     println!(
         "latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
-        percentile(&latencies_us, 0.50) as f64 / 1e3,
-        percentile(&latencies_us, 0.99) as f64 / 1e3,
-        *latencies_us.last().expect("at least one request") as f64 / 1e3
+        report.percentile(0.50) as f64 / 1e3,
+        report.percentile(0.99) as f64 / 1e3,
+        report.percentile(1.0) as f64 / 1e3
     );
 
-    let failures = failed.load(Ordering::Relaxed);
+    let failures = report.failures;
     if failures > 0 {
         eprintln!("loadgen: FAIL — {failures} request(s) did not answer 200");
         std::process::exit(1);

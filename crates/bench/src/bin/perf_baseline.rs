@@ -1,0 +1,458 @@
+//! The repo's perf trajectory: measures per-kernel analysis latency over
+//! the 19-kernel builtin corpus, serve p50/p99 through the same
+//! in-process path `loadgen` drives, and allocation counts (exact when
+//! built with the bench-only `count-alloc` feature), then emits
+//! `BENCH_perf.json` and optionally gates the run against a committed
+//! baseline.
+//!
+//!     cargo run --release -p ioopt-bench --features count-alloc \
+//!         --bin perf_baseline -- [--ci] [--out PATH] [--check BASELINE]
+//!
+//! * `--ci` — reduced sizes so the run finishes in well under a minute
+//!   even on one core: the kernel phase covers the 8 TCCG contractions
+//!   plus one representative Yolo9000 conv layer, and the serve storm
+//!   shrinks to a TCCG-only mix. The committed `BENCH_perf.json` is
+//!   recorded in this mode so the CI gate compares like with like; full
+//!   mode (the default) measures the whole 19-kernel corpus and the same
+//!   serve mix `loadgen` uses.
+//! * `--out PATH` — where to write the report (default `BENCH_perf.json`).
+//! * `--check BASELINE` — compare against a previously committed report;
+//!   exit 1 if latency or allocations regressed more than the thresholds
+//!   (15% relative, plus a small absolute slack on wall-clock metrics so
+//!   sub-millisecond kernels don't flap on scheduler noise).
+//!
+//! Exit status: 0 ok, 1 regression or failed requests, 2 usage/IO error.
+
+use std::time::Instant;
+
+use ioopt::{
+    analysis_handler, builtin_corpus, memo_stats, reset_memo, run_batch, BatchItem, BatchOptions,
+    Json, ServiceDefaults,
+};
+use ioopt_bench::{alloc_count, loadclient, print_table};
+use ioopt_serve::{ServeOptions, Server};
+
+/// Relative regression budget on every gated metric.
+const REL_BUDGET: f64 = 0.15;
+
+struct Args {
+    ci: bool,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        ci: false,
+        out: "BENCH_perf.json".to_string(),
+        check: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--ci" => args.ci = true,
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            "--help" | "-h" => {
+                eprintln!("usage: perf_baseline [--ci] [--out PATH] [--check BASELINE]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("perf_baseline: {message}");
+    std::process::exit(2);
+}
+
+struct KernelSample {
+    kernel: String,
+    cold_us: u64,
+    warm_us: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+/// One timed single-kernel batch run (jobs=1 so allocation counts are
+/// deterministic), returning the wall micros and the allocation delta.
+fn run_one(item: &BatchItem, options: &BatchOptions) -> (u64, u64, u64) {
+    let before = alloc_count::snapshot();
+    let started = Instant::now();
+    let report = run_batch(std::slice::from_ref(item), options);
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let after = alloc_count::snapshot();
+    for row in &report.rows {
+        if let Some(error) = &row.error {
+            die(&format!("kernel {}: {error}", row.kernel));
+        }
+    }
+    let (allocs, bytes) = alloc_count::delta(before, after);
+    (micros, allocs, bytes)
+}
+
+/// The kernel set a mode measures: everything in CI mode would blow the
+/// one-minute budget on a single core (a Yolo layer costs seconds of
+/// symbolic derivation), so `--ci` keeps the 8 TCCG contractions plus
+/// one representative conv layer.
+fn corpus(ci: bool) -> Vec<BatchItem> {
+    builtin_corpus()
+        .into_iter()
+        .filter(|item| !ci || !item.label.starts_with("Yolo9000") || item.label == "Yolo9000-0")
+        .collect()
+}
+
+/// Per-kernel cold+warm latency and cold allocation counts, in corpus
+/// order (fixed, so process-global warm-up — symbol registry, term
+/// arena — lands on the same kernels every run). Symbolic-only: the
+/// parametric derivation is the inner loop the arena optimizes, and the
+/// numeric tile search would multiply the runtime ~2x without exercising
+/// different expression paths.
+fn measure_kernels(ci: bool) -> Vec<KernelSample> {
+    let options = BatchOptions {
+        cache_elems: loadclient::SNAPSHOT_CACHE,
+        jobs: 1,
+        numeric: false,
+        ..BatchOptions::default()
+    };
+    corpus(ci)
+        .iter()
+        .map(|item| {
+            // Two cold/warm cycles, keeping the faster of each: scheduler
+            // noise only ever inflates a measurement on a shared runner,
+            // so the minimum is the stable statistic to gate on. "Cold"
+            // means a cleared analysis memo; the process-global term arena
+            // stays warm, identically for baseline and candidate runs. The
+            // allocation counts are deterministic (jobs=1) — first cycle's.
+            let mut sample = KernelSample {
+                kernel: item.label.clone(),
+                cold_us: u64::MAX,
+                warm_us: u64::MAX,
+                allocs: 0,
+                alloc_bytes: 0,
+            };
+            for cycle in 0..2 {
+                reset_memo();
+                let (cold_us, allocs, alloc_bytes) = run_one(item, &options);
+                let (warm_us, _, _) = run_one(item, &options);
+                sample.cold_us = sample.cold_us.min(cold_us);
+                sample.warm_us = sample.warm_us.min(warm_us);
+                if cycle == 0 {
+                    sample.allocs = allocs;
+                    sample.alloc_bytes = alloc_bytes;
+                }
+            }
+            sample
+        })
+        .collect()
+}
+
+struct ServeSample {
+    connections: usize,
+    requests: usize,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// Serve latency through the same in-process server + request path that
+/// `loadgen` drives. CI mode shrinks to a TCCG-only mix and fewer
+/// requests so the storm stays inside the one-minute budget on one core.
+fn measure_serve(ci: bool) -> ServeSample {
+    let (connections, requests) = if ci { (2, 36) } else { (4, 120) };
+    let mix: &[&str] = if ci {
+        &loadclient::MIX[..3]
+    } else {
+        loadclient::MIX
+    };
+    // Two independent storms, element-wise minimum — the same statistic
+    // the kernel loop uses. Scheduler noise on a one-core box only ever
+    // inflates a percentile, so the min across storms is the stable
+    // number to gate on (the second storm also runs against the warm
+    // term arena, exactly like a candidate run would).
+    let mut sample = ServeSample {
+        connections,
+        requests,
+        p50_us: u64::MAX,
+        p99_us: u64::MAX,
+        max_us: u64::MAX,
+    };
+    for storm in 0..2 {
+        reset_memo();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeOptions::default(),
+            analysis_handler(ServiceDefaults::default()),
+        )
+        .unwrap_or_else(|e| die(&format!("bind: {e}")));
+        let report = loadclient::drive(server.addr(), mix, connections, requests);
+        server.shutdown();
+        if report.failures > 0 {
+            eprintln!(
+                "perf_baseline: FAIL — {} request(s) did not answer 200 (storm {storm})",
+                report.failures
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "serve storm {storm}: {requests} requests, {connections} connections, \
+             {:.2} s wall, {:.1} req/s",
+            report.wall.as_secs_f64(),
+            report.sorted_us.len() as f64 / report.wall.as_secs_f64()
+        );
+        sample.p50_us = sample.p50_us.min(report.percentile(0.50));
+        sample.p99_us = sample.p99_us.min(report.percentile(0.99));
+        sample.max_us = sample.max_us.min(report.percentile(1.0));
+    }
+    sample
+}
+
+/// Terms interned process-wide by the symbolic arena at measurement end.
+fn interned_terms() -> u64 {
+    ioopt::symbolic::intern_stats().terms
+}
+
+fn render_report(ci: bool, kernels: &[KernelSample], serve: &ServeSample) -> Json {
+    let totals = kernels.iter().fold((0u64, 0u64, 0u64, 0u64), |t, k| {
+        (
+            t.0 + k.cold_us,
+            t.1 + k.warm_us,
+            t.2 + k.allocs,
+            t.3 + k.alloc_bytes,
+        )
+    });
+    Json::obj([
+        ("schema", Json::str("ioopt-perf/v1")),
+        ("mode", Json::str(if ci { "ci" } else { "full" })),
+        ("alloc_counting", Json::Bool(alloc_count::enabled())),
+        (
+            "kernels",
+            Json::Array(
+                kernels
+                    .iter()
+                    .map(|k| {
+                        Json::obj([
+                            ("kernel", Json::str(k.kernel.clone())),
+                            ("cold_us", Json::Int(k.cold_us as i64)),
+                            ("warm_us", Json::Int(k.warm_us as i64)),
+                            ("allocs", Json::Int(k.allocs as i64)),
+                            ("alloc_bytes", Json::Int(k.alloc_bytes as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "serve",
+            Json::obj([
+                ("connections", Json::Int(serve.connections as i64)),
+                ("requests", Json::Int(serve.requests as i64)),
+                ("p50_us", Json::Int(serve.p50_us as i64)),
+                ("p99_us", Json::Int(serve.p99_us as i64)),
+                ("max_us", Json::Int(serve.max_us as i64)),
+            ]),
+        ),
+        (
+            "totals",
+            Json::obj([
+                ("cold_us", Json::Int(totals.0 as i64)),
+                ("warm_us", Json::Int(totals.1 as i64)),
+                ("allocs", Json::Int(totals.2 as i64)),
+                ("alloc_bytes", Json::Int(totals.3 as i64)),
+                ("interned_terms", Json::Int(interned_terms() as i64)),
+            ]),
+        ),
+    ])
+}
+
+fn field_i64(value: &Json, path: &[&str]) -> i64 {
+    let mut cursor = value;
+    for key in path {
+        cursor = cursor
+            .get(key)
+            .unwrap_or_else(|| die(&format!("baseline is missing `{}`", path.join("."))));
+    }
+    cursor
+        .as_i64()
+        .unwrap_or_else(|| die(&format!("baseline `{}` is not an integer", path.join("."))))
+}
+
+/// One gated comparison: fails when `current > baseline * (1 + 15%) +
+/// slack`. Allocation counts are deterministic (jobs=1) and carry the
+/// tight gate with near-zero slack — they are the real regression
+/// detector. Wall-clock on a shared one-core runner swings up to ~30%
+/// between back-to-back runs even on the min-of-two statistic, so its
+/// absolute slack is sized to that observed spread: the wall-clock legs
+/// are a backstop that only trips on gross (roughly half-again-or-worse)
+/// slowdowns, not a precision instrument.
+fn gate(failures: &mut usize, metric: &str, baseline: i64, current: i64, slack: i64) {
+    let limit = baseline + (baseline as f64 * REL_BUDGET).ceil() as i64 + slack;
+    if current > limit {
+        *failures += 1;
+        eprintln!(
+            "perf_baseline: REGRESSION {metric}: {current} > limit {limit} (baseline {baseline} + {:.0}% + {slack})",
+            REL_BUDGET * 100.0
+        );
+    } else {
+        println!("perf_baseline: ok {metric}: {current} <= limit {limit} (baseline {baseline})");
+    }
+}
+
+fn check_against(baseline_path: &str, current: &Json) {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| die(&format!("read {baseline_path}: {e}")));
+    let baseline = Json::parse(&text).unwrap_or_else(|e| die(&format!("{baseline_path}: {e}")));
+    if baseline.get("schema").and_then(Json::as_str) != Some("ioopt-perf/v1") {
+        die(&format!("{baseline_path}: not an ioopt-perf/v1 report"));
+    }
+    if baseline.get("mode") != current.get("mode") {
+        die(&format!(
+            "{baseline_path}: baseline mode {:?} does not match this run's {:?}; \
+             re-run with matching --ci",
+            baseline.get("mode").and_then(Json::as_str),
+            current.get("mode").and_then(Json::as_str)
+        ));
+    }
+    let mut failures = 0usize;
+    gate(
+        &mut failures,
+        "totals.cold_us",
+        field_i64(&baseline, &["totals", "cold_us"]),
+        field_i64(current, &["totals", "cold_us"]),
+        2_000_000,
+    );
+    gate(
+        &mut failures,
+        "totals.warm_us",
+        field_i64(&baseline, &["totals", "warm_us"]),
+        field_i64(current, &["totals", "warm_us"]),
+        2_000_000,
+    );
+    gate(
+        &mut failures,
+        "serve.p50_us",
+        field_i64(&baseline, &["serve", "p50_us"]),
+        field_i64(current, &["serve", "p50_us"]),
+        50_000,
+    );
+    gate(
+        &mut failures,
+        "serve.p99_us",
+        field_i64(&baseline, &["serve", "p99_us"]),
+        field_i64(current, &["serve", "p99_us"]),
+        120_000,
+    );
+    let both_counting = baseline.get("alloc_counting") == Some(&Json::Bool(true))
+        && current.get("alloc_counting") == Some(&Json::Bool(true));
+    if both_counting {
+        gate(
+            &mut failures,
+            "totals.allocs",
+            field_i64(&baseline, &["totals", "allocs"]),
+            field_i64(current, &["totals", "allocs"]),
+            1_000,
+        );
+    } else {
+        println!("perf_baseline: skip totals.allocs (a side was built without count-alloc)");
+    }
+    let empty = Vec::new();
+    let base_kernels = baseline
+        .get("kernels")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty);
+    for row in current
+        .get("kernels")
+        .and_then(Json::as_array)
+        .unwrap_or(&empty)
+    {
+        let name = row
+            .get("kernel")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| die("current report row without kernel name"));
+        let Some(base_row) = base_kernels
+            .iter()
+            .find(|b| b.get("kernel").and_then(Json::as_str) == Some(name))
+        else {
+            println!("perf_baseline: skip {name} (not in baseline)");
+            continue;
+        };
+        gate(
+            &mut failures,
+            &format!("{name}.cold_us"),
+            field_i64(base_row, &["cold_us"]),
+            field_i64(row, &["cold_us"]),
+            1_500_000,
+        );
+        if both_counting {
+            gate(
+                &mut failures,
+                &format!("{name}.allocs"),
+                field_i64(base_row, &["allocs"]),
+                field_i64(row, &["allocs"]),
+                1_000,
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("perf_baseline: FAIL — {failures} metric(s) regressed past the gate");
+        std::process::exit(1);
+    }
+    println!("perf_baseline: all gated metrics within budget vs {baseline_path}");
+}
+
+fn main() {
+    let args = parse_args();
+    if !alloc_count::enabled() {
+        eprintln!(
+            "perf_baseline: note — built without `count-alloc`; allocation counts will read 0"
+        );
+    }
+
+    let kernels = measure_kernels(args.ci);
+    let serve = measure_serve(args.ci);
+    let report = render_report(args.ci, &kernels, &serve);
+
+    print_table(
+        &["kernel", "cold_us", "warm_us", "allocs", "alloc_kb"],
+        &kernels
+            .iter()
+            .map(|k| {
+                vec![
+                    k.kernel.clone(),
+                    k.cold_us.to_string(),
+                    k.warm_us.to_string(),
+                    k.allocs.to_string(),
+                    (k.alloc_bytes / 1024).to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "serve: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        serve.p50_us as f64 / 1e3,
+        serve.p99_us as f64 / 1e3,
+        serve.max_us as f64 / 1e3
+    );
+    let warm = memo_stats();
+    println!(
+        "memo after storm: hits {} misses {} (ratio {:.3})",
+        warm.hits,
+        warm.misses,
+        warm.hit_ratio()
+    );
+
+    let rendered = format!("{report}\n");
+    std::fs::write(&args.out, &rendered)
+        .unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    println!("perf_baseline: wrote {}", args.out);
+
+    if let Some(baseline) = &args.check {
+        check_against(baseline, &report);
+    }
+}

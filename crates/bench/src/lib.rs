@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
+pub mod loadclient;
 pub mod plot;
 
 use std::collections::HashMap;

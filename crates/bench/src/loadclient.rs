@@ -1,0 +1,125 @@
+//! The shared serve-driving client: N connection threads posting a
+//! mixed stream of analysis requests at a server, collecting per-request
+//! client-side latency. Used by both `loadgen` (throughput/memo gate)
+//! and `perf_baseline` (the committed p50/p99 trajectory), so the two
+//! always measure the same request path the same way.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use ioopt_suite::testutil::http_post;
+
+/// The kernels the load mix cycles: TCCG contractions and Yolo layers,
+/// all symbolic at the snapshot cache size ([`SNAPSHOT_CACHE`] elements).
+pub const MIX: &[&str] = &[
+    "ab-ac-cb",
+    "abc-bda-dc",
+    "abcd-dbea-ec",
+    "Yolo9000-0",
+    "Yolo9000-12",
+    "Yolo9000-23",
+];
+
+/// The cache size (elements) every mixed request analyzes at.
+pub const SNAPSHOT_CACHE: f64 = 32768.0;
+
+/// The `/analyze` request body for one builtin kernel of the mix.
+pub fn request_body(kernel: &str) -> String {
+    format!(r#"{{"kernels":["builtin:{kernel}"],"cache":{SNAPSHOT_CACHE},"symbolic_only":true}}"#)
+}
+
+/// What a load run observed, from the client side.
+pub struct LoadReport {
+    /// Per-request latency in microseconds, sorted ascending.
+    pub sorted_us: Vec<u64>,
+    /// Requests that did not answer HTTP 200.
+    pub failures: usize,
+    /// Wall-clock time of the whole storm.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// The latency percentile `p` in `0.0..=1.0` (nearest-rank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has no completed requests.
+    pub fn percentile(&self, p: f64) -> u64 {
+        percentile(&self.sorted_us, p)
+    }
+}
+
+/// The latency percentile `p` in `0.0..=1.0` over a sorted sample
+/// (nearest-rank; the largest sample for `p = 1.0`).
+///
+/// # Panics
+///
+/// Panics if `sorted_us` is empty.
+pub fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    assert!(!sorted_us.is_empty(), "percentile of an empty sample");
+    let rank = ((p * sorted_us.len() as f64).ceil() as usize).max(1);
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+/// Drives `requests` total requests over `connections` concurrent
+/// threads, cycling each connection through `mix` (de-phased per
+/// connection so concurrent requests hit different kernels). Failed
+/// requests are reported per-request on stderr and tallied.
+pub fn drive(addr: SocketAddr, mix: &[&str], connections: usize, requests: usize) -> LoadReport {
+    assert!(connections > 0 && requests > 0, "empty load run");
+    let failed = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..connections)
+            .map(|c| {
+                let failed = &failed;
+                let share = requests / connections + usize::from(c < requests % connections);
+                scope.spawn(move || {
+                    let mut latencies_us = Vec::with_capacity(share);
+                    for i in 0..share {
+                        let body = request_body(mix[(c * 31 + i) % mix.len()]);
+                        let sent = Instant::now();
+                        let response = http_post(addr, "/analyze", &body);
+                        latencies_us
+                            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                        if response.status != 200 {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "loadclient: connection {c} request {i}: HTTP {} — {}",
+                                response.status, response.body
+                            );
+                        }
+                    }
+                    latencies_us
+                })
+            })
+            .collect();
+        for worker in workers {
+            latencies_us.extend(worker.join().expect("load connection panicked"));
+        }
+    });
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+    LoadReport {
+        sorted_us: latencies_us,
+        failures: failed.load(Ordering::Relaxed),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [10, 20, 30, 40];
+        assert_eq!(percentile(&s, 0.0), 10);
+        assert_eq!(percentile(&s, 0.25), 10);
+        assert_eq!(percentile(&s, 0.5), 20);
+        assert_eq!(percentile(&s, 0.99), 40);
+        assert_eq!(percentile(&s, 1.0), 40);
+    }
+}

@@ -1,0 +1,82 @@
+//! Smoke test for the CI perf baseline: the reduced-size run must finish
+//! well inside the CI budget and emit a schema-valid report.
+
+use std::process::Command;
+use std::time::Instant;
+
+use ioopt_engine::Json;
+
+#[test]
+fn ci_mode_is_fast_and_schema_valid() {
+    let out = std::env::temp_dir().join(format!("bench_smoke_{}.json", std::process::id()));
+    let start = Instant::now();
+    let status = Command::new(env!("CARGO_BIN_EXE_perf_baseline"))
+        .args(["--ci", "--out"])
+        .arg(&out)
+        .status()
+        .expect("spawn perf_baseline");
+    let elapsed = start.elapsed();
+    assert!(status.success(), "perf_baseline --ci failed: {status}");
+    assert!(
+        elapsed.as_secs() < 60,
+        "CI perf baseline took {elapsed:?}, budget is one minute"
+    );
+
+    let text = std::fs::read_to_string(&out).expect("read report");
+    let report = Json::parse(&text).expect("report is valid JSON");
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some("ioopt-perf/v1")
+    );
+    assert_eq!(report.get("mode").and_then(Json::as_str), Some("ci"));
+
+    let kernels = report
+        .get("kernels")
+        .and_then(Json::as_array)
+        .expect("kernels array");
+    assert!(
+        kernels.len() >= 9,
+        "CI corpus should cover the TCCG kernels plus one Yolo layer"
+    );
+    for row in kernels {
+        {
+            let field = "kernel";
+            assert!(row.get(field).is_some(), "kernel row missing {field}");
+        }
+        for field in ["cold_us", "warm_us", "allocs", "alloc_bytes"] {
+            let v = row.get(field).and_then(Json::as_i64);
+            assert!(v.is_some(), "kernel row missing numeric {field}");
+            assert!(v.unwrap() >= 0, "{field} must be non-negative");
+        }
+        assert!(
+            row.get("cold_us").and_then(Json::as_i64).unwrap() > 0,
+            "cold analysis took zero time"
+        );
+    }
+
+    let serve = report.get("serve").expect("serve block");
+    for field in ["p50_us", "p99_us", "max_us", "requests", "connections"] {
+        assert!(
+            serve.get(field).and_then(Json::as_i64).is_some(),
+            "serve block missing {field}"
+        );
+    }
+    let totals = report.get("totals").expect("totals block");
+    for field in [
+        "cold_us",
+        "warm_us",
+        "allocs",
+        "alloc_bytes",
+        "interned_terms",
+    ] {
+        assert!(
+            totals.get(field).and_then(Json::as_i64).is_some(),
+            "totals block missing {field}"
+        );
+    }
+    assert!(
+        totals.get("interned_terms").and_then(Json::as_i64).unwrap() > 0,
+        "the arena interned no terms over a 9-kernel corpus"
+    );
+    let _ = std::fs::remove_file(&out);
+}

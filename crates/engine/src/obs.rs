@@ -87,9 +87,20 @@ pub enum Metric {
     /// Connections the serving layer's admission control turned away
     /// with a 429 because the request queue was full.
     ServeRejected,
+    /// Distinct terms the symbolic arena interned in this window.
+    TermsInterned,
+    /// Intern calls answered by an existing arena term.
+    TermHits,
+    /// Intern calls that created a new arena term.
+    TermMisses,
+    /// Sub-expression simplification-memo hits (`expand`, structural
+    /// `pow`) shared across kernels and requests.
+    SimpHits,
+    /// Sub-expression simplification-memo misses.
+    SimpMisses,
 }
 
-const METRIC_COUNT: usize = 10;
+const METRIC_COUNT: usize = 15;
 
 impl Metric {
     /// Every metric, in registry (display) order.
@@ -104,6 +115,11 @@ impl Metric {
         Metric::FmProjections,
         Metric::ServeRequests,
         Metric::ServeRejected,
+        Metric::TermsInterned,
+        Metric::TermHits,
+        Metric::TermMisses,
+        Metric::SimpHits,
+        Metric::SimpMisses,
     ];
 
     /// The stable dotted wire name (used in reports and the JSON
@@ -120,24 +136,53 @@ impl Metric {
             Metric::FmProjections => "fm.projections",
             Metric::ServeRequests => "serve.requests",
             Metric::ServeRejected => "serve.rejected",
+            Metric::TermsInterned => "terms.interned",
+            Metric::TermHits => "terms.hits",
+            Metric::TermMisses => "terms.misses",
+            Metric::SimpHits => "terms.simp_hits",
+            Metric::SimpMisses => "terms.simp_misses",
+        }
+    }
+
+    /// Term-arena metrics read the symbolic interner's own counters
+    /// instead of the local atomics; [`add`] is a no-op for them.
+    fn term_source(self) -> Option<fn(ioopt_symbolic::InternStats) -> u64> {
+        match self {
+            Metric::TermsInterned => Some(|s| s.terms),
+            Metric::TermHits => Some(|s| s.hits),
+            Metric::TermMisses => Some(|s| s.misses),
+            Metric::SimpHits => Some(|s| s.simp_hits),
+            Metric::SimpMisses => Some(|s| s.simp_misses),
+            _ => None,
         }
     }
 }
 
 static COUNTERS: [AtomicU64; METRIC_COUNT] = [const { AtomicU64::new(0) }; METRIC_COUNT];
 
+// The arena's counters are never cleared (terms live for the process
+// lifetime), so "reset" for term metrics means recording a baseline to
+// subtract — keeping windowed semantics consistent with every other
+// counter.
+static TERM_BASELINE: [AtomicU64; METRIC_COUNT] = [const { AtomicU64::new(0) }; METRIC_COUNT];
+
 /// Adds `n` to a metric's process-wide counter (wait-free; a no-op when
-/// `n == 0`).
+/// `n == 0` and for externally sourced term-arena metrics).
 #[inline]
 pub fn add(metric: Metric, n: u64) {
-    if n != 0 {
+    if n != 0 && metric.term_source().is_none() {
         COUNTERS[metric as usize].fetch_add(n, Ordering::Relaxed);
     }
 }
 
-/// The current value of one metric.
+/// The current value of one metric (windowed since the last
+/// [`reset_metrics`]).
 pub fn value(metric: Metric) -> u64 {
-    COUNTERS[metric as usize].load(Ordering::Relaxed)
+    match metric.term_source() {
+        Some(read) => read(ioopt_symbolic::intern_stats())
+            .saturating_sub(TERM_BASELINE[metric as usize].load(Ordering::Relaxed)),
+        None => COUNTERS[metric as usize].load(Ordering::Relaxed),
+    }
 }
 
 /// `(wire name, value)` for every registered metric, in registry order.
@@ -146,10 +191,17 @@ pub fn metrics_snapshot() -> Vec<(&'static str, u64)> {
 }
 
 /// Zeroes every metric counter (e.g. at the start of a batch run so the
-/// report reflects that run alone).
+/// report reflects that run alone). Term-arena metrics are windowed by
+/// baseline rather than cleared — the arena itself persists by design.
 pub fn reset_metrics() {
     for c in &COUNTERS {
         c.store(0, Ordering::Relaxed);
+    }
+    let stats = ioopt_symbolic::intern_stats();
+    for metric in Metric::ALL {
+        if let Some(read) = metric.term_source() {
+            TERM_BASELINE[metric as usize].store(read(stats), Ordering::Relaxed);
+        }
     }
 }
 

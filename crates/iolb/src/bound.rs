@@ -145,7 +145,7 @@ pub fn lower_bound_governed(
     let mut degraded = false;
     if !path_analysis_ok {
         return Ok(LowerBoundReport {
-            trivial: trivial.clone(),
+            trivial,
             scenarios,
             combined: trivial,
             degraded,
@@ -229,9 +229,7 @@ pub fn lower_bound_governed(
         });
     }
 
-    let combined = Expr::max_all(
-        std::iter::once(trivial.clone()).chain(scenarios.iter().map(|s| s.bound.clone())),
-    );
+    let combined = Expr::max_all(std::iter::once(trivial).chain(scenarios.iter().map(|s| s.bound)));
     Ok(LowerBoundReport {
         trivial,
         scenarios,
@@ -307,11 +305,11 @@ fn assemble_bound(
     let sigma_m1 = sigma.try_sub(Rational::ONE).ok_or(BlError::Overflow)?;
     let t_coeff = Rational::ONE.try_div(sigma_m1).ok_or(BlError::Overflow)?;
     let k_coeff = sigma.try_div(sigma_m1).ok_or(BlError::Overflow)?;
-    let t_star = &cache * Expr::num(t_coeff);
-    let k_star = &cache * Expr::num(k_coeff);
+    let t_star = cache * Expr::num(t_coeff);
+    let k_star = cache * Expr::num(k_coeff);
     let n_sd = Expr::mul_all(small.iter().map(|&d| kernel.size_expr(d)));
     let rho = c * Expr::pow(k_star, sigma) * Expr::pow(n_sd, s_sd);
-    Ok(Some(&t_star * volume * rho.recip() - &t_star))
+    Ok(Some(t_star * volume * rho.recip() - t_star))
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! same-structure kernels) pose them repeatedly — so they are memoized
 //! in a process-wide content-addressed cache ([`cost_cache_stats`]).
 
+use std::collections::HashSet;
 use std::sync::OnceLock;
 
 use ioopt_engine::{CacheStats, MemoCache};
@@ -100,11 +101,11 @@ fn array_cost_uncached(
     let d = sched.dim_at_level(level);
     // |I_front| = |I| · T_d / N_d ; |I_back| = |I| − |I_front|.
     let ratio = sched.tile(d) / kernel.size_expr(d);
-    let front_size = &total * &ratio;
-    let back_size = &total - &front_size;
+    let front_size = total * ratio;
+    let back_size = total - front_size;
     // Expand so that the front/back split collapses whenever the two
     // densities coincide (e.g. Ni·Nj·Nk/Ti instead of a two-term split).
-    let io = (&id.front * front_size + &id.back * back_size).expand();
+    let io = (id.front * front_size + id.back * back_size).expand();
     ArrayCost {
         array: array.name.clone(),
         level,
@@ -128,8 +129,8 @@ pub fn cost_with_levels(kernel: &Kernel, sched: &TilingSchedule, levels: &[usize
         .zip(levels)
         .map(|(a, &l)| array_cost(kernel, sched, a, l))
         .collect();
-    let io = Expr::add_all(per_array.iter().map(|c| c.io.clone()));
-    let footprint = Expr::add_all(per_array.iter().map(|c| c.footprint.clone()));
+    let io = Expr::add_all(per_array.iter().map(|c| c.io));
+    let footprint = Expr::add_all(per_array.iter().map(|c| c.footprint));
     UbCost {
         io,
         footprint,
@@ -144,13 +145,13 @@ pub fn candidate_levels(kernel: &Kernel, sched: &TilingSchedule) -> Vec<Vec<usiz
     kernel
         .arrays()
         .map(|a| {
-            let mut seen: Vec<(Expr, Expr)> = Vec::new();
+            // Hash-consed exprs are Copy ids, so the dedup key is 8 bytes
+            // and set membership is a hash probe, not a structural walk.
+            let mut seen: HashSet<(Expr, Expr)> = HashSet::new();
             let mut out = Vec::new();
             for l in 1..=sched.ndims() {
                 let c = array_cost(kernel, sched, a, l);
-                let key = (c.io.clone(), c.footprint.clone());
-                if !seen.contains(&key) {
-                    seen.push(key);
+                if seen.insert((c.io, c.footprint)) {
                     out.push(l);
                 }
             }
@@ -207,9 +208,8 @@ mod tests {
         let (k, s) = matmul_paper_schedule();
         let cost = cost_with_levels(&k, &s, &[1, 1, 1]);
         let n = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
-        let expected = &n * Expr::sym("Ti").recip()
-            + &n * Expr::sym("Tj").recip()
-            + &n * Expr::sym("Nk").recip();
+        let expected =
+            n * Expr::sym("Ti").recip() + n * Expr::sym("Tj").recip() + n * Expr::sym("Nk").recip();
         assert_eq!(cost.io.expand(), expected.expand());
     }
 
@@ -236,9 +236,9 @@ mod tests {
         let nf = Expr::sym("Nf");
         let nx = Expr::sym("Nx");
         let nw = Expr::sym("Nw");
-        let io_out = &nc * &nf * &nx / Expr::sym("Tc");
-        let io_image = &nc * &nf * (&nx + &nw - Expr::one()) / Expr::sym("Tf");
-        let io_filter = &nc * &nf * &nw;
+        let io_out = nc * nf * nx / Expr::sym("Tc");
+        let io_image = nc * nf * (nx + nw - Expr::one()) / Expr::sym("Tf");
+        let io_filter = nc * nf * nw;
         let expected = io_out + io_image + io_filter;
         assert_eq!(cost.io.expand(), expected.expand());
     }

@@ -50,10 +50,10 @@ pub fn inverse_density(
     let reuse = sdr(kernel, sched, array, level);
     let volume = sched.level_domain_size(kernel, level);
     let inv = volume.recip();
-    let front = &footprint.card * &inv;
+    let front = footprint.card * inv;
     // Expand so that SDF − SDR cancels shared factored terms (e.g.
     // Nw·Tc − Tc·(Nw−1) = Tc).
-    let moved = simplify_nonneg(&(&footprint.card - &reuse.card)).expand();
+    let moved = simplify_nonneg(&(footprint.card - reuse.card)).expand();
     let back = moved * inv;
     InverseDensity {
         front,
@@ -84,7 +84,7 @@ fn strip_max_zero(e: &Expr) -> Expr {
         Node::Pow(b, exp) => Expr::pow(strip_max_zero(b), *exp),
         Node::Max(items) => Expr::max_all(items.iter().map(strip_max_zero)),
         Node::Min(items) => Expr::min_all(items.iter().map(strip_max_zero)),
-        _ => e.clone(),
+        _ => *e,
     }
 }
 

@@ -143,7 +143,7 @@ pub fn multilevel_cost(
         per_level
             .iter()
             .zip(caches)
-            .map(|(c, spec)| Expr::num(f64_to_rational(spec.inverse_bandwidth / wmax)) * &c.io),
+            .map(|(c, spec)| Expr::num(f64_to_rational(spec.inverse_bandwidth / wmax)) * c.io),
     );
     MultiLevelCost {
         per_level,

@@ -165,7 +165,7 @@ impl TilingSchedule {
         (0..self.ndims())
             .map(|d| {
                 if self.level_of(d) >= level {
-                    self.tiles[d].clone()
+                    self.tiles[d]
                 } else {
                     kernel.size_expr(d)
                 }

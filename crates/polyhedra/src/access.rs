@@ -118,19 +118,19 @@ impl AccessFunction {
             // A single dimension (any stride) takes exactly `extent`
             // distinct values.
             let (d, _) = f.terms()[0];
-            return extents[d].clone();
+            return extents[d];
         }
         if f.is_unit() {
             // Σ E_i − (k − 1)
             let k = f.terms().len() as i64;
-            let sum = Expr::add_all(f.dims().map(|d| extents[d].clone()));
+            let sum = Expr::add_all(f.dims().map(|d| extents[d]));
             sum + Expr::int(1 - k)
         } else {
             // Range over-approximation: Σ |c_i|·(E_i − 1) + 1.
             *exact = false;
             let mut acc = Expr::one();
             for &(d, c) in f.terms() {
-                acc = acc + Expr::int(c.abs()) * (&extents[d] - Expr::one());
+                acc = acc + Expr::int(c.abs()) * (extents[d] - Expr::one());
             }
             acc
         }
@@ -169,7 +169,7 @@ impl AccessFunction {
             } else {
                 // Fix all but the widest participating dimension: its
                 // extent many distinct values are guaranteed.
-                Expr::max_all(f.dims().map(|d| extents[d].clone()))
+                Expr::max_all(f.dims().map(|d| extents[d]))
             }
         };
         let coord_exact = |f: &LinearForm| f.terms().len() == 1 || f.is_unit();

@@ -7,7 +7,8 @@
 //! `T = √(S+1) − 1`.
 
 use crate::expr::{Expr, Node};
-
+use crate::intern;
+use crate::rational::Rational;
 use crate::symbol::Symbol;
 
 impl Expr {
@@ -15,9 +16,21 @@ impl Expr {
     /// of sums.
     ///
     /// Fractional powers are left intact (their base is still expanded).
+    /// Results are memoized in the term arena by id, so a subtree expanded
+    /// while analyzing one kernel is free for every later consumer that
+    /// shares it.
     pub fn expand(&self) -> Expr {
         match self.node() {
-            Node::Num(_) | Node::Sym(_) => self.clone(),
+            Node::Num(_) | Node::Sym(_) => *self,
+            _ => intern::simp_cached(intern::OP_EXPAND, self.id(), Rational::ZERO, || {
+                self.expand_structural()
+            }),
+        }
+    }
+
+    fn expand_structural(&self) -> Expr {
+        match self.node() {
+            Node::Num(_) | Node::Sym(_) => *self,
             Node::Add(es) => Expr::add_all(es.iter().map(Expr::expand)),
             Node::Mul(es) => {
                 let expanded: Vec<Expr> = es.iter().map(Expr::expand).collect();
@@ -49,7 +62,7 @@ impl Expr {
         let expanded = self.expand();
         let terms: Vec<Expr> = match expanded.node() {
             Node::Add(ts) => ts.clone(),
-            _ => vec![expanded.clone()],
+            _ => vec![expanded],
         };
         let mut coeffs: Vec<Expr> = Vec::new();
         for term in terms {
@@ -58,7 +71,7 @@ impl Expr {
             if coeffs.len() <= deg {
                 coeffs.resize(deg + 1, Expr::zero());
             }
-            coeffs[deg] = &coeffs[deg] + rest;
+            coeffs[deg] = coeffs[deg] + rest;
         }
         if coeffs.is_empty() {
             coeffs.push(Expr::zero());
@@ -88,7 +101,7 @@ fn distribute(factors: &[Expr]) -> Expr {
     for f in factors {
         let addends: Vec<Expr> = match f.node() {
             Node::Add(ts) => ts.clone(),
-            _ => vec![f.clone()],
+            _ => vec![*f],
         };
         let mut next = Vec::with_capacity(terms.len() * addends.len());
         for t in &terms {
@@ -117,7 +130,7 @@ fn split_power_of(term: &Expr, var: Symbol) -> Option<(i128, Expr)> {
             } else if b.contains(var) {
                 None
             } else {
-                Some((0, term.clone()))
+                Some((0, *term))
             }
         }
         Node::Mul(fs) => {
@@ -136,14 +149,14 @@ fn split_power_of(term: &Expr, var: Symbol) -> Option<(i128, Expr)> {
             if term.contains(var) {
                 None
             } else {
-                Some((0, term.clone()))
+                Some((0, *term))
             }
         }
         _ => {
             if term.contains(var) {
                 None
             } else {
-                Some((0, term.clone()))
+                Some((0, *term))
             }
         }
     }
@@ -204,8 +217,8 @@ pub fn solve_for(expr: &Expr, var: Symbol) -> Option<Roots> {
             let disc = b * b - Expr::int(4) * a * c;
             let sq = disc.sqrt();
             let two_a = Expr::int(2) * a;
-            let plus = (-(b.clone()) + &sq) / &two_a;
-            let minus = (-(b.clone()) - &sq) / &two_a;
+            let plus = (-*b + sq) / two_a;
+            let minus = (-*b - sq) / two_a;
             Some(Roots::Quadratic(plus, minus))
         }
         _ => None,
@@ -269,15 +282,15 @@ mod tests {
     fn expand_binomial() {
         let x = s("x");
         let y = s("y");
-        let e = ((&x + &y) * (&x - &y)).expand();
+        let e = ((x + y) * (x - y)).expand();
         assert_eq!(e, x.powi(2) - y.powi(2));
     }
 
     #[test]
     fn expand_square_of_sum() {
         let x = s("x");
-        let e = Expr::pow(&x + Expr::int(1), Rational::from(2i128)).expand();
-        assert_eq!(e, x.powi(2) + Expr::int(2) * &x + Expr::int(1));
+        let e = Expr::pow(x + Expr::int(1), Rational::from(2i128)).expand();
+        assert_eq!(e, x.powi(2) + Expr::int(2) * x + Expr::int(1));
     }
 
     #[test]
@@ -285,7 +298,7 @@ mod tests {
         let t = Symbol::new("T");
         let x = Expr::symbol(t);
         let a = s("a");
-        let e = &a * x.powi(2) + Expr::int(2) * &x + Expr::int(5);
+        let e = a * x.powi(2) + Expr::int(2) * x + Expr::int(5);
         let coeffs = e.coeffs_in(t).unwrap();
         assert_eq!(coeffs.len(), 3);
         assert_eq!(coeffs[0], Expr::int(5));
@@ -337,7 +350,7 @@ mod tests {
     fn degree_detection() {
         let t = Symbol::new("T");
         let x = Expr::symbol(t);
-        assert_eq!((x.powi(2) + &x).degree_in(t), Some(2));
+        assert_eq!((x.powi(2) + x).degree_in(t), Some(2));
         assert_eq!(s("a").degree_in(t), Some(0));
         assert_eq!(x.sqrt().degree_in(t), None);
     }

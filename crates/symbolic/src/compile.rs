@@ -146,7 +146,9 @@ impl CompiledExpr {
                     stack.push(acc);
                 }
                 Instr::Pow(e) => {
-                    let v = stack.pop().expect("operand");
+                    let Some(v) = stack.pop() else {
+                        unreachable!("postorder code always leaves a Pow operand")
+                    };
                     stack.push(v.powf(*e));
                 }
                 Instr::MaxN(n) => {
@@ -167,7 +169,10 @@ impl CompiledExpr {
                 }
             }
         }
-        stack.pop().expect("compiled expression leaves one value")
+        let Some(result) = stack.pop() else {
+            unreachable!("compiled expression leaves one value")
+        };
+        result
     }
 
     /// The number of runtime variables.

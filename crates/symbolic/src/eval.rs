@@ -168,8 +168,8 @@ impl Expr {
     /// ```
     pub fn subst(&self, map: &HashMap<Symbol, Expr>) -> Expr {
         match self.node() {
-            Node::Num(_) => self.clone(),
-            Node::Sym(s) => map.get(s).cloned().unwrap_or_else(|| self.clone()),
+            Node::Num(_) => *self,
+            Node::Sym(s) => map.get(s).cloned().unwrap_or(*self),
             Node::Add(es) => Expr::add_all(es.iter().map(|e| e.subst(map))),
             Node::Mul(es) => Expr::mul_all(es.iter().map(|e| e.subst(map))),
             Node::Pow(b, e) => Expr::pow(b.subst(map), *e),
@@ -181,7 +181,7 @@ impl Expr {
     /// Convenience: substitute a single symbol.
     pub fn subst_one(&self, sym: Symbol, value: &Expr) -> Expr {
         let mut map = HashMap::new();
-        map.insert(sym, value.clone());
+        map.insert(sym, *value);
         self.subst(&map)
     }
 
@@ -266,7 +266,7 @@ impl Expr {
     /// one benchmark's sizes), never inside a soundness argument.
     pub fn prune_extrema(&self, samples: &[Bindings]) -> Expr {
         match self.node() {
-            Node::Num(_) | Node::Sym(_) => self.clone(),
+            Node::Num(_) | Node::Sym(_) => *self,
             Node::Add(es) => Expr::add_all(es.iter().map(|e| e.prune_extrema(samples))),
             Node::Mul(es) => Expr::mul_all(es.iter().map(|e| e.prune_extrema(samples))),
             Node::Pow(b, e) => Expr::pow(b.prune_extrema(samples), *e),
@@ -307,7 +307,7 @@ impl Expr {
                     .collect();
                 if kept.is_empty() {
                     // No sample evaluated: keep everything.
-                    return self.clone();
+                    return *self;
                 }
                 if is_max {
                     Expr::max_all(kept)

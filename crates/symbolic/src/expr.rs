@@ -1,10 +1,14 @@
 //! Canonical symbolic expressions.
 //!
-//! [`Expr`] is an immutable, reference-counted expression tree kept in a
-//! canonical form by its constructors: sums are flattened with like terms
-//! combined, products are flattened with like bases combined, and powers
-//! carry *rational constant* exponents (enough for the `√S` and `K^{3/2}`
-//! shapes that I/O bounds take).
+//! [`Expr`] is a copyable 4-byte handle into the process-wide hash-consed
+//! term arena (see [`crate::intern`]): every structurally distinct
+//! subexpression is stored exactly once, so `==`, `Hash`, and `HashMap`
+//! lookups are single-word operations and shared subtrees cost nothing to
+//! copy. Constructors keep expressions in canonical form *before*
+//! interning: sums are flattened with like terms combined, products are
+//! flattened with like bases combined, and powers carry *rational
+//! constant* exponents (enough for the `√S` and `K^{3/2}` shapes that
+//! I/O bounds take).
 //!
 //! # Positivity assumption
 //!
@@ -18,8 +22,8 @@ use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::ops;
-use std::sync::Arc;
 
+use crate::intern::{self, TermId};
 use crate::rational::Rational;
 use crate::symbol::Symbol;
 
@@ -30,11 +34,11 @@ use crate::symbol::Symbol;
 /// ```
 /// use ioopt_symbolic::Expr;
 /// let s = Expr::sym("S");
-/// let e = (s.clone() + Expr::int(1)).sqrt() - Expr::int(1);
+/// let e = (s + Expr::int(1)).sqrt() - Expr::int(1);
 /// assert_eq!(e.to_string(), "(S + 1)^(1/2) - 1");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
-pub struct Expr(Arc<Node>);
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Expr(TermId);
 
 /// The node payload of an [`Expr`].
 #[derive(PartialEq, Eq, Hash)]
@@ -57,12 +61,18 @@ pub enum Node {
 
 impl Expr {
     fn wrap(node: Node) -> Expr {
-        Expr(Arc::new(node))
+        Expr(intern::intern(node))
+    }
+
+    /// The arena id. Process-local — never persist it (see
+    /// [`crate::intern`]'s id stability rules).
+    pub(crate) fn id(self) -> TermId {
+        self.0
     }
 
     /// Access the underlying node.
-    pub fn node(&self) -> &Node {
-        &self.0
+    pub fn node(&self) -> &'static Node {
+        intern::resolve(self.0)
     }
 
     /// The constant zero.
@@ -133,13 +143,13 @@ impl Expr {
             match t.node() {
                 Node::Add(ts) => {
                     for sub in ts.iter().rev() {
-                        stack.push(sub.clone());
+                        stack.push(*sub);
                     }
                 }
                 Node::Num(v) => constant += *v,
                 _ => {
                     let (coeff, mono) = t.split_coeff();
-                    let entry = buckets.entry(mono.clone()).or_insert_with(|| {
+                    let entry = buckets.entry(mono).or_insert_with(|| {
                         order.push(mono);
                         Rational::ZERO
                     });
@@ -163,9 +173,9 @@ impl Expr {
         if !constant.is_zero() {
             out.push(Expr::num(constant));
         }
-        match out.len() {
-            0 => Expr::zero(),
-            1 => out.pop().expect("len checked"),
+        match out.as_slice() {
+            [] => Expr::zero(),
+            [single] => *single,
             _ => Expr::wrap(Node::Add(out)),
         }
     }
@@ -176,18 +186,16 @@ impl Expr {
             Node::Num(v) => (*v, Expr::one()),
             Node::Mul(fs) => {
                 if let Node::Num(v) = fs[0].node() {
-                    let rest: Vec<Expr> = fs[1..].to_vec();
-                    let mono = if rest.len() == 1 {
-                        rest.into_iter().next().expect("len checked")
-                    } else {
-                        Expr::wrap(Node::Mul(rest))
+                    let mono = match &fs[1..] {
+                        [single] => *single,
+                        rest => Expr::wrap(Node::Mul(rest.to_vec())),
                     };
                     (*v, mono)
                 } else {
-                    (Rational::ONE, self.clone())
+                    (Rational::ONE, *self)
                 }
             }
-            _ => (Rational::ONE, self.clone()),
+            _ => (Rational::ONE, *self),
         }
     }
 
@@ -203,7 +211,7 @@ impl Expr {
             match f.node() {
                 Node::Mul(fs) => {
                     for sub in fs.iter().rev() {
-                        stack.push(sub.clone());
+                        stack.push(*sub);
                     }
                 }
                 Node::Num(v) => {
@@ -213,15 +221,15 @@ impl Expr {
                     coeff *= *v;
                 }
                 Node::Pow(base, exp) => {
-                    let entry = buckets.entry(base.clone()).or_insert_with(|| {
-                        order.push(base.clone());
+                    let entry = buckets.entry(*base).or_insert_with(|| {
+                        order.push(*base);
                         Rational::ZERO
                     });
                     *entry += *exp;
                 }
                 _ => {
-                    let entry = buckets.entry(f.clone()).or_insert_with(|| {
-                        order.push(f.clone());
+                    let entry = buckets.entry(f).or_insert_with(|| {
+                        order.push(f);
                         Rational::ZERO
                     });
                     *entry += Rational::ONE;
@@ -259,17 +267,19 @@ impl Expr {
         if out.is_empty() {
             return Expr::num(coeff);
         }
-        if coeff.is_one() && out.len() == 1 {
-            return out.pop().expect("len checked");
+        if coeff.is_one() {
+            if let [single] = out.as_slice() {
+                return *single;
+            }
         }
         // Distribute a bare numeric coefficient into a lone sum, so that
         // (2·x + 2)/2 canonicalizes to x + 1.
-        if out.len() == 1 {
-            if let Node::Add(ts) = out[0].node() {
+        if let [single] = out.as_slice() {
+            if let Node::Add(ts) = single.node() {
                 let c = Expr::num(coeff);
                 return Expr::add_all(
                     ts.iter()
-                        .map(|t| Expr::mul_all([c.clone(), t.clone()]))
+                        .map(|t| Expr::mul_all([c, *t]))
                         .collect::<Vec<_>>(),
                 );
             }
@@ -277,8 +287,8 @@ impl Expr {
         if !coeff.is_one() {
             out.insert(0, Expr::num(coeff));
         }
-        if out.len() == 1 {
-            return out.pop().expect("len checked");
+        if let [single] = out.as_slice() {
+            return *single;
         }
         Expr::wrap(Node::Mul(out))
     }
@@ -286,7 +296,10 @@ impl Expr {
     /// Builds `base ^ exp` in canonical form.
     ///
     /// Under the crate's positivity assumption this distributes over
-    /// products and composes with inner powers.
+    /// products and composes with inner powers. Structural bases
+    /// (sums, products) route through the arena's simplification memo,
+    /// so repeated powers of a shared subtree are rewritten once per
+    /// process.
     pub fn pow(base: Expr, exp: Rational) -> Expr {
         if exp.is_zero() {
             return Expr::one();
@@ -294,6 +307,20 @@ impl Expr {
         if exp.is_one() {
             return base;
         }
+        match base.node() {
+            Node::Num(_) | Node::Pow(..) => Expr::pow_structural(base, exp),
+            Node::Mul(_) | Node::Add(_) => {
+                intern::simp_cached(intern::OP_POW, base.id(), exp, || {
+                    Expr::pow_structural(base, exp)
+                })
+            }
+            _ => Expr::wrap(Node::Pow(base, exp)),
+        }
+    }
+
+    /// The uncached rewrite behind [`Expr::pow`]. `exp` is neither 0
+    /// nor 1 (the trivial cases returned before the memo).
+    fn pow_structural(base: Expr, exp: Rational) -> Expr {
         match base.node() {
             Node::Num(v) => {
                 if let Some(i) = exp.to_integer() {
@@ -320,11 +347,8 @@ impl Expr {
                 }
                 Expr::wrap(Node::Pow(base, exp))
             }
-            Node::Pow(inner, e2) => Expr::pow(inner.clone(), *e2 * exp),
-            Node::Mul(fs) => {
-                let fs = fs.clone();
-                Expr::mul_all(fs.into_iter().map(|f| Expr::pow(f, exp)))
-            }
+            Node::Pow(inner, e2) => Expr::pow(*inner, *e2 * exp),
+            Node::Mul(fs) => Expr::mul_all(fs.iter().map(|f| Expr::pow(*f, exp))),
             Node::Add(ts) => {
                 // Factor out the numeric content when its root is exact, so
                 // that e.g. (4S + 4)^(1/2) canonicalizes to 2*(S + 1)^(1/2).
@@ -339,9 +363,7 @@ impl Expr {
                         // Divide term by term so the quotient is a flat sum
                         // (a top-level product would re-enter this branch).
                         let inv = Expr::num(content.recip());
-                        let inner = Expr::add_all(
-                            ts.iter().map(|t| Expr::mul_all([inv.clone(), t.clone()])),
-                        );
+                        let inner = Expr::add_all(ts.iter().map(|t| Expr::mul_all([inv, *t])));
                         return Expr::mul_all([folded, Expr::pow(inner, exp)]);
                     }
                 }
@@ -353,17 +375,17 @@ impl Expr {
 
     /// `self ^ exp` for an integer exponent.
     pub fn powi(&self, exp: i64) -> Expr {
-        Expr::pow(self.clone(), Rational::from(exp))
+        Expr::pow(*self, Rational::from(exp))
     }
 
     /// The positive square root `self^(1/2)`.
     pub fn sqrt(&self) -> Expr {
-        Expr::pow(self.clone(), Rational::new(1, 2))
+        Expr::pow(*self, Rational::new(1, 2))
     }
 
     /// The reciprocal `self^(-1)`.
     pub fn recip(&self) -> Expr {
-        Expr::pow(self.clone(), Rational::from(-1i128))
+        Expr::pow(*self, Rational::from(-1i128))
     }
 
     /// Pointwise maximum.
@@ -385,7 +407,7 @@ impl Expr {
             match (e.node(), is_max) {
                 (Node::Max(es), true) | (Node::Min(es), false) => {
                     for sub in es.iter().rev() {
-                        stack.push(sub.clone());
+                        stack.push(*sub);
                     }
                 }
                 (Node::Num(v), _) => {
@@ -411,9 +433,9 @@ impl Expr {
             flat.push(Expr::num(v));
         }
         flat.sort_by(cmp_expr);
-        match flat.len() {
-            0 => panic!("extremum of an empty set"),
-            1 => flat.pop().expect("len checked"),
+        match flat.as_slice() {
+            [] => panic!("extremum of an empty set"),
+            [single] => *single,
             _ => Expr::wrap(if is_max {
                 Node::Max(flat)
             } else {
@@ -469,7 +491,16 @@ fn rational_gcd(a: Rational, b: Rational) -> Rational {
 }
 
 /// A deterministic total order on expressions used for canonical sorting.
+///
+/// The order is purely *structural* — symbols compare by name, never by
+/// arena id — so canonical forms (and everything rendered from them) are
+/// byte-identical across processes regardless of id-assignment order.
+/// Hash-consing makes the equal case free: identical ids short-circuit
+/// before any traversal.
 pub fn cmp_expr(a: &Expr, b: &Expr) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
     fn rank(n: &Node) -> u8 {
         match n {
             Node::Num(_) => 0,
@@ -531,21 +562,21 @@ macro_rules! binop {
         impl ops::$trait_<&Expr> for Expr {
             type Output = Expr;
             fn $method(self, rhs: &Expr) -> Expr {
-                let ($a, $b) = (self, rhs.clone());
+                let ($a, $b) = (self, *rhs);
                 $body
             }
         }
         impl ops::$trait_<Expr> for &Expr {
             type Output = Expr;
             fn $method(self, rhs: Expr) -> Expr {
-                let ($a, $b) = (self.clone(), rhs);
+                let ($a, $b) = (*self, rhs);
                 $body
             }
         }
         impl ops::$trait_<&Expr> for &Expr {
             type Output = Expr;
             fn $method(self, rhs: &Expr) -> Expr {
-                let ($a, $b) = (self.clone(), rhs.clone());
+                let ($a, $b) = (*self, *rhs);
                 $body
             }
         }
@@ -570,7 +601,7 @@ impl ops::Neg for Expr {
 impl ops::Neg for &Expr {
     type Output = Expr;
     fn neg(self) -> Expr {
-        Expr::mul_all([Expr::int(-1), self.clone()])
+        Expr::mul_all([Expr::int(-1), *self])
     }
 }
 
@@ -585,7 +616,7 @@ mod tests {
     #[test]
     fn expr_is_send_and_sync() {
         // The analysis engine shares expressions across worker threads;
-        // the node pointer must stay `Arc`, not `Rc`.
+        // arena handles must resolve through the thread-safe interner.
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Expr>();
     }
@@ -593,22 +624,22 @@ mod tests {
     #[test]
     fn like_terms_combine() {
         let x = s("x");
-        let e = &x + &x + Expr::int(3) + &x - Expr::int(1);
-        assert_eq!(e, Expr::int(3) * &x + Expr::int(2));
+        let e = x + x + Expr::int(3) + x - Expr::int(1);
+        assert_eq!(e, Expr::int(3) * x + Expr::int(2));
     }
 
     #[test]
     fn cancellation_to_zero() {
         let x = s("x");
         let y = s("y");
-        let e = &x * &y - &y * &x;
+        let e = x * y - y * x;
         assert!(e.is_zero());
     }
 
     #[test]
     fn products_combine_bases() {
         let x = s("x");
-        let e = &x * &x * x.powi(3);
+        let e = x * x * x.powi(3);
         assert_eq!(e, x.powi(5));
     }
 
@@ -623,7 +654,7 @@ mod tests {
     fn pow_distributes_over_mul() {
         let x = s("x");
         let y = s("y");
-        let e = Expr::pow(&x * &y, Rational::from(2i128));
+        let e = Expr::pow(x * y, Rational::from(2i128));
         assert_eq!(e, x.powi(2) * y.powi(2));
     }
 
@@ -640,7 +671,7 @@ mod tests {
     fn division_cancels() {
         let x = s("x");
         let y = s("y");
-        let e = (&x * &y) / &x;
+        let e = (x * y) / x;
         assert_eq!(e, y);
     }
 
@@ -650,7 +681,7 @@ mod tests {
         let e = x.sqrt() * x.sqrt();
         assert_eq!(e, x);
         let two = Expr::int(2);
-        let e = Expr::pow(two.clone(), Rational::new(3, 2)) * Expr::pow(two, Rational::new(-3, 2));
+        let e = Expr::pow(two, Rational::new(3, 2)) * Expr::pow(two, Rational::new(-3, 2));
         assert!(e.is_one());
     }
 
@@ -663,7 +694,7 @@ mod tests {
     #[test]
     fn max_folds_constants_and_dedupes() {
         let x = s("x");
-        let e = Expr::max_all([Expr::int(1), x.clone(), Expr::int(5), x.clone()]);
+        let e = Expr::max_all([Expr::int(1), x, Expr::int(5), x]);
         assert_eq!(e, Expr::max_all([x, Expr::int(5)]));
         assert_eq!(Expr::max_all([Expr::int(2), Expr::int(7)]), Expr::int(7));
     }
@@ -672,14 +703,14 @@ mod tests {
     fn canonical_ordering_is_stable() {
         let a = s("a");
         let b = s("b");
-        assert_eq!(&a + &b, &b + &a);
-        assert_eq!(&a * &b, &b * &a);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
     }
 
     #[test]
     fn coefficient_extraction() {
         let x = s("x");
-        let (c, m) = (Expr::int(3) * &x).split_coeff();
+        let (c, m) = (Expr::int(3) * x).split_coeff();
         assert_eq!(c, Rational::from(3i128));
         assert_eq!(m, x);
     }

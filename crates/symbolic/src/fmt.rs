@@ -51,9 +51,9 @@ fn term_sign(e: &Expr) -> (bool, Expr) {
                     return (true, Expr::mul_all(rest));
                 }
             }
-            (false, e.clone())
+            (false, *e)
         }
-        _ => (false, e.clone()),
+        _ => (false, *e),
     }
 }
 
@@ -84,7 +84,7 @@ fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
             for fac in factors {
                 match fac.node() {
                     Node::Pow(b, e) if e.is_negative() => {
-                        den.push(Expr::pow(b.clone(), -*e));
+                        den.push(Expr::pow(*b, -*e));
                     }
                     Node::Num(v) if !v.is_integer() && v.numer().abs() == 1 => {
                         // 1/3 -> denominator 3 (or -1/3 -> -1 stays up front)
@@ -93,7 +93,7 @@ fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
                         }
                         den.push(Expr::num(Rational::from(v.denom())));
                     }
-                    _ => num.push(fac.clone()),
+                    _ => num.push(*fac),
                 }
             }
             if num.is_empty() {
@@ -131,7 +131,7 @@ fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
             if e.is_negative() {
                 // A lone reciprocal reads better as a fraction.
                 write!(f, "1/")?;
-                let inverse = Expr::pow(b.clone(), -*e);
+                let inverse = Expr::pow(*b, -*e);
                 return write_wrapped(f, &inverse, PREC_MUL + 1);
             }
             write_wrapped(f, b, PREC_ATOM)?;

@@ -1,0 +1,314 @@
+//! The hash-consed term arena.
+//!
+//! Every [`Expr`] in the process is a [`TermId`]: a `u32` handle into a
+//! global, thread-safe interner that stores each structurally distinct
+//! [`Node`] exactly once. Because constructors canonicalize *before*
+//! interning and children are interned before their parents, structural
+//! equality coincides with id equality — `==`, `Hash`, and `HashMap`
+//! lookups on expressions are single-word operations, and shared
+//! subtrees are stored (and simplified) once per process rather than
+//! once per owner.
+//!
+//! # Id stability rules
+//!
+//! Ids are assigned in first-intern order, so they depend on which
+//! expressions a process happened to build first: ids are **not stable
+//! across processes, runs, or thread interleavings** and must never be
+//! persisted or rendered. Everything that crosses the process boundary
+//! (golden JSON, certificates, memo keys, `Display`) goes through the
+//! structural form — [`crate::cmp_expr`] compares by structure (symbol
+//! *names*, not ids), so canonical orderings, and hence rendered bytes,
+//! are identical no matter how ids were assigned. The regression suite
+//! pins this by interleaving junk interns before building artifacts.
+//!
+//! # Layout and concurrency
+//!
+//! * `node -> id`: 16 mutex-guarded shards (same geometry as the
+//!   engine's `MemoCache`), routed by a hash of the node.
+//! * `id -> node`: a chunked, append-only table of `AtomicPtr` slots.
+//!   Nodes are leaked (`&'static Node`) on first intern; the slot is
+//!   published with `Release` before the id escapes the shard lock, so
+//!   readers that hold a `TermId` can resolve it lock-free with an
+//!   `Acquire` load. The arena lives for the process lifetime — there
+//!   is no garbage collection, matching the workload (a bounded kernel
+//!   vocabulary reused across requests).
+//!
+//! The interner also hosts the sub-expression simplification memo
+//! (`expand`, structural `pow`): results are keyed by `TermId`, so a
+//! subtree simplified while analyzing one kernel is reused by every
+//! later kernel or request that shares it.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::expr::{Expr, Node};
+use crate::rational::Rational;
+
+/// A copyable handle to an interned term. Equal ids ⟺ structurally
+/// equal expressions (within one process).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw arena index. For diagnostics only: ids are process-local
+    /// and must never be persisted (see the module docs).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+const SHARDS: usize = 16;
+const CHUNK_BITS: u32 = 13;
+const CHUNK_LEN: usize = 1 << CHUNK_BITS;
+const MAX_CHUNKS: usize = 1 << 13;
+
+/// One lazily allocated slab of the id → node table.
+struct Chunk {
+    slots: [AtomicPtr<Node>; CHUNK_LEN],
+}
+
+impl Chunk {
+    fn new() -> Box<Chunk> {
+        Box::new(Chunk {
+            slots: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+        })
+    }
+}
+
+/// Key of one memoized simplification: `(operator tag, input term,
+/// rational operand)` — see [`OP_EXPAND`] / [`OP_POW`].
+type SimpKey = (u8, TermId, Rational);
+
+struct Interner {
+    shards: [Mutex<HashMap<&'static Node, u32>>; SHARDS],
+    chunks: Vec<AtomicPtr<Chunk>>,
+    len: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    simp_hits: AtomicU64,
+    simp_misses: AtomicU64,
+    simp: [Mutex<HashMap<SimpKey, Expr>>; SHARDS],
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        chunks: (0..MAX_CHUNKS)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect(),
+        len: AtomicU64::new(0),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+        simp_hits: AtomicU64::new(0),
+        simp_misses: AtomicU64::new(0),
+        simp: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+    })
+}
+
+/// Routes a hash to a shard the way the engine's `MemoCache` does:
+/// fold the high half in so shard choice uses all 64 bits.
+fn shard_index(hash: u64) -> usize {
+    (((hash >> 32) ^ hash) as usize) % SHARDS
+}
+
+fn hash_of(value: &impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl Interner {
+    fn chunk(&self, chunk_index: usize) -> &Chunk {
+        let slot = &self.chunks[chunk_index];
+        let existing = slot.load(Ordering::Acquire);
+        if !existing.is_null() {
+            // SAFETY: chunks are leaked on installation and never freed.
+            return unsafe { &*existing };
+        }
+        let fresh = Box::into_raw(Chunk::new());
+        match slot.compare_exchange(ptr::null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire) {
+            // SAFETY: we just leaked `fresh`; it is now owned by the table.
+            Ok(_) => unsafe { &*fresh },
+            Err(winner) => {
+                // SAFETY: `fresh` lost the race and was never shared.
+                unsafe { drop(Box::from_raw(fresh)) };
+                // SAFETY: the winning pointer is a leaked chunk.
+                unsafe { &*winner }
+            }
+        }
+    }
+
+    fn publish(&self, id: u32, node: &'static Node) {
+        let chunk = self.chunk((id >> CHUNK_BITS) as usize);
+        chunk.slots[(id as usize) & (CHUNK_LEN - 1)]
+            .store(node as *const Node as *mut Node, Ordering::Release);
+    }
+
+    fn resolve(&self, id: u32) -> &'static Node {
+        let chunk = self.chunk((id >> CHUNK_BITS) as usize);
+        let node = chunk.slots[(id as usize) & (CHUNK_LEN - 1)].load(Ordering::Acquire);
+        debug_assert!(!node.is_null(), "TermId {id} resolved before publication");
+        // SAFETY: every TermId handed out by `intern` has had its slot
+        // published (Release) before the id escaped the shard lock, and
+        // nodes are leaked for the process lifetime.
+        unsafe { &*node }
+    }
+}
+
+/// Interns a canonical node, returning its process-wide id. The node
+/// must already be in canonical form (children interned, ordering
+/// applied) — this is guaranteed by the `Expr` constructors, the only
+/// callers.
+pub(crate) fn intern(node: Node) -> TermId {
+    let arena = interner();
+    let shard = &arena.shards[shard_index(hash_of(&node))];
+    let mut map = shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    if let Some(&id) = map.get(&node) {
+        arena.hits.fetch_add(1, Ordering::Relaxed);
+        return TermId(id);
+    }
+    arena.misses.fetch_add(1, Ordering::Relaxed);
+    let id = arena.len.fetch_add(1, Ordering::Relaxed);
+    assert!(
+        id < (MAX_CHUNKS * CHUNK_LEN) as u64,
+        "term arena exhausted ({id} terms): the process interned more distinct \
+         subexpressions than the {MAX_CHUNKS}x{CHUNK_LEN} table holds"
+    );
+    let id = id as u32;
+    let leaked: &'static Node = Box::leak(Box::new(node));
+    arena.publish(id, leaked);
+    map.insert(leaked, id);
+    TermId(id)
+}
+
+/// The node an id denotes. Lock-free.
+pub(crate) fn resolve(id: TermId) -> &'static Node {
+    interner().resolve(id.0)
+}
+
+/// Simplification-memo operation tags.
+pub(crate) const OP_EXPAND: u8 = 0;
+pub(crate) const OP_POW: u8 = 1;
+
+/// Looks up `(op, id, arg)` in the shared simplification memo, computing
+/// and caching on miss. `compute` runs outside the shard lock; on a
+/// race the first stored result wins (all computations agree — they are
+/// pure functions of canonical structure).
+pub(crate) fn simp_cached(
+    op: u8,
+    id: TermId,
+    arg: Rational,
+    compute: impl FnOnce() -> Expr,
+) -> Expr {
+    let arena = interner();
+    let key = (op, id, arg);
+    let shard = &arena.simp[shard_index(hash_of(&key))];
+    {
+        let map = shard
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(&cached) = map.get(&key) {
+            arena.simp_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+    }
+    arena.simp_misses.fetch_add(1, Ordering::Relaxed);
+    let value = compute();
+    let mut map = shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    *map.entry(key).or_insert(value)
+}
+
+/// A snapshot of the arena's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternStats {
+    /// Distinct terms interned since process start (arena size).
+    pub terms: u64,
+    /// Intern calls answered by an existing term.
+    pub hits: u64,
+    /// Intern calls that created a new term.
+    pub misses: u64,
+    /// Simplification-memo hits.
+    pub simp_hits: u64,
+    /// Simplification-memo misses.
+    pub simp_misses: u64,
+}
+
+/// Reads the arena counters. The arena itself is never reset — terms
+/// live for the process lifetime — so callers wanting windowed deltas
+/// subtract two snapshots.
+pub fn intern_stats() -> InternStats {
+    let arena = interner();
+    InternStats {
+        terms: arena.len.load(Ordering::Relaxed),
+        hits: arena.hits.load(Ordering::Relaxed),
+        misses: arena.misses.load(Ordering::Relaxed),
+        simp_hits: arena.simp_hits.load(Ordering::Relaxed),
+        simp_misses: arena.simp_misses.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let before = intern_stats();
+        let a = Expr::sym("zz_intern_a") + Expr::sym("zz_intern_b");
+        let b = Expr::sym("zz_intern_b") + Expr::sym("zz_intern_a");
+        assert_eq!(a, b);
+        let after = intern_stats();
+        // Rebuilding the same canonical sum must not grow the arena.
+        let again = Expr::sym("zz_intern_a") + Expr::sym("zz_intern_b");
+        assert_eq!(again, a);
+        assert_eq!(intern_stats().terms, after.terms);
+        assert!(after.terms > before.terms, "fresh terms were interned");
+    }
+
+    #[test]
+    fn term_ids_are_copy_and_small() {
+        assert_eq!(std::mem::size_of::<TermId>(), 4);
+        assert_eq!(std::mem::size_of::<Expr>(), 4);
+        let e = Expr::sym("zz_small");
+        let copied = e;
+        assert_eq!(copied, e);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let e = Expr::sym("zz_resolve") * Expr::int(3);
+        let node = resolve(e.id());
+        let rebuilt = match node {
+            Node::Mul(fs) => Expr::mul_all(fs.clone()),
+            _ => panic!("expected a product"),
+        };
+        assert_eq!(rebuilt, e);
+    }
+
+    #[test]
+    fn simp_memo_caches() {
+        let x = Expr::sym("zz_simp_x");
+        let e = (x + Expr::int(1)).powi(2);
+        let before = intern_stats();
+        let first = e.expand();
+        let mid = intern_stats();
+        let second = e.expand();
+        let after = intern_stats();
+        assert_eq!(first, second);
+        assert!(
+            mid.simp_misses > before.simp_misses,
+            "first expand computes"
+        );
+        assert_eq!(after.simp_misses, mid.simp_misses, "second expand is a hit");
+        assert!(after.simp_hits > mid.simp_hits);
+    }
+}

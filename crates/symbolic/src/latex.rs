@@ -53,7 +53,7 @@ fn latex(e: &Expr, tight: bool) -> String {
                 match f.node() {
                     Node::Pow(b, exp) if exp.is_negative() => {
                         // \frac braces already delimit the denominator.
-                        den.push(latex(&Expr::pow(b.clone(), -*exp), false));
+                        den.push(latex(&Expr::pow(*b, -*exp), false));
                     }
                     Node::Num(v) if !v.is_integer() && v.numer().abs() == 1 => {
                         if v.is_negative() {
@@ -105,9 +105,9 @@ fn split_sign(e: &Expr) -> (bool, Expr) {
                     return (true, Expr::mul_all(rest));
                 }
             }
-            (false, e.clone())
+            (false, *e)
         }
-        _ => (false, e.clone()),
+        _ => (false, *e),
     }
 }
 

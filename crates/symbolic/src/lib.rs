@@ -43,6 +43,7 @@ mod compile;
 mod eval;
 mod expr;
 mod fmt;
+pub mod intern;
 mod latex;
 mod poly;
 mod rational;
@@ -53,6 +54,7 @@ pub use algebra::{solve_for, solve_numeric, Roots};
 pub use compile::CompiledExpr;
 pub use eval::{Bindings, EvalError};
 pub use expr::{cmp_expr, Expr, Node};
+pub use intern::{intern_stats, InternStats, TermId};
 pub use poly::{Monomial, Poly};
 pub use rational::{gcd, ParseRationalError, Rational};
 pub use rng::SplitMix64;

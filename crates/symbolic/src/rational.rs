@@ -301,7 +301,10 @@ impl From<u32> for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
-        self.checked_add(rhs).expect("rational addition overflow")
+        match self.checked_add(rhs) {
+            Some(v) => v,
+            None => panic!("rational addition overflow: {self} + {rhs}"),
+        }
     }
 }
 
@@ -315,8 +318,10 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
-        self.checked_mul(rhs)
-            .expect("rational multiplication overflow")
+        match self.checked_mul(rhs) {
+            Some(v) => v,
+            None => panic!("rational multiplication overflow: {self} * {rhs}"),
+        }
     }
 }
 
@@ -371,14 +376,12 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
         // Compare a/b with c/d via a*d <=> c*b (denominators positive).
-        let lhs = self
-            .num
-            .checked_mul(other.den)
-            .expect("rational comparison overflow");
-        let rhs = other
-            .num
-            .checked_mul(self.den)
-            .expect("rational comparison overflow");
+        let (Some(lhs), Some(rhs)) = (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) else {
+            panic!("rational comparison overflow: {self} vs {other}")
+        };
         lhs.cmp(&rhs)
     }
 }

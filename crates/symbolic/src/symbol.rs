@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned symbol (variable name) used in symbolic expressions.
 ///
@@ -28,10 +28,15 @@ struct Registry {
     index: HashMap<&'static str, u32>,
 }
 
-fn registry() -> &'static Mutex<Registry> {
-    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+// A RwLock rather than a Mutex: `name()` is on the hot path of the
+// structural expression ordering, and readers vastly outnumber the
+// append-only writes. The registry cannot be left inconsistent by a
+// panic (both maps are updated under one write guard), so a poisoned
+// lock is safe to enter.
+fn registry() -> &'static RwLock<Registry> {
+    static REG: OnceLock<RwLock<Registry>> = OnceLock::new();
     REG.get_or_init(|| {
-        Mutex::new(Registry {
+        RwLock::new(Registry {
             names: Vec::new(),
             index: HashMap::new(),
         })
@@ -41,7 +46,17 @@ fn registry() -> &'static Mutex<Registry> {
 impl Symbol {
     /// Interns `name` and returns its symbol. Idempotent.
     pub fn new(name: &str) -> Symbol {
-        let mut reg = registry().lock().expect("symbol registry poisoned");
+        {
+            let reg = registry()
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(&id) = reg.index.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut reg = registry()
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if let Some(&id) = reg.index.get(name) {
             return Symbol(id);
         }
@@ -54,7 +69,9 @@ impl Symbol {
 
     /// The symbol's name.
     pub fn name(self) -> &'static str {
-        let reg = registry().lock().expect("symbol registry poisoned");
+        let reg = registry()
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         reg.names[self.0 as usize]
     }
 }

@@ -109,25 +109,13 @@ pub fn symbolic_conv_ub(
     // Tile templates: map dim name -> expression in Δ (missing = pinned 1).
     let templates: Vec<Vec<(&str, Expr)>> = vec![
         // Square spatial tiles, everything else streamed.
-        vec![("x", d_expr.clone()), ("y", d_expr.clone())],
+        vec![("x", d_expr), ("y", d_expr)],
         // Spatial strip x full-height y, tiled filters.
-        vec![
-            ("x", d_expr.clone()),
-            ("y", full("y")),
-            ("f", d_expr.clone()),
-        ],
+        vec![("x", d_expr), ("y", full("y")), ("f", d_expr)],
         // Spatial strip with tiled channels.
-        vec![
-            ("x", d_expr.clone()),
-            ("y", full("y")),
-            ("c", d_expr.clone()),
-        ],
+        vec![("x", d_expr), ("y", full("y")), ("c", d_expr)],
         // Square spatial tiles with filter-count tiling.
-        vec![
-            ("x", d_expr.clone()),
-            ("y", d_expr.clone()),
-            ("f", d_expr.clone()),
-        ],
+        vec![("x", d_expr), ("y", d_expr), ("f", d_expr)],
     ];
     let mut env = kernel.bind_sizes(sizes);
     env.insert(Symbol::new("S"), s_ref);
@@ -182,7 +170,7 @@ pub fn symbolic_conv_ub(
                     _ => template
                         .iter()
                         .find(|(n, _)| *n == dname)
-                        .map(|(_, e)| e.clone())
+                        .map(|(_, e)| *e)
                         .unwrap_or_else(Expr::one),
                 };
                 sched = sched.pin(kernel, dname, value);

@@ -204,8 +204,8 @@ mod tests {
         let tb = Expr::sym("Tgb");
         let n = Expr::int(100_000);
         let problem = NlpProblem {
-            objective: &n * ta.recip() + &n * tb.recip(),
-            constraints: vec![(&ta + &tb + &ta * &tb, 120.0)],
+            objective: n * ta.recip() + n * tb.recip(),
+            constraints: vec![(ta + tb + ta * tb, 120.0)],
             vars: vec![var("Tga", 1.0, 60.0), var("Tgb", 1.0, 60.0)],
             env: Bindings::new(),
         };
@@ -226,7 +226,7 @@ mod tests {
         let t = Expr::sym("Tgi");
         let problem = NlpProblem {
             objective: t.recip(),
-            constraints: vec![(t.clone(), 0.5)],
+            constraints: vec![(t, 0.5)],
             vars: vec![var("Tgi", 1.0, 10.0)],
             env: Bindings::new(),
         };
@@ -252,8 +252,8 @@ mod tests {
         let tb = Expr::sym("Tpb");
         let n = Expr::int(100_000);
         let problem = NlpProblem {
-            objective: &n * ta.recip() + &n * tb.recip(),
-            constraints: vec![(&ta + &tb + &ta * &tb, 120.0)],
+            objective: n * ta.recip() + n * tb.recip(),
+            constraints: vec![(ta + tb + ta * tb, 120.0)],
             vars: vec![var("Tpa", 1.0, 60.0), var("Tpb", 1.0, 60.0)],
             env: Bindings::new(),
         };
@@ -272,8 +272,8 @@ mod tests {
         let tb = Expr::sym("Tbb");
         let n = Expr::int(100_000);
         let problem = NlpProblem {
-            objective: &n * ta.recip() + &n * tb.recip(),
-            constraints: vec![(&ta + &tb + &ta * &tb, 120.0)],
+            objective: n * ta.recip() + n * tb.recip(),
+            constraints: vec![(ta + tb + ta * tb, 120.0)],
             vars: vec![var("Tba", 1.0, 60.0), var("Tbb", 1.0, 60.0)],
             env: Bindings::new(),
         };
@@ -303,8 +303,8 @@ mod tests {
     fn counts_feasible_points() {
         let t = Expr::sym("Tgc");
         let problem = NlpProblem {
-            objective: t.clone(),
-            constraints: vec![(t.clone(), 5.0)],
+            objective: t,
+            constraints: vec![(t, 5.0)],
             vars: vec![var("Tgc", 1.0, 10.0)],
             env: Bindings::new(),
         };

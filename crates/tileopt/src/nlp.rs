@@ -411,7 +411,7 @@ fn grid_window(
     budget: &Budget,
 ) -> Option<(Vec<i64>, f64)> {
     let sub = NlpProblem {
-        objective: problem.objective.clone(),
+        objective: problem.objective,
         constraints: problem.constraints.clone(),
         vars: problem
             .vars
@@ -520,8 +520,8 @@ mod tests {
         let ti = Expr::sym("Ti");
         let tj = Expr::sym("Tj");
         let n = Expr::int(2000) * Expr::int(1500) * Expr::int(1500);
-        let objective = &n * ti.recip() + &n * tj.recip() + Expr::int(2000) * Expr::int(1500);
-        let footprint = &ti + &tj + &ti * &tj;
+        let objective = n * ti.recip() + n * tj.recip() + Expr::int(2000) * Expr::int(1500);
+        let footprint = ti + tj + ti * tj;
         let problem = NlpProblem {
             objective,
             constraints: vec![(footprint, 1024.0)],
@@ -544,7 +544,7 @@ mod tests {
         let t = Expr::sym("Tub");
         let problem = NlpProblem {
             objective: Expr::int(100) * t.recip(),
-            constraints: vec![(t.clone(), 1e9)],
+            constraints: vec![(t, 1e9)],
             vars: vec![var("Tub", 1.0, 7.0)],
             env: Bindings::new(),
         };
@@ -557,7 +557,7 @@ mod tests {
         let t = Expr::sym("Tinf");
         let problem = NlpProblem {
             objective: t.recip(),
-            constraints: vec![(t.clone(), 0.5)],
+            constraints: vec![(t, 0.5)],
             vars: vec![var("Tinf", 1.0, 10.0)],
             env: Bindings::new(),
         };
@@ -584,7 +584,7 @@ mod tests {
         let tb = Expr::sym("Tasym_b");
         let problem = NlpProblem {
             objective: Expr::int(900) * ta.recip() + Expr::int(100) * tb.recip(),
-            constraints: vec![(&ta + &tb, 100.0)],
+            constraints: vec![(ta + tb, 100.0)],
             vars: vec![var("Tasym_a", 1.0, 1000.0), var("Tasym_b", 1.0, 1000.0)],
             env: Bindings::new(),
         };
@@ -601,8 +601,8 @@ mod tests {
         let ta = Expr::sym("Tmc_a");
         let tb = Expr::sym("Tmc_b");
         let problem = NlpProblem {
-            objective: Expr::int(1000) / (&ta * &tb),
-            constraints: vec![(&ta * &tb, 64.0), (ta.clone(), 4.0)],
+            objective: Expr::int(1000) / (ta * tb),
+            constraints: vec![(ta * tb, 64.0), (ta, 4.0)],
             vars: vec![var("Tmc_a", 1.0, 100.0), var("Tmc_b", 1.0, 100.0)],
             env: Bindings::new(),
         };
@@ -620,11 +620,11 @@ mod tests {
         let ti = Expr::sym("Tg_i");
         let tj = Expr::sym("Tg_j");
         let n = Expr::int(2000) * Expr::int(1500) * Expr::int(1500);
-        let objective = &n * ti.recip() + &n * tj.recip();
-        let footprint = &ti + &tj + &ti * &tj;
+        let objective = n * ti.recip() + n * tj.recip();
+        let footprint = ti + tj + ti * tj;
         let problem = NlpProblem {
             objective,
-            constraints: vec![(footprint.clone(), 1024.0)],
+            constraints: vec![(footprint, 1024.0)],
             vars: vec![var("Tg_i", 1.0, 2000.0), var("Tg_j", 1.0, 1500.0)],
             env: Bindings::new(),
         };

@@ -283,8 +283,8 @@ fn optimize_levels(
             })
             .collect();
         let problem = NlpProblem {
-            objective: cost.io.clone(),
-            constraints: vec![(cost.footprint.clone(), config.cache_elems)],
+            objective: cost.io,
+            constraints: vec![(cost.footprint, config.cache_elems)],
             vars,
             env: env.clone(),
         };
@@ -434,12 +434,12 @@ fn optimize_multilevel_perm(
                 ((spec.inverse_bandwidth / wmax) * 1_000_000_000.0).round() as i128,
                 1_000_000_000,
             );
-            Expr::num(w) * &c.io
+            Expr::num(w) * c.io
         }));
         let mut constraints: Vec<(Expr, f64)> = costs
             .iter()
             .zip(caches)
-            .map(|(c, spec)| (c.footprint.clone(), spec.capacity))
+            .map(|(c, spec)| (c.footprint, spec.capacity))
             .collect();
         // Band-l tiles must not exceed the dimension extents.
         for d in 0..n {

@@ -74,7 +74,7 @@ pub fn rewrite_in_delta(
     let expanded = expr.expand();
     let terms: Vec<Expr> = match expanded.node() {
         Node::Add(ts) => ts.clone(),
-        _ => vec![expanded.clone()],
+        _ => vec![expanded],
     };
     let mut out = Vec::with_capacity(terms.len());
     for term in terms {
@@ -91,7 +91,7 @@ fn rewrite_term(
     // Split the monomial into factors, pulling out group-variable powers.
     let factors: Vec<Expr> = match term.node() {
         Node::Mul(fs) => fs.clone(),
-        _ => vec![term.clone()],
+        _ => vec![*term],
     };
     let mut residual: Vec<Expr> = Vec::new();
     let exp_of = |sym: Symbol,
@@ -112,9 +112,9 @@ fn rewrite_term(
             Node::Sym(s) if all_group_syms.contains(s) => exp_of(*s, Rational::ONE, &mut exps)?,
             Node::Pow(b, e) => match b.as_sym() {
                 Some(s) if all_group_syms.contains(&s) => exp_of(s, *e, &mut exps)?,
-                _ => residual.push(f.clone()),
+                _ => residual.push(f),
             },
-            _ => residual.push(f.clone()),
+            _ => residual.push(f),
         }
     }
     let mut delta_exp = Rational::ZERO;
@@ -181,10 +181,10 @@ pub fn eliminate_tiles(
     let delta = Symbol::new("Delta_tile");
     let io_d = rewrite_in_delta(io, groups, delta)?;
     let fp_d = rewrite_in_delta(footprint, groups, delta)?;
-    let equation = &fp_d - Expr::symbol(cache);
+    let equation = fp_d - Expr::symbol(cache);
     let degree = equation.degree_in(delta).unwrap_or(usize::MAX);
     let roots = solve_for(&equation, delta).ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
-    let delta_expr = roots.positive_branch().clone();
+    let delta_expr = *roots.positive_branch();
     let bound = io_d.subst_one(delta, &delta_expr);
     Ok(SymbolicUb {
         delta: delta_expr,
@@ -234,10 +234,10 @@ pub fn eliminate_tiles_relaxed(
         return Err(SymbolicUbError::UnsolvableDegree(0));
     }
     let m = Expr::int(nonconst.len() as i64);
-    let budget = Expr::symbol(cache) - coeffs[0].clone();
+    let budget = Expr::symbol(cache) - coeffs[0];
     let candidates = nonconst.iter().map(|&(k, a_k)| {
         Expr::pow(
-            &budget / (&m * a_k),
+            budget / (m * a_k),
             ioopt_symbolic::Rational::new(1, k as i128),
         )
     });
@@ -272,10 +272,10 @@ pub fn eliminate_with_subst(
 ) -> Result<SymbolicUb, SymbolicUbError> {
     let io_d = io.subst(subst);
     let fp_d = footprint.subst(subst);
-    let equation = &fp_d - Expr::symbol(cache);
+    let equation = fp_d - Expr::symbol(cache);
     let degree = equation.degree_in(delta).unwrap_or(usize::MAX);
     let roots = solve_for(&equation, delta).ok_or(SymbolicUbError::UnsolvableDegree(degree))?;
-    let delta_expr = roots.positive_branch().clone();
+    let delta_expr = *roots.positive_branch();
     let bound = io_d.subst_one(delta, &delta_expr);
     Ok(SymbolicUb {
         delta: delta_expr,
@@ -298,8 +298,8 @@ mod tests {
         // footprint 2Δ² = S -> Δ = sqrt(S/2), IO = N/(2Δ²) = N/S.
         let n = Expr::sym("N");
         let (ta, tb) = (Expr::sym("Tsa"), Expr::sym("Tsb"));
-        let io = &n / (&ta * &tb);
-        let fp = &ta * &tb;
+        let io = n / (ta * tb);
+        let fp = ta * tb;
         let delta = sym("Dsub");
         let subst = std::collections::HashMap::from([
             (sym("Tsa"), Expr::symbol(delta)),
@@ -325,11 +325,11 @@ mod tests {
         // Group {Ta, Tc}: N/(Ta·Tc) -> N·Δ⁻¹; footprint Ta·Tc·Tb with
         // groups {Ta,Tc} and {Tb} -> Δ².
         let n = Expr::sym("N");
-        let io = &n / (Expr::sym("Ta") * Expr::sym("Tc"));
+        let io = n / (Expr::sym("Ta") * Expr::sym("Tc"));
         let groups = vec![vec![sym("Ta"), sym("Tc")], vec![sym("Tb")]];
         let delta = sym("Delta_tile");
         let got = rewrite_in_delta(&io, &groups, delta).unwrap();
-        assert_eq!(got, &n / Expr::symbol(delta));
+        assert_eq!(got, n / Expr::symbol(delta));
         let fp = Expr::sym("Ta") * Expr::sym("Tc") * Expr::sym("Tb");
         let got = rewrite_in_delta(&fp, &groups, delta).unwrap();
         assert_eq!(got, Expr::symbol(delta).powi(2));
@@ -347,8 +347,8 @@ mod tests {
     fn matmul_closed_form_matches_paper() {
         let (ti, tj) = (Expr::sym("Ti"), Expr::sym("Tj"));
         let n3 = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
-        let io = &n3 * ti.recip() + &n3 * tj.recip() + Expr::sym("Ni") * Expr::sym("Nj");
-        let footprint = &ti + &tj + &ti * &tj;
+        let io = n3 * ti.recip() + n3 * tj.recip() + Expr::sym("Ni") * Expr::sym("Nj");
+        let footprint = ti + tj + ti * tj;
         let ub = eliminate_tiles(
             &io,
             &footprint,
@@ -376,8 +376,8 @@ mod tests {
         // Conv-like footprint (Δ + W − 1)·C + Δ ≤ S is linear in Δ;
         // (Δ + W − 1)(Δ + H − 1) is quadratic — both must solve.
         let d = Expr::sym("Td");
-        let fp = (&d + Expr::sym("W") - Expr::one()) * (&d + Expr::sym("H") - Expr::one());
-        let io = Expr::sym("N") / &d;
+        let fp = (d + Expr::sym("W") - Expr::one()) * (d + Expr::sym("H") - Expr::one());
+        let io = Expr::sym("N") / d;
         let ub = eliminate_tiles(&io, &fp, &[vec![sym("Td")]], sym("S")).unwrap();
         // At W = H = 3, S = 100: (Δ+2)² = 100 -> Δ = 8 -> bound N/8.
         let v = ub
@@ -395,8 +395,8 @@ mod tests {
         // exact one (it is weaker) while keeping the asymptotics.
         let (ti, tj) = (Expr::sym("Ti"), Expr::sym("Tj"));
         let n3 = Expr::sym("Ni") * Expr::sym("Nj") * Expr::sym("Nk");
-        let io = &n3 * ti.recip() + &n3 * tj.recip();
-        let footprint = &ti + &tj + &ti * &tj;
+        let io = n3 * ti.recip() + n3 * tj.recip();
+        let footprint = ti + tj + ti * tj;
         let groups = vec![vec![sym("Ti")], vec![sym("Tj")]];
         let exact = eliminate_tiles(&io, &footprint, &groups, sym("S")).unwrap();
         let relaxed = eliminate_tiles_relaxed(&io, &footprint, &groups, sym("S")).unwrap();
@@ -417,8 +417,8 @@ mod tests {
         // Δ³ + Δ ≤ S has no closed-form exact treatment here, but the
         // relaxed rule yields Δ = min(S/2, (S/2)^(1/3)).
         let d = Expr::sym("Trelax");
-        let fp = d.powi(3) + d.clone();
-        let io = Expr::sym("N") / &d;
+        let fp = d.powi(3) + d;
+        let io = Expr::sym("N") / d;
         let ub = eliminate_tiles_relaxed(&io, &fp, &[vec![sym("Trelax")]], sym("S")).unwrap();
         let delta = ub.delta.eval_with(&[("S", 1000.0)]).unwrap();
         assert!((delta - 500.0f64.cbrt()).abs() < 1e-9, "delta = {delta}");

@@ -11,7 +11,7 @@ fn problem(c1: u64, c2: u64, cap: u64) -> NlpProblem {
     let (a, b) = (Expr::sym("Tpa"), Expr::sym("Tpb"));
     NlpProblem {
         objective: Expr::int(c1 as i64) * a.recip() + Expr::int(c2 as i64) * b.recip(),
-        constraints: vec![(&a + &b + &a * &b, cap as f64)],
+        constraints: vec![(a + b + a * b, cap as f64)],
         vars: vec![
             NlpVar {
                 sym: Symbol::new("Tpa"),

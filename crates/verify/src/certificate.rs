@@ -273,8 +273,8 @@ mod tests {
         // Non-polynomial pair (√S defeats Poly): swap a real LB/UB pair.
         let n = Expr::sym("N");
         let s = Expr::sym("S");
-        let lb = &n * &n * &n * Expr::int(2) * s.sqrt().recip();
-        let ub = &n * &n * Expr::int(3);
+        let lb = n * n * n * Expr::int(2) * s.sqrt().recip();
+        let ub = n * n * Expr::int(3);
         // lb(512, S=64) = 2·512³/8 ≫ 3·512²: inverted.
         let v = check_certificate(&lb, &ub).expect("inversion");
         assert!(v.assignment.iter().any(|(name, _)| name == "S"));
@@ -286,9 +286,9 @@ mod tests {
         // actual matmul shape must check clean.
         let n = Expr::sym("N");
         let s = Expr::sym("S");
-        let n3 = &n * &n * &n * Expr::int(2);
-        let lb = &n3 * s.sqrt().recip() - &s * Expr::int(2);
-        let ub = &n3 * ((&s + Expr::one()).sqrt() - Expr::one()).recip() + &n * &n;
+        let n3 = n * n * n * Expr::int(2);
+        let lb = n3 * s.sqrt().recip() - s * Expr::int(2);
+        let ub = n3 * ((s + Expr::one()).sqrt() - Expr::one()).recip() + n * n;
         assert!(check_certificate(&lb, &ub).is_none());
     }
 }
