@@ -193,6 +193,94 @@ echo "==> perf baseline: CI-mode run gated against committed BENCH_perf.json (>1
 cargo build --release -p ioopt-bench --features count-alloc --bin perf_baseline
 ./target/release/perf_baseline --ci --out /tmp/ioopt_perf_ci.json --check BENCH_perf.json
 
+echo "==> crash recovery: kill -9 mid-storm, restart on the same --cache-dir, warm replay"
+store_dir=$(mktemp -d /tmp/ioopt_store.XXXXXX)
+# Sustained-storm mode spawns its own child servers: warm-up pass, storm,
+# SIGKILL with no flush, restart, then gate that the recovered store
+# answers the whole mix (minus at most one torn frame) from disk.
+./target/release/loadgen --duration-secs 8 --connections 4 \
+  --cache-dir "$store_dir" --server-bin target/release/ioopt
+# The surviving directory must verify clean (recovery already repaired
+# any torn tail at the restart above, and repairs must stick).
+./target/release/ioopt cache verify --cache-dir "$store_dir"
+./target/release/ioopt cache stats --cache-dir "$store_dir"
+# Fill the rest of the corpus through a *batch* process sharing the
+# crashed store (it replays the storm's frames, writes the other rows):
+# cross-process tier sharing over the same directory.
+./target/release/ioopt batch builtin:all --json --symbolic-only --cache 32768 \
+  --cache-dir "$store_dir" >/tmp/ioopt_store_batch.json 2>/dev/null
+# Byte-identity across the crash: the full corpus served by a restarted
+# server must equal `ioopt batch --json`, row for row, and every row
+# must come from the disk tier.
+./target/release/ioopt serve --addr 127.0.0.1:7172 --cache-dir "$store_dir" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+python3 - <<'EOF'
+import json, time, urllib.request, urllib.error
+
+BASE = "http://127.0.0.1:7172"
+
+def req(method, path, body=None):
+    data = body.encode() if body is not None else None
+    r = urllib.request.Request(BASE + path, data=data, method=method)
+    with urllib.request.urlopen(r, timeout=60) as resp:
+        return resp.status, resp.read().decode()
+
+deadline = time.time() + 30
+while True:
+    try:
+        status, body = req("GET", "/healthz")
+        assert status == 200, (status, body)
+        break
+    except (urllib.error.URLError, ConnectionError):
+        assert time.time() < deadline, "recovered serve never answered /healthz"
+        time.sleep(0.25)
+
+body = json.dumps({"kernels": ["builtin:all"],
+                   "cache": 32768.0, "symbolic_only": True})
+status, served = req("POST", "/analyze", body)
+assert status == 200, (status, served[:200])
+batch = open("/tmp/ioopt_store_batch.json").read()
+assert served == batch, \
+    "served corpus after crash recovery is not byte-identical to batch --json"
+row = json.loads(served)["kernels"][0]
+golden = json.load(open(f"tests/golden/{row['kernel']}.json"))
+assert row == golden, "crash-recovered row diverges from the golden snapshot"
+
+status, metrics = req("GET", "/metrics")
+series = {line.split()[0]: float(line.split()[1])
+          for line in metrics.splitlines() if line and not line.startswith("#")}
+assert series.get("ioopt_store_hits", 0) >= 19, \
+    "the replayed corpus did not come from the persistent store"
+print(f"crash recovery: 19-row corpus replayed from disk byte-identically "
+      f"(store hits {series['ioopt_store_hits']:.0f})")
+
+status, body = req("POST", "/shutdown")
+assert status == 202, (status, body)
+EOF
+shutdown_deadline=$(( $(date +%s) + 30 ))
+while kill -0 "$serve_pid" 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$shutdown_deadline" ]; then
+    echo "FAIL: recovered serve did not exit within 30s of POST /shutdown"
+    exit 1
+  fi
+  sleep 0.25
+done
+wait "$serve_pid" || {
+  echo "FAIL: recovered serve exited non-zero after graceful drain"
+  exit 1
+}
+trap - EXIT
+# Graceful drain flushes: the next open must find nothing to recover.
+recovered=$(./target/release/ioopt cache stats --cache-dir "$store_dir" --json \
+  | python3 -c 'import json,sys; print(int(json.load(sys.stdin)["recovered"]))')
+if [ "$recovered" -ne 0 ]; then
+  echo "FAIL: a gracefully drained store needed recovery ($recovered frame(s)) on reopen"
+  exit 1
+fi
+rm -rf "$store_dir"
+echo "crash recovery: clean verify, golden replay, zero recovery after graceful drain"
+
 # The fault-injection legs rebuild the ioopt binary with the
 # `fault-inject` feature, so they run after every leg that uses the
 # stock release binary.
@@ -202,6 +290,9 @@ cargo test -q --features fault-inject --test fault_injection
 echo "==> serve fault legs: injected panic poisons one response; slow fault triggers 429"
 cargo test -q --features fault-inject --test serve_stress injected_panic
 cargo test -q --features fault-inject --test serve_backpressure slow_fault
+
+echo "==> self-healing pool: a worker killed by an escaped panic is respawned"
+cargo test -q --features fault-inject --test serve_selfheal
 
 echo "==> fault containment: injected panic -> exit 2, 18 exact rows, one structured failed row"
 cargo build --release -p ioopt --features fault-inject
@@ -226,6 +317,27 @@ if [ "$exact" -ne 18 ]; then
   echo "FAIL: expected 18 exact rows alongside the failed one, got $exact"
   exit 1
 fi
+
+echo "==> disk fault degradation: IOOPT_FAULT=io:write -> memory-only, exit 0, bytes unchanged"
+fault_dir=$(mktemp -d /tmp/ioopt_iofault.XXXXXX)
+./target/release/ioopt batch builtin:all --json --symbolic-only \
+  >/tmp/ioopt_nostore.json 2>/dev/null
+IOOPT_FAULT=io:write ./target/release/ioopt batch builtin:all --json --symbolic-only \
+  --cache-dir "$fault_dir" >/tmp/ioopt_iofault.json 2>/tmp/ioopt_iofault.err || {
+  echo "FAIL: a batch with a failing disk must still exit 0 (memory-only degradation)"
+  exit 1
+}
+cmp /tmp/ioopt_nostore.json /tmp/ioopt_iofault.json || {
+  echo "FAIL: disk faults perturbed the report bytes"
+  exit 1
+}
+grep -q 'memory-only' /tmp/ioopt_iofault.err || {
+  echo "FAIL: sticky memory-only degradation was not surfaced on stderr:"
+  cat /tmp/ioopt_iofault.err
+  exit 1
+}
+rm -rf "$fault_dir"
+echo "disk fault degradation: report bytes unchanged, degradation surfaced"
 
 echo "==> graceful degradation: --timeout-ms 1 -> exit 2, every row degraded, none exact"
 rc=0

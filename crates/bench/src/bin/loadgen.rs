@@ -15,19 +15,37 @@
 //!
 //!     cargo run --release -p ioopt-bench --bin loadgen -- \
 //!         [--addr HOST:PORT] [--connections 8] [--requests 400]
+//!
+//! **Sustained-storm mode** (`--duration-secs N`) exercises the
+//! crash-safety story instead: it spawns a *child* `ioopt serve
+//! --cache-dir`, storms it for the duration, `kill -9`s the server
+//! mid-storm once the persistent store holds the whole mix, restarts it
+//! on the same cache directory, and gates on the warm-restart store hit
+//! ratio of the first pass (the recovered store must answer the mix
+//! from disk, minus at most one torn trailing frame).
+//!
+//!     cargo run --release -p ioopt-bench --bin loadgen -- \
+//!         --duration-secs 20 [--cache-dir DIR] [--server-bin target/release/ioopt]
 
+use std::io::BufRead;
 use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
 use ioopt::{
     analysis_handler, corpus_item, memo_stats, reset_memo, run_batch, BatchOptions, ServiceDefaults,
 };
 use ioopt_bench::loadclient::{self, MIX, SNAPSHOT_CACHE};
 use ioopt_serve::{ServeOptions, Server};
+use ioopt_suite::testutil::http_get;
 
 struct Args {
     addr: Option<SocketAddr>,
     connections: usize,
     requests: usize,
+    duration_secs: Option<u64>,
+    cache_dir: Option<String>,
+    server_bin: String,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +53,9 @@ fn parse_args() -> Args {
         addr: None,
         connections: 8,
         requests: 400,
+        duration_secs: None,
+        cache_dir: None,
+        server_bin: "target/release/ioopt".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -60,8 +81,21 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|e| die(&format!("--requests: {e}")));
             }
+            "--duration-secs" => {
+                args.duration_secs = Some(
+                    value("--duration-secs")
+                        .parse()
+                        .unwrap_or_else(|e| die(&format!("--duration-secs: {e}"))),
+                );
+            }
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")),
+            "--server-bin" => args.server_bin = value("--server-bin"),
             "--help" | "-h" => {
-                eprintln!("usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N]");
+                eprintln!(
+                    "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N]\n\
+                     \u{20}      loadgen --duration-secs N [--cache-dir DIR] [--server-bin PATH]\n\
+                     \u{20}              [--connections N]"
+                );
                 std::process::exit(0);
             }
             other => die(&format!("unknown flag `{other}`")),
@@ -78,8 +112,168 @@ fn die(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Spawns a child `ioopt serve --cache-dir` on an ephemeral port and
+/// parses the bound address off its `serve: listening on …` stderr
+/// line; the rest of the child's stderr is forwarded on a drainer
+/// thread so its pipe never fills.
+fn spawn_server(bin: &str, cache_dir: &str) -> (Child, SocketAddr) {
+    let mut child = Command::new(bin)
+        .args(["serve", "--addr", "127.0.0.1:0", "--cache-dir", cache_dir])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| die(&format!("spawn `{bin} serve`: {e}")));
+    let stderr = child.stderr.take().expect("stderr piped");
+    let mut reader = std::io::BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        if reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| die(&format!("read server stderr: {e}")))
+            == 0
+        {
+            die("server exited before announcing its address");
+        }
+        eprint!("server: {line}");
+        if let Some(rest) = line.trim().strip_prefix("serve: listening on ") {
+            let addr = rest
+                .split_whitespace()
+                .next()
+                .and_then(|a| a.parse().ok())
+                .unwrap_or_else(|| die(&format!("cannot parse server address from `{line}`")));
+            break addr;
+        }
+    };
+    std::thread::spawn(move || {
+        for line in reader.lines().map_while(Result::ok) {
+            eprintln!("server: {line}");
+        }
+    });
+    (child, addr)
+}
+
+/// The value of one counter in a Prometheus `/metrics` body.
+fn metric(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Sustained-storm mode: storm a child server, `kill -9` it mid-storm,
+/// restart on the same cache directory, and gate on the warm-restart
+/// store hit ratio.
+fn run_sustained(args: &Args, duration_secs: u64) -> ! {
+    let duration = Duration::from_secs(duration_secs.max(4));
+    let fallback_dir = std::env::temp_dir()
+        .join(format!("ioopt-loadgen-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let cache_dir = args.cache_dir.clone().unwrap_or(fallback_dir);
+
+    let (mut child, addr) = spawn_server(&args.server_bin, &cache_dir);
+
+    // Sequential warm-up: one pass over the mix so every distinct key is
+    // on disk (the frame is appended before the response is sent) before
+    // the kill. Concurrent storm writes alone would not guarantee
+    // coverage — slow kernels may still be mid-first-analysis when the
+    // SIGKILL lands, and duplicate frames inflate the write counter
+    // without adding keys.
+    for kernel in MIX {
+        match loadclient::try_post(addr, "/analyze", &loadclient::request_body(kernel)) {
+            Some(200) => {}
+            other => die(&format!("warm-up `{kernel}` answered {other:?}")),
+        }
+    }
+    let writes_before_kill = metric(&http_get(addr, "/metrics").body, "ioopt_store_writes");
+    println!("warm-up: mix persisted, {writes_before_kill} frame(s) on disk");
+
+    println!(
+        "storm: {} connections for {duration_secs}s against {addr}",
+        args.connections
+    );
+    let storm = std::thread::spawn({
+        let connections = args.connections;
+        move || loadclient::drive_for(addr, MIX, connections, duration)
+    });
+    std::thread::sleep(duration / 2);
+    println!("storm: kill -9 mid-storm (no flush, no drain)");
+    child
+        .kill()
+        .unwrap_or_else(|e| die(&format!("kill server: {e}")));
+    let _ = child.wait();
+
+    let report = storm.join().expect("storm thread panicked");
+    let completed = report.sorted_us.len();
+    if completed > 0 {
+        println!(
+            "storm: {completed} requests ok, {} failed-or-shed during the kill window, \
+             p50 {:.1} ms, p99 {:.1} ms",
+            report.failures,
+            report.percentile(0.50) as f64 / 1e3,
+            report.percentile(0.99) as f64 / 1e3
+        );
+    }
+
+    // Restart on the same directory: recovery (if any) runs at open,
+    // then the first pass over the mix must be answered from disk.
+    let (mut child, addr) = spawn_server(&args.server_bin, &cache_dir);
+    let mut first_pass_failures = 0usize;
+    for kernel in MIX {
+        match loadclient::try_post(addr, "/analyze", &loadclient::request_body(kernel)) {
+            Some(200) => {}
+            other => {
+                first_pass_failures += 1;
+                eprintln!("loadgen: first-pass `{kernel}` answered {other:?}");
+            }
+        }
+    }
+    let metrics = http_get(addr, "/metrics").body;
+    let hits = metric(&metrics, "ioopt_store_hits");
+    let misses = metric(&metrics, "ioopt_store_misses");
+    let recovered = metric(&metrics, "ioopt_store_recovered");
+    let quarantined = metric(&metrics, "ioopt_store_quarantined");
+    let lookups = hits + misses;
+    let ratio = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    println!(
+        "warm restart: store hits {hits} misses {misses} (ratio {ratio:.3}), \
+         {recovered} recovered, {quarantined} quarantined"
+    );
+    let _ = loadclient::try_post(addr, "/shutdown", "");
+    let _ = child.wait();
+
+    if first_pass_failures > 0 {
+        eprintln!(
+            "loadgen: FAIL — {first_pass_failures} first-pass request(s) failed after restart"
+        );
+        std::process::exit(1);
+    }
+    // The warm-up put every distinct key of the mix on disk, and kill
+    // -9 forfeits at most the one frame torn mid-`write_all` (the page
+    // cache keeps every completed write). The gate allows that single
+    // loss but fails on wholesale amnesia (fsync or recovery bugs).
+    let expected = (MIX.len() as u64).saturating_sub(1);
+    if hits < expected {
+        eprintln!(
+            "loadgen: FAIL — warm restart hit only {hits} of {lookups} store lookups \
+             (expected at least {expected}; {writes_before_kill} frame(s) were on disk \
+             before the kill)"
+        );
+        std::process::exit(1);
+    }
+    println!("loadgen: warm restart served the mix from the recovered store");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(duration_secs) = args.duration_secs {
+        run_sustained(&args, duration_secs);
+    }
 
     // Cold baseline: the same kernels once, single-shot, from an empty
     // cache — the hit ratio a one-off `ioopt batch` run would see.

@@ -26,8 +26,8 @@
 use std::time::Instant;
 
 use ioopt::{
-    analysis_handler, builtin_corpus, memo_stats, reset_memo, run_batch, BatchItem, BatchOptions,
-    Json, ServiceDefaults,
+    analysis_handler, builtin_corpus, install_row_store, memo_stats, reset_memo, row_store_stats,
+    run_batch, uninstall_row_store, BatchItem, BatchOptions, Json, ServiceDefaults,
 };
 use ioopt_bench::{alloc_count, loadclient, print_table};
 use ioopt_serve::{ServeOptions, Server};
@@ -213,12 +213,70 @@ fn measure_serve(ci: bool) -> ServeSample {
     sample
 }
 
+struct StoreSample {
+    kernels: usize,
+    warm_restart_hit_ratio: f64,
+    replay_us: u64,
+}
+
+/// Persistent-store warm restart through the real row tier: a cold batch
+/// writes through to a scratch `--cache-dir`, reinstalling the store
+/// simulates a process restart (flush, clear the in-memory memo,
+/// reopen), and the timed second pass must replay byte-identically from
+/// disk. The hit ratio of that first post-restart pass is the number the
+/// sustained-storm `loadgen` mode gates on; recording it here gives the
+/// trajectory a committed reference point.
+fn measure_store(ci: bool) -> StoreSample {
+    let dir = std::env::temp_dir().join(format!("ioopt-perfstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let items = corpus(ci);
+    let options = BatchOptions {
+        cache_elems: loadclient::SNAPSHOT_CACHE,
+        jobs: 1,
+        numeric: false,
+        ..BatchOptions::default()
+    };
+    reset_memo();
+    install_row_store(&dir);
+    let cold = run_batch(&items, &options);
+    uninstall_row_store();
+    reset_memo();
+    install_row_store(&dir);
+    let before = row_store_stats().unwrap_or_else(|| die("row store not installed"));
+    let started = Instant::now();
+    let warm = run_batch(&items, &options);
+    let replay_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    if warm.to_json() != cold.to_json() {
+        die("store replay diverged from the cold run");
+    }
+    let delta = row_store_stats()
+        .unwrap_or_else(|| die("row store not installed"))
+        .delta(&before);
+    uninstall_row_store();
+    let _ = std::fs::remove_dir_all(&dir);
+    let lookups = delta.hits + delta.misses;
+    StoreSample {
+        kernels: items.len(),
+        warm_restart_hit_ratio: if lookups == 0 {
+            0.0
+        } else {
+            delta.hits as f64 / lookups as f64
+        },
+        replay_us,
+    }
+}
+
 /// Terms interned process-wide by the symbolic arena at measurement end.
 fn interned_terms() -> u64 {
     ioopt::symbolic::intern_stats().terms
 }
 
-fn render_report(ci: bool, kernels: &[KernelSample], serve: &ServeSample) -> Json {
+fn render_report(
+    ci: bool,
+    kernels: &[KernelSample],
+    serve: &ServeSample,
+    store: &StoreSample,
+) -> Json {
     let totals = kernels.iter().fold((0u64, 0u64, 0u64, 0u64), |t, k| {
         (
             t.0 + k.cold_us,
@@ -256,6 +314,19 @@ fn render_report(ci: bool, kernels: &[KernelSample], serve: &ServeSample) -> Jso
                 ("p50_us", Json::Int(serve.p50_us as i64)),
                 ("p99_us", Json::Int(serve.p99_us as i64)),
                 ("max_us", Json::Int(serve.max_us as i64)),
+            ]),
+        ),
+        // Additive — `check_against` gates only the named fields above,
+        // so the store block informs the trajectory without flapping CI.
+        (
+            "store",
+            Json::obj([
+                ("kernels", Json::Int(store.kernels as i64)),
+                (
+                    "warm_restart_hit_ratio",
+                    Json::Num(store.warm_restart_hit_ratio),
+                ),
+                ("replay_us", Json::Int(store.replay_us as i64)),
             ]),
         ),
         (
@@ -416,7 +487,9 @@ fn main() {
 
     let kernels = measure_kernels(args.ci);
     let serve = measure_serve(args.ci);
-    let report = render_report(args.ci, &kernels, &serve);
+    let warm = memo_stats();
+    let store = measure_store(args.ci);
+    let report = render_report(args.ci, &kernels, &serve, &store);
 
     print_table(
         &["kernel", "cold_us", "warm_us", "allocs", "alloc_kb"],
@@ -439,12 +512,17 @@ fn main() {
         serve.p99_us as f64 / 1e3,
         serve.max_us as f64 / 1e3
     );
-    let warm = memo_stats();
     println!(
         "memo after storm: hits {} misses {} (ratio {:.3})",
         warm.hits,
         warm.misses,
         warm.hit_ratio()
+    );
+    println!(
+        "store: warm-restart hit ratio {:.3} over {} kernels, replay {:.1} ms",
+        store.warm_restart_hit_ratio,
+        store.kernels,
+        store.replay_us as f64 / 1e3
     );
 
     let rendered = format!("{report}\n");

@@ -4,7 +4,8 @@
 //! and `perf_baseline` (the committed p50/p99 trajectory), so the two
 //! always measure the same request path the same way.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -90,6 +91,84 @@ pub fn drive(addr: SocketAddr, mix: &[&str], connections: usize, requests: usize
                                 "loadclient: connection {c} request {i}: HTTP {} — {}",
                                 response.status, response.body
                             );
+                        }
+                    }
+                    latencies_us
+                })
+            })
+            .collect();
+        for worker in workers {
+            latencies_us.extend(worker.join().expect("load connection panicked"));
+        }
+    });
+    let wall = started.elapsed();
+    latencies_us.sort_unstable();
+    LoadReport {
+        sorted_us: latencies_us,
+        failures: failed.load(Ordering::Relaxed),
+        wall,
+    }
+}
+
+/// One `/analyze` POST that *tolerates* transport failure, returning the
+/// status code on success and `None` on a refused/reset connection. The
+/// sustained storm kills the server mid-flight on purpose, so a broken
+/// transport is the scenario under test there — unlike [`drive`], which
+/// treats it as a harness bug and panics via `testutil`.
+pub fn try_post(addr: SocketAddr, path: &str, body: &str) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: load\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).ok()?;
+    stream.write_all(body.as_bytes()).ok()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).ok()?;
+    let text = String::from_utf8_lossy(&raw);
+    text.split_whitespace().nth(1).and_then(|s| s.parse().ok())
+}
+
+/// Drives the mix for a wall-clock `duration` over `connections`
+/// threads, tolerating transport failures (the server may be killed and
+/// restarted underneath the storm). Latencies are recorded for
+/// successful (HTTP 200) requests; everything else — non-200 answers
+/// and dead-transport attempts alike — counts as a failure. A dead
+/// server costs each thread a short backoff per attempt, so the storm
+/// keeps breathing until the deadline rather than spinning.
+pub fn drive_for(
+    addr: SocketAddr,
+    mix: &[&str],
+    connections: usize,
+    duration: Duration,
+) -> LoadReport {
+    assert!(connections > 0, "empty load run");
+    let failed = AtomicUsize::new(0);
+    let started = Instant::now();
+    let deadline = started + duration;
+    let mut latencies_us: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..connections)
+            .map(|c| {
+                let failed = &failed;
+                scope.spawn(move || {
+                    let mut latencies_us = Vec::new();
+                    let mut i = 0usize;
+                    while Instant::now() < deadline {
+                        let body = request_body(mix[(c * 31 + i) % mix.len()]);
+                        i += 1;
+                        let sent = Instant::now();
+                        match try_post(addr, "/analyze", &body) {
+                            Some(200) => latencies_us
+                                .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64),
+                            Some(_) | None => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
                         }
                     }
                     latencies_us

@@ -160,7 +160,7 @@ impl BatchRow {
         Json::Object(pairs)
     }
 
-    fn from_json_value(v: &Json) -> Result<BatchRow, String> {
+    pub(crate) fn from_json_value(v: &Json) -> Result<BatchRow, String> {
         let req_str = |key: &str| -> Result<String, String> {
             v.get(key)
                 .and_then(Json::as_str)
@@ -462,7 +462,18 @@ fn analyze_row(item: &BatchItem, options: &BatchOptions) -> BatchRow {
     let _span = obs::span_arg("batch.kernel", item.label.clone());
     #[cfg(any(test, feature = "fault-inject"))]
     inject_fault(&item.label, &budget);
+    // Persistent row tier (inert unless a store is installed): a disk
+    // hit replays the finished row byte-for-byte and skips the stages.
+    if options.memo {
+        if let Some(row) = crate::rowstore::lookup(item, options) {
+            obs::add(obs::Metric::BudgetSteps, budget.steps_used());
+            return row;
+        }
+    }
     let row = analyze_row_stages(item, options);
+    if options.memo {
+        crate::rowstore::persist(item, options, &row);
+    }
     obs::add(obs::Metric::BudgetSteps, budget.steps_used());
     row
 }

@@ -10,6 +10,7 @@
 //!   ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]
 //!   ioopt audit <report.json> [--json]
 //!   ioopt serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!   ioopt cache <stats | verify | compact> --cache-dir PATH
 //!   ioopt --list-builtins
 //!
 //! OPTIONS:
@@ -28,7 +29,15 @@
 //!   --profile             (batch) per-kernel/per-stage breakdown on stderr
 //!                         (and a `profile` block in the --json report)
 //!   --trace-json PATH     (batch) write a Chrome-trace JSON of the run
+//!   --cache-dir PATH      (batch, serve) persistent memo store: finished
+//!                         exact rows are replayed across restarts
 //! ```
+//!
+//! `cache` inspects and maintains a `--cache-dir` store: `stats` opens
+//! it (running normal torn-tail recovery) and prints counters, `verify`
+//! is a read-only full-checksum scan (exit 2 on any corruption),
+//! `compact` rewrites live frames into one fresh segment and drops
+//! superseded and quarantined data.
 //!
 //! `batch` exit codes: 0 when every row is exact, 2 when any row is
 //! degraded or failed (the report still prints), 1 on usage errors.
@@ -63,9 +72,11 @@ fn usage() -> &'static str {
      \u{20}      ioopt batch <builtin:all | inputs...> [--jobs N] [--cache N] [--json]\n\
      \u{20}                  [--symbolic-only] [--no-memo] [--timeout-ms N] [--max-steps N]\n\
      \u{20}                  [--fail-fast] [--certify] [--profile] [--trace-json PATH]\n\
+     \u{20}                  [--cache-dir PATH]\n\
      \u{20}      ioopt audit <report.json> [--json]\n\
      \u{20}      ioopt serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-     \u{20}                  [--timeout-ms N] [--max-kernels N]\n\
+     \u{20}                  [--timeout-ms N] [--max-kernels N] [--cache-dir PATH]\n\
+     \u{20}      ioopt cache <stats | verify | compact> --cache-dir PATH [--json]\n\
      try:   ioopt --list-builtins"
 }
 
@@ -269,6 +280,7 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
     let mut json = false;
     let mut profile = false;
     let mut trace_json: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -315,6 +327,9 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
             "--trace-json" => {
                 trace_json = Some(it.next().ok_or("--trace-json needs a path")?);
             }
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
@@ -329,6 +344,12 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
     let mut items = Vec::new();
     for input in &inputs {
         items.extend(batch_items(input, sizes_arg.as_deref())?);
+    }
+    // The persistent row tier rides beneath the memo caches; opening
+    // runs torn-tail recovery and never fails (an unusable directory
+    // degrades to memory-only mode with a note on stderr).
+    if let Some(dir) = &cache_dir {
+        ioopt::install_row_store(std::path::Path::new(dir));
     }
     // Span collection only runs when asked for; metric counters are
     // always on (they are wait-free) but zeroed here so the report
@@ -386,6 +407,25 @@ fn run_batch_cmd(args: Vec<String>) -> Result<ExitCode, String> {
         stats.entries,
         stats.hit_ratio() * 100.0
     ));
+    if cache_dir.is_some() {
+        // Make the batch durable before exiting; a clean run must never
+        // rely on crash recovery at the next open.
+        ioopt::flush_row_store();
+        if let Some(s) = ioopt::row_store_stats() {
+            obs::log_block(&format!(
+                "store: {} hit(s), {} miss(es), {} write(s), {} live key(s){}",
+                s.hits,
+                s.misses,
+                s.writes,
+                s.live_keys,
+                if s.disabled {
+                    " — memory-only (disabled)"
+                } else {
+                    ""
+                }
+            ));
+        }
+    }
     // Exit codes: 0 all rows exact, 2 any row degraded or failed (the
     // report still printed in full), 1 usage error (via `main`).
     match report.worst_status() {
@@ -506,6 +546,7 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
     let mut addr = "127.0.0.1:7070".to_string();
     let mut options = ServeOptions::default();
     let mut defaults = ServiceDefaults::default();
+    let mut cache_dir: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -549,12 +590,33 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|e| format!("bad --max-kernels value: {e}"))?;
             }
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
             }
             other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
         }
+    }
+    // Install the persistent row tier before the first request can
+    // arrive: a restarted server answers its first corpus pass from
+    // disk instead of re-paying seconds-per-kernel analysis.
+    if let Some(dir) = &cache_dir {
+        let store = ioopt::install_row_store(std::path::Path::new(dir));
+        let s = store.stats();
+        obs_log!(
+            "serve: persistent store at {dir}: {} live key(s), {} recovered, {} quarantined{}",
+            s.live_keys,
+            s.recovered,
+            s.quarantined,
+            if s.disabled {
+                " — memory-only (disabled)"
+            } else {
+                ""
+            }
+        );
     }
     let server = Server::bind(&addr, options, analysis_handler(defaults))
         .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
@@ -569,6 +631,13 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
     std::panic::set_hook(Box::new(|_| {}));
     server.run();
     std::panic::set_hook(prev_hook);
+    // Durability ordering for graceful drain: `run` has returned, so
+    // every in-flight request (and its write-through row appends) is
+    // finished — fsync now, before reporting, so a clean `POST
+    // /shutdown` never leaves frames for crash recovery to replay.
+    if cache_dir.is_some() {
+        ioopt::flush_row_store();
+    }
     let stats = memo_stats();
     obs::log_block(&format!(
         "serve: drained after {:.1}s\n\
@@ -582,7 +651,196 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
         stats.entries,
         stats.hit_ratio() * 100.0
     ));
+    if cache_dir.is_some() {
+        if let Some(s) = ioopt::row_store_stats() {
+            obs::log_block(&format!(
+                "store: {} hit(s), {} miss(es), {} write(s), {} live key(s){}",
+                s.hits,
+                s.misses,
+                s.writes,
+                s.live_keys,
+                if s.disabled {
+                    " — memory-only (disabled)"
+                } else {
+                    ""
+                }
+            ));
+        }
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// The `cache` subcommand: inspect and maintain a persistent memo store
+/// without serving from it. `stats` opens the store (running normal
+/// torn-tail recovery), `verify` scans read-only and exits 2 on any
+/// corruption, `compact` rewrites live frames and drops superseded and
+/// quarantined data.
+fn run_cache(args: Vec<String>) -> Result<ExitCode, String> {
+    use ioopt_engine::store;
+
+    let mut action: Option<String> = None;
+    let mut dir: Option<String> = None;
+    let mut json = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => dir = Some(it.next().ok_or("--cache-dir needs a path")?),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if action.is_none() && !other.starts_with("--") => {
+                action = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let action = action.ok_or_else(|| format!("cache needs an action\n{}", usage()))?;
+    let dir = dir.ok_or_else(|| format!("cache needs --cache-dir\n{}", usage()))?;
+    let path = std::path::Path::new(&dir);
+    match action.as_str() {
+        "stats" => {
+            let s = store::PersistentStore::open(path).stats();
+            if json {
+                println!(
+                    "{}",
+                    ioopt::Json::obj([
+                        ("segments", ioopt::Json::Num(s.segments as f64)),
+                        ("live_keys", ioopt::Json::Num(s.live_keys as f64)),
+                        ("frames", ioopt::Json::Num(s.frames as f64)),
+                        ("bytes", ioopt::Json::Num(s.bytes as f64)),
+                        ("recovered", ioopt::Json::Num(s.recovered as f64)),
+                        ("quarantined", ioopt::Json::Num(s.quarantined as f64)),
+                        ("disabled", ioopt::Json::Bool(s.disabled)),
+                    ])
+                    .render()
+                );
+            } else {
+                println!(
+                    "cache: {} segment(s), {} live key(s), {} frame(s), {} byte(s)",
+                    s.segments, s.live_keys, s.frames, s.bytes
+                );
+                println!(
+                    "cache: recovered {} torn frame(s), quarantined {} segment(s)",
+                    s.recovered, s.quarantined
+                );
+            }
+            if s.disabled {
+                obs_log!("cache: store at `{dir}` could not be opened");
+                return Ok(ExitCode::from(2));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report =
+                store::verify_dir(path).map_err(|e| format!("cannot verify `{dir}`: {e}"))?;
+            if json {
+                println!(
+                    "{}",
+                    ioopt::Json::obj([
+                        ("clean", ioopt::Json::Bool(report.is_clean())),
+                        ("frames", ioopt::Json::Num(report.frames() as f64)),
+                        (
+                            "segments",
+                            ioopt::Json::Array(
+                                report
+                                    .segments
+                                    .iter()
+                                    .map(|s| ioopt::Json::obj([
+                                        ("name", ioopt::Json::str(s.name.clone())),
+                                        ("frames", ioopt::Json::Num(s.frames as f64)),
+                                        ("bytes", ioopt::Json::Num(s.bytes as f64)),
+                                        (
+                                            "corrupt_at",
+                                            s.corrupt_at.map_or(ioopt::Json::Null, |at| {
+                                                ioopt::Json::Num(at as f64)
+                                            }),
+                                        ),
+                                    ]))
+                                    .collect()
+                            )
+                        ),
+                        (
+                            "quarantined",
+                            ioopt::Json::Array(
+                                report
+                                    .quarantined
+                                    .iter()
+                                    .map(|q| ioopt::Json::str(q.clone()))
+                                    .collect()
+                            )
+                        ),
+                    ])
+                    .render()
+                );
+            } else {
+                for s in &report.segments {
+                    match s.corrupt_at {
+                        None => println!(
+                            "cache: {}: {} frame(s), {} byte(s), clean",
+                            s.name, s.frames, s.bytes
+                        ),
+                        Some(at) => println!(
+                            "cache: {}: {} valid frame(s), CORRUPT at byte {at}",
+                            s.name, s.frames
+                        ),
+                    }
+                }
+                for q in &report.quarantined {
+                    println!("cache: {q}: quarantined (run `ioopt cache compact` to drop)");
+                }
+                println!(
+                    "cache: verify {}: {} segment(s), {} frame(s)",
+                    if report.is_clean() { "clean" } else { "FAILED" },
+                    report.segments.len(),
+                    report.frames()
+                );
+            }
+            Ok(if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
+        }
+        "compact" => {
+            let report =
+                store::compact_dir(path).map_err(|e| format!("cannot compact `{dir}`: {e}"))?;
+            if json {
+                println!(
+                    "{}",
+                    ioopt::Json::obj([
+                        ("live_keys", ioopt::Json::Num(report.live_keys as f64)),
+                        (
+                            "segments_removed",
+                            ioopt::Json::Num(report.segments_removed as f64)
+                        ),
+                        (
+                            "quarantined_removed",
+                            ioopt::Json::Num(report.quarantined_removed as f64)
+                        ),
+                        ("bytes_before", ioopt::Json::Num(report.bytes_before as f64)),
+                        ("bytes_after", ioopt::Json::Num(report.bytes_after as f64)),
+                    ])
+                    .render()
+                );
+            } else {
+                println!(
+                    "cache: compacted {} live key(s): {} -> {} byte(s); removed {} segment(s), {} quarantined file(s)",
+                    report.live_keys,
+                    report.bytes_before,
+                    report.bytes_after,
+                    report.segments_removed,
+                    report.quarantined_removed
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown cache action `{other}` (want stats, verify, or compact)\n{}",
+            usage()
+        )),
+    }
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -608,6 +866,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("cache") {
+        return run_cache(args.split_off(1));
     }
     let mut input: Option<String> = None;
     let mut sizes_arg: Option<String> = None;

@@ -41,6 +41,7 @@ mod analysis;
 mod batch;
 pub mod certificate;
 mod report;
+mod rowstore;
 mod sequence;
 pub mod service;
 pub mod tutorial;
@@ -55,6 +56,7 @@ pub use batch::{
 };
 pub use certificate::{audit_report, decode_certificate, AuditReport};
 pub use report::{csv_header, csv_row, render_text};
+pub use rowstore::{flush_row_store, install_row_store, row_store_stats, uninstall_row_store};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 pub use service::{
     analysis_handler, handle_analyze, run_service, service_items, KernelSpec, ServiceDefaults,

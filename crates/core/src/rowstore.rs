@@ -1,0 +1,145 @@
+//! The persistent row tier: a process-wide [`PersistentStore`] layered
+//! beneath the in-memory memo caches as a write-through second tier for
+//! whole batch rows.
+//!
+//! Every bound the pipeline derives is a pure function of
+//! `Kernel::structural_key()` plus the analysis options, so a finished
+//! [`BatchRow`] can be replayed across process restarts byte-for-byte:
+//! rows are stored as their canonical report JSON and parsed back
+//! through the same `parse → render` fixpoint the report schema
+//! round-trip tests pin down.
+//!
+//! The tier is **inert unless installed**: nothing consults the disk
+//! until [`install_row_store`] runs (the CLI installs it only under
+//! `--cache-dir`), and even then only batches with `memo: true` use it.
+//! Only `exact`, error-free rows are ever persisted — the disk tier
+//! extends the "degraded results are never cached" invariant of the
+//! in-memory caches, and lookups re-check the invariant defensively so
+//! a hand-edited store still cannot serve a weakened row. Exact rows
+//! are budget-invariant, so `timeout_ms`/`max_steps` are deliberately
+//! not part of the key: a budgeted rerun may be answered by an exact
+//! row a generous earlier run persisted.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ioopt_engine::store::{PersistentStore, StoreStats};
+use ioopt_engine::{Json, Status};
+
+use crate::batch::{BatchItem, BatchOptions, BatchRow};
+
+fn slot() -> &'static Mutex<Option<Arc<PersistentStore>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<PersistentStore>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn current() -> Option<Arc<PersistentStore>> {
+    slot().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Opens (or creates) the persistent row store under `dir` and installs
+/// it process-wide; batches with `memo: true` consult it from now on.
+/// Replaces (and flushes) any previously installed store. The returned
+/// handle is shared — callers may keep it for [`PersistentStore::stats`]
+/// or disablement checks.
+///
+/// Opening never fails: an unusable directory yields a store already in
+/// sticky memory-only mode (see `ioopt_engine::store`).
+pub fn install_row_store(dir: &Path) -> Arc<PersistentStore> {
+    let store = Arc::new(PersistentStore::open(dir));
+    let previous = slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .replace(store.clone());
+    if let Some(p) = previous {
+        p.flush();
+    }
+    store
+}
+
+/// Uninstalls the row store, flushing it first. Subsequent batches run
+/// memory-only again. (Tests use install/uninstall pairs to simulate a
+/// process restart without forking.)
+pub fn uninstall_row_store() {
+    let store = slot().lock().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(s) = store {
+        s.flush();
+    }
+}
+
+/// Fsyncs the installed row store, if any — the graceful-shutdown hook:
+/// a clean drain must never rely on crash recovery at the next start.
+pub fn flush_row_store() {
+    if let Some(s) = current() {
+        s.flush();
+    }
+}
+
+/// A snapshot of the installed row store's counters, or `None` when no
+/// store is installed.
+pub fn row_store_stats() -> Option<StoreStats> {
+    current().map(|s| s.stats())
+}
+
+fn push_len_prefixed(key: &mut Vec<u8>, bytes: &[u8]) {
+    key.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    key.extend_from_slice(bytes);
+}
+
+/// The content address of one row: everything its bytes depend on.
+/// The label is included because the row embeds it; the kernel enters
+/// through its canonical structure, not its name, so renamed-but-equal
+/// kernels share nothing only when their labels differ too.
+fn row_key(item: &BatchItem, options: &BatchOptions) -> Vec<u8> {
+    let mut key = Vec::with_capacity(128);
+    key.extend_from_slice(b"ioopt-row/v1\0");
+    push_len_prefixed(&mut key, item.label.as_bytes());
+    push_len_prefixed(&mut key, &item.kernel.structural_key());
+    let mut sizes: Vec<(&String, &i64)> = item.sizes.iter().collect();
+    sizes.sort_by(|a, b| a.0.cmp(b.0));
+    key.extend_from_slice(&(sizes.len() as u32).to_le_bytes());
+    for (name, n) in sizes {
+        push_len_prefixed(&mut key, name.as_bytes());
+        key.extend_from_slice(&n.to_le_bytes());
+    }
+    key.extend_from_slice(&options.cache_elems.to_bits().to_le_bytes());
+    key.push(u8::from(options.numeric));
+    key.push(u8::from(options.certify));
+    key
+}
+
+/// Whether a row is eligible for persistence: the disk tier stores only
+/// fully exact, error-free results (satellite invariant; degraded
+/// bounds are sound but weaker than a fresh run could produce).
+fn storable(row: &BatchRow) -> bool {
+    row.status == Status::Exact && row.error.is_none()
+}
+
+/// Looks up a finished row on disk. Any imperfection — no store, store
+/// miss, undecodable value, or a row that should never have been
+/// persisted — is a miss; the caller just recomputes.
+pub(crate) fn lookup(item: &BatchItem, options: &BatchOptions) -> Option<BatchRow> {
+    let store = current()?;
+    let bytes = store.get(&row_key(item, options))?;
+    let text = std::str::from_utf8(&bytes).ok()?;
+    let row = BatchRow::from_json_value(&Json::parse(text).ok()?).ok()?;
+    if !storable(&row) {
+        return None;
+    }
+    Some(row)
+}
+
+/// Write-through: persists an exact row after computation. Non-exact
+/// rows and uninstalled stores are silent no-ops.
+pub(crate) fn persist(item: &BatchItem, options: &BatchOptions, row: &BatchRow) {
+    if !storable(row) {
+        return;
+    }
+    let Some(store) = current() else {
+        return;
+    };
+    store.put(
+        &row_key(item, options),
+        row.to_json_value().render().as_bytes(),
+    );
+}

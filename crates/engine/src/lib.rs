@@ -28,9 +28,11 @@ pub mod json;
 mod memo;
 pub mod obs;
 mod pool;
+pub mod store;
 
 pub use govern::{AmbientGuard, Budget, Exhaustion, Status};
 pub use json::Json;
 pub use memo::{CacheStats, MemoCache, StableHasher};
 pub use obs::{Histogram, Trace};
 pub use pool::{available_threads, par_map, BoundedQueue};
+pub use store::{PersistentStore, StoreStats};

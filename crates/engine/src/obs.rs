@@ -98,9 +98,26 @@ pub enum Metric {
     SimpHits,
     /// Sub-expression simplification-memo misses.
     SimpMisses,
+    /// Persistent-store lookups answered from an on-disk frame.
+    StoreHits,
+    /// Persistent-store lookups that found no frame (or the store is
+    /// disabled).
+    StoreMisses,
+    /// Frames appended to the persistent store.
+    StoreWrites,
+    /// Torn trailing frames truncated during store recovery (one per
+    /// truncation event).
+    StoreRecovered,
+    /// Segments quarantined during store recovery (mid-file corruption).
+    StoreQuarantined,
+    /// Times a persistent store flipped into sticky memory-only mode
+    /// after an I/O error (0 or 1 per store instance).
+    StoreDisabled,
+    /// Dead serve workers detected and respawned by the pool supervisor.
+    ServeWorkersRespawned,
 }
 
-const METRIC_COUNT: usize = 15;
+const METRIC_COUNT: usize = 22;
 
 impl Metric {
     /// Every metric, in registry (display) order.
@@ -120,6 +137,13 @@ impl Metric {
         Metric::TermMisses,
         Metric::SimpHits,
         Metric::SimpMisses,
+        Metric::StoreHits,
+        Metric::StoreMisses,
+        Metric::StoreWrites,
+        Metric::StoreRecovered,
+        Metric::StoreQuarantined,
+        Metric::StoreDisabled,
+        Metric::ServeWorkersRespawned,
     ];
 
     /// The stable dotted wire name (used in reports and the JSON
@@ -141,6 +165,13 @@ impl Metric {
             Metric::TermMisses => "terms.misses",
             Metric::SimpHits => "terms.simp_hits",
             Metric::SimpMisses => "terms.simp_misses",
+            Metric::StoreHits => "store.hits",
+            Metric::StoreMisses => "store.misses",
+            Metric::StoreWrites => "store.writes",
+            Metric::StoreRecovered => "store.recovered",
+            Metric::StoreQuarantined => "store.quarantined",
+            Metric::StoreDisabled => "store.disabled",
+            Metric::ServeWorkersRespawned => "serve.workers_respawned",
         }
     }
 

@@ -1,0 +1,1217 @@
+//! Crash-safe persistent memo store: append-only, content-addressed
+//! on-disk segments layered beneath the in-memory [`crate::MemoCache`]
+//! as a write-through second tier.
+//!
+//! # Frame format
+//!
+//! A segment file starts with an 8-byte magic (`IOSTORE1`) and then
+//! holds length-prefixed frames:
+//!
+//! ```text
+//! u32 payload_len (LE) | u32 crc32(payload) (LE) | payload
+//! payload = u64 key_hash (LE) | u32 key_len (LE) | key bytes | value bytes
+//! ```
+//!
+//! The key hash is the same FNV-1a the memo cache uses
+//! ([`crate::StableHasher`]); like the cache, the store is
+//! content-addressed — a lookup compares the **full key bytes**, never
+//! trusting the hash. Duplicate keys are resolved append-wins: the last
+//! frame for a key is the live one, earlier frames become garbage that
+//! [`compact_dir`] drops.
+//!
+//! # Fsync discipline
+//!
+//! Appends go straight to the segment file (`write_all`, no user-space
+//! buffer) and the file is fsynced every [`SYNC_EVERY`] appends and on
+//! [`PersistentStore::flush`] (which the serving layer calls during
+//! graceful drain, and `Drop` calls as a backstop). A `kill -9`
+//! therefore loses at most nothing (page-cache writes survive process
+//! death); only an OS crash can tear the tail of a segment.
+//!
+//! # Recovery and quarantine
+//!
+//! Opening a store scans every segment front to back, rebuilding the
+//! in-memory index. A frame that fails validation is classified:
+//!
+//! * **Torn tail** — the failure extends to end-of-file in the *last*
+//!   segment (incomplete header, incomplete payload, or a bad checksum
+//!   on the final frame). This is what a crash mid-write leaves behind:
+//!   the file is truncated back to the last good frame and the store
+//!   counts one `store.recovered` event.
+//! * **Mid-file corruption** — anything else (bad magic, garbage length,
+//!   checksum failure with more data after it, or any failure in a
+//!   non-last segment). The whole segment is quarantined: renamed to
+//!   `*.quarantined`, dropped from the index, counted in
+//!   `store.quarantined` — and the scan continues with the next segment.
+//!
+//! Either way the store **never serves a bad value and never refuses to
+//! start**. Reads re-verify the checksum and the full key, so even a
+//! file mutated behind a running store cannot leak wrong bytes.
+//!
+//! # Sticky memory-only degradation
+//!
+//! Following the workspace degradation doctrine (DESIGN.md §8), any
+//! persistent I/O error — `ENOSPC`, `EIO`, a permission failure —
+//! flips the store into a *sticky* memory-only mode: every later `get`
+//! misses, every later `put`/`flush` is a no-op, the `store.disabled`
+//! metric records the flip, and the process keeps answering with
+//! correct (recomputed) bytes. Durability degrades; correctness never.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::memo::StableHasher;
+use crate::obs::{self, Metric};
+
+/// Segment-file magic: 7 ASCII bytes + a format version.
+pub const MAGIC: &[u8; 8] = b"IOSTORE1";
+
+/// Frame header size: `u32` payload length + `u32` CRC32.
+const FRAME_HEADER: usize = 8;
+
+/// Minimum payload: key hash (8) + key length (4), with an empty key
+/// and value.
+const MIN_PAYLOAD: u32 = 12;
+
+/// Upper bound on one frame's payload; a length field beyond it is
+/// garbage, not a large record.
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Appends between fsyncs (fsync-on-batch); `flush` always syncs.
+const SYNC_EVERY: u32 = 8;
+
+/// Target segment size; an append beyond it rolls to a fresh segment.
+const SEGMENT_TARGET: u64 = 8 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven, zero dependencies.
+// ---------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 of `bytes` (the checksum every frame carries).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+// ---------------------------------------------------------------------
+// Fault injection (disk faults), IOOPT_FAULT directives
+// ---------------------------------------------------------------------
+
+/// Which file operation a fault directive targets.
+#[cfg(any(test, feature = "fault-inject"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IoOp {
+    Open,
+    Read,
+    Write,
+    Sync,
+}
+
+#[cfg(any(test, feature = "fault-inject"))]
+mod faults {
+    //! `IOOPT_FAULT` disk directives (compiled only under `cfg(test)` or
+    //! the `fault-inject` feature, like the batch-layer hook):
+    //!
+    //! * `io:<op>[:<nth>]` — fail the `nth` (1-based) call of `op`
+    //!   (`open`, `read`, `write`, `sync`) with an injected `EIO`;
+    //!   without `<nth>`, every call fails. The first failure flips the
+    //!   sticky memory-only mode, so `io:write` deterministically
+    //!   exercises the degradation path end to end.
+    //! * `torn-write` — the next append writes only the first half of
+    //!   its frame and then flips the store into memory-only mode,
+    //!   simulating a crash mid-write; the next open must truncate the
+    //!   torn tail.
+
+    use super::IoOp;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CALLS: [AtomicU64; 4] = [const { AtomicU64::new(0) }; 4];
+    static TORN_CONSUMED: AtomicU64 = AtomicU64::new(0);
+
+    fn op_name(op: IoOp) -> &'static str {
+        match op {
+            IoOp::Open => "open",
+            IoOp::Read => "read",
+            IoOp::Write => "write",
+            IoOp::Sync => "sync",
+        }
+    }
+
+    pub(super) fn injected(op: IoOp) -> Option<std::io::Error> {
+        let spec = std::env::var("IOOPT_FAULT").ok()?;
+        for directive in spec.split(',').map(str::trim) {
+            let mut parts = directive.splitn(3, ':');
+            if parts.next() != Some("io") || parts.next() != Some(op_name(op)) {
+                continue;
+            }
+            let n = CALLS[op as usize].fetch_add(1, Ordering::SeqCst) + 1;
+            let hit = match parts.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(nth) => n == nth,
+                None => true,
+            };
+            if hit {
+                return Some(std::io::Error::other(format!(
+                    "injected fault: io:{} (call {n})",
+                    op_name(op)
+                )));
+            }
+        }
+        None
+    }
+
+    /// Consumes the one-shot `torn-write` directive.
+    pub(super) fn take_torn_write() -> bool {
+        let Ok(spec) = std::env::var("IOOPT_FAULT") else {
+            return false;
+        };
+        spec.split(',').map(str::trim).any(|d| d == "torn-write")
+            && TORN_CONSUMED.fetch_add(1, Ordering::SeqCst) == 0
+    }
+}
+
+#[cfg(any(test, feature = "fault-inject"))]
+fn fault_check(op: IoOp) -> io::Result<()> {
+    match faults::injected(op) {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(not(any(test, feature = "fault-inject")))]
+#[inline]
+fn fault_check_noop() {}
+
+macro_rules! faultable {
+    ($op:ident, $body:expr) => {{
+        #[cfg(any(test, feature = "fault-inject"))]
+        fault_check(IoOp::$op)?;
+        #[cfg(not(any(test, feature = "fault-inject")))]
+        fault_check_noop();
+        $body
+    }};
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+/// A snapshot of one store's counters (windowed accounting works the
+/// same way as [`crate::CacheStats`]: keep a baseline and [`StoreStats::delta`]
+/// against it).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StoreStats {
+    /// Live segments on disk.
+    pub segments: usize,
+    /// Distinct keys the index serves.
+    pub live_keys: usize,
+    /// Frames scanned at open plus frames appended since.
+    pub frames: u64,
+    /// Bytes across live segments (as of the last append).
+    pub bytes: u64,
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Frames appended.
+    pub writes: u64,
+    /// Torn-tail truncation events at open.
+    pub recovered: u64,
+    /// Segments quarantined at open.
+    pub quarantined: u64,
+    /// Whether the store is in sticky memory-only mode.
+    pub disabled: bool,
+}
+
+impl StoreStats {
+    /// Hit ratio over the lookups in this snapshot (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counters accumulated since `baseline` (gauges — segment,
+    /// key, byte, and disabled state — stay absolute).
+    pub fn delta(&self, baseline: &StoreStats) -> StoreStats {
+        StoreStats {
+            segments: self.segments,
+            live_keys: self.live_keys,
+            frames: self.frames,
+            bytes: self.bytes,
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            writes: self.writes.saturating_sub(baseline.writes),
+            recovered: self.recovered,
+            quarantined: self.quarantined,
+            disabled: self.disabled,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segment scanning
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct FrameRef {
+    key: Vec<u8>,
+    offset: u64,
+    frame_len: u32,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ScanEnd {
+    Clean,
+    /// Torn tail starting at this offset (only possible in the last
+    /// segment; callers truncate there).
+    Torn(u64),
+    /// Mid-file corruption at this offset; callers quarantine.
+    Corrupt(u64),
+}
+
+/// Scans one segment image front to back. `last` marks the final
+/// segment of the store, the only place a torn tail is a legal state.
+fn scan_segment(bytes: &[u8], last: bool) -> (Vec<FrameRef>, ScanEnd) {
+    let mut frames = Vec::new();
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // A header shorter than the magic can only be a crash during
+        // segment creation — recoverable only as the trailing file.
+        let end = if last && bytes.len() < MAGIC.len() {
+            ScanEnd::Torn(0)
+        } else {
+            ScanEnd::Corrupt(0)
+        };
+        return (frames, end);
+    }
+    let mut off = MAGIC.len() as u64;
+    let len = bytes.len() as u64;
+    loop {
+        let rem = len - off;
+        if rem == 0 {
+            return (frames, ScanEnd::Clean);
+        }
+        let torn_or_corrupt = |at: u64| {
+            if last {
+                ScanEnd::Torn(at)
+            } else {
+                ScanEnd::Corrupt(at)
+            }
+        };
+        if rem < FRAME_HEADER as u64 {
+            return (frames, torn_or_corrupt(off));
+        }
+        let header = &bytes[off as usize..off as usize + FRAME_HEADER];
+        let payload_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if !(MIN_PAYLOAD..=MAX_FRAME).contains(&payload_len) {
+            // A garbage length field cannot be distinguished from data,
+            // so nothing after it is trustworthy; mid-file this is
+            // corruption, at the tail it is a torn header.
+            return (frames, ScanEnd::Corrupt(off));
+        }
+        if rem - (FRAME_HEADER as u64) < u64::from(payload_len) {
+            return (frames, torn_or_corrupt(off));
+        }
+        let start = off as usize + FRAME_HEADER;
+        let payload = &bytes[start..start + payload_len as usize];
+        let frame_end = off + FRAME_HEADER as u64 + u64::from(payload_len);
+        if crc32(payload) != crc {
+            // A bad checksum on the very last frame of the last segment
+            // is a partially persisted write; anywhere else it is
+            // mid-file corruption.
+            let end = if last && frame_end == len {
+                ScanEnd::Torn(off)
+            } else {
+                ScanEnd::Corrupt(off)
+            };
+            return (frames, end);
+        }
+        let key_len = u32::from_le_bytes([payload[8], payload[9], payload[10], payload[11]]);
+        if MIN_PAYLOAD + key_len > payload_len {
+            return (frames, ScanEnd::Corrupt(off));
+        }
+        frames.push(FrameRef {
+            key: payload[12..12 + key_len as usize].to_vec(),
+            offset: off,
+            frame_len: FRAME_HEADER as u32 + payload_len,
+        });
+        off = frame_end;
+    }
+}
+
+fn encode_frame(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let payload_len = MIN_PAYLOAD as usize + key.len() + value.len();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload_len);
+    frame.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    frame.extend_from_slice(&[0u8; 4]); // CRC patched below
+    let mut hasher = StableHasher::new();
+    hasher.write(key);
+    frame.extend_from_slice(&hasher.finish().to_le_bytes());
+    frame.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    frame.extend_from_slice(key);
+    frame.extend_from_slice(value);
+    let crc = crc32(&frame[FRAME_HEADER..]);
+    frame[4..8].copy_from_slice(&crc.to_le_bytes());
+    frame
+}
+
+fn segment_name(id: u32) -> String {
+    format!("seg-{id:06}.log")
+}
+
+fn segment_id(name: &str) -> Option<u32> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn list_segments(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if !entry.path().is_file() {
+            continue;
+        }
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        if let Some(id) = segment_id(&name) {
+            segments.push((id, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(id, _)| *id);
+    Ok(segments)
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Location {
+    segment: u32,
+    offset: u64,
+    frame_len: u32,
+}
+
+struct Inner {
+    /// Full key bytes → latest frame (append-wins).
+    index: HashMap<Vec<u8>, Location>,
+    /// Read handles, opened on demand, keyed by segment id.
+    readers: HashMap<u32, File>,
+    /// Append handle on the current (highest-id) segment.
+    current: Option<File>,
+    current_id: u32,
+    current_len: u64,
+    appends_since_sync: u32,
+    frames: u64,
+    bytes: u64,
+    segments: usize,
+}
+
+/// The append-only, content-addressed on-disk memo store. See the
+/// module docs for the format and the recovery/degradation rules.
+///
+/// All methods are `&self` and thread-safe; `get`/`put` serialize on an
+/// internal lock (the values stored here are whole analysis rows — the
+/// disk tier is consulted once per row, not in any hot loop).
+pub struct PersistentStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+    disabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    recovered: u64,
+    quarantined: u64,
+}
+
+impl std::fmt::Debug for PersistentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentStore")
+            .field("dir", &self.dir)
+            .field("disabled", &self.disabled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PersistentStore {
+    /// Opens (or creates) the store under `dir`, scanning every segment
+    /// to rebuild the index — truncating a torn tail, quarantining
+    /// corrupt segments, and **never failing**: when the directory
+    /// cannot be prepared at all, the returned store starts in sticky
+    /// memory-only mode instead of erroring.
+    pub fn open(dir: &Path) -> PersistentStore {
+        let mut store = PersistentStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(Inner {
+                index: HashMap::new(),
+                readers: HashMap::new(),
+                current: None,
+                current_id: 1,
+                current_len: 0,
+                appends_since_sync: 0,
+                frames: 0,
+                bytes: 0,
+                segments: 0,
+            }),
+            disabled: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            recovered: 0,
+            quarantined: 0,
+        };
+        if let Err(e) = store.open_impl() {
+            store.disable(&format!("open {}: {e}", dir.display()));
+        }
+        store
+    }
+
+    fn open_impl(&mut self) -> io::Result<()> {
+        faultable!(Open, fs::create_dir_all(&self.dir)?);
+        let segments = list_segments(&self.dir)?;
+        let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
+        let mut max_id = 0u32;
+        let last_index = segments.len().saturating_sub(1);
+        for (i, (id, path)) in segments.iter().enumerate() {
+            max_id = max_id.max(*id);
+            let bytes = faultable!(Read, fs::read(path)?);
+            let (frames, end) = scan_segment(&bytes, i == last_index);
+            match end {
+                ScanEnd::Clean | ScanEnd::Torn(_) => {
+                    if let ScanEnd::Torn(at) = end {
+                        // Crash mid-write: drop the torn tail, keep every
+                        // good frame before it.
+                        let file = OpenOptions::new().write(true).open(path)?;
+                        file.set_len(at)?;
+                        file.sync_data()?;
+                        self.recovered += 1;
+                        obs::add(Metric::StoreRecovered, 1);
+                        crate::obs_log!(
+                            "store: truncated torn frame at byte {at} of {}",
+                            path.display()
+                        );
+                    }
+                    let segment_len = match end {
+                        ScanEnd::Torn(at) => at,
+                        _ => bytes.len() as u64,
+                    };
+                    for frame in frames {
+                        inner.index.insert(
+                            frame.key,
+                            Location {
+                                segment: *id,
+                                offset: frame.offset,
+                                frame_len: frame.frame_len,
+                            },
+                        );
+                        inner.frames += 1;
+                    }
+                    inner.bytes += segment_len;
+                    inner.segments += 1;
+                    if i == last_index {
+                        inner.current_id = *id;
+                        inner.current_len = segment_len;
+                    }
+                }
+                ScanEnd::Corrupt(at) => {
+                    // Mid-file corruption: nothing in this segment can be
+                    // trusted past validation, and index entries pointing
+                    // into a renamed file would dangle — drop the whole
+                    // segment. Frames it superseded in older segments
+                    // become live again (they are valid, just stale).
+                    let quarantined = path.with_extension("log.quarantined");
+                    fs::rename(path, &quarantined)?;
+                    self.quarantined += 1;
+                    obs::add(Metric::StoreQuarantined, 1);
+                    crate::obs_log!(
+                        "store: quarantined {} (corruption at byte {at})",
+                        path.display()
+                    );
+                    if i == last_index {
+                        // The append segment is gone; start a fresh one.
+                        inner.current_id = max_id + 1;
+                        inner.current_len = 0;
+                    }
+                }
+            }
+        }
+        if segments.is_empty() {
+            inner.current_id = 1;
+            inner.current_len = 0;
+        }
+        Ok(())
+    }
+
+    /// The directory this store persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Whether the store has flipped into sticky memory-only mode.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled.load(Ordering::SeqCst)
+    }
+
+    fn disable(&self, reason: &str) {
+        if !self.disabled.swap(true, Ordering::SeqCst) {
+            obs::add(Metric::StoreDisabled, 1);
+            crate::obs_log!(
+                "store: persistent I/O error — continuing in memory-only mode ({reason})"
+            );
+        }
+    }
+
+    /// Looks up `key`, re-verifying the frame checksum and the full key
+    /// bytes before serving. Disabled stores always miss; an I/O error
+    /// during the read flips memory-only mode and reports a miss.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        if self.is_disabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(location) = inner.index.get(key).copied() else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            obs::add(Metric::StoreMisses, 1);
+            return None;
+        };
+        match self.read_frame(&mut inner, location, key) {
+            Ok(Some(value)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::add(Metric::StoreHits, 1);
+                Some(value)
+            }
+            Ok(None) => {
+                // The frame no longer validates (the file changed under
+                // us): drop the entry so it is recomputed, never served.
+                inner.index.remove(key);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::add(Metric::StoreMisses, 1);
+                None
+            }
+            Err(e) => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                obs::add(Metric::StoreMisses, 1);
+                self.disable(&format!("read: {e}"));
+                None
+            }
+        }
+    }
+
+    fn read_frame(
+        &self,
+        inner: &mut Inner,
+        location: Location,
+        key: &[u8],
+    ) -> io::Result<Option<Vec<u8>>> {
+        // Make sure the append handle's bytes are visible to the read
+        // handle (write_all goes straight to the fd, so they are; this
+        // is belt and braces for the current segment).
+        let file = match inner.readers.entry(location.segment) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let path = self.dir.join(segment_name(location.segment));
+                e.insert(faultable!(Open, File::open(path)?))
+            }
+        };
+        file.seek(SeekFrom::Start(location.offset))?;
+        let mut frame = vec![0u8; location.frame_len as usize];
+        faultable!(Read, file.read_exact(&mut frame)?);
+        let payload = &frame[FRAME_HEADER..];
+        let crc = u32::from_le_bytes([frame[4], frame[5], frame[6], frame[7]]);
+        if crc32(payload) != crc {
+            return Ok(None);
+        }
+        let key_len =
+            u32::from_le_bytes([payload[8], payload[9], payload[10], payload[11]]) as usize;
+        if MIN_PAYLOAD as usize + key_len > payload.len() || &payload[12..12 + key_len] != key {
+            return Ok(None);
+        }
+        Ok(Some(payload[12 + key_len..].to_vec()))
+    }
+
+    /// Appends `(key, value)` as a new frame (write-through: callers
+    /// keep their in-memory tier authoritative). No-op once disabled;
+    /// an I/O error flips memory-only mode instead of propagating.
+    pub fn put(&self, key: &[u8], value: &[u8]) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match self.append_frame(&mut inner, key, value) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                obs::add(Metric::StoreWrites, 1);
+            }
+            Err(e) => {
+                drop(inner);
+                self.disable(&format!("write: {e}"));
+            }
+        }
+    }
+
+    fn append_frame(&self, inner: &mut Inner, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let frame = encode_frame(key, value);
+        if inner.current.is_some() && inner.current_len + frame.len() as u64 > SEGMENT_TARGET {
+            // Roll: sync and retire the full segment, then fall through
+            // to create the next one.
+            if let Some(file) = inner.current.take() {
+                faultable!(Sync, file.sync_data()?);
+            }
+            inner.current_id += 1;
+            inner.current_len = 0;
+            inner.appends_since_sync = 0;
+        }
+        if inner.current.is_none() {
+            let path = self.dir.join(segment_name(inner.current_id));
+            let mut file = faultable!(
+                Open,
+                OpenOptions::new().create(true).append(true).open(path)?
+            );
+            if inner.current_len == 0 {
+                faultable!(Write, file.write_all(MAGIC)?);
+                inner.current_len = MAGIC.len() as u64;
+                inner.bytes += MAGIC.len() as u64;
+                inner.segments += 1;
+            }
+            inner.current = Some(file);
+        }
+        let offset = inner.current_len;
+        #[cfg(any(test, feature = "fault-inject"))]
+        if faults::take_torn_write() {
+            // Crash simulation: half a frame reaches the disk, then the
+            // store goes memory-only as if the process had died here.
+            let file = inner.current.as_mut().unwrap_or_else(|| unreachable!());
+            file.write_all(&frame[..frame.len() / 2])?;
+            file.sync_data()?;
+            return Err(io::Error::other("injected fault: torn-write"));
+        }
+        {
+            let file = inner
+                .current
+                .as_mut()
+                .unwrap_or_else(|| unreachable!("append handle opened above"));
+            faultable!(Write, file.write_all(&frame)?);
+            inner.appends_since_sync += 1;
+            if inner.appends_since_sync >= SYNC_EVERY {
+                faultable!(Sync, file.sync_data()?);
+                inner.appends_since_sync = 0;
+            }
+        }
+        inner.current_len += frame.len() as u64;
+        inner.bytes += frame.len() as u64;
+        inner.frames += 1;
+        inner.index.insert(
+            key.to_vec(),
+            Location {
+                segment: inner.current_id,
+                offset,
+                frame_len: frame.len() as u32,
+            },
+        );
+        Ok(())
+    }
+
+    /// Fsyncs the current segment (the graceful-drain durability hook:
+    /// a clean shutdown must never rely on crash recovery). No-op when
+    /// disabled; an error flips memory-only mode.
+    pub fn flush(&self) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let result: io::Result<()> = (|| {
+            let pending = inner.appends_since_sync > 0;
+            if let Some(file) = inner.current.as_mut() {
+                if pending {
+                    faultable!(Sync, file.sync_data()?);
+                }
+            }
+            inner.appends_since_sync = 0;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            drop(inner);
+            self.disable(&format!("sync: {e}"));
+        }
+    }
+
+    /// A snapshot of this store's counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        StoreStats {
+            segments: inner.segments,
+            live_keys: inner.index.len(),
+            frames: inner.frames,
+            bytes: inner.bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            recovered: self.recovered,
+            quarantined: self.quarantined,
+            disabled: self.is_disabled(),
+        }
+    }
+}
+
+impl Drop for PersistentStore {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Offline maintenance: verify and compact
+// ---------------------------------------------------------------------
+
+/// What [`verify_dir`] found in one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentReport {
+    /// Segment file name.
+    pub name: String,
+    /// Valid frames in the segment.
+    pub frames: u64,
+    /// Bytes scanned.
+    pub bytes: u64,
+    /// `None` when the segment is clean; otherwise the byte offset of
+    /// the first invalid frame.
+    pub corrupt_at: Option<u64>,
+}
+
+/// The result of a full offline scan ([`verify_dir`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    /// Per-segment findings, in segment order.
+    pub segments: Vec<SegmentReport>,
+    /// Quarantined files present in the directory.
+    pub quarantined: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when every live segment validated end to end.
+    pub fn is_clean(&self) -> bool {
+        self.segments.iter().all(|s| s.corrupt_at.is_none())
+    }
+
+    /// Total valid frames across segments.
+    pub fn frames(&self) -> u64 {
+        self.segments.iter().map(|s| s.frames).sum()
+    }
+}
+
+/// Scans every live segment under `dir`, validating each frame's
+/// checksum and structure, without mutating anything — the read-only
+/// audit behind `ioopt cache verify`.
+///
+/// # Errors
+///
+/// Only on directory/file I/O failures; corruption is reported in the
+/// returned [`VerifyReport`], not as an error.
+pub fn verify_dir(dir: &Path) -> io::Result<VerifyReport> {
+    let mut report = VerifyReport::default();
+    for (_, path) in list_segments(dir)? {
+        let bytes = fs::read(&path)?;
+        // Strict mode: a verify treats even a torn tail as a finding
+        // (`open` would repair it; `verify` only reports).
+        let (frames, end) = scan_segment(&bytes, false);
+        report.segments.push(SegmentReport {
+            name: path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string(),
+            frames: frames.len() as u64,
+            bytes: bytes.len() as u64,
+            corrupt_at: match end {
+                ScanEnd::Clean => None,
+                ScanEnd::Torn(at) | ScanEnd::Corrupt(at) => Some(at),
+            },
+        });
+    }
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(name) = entry.file_name().to_str() {
+            if name.ends_with(".quarantined") {
+                report.quarantined.push(name.to_string());
+            }
+        }
+    }
+    report.quarantined.sort();
+    Ok(report)
+}
+
+/// The result of [`compact_dir`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Live keys rewritten into the fresh segment.
+    pub live_keys: u64,
+    /// Segment files removed (superseded originals).
+    pub segments_removed: usize,
+    /// Quarantined files removed.
+    pub quarantined_removed: usize,
+    /// Bytes before and after.
+    pub bytes_before: u64,
+    /// Bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// Rewrites the store down to its live frames: opens the store (running
+/// normal recovery), streams every live `(key, value)` into one fresh
+/// segment, fsyncs it, then removes the superseded segments and any
+/// quarantined files. Crash-safe ordering: the fresh segment gets the
+/// highest id and is fully durable *before* any original is deleted, so
+/// an interrupted compaction only leaves redundant (append-wins
+/// shadowed) frames behind, never missing ones.
+///
+/// # Errors
+///
+/// Any I/O failure; the store on disk is never left smaller than its
+/// live contents.
+pub fn compact_dir(dir: &Path) -> io::Result<CompactReport> {
+    let store = PersistentStore::open(dir);
+    if store.is_disabled() {
+        return Err(io::Error::other("store could not be opened for compaction"));
+    }
+    let stats = store.stats();
+    let live: Vec<(Vec<u8>, Vec<u8>)> = {
+        let mut inner = store.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut keys: Vec<(Vec<u8>, Location)> = inner
+            .index
+            .iter()
+            .map(|(k, loc)| (k.clone(), *loc))
+            .collect();
+        // Deterministic output order: by (segment, offset) — append order.
+        keys.sort_by_key(|(_, loc)| (loc.segment, loc.offset));
+        let mut out = Vec::with_capacity(keys.len());
+        for (key, location) in keys {
+            if let Some(value) = store.read_frame(&mut inner, location, &key)? {
+                out.push((key, value));
+            }
+        }
+        out
+    };
+    let old_segments = list_segments(dir)?;
+    let next_id = old_segments.iter().map(|(id, _)| *id).max().unwrap_or(0) + 1;
+    drop(store);
+
+    // Write the replacement under a temporary name, fsync, then rename
+    // into place — the rename is the commit point.
+    let tmp = dir.join(format!("compact-{next_id:06}.tmp"));
+    let mut bytes_after = MAGIC.len() as u64;
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(MAGIC)?;
+        for (key, value) in &live {
+            let frame = encode_frame(key, value);
+            file.write_all(&frame)?;
+            bytes_after += frame.len() as u64;
+        }
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, dir.join(segment_name(next_id)))?;
+
+    let mut segments_removed = 0usize;
+    for (_, path) in old_segments {
+        fs::remove_file(path)?;
+        segments_removed += 1;
+    }
+    let mut quarantined_removed = 0usize;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".quarantined"))
+        {
+            fs::remove_file(entry.path())?;
+            quarantined_removed += 1;
+        }
+    }
+    Ok(CompactReport {
+        live_keys: live.len() as u64,
+        segments_removed,
+        quarantined_removed,
+        bytes_before: stats.bytes,
+        bytes_after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A unique scratch directory per test (std-only; no tempfile dep).
+    fn scratch(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ioopt-store-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn put_get_survive_reopen_with_zero_recovery() {
+        let dir = scratch("roundtrip");
+        {
+            let store = PersistentStore::open(&dir);
+            for i in 0..20u32 {
+                store.put(
+                    format!("key-{i}").as_bytes(),
+                    format!("value-{i}").as_bytes(),
+                );
+            }
+            // Append-wins on duplicate keys.
+            store.put(b"key-3", b"value-3-updated");
+            assert_eq!(
+                store.get(b"key-3").as_deref(),
+                Some(&b"value-3-updated"[..])
+            );
+            assert_eq!(store.stats().writes, 21);
+        }
+        let store = PersistentStore::open(&dir);
+        let stats = store.stats();
+        assert_eq!(stats.recovered, 0, "clean shutdown must not need recovery");
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(stats.live_keys, 20);
+        for i in 0..20u32 {
+            let expected = if i == 3 {
+                "value-3-updated".to_string()
+            } else {
+                format!("value-{i}")
+            };
+            assert_eq!(
+                store.get(format!("key-{i}").as_bytes()).as_deref(),
+                Some(expected.as_bytes()),
+                "key-{i}"
+            );
+        }
+        assert!(store.get(b"absent").is_none());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 20);
+        assert_eq!(stats.misses, 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_frames_survive() {
+        let dir = scratch("torn");
+        {
+            let store = PersistentStore::open(&dir);
+            store.put(b"alpha", b"1");
+            store.put(b"beta", b"2");
+        }
+        // Simulate a crash mid-write: append half a frame.
+        let path = dir.join(segment_name(1));
+        let frame = encode_frame(b"gamma", b"3");
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(file);
+
+        let store = PersistentStore::open(&dir);
+        let stats = store.stats();
+        assert_eq!(stats.recovered, 1, "one torn-tail truncation event");
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(store.get(b"alpha").as_deref(), Some(&b"1"[..]));
+        assert_eq!(store.get(b"beta").as_deref(), Some(&b"2"[..]));
+        assert!(store.get(b"gamma").is_none());
+        // The truncated store accepts new appends cleanly.
+        store.put(b"gamma", b"3");
+        drop(store);
+        let store = PersistentStore::open(&dir);
+        assert_eq!(store.stats().recovered, 0);
+        assert_eq!(store.get(b"gamma").as_deref(), Some(&b"3"[..]));
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_quarantines_the_segment() {
+        let dir = scratch("quarantine");
+        {
+            let store = PersistentStore::open(&dir);
+            store.put(b"alpha", b"1");
+            store.put(b"beta", b"2");
+            store.put(b"gamma", b"3");
+        }
+        // Flip one byte inside the *first* frame's value: the bad frame
+        // has valid data after it, so this is mid-file corruption.
+        let path = dir.join(segment_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let first_value_offset = MAGIC.len() + FRAME_HEADER + 12 + "alpha".len();
+        bytes[first_value_offset] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        let store = PersistentStore::open(&dir);
+        let stats = store.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.recovered, 0);
+        assert_eq!(stats.live_keys, 0, "quarantined frames are never served");
+        assert!(store.get(b"alpha").is_none());
+        assert!(store.get(b"beta").is_none());
+        assert!(!path.exists(), "corrupt segment renamed away");
+        assert!(path.with_extension("log.quarantined").exists());
+        // The store keeps working: new writes land in a fresh segment.
+        store.put(b"delta", b"4");
+        assert_eq!(store.get(b"delta").as_deref(), Some(&b"4"[..]));
+        drop(store);
+        let store = PersistentStore::open(&dir);
+        assert_eq!(store.get(b"delta").as_deref(), Some(&b"4"[..]));
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unopenable_directory_degrades_to_memory_only() {
+        // The "directory" is a file: create_dir_all fails, but open()
+        // must still return a working (inert) store.
+        let dir = scratch("degraded");
+        fs::create_dir_all(dir.parent().unwrap()).unwrap();
+        fs::write(&dir, b"not a directory").unwrap();
+        let store = PersistentStore::open(&dir);
+        assert!(store.is_disabled());
+        store.put(b"k", b"v"); // no panic, no effect
+        assert!(store.get(b"k").is_none());
+        store.flush();
+        assert!(store.stats().disabled);
+        drop(store);
+        let _ = fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn verify_reports_corruption_without_mutating() {
+        let dir = scratch("verify");
+        {
+            let store = PersistentStore::open(&dir);
+            store.put(b"a", b"1");
+            store.put(b"b", b"2");
+        }
+        let report = verify_dir(&dir).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.frames(), 2);
+
+        let path = dir.join(segment_name(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 1] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let report = verify_dir(&dir).unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(report.segments.len(), 1);
+        assert!(report.segments[0].corrupt_at.is_some());
+        // verify must not have repaired or renamed anything.
+        assert_eq!(fs::read(&path).unwrap(), bytes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_shadowed_frames_and_quarantined_files() {
+        let dir = scratch("compact");
+        {
+            let store = PersistentStore::open(&dir);
+            for i in 0..10u32 {
+                store.put(b"hot-key", format!("gen-{i}").as_bytes());
+            }
+            store.put(b"stable", b"s");
+        }
+        fs::write(dir.join("seg-000099.log.quarantined"), b"junk").unwrap();
+        let report = compact_dir(&dir).unwrap();
+        assert_eq!(report.live_keys, 2);
+        assert_eq!(report.quarantined_removed, 1);
+        assert!(report.bytes_after < report.bytes_before);
+        let store = PersistentStore::open(&dir);
+        let stats = store.stats();
+        assert_eq!(stats.frames, 2, "only live frames survive compaction");
+        assert_eq!(store.get(b"hot-key").as_deref(), Some(&b"gen-9"[..]));
+        assert_eq!(store.get(b"stable").as_deref(), Some(&b"s"[..]));
+        drop(store);
+        assert!(verify_dir(&dir).unwrap().is_clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_classifies_torn_versus_corrupt() {
+        let mut image = MAGIC.to_vec();
+        let f1 = encode_frame(b"k1", b"v1");
+        let f2 = encode_frame(b"k2", b"v2");
+        image.extend_from_slice(&f1);
+        image.extend_from_slice(&f2);
+
+        let (frames, end) = scan_segment(&image, true);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(end, ScanEnd::Clean);
+
+        // Incomplete trailing frame: torn in the last segment, corrupt
+        // in an earlier one.
+        let torn = &image[..image.len() - 3];
+        let (frames, end) = scan_segment(torn, true);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(end, ScanEnd::Torn((MAGIC.len() + f1.len()) as u64));
+        let (_, end) = scan_segment(torn, false);
+        assert!(matches!(end, ScanEnd::Corrupt(_)));
+
+        // Checksum failure on the final frame at EOF: torn; the same
+        // failure followed by more data: corrupt.
+        let mut flipped = image.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        let (_, end) = scan_segment(&flipped, true);
+        assert_eq!(end, ScanEnd::Torn((MAGIC.len() + f1.len()) as u64));
+        let mut mid = flipped.clone();
+        mid.extend_from_slice(&encode_frame(b"k3", b"v3"));
+        let (frames, end) = scan_segment(&mid, true);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(end, ScanEnd::Corrupt(_)));
+
+        // Garbage length field: corrupt even at the tail.
+        let mut garbage = MAGIC.to_vec();
+        garbage.extend_from_slice(&u32::MAX.to_le_bytes());
+        garbage.extend_from_slice(&[0u8; 4]);
+        let (_, end) = scan_segment(&garbage, true);
+        assert!(matches!(end, ScanEnd::Corrupt(_)));
+    }
+}

@@ -162,17 +162,72 @@ impl Shared {
 }
 
 /// A running HTTP server: one acceptor thread, `workers` worker
-/// threads, and a bounded admission queue between them.
+/// threads, a pool supervisor that respawns dead workers, and a bounded
+/// admission queue between acceptor and pool.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+fn spawn_worker(id: usize, shared: &Arc<Shared>, handler: &Arc<Handler>) -> JoinHandle<()> {
+    let shared = shared.clone();
+    let handler = handler.clone();
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{id}"))
+        .spawn(move || worker_loop(&shared, &handler))
+        .expect("spawn worker")
+}
+
+/// The pool supervisor: wakes every poll interval (or immediately on
+/// shutdown), reaps workers whose threads have exited, and respawns
+/// them so a panic that escapes per-request containment (anywhere in
+/// `worker_loop` outside `dispatch`) shrinks the pool only for
+/// milliseconds instead of the life of the process. Each respawn counts
+/// one `serve.workers_respawned`.
+fn supervise(
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    handler: &Arc<Handler>,
+) {
+    let mut next_id = {
+        let pool = workers.lock().expect("worker pool poisoned");
+        pool.len()
+    };
+    loop {
+        {
+            let stopped = shared.stop_gate.lock().expect("stop gate poisoned");
+            let (stopped, _timeout) = shared
+                .stop_signal
+                .wait_timeout(stopped, Duration::from_millis(25))
+                .expect("stop gate poisoned");
+            if *stopped {
+                return;
+            }
+        }
+        let mut pool = workers.lock().expect("worker pool poisoned");
+        let mut i = 0;
+        while i < pool.len() {
+            if pool[i].is_finished() {
+                // Reap the dead thread, then replace it. A worker only
+                // exits this early via a panic; the queue is still open.
+                let _ = pool.swap_remove(i).join();
+                pool.push(spawn_worker(next_id, shared, handler));
+                next_id += 1;
+                obs::add(Metric::ServeWorkersRespawned, 1);
+                ioopt_engine::obs_log!("serve: worker thread died; respawned (pool restored)");
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the acceptor and worker threads immediately.
+    /// starts the acceptor, worker, and supervisor threads immediately.
     pub fn bind<A: ToSocketAddrs>(
         addr: A,
         options: ServeOptions,
@@ -198,21 +253,26 @@ impl Server {
                 .expect("spawn acceptor")
         };
 
-        let workers = (0..options.workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                let handler = handler.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &handler))
-                    .expect("spawn worker")
-            })
-            .collect();
+        let workers = Arc::new(Mutex::new(
+            (0..options.workers.max(1))
+                .map(|i| spawn_worker(i, &shared, &handler))
+                .collect::<Vec<_>>(),
+        ));
+
+        let supervisor = {
+            let shared = shared.clone();
+            let workers = workers.clone();
+            std::thread::Builder::new()
+                .name("serve-supervisor".to_string())
+                .spawn(move || supervise(&shared, &workers, &handler))
+                .expect("spawn supervisor")
+        };
 
         Ok(Server {
             shared,
             addr: local,
             acceptor: Some(acceptor),
+            supervisor: Some(supervisor),
             workers,
         })
     }
@@ -262,11 +322,22 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
+        // The supervisor must stop before the workers are joined, so no
+        // respawn races the drain (a worker spawned after queue.close()
+        // would exit immediately anyway, but the join loop below wants a
+        // stable pool).
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
         // The listener is dropped with the acceptor: the port now
         // refuses connections. Close the queue so workers exit once the
         // already-admitted requests are done.
         self.shared.queue.close();
-        for worker in self.workers.drain(..) {
+        let pool: Vec<JoinHandle<()>> = {
+            let mut workers = self.workers.lock().expect("worker pool poisoned");
+            workers.drain(..).collect()
+        };
+        for worker in pool {
             let _ = worker.join();
         }
     }
@@ -337,8 +408,38 @@ fn admit(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// The `IOOPT_FAULT` directive `worker-panic[:<nth>]` (compiled only
+/// under `cfg(test)` or the `fault-inject` feature): panic at the
+/// `nth` (1-based) request pickup across the pool — *outside* the
+/// per-request `catch_unwind` in `dispatch` — killing the worker thread
+/// so the supervisor's respawn path can be exercised deterministically.
+#[cfg(any(test, feature = "fault-inject"))]
+fn worker_panic_fault() {
+    use std::sync::atomic::AtomicU64;
+    static PICKUPS: AtomicU64 = AtomicU64::new(0);
+    let Ok(spec) = std::env::var("IOOPT_FAULT") else {
+        return;
+    };
+    for directive in spec.split(',').map(str::trim) {
+        let mut parts = directive.splitn(2, ':');
+        if parts.next() != Some("worker-panic") {
+            continue;
+        }
+        let n = PICKUPS.fetch_add(1, Ordering::SeqCst) + 1;
+        let hit = match parts.next().and_then(|v| v.parse::<u64>().ok()) {
+            Some(nth) => n == nth,
+            None => true,
+        };
+        if hit {
+            panic!("injected fault: worker-panic (pickup {n})");
+        }
+    }
+}
+
 fn worker_loop(shared: &Shared, handler: &Arc<Handler>) {
     while let Some((mut stream, admitted)) = shared.queue.pop() {
+        #[cfg(any(test, feature = "fault-inject"))]
+        worker_panic_fault();
         let response = match http::read_request(
             &mut stream,
             shared.options.read_timeout,

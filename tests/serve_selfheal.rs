@@ -1,0 +1,88 @@
+//! Self-healing worker pool (compiled only with the `fault-inject`
+//! feature, which forwards to the serve crate and enables the
+//! `IOOPT_FAULT` `worker-panic` directive):
+//!
+//! ```text
+//! cargo test -q --features fault-inject --test serve_selfheal
+//! ```
+//!
+//! A panic that escapes per-request containment kills its worker
+//! thread; before this PR that silently shrank the pool for the life of
+//! the process. The supervisor must detect the dead worker, respawn it
+//! (counting `serve.workers_respawned`), and the server must go on
+//! answering at full strength.
+#![cfg(feature = "fault-inject")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ioopt::{analysis_handler, obs, ServiceDefaults};
+use ioopt_serve::{ServeOptions, Server};
+use ioopt_suite::testutil::http_get;
+
+/// Sends one request tolerating a transport failure — the request whose
+/// pickup panics the worker sees a connection reset, which is exactly
+/// the failure mode under test, not a test bug.
+fn tolerant_get(addr: std::net::SocketAddr, path: &str) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes());
+    let mut sink = String::new();
+    let _ = stream.read_to_string(&mut sink);
+}
+
+#[test]
+fn dead_workers_are_respawned_and_the_pool_keeps_serving() {
+    // The injected panic is expected; keep its backtrace out of the
+    // test output (the serve CLI silences the hook the same way).
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // The very first pickup across the pool panics its worker — outside
+    // the per-request catch_unwind, so the thread actually dies.
+    std::env::set_var("IOOPT_FAULT", "worker-panic:1");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+        analysis_handler(ServiceDefaults::default()),
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let baseline = obs::value(obs::Metric::ServeWorkersRespawned);
+
+    tolerant_get(addr, "/healthz");
+
+    // The supervisor polls on a short interval; give it a generous
+    // deadline before declaring the pool permanently shrunk.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while obs::value(obs::Metric::ServeWorkersRespawned) <= baseline {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never respawned the dead worker"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::env::remove_var("IOOPT_FAULT");
+
+    // Full strength again: more concurrent requests than one surviving
+    // worker could interleave errors through, all answered.
+    for _ in 0..8 {
+        let response = http_get(addr, "/healthz");
+        assert_eq!(response.status, 200);
+    }
+    let metrics = http_get(addr, "/metrics");
+    assert!(
+        metrics.body.contains("ioopt_serve_workers_respawned"),
+        "{}",
+        metrics.body
+    );
+
+    server.shutdown();
+    std::panic::set_hook(quiet);
+}

@@ -1,0 +1,161 @@
+//! The persistent row tier end to end: write-through on a cold batch,
+//! disk replay with byte-identical reports, restart simulation with
+//! zero crash recovery after a clean flush (the `POST /shutdown`
+//! durability ordering, exercised via the same flush hook), and the
+//! disk extension of the "degraded results are never cached" invariant.
+//!
+//! The row store is process-global (`install_row_store`), so the
+//! scenarios run sequentially inside one test function — the same
+//! discipline `fault_injection.rs` uses for `IOOPT_FAULT`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+use ioopt::{
+    builtin_corpus, install_row_store, reset_memo, row_store_stats, run_batch, uninstall_row_store,
+    BatchItem, BatchOptions, Status,
+};
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ioopt-rowtier-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn symbolic_options(cache_elems: f64) -> BatchOptions {
+    BatchOptions {
+        cache_elems,
+        jobs: 1,
+        memo: true,
+        numeric: false,
+        ..BatchOptions::default()
+    }
+}
+
+/// A kernel the pipeline rejects (seidel-style loop-carried dependence
+/// is not fully tilable), yielding a genuine `failed` row.
+fn failing_item() -> BatchItem {
+    let kernel =
+        ioopt::ir::parse_kernel("kernel seidel { loop t : T; loop i : N; A[i] += A[i+1] * A[i]; }")
+            .expect("parse");
+    let sizes: HashMap<String, i64> = [("t".to_string(), 4i64), ("i".to_string(), 16)]
+        .into_iter()
+        .collect();
+    BatchItem {
+        label: "seidel".to_string(),
+        kernel,
+        sizes,
+    }
+}
+
+#[test]
+fn row_tier_replays_exact_rows_and_never_persists_imperfect_ones() {
+    let dir = scratch();
+    let corpus: Vec<BatchItem> = builtin_corpus().into_iter().take(3).collect();
+    let options = symbolic_options(32768.0);
+
+    // --- cold run: write-through ---------------------------------------
+    install_row_store(&dir);
+    let cold = run_batch(&corpus, &options);
+    assert_eq!(cold.worst_status(), Status::Exact);
+    let s = row_store_stats().expect("store installed");
+    assert_eq!(s.writes, 3, "one frame per exact row");
+    assert_eq!(s.hits, 0);
+
+    // --- warm run, same process: disk hits, identical bytes ------------
+    let warm = run_batch(&corpus, &options);
+    assert_eq!(warm.to_json(), cold.to_json());
+    let s2 = row_store_stats().expect("store installed");
+    let d = s2.delta(&s);
+    assert_eq!(d.hits, 3, "all rows replayed from disk");
+    assert_eq!(d.writes, 0, "a replayed row is not re-persisted");
+
+    // --- restart simulation: clean flush leaves nothing to recover -----
+    uninstall_row_store();
+    reset_memo();
+    install_row_store(&dir);
+    let after_restart = row_store_stats().expect("store installed");
+    assert_eq!(
+        after_restart.recovered, 0,
+        "a flushed store must reopen without crash recovery"
+    );
+    assert_eq!(after_restart.quarantined, 0);
+    assert_eq!(after_restart.live_keys, 3);
+    let restarted = run_batch(&corpus, &options);
+    assert_eq!(
+        restarted.to_json(),
+        cold.to_json(),
+        "rows replayed across a restart must be byte-identical"
+    );
+    let d = row_store_stats()
+        .expect("store installed")
+        .delta(&after_restart);
+    assert_eq!(d.hits, 3);
+    assert_eq!(d.writes, 0);
+
+    // --- degraded rows are never persisted -----------------------------
+    // A zero deadline degrades every stage; a distinct cache size keeps
+    // the keys fresh so nothing can be answered from disk either.
+    let before = row_store_stats().expect("store installed");
+    let degraded_options = BatchOptions {
+        timeout_ms: Some(0),
+        ..symbolic_options(12345.0)
+    };
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let degraded = run_batch(&corpus, &degraded_options);
+    std::panic::set_hook(quiet);
+    let exact_rows = degraded
+        .rows
+        .iter()
+        .filter(|r| r.status == Status::Exact && r.error.is_none())
+        .count();
+    assert!(
+        degraded.rows.iter().any(|r| r.status != Status::Exact),
+        "a zero deadline must degrade at least one row"
+    );
+    let d = row_store_stats().expect("store installed").delta(&before);
+    assert_eq!(
+        d.writes, exact_rows as u64,
+        "only exact, error-free rows may reach the disk tier"
+    );
+
+    // --- failed rows are never persisted -------------------------------
+    let before = row_store_stats().expect("store installed");
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    // The not-tilable rejection fires in the numeric pipeline, so this
+    // one runs with `numeric: true` (the kernel is tiny).
+    let failed = run_batch(
+        &[failing_item()],
+        &BatchOptions {
+            numeric: true,
+            ..symbolic_options(32768.0)
+        },
+    );
+    std::panic::set_hook(quiet);
+    assert_eq!(failed.rows[0].status, Status::Failed);
+    let d = row_store_stats().expect("store installed").delta(&before);
+    assert_eq!(d.writes, 0, "failed rows must never reach the disk tier");
+
+    // --- memo: false bypasses the tier entirely ------------------------
+    let before = row_store_stats().expect("store installed");
+    let no_memo = BatchOptions {
+        memo: false,
+        ..symbolic_options(32768.0)
+    };
+    let bypassed = run_batch(&corpus, &no_memo);
+    assert_eq!(bypassed.worst_status(), Status::Exact);
+    let d = row_store_stats().expect("store installed").delta(&before);
+    assert_eq!(
+        (d.hits, d.misses, d.writes),
+        (0, 0, 0),
+        "--no-memo bypasses disk"
+    );
+
+    uninstall_row_store();
+    // With the tier uninstalled, batches run memory-only again.
+    assert!(row_store_stats().is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
