@@ -281,6 +281,49 @@ fi
 rm -rf "$store_dir"
 echo "crash recovery: clean verify, golden replay, zero recovery after graceful drain"
 
+echo "==> bugfix regressions: gauge scrape, drain 503, torn tail header, head-scan resume"
+# Named re-runs of the four latent-bug fixes so a regression fails with
+# the bug's name in the log, not somewhere inside the workspace suite.
+cargo test -q -p ioopt-engine --lib gauge_metrics_are_tagged_and_set_absolutely
+cargo test -q -p ioopt-engine --lib scan_classifies_torn_versus_corrupt
+cargo test -q --test store_recovery garbage_length_in_the_tail_header_truncates_instead_of_quarantining
+cargo test -q -p ioopt-serve --lib metrics_scrape_declares_gauges_as_gauges
+cargo test -q -p ioopt-serve --lib draining_server_sheds_with_503_not_429
+cargo test -q -p ioopt-serve --lib head_scan_resumes_across_chunk_boundaries
+
+echo "==> sharded fleet: golden conformance and kill -9 respawn through --shards 3"
+cargo test -q --test serve_sharded
+
+echo "==> multi-shard storm: routed balance, kill -9 one shard, per-shard warm restart"
+shard_dir=$(mktemp -d /tmp/ioopt_shards.XXXXXX)
+# Fleet mode warms the full corpus through the router, gates the routed
+# counters against the route_hash partition map, SIGKILLs one shard
+# mid-storm (the supervisor must respawn it), then restarts the fleet on
+# the same directory and gates each shard's warm-restart store hits.
+./target/release/loadgen --duration-secs 8 --connections 8 --shards 3 \
+  --cache-dir "$shard_dir" --server-bin target/release/ioopt
+# Every partition is a well-formed store of its own; `stats` opens
+# read-only (the same inspection is safe while a shard owns the dir).
+for d in "$shard_dir"/shard-*; do
+  ./target/release/ioopt cache verify --cache-dir "$d"
+  ./target/release/ioopt cache stats --cache-dir "$d"
+done
+# Hit-ratio-aware compaction: the first compact stamps the access clock
+# (grace window — nothing evicted), and a second compact with no reads
+# in between evicts every cold row.
+first=$(./target/release/ioopt cache compact --cache-dir "$shard_dir/shard-00" --json \
+  | python3 -c 'import json,sys; print(int(json.load(sys.stdin)["evicted"]))')
+second=$(./target/release/ioopt cache compact --cache-dir "$shard_dir/shard-00" --json \
+  | python3 -c 'import json,sys; print(int(json.load(sys.stdin)["evicted"]))')
+live=$(./target/release/ioopt cache stats --cache-dir "$shard_dir/shard-00" --json \
+  | python3 -c 'import json,sys; print(int(json.load(sys.stdin)["live_keys"]))')
+if [ "$first" -ne 0 ] || [ "$second" -eq 0 ] || [ "$live" -ne 0 ]; then
+  echo "FAIL: eviction clock (first compact evicted $first, second $second, $live live key(s) left)"
+  exit 1
+fi
+rm -rf "$shard_dir"
+echo "sharded serving: storm, read-only inspection, eviction clock OK"
+
 # The fault-injection legs rebuild the ioopt binary with the
 # `fault-inject` feature, so they run after every leg that uses the
 # stock release binary.

@@ -26,14 +26,25 @@
 //!
 //!     cargo run --release -p ioopt-bench --bin loadgen -- \
 //!         --duration-secs 20 [--cache-dir DIR] [--server-bin target/release/ioopt]
+//!
+//! **Multi-shard storm** (`--duration-secs N --shards K`, K ≥ 2) drives
+//! the same story through a sharded fleet: warm the full 19-kernel
+//! corpus through the router, gate that every shard's routed-request
+//! counter matches the partition `route_hash % K` predicts, `kill -9`
+//! ONE shard mid-storm (the fleet supervisor must respawn it while the
+//! other partitions keep serving), then drain, restart the whole fleet
+//! on the same cache directory, and gate each shard's warm-restart
+//! store hits — read through the router's `/shards/I/metrics`
+//! passthrough — against the kernels that shard owns.
 
 use std::io::BufRead;
 use std::net::SocketAddr;
 use std::process::{Child, Command, Stdio};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ioopt::{
-    analysis_handler, corpus_item, memo_stats, reset_memo, run_batch, BatchOptions, ServiceDefaults,
+    analysis_handler, builtin_corpus, corpus_item, memo_stats, reset_memo, route_hash, run_batch,
+    BatchOptions, ServiceDefaults,
 };
 use ioopt_bench::loadclient::{self, MIX, SNAPSHOT_CACHE};
 use ioopt_serve::{ServeOptions, Server};
@@ -46,6 +57,7 @@ struct Args {
     duration_secs: Option<u64>,
     cache_dir: Option<String>,
     server_bin: String,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +68,7 @@ fn parse_args() -> Args {
         duration_secs: None,
         cache_dir: None,
         server_bin: "target/release/ioopt".to_string(),
+        shards: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -90,11 +103,16 @@ fn parse_args() -> Args {
             }
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")),
             "--server-bin" => args.server_bin = value("--server-bin"),
+            "--shards" => {
+                args.shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|e| die(&format!("--shards: {e}")));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N]\n\
                      \u{20}      loadgen --duration-secs N [--cache-dir DIR] [--server-bin PATH]\n\
-                     \u{20}              [--connections N]"
+                     \u{20}              [--connections N] [--shards K]"
                 );
                 std::process::exit(0);
             }
@@ -104,6 +122,9 @@ fn parse_args() -> Args {
     if args.connections == 0 || args.requests == 0 {
         die("--connections and --requests must be positive");
     }
+    if args.shards > 1 && args.duration_secs.is_none() {
+        die("--shards needs --duration-secs (the fleet storm is a sustained mode)");
+    }
     args
 }
 
@@ -112,19 +133,33 @@ fn die(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// A spawned `ioopt serve` child: the process, its announced address,
+/// and — in `--shards` mode — each shard's pid in index order.
+struct SpawnedServer {
+    child: Child,
+    addr: SocketAddr,
+    shard_pids: Vec<u32>,
+}
+
 /// Spawns a child `ioopt serve --cache-dir` on an ephemeral port and
 /// parses the bound address off its `serve: listening on …` stderr
-/// line; the rest of the child's stderr is forwarded on a drainer
-/// thread so its pipe never fills.
-fn spawn_server(bin: &str, cache_dir: &str) -> (Child, SocketAddr) {
-    let mut child = Command::new(bin)
-        .args(["serve", "--addr", "127.0.0.1:0", "--cache-dir", cache_dir])
+/// line (plus, with `shards ≥ 2`, every `serve: shard I listening on
+/// ADDR (pid P)` line that precedes it); the rest of the child's stderr
+/// is forwarded on a drainer thread so its pipe never fills.
+fn spawn_server(bin: &str, cache_dir: &str, shards: usize) -> SpawnedServer {
+    let mut cmd = Command::new(bin);
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--cache-dir", cache_dir]);
+    if shards > 1 {
+        cmd.args(["--shards", &shards.to_string()]);
+    }
+    let mut child = cmd
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
         .unwrap_or_else(|e| die(&format!("spawn `{bin} serve`: {e}")));
     let stderr = child.stderr.take().expect("stderr piped");
     let mut reader = std::io::BufReader::new(stderr);
+    let mut shard_pids = vec![0u32; shards.max(1)];
     let addr = loop {
         let mut line = String::new();
         if reader
@@ -135,7 +170,25 @@ fn spawn_server(bin: &str, cache_dir: &str) -> (Child, SocketAddr) {
             die("server exited before announcing its address");
         }
         eprint!("server: {line}");
-        if let Some(rest) = line.trim().strip_prefix("serve: listening on ") {
+        let text = line.trim();
+        if let Some(rest) = text.strip_prefix("serve: shard ") {
+            // "I listening on ADDR (pid P)" — parent-logged, so the
+            // `shard N: `-prefixed forwarded child lines never match.
+            let index: usize = rest
+                .split_whitespace()
+                .next()
+                .and_then(|i| i.parse().ok())
+                .unwrap_or_else(|| die(&format!("cannot parse shard index from `{text}`")));
+            let pid: u32 = rest
+                .split("(pid ")
+                .nth(1)
+                .and_then(|p| p.strip_suffix(')'))
+                .and_then(|p| p.parse().ok())
+                .unwrap_or_else(|| die(&format!("cannot parse shard pid from `{text}`")));
+            if index < shard_pids.len() {
+                shard_pids[index] = pid;
+            }
+        } else if let Some(rest) = text.strip_prefix("serve: listening on ") {
             let addr = rest
                 .split_whitespace()
                 .next()
@@ -149,7 +202,14 @@ fn spawn_server(bin: &str, cache_dir: &str) -> (Child, SocketAddr) {
             eprintln!("server: {line}");
         }
     });
-    (child, addr)
+    if shards > 1 && shard_pids.contains(&0) {
+        die("fleet started without announcing every shard");
+    }
+    SpawnedServer {
+        child,
+        addr,
+        shard_pids,
+    }
 }
 
 /// The value of one counter in a Prometheus `/metrics` body.
@@ -171,7 +231,9 @@ fn run_sustained(args: &Args, duration_secs: u64) -> ! {
         .into_owned();
     let cache_dir = args.cache_dir.clone().unwrap_or(fallback_dir);
 
-    let (mut child, addr) = spawn_server(&args.server_bin, &cache_dir);
+    let SpawnedServer {
+        mut child, addr, ..
+    } = spawn_server(&args.server_bin, &cache_dir, 1);
 
     // Sequential warm-up: one pass over the mix so every distinct key is
     // on disk (the frame is appended before the response is sent) before
@@ -217,7 +279,9 @@ fn run_sustained(args: &Args, duration_secs: u64) -> ! {
 
     // Restart on the same directory: recovery (if any) runs at open,
     // then the first pass over the mix must be answered from disk.
-    let (mut child, addr) = spawn_server(&args.server_bin, &cache_dir);
+    let SpawnedServer {
+        mut child, addr, ..
+    } = spawn_server(&args.server_bin, &cache_dir, 1);
     let mut first_pass_failures = 0usize;
     for kernel in MIX {
         match loadclient::try_post(addr, "/analyze", &loadclient::request_body(kernel)) {
@@ -269,9 +333,152 @@ fn run_sustained(args: &Args, duration_secs: u64) -> ! {
     std::process::exit(0);
 }
 
+/// Multi-shard storm mode (`--duration-secs N --shards K`): spawns a
+/// sharded fleet, gates routed-request balance against the partition
+/// map, `kill -9`s one shard mid-storm (the supervisor must respawn it),
+/// then restarts the fleet on the same cache directory and gates every
+/// shard's warm-restart store hits against the kernels it owns.
+fn run_sharded(args: &Args, duration_secs: u64, shards: usize) -> ! {
+    let duration = Duration::from_secs(duration_secs.max(4));
+    let fallback_dir = std::env::temp_dir()
+        .join(format!("ioopt-loadgen-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let cache_dir = args.cache_dir.clone().unwrap_or(fallback_dir);
+
+    // The partition map over the full corpus, computed exactly as the
+    // router computes it. Every shard must own at least one kernel or
+    // the balance and warm-restart gates would be vacuous for it.
+    let corpus: Vec<String> = builtin_corpus().iter().map(|i| i.label.clone()).collect();
+    let owner =
+        |label: &str| (route_hash(&loadclient::request_body(label)) % shards as u64) as usize;
+    let mut owned = vec![0u64; shards];
+    for label in &corpus {
+        owned[owner(label)] += 1;
+    }
+    println!(
+        "shards: partition ownership over the {}-kernel corpus: {owned:?}",
+        corpus.len()
+    );
+    if owned.contains(&0) {
+        die("degenerate partition map: a shard owns no corpus kernel");
+    }
+
+    let mut server = spawn_server(&args.server_bin, &cache_dir, shards);
+
+    // Warm the whole corpus through the router: every shard's partition
+    // gets persisted into its own store subdirectory.
+    for label in &corpus {
+        match loadclient::try_post(server.addr, "/analyze", &loadclient::request_body(label)) {
+            Some(200) => {}
+            other => die(&format!("warm-up `{label}` answered {other:?}")),
+        }
+    }
+    // Balance gate: each shard's routed-request counter covers exactly
+    // the kernels the partition map assigns it (the warm-up is the only
+    // traffic so far).
+    let scrape = http_get(server.addr, "/metrics").body;
+    for (i, &expected) in owned.iter().enumerate() {
+        let routed = metric(&scrape, &format!("ioopt_shard_requests{{shard=\"{i}\"}}"));
+        if routed != expected {
+            die(&format!(
+                "shard balance: shard {i} was routed {routed} request(s), \
+                 the partition map predicts {expected}"
+            ));
+        }
+    }
+    println!("shards: routed-request balance matches the partition map");
+
+    // Storm the mix; mid-storm, kill -9 the shard owning the mix's first
+    // kernel. Only that partition may shed; the supervisor must respawn
+    // it before the gate below.
+    let victim = owner(MIX[0]);
+    println!(
+        "storm: {} connections for {duration_secs}s against {} ({shards} shards)",
+        args.connections, server.addr
+    );
+    let storm = std::thread::spawn({
+        let connections = args.connections;
+        let addr = server.addr;
+        move || loadclient::drive_for(addr, MIX, connections, duration)
+    });
+    std::thread::sleep(duration / 2);
+    let pid = server.shard_pids[victim];
+    println!("storm: kill -9 shard {victim} (pid {pid}) mid-storm");
+    let status = Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .unwrap_or_else(|e| die(&format!("run kill: {e}")));
+    if !status.success() {
+        die(&format!("kill -9 {pid} failed"));
+    }
+    let report = storm.join().expect("storm thread panicked");
+    println!(
+        "storm: {} requests ok, {} failed-or-shed during the kill window",
+        report.sorted_us.len(),
+        report.failures
+    );
+
+    // The supervisor must have the victim back up (respawned, counted).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let scrape = http_get(server.addr, "/metrics").body;
+        let respawned = metric(&scrape, "ioopt_serve_shards_respawned");
+        let up = metric(&scrape, &format!("ioopt_shard_up{{shard=\"{victim}\"}}"));
+        if respawned >= 1 && up == 1 {
+            break;
+        }
+        if Instant::now() >= deadline {
+            die(&format!(
+                "shard {victim} was never respawned (respawned={respawned}, up={up})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    println!("storm: shard {victim} respawned; fleet healthy");
+
+    // Graceful fleet drain, then a cold fleet restart on the same
+    // directory: each shard must warm-start from its own partition.
+    let _ = loadclient::try_post(server.addr, "/shutdown", "");
+    let _ = server.child.wait();
+    let mut server = spawn_server(&args.server_bin, &cache_dir, shards);
+    for label in &corpus {
+        match loadclient::try_post(server.addr, "/analyze", &loadclient::request_body(label)) {
+            Some(200) => {}
+            other => die(&format!("restart pass `{label}` answered {other:?}")),
+        }
+    }
+    let mut failed = false;
+    for (i, &owns) in owned.iter().enumerate() {
+        let body = http_get(server.addr, &format!("/shards/{i}/metrics")).body;
+        let hits = metric(&body, "ioopt_store_hits");
+        // The kill -9 forfeits at most one torn trailing frame in the
+        // victim's partition; every other shard drained cleanly.
+        let expected = owns.saturating_sub(u64::from(i == victim));
+        println!("warm restart: shard {i} store hits {hits} (owns {owns} corpus kernel(s))");
+        if hits < expected {
+            eprintln!(
+                "loadgen: FAIL — shard {i} warm-restarted with {hits} store hit(s), \
+                 expected at least {expected} for its partition"
+            );
+            failed = true;
+        }
+    }
+    let _ = loadclient::try_post(server.addr, "/shutdown", "");
+    let _ = server.child.wait();
+    if failed {
+        std::process::exit(1);
+    }
+    println!("loadgen: every shard warm-restarted from its own partition");
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     if let Some(duration_secs) = args.duration_secs {
+        if args.shards > 1 {
+            run_sharded(&args, duration_secs, args.shards);
+        }
         run_sustained(&args, duration_secs);
     }
 

@@ -271,6 +271,23 @@ fn interned_terms() -> u64 {
     ioopt::symbolic::intern_stats().terms
 }
 
+/// The shard count the CI fleet storm runs with (`loadgen --shards 3`).
+const SHARD_COUNT: usize = 3;
+
+/// The partition map `ioopt serve --shards 3` would route the full
+/// corpus by (`route_hash % 3` per kernel — structural, so e.g. every
+/// same-shaped Yolo9000 layer lands on one shard). Purely derived and
+/// never gated; committing it makes routing changes show up in the
+/// baseline diff instead of silently remapping every shard's store.
+fn corpus_partition() -> Vec<i64> {
+    let mut owned = vec![0i64; SHARD_COUNT];
+    for item in builtin_corpus() {
+        let body = loadclient::request_body(&item.label);
+        owned[(ioopt::route_hash(&body) % SHARD_COUNT as u64) as usize] += 1;
+    }
+    owned
+}
+
 fn render_report(
     ci: bool,
     kernels: &[KernelSample],
@@ -327,6 +344,17 @@ fn render_report(
                     Json::Num(store.warm_restart_hit_ratio),
                 ),
                 ("replay_us", Json::Int(store.replay_us as i64)),
+            ]),
+        ),
+        // Additive and ungated, like `store`: the fleet's partition map.
+        (
+            "shards",
+            Json::obj([
+                ("count", Json::Int(SHARD_COUNT as i64)),
+                (
+                    "corpus_partition",
+                    Json::Array(corpus_partition().into_iter().map(Json::Int).collect()),
+                ),
             ]),
         ),
         (

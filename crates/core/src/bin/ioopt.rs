@@ -31,13 +31,18 @@
 //!   --trace-json PATH     (batch) write a Chrome-trace JSON of the run
 //!   --cache-dir PATH      (batch, serve) persistent memo store: finished
 //!                         exact rows are replayed across restarts
+//!   --shards N            (serve) fork N child serve processes, each
+//!                         owning the key partition `route_hash % N` and
+//!                         its own `shard-%02d/` store subdirectory,
+//!                         behind an in-process router
 //! ```
 //!
 //! `cache` inspects and maintains a `--cache-dir` store: `stats` opens
-//! it (running normal torn-tail recovery) and prints counters, `verify`
-//! is a read-only full-checksum scan (exit 2 on any corruption),
-//! `compact` rewrites live frames into one fresh segment and drops
-//! superseded and quarantined data.
+//! it read-only (safe against a live shard's partition) and prints
+//! counters, `verify` is a read-only full-checksum scan (exit 2 on any
+//! corruption), `compact` rewrites live frames into one fresh segment,
+//! drops superseded and quarantined data, and evicts rows not read
+//! since the previous compaction.
 //!
 //! `batch` exit codes: 0 when every row is exact, 2 when any row is
 //! degraded or failed (the report still prints), 1 on usage errors.
@@ -75,7 +80,7 @@ fn usage() -> &'static str {
      \u{20}                  [--cache-dir PATH]\n\
      \u{20}      ioopt audit <report.json> [--json]\n\
      \u{20}      ioopt serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-     \u{20}                  [--timeout-ms N] [--max-kernels N] [--cache-dir PATH]\n\
+     \u{20}                  [--timeout-ms N] [--max-kernels N] [--cache-dir PATH] [--shards N]\n\
      \u{20}      ioopt cache <stats | verify | compact> --cache-dir PATH [--json]\n\
      try:   ioopt --list-builtins"
 }
@@ -547,6 +552,7 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
     let mut options = ServeOptions::default();
     let mut defaults = ServiceDefaults::default();
     let mut cache_dir: Option<String> = None;
+    let mut shards: usize = 1;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -593,12 +599,25 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
             "--cache-dir" => {
                 cache_dir = Some(it.next().ok_or("--cache-dir needs a path")?);
             }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --shards value: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(ExitCode::SUCCESS);
             }
             other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
         }
+    }
+    if shards > 1 {
+        return run_serve_fleet(addr, shards, options, defaults, cache_dir);
     }
     // Install the persistent row tier before the first request can
     // arrive: a restarted server answers its first corpus pass from
@@ -670,11 +689,147 @@ fn run_serve(args: Vec<String>) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// The sharded `serve` path (`--shards N`, N ≥ 2): forks N child serve
+/// processes — each owning the key partition `route_hash % N` and, when
+/// `--cache-dir` is set, its own `shard-%02d/` store subdirectory
+/// (single-writer per partition) — and fronts them with an in-process
+/// router that proxies response bytes verbatim. A shard that dies is
+/// respawned by the fleet supervisor and warm-starts from its own
+/// partition's store; while it is down only that partition sheds (503).
+fn run_serve_fleet(
+    addr: String,
+    shards: usize,
+    mut options: ServeOptions,
+    defaults: ServiceDefaults,
+    cache_dir: Option<String>,
+) -> Result<ExitCode, String> {
+    use std::io::BufRead;
+    use std::sync::Arc;
+
+    use ioopt_serve::shard::{router_handler, ShardFleet, ShardHandle, ShardLauncher};
+    use ioopt_serve::Request;
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    // The children get the same knobs this process was given — minus
+    // `--shards` (a shard serves its whole partition itself) and with a
+    // kernel-assigned port and store subdirectory.
+    let workers = options.workers.to_string();
+    let queue = options.queue_capacity.to_string();
+    let cache = defaults.cache_elems.to_string();
+    let max_kernels = defaults.max_kernels.to_string();
+    let timeout_ms = defaults.timeout_ms.map(|t| t.to_string());
+    let launcher: Arc<ShardLauncher> = Arc::new(move |i: usize| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(["--workers", &workers])
+            .args(["--queue", &queue])
+            .args(["--cache", &cache])
+            .args(["--max-kernels", &max_kernels]);
+        if let Some(t) = &timeout_ms {
+            cmd.args(["--timeout-ms", t]);
+        }
+        if let Some(dir) = &cache_dir {
+            cmd.arg("--cache-dir")
+                .arg(std::path::Path::new(dir).join(format!("shard-{i:02}")));
+        }
+        cmd.stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped());
+        let mut child = cmd.spawn()?;
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let mut reader = std::io::BufReader::new(stderr);
+        let mut line = String::new();
+        let shard_addr = loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(std::io::Error::other(format!(
+                    "shard {i} exited before it started listening"
+                )));
+            }
+            eprintln!("shard {i}: {}", line.trim_end());
+            if let Some(rest) = line.trim().strip_prefix("serve: listening on ") {
+                let text = rest.split_whitespace().next().unwrap_or("");
+                match text.parse::<std::net::SocketAddr>() {
+                    Ok(a) => break a,
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        return Err(std::io::Error::other(format!(
+                            "shard {i} announced unparseable address `{text}`: {e}"
+                        )));
+                    }
+                }
+            }
+        };
+        // Keep draining the child's stderr for its whole life: a full
+        // pipe would wedge the shard mid-request.
+        std::thread::Builder::new()
+            .name(format!("shard-{i}-stderr"))
+            .spawn(move || {
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => eprintln!("shard {i}: {}", line.trim_end()),
+                    }
+                }
+            })
+            .map_err(|e| std::io::Error::other(format!("spawn shard {i} drainer: {e}")))?;
+        obs_log!(
+            "serve: shard {i} listening on {shard_addr} (pid {})",
+            child.id()
+        );
+        Ok(ShardHandle {
+            child,
+            addr: shard_addr,
+        })
+    });
+
+    let fleet = ShardFleet::launch(shards, launcher)
+        .map_err(|e| format!("cannot launch shard fleet: {e}"))?;
+    options.extra_metrics = Some(Arc::new({
+        let fleet = fleet.clone();
+        move || fleet.metrics_text()
+    }));
+    let handler = router_handler(
+        fleet.clone(),
+        Arc::new(|request: &Request| ioopt::route_hash(&String::from_utf8_lossy(&request.body))),
+    );
+    let server =
+        Server::bind(&addr, options, handler).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    obs_log!(
+        "serve: listening on {} (POST /analyze, GET /healthz, GET /metrics, POST /shutdown; routing {} shard(s))",
+        server.addr(),
+        shards
+    );
+    let start = Instant::now();
+    server.run();
+    // Drain order: the router has stopped admitting, so no new request
+    // can reach a shard — now drain the children (each fsyncs its own
+    // partition on its graceful exit).
+    fleet.shutdown();
+    obs::log_block(&format!(
+        "serve: drained after {:.1}s\n\
+         serve: {} request(s) routed, {} rejected (429), {} shard respawn(s)",
+        start.elapsed().as_secs_f64(),
+        obs::value(obs::Metric::ServeRequests),
+        obs::value(obs::Metric::ServeRejected),
+        obs::value(obs::Metric::ShardsRespawned),
+    ));
+    Ok(ExitCode::SUCCESS)
+}
+
 /// The `cache` subcommand: inspect and maintain a persistent memo store
-/// without serving from it. `stats` opens the store (running normal
-/// torn-tail recovery), `verify` scans read-only and exits 2 on any
-/// corruption, `compact` rewrites live frames and drops superseded and
-/// quarantined data.
+/// without serving from it. `stats` opens the store **read-only** (no
+/// repairs, no lock on the data — safe against a partition a live shard
+/// owns; pending recovery shows up in the counters), `verify` scans
+/// read-only and exits 2 on any corruption, `compact` rewrites live
+/// frames, drops superseded and quarantined data, and evicts rows not
+/// read since the previous compaction.
 fn run_cache(args: Vec<String>) -> Result<ExitCode, String> {
     use ioopt_engine::store;
 
@@ -701,7 +856,10 @@ fn run_cache(args: Vec<String>) -> Result<ExitCode, String> {
     let path = std::path::Path::new(&dir);
     match action.as_str() {
         "stats" => {
-            let s = store::PersistentStore::open(path).stats();
+            // Read-only so a live shard's partition can be inspected
+            // without the single-writer discipline being violated: no
+            // truncation, no quarantine rename, nothing created.
+            let s = store::PersistentStore::open_readonly(path).stats();
             if json {
                 println!(
                     "{}",
@@ -819,6 +977,7 @@ fn run_cache(args: Vec<String>) -> Result<ExitCode, String> {
                             "quarantined_removed",
                             ioopt::Json::Num(report.quarantined_removed as f64)
                         ),
+                        ("evicted", ioopt::Json::Num(report.evicted as f64)),
                         ("bytes_before", ioopt::Json::Num(report.bytes_before as f64)),
                         ("bytes_after", ioopt::Json::Num(report.bytes_after as f64)),
                     ])
@@ -826,12 +985,13 @@ fn run_cache(args: Vec<String>) -> Result<ExitCode, String> {
                 );
             } else {
                 println!(
-                    "cache: compacted {} live key(s): {} -> {} byte(s); removed {} segment(s), {} quarantined file(s)",
+                    "cache: compacted {} live key(s): {} -> {} byte(s); removed {} segment(s), {} quarantined file(s), evicted {} cold row(s)",
                     report.live_keys,
                     report.bytes_before,
                     report.bytes_after,
                     report.segments_removed,
-                    report.quarantined_removed
+                    report.quarantined_removed,
+                    report.evicted
                 );
             }
             Ok(ExitCode::SUCCESS)

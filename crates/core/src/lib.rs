@@ -59,8 +59,8 @@ pub use report::{csv_header, csv_row, render_text};
 pub use rowstore::{flush_row_store, install_row_store, row_store_stats, uninstall_row_store};
 pub use sequence::{analyze_sequence, SequenceAnalysis};
 pub use service::{
-    analysis_handler, handle_analyze, run_service, service_items, KernelSpec, ServiceDefaults,
-    ServiceError, ServiceRequest,
+    analysis_handler, handle_analyze, route_hash, run_service, service_items, KernelSpec,
+    ServiceDefaults, ServiceError, ServiceRequest,
 };
 
 pub use ioopt_engine::{obs, Budget, Exhaustion, Json, Status, Trace};

@@ -387,6 +387,52 @@ pub fn handle_analyze(body: &str, defaults: &ServiceDefaults) -> Result<String, 
     Ok(format!("{}\n", report.to_json()))
 }
 
+/// The shard-routing hash for an `/analyze` request body: a pure,
+/// deterministic function of the kernels the request *means*, not the
+/// bytes it happens to arrive as.
+///
+/// The router reduces this `% shards` to pick the partition owner, so
+/// the hash must depend only on structural identity — the same
+/// properties the memo cache keys on. Per kernel spec:
+///
+/// - `builtin:all` hashes as the literal string (the whole corpus is
+///   one logical request; splitting it per-kernel would make a
+///   multi-kernel body unroutable, since one response serves them all),
+/// - a named builtin hashes its kernel's
+///   [`structural_key`](ioopt_ir::Kernel::structural_key),
+/// - inline source hashes its parsed kernel's structural key,
+///
+/// with the raw name/source bytes as the fallback for anything that
+/// does not resolve (unknown builtin, unparseable source) — such
+/// requests still route *somewhere*, stably, and the owning shard
+/// produces the 400. A body that is not valid JSON hashes its raw
+/// bytes for the same reason. Tests and the loadgen bench recompute
+/// this to predict each kernel's owner.
+pub fn route_hash(body: &str) -> u64 {
+    let mut hasher = ioopt_engine::StableHasher::new();
+    let request = Json::parse(body)
+        .ok()
+        .and_then(|v| ServiceRequest::from_json(&v).ok());
+    let Some(request) = request else {
+        hasher.write(body.as_bytes());
+        return hasher.finish();
+    };
+    for spec in &request.kernels {
+        match spec {
+            KernelSpec::Builtin(name) if name == "all" => hasher.write(b"builtin:all"),
+            KernelSpec::Builtin(name) => match corpus_item(name) {
+                Some(item) => hasher.write(&item.kernel.structural_key()),
+                None => hasher.write(name.as_bytes()),
+            },
+            KernelSpec::Inline { source } => match ioopt_ir::parse_kernel(source) {
+                Ok(kernel) => hasher.write(&kernel.structural_key()),
+                Err(_) => hasher.write(source.as_bytes()),
+            },
+        }
+    }
+    hasher.finish()
+}
+
 /// Builds the HTTP handler `ioopt serve` mounts: `POST /analyze` runs
 /// [`handle_analyze`]; everything else is 404/405. Internal routes
 /// (`/healthz`, `/metrics`, `/shutdown`) are handled by the serving
@@ -517,6 +563,34 @@ mod tests {
         );
         let audit = crate::certificate::audit_report(&report).expect("audits");
         assert!(audit.accepted(), "{:?}", audit.results);
+    }
+
+    #[test]
+    fn route_hash_tracks_kernel_identity_not_body_bytes() {
+        // Same kernel, different option noise → same partition owner.
+        let a =
+            route_hash(r#"{"kernels":["builtin:ab-ac-cb"],"cache":32768,"symbolic_only":true}"#);
+        let b = route_hash(r#"{"cache":1024, "kernels": ["builtin:ab-ac-cb"]}"#);
+        assert_eq!(
+            a, b,
+            "options and formatting must not move a kernel's shard"
+        );
+        // Different kernels land on different hashes (the corpus would be
+        // useless for balance tests otherwise).
+        let c = route_hash(r#"{"kernels":["builtin:abc-bda-dc"]}"#);
+        assert_ne!(a, c);
+        // builtin:all is one logical unit, not the fold of its members.
+        let all = route_hash(r#"{"kernels":["builtin:all"]}"#);
+        assert_ne!(all, a);
+        assert_eq!(all, route_hash(r#"{"kernels":["builtin:all"],"cache":1}"#));
+        // Inline source routes by structural key: renaming the kernel
+        // label alone must not change the hash any differently than the
+        // structural key does — and at minimum it is deterministic.
+        let src = r#"{"kernels":[{"source":"kernel k { loop i : N = 8; A[i] += B[i]; }"}]}"#;
+        assert_eq!(route_hash(src), route_hash(src));
+        // Garbage still routes stably (the owning shard answers the 400).
+        assert_eq!(route_hash("not json"), route_hash("not json"));
+        assert_ne!(route_hash("not json"), route_hash("also not json"));
     }
 
     #[test]

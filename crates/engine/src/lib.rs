@@ -34,5 +34,5 @@ pub use govern::{AmbientGuard, Budget, Exhaustion, Status};
 pub use json::Json;
 pub use memo::{CacheStats, MemoCache, StableHasher};
 pub use obs::{Histogram, Trace};
-pub use pool::{available_threads, par_map, BoundedQueue};
+pub use pool::{available_threads, par_map, BoundedQueue, PushError};
 pub use store::{PersistentStore, StoreStats};

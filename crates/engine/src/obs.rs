@@ -115,9 +115,27 @@ pub enum Metric {
     StoreDisabled,
     /// Dead serve workers detected and respawned by the pool supervisor.
     ServeWorkersRespawned,
+    /// Live shard child processes behind the serve router (gauge: the
+    /// current fleet strength, not an accumulating count).
+    ShardsLive,
+    /// Dead shard children detected and respawned by the fleet
+    /// supervisor.
+    ShardsRespawned,
 }
 
-const METRIC_COUNT: usize = 22;
+/// Prometheus exposition semantics of one [`Metric`]: most registry
+/// entries only ever accumulate (`counter`), but a few report a current
+/// level that can go down again (`gauge`) and must be declared as such —
+/// scrapers apply `rate()` to counters, which is meaningless on a level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically accumulating within a reset window.
+    Counter,
+    /// A current level, set absolutely via [`set_gauge`].
+    Gauge,
+}
+
+const METRIC_COUNT: usize = 24;
 
 impl Metric {
     /// Every metric, in registry (display) order.
@@ -144,6 +162,8 @@ impl Metric {
         Metric::StoreQuarantined,
         Metric::StoreDisabled,
         Metric::ServeWorkersRespawned,
+        Metric::ShardsLive,
+        Metric::ShardsRespawned,
     ];
 
     /// The stable dotted wire name (used in reports and the JSON
@@ -172,6 +192,18 @@ impl Metric {
             Metric::StoreQuarantined => "store.quarantined",
             Metric::StoreDisabled => "store.disabled",
             Metric::ServeWorkersRespawned => "serve.workers_respawned",
+            Metric::ShardsLive => "serve.shards_live",
+            Metric::ShardsRespawned => "serve.shards_respawned",
+        }
+    }
+
+    /// The exposition kind: `store.disabled` and `serve.shards_live`
+    /// report current levels (0/1 sticky degradation, live fleet size);
+    /// everything else accumulates.
+    pub fn kind(self) -> MetricKind {
+        match self {
+            Metric::StoreDisabled | Metric::ShardsLive => MetricKind::Gauge,
+            _ => MetricKind::Counter,
         }
     }
 
@@ -203,6 +235,17 @@ static TERM_BASELINE: [AtomicU64; METRIC_COUNT] = [const { AtomicU64::new(0) }; 
 pub fn add(metric: Metric, n: u64) {
     if n != 0 && metric.term_source().is_none() {
         COUNTERS[metric as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Stores an absolute level into a gauge-kind metric (the fleet
+/// supervisor publishes the live shard count this way). Works on any
+/// locally backed metric, but only gauges have set-semantics on the
+/// wire.
+#[inline]
+pub fn set_gauge(metric: Metric, level: u64) {
+    if metric.term_source().is_none() {
+        COUNTERS[metric as usize].store(level, Ordering::Relaxed);
     }
 }
 
@@ -970,6 +1013,27 @@ mod tests {
         assert!(line.contains("fm.projections=3"), "{line}");
         reset_metrics();
         assert_eq!(value(Metric::GridPoints), 0);
+    }
+
+    #[test]
+    fn gauge_metrics_are_tagged_and_set_absolutely() {
+        // Every registry entry declares a kind, and exactly the
+        // level-semantics metrics are gauges — a new gauge added without
+        // updating `kind()` would scrape as a counter again.
+        for m in Metric::ALL {
+            let expect_gauge = matches!(m, Metric::StoreDisabled | Metric::ShardsLive);
+            assert_eq!(
+                m.kind() == MetricKind::Gauge,
+                expect_gauge,
+                "{} has the wrong exposition kind",
+                m.name()
+            );
+        }
+        set_gauge(Metric::ShardsLive, 3);
+        assert_eq!(value(Metric::ShardsLive), 3);
+        set_gauge(Metric::ShardsLive, 1);
+        assert_eq!(value(Metric::ShardsLive), 1, "gauges overwrite, not add");
+        set_gauge(Metric::ShardsLive, 0);
     }
 
     #[test]

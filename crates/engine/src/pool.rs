@@ -95,6 +95,27 @@ struct QueueState<T> {
     closed: bool,
 }
 
+/// Why [`BoundedQueue::try_push`] handed an item back. The two cases
+/// demand different producer reactions: `Full` is transient overload
+/// (retry later — HTTP 429 + `Retry-After`), `Closed` is a permanent
+/// drain (go elsewhere — HTTP 503, no retry hint).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; it may accept the item again soon.
+    Full(T),
+    /// The queue has been closed; it will never accept an item again.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected item regardless of the reason.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(item) | PushError::Closed(item) => item,
+        }
+    }
+}
+
 /// A bounded multi-producer / multi-consumer queue with *rejecting*
 /// overflow semantics: [`BoundedQueue::try_push`] never blocks and hands
 /// the item back when the queue is full, so the producer can apply
@@ -132,12 +153,17 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    /// Admits `item` if there is room; hands it back (`Err`) when the
-    /// queue is full or closed. Never blocks.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    /// Admits `item` if there is room; hands it back when the queue is
+    /// full ([`PushError::Full`]) or closed ([`PushError::Closed`]) so
+    /// the producer can distinguish transient overload from a permanent
+    /// drain. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
         let mut state = self.state.lock().expect("queue poisoned");
-        if state.closed || state.items.len() >= self.capacity {
-            return Err(item);
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
         }
         state.items.push_back(item);
         drop(state);
@@ -235,10 +261,19 @@ mod tests {
         assert_eq!(q.capacity(), 2);
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
-        assert_eq!(q.try_push(3), Err(3), "full queue hands the item back");
+        assert_eq!(
+            q.try_push(3),
+            Err(PushError::Full(3)),
+            "full queue hands the item back as transient overload"
+        );
         assert_eq!(q.len(), 2);
         q.close();
-        assert_eq!(q.try_push(4), Err(4), "closed queue rejects pushes");
+        assert_eq!(
+            q.try_push(4),
+            Err(PushError::Closed(4)),
+            "closed queue rejects pushes as permanent"
+        );
+        assert_eq!(PushError::Closed(4).into_inner(), 4);
         // Admitted items still drain after the close, in FIFO order.
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
@@ -263,7 +298,11 @@ mod tests {
             // Capacity 4: spin until the consumer makes room.
             let mut item = v;
             while let Err(back) = q.try_push(item) {
-                item = back;
+                assert!(
+                    matches!(back, PushError::Full(_)),
+                    "an open queue can only reject as Full"
+                );
+                item = back.into_inner();
                 std::thread::yield_now();
             }
         }
@@ -277,7 +316,7 @@ mod tests {
         let q: BoundedQueue<u8> = BoundedQueue::new(0);
         assert_eq!(q.capacity(), 1);
         assert!(q.try_push(9).is_ok());
-        assert_eq!(q.try_push(10), Err(10));
+        assert_eq!(q.try_push(10), Err(PushError::Full(10)));
         assert_eq!(q.pop(), Some(9));
     }
 }

@@ -87,6 +87,26 @@ const SYNC_EVERY: u32 = 8;
 /// Target segment size; an append beyond it rolls to a fresh segment.
 const SEGMENT_TARGET: u64 = 8 * 1024 * 1024;
 
+/// Reserved store-internal key of the per-key access-clock frame that
+/// [`compact_dir`] persists in the compacted segment. Keys starting with
+/// a NUL byte are reserved for the store itself — no caller tier uses
+/// them (row-store keys start with ASCII `i`), so collision is
+/// impossible by construction.
+const CLOCK_KEY: &[u8] = b"\0ioopt/access-clock";
+
+/// Sidecar file of 8-byte LE key hashes, appended on flush for every
+/// key read or written since the last flush. Purely advisory: it feeds
+/// [`compact_dir`]'s eviction decision and losing it only delays an
+/// eviction by one compaction window, so its I/O is best-effort and
+/// deliberately outside the fault-injection counters.
+const ACCESS_LOG: &str = "access.log";
+
+/// True for keys the store reserves for itself (never served to callers
+/// through stats, access tracking, or compaction's live set).
+fn is_reserved_key(key: &[u8]) -> bool {
+    key.first() == Some(&0)
+}
+
 // ---------------------------------------------------------------------
 // CRC32 (IEEE 802.3), table-driven, zero dependencies.
 // ---------------------------------------------------------------------
@@ -336,10 +356,13 @@ fn scan_segment(bytes: &[u8], last: bool) -> (Vec<FrameRef>, ScanEnd) {
         let payload_len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
         let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         if !(MIN_PAYLOAD..=MAX_FRAME).contains(&payload_len) {
-            // A garbage length field cannot be distinguished from data,
-            // so nothing after it is trustworthy; mid-file this is
-            // corruption, at the tail it is a torn header.
-            return (frames, ScanEnd::Corrupt(off));
+            // A garbage length field means nothing after this offset can
+            // be parsed. In the last segment that is what a crash tearing
+            // the final frame's header leaves behind — truncating keeps
+            // every good frame before it, where quarantining would lose
+            // the whole segment. Mid-file (any earlier segment) a frame
+            // boundary can only land on garbage through real corruption.
+            return (frames, torn_or_corrupt(off));
         }
         if rem - (FRAME_HEADER as u64) < u64::from(payload_len) {
             return (frames, torn_or_corrupt(off));
@@ -440,6 +463,9 @@ struct Inner {
     frames: u64,
     bytes: u64,
     segments: usize,
+    /// Key hashes read or written since the last flush, buffered for the
+    /// access-log sidecar (see [`ACCESS_LOG`]).
+    accessed: Vec<u64>,
 }
 
 /// The append-only, content-addressed on-disk memo store. See the
@@ -452,6 +478,7 @@ pub struct PersistentStore {
     dir: PathBuf,
     inner: Mutex<Inner>,
     disabled: AtomicBool,
+    readonly: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -475,6 +502,24 @@ impl PersistentStore {
     /// cannot be prepared at all, the returned store starts in sticky
     /// memory-only mode instead of erroring.
     pub fn open(dir: &Path) -> PersistentStore {
+        PersistentStore::open_with(dir, false)
+    }
+
+    /// Opens the store under `dir` for inspection only: segments are
+    /// scanned with the same validation as [`PersistentStore::open`],
+    /// but **nothing on disk is touched** — no directory creation, no
+    /// torn-tail truncation, no quarantine rename. A torn tail still
+    /// indexes every good frame before it and counts one *pending*
+    /// recovery in [`StoreStats::recovered`]; a corrupt segment's frames
+    /// are skipped and counted in [`StoreStats::quarantined`]. This is
+    /// what lets `ioopt cache stats` inspect a partition a live shard
+    /// owns without racing its single writer. `put`/`flush` are no-ops;
+    /// a missing directory is an empty store, not an error.
+    pub fn open_readonly(dir: &Path) -> PersistentStore {
+        PersistentStore::open_with(dir, true)
+    }
+
+    fn open_with(dir: &Path, readonly: bool) -> PersistentStore {
         let mut store = PersistentStore {
             dir: dir.to_path_buf(),
             inner: Mutex::new(Inner {
@@ -487,8 +532,10 @@ impl PersistentStore {
                 frames: 0,
                 bytes: 0,
                 segments: 0,
+                accessed: Vec::new(),
             }),
             disabled: AtomicBool::new(false),
+            readonly,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -502,7 +549,14 @@ impl PersistentStore {
     }
 
     fn open_impl(&mut self) -> io::Result<()> {
-        faultable!(Open, fs::create_dir_all(&self.dir)?);
+        if self.readonly {
+            if !self.dir.is_dir() {
+                return Ok(());
+            }
+        } else {
+            faultable!(Open, fs::create_dir_all(&self.dir)?);
+        }
+        let readonly = self.readonly;
         let segments = list_segments(&self.dir)?;
         let inner = self.inner.get_mut().unwrap_or_else(|e| e.into_inner());
         let mut max_id = 0u32;
@@ -515,16 +569,19 @@ impl PersistentStore {
                 ScanEnd::Clean | ScanEnd::Torn(_) => {
                     if let ScanEnd::Torn(at) = end {
                         // Crash mid-write: drop the torn tail, keep every
-                        // good frame before it.
-                        let file = OpenOptions::new().write(true).open(path)?;
-                        file.set_len(at)?;
-                        file.sync_data()?;
+                        // good frame before it. A read-only open reports
+                        // the pending repair but leaves the file alone.
+                        if !readonly {
+                            let file = OpenOptions::new().write(true).open(path)?;
+                            file.set_len(at)?;
+                            file.sync_data()?;
+                            obs::add(Metric::StoreRecovered, 1);
+                            crate::obs_log!(
+                                "store: truncated torn frame at byte {at} of {}",
+                                path.display()
+                            );
+                        }
                         self.recovered += 1;
-                        obs::add(Metric::StoreRecovered, 1);
-                        crate::obs_log!(
-                            "store: truncated torn frame at byte {at} of {}",
-                            path.display()
-                        );
                     }
                     let segment_len = match end {
                         ScanEnd::Torn(at) => at,
@@ -553,15 +610,18 @@ impl PersistentStore {
                     // trusted past validation, and index entries pointing
                     // into a renamed file would dangle — drop the whole
                     // segment. Frames it superseded in older segments
-                    // become live again (they are valid, just stale).
-                    let quarantined = path.with_extension("log.quarantined");
-                    fs::rename(path, &quarantined)?;
+                    // become live again (they are valid, just stale). A
+                    // read-only open skips the frames without renaming.
+                    if !readonly {
+                        let quarantined = path.with_extension("log.quarantined");
+                        fs::rename(path, &quarantined)?;
+                        obs::add(Metric::StoreQuarantined, 1);
+                        crate::obs_log!(
+                            "store: quarantined {} (corruption at byte {at})",
+                            path.display()
+                        );
+                    }
                     self.quarantined += 1;
-                    obs::add(Metric::StoreQuarantined, 1);
-                    crate::obs_log!(
-                        "store: quarantined {} (corruption at byte {at})",
-                        path.display()
-                    );
                     if i == last_index {
                         // The append segment is gone; start a fresh one.
                         inner.current_id = max_id + 1;
@@ -585,6 +645,45 @@ impl PersistentStore {
     /// Whether the store has flipped into sticky memory-only mode.
     pub fn is_disabled(&self) -> bool {
         self.disabled.load(Ordering::SeqCst)
+    }
+
+    /// Whether this store was opened with
+    /// [`PersistentStore::open_readonly`].
+    pub fn is_readonly(&self) -> bool {
+        self.readonly
+    }
+
+    /// Buffers `key`'s hash for the access-log sidecar (reserved keys
+    /// and read-only opens never track).
+    fn record_access(&self, inner: &mut Inner, key: &[u8]) {
+        if self.readonly || is_reserved_key(key) {
+            return;
+        }
+        let mut hasher = StableHasher::new();
+        hasher.write(key);
+        inner.accessed.push(hasher.finish());
+    }
+
+    /// Appends the buffered access hashes to the sidecar. Best-effort by
+    /// design: the log only tunes compaction's eviction, so an I/O error
+    /// here must neither disable the store nor perturb the
+    /// fault-injection call counters (no `faultable!`).
+    fn flush_access(&self, inner: &mut Inner) {
+        if self.readonly || inner.accessed.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(inner.accessed.len() * 8);
+        for hash in &inner.accessed {
+            buf.extend_from_slice(&hash.to_le_bytes());
+        }
+        inner.accessed.clear();
+        if let Ok(mut file) = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(ACCESS_LOG))
+        {
+            let _ = file.write_all(&buf);
+        }
     }
 
     fn disable(&self, reason: &str) {
@@ -611,6 +710,7 @@ impl PersistentStore {
         };
         match self.read_frame(&mut inner, location, key) {
             Ok(Some(value)) => {
+                self.record_access(&mut inner, key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 obs::add(Metric::StoreHits, 1);
                 Some(value)
@@ -669,12 +769,13 @@ impl PersistentStore {
     /// keep their in-memory tier authoritative). No-op once disabled;
     /// an I/O error flips memory-only mode instead of propagating.
     pub fn put(&self, key: &[u8], value: &[u8]) {
-        if self.is_disabled() {
+        if self.readonly || self.is_disabled() {
             return;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         match self.append_frame(&mut inner, key, value) {
             Ok(()) => {
+                self.record_access(&mut inner, key);
                 self.writes.fetch_add(1, Ordering::Relaxed);
                 obs::add(Metric::StoreWrites, 1);
             }
@@ -751,10 +852,11 @@ impl PersistentStore {
     /// a clean shutdown must never rely on crash recovery). No-op when
     /// disabled; an error flips memory-only mode.
     pub fn flush(&self) {
-        if self.is_disabled() {
+        if self.readonly || self.is_disabled() {
             return;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.flush_access(&mut inner);
         let result: io::Result<()> = (|| {
             let pending = inner.appends_since_sync > 0;
             if let Some(file) = inner.current.as_mut() {
@@ -776,7 +878,9 @@ impl PersistentStore {
         let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         StoreStats {
             segments: inner.segments,
-            live_keys: inner.index.len(),
+            // Reserved store-internal frames (the compaction access
+            // clock) are bookkeeping, not cached rows.
+            live_keys: inner.index.keys().filter(|k| !is_reserved_key(k)).count(),
             frames: inner.frames,
             bytes: inner.bytes,
             hits: self.hits.load(Ordering::Relaxed),
@@ -880,6 +984,9 @@ pub fn verify_dir(dir: &Path) -> io::Result<VerifyReport> {
 pub struct CompactReport {
     /// Live keys rewritten into the fresh segment.
     pub live_keys: u64,
+    /// Keys dropped by hit-ratio-aware eviction: rows not read (or
+    /// rewritten) since the previous compaction.
+    pub evicted: u64,
     /// Segment files removed (superseded originals).
     pub segments_removed: usize,
     /// Quarantined files removed.
@@ -890,6 +997,50 @@ pub struct CompactReport {
     pub bytes_after: u64,
 }
 
+/// Decodes the access-clock frame persisted by the previous compaction:
+/// `u64 generation | (u64 key_hash, u64 clock)*`. Absent or malformed →
+/// generation 0 with an empty clock (every key gets a grace window).
+fn decode_clock(value: Option<Vec<u8>>) -> (u64, HashMap<u64, u64>) {
+    let Some(bytes) = value else {
+        return (0, HashMap::new());
+    };
+    if bytes.len() < 8 || (bytes.len() - 8) % 16 != 0 {
+        return (0, HashMap::new());
+    }
+    let le = |chunk: &[u8]| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    let generation = le(&bytes[..8]);
+    let clock = bytes[8..]
+        .chunks_exact(16)
+        .map(|pair| (le(&pair[..8]), le(&pair[8..])))
+        .collect();
+    (generation, clock)
+}
+
+fn encode_clock(generation: u64, clock: &HashMap<u64, u64>) -> Vec<u8> {
+    let mut entries: Vec<(u64, u64)> = clock.iter().map(|(&h, &c)| (h, c)).collect();
+    entries.sort_unstable(); // deterministic frame bytes
+    let mut out = Vec::with_capacity(8 + entries.len() * 16);
+    out.extend_from_slice(&generation.to_le_bytes());
+    for (hash, at) in entries {
+        out.extend_from_slice(&hash.to_le_bytes());
+        out.extend_from_slice(&at.to_le_bytes());
+    }
+    out
+}
+
+/// Reads the advisory access-log sidecar: the set of key hashes touched
+/// since the previous compaction. A trailing partial record (torn by a
+/// crash) is ignored; a missing file is an empty set.
+fn read_access_set(dir: &Path) -> std::collections::HashSet<u64> {
+    let Ok(bytes) = fs::read(dir.join(ACCESS_LOG)) else {
+        return Default::default();
+    };
+    bytes
+        .chunks_exact(8)
+        .map(|chunk| u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
 /// Rewrites the store down to its live frames: opens the store (running
 /// normal recovery), streams every live `(key, value)` into one fresh
 /// segment, fsyncs it, then removes the superseded segments and any
@@ -897,6 +1048,19 @@ pub struct CompactReport {
 /// highest id and is fully durable *before* any original is deleted, so
 /// an interrupted compaction only leaves redundant (append-wins
 /// shadowed) frames behind, never missing ones.
+///
+/// # Eviction
+///
+/// Compaction is hit-ratio aware: a row that was *not* read or
+/// rewritten since the previous compaction (per the advisory access-log
+/// sidecar) **and** was already present at that previous compaction
+/// (per the persisted access clock) is dropped instead of rewritten.
+/// Rows the clock has never seen get one full grace window, so a fresh
+/// store's first compaction evicts nothing and a lost access log only
+/// delays eviction, never loses a hot row's only copy prematurely. The
+/// surviving keys' clocks are stamped with the new generation and
+/// persisted as a reserved frame in the compacted segment; the access
+/// log is consumed (deleted) once the compaction has committed.
 ///
 /// # Errors
 ///
@@ -908,18 +1072,33 @@ pub fn compact_dir(dir: &Path) -> io::Result<CompactReport> {
         return Err(io::Error::other("store could not be opened for compaction"));
     }
     let stats = store.stats();
+    let (prev_generation, prev_clock) = decode_clock(store.get(CLOCK_KEY));
+    let accessed = read_access_set(dir);
+    let generation = prev_generation + 1;
+    let mut clock: HashMap<u64, u64> = HashMap::new();
+    let mut evicted = 0u64;
     let live: Vec<(Vec<u8>, Vec<u8>)> = {
         let mut inner = store.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut keys: Vec<(Vec<u8>, Location)> = inner
             .index
             .iter()
+            .filter(|(k, _)| !is_reserved_key(k))
             .map(|(k, loc)| (k.clone(), *loc))
             .collect();
         // Deterministic output order: by (segment, offset) — append order.
         keys.sort_by_key(|(_, loc)| (loc.segment, loc.offset));
         let mut out = Vec::with_capacity(keys.len());
         for (key, location) in keys {
+            let mut hasher = StableHasher::new();
+            hasher.write(&key);
+            let hash = hasher.finish();
+            if !accessed.contains(&hash) && prev_clock.contains_key(&hash) {
+                // A full window old and untouched across it: evict.
+                evicted += 1;
+                continue;
+            }
             if let Some(value) = store.read_frame(&mut inner, location, &key)? {
+                clock.insert(hash, generation);
                 out.push((key, value));
             }
         }
@@ -941,6 +1120,9 @@ pub fn compact_dir(dir: &Path) -> io::Result<CompactReport> {
             file.write_all(&frame)?;
             bytes_after += frame.len() as u64;
         }
+        let clock_frame = encode_frame(CLOCK_KEY, &encode_clock(generation, &clock));
+        file.write_all(&clock_frame)?;
+        bytes_after += clock_frame.len() as u64;
         file.sync_data()?;
     }
     fs::rename(&tmp, dir.join(segment_name(next_id)))?;
@@ -962,8 +1144,11 @@ pub fn compact_dir(dir: &Path) -> io::Result<CompactReport> {
             quarantined_removed += 1;
         }
     }
+    // The access window is consumed: the next window starts empty.
+    let _ = fs::remove_file(dir.join(ACCESS_LOG));
     Ok(CompactReport {
         live_keys: live.len() as u64,
+        evicted,
         segments_removed,
         quarantined_removed,
         bytes_before: stats.bytes,
@@ -1161,16 +1346,109 @@ mod tests {
         fs::write(dir.join("seg-000099.log.quarantined"), b"junk").unwrap();
         let report = compact_dir(&dir).unwrap();
         assert_eq!(report.live_keys, 2);
+        assert_eq!(report.evicted, 0, "first compaction grants every key grace");
         assert_eq!(report.quarantined_removed, 1);
         assert!(report.bytes_after < report.bytes_before);
         let store = PersistentStore::open(&dir);
         let stats = store.stats();
-        assert_eq!(stats.frames, 2, "only live frames survive compaction");
+        // 2 live rows + the reserved access-clock frame.
+        assert_eq!(stats.frames, 3, "only live frames survive compaction");
+        assert_eq!(stats.live_keys, 2, "the clock frame is not a cached row");
         assert_eq!(store.get(b"hot-key").as_deref(), Some(&b"gen-9"[..]));
         assert_eq!(store.get(b"stable").as_deref(), Some(&b"s"[..]));
         drop(store);
         assert!(verify_dir(&dir).unwrap().is_clean());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_evicts_rows_unread_since_the_previous_compact() {
+        let dir = scratch("evict");
+        {
+            let store = PersistentStore::open(&dir);
+            store.put(b"hot", b"h");
+            store.put(b"cold-1", b"c1");
+            store.put(b"cold-2", b"c2");
+        }
+        // Generation 1: every key is new to the clock → grace, no evictions.
+        let report = compact_dir(&dir).unwrap();
+        assert_eq!((report.live_keys, report.evicted), (3, 0));
+
+        // One read and one fresh write inside the next window; the drop
+        // flushes the access log.
+        {
+            let store = PersistentStore::open(&dir);
+            assert_eq!(store.get(b"hot").as_deref(), Some(&b"h"[..]));
+            store.put(b"new", b"n");
+        }
+        assert!(dir.join("access.log").exists(), "flush persists the window");
+
+        // Generation 2: the two untouched full-window rows go.
+        let report = compact_dir(&dir).unwrap();
+        assert_eq!(
+            report.evicted, 2,
+            "cold-1 and cold-2 had a full idle window"
+        );
+        assert_eq!(report.live_keys, 2);
+        assert!(!dir.join("access.log").exists(), "the window is consumed");
+        let store = PersistentStore::open(&dir);
+        assert_eq!(store.get(b"hot").as_deref(), Some(&b"h"[..]));
+        assert_eq!(store.get(b"new").as_deref(), Some(&b"n"[..]));
+        assert!(store.get(b"cold-1").is_none());
+        assert!(store.get(b"cold-2").is_none());
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_readonly_reports_damage_without_repairing() {
+        let dir = scratch("readonly");
+        {
+            let store = PersistentStore::open(&dir);
+            store.put(b"alpha", b"1");
+            store.put(b"beta", b"2");
+        }
+        // Torn tail: half a frame appended, as a crash mid-write leaves it.
+        let path = dir.join(segment_name(1));
+        let frame = encode_frame(b"gamma", b"3");
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(file);
+        let damaged = fs::read(&path).unwrap();
+
+        let store = PersistentStore::open_readonly(&dir);
+        assert!(store.is_readonly());
+        let stats = store.stats();
+        assert_eq!(stats.recovered, 1, "the pending repair is reported");
+        assert_eq!(stats.live_keys, 2);
+        // Good frames before the torn point are still served.
+        assert_eq!(store.get(b"alpha").as_deref(), Some(&b"1"[..]));
+        // Mutations are inert.
+        store.put(b"delta", b"4");
+        store.flush();
+        assert_eq!(store.stats().writes, 0);
+        drop(store);
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            damaged,
+            "a read-only open must leave the segment bytes untouched"
+        );
+
+        // A writable open still repairs the same damage.
+        let store = PersistentStore::open(&dir);
+        assert_eq!(store.stats().recovered, 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_readonly_of_a_missing_directory_is_an_empty_store() {
+        let dir = scratch("readonly-missing");
+        let store = PersistentStore::open_readonly(&dir);
+        assert!(!store.is_disabled());
+        assert_eq!(store.stats().live_keys, 0);
+        assert!(store.get(b"anything").is_none());
+        assert!(!dir.exists(), "inspection must not create the directory");
     }
 
     #[test]
@@ -1207,11 +1485,19 @@ mod tests {
         assert_eq!(frames.len(), 1);
         assert!(matches!(end, ScanEnd::Corrupt(_)));
 
-        // Garbage length field: corrupt even at the tail.
-        let mut garbage = MAGIC.to_vec();
+        // Garbage length field at the tail of the *last* segment: a torn
+        // header — truncating keeps the good frames before it. The same
+        // bytes in an earlier segment are corruption.
+        let mut garbage = image.clone();
         garbage.extend_from_slice(&u32::MAX.to_le_bytes());
         garbage.extend_from_slice(&[0u8; 4]);
-        let (_, end) = scan_segment(&garbage, true);
+        let (frames, end) = scan_segment(&garbage, true);
+        assert_eq!(frames.len(), 2, "good frames before a torn header survive");
+        assert_eq!(
+            end,
+            ScanEnd::Torn((MAGIC.len() + f1.len() + f2.len()) as u64)
+        );
+        let (_, end) = scan_segment(&garbage, false);
         assert!(matches!(end, ScanEnd::Corrupt(_)));
     }
 }

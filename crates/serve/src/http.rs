@@ -83,11 +83,18 @@ pub fn read_request(
         .map_err(|e| HttpError::new(500, format!("set_read_timeout: {e}")))?;
 
     // Read until the blank line ending the head, never past MAX_HEAD_BYTES.
+    // The `\r\n\r\n` search resumes where the last one gave up (a match
+    // can straddle a chunk boundary by at most 3 bytes), so total scan
+    // work is linear in the head size — a slow-loris client trickling
+    // one byte per read used to cost a full rescan per byte, quadratic
+    // inside the 16 KiB cap.
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut searched = 0usize;
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
+        if let Some(pos) = find_head_end(&buf, searched) {
             break pos;
         }
+        searched = buf.len().saturating_sub(3);
         if buf.len() >= MAX_HEAD_BYTES {
             return Err(HttpError::new(431, "request head exceeds 16 KiB"));
         }
@@ -195,8 +202,15 @@ fn read_chunk(
     }
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Finds the head-terminating `\r\n\r\n`, scanning only from `from`
+/// (callers pass `previous_len - 3` so a terminator straddling the read
+/// boundary is still seen exactly once).
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let from = from.min(buf.len());
+    buf[from..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|pos| from + pos)
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -288,6 +302,55 @@ mod tests {
         assert_eq!(req.path, "/analyze");
         assert_eq!(req.header("content-length"), Some("5"));
         assert_eq!(req.header("HOST"), Some("x"), "case-insensitive lookup");
+        assert_eq!(req.body_utf8().unwrap(), "hello");
+    }
+
+    #[test]
+    fn head_scan_resumes_across_chunk_boundaries() {
+        // The resume index backs up 3 bytes, so a terminator split at
+        // every possible point across two reads must still be found, at
+        // the right offset.
+        let head = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+        let end = head.len() - 4;
+        for split in 1..head.len() {
+            let mut buf = head[..split].to_vec();
+            let first = find_head_end(&buf, 0);
+            let resume = buf.len().saturating_sub(3);
+            buf.extend_from_slice(&head[split..]);
+            match first {
+                Some(pos) => assert_eq!(pos, end, "split {split}"),
+                None => assert_eq!(
+                    find_head_end(&buf, resume),
+                    Some(end),
+                    "split {split}: resumed scan missed the terminator"
+                ),
+            }
+        }
+        // A resume index past the buffer is clamped, not a panic.
+        assert_eq!(find_head_end(b"\r\n", 10), None);
+    }
+
+    #[test]
+    fn trickled_head_parses_like_a_single_write() {
+        // Slow-loris shape: the head arrives in many tiny writes, with
+        // the terminator itself straddling a write boundary.
+        let raw: &[u8] = b"POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            for piece in raw.chunks(3) {
+                s.write_all(piece).expect("write");
+                s.flush().expect("flush");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let req = read_request(&mut stream, Duration::from_secs(5), 1024 * 1024)
+            .expect("ok")
+            .expect("some");
+        writer.join().expect("writer joins");
+        assert_eq!(req.path, "/analyze");
         assert_eq!(req.body_utf8().unwrap(), "hello");
     }
 

@@ -33,11 +33,12 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod shard;
 
 pub use http::{HttpError, Request};
 
-use ioopt_engine::obs::{self, Histogram, Metric};
-use ioopt_engine::{BoundedQueue, Json};
+use ioopt_engine::obs::{self, Histogram, Metric, MetricKind};
+use ioopt_engine::{BoundedQueue, Json, PushError};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,11 +46,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// A supplier of extra, already-formatted Prometheus exposition text
+/// appended to `/metrics` (the shard router plugs its per-shard series
+/// in this way). Each call must return complete lines, `# TYPE` comments
+/// included.
+pub type ExtraMetrics = dyn Fn() -> String + Send + Sync;
+
 /// Tunables for a [`Server`]. `Default` is sized for the analysis
 /// workload: a few workers (each request may itself fan out via the
 /// engine pool), a queue a couple of bursts deep, and body limits far
 /// above any legitimate kernel source.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeOptions {
     /// Worker threads answering requests.
     pub workers: usize,
@@ -64,6 +71,21 @@ pub struct ServeOptions {
     /// The `Retry-After` hint (milliseconds, rounded up to whole
     /// seconds on the wire) attached to 429 responses.
     pub retry_after_ms: u64,
+    /// Extra Prometheus text appended to every `/metrics` scrape.
+    pub extra_metrics: Option<Arc<ExtraMetrics>>,
+}
+
+impl std::fmt::Debug for ServeOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeOptions")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("read_timeout", &self.read_timeout)
+            .field("max_body_bytes", &self.max_body_bytes)
+            .field("retry_after_ms", &self.retry_after_ms)
+            .field("extra_metrics", &self.extra_metrics.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServeOptions {
@@ -74,6 +96,7 @@ impl Default for ServeOptions {
             read_timeout: Duration::from_secs(10),
             max_body_bytes: 1024 * 1024,
             retry_after_ms: 1000,
+            extra_metrics: None,
         }
     }
 }
@@ -364,14 +387,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-/// Queue the connection or shed it with a structured 429. The 429 is
-/// written (with its lingering close) on a detached thread: the shed
-/// client has not been read, so the graceful close must wait for its
-/// in-flight bytes, and that wait must never stall the acceptor.
+/// Queue the connection or shed it. A *full* queue is transient
+/// overload: a structured 429 with a `Retry-After` hint. A *closed*
+/// queue means the server is draining for good — the honest answer is
+/// 503 with **no** `Retry-After` (this listener will never take the
+/// request; the client should fail over, not back off and retry here).
+/// Either rejection is written (with its lingering close) on a detached
+/// thread: the shed client has not been read, so the graceful close
+/// must wait for its in-flight bytes, and that wait must never stall
+/// the acceptor.
 fn admit(stream: TcpStream, shared: &Shared) {
-    match shared.queue.try_push((stream, Instant::now())) {
-        Ok(()) => {}
-        Err((mut stream, _)) => {
+    let (mut stream, status, headers, body) = match shared.queue.try_push((stream, Instant::now()))
+    {
+        Ok(()) => return,
+        Err(PushError::Full((stream, _))) => {
             obs::add(Metric::ServeRejected, 1);
             let retry_ms = shared.options.retry_after_ms;
             let body = Json::obj([
@@ -385,27 +414,33 @@ fn admit(stream: TcpStream, shared: &Shared) {
                 ),
                 ("retry_after_ms", Json::Int(retry_ms as i64)),
             ]);
-            let mut rendered = body.render().into_bytes();
-            rendered.push(b'\n');
-            let spawned = std::thread::Builder::new()
-                .name("serve-reject".to_string())
-                .spawn(move || {
-                    http::write_response(
-                        &mut stream,
-                        429,
-                        "application/json",
-                        &[(
-                            "Retry-After".to_string(),
-                            format!("{}", retry_ms.div_ceil(1000).max(1)),
-                        )],
-                        &rendered,
-                    );
-                });
-            // Thread exhaustion means the client sees a reset instead of
-            // the 429 body — survivable, and strictly an overload signal.
-            let _ = spawned;
+            let headers = vec![(
+                "Retry-After".to_string(),
+                format!("{}", retry_ms.div_ceil(1000).max(1)),
+            )];
+            (stream, 429, headers, body)
         }
-    }
+        Err(PushError::Closed((stream, _))) => {
+            let body = Json::obj([
+                ("error", Json::str("service unavailable")),
+                (
+                    "message",
+                    Json::str("server is draining; this listener will not admit the request"),
+                ),
+            ]);
+            (stream, 503, Vec::new(), body)
+        }
+    };
+    let mut rendered = body.render().into_bytes();
+    rendered.push(b'\n');
+    let spawned = std::thread::Builder::new()
+        .name("serve-reject".to_string())
+        .spawn(move || {
+            http::write_response(&mut stream, status, "application/json", &headers, &rendered);
+        });
+    // Thread exhaustion means the client sees a reset instead of the
+    // rejection body — survivable, and strictly an overload signal.
+    let _ = spawned;
 }
 
 /// The `IOOPT_FAULT` directive `worker-panic[:<nth>]` (compiled only
@@ -489,14 +524,22 @@ fn dispatch(request: &Request, shared: &Shared, handler: &Arc<Handler>) -> Respo
 }
 
 /// Renders the process-wide [`Metric`] registry, the queue-depth gauge,
-/// and the request-latency histogram in Prometheus text format. Metric
+/// the request-latency histogram, and any configured
+/// [`ServeOptions::extra_metrics`] in Prometheus text format. Metric
 /// dots become underscores under an `ioopt_` prefix (`memo.hits` →
-/// `ioopt_memo_hits`).
+/// `ioopt_memo_hits`), and each series is declared with its registry
+/// [`MetricKind`] — level-semantics metrics like `store.disabled` must
+/// scrape as `gauge`, not `counter`.
 fn render_prometheus(shared: &Shared) -> String {
     let mut out = String::with_capacity(2048);
-    for (name, value) in obs::metrics_snapshot() {
-        let wire = format!("ioopt_{}", name.replace('.', "_"));
-        out.push_str(&format!("# TYPE {wire} counter\n{wire} {value}\n"));
+    for metric in Metric::ALL {
+        let wire = format!("ioopt_{}", metric.name().replace('.', "_"));
+        let kind = match metric.kind() {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        let value = obs::value(metric);
+        out.push_str(&format!("# TYPE {wire} {kind}\n{wire} {value}\n"));
     }
     out.push_str(&format!(
         "# TYPE ioopt_serve_queue_depth gauge\nioopt_serve_queue_depth {}\n",
@@ -520,6 +563,9 @@ fn render_prometheus(shared: &Shared) -> String {
         "ioopt_serve_request_latency_seconds_count {}\n",
         shared.latency.count()
     ));
+    if let Some(extra) = &shared.options.extra_metrics {
+        out.push_str(&extra());
+    }
     out
 }
 
@@ -577,6 +623,80 @@ mod tests {
             metrics.contains("ioopt_serve_request_latency_seconds_count "),
             "{metrics}"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_declares_gauges_as_gauges() {
+        // Regression: every registry series used to be declared
+        // `# TYPE ... counter`, including level-semantics metrics.
+        let server = echo_server(ServeOptions::default());
+        let (status, metrics) = get(server.addr(), "/metrics");
+        assert_eq!(status, 200);
+        for gauge in ["ioopt_store_disabled", "ioopt_serve_shards_live"] {
+            assert!(
+                metrics.contains(&format!("# TYPE {gauge} gauge\n")),
+                "{gauge} must scrape as a gauge:\n{metrics}"
+            );
+        }
+        for counter in [
+            "ioopt_serve_requests",
+            "ioopt_store_hits",
+            "ioopt_serve_shards_respawned",
+        ] {
+            assert!(
+                metrics.contains(&format!("# TYPE {counter} counter\n")),
+                "{counter} must scrape as a counter:\n{metrics}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn extra_metrics_are_appended_to_the_scrape() {
+        let options = ServeOptions {
+            extra_metrics: Some(Arc::new(|| {
+                "# TYPE ioopt_shard_up gauge\nioopt_shard_up{shard=\"0\"} 1\n".to_string()
+            })),
+            ..ServeOptions::default()
+        };
+        let server = echo_server(options);
+        let (status, metrics) = get(server.addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("ioopt_shard_up{shard=\"0\"} 1\n"),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn draining_server_sheds_with_503_not_429() {
+        // Regression: a closed admission queue used to be answered like
+        // a full one — 429 + Retry-After — inviting clients to retry a
+        // listener that is going away. Closing the queue directly pins
+        // the drain window deterministically (during a real shutdown the
+        // acceptor usually stops before the close, so the window is
+        // racy).
+        let server = echo_server(ServeOptions::default());
+        let addr = server.addr();
+        server.shared.queue.close();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("read");
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("Retry-After"),
+            "a drain rejection must not hint at retrying: {text}"
+        );
+        assert!(text.contains("draining"), "{text}");
+        // The workers see the closed queue and exit; shutdown stays clean.
         server.shutdown();
     }
 

@@ -1,0 +1,584 @@
+//! Shard-by-key fleet serving: N child serve processes, each owning a
+//! disjoint partition of the key space, behind an in-process router.
+//!
+//! # Why processes, and why partitioned
+//!
+//! The analyses being served are pure functions of a kernel's
+//! structural key, so any deterministic `key → shard` map gives a
+//! correct fleet: every request for a key lands on the same child, that
+//! child's persistent store accumulates exactly its partition, and no
+//! two processes ever write the same store directory. That single-writer
+//! discipline is what makes the scale-out safe — the append-only segment
+//! format has no cross-process locking, so the partition map *is* the
+//! lock.
+//!
+//! # Supervision
+//!
+//! [`ShardFleet`] owns the child processes and mirrors the worker-pool
+//! supervisor one level up: a poll loop reaps children that died (a
+//! `kill -9`, an OOM kill), counts `serve.shards_respawned`, publishes
+//! the `serve.shards_live` gauge, and relaunches the dead shard through
+//! the same launcher that started it. While a shard is down the router
+//! sheds *only that partition* with a 503 — every other key keeps being
+//! served — and the respawned child warm-starts from its partition's
+//! store via normal crash recovery.
+//!
+//! # Routing
+//!
+//! [`router_handler`] forwards each request to `route(request) % N` and
+//! proxies the child's response **body bytes verbatim** (status,
+//! content type, and any `Retry-After` are carried over; the head is
+//! re-rendered by the router's own writer with identical values). The
+//! explicit path prefix `/shards/<i>/<rest>` bypasses the key map and
+//! addresses one shard directly — that is how per-shard `/metrics` stay
+//! reachable behind the router.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Child;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ioopt_engine::obs::{self, Metric};
+
+use crate::http::Request;
+use crate::{Handler, Response};
+
+/// How often the fleet supervisor polls its children.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// How long a graceful fleet shutdown waits for a child to exit after
+/// `POST /shutdown` before escalating to a kill.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One launched shard: the child process and the address it serves on.
+/// Returned by the launcher closure [`ShardFleet::launch`] takes.
+#[derive(Debug)]
+pub struct ShardHandle {
+    /// The shard's serve process.
+    pub child: Child,
+    /// The address the shard's HTTP listener answers on.
+    pub addr: SocketAddr,
+}
+
+/// Launches (or relaunches) shard `i`. Called at fleet start and again
+/// on every respawn, so it must be safe to invoke repeatedly for the
+/// same index — the shard's store directory is stable across respawns,
+/// which is exactly what gives a respawned shard its warm start.
+pub type ShardLauncher = dyn Fn(usize) -> io::Result<ShardHandle> + Send + Sync;
+
+/// Routes a request to a shard index space: the returned hash is
+/// reduced `% shards` by the router. Must be a pure function of the
+/// request for the partition map to be stable.
+pub type RouteFn = dyn Fn(&Request) -> u64 + Send + Sync;
+
+enum Slot {
+    Up(ShardHandle),
+    /// The shard died (or its respawn failed); the supervisor retries
+    /// every poll tick.
+    Down,
+}
+
+/// A supervised fleet of shard child processes. See the module docs.
+pub struct ShardFleet {
+    slots: Vec<Mutex<Slot>>,
+    requests: Vec<AtomicU64>,
+    launcher: Arc<ShardLauncher>,
+    stop: AtomicBool,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ShardFleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardFleet")
+            .field("shards", &self.slots.len())
+            .field("live", &self.live())
+            .finish()
+    }
+}
+
+impl ShardFleet {
+    /// Launches `count` shards through `launcher` and starts the
+    /// supervisor. Fails (killing any already-launched children) if any
+    /// initial launch fails — a fleet that starts partial would silently
+    /// blackhole part of the key space.
+    pub fn launch(count: usize, launcher: Arc<ShardLauncher>) -> io::Result<Arc<ShardFleet>> {
+        assert!(count >= 1, "a fleet needs at least one shard");
+        let mut slots = Vec::with_capacity(count);
+        for i in 0..count {
+            match launcher(i) {
+                Ok(handle) => slots.push(Mutex::new(Slot::Up(handle))),
+                Err(e) => {
+                    for slot in &slots {
+                        if let Slot::Up(handle) =
+                            &mut *slot.lock().unwrap_or_else(|p| p.into_inner())
+                        {
+                            let _ = handle.child.kill();
+                            let _ = handle.child.wait();
+                        }
+                    }
+                    return Err(io::Error::other(format!("launching shard {i}: {e}")));
+                }
+            }
+        }
+        let fleet = Arc::new(ShardFleet {
+            requests: (0..count).map(|_| AtomicU64::new(0)).collect(),
+            slots,
+            launcher,
+            stop: AtomicBool::new(false),
+            supervisor: Mutex::new(None),
+        });
+        obs::set_gauge(Metric::ShardsLive, count as u64);
+        let supervisor = {
+            let fleet = fleet.clone();
+            std::thread::Builder::new()
+                .name("shard-supervisor".to_string())
+                .spawn(move || fleet.supervise())
+                .expect("spawn shard supervisor")
+        };
+        *fleet.supervisor.lock().unwrap_or_else(|p| p.into_inner()) = Some(supervisor);
+        Ok(fleet)
+    }
+
+    /// The number of shards (the modulus of the partition map).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True only for a zero-shard fleet, which [`ShardFleet::launch`]
+    /// refuses to build.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The address shard `i` currently answers on, or `None` while it is
+    /// down (being respawned) or out of range.
+    pub fn addr(&self, shard: usize) -> Option<SocketAddr> {
+        let slot = self.slots.get(shard)?;
+        match &*slot.lock().unwrap_or_else(|p| p.into_inner()) {
+            Slot::Up(handle) => Some(handle.addr),
+            Slot::Down => None,
+        }
+    }
+
+    /// The OS pid of shard `i`'s child process, when it is up.
+    pub fn pid(&self, shard: usize) -> Option<u32> {
+        let slot = self.slots.get(shard)?;
+        match &*slot.lock().unwrap_or_else(|p| p.into_inner()) {
+            Slot::Up(handle) => Some(handle.child.id()),
+            Slot::Down => None,
+        }
+    }
+
+    /// How many shards are currently up.
+    pub fn live(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| {
+                matches!(
+                    &*slot.lock().unwrap_or_else(|p| p.into_inner()),
+                    Slot::Up(_)
+                )
+            })
+            .count()
+    }
+
+    /// Per-shard Prometheus series for the router's `/metrics`: an
+    /// `ioopt_shard_up` liveness gauge and an `ioopt_shard_requests`
+    /// routed-request counter, one labelled sample per shard.
+    pub fn metrics_text(&self) -> String {
+        let mut out = String::with_capacity(64 * self.slots.len() + 64);
+        out.push_str("# TYPE ioopt_shard_up gauge\n");
+        for (i, slot) in self.slots.iter().enumerate() {
+            let up = matches!(
+                &*slot.lock().unwrap_or_else(|p| p.into_inner()),
+                Slot::Up(_)
+            );
+            out.push_str(&format!(
+                "ioopt_shard_up{{shard=\"{i}\"}} {}\n",
+                u8::from(up)
+            ));
+        }
+        out.push_str("# TYPE ioopt_shard_requests counter\n");
+        for (i, count) in self.requests.iter().enumerate() {
+            out.push_str(&format!(
+                "ioopt_shard_requests{{shard=\"{i}\"}} {}\n",
+                count.load(Ordering::Relaxed)
+            ));
+        }
+        out
+    }
+
+    /// The supervisor loop: reap dead children, publish the liveness
+    /// gauge, respawn through the launcher. A failed respawn leaves the
+    /// slot down and is retried on the next tick.
+    fn supervise(&self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL_INTERVAL);
+            for (i, slot) in self.slots.iter().enumerate() {
+                let died = {
+                    let mut slot = slot.lock().unwrap_or_else(|p| p.into_inner());
+                    match &mut *slot {
+                        Slot::Up(handle) => match handle.child.try_wait() {
+                            Ok(Some(_)) | Err(_) => {
+                                *slot = Slot::Down;
+                                true
+                            }
+                            Ok(None) => false,
+                        },
+                        Slot::Down => true,
+                    }
+                };
+                if !died || self.stop.load(Ordering::SeqCst) {
+                    continue;
+                }
+                obs::set_gauge(Metric::ShardsLive, self.live() as u64);
+                // Relaunch outside the slot lock: the router must keep
+                // answering 503 for this partition (and proxying every
+                // other one) while the launcher does its work.
+                match (self.launcher)(i) {
+                    Ok(handle) => {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Slot::Up(handle);
+                        obs::add(Metric::ShardsRespawned, 1);
+                        obs::set_gauge(Metric::ShardsLive, self.live() as u64);
+                        ioopt_engine::obs_log!("serve: shard {i} died; respawned on its partition");
+                    }
+                    Err(e) => {
+                        ioopt_engine::obs_log!(
+                            "serve: shard {i} died; respawn failed ({e}), retrying"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Graceful fleet drain: stop the supervisor (no respawns race the
+    /// shutdown), ask every live shard to drain via `POST /shutdown`,
+    /// and wait for the children — escalating to a kill after
+    /// [`DRAIN_DEADLINE`]. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(supervisor) = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+        {
+            let _ = supervisor.join();
+        }
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        for slot in &self.slots {
+            let mut slot = slot.lock().unwrap_or_else(|p| p.into_inner());
+            if let Slot::Up(handle) = &mut *slot {
+                let _ = post_shutdown(handle.addr);
+                // A piped stdin doubles as a drain signal for launchers
+                // that use one; real serve children inherit (None).
+                drop(handle.child.stdin.take());
+                while handle.child.try_wait().ok().flatten().is_none() {
+                    if Instant::now() >= deadline {
+                        let _ = handle.child.kill();
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let _ = handle.child.wait();
+            }
+            *slot = Slot::Down;
+        }
+        obs::set_gauge(Metric::ShardsLive, 0);
+    }
+
+    /// Proxies `request` to shard `i`, rewriting the path to `path`.
+    fn proxy(&self, shard: usize, request: &Request, path: &str) -> Response {
+        let Some(addr) = self.addr(shard) else {
+            return Response::error(
+                503,
+                &format!("shard {shard} is down; its key partition is respawning"),
+            );
+        };
+        self.requests[shard].fetch_add(1, Ordering::Relaxed);
+        match proxy_once(addr, request, path) {
+            Ok(response) => response,
+            Err(e) => Response::error(
+                503,
+                &format!("shard {shard} did not answer ({e}); its key partition is respawning"),
+            ),
+        }
+    }
+}
+
+impl Drop for ShardFleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The router's handler: `/shards/<i>/<rest>` addresses shard `i`
+/// directly; every other path goes to `route(request) % shards`, and
+/// the shard's response rides back body-bytes-verbatim.
+pub fn router_handler(fleet: Arc<ShardFleet>, route: Arc<RouteFn>) -> Arc<Handler> {
+    Arc::new(move |request: &Request| {
+        if let Some(rest) = request.path.strip_prefix("/shards/") {
+            let Some((index, sub)) = rest.split_once('/') else {
+                return Response::error(404, "expected /shards/<index>/<path>");
+            };
+            let Ok(shard) = index.parse::<usize>() else {
+                return Response::error(404, &format!("bad shard index {index:?}"));
+            };
+            if shard >= fleet.len() {
+                return Response::error(
+                    404,
+                    &format!("shard {shard} out of range (fleet of {})", fleet.len()),
+                );
+            }
+            return fleet.proxy(shard, request, &format!("/{sub}"));
+        }
+        let shard = (route(request) % fleet.len() as u64) as usize;
+        fleet.proxy(shard, request, &request.path)
+    })
+}
+
+/// One proxied request over a fresh `Connection: close` socket.
+fn proxy_once(addr: SocketAddr, request: &Request, path: &str) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut head = format!(
+        "{} {} HTTP/1.1\r\nHost: shard\r\nConnection: close\r\nContent-Length: {}\r\n",
+        request.method,
+        path,
+        request.body.len()
+    );
+    for (name, value) in &request.headers {
+        // Hop-by-hop and recomputed headers stay the router's own.
+        if matches!(name.as_str(), "host" | "connection" | "content-length") {
+            continue;
+        }
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&request.body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_proxy_response(&raw)
+}
+
+/// Splits a shard's raw `Connection: close` response into the
+/// [`Response`] the router re-emits: status and content type carried
+/// over, `Retry-After` forwarded, body bytes untouched.
+fn parse_proxy_response(raw: &[u8]) -> io::Result<Response> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::other("shard response has no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::other("shard response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other("shard response has no status line"))?;
+    let mut content_type = "application/octet-stream".to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-type" => content_type = value.to_string(),
+            "retry-after" => headers.push(("Retry-After".to_string(), value.to_string())),
+            _ => {}
+        }
+    }
+    Ok(Response {
+        status,
+        content_type,
+        body: raw[head_end + 4..].to_vec(),
+        headers,
+    })
+}
+
+/// Asks one shard to drain gracefully; best-effort (a dead shard's
+/// refused connection is fine — the wait loop handles the exit).
+fn post_shutdown(addr: SocketAddr) -> io::Result<()> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"POST /shutdown HTTP/1.1\r\nHost: shard\r\nContent-Length: 0\r\n\r\n")?;
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeOptions, Server};
+    use std::process::{Command, Stdio};
+
+    /// A shard stand-in: an in-process echo [`Server`] plays the HTTP
+    /// role and a `read`-blocked shell child plays the process role (it
+    /// exits when the fleet's shutdown drops its piped stdin, or when a
+    /// test kills it). Servers are parked so they outlive the fleet.
+    struct FakeShards {
+        servers: Mutex<Vec<Server>>,
+        launches: AtomicU64,
+    }
+
+    impl FakeShards {
+        fn new() -> Arc<FakeShards> {
+            Arc::new(FakeShards {
+                servers: Mutex::new(Vec::new()),
+                launches: AtomicU64::new(0),
+            })
+        }
+
+        fn launcher(self: &Arc<Self>) -> Arc<ShardLauncher> {
+            let shards = self.clone();
+            Arc::new(move |i: usize| {
+                shards.launches.fetch_add(1, Ordering::SeqCst);
+                let server = Server::bind(
+                    "127.0.0.1:0",
+                    ServeOptions::default(),
+                    Arc::new(move |req: &Request| {
+                        Response::text(200, &format!("shard {i} answered {}", req.path))
+                    }),
+                )
+                .expect("bind fake shard");
+                let addr = server.addr();
+                shards.servers.lock().expect("servers").push(server);
+                let child = Command::new("sh")
+                    .args(["-c", "read line"])
+                    .stdin(Stdio::piped())
+                    .stdout(Stdio::null())
+                    .spawn()
+                    .expect("spawn stand-in child");
+                Ok(ShardHandle { child, addr })
+            })
+        }
+    }
+
+    fn body_of(response: &Response) -> String {
+        String::from_utf8_lossy(&response.body).to_string()
+    }
+
+    fn plain_request(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers: vec![("host".to_string(), "t".to_string())],
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn routes_by_hash_and_proxies_verbatim() {
+        let shards = FakeShards::new();
+        let fleet = ShardFleet::launch(3, shards.launcher()).expect("launch");
+        // Route on the path's length so the test controls the shard.
+        let handler = router_handler(
+            fleet.clone(),
+            Arc::new(|req: &Request| req.path.len() as u64),
+        );
+        for (path, shard) in [("/ab", 0), ("/abc", 1), ("/abcd", 2)] {
+            let response = handler(&plain_request("GET", path));
+            assert_eq!(response.status, 200);
+            assert_eq!(body_of(&response), format!("shard {shard} answered {path}"));
+        }
+        assert_eq!(fleet.live(), 3);
+        let metrics = fleet.metrics_text();
+        for i in 0..3 {
+            assert!(
+                metrics.contains(&format!("ioopt_shard_up{{shard=\"{i}\"}} 1")),
+                "{metrics}"
+            );
+            assert!(
+                metrics.contains(&format!("ioopt_shard_requests{{shard=\"{i}\"}} 1")),
+                "{metrics}"
+            );
+        }
+        fleet.shutdown();
+        assert_eq!(fleet.live(), 0);
+    }
+
+    #[test]
+    fn shards_prefix_addresses_one_shard_directly() {
+        let shards = FakeShards::new();
+        let fleet = ShardFleet::launch(2, shards.launcher()).expect("launch");
+        let handler = router_handler(fleet.clone(), Arc::new(|_: &Request| 0));
+        let response = handler(&plain_request("GET", "/shards/1/status"));
+        assert_eq!(response.status, 200);
+        assert_eq!(body_of(&response), "shard 1 answered /status");
+        let response = handler(&plain_request("GET", "/shards/9/status"));
+        assert_eq!(response.status, 404);
+        let response = handler(&plain_request("GET", "/shards/bogus"));
+        assert_eq!(response.status, 404);
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn a_killed_shard_sheds_only_its_partition_and_is_respawned() {
+        let shards = FakeShards::new();
+        let fleet = ShardFleet::launch(2, shards.launcher()).expect("launch");
+        let handler = router_handler(
+            fleet.clone(),
+            Arc::new(|req: &Request| u64::from(req.path.ends_with("one"))),
+        );
+        assert_eq!(handler(&plain_request("GET", "/one")).status, 200);
+        let baseline = obs::value(Metric::ShardsRespawned);
+
+        // kill -9 the stand-in child: the OS-level death signal the
+        // supervisor watches for. Drop shard 1's server so the partition
+        // really stops answering until the respawn.
+        let pid = fleet.pid(1).expect("shard 1 pid") as i32;
+        let victim = {
+            let mut servers = shards.servers.lock().expect("servers");
+            servers.remove(1)
+        };
+        victim.shutdown();
+        assert_eq!(unsafe { libc_kill(pid, 9) }, 0, "kill -9 must succeed");
+
+        // The other partition keeps serving throughout.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while obs::value(Metric::ShardsRespawned) <= baseline {
+            assert!(
+                Instant::now() < deadline,
+                "supervisor never respawned the shard"
+            );
+            assert_eq!(
+                handler(&plain_request("GET", "/zero")).status,
+                200,
+                "the surviving partition must keep serving"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The respawned shard answers its partition again.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let response = handler(&plain_request("GET", "/one"));
+            if response.status == 200 {
+                assert_eq!(body_of(&response), "shard 1 answered /one");
+                break;
+            }
+            assert_eq!(response.status, 503, "a down shard sheds with 503");
+            assert!(Instant::now() < deadline, "respawned shard never answered");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            shards.launches.load(Ordering::SeqCst) >= 3,
+            "a relaunch happened"
+        );
+        fleet.shutdown();
+    }
+
+    extern "C" {
+        #[link_name = "kill"]
+        fn libc_kill(pid: i32, sig: i32) -> i32;
+    }
+}

@@ -1,0 +1,293 @@
+//! Black-box tests for `ioopt serve --shards N`: the sharded fleet must
+//! be invisible to clients (byte-identical to the golden snapshots
+//! through the router), and a `kill -9`'d shard must shed only its own
+//! key partition, be respawned by the fleet supervisor, and warm-start
+//! from its partition's persistent store.
+//!
+//! These tests drive the real `ioopt` binary (the fleet forks child
+//! processes, so an in-process server cannot stand in). When the binary
+//! has not been built yet — e.g. `cargo test --test serve_sharded` in a
+//! fresh tree — they skip with a note instead of failing; a full
+//! `cargo test --workspace` builds the binary first, and CI runs them
+//! after an explicit build.
+
+use std::fs;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ioopt::{builtin_corpus, route_hash};
+use ioopt_engine::Json;
+use ioopt_suite::testutil::{http_get, http_post};
+
+/// The `ioopt` binary next to the test executable's deps directory, or
+/// `None` when it has not been built.
+fn ioopt_bin() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.parent()?.join("ioopt");
+    bin.is_file().then_some(bin)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ioopt-sharded-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The request mirroring the golden-snapshot options.
+fn snapshot_request(kernel: &str) -> String {
+    format!(r#"{{"kernels":["builtin:{kernel}"],"cache":32768.0,"symbolic_only":true}}"#)
+}
+
+/// A running `ioopt serve --shards N` fleet: the router child, its
+/// address, and each shard's announced address and pid.
+struct Fleet {
+    child: Child,
+    addr: SocketAddr,
+    shard_pids: Vec<u32>,
+}
+
+impl Fleet {
+    /// Spawns the fleet and parses the startup lines: `serve: shard I
+    /// listening on ADDR (pid P)` for every shard, then the router's own
+    /// `serve: listening on ADDR`. A stderr drainer keeps the pipe from
+    /// filling for the fleet's whole life.
+    fn spawn(bin: &std::path::Path, shards: usize, cache_dir: &std::path::Path) -> Fleet {
+        let mut child = Command::new(bin)
+            .args(["serve", "--addr", "127.0.0.1:0", "--shards"])
+            .arg(shards.to_string())
+            .arg("--cache-dir")
+            .arg(cache_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn ioopt serve --shards");
+        let stderr = child.stderr.take().expect("piped stderr");
+        let mut reader = std::io::BufReader::new(stderr);
+        let mut shard_pids = vec![0u32; shards];
+        let mut addr: Option<SocketAddr> = None;
+        let mut line = String::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while addr.is_none() {
+            assert!(Instant::now() < deadline, "fleet never started listening");
+            line.clear();
+            let n = reader.read_line(&mut line).expect("read fleet stderr");
+            assert!(n > 0, "fleet exited before listening");
+            let text = line.trim();
+            // Parent lines only; forwarded child lines carry a
+            // `shard N: ` prefix and must not be parsed as the router's.
+            if let Some(rest) = text.strip_prefix("serve: shard ") {
+                // "I listening on ADDR (pid P)"
+                let mut words = rest.split_whitespace();
+                let index: usize = words.next().unwrap().parse().expect("shard index");
+                let announced: SocketAddr = words.nth(2).unwrap().parse().expect("shard addr");
+                let pid: u32 = rest
+                    .split("(pid ")
+                    .nth(1)
+                    .and_then(|p| p.strip_suffix(')'))
+                    .expect("pid suffix")
+                    .parse()
+                    .expect("shard pid");
+                assert!(announced.port() != 0);
+                shard_pids[index] = pid;
+            } else if let Some(rest) = text.strip_prefix("serve: listening on ") {
+                addr = Some(
+                    rest.split_whitespace()
+                        .next()
+                        .unwrap()
+                        .parse()
+                        .expect("router addr"),
+                );
+            }
+        }
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        });
+        assert!(shard_pids.iter().all(|&p| p != 0), "every shard announced");
+        Fleet {
+            child,
+            addr: addr.expect("router address"),
+            shard_pids,
+        }
+    }
+
+    /// Graceful drain through the router; waits for the process to exit.
+    fn shutdown(mut self) {
+        let response = http_post(self.addr, "/shutdown", "");
+        assert_eq!(response.status, 202, "{}", response.body);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while self.child.try_wait().expect("wait fleet").is_none() {
+            assert!(Instant::now() < deadline, "fleet never exited after drain");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// A metric's value from a Prometheus scrape body.
+fn metric(body: &str, series: &str) -> Option<f64> {
+    body.lines()
+        .find(|l| l.starts_with(series) && l[series.len()..].starts_with(' '))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn all_19_golden_rows_are_byte_identical_through_three_shards() {
+    let Some(bin) = ioopt_bin() else {
+        eprintln!("skipping: ioopt binary not built (run `cargo build` first)");
+        return;
+    };
+    let dir = scratch("golden");
+    let fleet = Fleet::spawn(&bin, 3, &dir.join("store"));
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden");
+    let mut shard_hits = [0usize; 3];
+    for item in &builtin_corpus() {
+        let body = snapshot_request(&item.label);
+        shard_hits[(route_hash(&body) % 3) as usize] += 1;
+        let response = http_post(fleet.addr, "/analyze", &body);
+        assert_eq!(response.status, 200, "{}: {}", item.label, response.body);
+        let report = Json::parse(&response.body).expect("served body is valid JSON");
+        let row = report
+            .get("kernels")
+            .and_then(Json::as_array)
+            .expect("rows")[0]
+            .render();
+        let golden = fs::read_to_string(golden_dir.join(format!("{}.json", item.label)))
+            .expect("golden snapshot exists");
+        assert_eq!(
+            row,
+            golden.trim_end(),
+            "{}: row through the sharded router diverges from the golden snapshot",
+            item.label
+        );
+    }
+    // The corpus exercises every partition (routing collapsing onto one
+    // shard would make all fleet tests vacuous).
+    assert!(
+        shard_hits.iter().all(|&n| n > 0),
+        "corpus must spread over all shards: {shard_hits:?}"
+    );
+    // The router's scrape carries the per-shard series, and the routed
+    // totals match what route_hash predicts.
+    let scrape = http_get(fleet.addr, "/metrics");
+    for (i, &expected) in shard_hits.iter().enumerate() {
+        let series = format!("ioopt_shard_requests{{shard=\"{i}\"}}");
+        let routed = metric(&scrape.body, &series).expect("per-shard counter");
+        assert_eq!(routed as usize, expected, "{series}");
+        let up = format!("ioopt_shard_up{{shard=\"{i}\"}}");
+        assert_eq!(metric(&scrape.body, &up), Some(1.0), "{up}");
+    }
+    fleet.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_killed_shard_sheds_its_partition_respawns_and_warm_starts() {
+    let Some(bin) = ioopt_bin() else {
+        eprintln!("skipping: ioopt binary not built (run `cargo build` first)");
+        return;
+    };
+    let dir = scratch("kill");
+    let fleet = Fleet::spawn(&bin, 2, &dir.join("store"));
+
+    // Warm pass: route two kernels that land on different partitions and
+    // let write-through populate each shard's own store subdirectory.
+    let corpus = builtin_corpus();
+    let owner_of = |label: &str| (route_hash(&snapshot_request(label)) % 2) as usize;
+    let victim_kernel = corpus[0].label.clone();
+    let victim = owner_of(&victim_kernel);
+    let survivor_kernel = corpus
+        .iter()
+        .map(|item| item.label.clone())
+        .find(|label| owner_of(label) != victim)
+        .expect("some kernel routes to the other shard");
+    for label in [&victim_kernel, &survivor_kernel] {
+        let response = http_post(fleet.addr, "/analyze", &snapshot_request(label));
+        assert_eq!(response.status, 200, "{label}: {}", response.body);
+    }
+
+    // kill -9 the victim's shard process. Until the supervisor respawns
+    // it, its partition answers 503 — and ONLY its partition: the
+    // survivor keeps serving bit-for-bit throughout.
+    let pid = fleet.shard_pids[victim];
+    let killed = Command::new("kill")
+        .args(["-9", &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -9 {pid}");
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut saw_shed = false;
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "killed shard never answered again (shed seen: {saw_shed})"
+        );
+        let survivor_row = http_post(fleet.addr, "/analyze", &snapshot_request(&survivor_kernel));
+        assert_eq!(
+            survivor_row.status, 200,
+            "the surviving partition must keep serving: {}",
+            survivor_row.body
+        );
+        let victim_row = http_post(fleet.addr, "/analyze", &snapshot_request(&victim_kernel));
+        match victim_row.status {
+            200 => break,
+            503 => saw_shed = true,
+            other => panic!("unexpected status {other}: {}", victim_row.body),
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let scrape = http_get(fleet.addr, "/metrics");
+    assert!(
+        metric(&scrape.body, "ioopt_serve_shards_respawned").unwrap_or(0.0) >= 1.0,
+        "supervisor must count the respawn:\n{}",
+        scrape.body
+    );
+    assert_eq!(
+        metric(
+            &scrape.body,
+            &format!("ioopt_shard_up{{shard=\"{victim}\"}}")
+        ),
+        Some(1.0),
+        "respawned shard reports up"
+    );
+
+    // Warm start: the respawned process answered its partition from the
+    // store it recovered, not by re-analyzing — visible as store hits on
+    // the shard's own scrape, reached through the router's /shards/I/
+    // passthrough.
+    let shard_scrape = http_get(fleet.addr, &format!("/shards/{victim}/metrics"));
+    assert_eq!(shard_scrape.status, 200);
+    assert!(
+        metric(&shard_scrape.body, "ioopt_store_hits").unwrap_or(0.0) >= 1.0,
+        "respawned shard must warm-start from its partition's store:\n{}",
+        shard_scrape.body
+    );
+    fleet.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -136,6 +136,55 @@ fn truncation_at_any_offset_keeps_whole_frames_and_loses_no_others() {
 }
 
 #[test]
+fn garbage_length_in_the_tail_header_truncates_instead_of_quarantining() {
+    // Regression: a crash tearing the *final* frame's header leaves a
+    // garbage length field at the tail of the last segment. That used to
+    // be classified as mid-file corruption, quarantining the whole
+    // segment — losing every good frame in it. It must truncate instead.
+    let mut rng = SplitMix64::new(0x7465_6172);
+    for round in 0..24 {
+        let dir = scratch("tailhdr");
+        let pairs = random_pairs(&mut rng, round);
+        let ends = populate(&dir, &pairs);
+
+        let path = dir.join("seg-000001.log");
+        let mut bytes = fs::read(&path).expect("segment");
+        // Corrupt the length field of the final frame's header so it
+        // decodes far beyond MAX_FRAME — indistinguishable from a torn
+        // header write. A random high byte keeps the probe varied; OR-ing
+        // 0x80 into the top byte guarantees it exceeds the frame cap.
+        let last_header = ends[ends.len() - 2] as usize;
+        let garbage = (rng.next_u64() as u32) | 0x8000_0000;
+        bytes[last_header..last_header + 4].copy_from_slice(&garbage.to_le_bytes());
+        fs::write(&path, &bytes).expect("corrupt header");
+
+        let store = PersistentStore::open(&dir);
+        let stats = store.stats();
+        assert_eq!(
+            stats.quarantined, 0,
+            "round {round}: a torn tail header must not quarantine the segment"
+        );
+        assert_eq!(stats.recovered, 1, "round {round}: one truncation event");
+        // Every frame before the damaged final one survives.
+        for (i, (key, value)) in pairs.iter().take(pairs.len() - 1).enumerate() {
+            assert_eq!(
+                store.get(key).as_deref(),
+                Some(value.as_slice()),
+                "round {round}: frame {i} before the torn header must survive"
+            );
+        }
+        assert_eq!(store.get(&pairs[pairs.len() - 1].0), None);
+        drop(store);
+        // Repair is idempotent.
+        let store = PersistentStore::open(&dir);
+        assert_eq!(store.stats().recovered, 0, "round {round}: repair sticks");
+        assert_eq!(store.stats().quarantined, 0);
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn random_byte_flips_never_surface_a_wrong_value() {
     let mut rng = SplitMix64::new(0xf11b_f11b);
     for round in 0..24 {
